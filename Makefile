@@ -1,0 +1,48 @@
+# Log-based coherency reproduction — build/test/experiment entry points.
+
+GO ?= go
+
+.PHONY: all build vet test race bench table2 table3 figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (every table and figure + ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Individual experiments.
+table2:
+	$(GO) run ./cmd/microbench
+
+table3:
+	$(GO) run ./cmd/oo7bench -table3
+
+figures:
+	$(GO) run ./cmd/oo7bench -fig 1
+	$(GO) run ./cmd/oo7bench -fig 2
+	$(GO) run ./cmd/oo7bench -fig 3
+	$(GO) run ./cmd/figures -fig 4
+	$(GO) run ./cmd/figures -fig 5
+	$(GO) run ./cmd/figures -fig 7
+	$(GO) run ./cmd/oo7bench -fig 8
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/collabdesign
+	$(GO) run ./examples/hotstandby
+	$(GO) run ./examples/versionedread
+
+clean:
+	$(GO) clean ./...

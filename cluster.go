@@ -1,0 +1,320 @@
+package lbc
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"lbc/internal/coherency"
+	"lbc/internal/netproto"
+	"lbc/internal/rangetree"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// Option configures cluster construction.
+type Option func(*clusterConfig)
+
+type clusterConfig struct {
+	tcp         bool
+	propagation coherency.Propagation
+	wire        coherency.WireFormat
+	pageSize    int
+	checkLocks  bool
+	versioned   map[int]bool
+	useStore    bool
+	replicated  bool
+	seedImages  map[RegionID][]byte
+	policy      rangetree.Policy
+	diskLogDir  string
+}
+
+// WithTCP connects the nodes over real loopback TCP sockets instead of
+// in-process channels (the default). The lock protocol, coherency
+// broadcast, and storage traffic then cross the kernel's network
+// stack, as in the paper's prototype.
+func WithTCP() Option { return func(c *clusterConfig) { c.tcp = true } }
+
+// WithPropagation selects eager (default) or lazy update propagation.
+// Lazy implies WithStore (records are pulled from the server's logs).
+func WithPropagation(p coherency.Propagation) Option {
+	return func(c *clusterConfig) {
+		c.propagation = p
+		if p == coherency.Lazy {
+			c.useStore = true
+		}
+	}
+}
+
+// WithWire selects the coherency message encoding (header ablation).
+func WithWire(w coherency.WireFormat) Option {
+	return func(c *clusterConfig) { c.wire = w }
+}
+
+// WithPageSize sets the page size used for statistics (default 8192).
+func WithPageSize(ps int) Option { return func(c *clusterConfig) { c.pageSize = ps } }
+
+// WithCheckLocks makes SetRange fail when a registered segment's lock
+// is not held.
+func WithCheckLocks() Option { return func(c *clusterConfig) { c.checkLocks = true } }
+
+// WithVersioned puts node i (0-based) in the versioned read model:
+// received updates buffer until Accept.
+func WithVersioned(i int) Option {
+	return func(c *clusterConfig) { c.versioned[i] = true }
+}
+
+// WithStore places every node's log and database on a shared storage
+// server (started internally), the paper's client/server
+// configuration. Without it each node logs to private in-memory
+// devices — the "disk logging disabled" setup of §4.
+func WithStore() Option { return func(c *clusterConfig) { c.useStore = true } }
+
+// WithReplicatedStore is WithStore plus a synchronous backup server:
+// every mutation is mirrored before it is acknowledged (§2's
+// "transparently replicated" storage service). Cluster.StoreBackup
+// exposes the backup for failover tests.
+func WithReplicatedStore() Option {
+	return func(c *clusterConfig) {
+		c.useStore = true
+		c.replicated = true
+	}
+}
+
+// WithSeedImage preloads a region image into the store so every node
+// maps an identical database (used by the OO7 harness).
+func WithSeedImage(id RegionID, img []byte) Option {
+	return func(c *clusterConfig) {
+		cp := make([]byte, len(img))
+		copy(cp, img)
+		c.seedImages[id] = cp
+	}
+}
+
+// WithSetRangePolicy selects the modified-range coalescing policy:
+// rangetree.CoalesceExact is the paper's optimized set_range (default);
+// rangetree.CoalesceFull is standard RVM (Figure 8's rightmost bar).
+func WithSetRangePolicy(p rangetree.Policy) Option {
+	return func(c *clusterConfig) { c.policy = p }
+}
+
+// WithDiskLog writes each node's redo log to a real file under dir, so
+// Flush-mode commits pay genuine disk I/O (Figure 8's "Disk" bar).
+// Ignored when WithStore is also set (the server owns the logs then).
+func WithDiskLog(dir string) Option {
+	return func(c *clusterConfig) { c.diskLogDir = dir }
+}
+
+// Cluster is a set of in-process nodes for experiments, examples, and
+// tests. Production deployments wire the pieces directly (see
+// cmd/storeserver and the package example).
+type Cluster struct {
+	nodes   []*Node
+	rvms    []*rvm.RVM
+	meshes  []*netproto.TCPMesh
+	srv     *store.Server
+	replica *store.ReplicaPair
+	clis    []*store.Client
+	logs    []wal.Device
+}
+
+// NewLocalCluster builds k nodes (ids 1..k) connected per the options.
+func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lbc: cluster needs at least one node")
+	}
+	cfg := &clusterConfig{
+		versioned:  map[int]bool{},
+		seedImages: map[RegionID][]byte{},
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+
+	cl := &Cluster{}
+	ids := make([]NodeID, k)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+	}
+
+	// Optional storage server.
+	if cfg.useStore {
+		if cfg.replicated {
+			pair, err := store.NewReplicaPair("127.0.0.1:0", "127.0.0.1:0", store.ServerOptions{})
+			if err != nil {
+				return nil, err
+			}
+			cl.replica = pair
+			cl.srv = pair.Primary
+		} else {
+			srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+			if err != nil {
+				return nil, err
+			}
+			cl.srv = srv
+		}
+		for id, img := range cfg.seedImages {
+			if err := cl.srv.Data().StoreRegion(uint32(id), img); err != nil {
+				cl.Close()
+				return nil, err
+			}
+		}
+	}
+
+	// Transport.
+	var transports []netproto.Transport
+	if cfg.tcp {
+		for _, id := range ids {
+			m, err := netproto.NewTCPMesh(id, "127.0.0.1:0", map[NodeID]string{})
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.meshes = append(cl.meshes, m)
+			transports = append(transports, m)
+		}
+		for i, m := range cl.meshes {
+			for j, o := range cl.meshes {
+				if i != j {
+					m.SetPeer(ids[j], o.Addr())
+				}
+			}
+		}
+	} else {
+		hub := netproto.NewHub()
+		for _, id := range ids {
+			transports = append(transports, hub.Endpoint(id))
+		}
+	}
+
+	// Nodes.
+	for i, id := range ids {
+		var log wal.Device
+		var data rvm.DataStore
+		var peerLogs coherency.PeerLogReader
+		if cfg.useStore {
+			cli, err := store.Dial(cl.srv.Addr())
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.clis = append(cl.clis, cli)
+			log = cli.LogDevice(uint32(id))
+			data = cli
+			peerLogs = func(node uint32) wal.Device { return cli.LogDevice(node) }
+		} else {
+			if cfg.diskLogDir != "" {
+				var err error
+				log, err = wal.OpenFileDevice(filepath.Join(cfg.diskLogDir, fmt.Sprintf("node-%d.log", id)))
+				if err != nil {
+					cl.Close()
+					return nil, err
+				}
+			} else {
+				log = wal.NewMemDevice()
+			}
+			data = rvm.NewMemStore()
+			for rid, img := range cfg.seedImages {
+				if err := data.StoreRegion(uint32(rid), img); err != nil {
+					cl.Close()
+					return nil, err
+				}
+			}
+		}
+		cl.logs = append(cl.logs, log)
+
+		r, err := rvm.Open(rvm.Options{Node: uint32(id), Log: log, Data: data, Policy: cfg.policy})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.rvms = append(cl.rvms, r)
+		n, err := coherency.New(coherency.Options{
+			RVM:         r,
+			Transport:   transports[i],
+			Nodes:       ids,
+			Propagation: cfg.propagation,
+			Wire:        cfg.wire,
+			PageSize:    cfg.pageSize,
+			PeerLogs:    peerLogs,
+			Versioned:   cfg.versioned[i],
+			CheckLocks:  cfg.checkLocks,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.nodes = append(cl.nodes, n)
+	}
+	return cl, nil
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i (0-based).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Log returns node i's redo-log device (for merging and recovery).
+func (c *Cluster) Log(i int) wal.Device { return c.logs[i] }
+
+// Store returns the embedded storage server, if WithStore was used.
+func (c *Cluster) Store() *store.Server { return c.srv }
+
+// StoreBackup returns the backup server when WithReplicatedStore was
+// used, or nil.
+func (c *Cluster) StoreBackup() *store.Server {
+	if c.replica == nil {
+		return nil
+	}
+	return c.replica.Backup
+}
+
+// MapAll maps the region on every node.
+func (c *Cluster) MapAll(id RegionID, size int) error {
+	for _, n := range c.nodes {
+		if _, err := n.MapRegion(id, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier waits until every node has seen every peer's mapping of the
+// region — the startup point after which eager broadcasts reach all
+// caches.
+func (c *Cluster) Barrier(id RegionID) error {
+	for _, n := range c.nodes {
+		if err := n.WaitPeers(id, len(c.nodes)-1, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSegmentAll registers the segment on every node.
+func (c *Cluster) AddSegmentAll(seg Segment) {
+	for _, n := range c.nodes {
+		n.AddSegment(seg)
+	}
+}
+
+// Close tears down nodes, transports, clients, and the server.
+func (c *Cluster) Close() error {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	for _, m := range c.meshes {
+		m.Close()
+	}
+	for _, cli := range c.clis {
+		cli.Close()
+	}
+	if c.replica != nil {
+		c.replica.Close()
+	} else if c.srv != nil {
+		c.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command figures emits the data series behind the paper's analytic
+// figures:
+//
+//	figures -fig 4   # overhead vs modified bytes per page (Log/CpyCmp/Page)
+//	figures -fig 5   # per-update set_range cost, up to 5,000 updates/tx
+//	figures -fig 6   # per-update set_range cost, up to 300,000 updates/tx
+//	figures -fig 7   # breakeven updates/page vs per-update cost
+//
+// Figures 4 and 7 are evaluated under the paper's Alpha/AN1 cost model
+// (and, for figure 7, the hypothetical 10 us fast trap). Figures 5 and
+// 6 are measured live on this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbc/internal/bench"
+	"lbc/internal/costmodel"
+	"lbc/internal/fault"
+	"lbc/internal/rangetree"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to emit: 4, 5, 6, or 7")
+	flag.Parse()
+	switch *fig {
+	case 4:
+		fig4()
+	case 5:
+		fig56([]int{100, 250, 500, 1000, 2000, 3000, 4000, 5000})
+	case 6:
+		fig56([]int{1000, 10000, 50000, 100000, 200000, 300000})
+	case 7:
+		fig7()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fig4() {
+	m := costmodel.Alpha()
+	fmt.Println("Figure 4: coherency overhead vs modified bytes per page (us, Alpha model)")
+	fmt.Printf("%-8s %10s %10s %10s\n", "bytes", "Log", "Cpy/Cmp", "Page")
+	for _, p := range m.Fig4Series(512) {
+		fmt.Printf("%-8d %10.1f %10.1f %10.1f\n", p.BytesPerPage, p.Log, p.CpyCmp, p.Page)
+	}
+	fmt.Printf("\nPage line height (trap + page send): %.1f us\n", m.PageCost())
+	fmt.Printf("Cpy/Cmp vs Page crossover: %.0f bytes/page\n", m.CrossoverCpyCmpVsPage())
+}
+
+func fig56(series []int) {
+	fmt.Println("Figures 5/6: per-update overhead (us/update) vs updates per transaction (measured)")
+	fmt.Printf("%-10s %12s %12s %12s\n", "updates", "Unordered", "Ordered", "Redundant")
+	for _, n := range series {
+		un, err := bench.PerUpdateCost(bench.Unordered, n, rangetree.CoalesceExact)
+		if err != nil {
+			die(err)
+		}
+		or, err := bench.PerUpdateCost(bench.Ordered, n, rangetree.CoalesceExact)
+		if err != nil {
+			die(err)
+		}
+		re, err := bench.PerUpdateCost(bench.Redundant, n, rangetree.CoalesceExact)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-10d %12.3f %12.3f %12.3f\n", n, un, or, re)
+	}
+}
+
+func fig7() {
+	fmt.Println("Figure 7: breakeven updates/page where Cpy/Cmp overtakes log-based coherency")
+	fmt.Printf("%-14s %16s %16s", "us/update", "OSF/1 (360us)", "FastTrap (10us)")
+	hostTrap := ""
+	var host costmodel.Model
+	if fault.Supported() {
+		if d, err := fault.MeasureTrap(200); err == nil {
+			host = costmodel.Alpha()
+			host.Trap = float64(d.Nanoseconds()) / 1e3
+			host.Name = "this host's trap"
+			hostTrap = fmt.Sprintf("%16s", fmt.Sprintf("Host(%.1fus)", host.Trap))
+		}
+	}
+	fmt.Println(hostTrap)
+	slow, fast := costmodel.Alpha(), costmodel.FastTrap()
+	for c := 5.0; c <= 30.0; c += 2.5 {
+		fmt.Printf("%-14.1f %16.1f %16.1f", c,
+			slow.BreakevenUpdatesPerPage(c), fast.BreakevenUpdatesPerPage(c))
+		if hostTrap != "" {
+			fmt.Printf("%16.1f", host.BreakevenUpdatesPerPage(c))
+		}
+		fmt.Println()
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

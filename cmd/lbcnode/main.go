@@ -1,0 +1,262 @@
+// Command lbcnode runs one node of a real multi-process log-based
+// coherency cluster: it connects to a storage server, joins the TCP
+// mesh, maps the shared region, runs a locked write workload, and
+// prints a checksum of the final image — identical on every node if
+// coherency holds.
+//
+// Example (three shells plus a server):
+//
+//	storeserver -listen 127.0.0.1:7070
+//	lbcnode -node 1 -listen 127.0.0.1:7101 -peers 2=127.0.0.1:7102,3=127.0.0.1:7103 -store 127.0.0.1:7070
+//	lbcnode -node 2 -listen 127.0.0.1:7102 -peers 1=127.0.0.1:7101,3=127.0.0.1:7103 -store 127.0.0.1:7070
+//	lbcnode -node 3 -listen 127.0.0.1:7103 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102 -store 127.0.0.1:7070
+//
+// All three print the same final checksum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lbc/internal/coherency"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+func main() {
+	var (
+		nodeID    = flag.Uint("node", 0, "this node's id (required, unique)")
+		listen    = flag.String("listen", "", "mesh listen address (required)")
+		peersSpec = flag.String("peers", "", "peer list: id=addr,id=addr (required)")
+		storeAddr = flag.String("store", "", "storage server address (required)")
+		region    = flag.Int("region", 1<<20, "shared region size in bytes")
+		locks     = flag.Int("locks", 4, "number of segment locks")
+		writes    = flag.Int("writes", 200, "locked writes to perform")
+		prop      = flag.String("propagation", "eager", "eager | lazy | piggyback")
+		seed      = flag.Int64("seed", 0, "workload seed (default: node id)")
+	)
+	flag.Parse()
+	if *nodeID == 0 || *listen == "" || *peersSpec == "" || *storeAddr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *seed == 0 {
+		*seed = int64(*nodeID)
+	}
+
+	peers, err := parsePeers(*peersSpec)
+	if err != nil {
+		die(err)
+	}
+	ids := make([]netproto.NodeID, 0, len(peers)+1)
+	ids = append(ids, netproto.NodeID(*nodeID))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	cli, err := store.Dial(*storeAddr)
+	if err != nil {
+		die(err)
+	}
+	defer cli.Close()
+	r, err := rvm.Open(rvm.Options{
+		Node: uint32(*nodeID),
+		Log:  cli.LogDevice(uint32(*nodeID)),
+		Data: cli,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	mesh, err := netproto.NewTCPMesh(netproto.NodeID(*nodeID), *listen, peers)
+	if err != nil {
+		die(err)
+	}
+	defer mesh.Close()
+
+	var propagation coherency.Propagation
+	switch *prop {
+	case "lazy":
+		propagation = coherency.Lazy
+	case "piggyback":
+		propagation = coherency.Piggyback
+	case "eager":
+		propagation = coherency.Eager
+	default:
+		die(fmt.Errorf("unknown propagation %q", *prop))
+	}
+	n, err := coherency.New(coherency.Options{
+		RVM:         r,
+		Transport:   mesh,
+		Nodes:       ids,
+		Propagation: propagation,
+		PeerLogs:    func(node uint32) wal.Device { return cli.LogDevice(node) },
+	})
+	if err != nil {
+		die(err)
+	}
+	defer n.Close()
+
+	reg, err := n.MapRegion(1, *region)
+	if err != nil {
+		die(err)
+	}
+	segLen := uint64(*region / *locks)
+	for l := 0; l < *locks; l++ {
+		n.AddSegment(coherency.Segment{
+			LockID: uint32(l), Region: 1,
+			Off: uint64(l) * segLen, Len: segLen,
+		})
+	}
+	fmt.Printf("lbcnode %d: mapped %d bytes, waiting for %d peers...\n", *nodeID, *region, len(peers))
+	if err := n.WaitPeers(1, len(peers), 60*time.Second); err != nil {
+		die(err)
+	}
+
+	// Workload: locked fine-grained writes round-robin over segments.
+	// The first 256 bytes of segment 0 are reserved as per-node done
+	// flags for the end-of-run barrier.
+	const flagArea = 256
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	for i := 0; i < *writes; i++ {
+		lock := uint32(i % *locks)
+		tx := n.Begin(rvm.NoRestore)
+		if err := tx.Acquire(lock); err != nil {
+			die(err)
+		}
+		base := uint64(lock) * segLen
+		span := int(segLen) - 16
+		min := 0
+		if lock == 0 {
+			min = flagArea
+			span -= flagArea
+		}
+		off := base + uint64(min+rng.Intn(span))
+		stamp := fmt.Sprintf("n%02d-%06d", *nodeID, i)
+		if err := tx.Write(reg, off, []byte(stamp)); err != nil {
+			die(err)
+		}
+		if _, err := tx.Commit(rvm.NoFlush); err != nil {
+			die(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Barrier: publish our done flag under lock 0, then wait until
+	// every node's flag is visible (each check re-acquires the lock,
+	// so the interlock keeps pulling updates in).
+	tx := n.Begin(rvm.NoRestore)
+	if err := tx.Acquire(0); err != nil {
+		die(err)
+	}
+	if err := tx.Write(reg, uint64(*nodeID), []byte{1}); err != nil {
+		die(err)
+	}
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		die(err)
+	}
+	barrierDeadline := time.Now().Add(2 * time.Minute)
+	for {
+		tx := n.Begin(rvm.NoRestore)
+		if err := tx.Acquire(0); err != nil {
+			die(err)
+		}
+		all := true
+		for _, id := range ids {
+			if reg.Bytes()[uint64(id)] == 0 {
+				all = false
+			}
+		}
+		if _, err := tx.Commit(rvm.NoFlush); err != nil {
+			die(err)
+		}
+		if all {
+			break
+		}
+		if time.Now().After(barrierDeadline) {
+			die(fmt.Errorf("timed out waiting for peers to finish"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Quiesce: one cycle through every lock now observes all updates
+	// (every writer finished before setting its flag).
+	for l := 0; l < *locks; l++ {
+		tx := n.Begin(rvm.NoRestore)
+		if err := tx.Acquire(uint32(l)); err != nil {
+			die(err)
+		}
+		if _, err := tx.Commit(rvm.NoFlush); err != nil {
+			die(err)
+		}
+	}
+	// Exit barrier: publish a second flag and linger until every
+	// node's is visible, so lock managers stay reachable while peers
+	// finish their own quiesce. Eager propagation applies the flags
+	// without further lock traffic; a grace timeout bounds the wait.
+	txe := n.Begin(rvm.NoRestore)
+	if err := txe.Acquire(0); err != nil {
+		die(err)
+	}
+	if err := txe.Write(reg, uint64(16+int(*nodeID)), []byte{1}); err != nil {
+		die(err)
+	}
+	if _, err := txe.Commit(rvm.NoFlush); err != nil {
+		die(err)
+	}
+	exitDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(exitDeadline) {
+		all := true
+		for _, id := range ids {
+			if reg.Bytes()[16+uint64(id)] == 0 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Checksum excludes the barrier-flag area, whose bytes settle at
+	// different times on different nodes.
+	sum := crc32.ChecksumIEEE(reg.Bytes()[flagArea:])
+	s := n.Stats()
+	fmt.Printf("lbcnode %d: %d writes in %v; final image crc32=%08x\n", *nodeID, *writes, elapsed, sum)
+	fmt.Printf("lbcnode %d: sent %d bytes / %d msgs, applied %d records from peers\n",
+		*nodeID,
+		s.Counter(metrics.CtrBytesSent), s.Counter(metrics.CtrMsgsSent),
+		s.Counter(metrics.CtrRecordsApplied))
+}
+
+func parsePeers(spec string) (map[netproto.NodeID]string, error) {
+	out := map[netproto.NodeID]string{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		out[netproto.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "lbcnode:", err)
+	os.Exit(1)
+}

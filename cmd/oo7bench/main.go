@@ -1,0 +1,249 @@
+// Command oo7bench reproduces the paper's OO7 experiments: Table 3
+// (traversal characteristics) and the stacked cost decompositions of
+// Figures 1-3 and 8.
+//
+// Usage:
+//
+//	oo7bench -table3                    # Table 3 rows
+//	oo7bench -fig 1                     # T12-A, T12-C under all engines
+//	oo7bench -fig 2                     # T2-A/B/C, T3-A
+//	oo7bench -fig 3                     # T3-B, T3-C
+//	oo7bench -fig 8                     # RVM configuration comparison
+//	oo7bench -traversal T2-B -engine log
+//
+// Every figure prints both the host-measured decomposition and the
+// decomposition modeled with the paper's Alpha/AN1 constants; the
+// paper's claims are about the latter's shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lbc/internal/bench"
+	"lbc/internal/metrics"
+	"lbc/internal/oo7"
+	"lbc/internal/rangetree"
+	"lbc/internal/rvm"
+)
+
+var (
+	timeNow   = time.Now
+	timeSince = time.Since
+)
+
+// rvmOpenWithImage maps a prebuilt database image into a scratch RVM
+// instance for read-only query runs.
+func rvmOpenWithImage(img []byte) (*rvm.RVM, error) {
+	data := rvm.NewMemStore()
+	if err := data.StoreRegion(1, img); err != nil {
+		return nil, err
+	}
+	r, err := rvm.Open(rvm.Options{Node: 1, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Map(1, len(img)); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		table3    = flag.Bool("table3", false, "print Table 3 (traversal characteristics)")
+		fig       = flag.Int("fig", 0, "reproduce figure 1, 2, 3, or 8")
+		traversal = flag.String("traversal", "", "run one traversal (e.g. T2-B)")
+		engine    = flag.String("engine", "all", "log | cpycmp | page | all")
+		queries   = flag.Bool("queries", false, "run the OO7 query suite (Q1-Q7)")
+		tiny      = flag.Bool("tiny", false, "use the tiny OO7 config (fast smoke test)")
+		diskDir   = flag.String("disklog", "", "directory for disk-backed logs (fig 8)")
+	)
+	flag.Parse()
+
+	cfg := oo7.Small()
+	if *tiny {
+		cfg = oo7.Tiny()
+	}
+
+	switch {
+	case *table3:
+		printTable3(cfg)
+	case *queries:
+		printQueries(cfg)
+	case *fig == 1:
+		printFigure(cfg, 1, []string{"T12-A", "T12-C"})
+	case *fig == 2:
+		printFigure(cfg, 2, []string{"T2-A", "T2-B", "T2-C", "T3-A"})
+	case *fig == 3:
+		printFigure(cfg, 3, []string{"T3-B", "T3-C"})
+	case *fig == 8:
+		printFigure8(cfg, *diskDir)
+	case *traversal != "":
+		for _, e := range engines(*engine) {
+			runOne(cfg, *traversal, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func engines(sel string) []bench.EngineKind {
+	switch sel {
+	case "log":
+		return []bench.EngineKind{bench.EngineLog}
+	case "cpycmp":
+		return []bench.EngineKind{bench.EngineCpyCmp}
+	case "page":
+		return []bench.EngineKind{bench.EnginePage}
+	default:
+		return []bench.EngineKind{bench.EngineLog, bench.EngineCpyCmp, bench.EnginePage}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "oo7bench:", err)
+	os.Exit(1)
+}
+
+// printTable3 reproduces Table 3: updates, unique bytes, message
+// bytes, and pages for every update traversal.
+func printTable3(cfg oo7.Config) {
+	fmt.Println("Table 3: Summary of OO7 update-traversal characteristics")
+	fmt.Printf("%-8s %12s %12s %12s %8s\n", "Trav", "Updates", "BytesUpd", "MsgBytes", "Pages")
+	paper := map[string][4]int{
+		"T12-A": {2187, 4000, 6000, 500},
+		"T12-C": {8748, 4000, 6000, 500},
+		"T2-A":  {2187, 4000, 6000, 500},
+		"T2-B":  {43740, 80000, 120000, 618},
+		"T2-C":  {174960, 80000, 120000, 618},
+		"T3-A":  {16924, 31300, 39000, 552},
+		"T3-B":  {248632, 114650, 163300, 667},
+		"T3-C":  {1502708, 115100, 163800, 670},
+	}
+	for _, name := range bench.Traversals {
+		res, err := bench.Run(bench.RunConfig{Traversal: name, Engine: bench.EngineLog, OO7: cfg})
+		if err != nil {
+			die(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-8s %12d %12d %12d %8d", name, s.Updates, s.UniqueBytes, s.MessageBytes, s.PagesUpdated)
+		if p, ok := paper[name]; ok && cfg.NumComposite == 500 {
+			fmt.Printf("   (paper: %d / %d / %d / %d)", p[0], p[1], p[2], p[3])
+		}
+		fmt.Println()
+	}
+}
+
+// printFigure prints the stacked decomposition of one figure's
+// traversals under all three engines.
+func printFigure(cfg oo7.Config, fig int, traversals []string) {
+	fmt.Printf("Figure %d: OO7 traversal cost decomposition (Log vs Cpy/Cmp vs Page)\n\n", fig)
+	for _, name := range traversals {
+		fmt.Printf("== %s ==\n", name)
+		for _, e := range []bench.EngineKind{bench.EngineLog, bench.EngineCpyCmp, bench.EnginePage} {
+			res, err := bench.Run(bench.RunConfig{Traversal: name, Engine: e, OO7: cfg})
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("  modeled(Alpha)  %s\n", res.ModeledAlpha)
+			fmt.Printf("  measured(host)  %-8s detect=%9.1fus collect=%9.1fus disk=%9.1fus net=%9.1fus apply=%9.1fus wall=%v\n",
+				e,
+				us(res.Measured, metrics.PhaseDetect),
+				us(res.Measured, metrics.PhaseCollect),
+				us(res.Measured, metrics.PhaseDiskIO),
+				us(res.Measured, metrics.PhaseNetIO),
+				us(res.Measured, metrics.PhaseApply),
+				res.Wall)
+		}
+		fmt.Println()
+	}
+}
+
+// printFigure8 compares log-based coherency with and without disk
+// logging against optimized and standard single-node RVM on T12-A.
+func printFigure8(cfg oo7.Config, diskDir string) {
+	if diskDir == "" {
+		d, err := os.MkdirTemp("", "lbc-fig8-")
+		if err != nil {
+			die(err)
+		}
+		defer os.RemoveAll(d)
+		diskDir = d
+	}
+	type column struct {
+		name string
+		run  bench.RunConfig
+	}
+	cols := []column{
+		{"Log-Based Coherency", bench.RunConfig{Traversal: "T12-A", Engine: bench.EngineLog, OO7: cfg}},
+		{"Log-Based Coherency (Disk)", bench.RunConfig{Traversal: "T12-A", Engine: bench.EngineLog, OO7: cfg, DiskLog: diskDir}},
+		{"Optimized RVM", bench.RunConfig{Traversal: "T12-A", Engine: bench.EngineLog, OO7: cfg, Nodes: 1}},
+		{"Standard RVM", bench.RunConfig{Traversal: "T12-A", Engine: bench.EngineLog, OO7: cfg, Nodes: 1, Policy: rangetree.CoalesceFull}},
+	}
+	fmt.Println("Figure 8: coherency vs recoverability overheads on T12-A")
+	for _, c := range cols {
+		res, err := bench.Run(c.run)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-28s detect=%9.1fus collect=%9.1fus disk=%9.1fus net=%9.1fus apply=%9.1fus wall=%v\n",
+			c.name,
+			us(res.Measured, metrics.PhaseDetect),
+			us(res.Measured, metrics.PhaseCollect),
+			us(res.Measured, metrics.PhaseDiskIO),
+			us(res.Measured, metrics.PhaseNetIO),
+			us(res.Measured, metrics.PhaseApply),
+			res.Wall)
+	}
+}
+
+// printQueries runs the OO7 query suite against a freshly built
+// database (read-only; no cluster needed).
+func printQueries(cfg oo7.Config) {
+	img, err := bench.BuildImage(cfg)
+	if err != nil {
+		die(err)
+	}
+	r, err := rvmOpenWithImage(img)
+	if err != nil {
+		die(err)
+	}
+	db, err := oo7.Open(r.Region(1))
+	if err != nil {
+		die(err)
+	}
+	run := func(name string, f func() int) {
+		start := timeNow()
+		n := f()
+		fmt.Printf("%-4s %10d matches %12v\n", name, n, timeSince(start))
+	}
+	fmt.Println("OO7 query suite")
+	dates := []int64{1500, 2500, 5000, 7500, 9000}
+	run("Q1", func() int { return db.Q1(dates) })
+	run("Q2", db.Q2)
+	run("Q3", db.Q3)
+	run("Q4", func() int { return db.Q4([]int{0, 100, 350, 700}) })
+	run("Q5", db.Q5)
+	run("Q7", db.Q7)
+}
+
+func runOne(cfg oo7.Config, traversal string, e bench.EngineKind) {
+	res, err := bench.Run(bench.RunConfig{Traversal: traversal, Engine: e, OO7: cfg})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s under %v:\n", traversal, e)
+	fmt.Printf("  traversal: %+v\n", res.Traversal)
+	fmt.Printf("  stats:     %+v (faults=%d)\n", res.Stats, res.Faults)
+	fmt.Printf("  modeled:   %s\n", res.ModeledAlpha)
+	fmt.Printf("  measured:\n%s", res.Measured.Format())
+	fmt.Printf("  wall: %v\n", res.Wall)
+}
+
+func us(s metrics.Snapshot, p metrics.Phase) float64 {
+	return float64(s.Phase(p).Nanoseconds()) / 1e3
+}

@@ -1,0 +1,60 @@
+// Command storeserver runs the centralized storage service: the home
+// of the permanent database images and the per-node redo logs (the
+// role the paper's prototype gave an NFS server, §3).
+//
+//	storeserver -listen 0.0.0.0:7070 -dir /var/lib/lbc
+//
+// With -dir the images and logs persist on local disk; without it the
+// server is memory-backed (useful for experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	flag.Parse()
+
+	opts := store.ServerOptions{}
+	if *dir != "" {
+		data, err := rvm.NewDirStore(filepath.Join(*dir, "data"))
+		if err != nil {
+			die(err)
+		}
+		logDir := filepath.Join(*dir, "logs")
+		if err := os.MkdirAll(logDir, 0o755); err != nil {
+			die(err)
+		}
+		opts.Data = data
+		opts.NewLog = func(node uint32) (wal.Device, error) {
+			return wal.OpenFileDevice(filepath.Join(logDir, fmt.Sprintf("node-%d.log", node)))
+		}
+	}
+	srv, err := store.NewServer(*listen, opts)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("storeserver: listening on %s (dir=%q)\n", srv.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("storeserver: shutting down")
+	srv.Close()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "storeserver:", err)
+	os.Exit(1)
+}

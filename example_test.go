@@ -1,0 +1,121 @@
+package lbc_test
+
+import (
+	"fmt"
+	"log"
+
+	lbc "lbc"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Example shows the full life of a shared update: committed on one
+// node, observed under the lock on another, and recovered from the
+// merged logs.
+func Example() {
+	cluster, err := lbc.NewLocalCluster(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, 4096); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Barrier(1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Node A commits under segment lock 0.
+	a := cluster.Node(0)
+	tx := a.Begin(lbc.NoRestore)
+	if err := tx.Acquire(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Write(a.RVM().Region(1), 0, []byte("shared state")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Commit(lbc.NoFlush); err != nil {
+		log.Fatal(err)
+	}
+
+	// Node B acquires the same lock: the interlock guarantees the
+	// update has been applied before the acquire returns.
+	b := cluster.Node(1)
+	tx2 := b.Begin(lbc.NoRestore)
+	if err := tx2.Acquire(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node B reads %q\n", b.RVM().Region(1).Bytes()[:12])
+	tx2.Commit(lbc.NoFlush)
+
+	// The same log records recover the database.
+	merged := wal.NewMemDevice()
+	if _, err := lbc.MergeLogs(merged, cluster.Log(0), cluster.Log(1)); err != nil {
+		log.Fatal(err)
+	}
+	data := rvm.NewMemStore()
+	data.StoreRegion(1, make([]byte, 4096))
+	res, err := lbc.Recover(merged, data, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, _ := data.LoadRegion(1)
+	fmt.Printf("recovery replayed %d records: %q\n", res.Records, img[:12])
+	// Output:
+	// node B reads "shared state"
+	// recovery replayed 2 records: "shared state"
+}
+
+// ExampleNewLocalCluster_withStore runs the paper's client/server
+// configuration: logs and database live on a storage server and
+// commits flush to it.
+func ExampleNewLocalCluster_withStore() {
+	cluster, err := lbc.NewLocalCluster(2, lbc.WithStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 1024)
+	cluster.Barrier(1)
+
+	n := cluster.Node(0)
+	tx := n.Begin(lbc.NoRestore)
+	tx.Acquire(0)
+	tx.Write(n.RVM().Region(1), 0, []byte("durable"))
+	if _, err := tx.Commit(lbc.Flush); err != nil {
+		log.Fatal(err)
+	}
+	dev, _ := cluster.Store().Log(1)
+	sz, _ := dev.Size()
+	fmt.Printf("server log holds %v bytes: %v\n", sz > 0, err == nil)
+	// Output:
+	// server log holds true bytes: true
+}
+
+// ExampleTx_Abort demonstrates restore-mode rollback: the image is
+// restored and no coherency traffic is generated.
+func ExampleTx_Abort() {
+	cluster, err := lbc.NewLocalCluster(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 64)
+
+	n := cluster.Node(0)
+	reg := n.RVM().Region(1)
+	seed := n.Begin(lbc.NoRestore)
+	seed.Acquire(0)
+	seed.Write(reg, 0, []byte("keep"))
+	seed.Commit(lbc.NoFlush)
+
+	tx := n.Begin(lbc.Restore)
+	tx.Acquire(0)
+	tx.Write(reg, 0, []byte("oops"))
+	if err := tx.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after abort: %q\n", reg.Bytes()[:4])
+	// Output:
+	// after abort: "keep"
+}

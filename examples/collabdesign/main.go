@@ -1,0 +1,126 @@
+// Collabdesign: the paper's motivating workload — a group of
+// collaborating designers at different workstations making
+// fine-grained edits to a shared design under coarse-grained segment
+// locks ("coarse-grain locks can support fine-grain sharing", §6).
+//
+// Three nodes share a design library of cells. The library is split
+// into three segments, each under one lock. Every designer repeatedly
+// locks a segment, tweaks a few bytes of one cell, and commits; the
+// commit's log tail updates the other two caches. At the end all
+// caches are bit-identical, and the printed statistics show the point
+// of log-based coherency: the bytes on the wire track the bytes
+// *modified*, not the (coarse) locking grain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	lbc "lbc"
+	"lbc/internal/metrics"
+)
+
+const (
+	regionID   = 1
+	cellSize   = 256
+	cellsPerSg = 64
+	segments   = 3
+	regionSize = segments * cellsPerSg * cellSize
+	editsEach  = 40
+)
+
+func main() {
+	cluster, err := lbc.NewLocalCluster(3, lbc.WithTCP(), lbc.WithCheckLocks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(regionID, regionSize); err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < segments; s++ {
+		cluster.AddSegmentAll(lbc.Segment{
+			LockID: uint32(s),
+			Region: regionID,
+			Off:    uint64(s * cellsPerSg * cellSize),
+			Len:    uint64(cellsPerSg * cellSize),
+		})
+	}
+	if err := cluster.Barrier(regionID); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for d := 0; d < cluster.Size(); d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			designer(cluster.Node(d), rand.New(rand.NewSource(int64(d))))
+		}(d)
+	}
+	wg.Wait()
+
+	// Quiesce: touching every lock on every node guarantees all
+	// updates are applied (the acquire interlock).
+	for i := 0; i < cluster.Size(); i++ {
+		n := cluster.Node(i)
+		for s := 0; s < segments; s++ {
+			tx := n.Begin(lbc.NoRestore)
+			if err := tx.Acquire(uint32(s)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := tx.Commit(lbc.NoFlush); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	base := cluster.Node(0).RVM().Region(regionID).Bytes()
+	for i := 1; i < cluster.Size(); i++ {
+		img := cluster.Node(i).RVM().Region(regionID).Bytes()
+		for j := range base {
+			if base[j] != img[j] {
+				log.Fatalf("designer %d diverged at byte %d", i+1, j)
+			}
+		}
+	}
+	fmt.Printf("%d designers, %d edits each: all caches identical (%d KB region)\n",
+		cluster.Size(), editsEach, regionSize/1024)
+
+	for i := 0; i < cluster.Size(); i++ {
+		s := cluster.Node(i).Stats()
+		fmt.Printf("designer %d: modified %5d bytes, sent %6d wire bytes in %3d msgs, applied %5d bytes from peers\n",
+			i+1,
+			s.Counter(metrics.CtrBytesLogged),
+			s.Counter(metrics.CtrBytesSent),
+			s.Counter(metrics.CtrMsgsSent),
+			s.Counter(metrics.CtrBytesApplied))
+	}
+	fmt.Println("note: lock grain is a whole 16 KB segment; wire traffic tracks the few bytes edited")
+}
+
+// designer makes fine-grained edits: lock a whole segment, edit ~8
+// bytes of one cell, commit.
+func designer(n *lbc.Node, rng *rand.Rand) {
+	reg := n.RVM().Region(regionID)
+	for e := 0; e < editsEach; e++ {
+		seg := rng.Intn(segments)
+		cell := rng.Intn(cellsPerSg)
+		off := uint64(seg*cellsPerSg*cellSize + cell*cellSize + rng.Intn(cellSize-8))
+
+		tx := n.Begin(lbc.NoRestore)
+		if err := tx.Acquire(uint32(seg)); err != nil {
+			log.Fatal(err)
+		}
+		edit := make([]byte, rng.Intn(7)+1)
+		rng.Read(edit)
+		if err := tx.Write(reg, off, edit); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tx.Commit(lbc.NoFlush); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

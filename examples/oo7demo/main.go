@@ -1,0 +1,83 @@
+// Oo7demo runs the paper's evaluation workload end-to-end on a live
+// two-node cluster: node 1 builds the OO7 database, both nodes map it,
+// node 1 runs update traversals under a segment lock, and node 2's
+// cache follows via log-based coherency. The printed statistics are
+// Table 3's columns plus the wire traffic that kept node 2 current.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lbc "lbc"
+	"lbc/internal/bench"
+	"lbc/internal/metrics"
+	"lbc/internal/oo7"
+	"lbc/internal/wal"
+)
+
+func main() {
+	cfg := oo7.Small()
+	img, err := bench.BuildImage(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built OO7 small: %d composites x %d atomics, %d base assemblies, %d KB image\n",
+		cfg.NumComposite, cfg.AtomicPerComposite, cfg.BaseAssemblies(), len(img)/1024)
+
+	cluster, err := lbc.NewLocalCluster(2, lbc.WithTCP(), lbc.WithSeedImage(1, img))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, len(img)); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Barrier(1); err != nil {
+		log.Fatal(err)
+	}
+	writer, reader := cluster.Node(0), cluster.Node(1)
+	db, err := oo7.Open(writer.RVM().Region(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"T12-A", "T2-A", "T2-B", "T3-A"} {
+		before := writer.Stats().Snapshot()
+		tx := writer.Begin(lbc.NoRestore)
+		if err := tx.Acquire(0); err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.RunTraversal(db, tx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := tx.Commit(lbc.NoFlush)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diff := writer.Stats().Snapshot().Sub(before)
+		fmt.Printf("%-6s %7d updates -> %6d unique bytes in %5d ranges, %6d wire bytes\n",
+			name, res.Updates, rec.DataBytes(), len(rec.Ranges),
+			rec.DataBytes()+wal.CompressedHeaderBytes(rec))
+		_ = diff
+	}
+
+	// The reader quiesces through the lock; its cache now matches.
+	tx := reader.Begin(lbc.NoRestore)
+	if err := tx.Acquire(0); err != nil {
+		log.Fatal(err)
+	}
+	tx.Commit(lbc.NoFlush)
+	rdb, err := oo7.Open(reader.RVM().Region(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rdb.Validate(); err != nil {
+		log.Fatalf("reader's replica failed OO7 validation: %v", err)
+	}
+	fmt.Printf("reader replica validated: %d parts indexed, %d records applied, %d bytes received\n",
+		rdb.Index().Count(),
+		reader.Stats().Counter(metrics.CtrRecordsApplied),
+		reader.Stats().Counter(metrics.CtrBytesApplied))
+}

@@ -1,0 +1,104 @@
+package lbc
+
+import (
+	"testing"
+	"time"
+
+	"lbc/internal/rvm"
+)
+
+func TestPiggybackOption(t *testing.T) {
+	cluster, err := NewLocalCluster(2, WithPropagation(Piggyback))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 4096)
+	cluster.Barrier(1)
+
+	a, b := cluster.Node(0), cluster.Node(1)
+	tx := a.Begin(NoRestore)
+	tx.Acquire(0)
+	tx.Write(a.RVM().Region(1), 0, []byte("via token"))
+	if _, err := tx.Commit(NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := b.Begin(NoRestore)
+	if err := tx2.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	got := string(b.RVM().Region(1).Bytes()[:9])
+	tx2.Commit(NoFlush)
+	if got != "via token" {
+		t.Fatalf("peer sees %q", got)
+	}
+}
+
+func TestReplicatedStoreOption(t *testing.T) {
+	cluster, err := NewLocalCluster(2, WithReplicatedStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 4096)
+	cluster.Barrier(1)
+
+	a := cluster.Node(0)
+	tx := a.Begin(NoRestore)
+	tx.Acquire(0)
+	tx.Write(a.RVM().Region(1), 0, []byte("mirrored"))
+	if _, err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	// The backup holds the log too; recover from it.
+	backup := cluster.StoreBackup()
+	if backup == nil {
+		t.Fatal("no backup server")
+	}
+	dev, err := backup.Log(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rvm.Recover(dev, backup.Data(), rvm.RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 {
+		t.Fatalf("backup recovered %d records", res.Records)
+	}
+	img, err := backup.Data().LoadRegion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img[:8]) != "mirrored" {
+		t.Fatalf("backup image = %q", img[:8])
+	}
+}
+
+func TestCoordinatedCheckpointViaFacade(t *testing.T) {
+	cluster, err := NewLocalCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 4096)
+	cluster.Barrier(1)
+
+	for i := 0; i < 3; i++ {
+		n := cluster.Node(i)
+		tx := n.Begin(NoRestore)
+		tx.Acquire(0)
+		tx.Write(n.RVM().Region(1), uint64(i*8), []byte("x"))
+		if _, err := tx.Commit(NoFlush); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cluster.Node(1).CoordinatedCheckpoint([]uint32{0}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if sz, _ := cluster.Log(i).Size(); sz != 0 {
+			t.Fatalf("node %d log not trimmed: %d bytes", i+1, sz)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module lbc
+
+go 1.22

@@ -1,0 +1,436 @@
+// Package avltree implements the OO7 part index: an AVL-balanced
+// search tree resident in an RVM region ("a threaded AVL-balanced tree
+// is used for the part index", §4.1). Keys are (buildDate, partID)
+// pairs — partID disambiguates equal dates — and all structural
+// mutations go through the transaction's SetRange, so index updates
+// are logged, recoverable, and coherent like any other object write.
+//
+// This is the structure responsible for T3's update amplification: one
+// atomic-part date change deletes and re-inserts an index entry,
+// touching several nodes (the paper reports an average of seven index
+// updates per atomic-part update).
+package avltree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lbc/internal/pheap"
+	"lbc/internal/rvm"
+)
+
+// Node layout (region-resident, 24 bytes):
+//
+//	+0  date   i32
+//	+4  part   u32
+//	+8  left   u32 (payload offset; 0 = nil)
+//	+12 right  u32
+//	+16 height u32
+//	+20 pad    u32
+const nodeSize = 24
+
+// Tree is a handle to a region-resident AVL index. The root pointer is
+// a 4-byte cell at rootCell, owned by the caller (typically a field of
+// a database header).
+type Tree struct {
+	reg      *rvm.Region
+	heap     *pheap.Heap
+	rootCell uint64
+	// spare caches the most recently deleted node for reuse by the
+	// next insert, so the delete+insert pair of a T3 date change skips
+	// the allocator round trip (fewer set_range calls per index
+	// update, as in the paper's ~7-writes-per-update index). The cache
+	// lives in the handle, not the region: a crash between the delete
+	// and the reuse leaks one 40-byte block, which recovery tolerates.
+	spare uint32
+}
+
+// ErrRegionTooLarge guards the 32-bit node offsets.
+var ErrRegionTooLarge = errors.New("avltree: region exceeds 4 GB offset space")
+
+// New attaches a Tree to a root-pointer cell. The cell must be zeroed
+// for an empty tree (a freshly formatted region already is).
+func New(reg *rvm.Region, heap *pheap.Heap, rootCell uint64) (*Tree, error) {
+	if uint64(reg.Size()) > 1<<32 {
+		return nil, ErrRegionTooLarge
+	}
+	return &Tree{reg: reg, heap: heap, rootCell: rootCell}, nil
+}
+
+func (t *Tree) u32(off uint64) uint32 {
+	return binary.LittleEndian.Uint32(t.reg.Bytes()[off:])
+}
+
+// put32 writes a 4-byte field if its value changed, declaring the
+// range first. Skipping no-op writes keeps the set_range counts (the
+// "Updates" column of Table 3) honest.
+func (t *Tree) put32(tx pheap.SetRanger, off uint64, v uint32) error {
+	if t.u32(off) == v {
+		return nil
+	}
+	if err := tx.SetRange(t.reg, off, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(t.reg.Bytes()[off:], v)
+	return nil
+}
+
+func (t *Tree) date(n uint32) int32   { return int32(t.u32(uint64(n))) }
+func (t *Tree) part(n uint32) uint32  { return t.u32(uint64(n) + 4) }
+func (t *Tree) left(n uint32) uint32  { return t.u32(uint64(n) + 8) }
+func (t *Tree) right(n uint32) uint32 { return t.u32(uint64(n) + 12) }
+
+func (t *Tree) height(n uint32) int {
+	if n == 0 {
+		return 0
+	}
+	return int(t.u32(uint64(n) + 16))
+}
+
+func (t *Tree) setLeft(tx pheap.SetRanger, n, v uint32) error {
+	return t.put32(tx, uint64(n)+8, v)
+}
+func (t *Tree) setRight(tx pheap.SetRanger, n, v uint32) error {
+	return t.put32(tx, uint64(n)+12, v)
+}
+
+func (t *Tree) fixHeight(tx pheap.SetRanger, n uint32) error {
+	h := max(t.height(t.left(n)), t.height(t.right(n))) + 1
+	return t.put32(tx, uint64(n)+16, uint32(h))
+}
+
+func (t *Tree) balance(n uint32) int {
+	return t.height(t.left(n)) - t.height(t.right(n))
+}
+
+// Root returns the current root offset (0 when empty).
+func (t *Tree) Root() uint32 { return t.u32(t.rootCell) }
+
+// keyLess orders (date, part) pairs.
+func keyLess(d1 int32, p1 uint32, d2 int32, p2 uint32) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return p1 < p2
+}
+
+// Insert adds (date, part) to the index. Inserting a key that is
+// already present is an error (OO7 part ids are unique per date entry).
+func (t *Tree) Insert(tx pheap.SetRanger, date int32, part uint32) error {
+	newRoot, err := t.insert(tx, t.Root(), date, part)
+	if err != nil {
+		return err
+	}
+	return t.put32(tx, t.rootCell, newRoot)
+}
+
+func (t *Tree) insert(tx pheap.SetRanger, n uint32, date int32, part uint32) (uint32, error) {
+	if n == 0 {
+		var off uint64
+		if t.spare != 0 {
+			off = uint64(t.spare)
+			t.spare = 0
+		} else {
+			var err error
+			off, err = t.heap.Alloc(tx, nodeSize)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if off >= 1<<32 {
+			return 0, ErrRegionTooLarge
+		}
+		if err := tx.SetRange(t.reg, off, nodeSize); err != nil {
+			return 0, err
+		}
+		b := t.reg.Bytes()
+		binary.LittleEndian.PutUint32(b[off:], uint32(date))
+		binary.LittleEndian.PutUint32(b[off+4:], part)
+		binary.LittleEndian.PutUint32(b[off+8:], 0)
+		binary.LittleEndian.PutUint32(b[off+12:], 0)
+		binary.LittleEndian.PutUint32(b[off+16:], 1)
+		binary.LittleEndian.PutUint32(b[off+20:], 0)
+		return uint32(off), nil
+	}
+	switch {
+	case keyLess(date, part, t.date(n), t.part(n)):
+		nl, err := t.insert(tx, t.left(n), date, part)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.setLeft(tx, n, nl); err != nil {
+			return 0, err
+		}
+	case keyLess(t.date(n), t.part(n), date, part):
+		nr, err := t.insert(tx, t.right(n), date, part)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.setRight(tx, n, nr); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("avltree: duplicate key (%d,%d)", date, part)
+	}
+	return t.rebalance(tx, n)
+}
+
+// Delete removes (date, part), reporting whether it was present.
+func (t *Tree) Delete(tx pheap.SetRanger, date int32, part uint32) (bool, error) {
+	newRoot, found, err := t.delete(tx, t.Root(), date, part)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	return true, t.put32(tx, t.rootCell, newRoot)
+}
+
+func (t *Tree) delete(tx pheap.SetRanger, n uint32, date int32, part uint32) (uint32, bool, error) {
+	if n == 0 {
+		return 0, false, nil
+	}
+	var found bool
+	switch {
+	case keyLess(date, part, t.date(n), t.part(n)):
+		nl, f, err := t.delete(tx, t.left(n), date, part)
+		if err != nil {
+			return 0, false, err
+		}
+		found = f
+		if found {
+			if err := t.setLeft(tx, n, nl); err != nil {
+				return 0, false, err
+			}
+		}
+	case keyLess(t.date(n), t.part(n), date, part):
+		nr, f, err := t.delete(tx, t.right(n), date, part)
+		if err != nil {
+			return 0, false, err
+		}
+		found = f
+		if found {
+			if err := t.setRight(tx, n, nr); err != nil {
+				return 0, false, err
+			}
+		}
+	default:
+		// Remove n itself.
+		found = true
+		l, r := t.left(n), t.right(n)
+		switch {
+		case l == 0 && r == 0:
+			if err := t.freeNode(tx, n); err != nil {
+				return 0, false, err
+			}
+			return 0, true, nil
+		case l == 0:
+			if err := t.freeNode(tx, n); err != nil {
+				return 0, false, err
+			}
+			return r, true, nil
+		case r == 0:
+			if err := t.freeNode(tx, n); err != nil {
+				return 0, false, err
+			}
+			return l, true, nil
+		default:
+			// Two children: overwrite n's key with its in-order
+			// successor's, then delete the successor from the right
+			// subtree.
+			s := r
+			for t.left(s) != 0 {
+				s = t.left(s)
+			}
+			sd, sp := t.date(s), t.part(s)
+			if err := t.put32(tx, uint64(n), uint32(sd)); err != nil {
+				return 0, false, err
+			}
+			if err := t.put32(tx, uint64(n)+4, sp); err != nil {
+				return 0, false, err
+			}
+			nr, _, err := t.delete(tx, r, sd, sp)
+			if err != nil {
+				return 0, false, err
+			}
+			if err := t.setRight(tx, n, nr); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	if !found {
+		return n, false, nil
+	}
+	nn, err := t.rebalance(tx, n)
+	return nn, true, err
+}
+
+// freeNode recycles a deleted node: the single-node spare cache first,
+// the persistent free list otherwise.
+func (t *Tree) freeNode(tx pheap.SetRanger, n uint32) error {
+	if t.spare == 0 {
+		t.spare = n
+		return nil
+	}
+	return t.heap.Free(tx, uint64(n))
+}
+
+// rebalance restores the AVL property at n and returns the subtree's
+// (possibly new) root.
+func (t *Tree) rebalance(tx pheap.SetRanger, n uint32) (uint32, error) {
+	if err := t.fixHeight(tx, n); err != nil {
+		return 0, err
+	}
+	b := t.balance(n)
+	switch {
+	case b > 1:
+		if t.balance(t.left(n)) < 0 {
+			nl, err := t.rotateLeft(tx, t.left(n))
+			if err != nil {
+				return 0, err
+			}
+			if err := t.setLeft(tx, n, nl); err != nil {
+				return 0, err
+			}
+		}
+		return t.rotateRight(tx, n)
+	case b < -1:
+		if t.balance(t.right(n)) > 0 {
+			nr, err := t.rotateRight(tx, t.right(n))
+			if err != nil {
+				return 0, err
+			}
+			if err := t.setRight(tx, n, nr); err != nil {
+				return 0, err
+			}
+		}
+		return t.rotateLeft(tx, n)
+	}
+	return n, nil
+}
+
+func (t *Tree) rotateLeft(tx pheap.SetRanger, n uint32) (uint32, error) {
+	r := t.right(n)
+	if err := t.setRight(tx, n, t.left(r)); err != nil {
+		return 0, err
+	}
+	if err := t.setLeft(tx, r, n); err != nil {
+		return 0, err
+	}
+	if err := t.fixHeight(tx, n); err != nil {
+		return 0, err
+	}
+	return r, t.fixHeight(tx, r)
+}
+
+func (t *Tree) rotateRight(tx pheap.SetRanger, n uint32) (uint32, error) {
+	l := t.left(n)
+	if err := t.setLeft(tx, n, t.right(l)); err != nil {
+		return 0, err
+	}
+	if err := t.setRight(tx, l, n); err != nil {
+		return 0, err
+	}
+	if err := t.fixHeight(tx, n); err != nil {
+		return 0, err
+	}
+	return l, t.fixHeight(tx, l)
+}
+
+// Contains reports whether (date, part) is indexed.
+func (t *Tree) Contains(date int32, part uint32) bool {
+	n := t.Root()
+	for n != 0 {
+		switch {
+		case keyLess(date, part, t.date(n), t.part(n)):
+			n = t.left(n)
+		case keyLess(t.date(n), t.part(n), date, part):
+			n = t.right(n)
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of indexed entries.
+func (t *Tree) Count() int {
+	var walk func(n uint32) int
+	walk = func(n uint32) int {
+		if n == 0 {
+			return 0
+		}
+		return 1 + walk(t.left(n)) + walk(t.right(n))
+	}
+	return walk(t.Root())
+}
+
+// Range visits entries with from <= date <= to in key order, stopping
+// when fn returns false.
+func (t *Tree) Range(from, to int32, fn func(date int32, part uint32) bool) {
+	var walk func(n uint32) bool
+	walk = func(n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		if t.date(n) >= from {
+			if !walk(t.left(n)) {
+				return false
+			}
+		}
+		if t.date(n) >= from && t.date(n) <= to {
+			if !fn(t.date(n), t.part(n)) {
+				return false
+			}
+		}
+		if t.date(n) <= to {
+			return walk(t.right(n))
+		}
+		return true
+	}
+	walk(t.Root())
+}
+
+// CheckInvariants validates ordering, balance, and stored heights.
+func (t *Tree) CheckInvariants() error {
+	var prevD int32
+	var prevP uint32
+	have := false
+	var walk func(n uint32) (int, error)
+	walk = func(n uint32) (int, error) {
+		if n == 0 {
+			return 0, nil
+		}
+		lh, err := walk(t.left(n))
+		if err != nil {
+			return 0, err
+		}
+		if have && !keyLess(prevD, prevP, t.date(n), t.part(n)) {
+			return 0, fmt.Errorf("avltree: ordering violated at (%d,%d)", t.date(n), t.part(n))
+		}
+		prevD, prevP, have = t.date(n), t.part(n), true
+		rh, err := walk(t.right(n))
+		if err != nil {
+			return 0, err
+		}
+		if d := lh - rh; d < -1 || d > 1 {
+			return 0, fmt.Errorf("avltree: imbalance %d at (%d,%d)", d, t.date(n), t.part(n))
+		}
+		h := max(lh, rh) + 1
+		if t.height(n) != h {
+			return 0, fmt.Errorf("avltree: height %d != %d at (%d,%d)", t.height(n), h, t.date(n), t.part(n))
+		}
+		return h, nil
+	}
+	_, err := walk(t.Root())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

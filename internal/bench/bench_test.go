@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"lbc/internal/coherency"
+	"lbc/internal/oo7"
+	"lbc/internal/rangetree"
+)
+
+// tinyRun returns a RunConfig against the fast test database.
+func tinyRun(traversal string, engine EngineKind) RunConfig {
+	return RunConfig{
+		Traversal: traversal,
+		Engine:    engine,
+		OO7:       oo7.Tiny(),
+		NoTCP:     true,
+	}
+}
+
+func TestBuildImageCached(t *testing.T) {
+	a, err := BuildImage(oo7.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildImage(oo7.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("cache returned different image")
+	}
+}
+
+func TestRunLogEngine(t *testing.T) {
+	res, err := Run(tinyRun("T12-A", EngineLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := oo7.Tiny().BaseAssemblies() * oo7.Tiny().CompPerBase
+	if res.Traversal.Updates != visits {
+		t.Fatalf("updates = %d, want %d", res.Traversal.Updates, visits)
+	}
+	if res.Stats.UniqueBytes == 0 || res.Stats.MessageBytes <= res.Stats.UniqueBytes {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if res.Measured.Total() == 0 {
+		t.Fatal("no measured time")
+	}
+	if res.ModeledAlpha.Total() == 0 {
+		t.Fatal("no modeled cost")
+	}
+}
+
+func TestRunDSMEngines(t *testing.T) {
+	for _, e := range []EngineKind{EngineCpyCmp, EnginePage} {
+		res, err := Run(tinyRun("T12-A", e))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if res.Faults == 0 {
+			t.Fatalf("%v: no faults recorded", e)
+		}
+		if res.Stats.PagesUpdated != int(res.Faults) {
+			t.Fatalf("%v: pages %d != faults %d", e, res.Stats.PagesUpdated, res.Faults)
+		}
+		if e == EnginePage && res.Stats.UniqueBytes < res.Stats.PagesUpdated*8192 {
+			t.Fatalf("Page engine sent %d bytes for %d pages", res.Stats.UniqueBytes, res.Stats.PagesUpdated)
+		}
+	}
+}
+
+func TestEnginesConvergeToSameImage(t *testing.T) {
+	// All three engines must leave the receiver with the writer's
+	// image (functional equivalence of the coherency designs).
+	for _, e := range []EngineKind{EngineLog, EngineCpyCmp, EnginePage} {
+		cfg := tinyRun("T2-B", e)
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	cfg := tinyRun("T12-A", EngineLog)
+	cfg.Nodes = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.Counters["msgs_sent"] != 0 {
+		t.Fatal("single-node run sent coherency traffic")
+	}
+}
+
+func TestRunDiskLog(t *testing.T) {
+	cfg := tinyRun("T12-A", EngineLog)
+	cfg.DiskLog = t.TempDir()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.Counters["log_flushes"] != 1 {
+		t.Fatalf("flushes = %d", res.Measured.Counters["log_flushes"])
+	}
+}
+
+func TestRunStandardPolicyAblation(t *testing.T) {
+	cfg := tinyRun("T2-C", EngineLog)
+	cfg.Policy = rangetree.CoalesceFull
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full coalescing merges adjacent object fields, so unique bytes
+	// stay positive and runs complete. (The time difference is the
+	// ablation benches' business.)
+	if res.Stats.UniqueBytes == 0 {
+		t.Fatal("no bytes logged")
+	}
+}
+
+func TestRunUnknownTraversal(t *testing.T) {
+	if _, err := Run(tinyRun("T99", EngineLog)); err == nil {
+		t.Fatal("unknown traversal accepted")
+	}
+}
+
+func TestPerUpdateCostPatterns(t *testing.T) {
+	const n = 20000
+	un, err := PerUpdateCost(Unordered, n, rangetree.CoalesceExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := PerUpdateCost(Ordered, n, rangetree.CoalesceExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := PerUpdateCost(Redundant, n, rangetree.CoalesceExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("per-update cost @%d: unordered=%.3fus ordered=%.3fus redundant=%.3fus", n, un, or, re)
+	// Figure 5's ordering: redundant < ordered < unordered.
+	if !(re < or && or < un) {
+		t.Fatalf("pattern ordering violated: un=%.3f or=%.3f re=%.3f", un, or, re)
+	}
+}
+
+func TestTraversalRegistryComplete(t *testing.T) {
+	img, _ := BuildImage(oo7.Tiny())
+	_ = img
+	for _, name := range Traversals {
+		if _, err := Run(tinyRun(name, EngineLog)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunPropagationModes(t *testing.T) {
+	for _, p := range []coherency.Propagation{coherency.Eager, coherency.Lazy, coherency.Piggyback} {
+		cfg := tinyRun("T12-A", EngineLog)
+		cfg.Propagation = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Stats.UniqueBytes == 0 {
+			t.Fatalf("%v: no bytes logged", p)
+		}
+		if res.Measured.Counters["records_applied"] < 1 {
+			t.Fatalf("%v: receiver applied nothing", p)
+		}
+	}
+}

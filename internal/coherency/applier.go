@@ -1,0 +1,236 @@
+package coherency
+
+import (
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/wal"
+)
+
+// onUpdate handles an incoming compressed coherency record. The
+// transport owns the payload buffer, so the decoded record (which
+// aliases it) is deep-copied before crossing into the applier.
+func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
+	rec, err := wal.DecodeCompressed(payload)
+	if err != nil {
+		n.stats.Add("decode_errors", 1)
+		return
+	}
+	n.enqueue(copyRecord(rec))
+}
+
+// onUpdateStd handles a standard-encoded record (header ablation mode).
+func (n *Node) onUpdateStd(from netproto.NodeID, payload []byte) {
+	rec, _, err := wal.DecodeStandard(payload)
+	if err != nil {
+		n.stats.Add("decode_errors", 1)
+		return
+	}
+	n.enqueue(rec) // DecodeStandard already copies data
+}
+
+func (n *Node) enqueue(rec *wal.TxRecord) {
+	select {
+	case n.applyCh <- rec:
+	case <-n.done:
+	}
+}
+
+// copyRecord deep-copies a record whose range data aliases a transient
+// buffer.
+func copyRecord(rec *wal.TxRecord) *wal.TxRecord {
+	cp := &wal.TxRecord{
+		Node:       rec.Node,
+		TxSeq:      rec.TxSeq,
+		Checkpoint: rec.Checkpoint,
+		Locks:      append([]wal.LockRec(nil), rec.Locks...),
+		Ranges:     make([]wal.RangeRec, len(rec.Ranges)),
+	}
+	var total int
+	for _, r := range rec.Ranges {
+		total += len(r.Data)
+	}
+	buf := make([]byte, 0, total)
+	for i, r := range rec.Ranges {
+		start := len(buf)
+		buf = append(buf, r.Data...)
+		cp.Ranges[i] = wal.RangeRec{Region: r.Region, Off: r.Off, Data: buf[start:len(buf):len(buf)]}
+	}
+	return cp
+}
+
+// applier is the node's receiver thread (§3.2): it installs incoming
+// records into the local memory image, holding records whose per-lock
+// predecessors have not yet been applied (§3.4). Records that cannot
+// be applied yet are parked rather than blocked on, so out-of-order
+// arrival from different peers cannot deadlock the apply pipeline.
+func (n *Node) applier() {
+	defer n.wg.Done()
+	var parked []*wal.TxRecord
+	var buffered []*wal.TxRecord // versioned mode: awaiting Accept
+	appliedTx := map[uint32]uint64{}
+
+	versioned := func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.versioned
+	}
+
+	drain := func() {
+		for {
+			progress := false
+			keep := parked[:0]
+			for _, rec := range parked {
+				if n.canApply(rec, appliedTx) {
+					n.apply(rec, appliedTx)
+					progress = true
+				} else if !n.stale(rec, appliedTx) {
+					keep = append(keep, rec)
+				}
+			}
+			parked = keep
+			if !progress {
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case rec := <-n.applyCh:
+			if versioned() {
+				buffered = append(buffered, rec)
+				continue
+			}
+			parked = append(parked, rec)
+			drain()
+
+		case <-n.wake:
+			// Local commit advanced applied sequences; retry parked.
+			drain()
+
+		case reply := <-n.acceptCh:
+			// Accept (versioned mode): move the buffered batch into the
+			// normal apply path and report how many were installed.
+			k := len(buffered)
+			parked = append(parked, buffered...)
+			buffered = buffered[:0]
+			drain()
+			reply <- k
+
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// stale reports whether the record was already applied (duplicate
+// delivery across paths — eager broadcast, lazy pull, token piggyback,
+// or a startup CatchUp). For records that wrote under locks, the
+// per-lock chains are the exact test: a lock's Applied counter reaches
+// the record's sequence number if and only if the record was
+// installed, because records on one chain apply in sequence order.
+// The chain check matters for correctness, not just economy:
+// re-applying an old record after its successor would resurrect
+// overwritten bytes.
+//
+// Records without lock records (the DSM baseline harness) fall back to
+// the per-sender commit sequence, which is in-order for that path.
+// Note that the per-sender sequence must NOT be consulted for
+// lock-bearing records: one node's transactions on unrelated locks may
+// legitimately apply out of commit order here (one parked, a later one
+// applied), and a high-water check would drop the parked record.
+func (n *Node) stale(rec *wal.TxRecord, appliedTx map[uint32]uint64) bool {
+	wrote := false
+	for _, l := range rec.Locks {
+		if !l.Wrote {
+			continue
+		}
+		wrote = true
+		if n.locks.Applied(l.LockID) < l.Seq {
+			return false
+		}
+	}
+	if wrote {
+		return true
+	}
+	return rec.TxSeq <= appliedTx[rec.Node]
+}
+
+// canApply reports whether every written lock's predecessor update has
+// been applied locally.
+func (n *Node) canApply(rec *wal.TxRecord, appliedTx map[uint32]uint64) bool {
+	if n.stale(rec, appliedTx) {
+		return false
+	}
+	for _, l := range rec.Locks {
+		if l.Wrote && n.locks.Applied(l.LockID) < l.PrevWriteSeq {
+			return false
+		}
+	}
+	return true
+}
+
+// apply installs the record and advances the per-lock applied
+// sequences, waking any acquirer blocked on the interlock.
+func (n *Node) apply(rec *wal.TxRecord, appliedTx map[uint32]uint64) {
+	tm := metrics.StartTimer(n.stats, metrics.PhaseApply)
+	bytes, err := n.rvm.ApplyRecord(rec)
+	tm.Stop()
+	if err != nil {
+		n.stats.Add("apply_errors", 1)
+		return
+	}
+	if rec.TxSeq > appliedTx[rec.Node] {
+		appliedTx[rec.Node] = rec.TxSeq
+	}
+	for _, l := range rec.Locks {
+		if l.Wrote {
+			n.locks.MarkApplied(l.LockID, l.Seq)
+		}
+	}
+	n.stats.Add(metrics.CtrRecordsApplied, 1)
+	n.stats.Add(metrics.CtrBytesApplied, int64(bytes))
+}
+
+// poke nudges the applier to retry parked records (after a local
+// commit advances applied sequences).
+func (n *Node) poke() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Accept applies all updates buffered in versioned mode (§2.1-2.2: a
+// reader explicitly signals its willingness to move forward to a newer
+// consistent version). It returns the number of records moved into the
+// apply path. In non-versioned mode it is a no-op returning 0.
+func (n *Node) Accept() int {
+	n.mu.Lock()
+	v := n.versioned
+	n.mu.Unlock()
+	if !v {
+		return 0
+	}
+	reply := make(chan int, 1)
+	select {
+	case n.acceptCh <- reply:
+		return <-reply
+	case <-n.done:
+		return 0
+	}
+}
+
+// SetVersioned switches the versioned read model on or off at runtime.
+// Turning it off flushes buffered updates via Accept first.
+func (n *Node) SetVersioned(v bool) {
+	n.mu.Lock()
+	was := n.versioned
+	n.mu.Unlock()
+	if was && !v {
+		n.Accept()
+	}
+	n.mu.Lock()
+	n.versioned = v
+	n.mu.Unlock()
+}

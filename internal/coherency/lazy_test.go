@@ -1,0 +1,250 @@
+package coherency
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// lazyCluster builds k lazy-propagation nodes whose logs and database
+// live on a shared storage server, the configuration of §2.2 where
+// "segment updates could be fetched from the server, where all log
+// records are cached in memory for a time".
+func lazyCluster(t *testing.T, k int, size int) ([]*Node, *store.Server) {
+	t.Helper()
+	srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	hub := netproto.NewHub()
+	ids := make([]netproto.NodeID, k)
+	for i := range ids {
+		ids[i] = netproto.NodeID(i + 1)
+	}
+	nodes := make([]*Node, k)
+	for i := range ids {
+		cli, err := store.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		r, err := rvm.Open(rvm.Options{
+			Node: uint32(ids[i]),
+			Log:  cli.LogDevice(uint32(ids[i])),
+			Data: cli,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := New(Options{
+			RVM:         r,
+			Transport:   hub.Endpoint(ids[i]),
+			Nodes:       ids,
+			Propagation: Lazy,
+			PeerLogs:    func(node uint32) wal.Device { return cli.LogDevice(node) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { n.Close() })
+	}
+	for _, n := range nodes {
+		if _, err := n.MapRegion(1, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.WaitPeers(1, k-1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes, srv
+}
+
+func TestLazyPropagation(t *testing.T) {
+	nodes, _ := lazyCluster(t, 2, 1024)
+	commitWrite(t, nodes[0], 1, 100, []byte("pulled lazily"))
+	// No eager traffic is generated in lazy mode.
+	if got := nodes[0].Stats().Counter(metrics.CtrMsgsSent); got != 0 {
+		t.Fatalf("lazy writer sent %d coherency messages", got)
+	}
+	got := readUnder(t, nodes[1], 1, 100, 13)
+	if string(got) != "pulled lazily" {
+		t.Fatalf("lazy reader sees %q", got)
+	}
+}
+
+func TestLazyChainAcrossThreeNodes(t *testing.T) {
+	nodes, _ := lazyCluster(t, 3, 1024)
+	commitWrite(t, nodes[0], 1, 0, []byte("v1"))
+	commitWrite(t, nodes[1], 1, 0, []byte("v2"))
+	got := readUnder(t, nodes[2], 1, 0, 2)
+	if string(got) != "v2" {
+		t.Fatalf("node 3 sees %q", got)
+	}
+}
+
+func TestLazyRepeatedRounds(t *testing.T) {
+	nodes, _ := lazyCluster(t, 2, 1024)
+	for i := 0; i < 10; i++ {
+		w, r := nodes[i%2], nodes[(i+1)%2]
+		commitWrite(t, w, 1, 0, []byte(fmt.Sprintf("it-%02d", i)))
+		got := readUnder(t, r, 1, 0, 5)
+		if string(got) != fmt.Sprintf("it-%02d", i) {
+			t.Fatalf("round %d: %q", i, got)
+		}
+	}
+}
+
+// TestLazyThenRecovery checks the full distributed picture: lazy
+// commits land on the server, the merge-free single-writer log
+// recovers the database.
+func TestLazyThenRecovery(t *testing.T) {
+	nodes, srv := lazyCluster(t, 2, 1024)
+	commitWrite(t, nodes[0], 1, 0, []byte("persist me"))
+
+	dev, err := srv.Log(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rvm.Recover(dev, srv.Data(), rvm.RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 {
+		t.Fatalf("recovered %d records", res.Records)
+	}
+	img, err := srv.Data().LoadRegion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img[:10]) != "persist me" {
+		t.Fatalf("server image = %q", img[:10])
+	}
+}
+
+// TestEagerOverTCP runs the whole eager stack across real TCP sockets:
+// transport mesh, lock protocol, and coherency broadcast.
+func TestEagerOverTCP(t *testing.T) {
+	var meshes []*netproto.TCPMesh
+	ids := []netproto.NodeID{1, 2}
+	for _, id := range ids {
+		m, err := netproto.NewTCPMesh(id, "127.0.0.1:0", map[netproto.NodeID]string{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshes = append(meshes, m)
+		t.Cleanup(func() { m.Close() })
+	}
+	meshes[0].SetPeer(2, meshes[1].Addr())
+	meshes[1].SetPeer(1, meshes[0].Addr())
+
+	var nodes []*Node
+	for i, id := range ids {
+		r, _ := rvm.Open(rvm.Options{Node: uint32(id)})
+		n, err := New(Options{RVM: r, Transport: meshes[i], Nodes: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		t.Cleanup(func() { n.Close() })
+	}
+	for _, n := range nodes {
+		if _, err := n.MapRegion(1, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.WaitPeers(1, 1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	payload := bytes.Repeat([]byte("tcp!"), 256)
+	commitWrite(t, nodes[0], 1, 0, payload)
+	got := readUnder(t, nodes[1], 1, 0, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted over TCP")
+	}
+	if nodes[0].Stats().Phase(metrics.PhaseNetIO) == 0 {
+		t.Fatal("network I/O time not accrued")
+	}
+}
+
+// TestLazyRandomConvergence: the convergence property under lazy
+// server-pull propagation.
+func TestLazyRandomConvergence(t *testing.T) {
+	const (
+		kLocks = 2
+		segLen = 256
+	)
+	nodes, _ := lazyCluster(t, 3, kLocks*segLen)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(i + 99)))
+			for k := 0; k < 15; k++ {
+				lock := uint32(r.Intn(kLocks))
+				tx := nodes[i].Begin(rvm.NoRestore)
+				if err := tx.Acquire(lock); err != nil {
+					t.Error(err)
+					return
+				}
+				off := uint64(lock)*segLen + uint64(r.Intn(segLen-8))
+				data := make([]byte, r.Intn(7)+1)
+				r.Read(data)
+				tx.Write(nodes[i].RVM().Region(1), off, data)
+				if _, err := tx.Commit(rvm.NoFlush); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, n := range nodes {
+		for l := uint32(0); l < kLocks; l++ {
+			tx := n.Begin(rvm.NoRestore)
+			if err := tx.Acquire(l); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit(rvm.NoFlush)
+		}
+	}
+	base := nodes[0].RVM().Region(1).Bytes()
+	for i := 1; i < len(nodes); i++ {
+		if !bytes.Equal(base, nodes[i].RVM().Region(1).Bytes()) {
+			t.Fatalf("node %d diverged under lazy propagation", i+1)
+		}
+	}
+}
+
+func TestLazySharedAcquirePulls(t *testing.T) {
+	nodes, _ := lazyCluster(t, 2, 1024)
+	commitWrite(t, nodes[0], 1, 0, []byte("for readers"))
+	tx := nodes[1].Begin(rvm.NoRestore)
+	if err := tx.AcquireShared(1); err != nil {
+		t.Fatal(err)
+	}
+	got := string(nodes[1].RVM().Region(1).Bytes()[:11])
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	if got != "for readers" {
+		t.Fatalf("lazy shared reader sees %q", got)
+	}
+}

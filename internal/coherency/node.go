@@ -1,0 +1,347 @@
+// Package coherency implements log-based coherency (the paper's
+// contribution): it ties together recoverable virtual memory
+// (internal/rvm), distributed segment locks (internal/lockmgr), and the
+// transport (internal/netproto) so that the redo log records generated
+// for recoverability double as the update stream that keeps peer
+// caches coherent.
+//
+// At commit, the new-value records that were just written to the
+// durable log are re-encoded with compressed headers (§3.2) and sent to
+// every peer that has the modified regions mapped (the prototype's
+// eager policy). Receiver goroutines apply the records directly into
+// the local memory image, ordered by the per-lock sequence numbers
+// carried in embedded lock records (§3.4). A lock acquire completes
+// only after all updates through the token's last-writer sequence have
+// been applied, so applications never observe stale data under a lock.
+//
+// Alternative policies from §2 are implemented behind options: lazy
+// propagation (pending records pulled from the storage server's log
+// cache at acquire), token piggyback (records passed with the lock by
+// the last writer, with retention/discard), and the versioned read
+// model (received updates buffered until an explicit Accept). Online
+// coordinated log trimming (§3.5) and client restart catch-up are
+// provided as operations on the Node.
+package coherency
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lbc/internal/lockmgr"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Message type codes on the transport (0x20-0x2F reserved here).
+const (
+	MsgUpdate    uint8 = 0x20 // compressed coherency record
+	MsgUpdateStd uint8 = 0x21 // standard-encoded record (header ablation)
+	MsgMapRegion uint8 = 0x22 // {region u32}: sender has region mapped
+)
+
+// Propagation selects when committed log tails travel to peers (§2.2).
+type Propagation int
+
+const (
+	// Eager broadcasts the log tail to interested peers inside commit
+	// (the prototype's policy: simple, failure-tolerant, low read
+	// latency).
+	Eager Propagation = iota
+	// Lazy defers propagation: an acquirer pulls pending records from
+	// the storage server's per-node logs when the token arrives.
+	Lazy
+	// Piggyback attaches pending records to lock-token passes (the
+	// last writer hands them to the next holder) with the retention /
+	// discard protocol of §2.2. No server round trips, no broadcast.
+	Piggyback
+)
+
+func (p Propagation) String() string {
+	switch p {
+	case Lazy:
+		return "lazy"
+	case Piggyback:
+		return "piggyback"
+	default:
+		return "eager"
+	}
+}
+
+// WireFormat selects the coherency record encoding (header-compression
+// ablation; the paper's system always uses Compressed).
+type WireFormat int
+
+const (
+	// Compressed uses the 4-24 byte range headers of §3.2.
+	Compressed WireFormat = iota
+	// Standard ships the 104-byte durable-log headers unchanged.
+	Standard
+)
+
+// Segment declares the scope of one distributed lock: the byte range
+// of a region it protects (§2.1: "the store is partitioned into
+// segments, each under the control of a separate lock").
+type Segment struct {
+	LockID uint32
+	Region rvm.RegionID
+	Off    uint64
+	Len    uint64
+}
+
+// contains reports whether the byte range [off, off+n) intersects the
+// segment.
+func (s Segment) overlaps(region rvm.RegionID, off, end uint64) bool {
+	return region == s.Region && off < s.Off+s.Len && end > s.Off
+}
+
+// PeerLogReader provides read access to peers' logs on the storage
+// server, for lazy propagation. store.Client.LogDevice satisfies it
+// via NewStoreLogReader.
+type PeerLogReader func(node uint32) wal.Device
+
+// Options configures a coherency Node.
+type Options struct {
+	// RVM is this node's recoverable memory instance. Required.
+	RVM *rvm.RVM
+	// Transport connects this node to its peers. Required.
+	Transport netproto.Transport
+	// Nodes is the ordered, cluster-wide node list (identical
+	// everywhere); it determines lock managers.
+	Nodes []netproto.NodeID
+	// Stats defaults to RVM's accumulator.
+	Stats *metrics.Stats
+	// Propagation policy (default Eager).
+	Propagation Propagation
+	// Wire format (default Compressed).
+	Wire WireFormat
+	// PageSize is used for the pages-updated statistic (default 8192,
+	// the paper's Alpha page size).
+	PageSize int
+	// PeerLogs is required in Lazy mode.
+	PeerLogs PeerLogReader
+	// Versioned buffers received updates until Accept (the read/write
+	// model of §2.1-2.2).
+	Versioned bool
+	// CheckLocks makes SetRange fail if the written range lies in a
+	// registered segment whose lock the transaction does not hold.
+	CheckLocks bool
+}
+
+// Node is one participant in the coherent distributed store.
+type Node struct {
+	rvm      *rvm.RVM
+	tr       netproto.Transport
+	locks    *lockmgr.Manager
+	stats    *metrics.Stats
+	prop     Propagation
+	wire     WireFormat
+	pageSize int
+	peerLogs PeerLogReader
+	checkLk  bool
+
+	mu           sync.Mutex
+	segments     map[uint32]Segment // by lock id
+	regionPeers  map[rvm.RegionID]map[netproto.NodeID]bool
+	readPos      map[uint32]int64 // lazy: per-peer log read offset
+	versioned    bool
+	retention    map[uint32]*lockHistory // piggyback: per-lock record history
+	clusterNodes []netproto.NodeID
+
+	ckpt *ckptState
+
+	applyCh  chan *wal.TxRecord
+	acceptCh chan chan int
+	done     chan struct{}
+	wake     chan struct{}
+	wg       sync.WaitGroup
+	closeOne sync.Once
+}
+
+// ErrLockNotHeld is returned by SetRange with CheckLocks enabled when
+// the range's segment lock is not held by the transaction.
+var ErrLockNotHeld = errors.New("coherency: segment lock not held")
+
+// New creates a coherency node. The node starts its applier goroutine
+// immediately; call Close to stop it.
+func New(opts Options) (*Node, error) {
+	if opts.RVM == nil || opts.Transport == nil {
+		return nil, errors.New("coherency: RVM and Transport are required")
+	}
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("coherency: node list is required")
+	}
+	if opts.Propagation == Lazy && opts.PeerLogs == nil {
+		return nil, errors.New("coherency: lazy propagation requires PeerLogs")
+	}
+	if opts.Stats == nil {
+		opts.Stats = opts.RVM.Stats()
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = 8192
+	}
+	n := &Node{
+		rvm:          opts.RVM,
+		tr:           opts.Transport,
+		locks:        lockmgr.New(opts.Transport, opts.Nodes, opts.Stats),
+		stats:        opts.Stats,
+		prop:         opts.Propagation,
+		wire:         opts.Wire,
+		pageSize:     opts.PageSize,
+		peerLogs:     opts.PeerLogs,
+		checkLk:      opts.CheckLocks,
+		segments:     map[uint32]Segment{},
+		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
+		readPos:      map[uint32]int64{},
+		versioned:    opts.Versioned,
+		retention:    map[uint32]*lockHistory{},
+		clusterNodes: append([]netproto.NodeID(nil), opts.Nodes...),
+		applyCh:      make(chan *wal.TxRecord, 256),
+		acceptCh:     make(chan chan int),
+		done:         make(chan struct{}),
+		wake:         make(chan struct{}, 1),
+	}
+	n.tr.Handle(MsgUpdate, n.onUpdate)
+	n.tr.Handle(MsgUpdateStd, n.onUpdateStd)
+	n.tr.Handle(MsgMapRegion, n.onMapRegion)
+	if opts.Propagation == Piggyback {
+		n.locks.SetTokenData(n)
+	}
+	n.initCheckpoint()
+	n.wg.Add(1)
+	go n.applier()
+	return n, nil
+}
+
+// RVM returns the underlying recoverable memory instance.
+func (n *Node) RVM() *rvm.RVM { return n.rvm }
+
+// Locks returns the node's lock manager (exposed for tests and tools).
+func (n *Node) Locks() *lockmgr.Manager { return n.locks }
+
+// Stats returns the node's metrics accumulator.
+func (n *Node) Stats() *metrics.Stats { return n.stats }
+
+// Self returns this node's id.
+func (n *Node) Self() netproto.NodeID { return n.tr.Self() }
+
+// AddSegment registers a lock's scope. All nodes must register the
+// same segments. Registration enables per-segment Wrote computation
+// (and lock checking when CheckLocks is set).
+func (n *Node) AddSegment(seg Segment) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.segments[seg.LockID] = seg
+}
+
+// MapRegion maps the region into local memory (loading the permanent
+// image from the data store) and announces the mapping to all peers so
+// their eager broadcasts include this node.
+func (n *Node) MapRegion(id rvm.RegionID, size int) (*rvm.Region, error) {
+	reg, err := n.rvm.Map(id, size)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.regionPeers[id] == nil {
+		n.regionPeers[id] = map[netproto.NodeID]bool{}
+	}
+	n.mu.Unlock()
+	var b [4]byte
+	putU32(b[:], uint32(id))
+	for _, p := range n.tr.Peers() {
+		// Best effort: peers that are not up yet will announce to us
+		// when they map.
+		_ = n.tr.Send(p, MsgMapRegion, b[:])
+	}
+	return reg, nil
+}
+
+// WaitPeers blocks until at least k peers have announced mapping the
+// region (cluster startup barrier), or the timeout elapses. While
+// waiting it periodically re-announces this node's own mapping, so
+// peers that started later (and missed the original best-effort
+// announcement) still learn about us.
+func (n *Node) WaitPeers(id rvm.RegionID, k int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lastAnnounce := time.Now()
+	announce := func() {
+		var b [4]byte
+		putU32(b[:], uint32(id))
+		for _, p := range n.tr.Peers() {
+			_ = n.tr.Send(p, MsgMapRegion, b[:])
+		}
+	}
+	for {
+		n.mu.Lock()
+		have := len(n.regionPeers[id])
+		n.mu.Unlock()
+		if have >= k {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coherency: only %d/%d peers mapped region %d", have, k, id)
+		}
+		if time.Since(lastAnnounce) > 50*time.Millisecond {
+			announce()
+			lastAnnounce = time.Now()
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// onMapRegion records that a peer has the region mapped.
+func (n *Node) onMapRegion(from netproto.NodeID, payload []byte) {
+	if len(payload) != 4 {
+		return
+	}
+	id := rvm.RegionID(getU32(payload))
+	n.mu.Lock()
+	if n.regionPeers[id] == nil {
+		n.regionPeers[id] = map[netproto.NodeID]bool{}
+	}
+	n.regionPeers[id][from] = true
+	n.mu.Unlock()
+}
+
+// peersForRecord returns the peers that have any of the record's
+// regions mapped (the eager broadcast recipient set).
+func (n *Node) peersForRecord(rec *wal.TxRecord) []netproto.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	set := map[netproto.NodeID]bool{}
+	for _, r := range rec.Ranges {
+		for p := range n.regionPeers[rvm.RegionID(r.Region)] {
+			set[p] = true
+		}
+	}
+	out := make([]netproto.NodeID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Close stops the applier and the lock manager.
+func (n *Node) Close() error {
+	n.closeOne.Do(func() {
+		close(n.done)
+		n.locks.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,220 @@
+package coherency
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lbc/internal/netproto"
+	"lbc/internal/wal"
+)
+
+// Piggyback propagation (§2.2, second alternative): committed log
+// records are not broadcast at all; they travel with the lock token,
+// sent by the last writer to the next holder. Each node retains the
+// records for a segment until every cluster member has received them,
+// implementing the paper's record-discard protocol ("pass information
+// about how many log records to hold for each segment along with the
+// lock token, as each node acquires the lock in turn ... Each node
+// holds all log records up to and including the oldest records needed
+// by the most out-of-date peer").
+//
+// The token blob carries (a) the seen-vector — for each node, the
+// highest write sequence known to have reached it — and (b) every
+// retained record the requester has not seen. Receivers merge the
+// vector, retain the records for further forwarding, and hand them to
+// the normal applier, whose chain ordering and duplicate suppression
+// need no changes.
+
+// lockHistory is one lock's retained update history.
+type lockHistory struct {
+	recs []retainedRec              // ascending writeSeq
+	seen map[netproto.NodeID]uint64 // node -> highest writeSeq delivered
+}
+
+type retainedRec struct {
+	writeSeq uint64
+	rec      *wal.TxRecord
+}
+
+func (n *Node) history(lockID uint32) *lockHistory {
+	h, ok := n.retention[lockID]
+	if !ok {
+		h = &lockHistory{seen: map[netproto.NodeID]uint64{}}
+		n.retention[lockID] = h
+	}
+	return h
+}
+
+// retainRecord stores a committed record in the history of every lock
+// it wrote under, and notes that this node has it. Caller must not
+// hold n.mu.
+func (n *Node) retainRecord(rec *wal.TxRecord) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range rec.Locks {
+		if !l.Wrote {
+			continue
+		}
+		h := n.history(l.LockID)
+		h.insert(l.Seq, rec)
+		if h.seen[n.tr.Self()] < l.Seq {
+			h.seen[n.tr.Self()] = l.Seq
+		}
+	}
+}
+
+// insert adds (writeSeq, rec) keeping ascending order; duplicates are
+// dropped.
+func (h *lockHistory) insert(writeSeq uint64, rec *wal.TxRecord) {
+	i := sort.Search(len(h.recs), func(i int) bool { return h.recs[i].writeSeq >= writeSeq })
+	if i < len(h.recs) && h.recs[i].writeSeq == writeSeq {
+		return
+	}
+	h.recs = append(h.recs, retainedRec{})
+	copy(h.recs[i+1:], h.recs[i:])
+	h.recs[i] = retainedRec{writeSeq: writeSeq, rec: rec}
+}
+
+// discard drops records every cluster member already has.
+func (n *Node) discardLocked(h *lockHistory) {
+	min := ^uint64(0)
+	for _, id := range n.clusterNodes {
+		if s := h.seen[id]; s < min {
+			min = s
+		}
+	}
+	i := sort.Search(len(h.recs), func(i int) bool { return h.recs[i].writeSeq > min })
+	if i > 0 {
+		h.recs = append(h.recs[:0], h.recs[i:]...)
+	}
+}
+
+// RetainedRecords reports how many records are currently held for a
+// lock (diagnostics and tests for the discard protocol).
+func (n *Node) RetainedRecords(lockID uint32) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.retention[lockID]; ok {
+		return len(h.recs)
+	}
+	return 0
+}
+
+// PrepareToken implements lockmgr.TokenData: on a token pass, attach
+// the seen-vector and every retained record the requester lacks.
+func (n *Node) PrepareToken(lockID uint32, to netproto.NodeID) []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.history(lockID)
+	target := h.seen[to]
+	var pending []retainedRec
+	for _, rr := range h.recs {
+		if rr.writeSeq > target {
+			pending = append(pending, rr)
+		}
+	}
+	// Optimistically mark the requester as having everything we send;
+	// token delivery is the same channel, so possession is guaranteed.
+	if len(pending) > 0 {
+		last := pending[len(pending)-1].writeSeq
+		if h.seen[to] < last {
+			h.seen[to] = last
+		}
+	}
+	n.discardLocked(h)
+
+	buf := make([]byte, 0, 64)
+	var scratch [12]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(h.seen)))
+	buf = append(buf, scratch[:2]...)
+	for id, seq := range h.seen {
+		binary.LittleEndian.PutUint32(scratch[0:], uint32(id))
+		binary.LittleEndian.PutUint64(scratch[4:], seq)
+		buf = append(buf, scratch[:12]...)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(pending)))
+	buf = append(buf, scratch[:4]...)
+	for _, rr := range pending {
+		enc := wal.AppendCompressed(nil, rr.rec)
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
+		buf = append(buf, scratch[:4]...)
+		buf = append(buf, enc...)
+	}
+	n.stats.Add("token_piggyback_bytes", int64(len(buf)))
+	n.stats.Add("token_piggyback_recs", int64(len(pending)))
+	return buf
+}
+
+// TokenArrived implements lockmgr.TokenData: merge the seen-vector,
+// retain the records for onward passes, and feed them to the applier.
+func (n *Node) TokenArrived(lockID uint32, from netproto.NodeID, blob []byte) {
+	if len(blob) < 6 {
+		return
+	}
+	p := 0
+	nSeen := int(binary.LittleEndian.Uint16(blob[p:]))
+	p += 2
+	type seenEntry struct {
+		id  netproto.NodeID
+		seq uint64
+	}
+	entries := make([]seenEntry, 0, nSeen)
+	for i := 0; i < nSeen; i++ {
+		if p+12 > len(blob) {
+			return
+		}
+		entries = append(entries, seenEntry{
+			id:  netproto.NodeID(binary.LittleEndian.Uint32(blob[p:])),
+			seq: binary.LittleEndian.Uint64(blob[p+4:]),
+		})
+		p += 12
+	}
+	if p+4 > len(blob) {
+		return
+	}
+	nRecs := int(binary.LittleEndian.Uint32(blob[p:]))
+	p += 4
+	recs := make([]*wal.TxRecord, 0, nRecs)
+	for i := 0; i < nRecs; i++ {
+		if p+4 > len(blob) {
+			return
+		}
+		ln := int(binary.LittleEndian.Uint32(blob[p:]))
+		p += 4
+		if p+ln > len(blob) {
+			return
+		}
+		rec, err := wal.DecodeCompressed(blob[p : p+ln])
+		if err != nil {
+			n.stats.Add("decode_errors", 1)
+			return
+		}
+		p += ln
+		recs = append(recs, copyRecord(rec)) // blob buffer is transient
+	}
+
+	n.mu.Lock()
+	h := n.history(lockID)
+	for _, e := range entries {
+		if h.seen[e.id] < e.seq {
+			h.seen[e.id] = e.seq
+		}
+	}
+	for _, rec := range recs {
+		for _, l := range rec.Locks {
+			if l.Wrote {
+				hist := n.history(l.LockID)
+				hist.insert(l.Seq, rec)
+				if hist.seen[n.tr.Self()] < l.Seq {
+					hist.seen[n.tr.Self()] = l.Seq
+				}
+			}
+		}
+	}
+	n.discardLocked(h)
+	n.mu.Unlock()
+
+	for _, rec := range recs {
+		n.enqueue(rec)
+	}
+}

@@ -1,0 +1,220 @@
+// Package costmodel carries the per-operation costs of Table 2 and the
+// analytic overhead models behind Figures 4 and 7. Two instances
+// matter:
+//
+//   - Alpha(): the paper's measured numbers for a DEC 3000-400 Alpha
+//     running OSF/1 on a 100 Mbit/s AN1 network. Evaluating the model
+//     with these constants reproduces the paper's published curves on
+//     any host.
+//   - A host model built by cmd/microbench from live measurements, so
+//     the same figures can be rendered in "this machine" terms.
+//
+// All costs are in microseconds (float64), as in the paper.
+package costmodel
+
+import "fmt"
+
+// Model holds per-operation costs in microseconds.
+type Model struct {
+	Name     string
+	PageSize int // bytes per VM page (8192 on the Alpha)
+
+	PageCopyCold    float64 // memcpy one page, cold cache
+	PageCopyWarm    float64
+	PageCompareCold float64 // bytewise compare one page, cold cache
+	PageCompareWarm float64
+	PageSendTCP     float64 // transmit one page over TCP
+	Trap            float64 // deliver write fault + mprotect + return
+}
+
+// Alpha returns the paper's Table 2 model.
+func Alpha() Model {
+	return Model{
+		Name:            "Alpha/AN1 (Table 2)",
+		PageSize:        8192,
+		PageCopyCold:    171.9,
+		PageCopyWarm:    57.8,
+		PageCompareCold: 281.0,
+		PageCompareWarm: 147.3,
+		PageSendTCP:     677.0,
+		Trap:            360.1,
+	}
+}
+
+// FastTrap returns the Alpha model with the hypothetical 10 us
+// exception cost of [Thekkath & Levy 94] used in Figure 7.
+func FastTrap() Model {
+	m := Alpha()
+	m.Name = "Alpha/AN1 + 10us fast trap"
+	m.Trap = 10
+	return m
+}
+
+// SendPerByte returns the modeled cost of sending one byte (us/byte),
+// derived from the page-send throughput.
+func (m Model) SendPerByte() float64 { return m.PageSendTCP / float64(m.PageSize) }
+
+// SendBytes returns the modeled cost of transmitting n bytes.
+func (m Model) SendBytes(n int) float64 { return float64(n) * m.SendPerByte() }
+
+// PageCost is the per-modified-page overhead of page-locking DSM: one
+// write fault plus one whole-page transmission. With the Alpha numbers
+// this is 1037.1 us — the constant "Page" line of Figure 4.
+func (m Model) PageCost() float64 { return m.Trap + m.PageSendTCP }
+
+// CpyCmpCost is the per-modified-page overhead of copy/compare DSM
+// with b modified bytes on the page: one write fault, one twin copy,
+// one compare, plus transmission of the modified bytes.
+func (m Model) CpyCmpCost(b int) float64 {
+	return m.Trap + m.PageCopyCold + m.PageCompareCold + m.SendBytes(b)
+}
+
+// LogCostPerPage is log-based coherency's per-page overhead with b
+// modified bytes and u updates on the page, given the measured
+// per-update detect/collect cost (from Figures 5-6).
+func (m Model) LogCostPerPage(b, u int, perUpdateUS float64) float64 {
+	return float64(u)*perUpdateUS + m.SendBytes(b)
+}
+
+// BreakevenUpdatesPerPage is the Figure 7 curve: the number of updates
+// per page at which log-based coherency's per-update costs equal
+// Cpy/Cmp's fixed per-page costs. Send costs cancel (both transmit the
+// same modified bytes), leaving
+//
+//	u* = (trap + copy + compare) / perUpdate.
+//
+// The paper's worked example checks out: at ~18 us/update (1000
+// unordered updates per transaction), u* = 45; at ~14.8 us (ordered),
+// u* = 55.
+func (m Model) BreakevenUpdatesPerPage(perUpdateUS float64) float64 {
+	if perUpdateUS <= 0 {
+		return 0
+	}
+	return (m.Trap + m.PageCopyCold + m.PageCompareCold) / perUpdateUS
+}
+
+// CrossoverCpyCmpVsPage returns the modified-bytes-per-page value
+// above which Page outperforms Cpy/Cmp (Figure 4): the point where
+// copy+compare plus byte transmission exceeds a whole-page send.
+func (m Model) CrossoverCpyCmpVsPage() float64 {
+	perByte := m.SendPerByte()
+	if perByte <= 0 {
+		return 0
+	}
+	return (m.PageSendTCP - m.PageCopyCold - m.PageCompareCold) / perByte
+}
+
+// Fig4Point is one sample of Figure 4.
+type Fig4Point struct {
+	BytesPerPage int
+	Log          float64 // per-update overhead excluded, as in the figure
+	CpyCmp       float64
+	Page         float64
+}
+
+// Fig4Series samples Figure 4's three curves from 0 to the page size.
+func (m Model) Fig4Series(step int) []Fig4Point {
+	if step <= 0 {
+		step = 256
+	}
+	var out []Fig4Point
+	for b := 0; b <= m.PageSize; b += step {
+		out = append(out, Fig4Point{
+			BytesPerPage: b,
+			Log:          m.SendBytes(b),
+			CpyCmp:       m.CpyCmpCost(b),
+			Page:         m.PageCost(),
+		})
+	}
+	return out
+}
+
+// Fig7Point is one sample of Figure 7.
+type Fig7Point struct {
+	PerUpdateUS float64
+	Breakeven   float64
+}
+
+// Fig7Series samples the breakeven curve over a range of per-update
+// costs (the paper plots 5-30 us).
+func (m Model) Fig7Series(from, to, step float64) []Fig7Point {
+	var out []Fig7Point
+	for c := from; c <= to+1e-9; c += step {
+		out = append(out, Fig7Point{PerUpdateUS: c, Breakeven: m.BreakevenUpdatesPerPage(c)})
+	}
+	return out
+}
+
+// Breakdown is a modeled phase decomposition for one traversal run
+// under one engine (the stacked bars of Figures 1-3 and 8), in
+// microseconds.
+type Breakdown struct {
+	Engine  string
+	Detect  float64
+	Collect float64
+	DiskIO  float64
+	NetIO   float64
+	Apply   float64
+}
+
+// Total sums the phases.
+func (b Breakdown) Total() float64 {
+	return b.Detect + b.Collect + b.DiskIO + b.NetIO + b.Apply
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%-8s detect=%9.1fus collect=%9.1fus disk=%9.1fus net=%9.1fus apply=%9.1fus total=%9.1fus",
+		b.Engine, b.Detect, b.Collect, b.DiskIO, b.NetIO, b.Apply, b.Total())
+}
+
+// TraversalStats are the workload characteristics that drive the
+// models (the columns of Table 3 plus fault counts).
+type TraversalStats struct {
+	Updates      int // set_range calls (Table 3 "Updates")
+	UniqueBytes  int // distinct modified bytes (Table 3 "Bytes Updated")
+	MessageBytes int // compressed wire bytes (Table 3 "Message Bytes")
+	PagesUpdated int // distinct pages modified (Table 3 "Pages Updated")
+}
+
+// DecomposeLog models log-based coherency's overhead for a traversal.
+// perUpdateUS is the measured per-update set_range+commit cost;
+// applyPerByteUS models the receiver's copy cost (small, per §4).
+func (m Model) DecomposeLog(ts TraversalStats, perUpdateUS float64) Breakdown {
+	detect := float64(ts.Updates) * perUpdateUS
+	return Breakdown{
+		Engine: "Log",
+		Detect: detect,
+		// Collect (gather+encode) is folded into the per-update cost in
+		// the paper's Figures 5-6 measurement, so it is not double
+		// charged here.
+		NetIO: m.SendBytes(ts.MessageBytes),
+		Apply: float64(ts.UniqueBytes) * (m.PageCopyWarm / float64(m.PageSize)),
+	}
+}
+
+// DecomposeCpyCmp models copy/compare DSM for a traversal.
+func (m Model) DecomposeCpyCmp(ts TraversalStats) Breakdown {
+	pages := float64(ts.PagesUpdated)
+	return Breakdown{
+		Engine:  "Cpy/Cmp",
+		Detect:  pages * (m.Trap + m.PageCopyCold),
+		Collect: pages * m.PageCompareCold,
+		// Cpy/Cmp sends the same modified bytes as Log (§4:
+		// "Communication overhead for Cpy/Cmp is assumed to be the same
+		// as the measured times for log-based coherency").
+		NetIO: m.SendBytes(ts.MessageBytes),
+		Apply: float64(ts.UniqueBytes) * (m.PageCopyWarm / float64(m.PageSize)),
+	}
+}
+
+// DecomposePage models page-locking DSM for a traversal: faults plus
+// whole-page transmission, no collection scan, no diff apply (pages
+// are installed by the receiving VM system).
+func (m Model) DecomposePage(ts TraversalStats) Breakdown {
+	pages := float64(ts.PagesUpdated)
+	return Breakdown{
+		Engine: "Page",
+		Detect: pages * m.Trap,
+		NetIO:  pages * m.PageSendTCP,
+	}
+}

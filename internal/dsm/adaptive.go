@@ -1,0 +1,123 @@
+package dsm
+
+import (
+	"lbc/internal/costmodel"
+	"lbc/internal/metrics"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// AdaptiveEngine implements the hybrid the paper's conclusion points
+// to: "adaptive hybrid approaches may be possible where application
+// behavior can be predicted" (§6). It predicts the next transaction's
+// update density from an exponentially weighted history of modified
+// bytes per touched page, and picks the cheaper mechanism under a cost
+// model:
+//
+//   - sparse transactions (few modified bytes per page) run in CpyCmp
+//     mode: twin copies and commit-time diffs, transmitting only the
+//     modified bytes;
+//   - dense transactions (where diffing costs more than it saves) run
+//     in Page mode: no compare, whole pages transmitted.
+//
+// The decision threshold is the byte density at which the model says
+// copy+compare plus byte transmission exceeds a whole-page send — the
+// Figure 4 crossover.
+type AdaptiveEngine struct {
+	model    costmodel.Model
+	pageSize int
+	stats    *metrics.Stats
+
+	cur  *Engine
+	mode Mode
+
+	// ewma of modified bytes per touched page; <0 until first sample.
+	density   float64
+	threshold float64
+	switches  int64
+}
+
+// ewmaAlpha weights the most recent transaction at 30%.
+const ewmaAlpha = 0.3
+
+// NewAdaptive creates an adaptive engine using the given cost model
+// for its switching threshold.
+func NewAdaptive(model costmodel.Model, pageSize int, stats *metrics.Stats) *AdaptiveEngine {
+	if pageSize == 0 {
+		pageSize = model.PageSize
+	}
+	if stats == nil {
+		stats = metrics.NewStats()
+	}
+	return &AdaptiveEngine{
+		model:     model,
+		pageSize:  pageSize,
+		stats:     stats,
+		mode:      CpyCmp, // optimistic: sparse until shown otherwise
+		density:   -1,
+		threshold: model.CrossoverCpyCmpVsPage(),
+	}
+}
+
+// Mode returns the mechanism the engine will use for the next
+// transaction.
+func (a *AdaptiveEngine) Mode() Mode { return a.mode }
+
+// Switches counts mode changes so far.
+func (a *AdaptiveEngine) Switches() int64 { return a.switches }
+
+// Density returns the current bytes-per-page prediction (-1 before
+// the first commit).
+func (a *AdaptiveEngine) Density() float64 { return a.density }
+
+// Begin starts a transaction using the currently predicted mode.
+func (a *AdaptiveEngine) Begin(region *rvm.Region) {
+	a.cur = New(Options{Mode: a.mode, PageSize: a.pageSize, Stats: a.stats})
+	a.cur.Begin(region)
+}
+
+// OnWrite declares an upcoming write.
+func (a *AdaptiveEngine) OnWrite(off uint64, n uint32) error {
+	return a.cur.OnWrite(off, n)
+}
+
+// Faults reports the simulated faults of the current transaction.
+func (a *AdaptiveEngine) Faults() int64 { return a.cur.Faults() }
+
+// Commit collects the transaction's records with the active mechanism
+// and updates the density prediction for the next transaction.
+func (a *AdaptiveEngine) Commit() []wal.RangeRec {
+	recs := a.cur.Commit()
+	pages := a.cur.Faults()
+	if pages > 0 {
+		var bytes int
+		if a.mode == CpyCmp {
+			for _, r := range recs {
+				bytes += len(r.Data)
+			}
+		} else {
+			// Page mode transmitted whole pages; the modified-byte
+			// density is unobservable, so decay the estimate toward a
+			// point just below the threshold — after enough page-mode
+			// transactions the engine probes with a diff transaction
+			// and re-measures the true density.
+			bytes = int(0.8 * a.threshold * float64(pages))
+		}
+		sample := float64(bytes) / float64(pages)
+		if a.density < 0 {
+			a.density = sample
+		} else {
+			a.density = ewmaAlpha*sample + (1-ewmaAlpha)*a.density
+		}
+	}
+	want := CpyCmp
+	if a.density > a.threshold {
+		want = Page
+	}
+	if want != a.mode {
+		a.mode = want
+		a.switches++
+		a.stats.Add("adaptive_switches", 1)
+	}
+	return recs
+}

@@ -1,0 +1,125 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbc/internal/costmodel"
+	"lbc/internal/rvm"
+)
+
+func adaptiveFixture(t *testing.T) (*AdaptiveEngine, *rvm.Region) {
+	t.Helper()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.Map(1, 64*8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAdaptive(costmodel.Alpha(), 8192, nil), reg
+}
+
+// sparseTx writes 8 bytes on each of 10 pages.
+func sparseTx(e *AdaptiveEngine, reg *rvm.Region, rng *rand.Rand) {
+	e.Begin(reg)
+	for p := 0; p < 10; p++ {
+		off := uint64(p*8192 + rng.Intn(8000))
+		e.OnWrite(off, 8)
+		rng.Read(reg.Bytes()[off : off+8])
+	}
+	e.Commit()
+}
+
+// denseTx rewrites most of 10 pages.
+func denseTx(e *AdaptiveEngine, reg *rvm.Region, rng *rand.Rand) {
+	e.Begin(reg)
+	for p := 0; p < 10; p++ {
+		off := uint64(p * 8192)
+		e.OnWrite(off, 8000)
+		rng.Read(reg.Bytes()[off : off+8000])
+	}
+	e.Commit()
+}
+
+func TestAdaptiveStaysDiffWhenSparse(t *testing.T) {
+	e, reg := adaptiveFixture(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		sparseTx(e, reg, rng)
+		if e.Mode() != CpyCmp {
+			t.Fatalf("tx %d: switched to %v on a sparse workload", i, e.Mode())
+		}
+	}
+	if e.Switches() != 0 {
+		t.Fatalf("switched %d times", e.Switches())
+	}
+	if d := e.Density(); d <= 0 || d > 100 {
+		t.Fatalf("density estimate = %f", d)
+	}
+}
+
+func TestAdaptiveSwitchesToPageWhenDense(t *testing.T) {
+	e, reg := adaptiveFixture(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 6; i++ {
+		denseTx(e, reg, rng)
+	}
+	if e.Mode() != Page {
+		t.Fatalf("mode = %v after dense phase (density %f, threshold %f)",
+			e.Mode(), e.Density(), e.model.CrossoverCpyCmpVsPage())
+	}
+}
+
+func TestAdaptiveReprobesAfterPhaseChange(t *testing.T) {
+	e, reg := adaptiveFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6; i++ {
+		denseTx(e, reg, rng)
+	}
+	if e.Mode() != Page {
+		t.Fatal("never entered page mode")
+	}
+	// Density information is unobservable in Page mode; the estimate
+	// decays until the engine probes with a diff transaction again,
+	// and the now-sparse workload keeps it there.
+	for i := 0; i < 30 && e.Mode() == Page; i++ {
+		sparseTx(e, reg, rng)
+	}
+	if e.Mode() != CpyCmp {
+		t.Fatalf("never re-probed back to diff mode (density %f)", e.Density())
+	}
+	for i := 0; i < 5; i++ {
+		sparseTx(e, reg, rng)
+	}
+	if e.Mode() != CpyCmp {
+		t.Fatal("left diff mode on a sparse workload")
+	}
+}
+
+func TestAdaptiveRecordsReconstructImage(t *testing.T) {
+	// Whatever mode the engine picks, applying its records to a stale
+	// copy must reproduce the live image.
+	r, _ := rvm.Open(rvm.Options{Node: 1})
+	reg, _ := r.Map(1, 16*8192)
+	rng := rand.New(rand.NewSource(4))
+	e := NewAdaptive(costmodel.Alpha(), 8192, nil)
+
+	stale := append([]byte(nil), reg.Bytes()...)
+	for i := 0; i < 12; i++ {
+		e.Begin(reg)
+		for w := 0; w < 6; w++ {
+			off := uint64(rng.Intn(16*8192 - 4096))
+			n := uint32(rng.Intn(4000) + 1)
+			e.OnWrite(off, n)
+			rng.Read(reg.Bytes()[off : off+uint64(n)])
+		}
+		for _, rec := range e.Commit() {
+			copy(stale[rec.Off:], rec.Data)
+		}
+	}
+	if string(stale) != string(reg.Bytes()) {
+		t.Fatal("adaptive records failed to reconstruct the image")
+	}
+}

@@ -1,0 +1,224 @@
+// Package dsm implements the two page-fault-based DSM baselines the
+// paper compares log-based coherency against (§4):
+//
+//   - Page ("Page" in Figures 1-3): page-locking DSM in the style of
+//     IVY/Monads. A write fault grants the writer exclusive access to a
+//     page; at commit the entire contents of every modified page are
+//     transmitted to peers.
+//
+//   - CpyCmp ("Cpy/Cmp"): multiple-writer copy/compare DSM in the style
+//     of Munin/TreadMarks. The first store to a page copies it to a
+//     twin; at commit the modified page is compared with its twin and
+//     only the differing bytes (diffs) are transmitted.
+//
+// Go's runtime owns SIGSEGV, so per-store user faults cannot drive the
+// write barrier. Instead the engine derives the faulting page set from
+// the same write declarations the Log engine sees: the first declared
+// write that touches a page is exactly the store that would have
+// faulted. All the byte movement those designs imply — twin copies,
+// page compares, whole-page or diff transmission — is performed for
+// real and timed; the trap cost itself is accounted as a fault count
+// that the cost model (internal/costmodel) prices with either the
+// paper's measured 360.1 us (Alpha OSF/1) or a host-measured value
+// from internal/fault.
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Mode selects the baseline design.
+type Mode int
+
+const (
+	// CpyCmp is the multiple-writer twin/diff engine.
+	CpyCmp Mode = iota
+	// Page is the page-locking whole-page engine.
+	Page
+)
+
+func (m Mode) String() string {
+	if m == Page {
+		return "Page"
+	}
+	return "Cpy/Cmp"
+}
+
+// Engine tracks one transaction's page-grained write set. It is not
+// safe for concurrent use (one engine per writer thread).
+type Engine struct {
+	mode     Mode
+	pageSize int
+	stats    *metrics.Stats
+
+	touched map[uint64]bool   // page index -> touched (Page mode)
+	twins   map[uint64][]byte // page index -> twin copy (CpyCmp mode)
+	order   []uint64          // touch order, for deterministic commits
+	region  *rvm.Region
+	faults  int64
+	// onFault, when set, is invoked once per simulated write fault
+	// (hook for burning real trap time via internal/fault).
+	onFault func()
+}
+
+// Options configures an Engine.
+type Options struct {
+	Mode     Mode
+	PageSize int            // default 8192
+	Stats    *metrics.Stats // default private
+	OnFault  func()         // optional per-fault hook
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.PageSize == 0 {
+		opts.PageSize = 8192
+	}
+	if opts.Stats == nil {
+		opts.Stats = metrics.NewStats()
+	}
+	return &Engine{
+		mode:     opts.Mode,
+		pageSize: opts.PageSize,
+		stats:    opts.Stats,
+		touched:  map[uint64]bool{},
+		twins:    map[uint64][]byte{},
+		onFault:  opts.OnFault,
+	}
+}
+
+// Stats returns the engine's metrics accumulator.
+func (e *Engine) Stats() *metrics.Stats { return e.stats }
+
+// Faults returns the number of simulated write faults so far.
+func (e *Engine) Faults() int64 { return e.faults }
+
+// PageSize returns the configured page size.
+func (e *Engine) PageSize() int { return e.pageSize }
+
+// Begin resets per-transaction state.
+func (e *Engine) Begin(region *rvm.Region) {
+	e.region = region
+	for k := range e.touched {
+		delete(e.touched, k)
+	}
+	for k := range e.twins {
+		delete(e.twins, k)
+	}
+	e.order = e.order[:0]
+}
+
+// OnWrite declares an upcoming write of [off, off+n). The first write
+// touching each page is the simulated fault; in CpyCmp mode it also
+// copies the page to a twin (real memcpy, charged to the detect
+// phase, as in Table 2's "page copy" row).
+func (e *Engine) OnWrite(off uint64, n uint32) error {
+	if e.region == nil {
+		return fmt.Errorf("dsm: OnWrite before Begin")
+	}
+	end := off + uint64(n)
+	if end > uint64(e.region.Size()) {
+		return fmt.Errorf("dsm: write [%d,%d) outside region of %d bytes", off, end, e.region.Size())
+	}
+	ps := uint64(e.pageSize)
+	for p := off / ps; p*ps < end; p++ {
+		if e.touched[p] {
+			continue
+		}
+		tm := metrics.StartTimer(e.stats, metrics.PhaseDetect)
+		e.touched[p] = true
+		e.order = append(e.order, p)
+		e.faults++
+		e.stats.Add(metrics.CtrPageFaults, 1)
+		if e.onFault != nil {
+			e.onFault()
+		}
+		if e.mode == CpyCmp {
+			twin := make([]byte, e.pageBytesLen(p))
+			copy(twin, e.pageBytes(p))
+			e.twins[p] = twin
+			e.stats.Add(metrics.CtrPageCopies, 1)
+		}
+		tm.Stop()
+	}
+	return nil
+}
+
+func (e *Engine) pageBytesLen(p uint64) int {
+	ps := uint64(e.pageSize)
+	start := p * ps
+	endB := start + ps
+	if endB > uint64(e.region.Size()) {
+		endB = uint64(e.region.Size())
+	}
+	return int(endB - start)
+}
+
+func (e *Engine) pageBytes(p uint64) []byte {
+	ps := uint64(e.pageSize)
+	start := p * ps
+	return e.region.Bytes()[start : start+uint64(e.pageBytesLen(p))]
+}
+
+// Commit collects the transaction's updates as new-value range
+// records, performing the design's real commit-time work:
+//
+//   - Page mode: every touched page is emitted whole (no scan);
+//   - CpyCmp mode: each touched page is compared byte-wise against its
+//     twin (charged to the collect phase, Table 2's "page compare"
+//     row) and runs of differing bytes become diff records.
+//
+// The returned ranges are sorted by address and alias the live region
+// image, exactly like rvm's commit gather.
+func (e *Engine) Commit() []wal.RangeRec {
+	pages := append([]uint64(nil), e.order...)
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	var out []wal.RangeRec
+	ps := uint64(e.pageSize)
+	switch e.mode {
+	case Page:
+		tm := metrics.StartTimer(e.stats, metrics.PhaseCollect)
+		for _, p := range pages {
+			out = append(out, wal.RangeRec{
+				Region: uint32(e.region.ID()),
+				Off:    p * ps,
+				Data:   e.pageBytes(p),
+			})
+			e.stats.Add(metrics.CtrPagesSent, 1)
+		}
+		tm.Stop()
+	case CpyCmp:
+		tm := metrics.StartTimer(e.stats, metrics.PhaseCollect)
+		for _, p := range pages {
+			cur := e.pageBytes(p)
+			twin := e.twins[p]
+			e.stats.Add(metrics.CtrPageCompares, 1)
+			base := p * ps
+			i := 0
+			for i < len(cur) {
+				if cur[i] == twin[i] {
+					i++
+					continue
+				}
+				j := i + 1
+				for j < len(cur) && cur[j] != twin[j] {
+					j++
+				}
+				out = append(out, wal.RangeRec{
+					Region: uint32(e.region.ID()),
+					Off:    base + uint64(i),
+					Data:   cur[i:j:j],
+				})
+				i = j
+			}
+		}
+		tm.Stop()
+	}
+	return out
+}

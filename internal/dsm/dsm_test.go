@@ -1,0 +1,278 @@
+package dsm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+func newRegion(t *testing.T, size int) *rvm.Region {
+	t.Helper()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.Map(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestFaultPerPage(t *testing.T) {
+	reg := newRegion(t, 4*8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	// Three writes on page 0, one on page 2: exactly two faults.
+	e.OnWrite(0, 8)
+	e.OnWrite(100, 8)
+	e.OnWrite(8000, 8)
+	e.OnWrite(2*8192+5, 8)
+	if e.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", e.Faults())
+	}
+	if e.Stats().Counter(metrics.CtrPageCopies) != 2 {
+		t.Fatalf("copies = %d", e.Stats().Counter(metrics.CtrPageCopies))
+	}
+}
+
+func TestWriteSpanningPagesFaultsBoth(t *testing.T) {
+	reg := newRegion(t, 4*8192)
+	e := New(Options{Mode: Page})
+	e.Begin(reg)
+	e.OnWrite(8190, 8) // straddles pages 0 and 1
+	if e.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", e.Faults())
+	}
+}
+
+func TestPageModeSendsWholePages(t *testing.T) {
+	reg := newRegion(t, 4*8192)
+	e := New(Options{Mode: Page})
+	e.Begin(reg)
+	copy(reg.Bytes()[10:], "tiny")
+	e.OnWrite(10, 4)
+	recs := e.Commit()
+	if len(recs) != 1 || recs[0].Off != 0 || len(recs[0].Data) != 8192 {
+		t.Fatalf("recs = %d, off=%d len=%d", len(recs), recs[0].Off, len(recs[0].Data))
+	}
+	if e.Stats().Counter(metrics.CtrPagesSent) != 1 {
+		t.Fatal("pages_sent not counted")
+	}
+}
+
+func TestCpyCmpEmitsOnlyDiffs(t *testing.T) {
+	reg := newRegion(t, 2*8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	e.OnWrite(100, 4)
+	copy(reg.Bytes()[100:], "diff")
+	e.OnWrite(200, 2)
+	copy(reg.Bytes()[200:], "xy")
+	recs := e.Commit()
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Off != 100 || string(recs[0].Data) != "diff" {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Off != 200 || string(recs[1].Data) != "xy" {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestCpyCmpUnchangedPageProducesNothing(t *testing.T) {
+	reg := newRegion(t, 8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	e.OnWrite(0, 100) // declared but never actually modified
+	if recs := e.Commit(); len(recs) != 0 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestCpyCmpMergesAdjacentModifiedBytes(t *testing.T) {
+	reg := newRegion(t, 8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	e.OnWrite(0, 16)
+	for i := 0; i < 16; i++ {
+		reg.Bytes()[i] = byte(i + 1)
+	}
+	recs := e.Commit()
+	if len(recs) != 1 || len(recs[0].Data) != 16 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestBeginResetsState(t *testing.T) {
+	reg := newRegion(t, 8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	e.OnWrite(0, 8)
+	copy(reg.Bytes(), "12345678")
+	e.Commit()
+	e.Begin(reg)
+	if recs := e.Commit(); len(recs) != 0 {
+		t.Fatalf("state leaked across Begin: %+v", recs)
+	}
+}
+
+func TestOnWriteBounds(t *testing.T) {
+	reg := newRegion(t, 100)
+	e := New(Options{Mode: Page})
+	e.Begin(reg)
+	if err := e.OnWrite(90, 20); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	e2 := New(Options{Mode: Page})
+	if err := e2.OnWrite(0, 8); err == nil {
+		t.Fatal("OnWrite before Begin accepted")
+	}
+}
+
+func TestPartialTailPage(t *testing.T) {
+	// Region not a multiple of the page size: the final page is short.
+	reg := newRegion(t, 8192+100)
+	e := New(Options{Mode: Page})
+	e.Begin(reg)
+	copy(reg.Bytes()[8192+10:], "tail")
+	e.OnWrite(8192+10, 4)
+	recs := e.Commit()
+	if len(recs) != 1 || len(recs[0].Data) != 100 {
+		t.Fatalf("tail page rec = %+v", recs)
+	}
+}
+
+func TestOnFaultHook(t *testing.T) {
+	reg := newRegion(t, 4*8192)
+	var hooks int
+	e := New(Options{Mode: CpyCmp, OnFault: func() { hooks++ }})
+	e.Begin(reg)
+	e.OnWrite(0, 8)
+	e.OnWrite(8192, 8)
+	e.OnWrite(4, 8) // same page: no new fault
+	if hooks != 2 {
+		t.Fatalf("hook ran %d times", hooks)
+	}
+}
+
+// TestPropertyCpyCmpDiffsReconstruct verifies the diff invariant: the
+// twin plus the emitted diffs always reconstructs the final page.
+func TestPropertyCpyCmpDiffsReconstruct(t *testing.T) {
+	f := func(seed int64, nWrites uint8) bool {
+		r, _ := rvm.Open(rvm.Options{Node: 1})
+		reg, _ := r.Map(1, 4*8192)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(reg.Bytes())
+		before := append([]byte(nil), reg.Bytes()...)
+
+		e := New(Options{Mode: CpyCmp})
+		e.Begin(reg)
+		for i := 0; i < int(nWrites%24)+1; i++ {
+			off := uint64(rng.Intn(4*8192 - 64))
+			n := uint32(rng.Intn(64) + 1)
+			if err := e.OnWrite(off, n); err != nil {
+				return false
+			}
+			rng.Read(reg.Bytes()[off : off+uint64(n)])
+		}
+		recs := e.Commit()
+
+		// Apply diffs to the before image: must equal the live image.
+		rebuilt := append([]byte(nil), before...)
+		for _, rec := range recs {
+			copy(rebuilt[rec.Off:], rec.Data)
+		}
+		return bytes.Equal(rebuilt, reg.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPageModeCoversAllWrites: whole-page transmission always
+// reconstructs the final image too (it is a superset of the diffs).
+func TestPropertyPageModeCoversAllWrites(t *testing.T) {
+	f := func(seed int64, nWrites uint8) bool {
+		r, _ := rvm.Open(rvm.Options{Node: 1})
+		reg, _ := r.Map(1, 4*8192)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(reg.Bytes())
+		before := append([]byte(nil), reg.Bytes()...)
+
+		e := New(Options{Mode: Page})
+		e.Begin(reg)
+		for i := 0; i < int(nWrites%24)+1; i++ {
+			off := uint64(rng.Intn(4*8192 - 64))
+			n := uint32(rng.Intn(64) + 1)
+			if err := e.OnWrite(off, n); err != nil {
+				return false
+			}
+			rng.Read(reg.Bytes()[off : off+uint64(n)])
+		}
+		recs := e.Commit()
+		rebuilt := append([]byte(nil), before...)
+		for _, rec := range recs {
+			copy(rebuilt[rec.Off:], rec.Data)
+		}
+		return bytes.Equal(rebuilt, reg.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffBytesNeverExceedPageBytes pins the relationship the paper's
+// Figure 4 rests on: Cpy/Cmp never transmits more data than Page.
+func TestDiffBytesNeverExceedPageBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		r, _ := rvm.Open(rvm.Options{Node: 1})
+		reg, _ := r.Map(1, 8*8192)
+		rng := rand.New(rand.NewSource(seed))
+
+		cc := New(Options{Mode: CpyCmp})
+		pg := New(Options{Mode: Page})
+		cc.Begin(reg)
+		pg.Begin(reg)
+		for i := 0; i < 20; i++ {
+			off := uint64(rng.Intn(8*8192 - 128))
+			n := uint32(rng.Intn(128) + 1)
+			cc.OnWrite(off, n)
+			pg.OnWrite(off, n)
+			rng.Read(reg.Bytes()[off : off+uint64(n)])
+		}
+		var ccBytes, pgBytes int
+		for _, rec := range cc.Commit() {
+			ccBytes += len(rec.Data)
+		}
+		for _, rec := range pg.Commit() {
+			pgBytes += len(rec.Data)
+		}
+		return ccBytes <= pgBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordsInteroperateWithWAL(t *testing.T) {
+	reg := newRegion(t, 8192)
+	e := New(Options{Mode: CpyCmp})
+	e.Begin(reg)
+	e.OnWrite(50, 5)
+	copy(reg.Bytes()[50:], "wire!")
+	rec := &wal.TxRecord{Node: 1, TxSeq: 1, Ranges: e.Commit()}
+	got, err := wal.DecodeCompressed(wal.AppendCompressed(nil, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ranges) != 1 || string(got.Ranges[0].Data) != "wire!" {
+		t.Fatalf("ranges = %+v", got.Ranges)
+	}
+}

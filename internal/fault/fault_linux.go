@@ -1,0 +1,122 @@
+//go:build linux
+
+// Package fault measures the cost of hardware write-fault handling —
+// Table 2's "handle signal and change protection" row (360.1 us on
+// Alpha OSF/1). The paper measures: store to a read-only page, deliver
+// the signal to a user-level handler, mprotect the page writable,
+// return, and retry the store.
+//
+// Go's runtime owns SIGSEGV, so a user SIGSEGV handler is not an
+// option; the closest native equivalent is debug.SetPanicOnFault: the
+// runtime converts the fault into a recoverable panic, we recover,
+// mprotect the page writable, and retry. This exercises a real
+// hardware trap, the kernel's signal path, the runtime's fault
+// plumbing, and a real mprotect — the same ingredients, which is what
+// the cost model needs (repro note: this is the "page-fault/mprotect
+// tricks clash with the runtime" part of the reproduction; it is kept
+// out of the data path and used only for measurement).
+package fault
+
+import (
+	"fmt"
+	"runtime/debug"
+	"syscall"
+	"time"
+)
+
+// Supported reports whether trap measurement works on this platform.
+func Supported() bool { return true }
+
+// region holds one mmapped page used as the trap target.
+type region struct {
+	mem []byte
+}
+
+func newRegion() (*region, error) {
+	mem, err := syscall.Mmap(-1, 0, syscall.Getpagesize(),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANON)
+	if err != nil {
+		return nil, fmt.Errorf("fault: mmap: %w", err)
+	}
+	return &region{mem: mem}, nil
+}
+
+func (r *region) close() { _ = syscall.Munmap(r.mem) }
+
+func (r *region) protect(writable bool) error {
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	return syscall.Mprotect(r.mem, prot)
+}
+
+// tryStore attempts a store to the page, converting the fault into a
+// recovered panic. It reports whether the store faulted.
+func (r *region) tryStore() (faulted bool) {
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
+	defer func() {
+		if recover() != nil {
+			faulted = true
+		}
+	}()
+	r.mem[0] = 1
+	return false
+}
+
+// TrapOnce performs one full write-fault cycle: protect the page
+// read-only, store (fault, recover), mprotect writable, retry the
+// store. It is the unit of work MeasureTrap times and the hook the
+// DSM engines can invoke per simulated fault.
+func TrapOnce() error {
+	r, err := newRegion()
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	return trapCycle(r)
+}
+
+func trapCycle(r *region) error {
+	if err := r.protect(false); err != nil {
+		return fmt.Errorf("fault: mprotect ro: %w", err)
+	}
+	if !r.tryStore() {
+		return fmt.Errorf("fault: store to protected page did not fault")
+	}
+	if err := r.protect(true); err != nil {
+		return fmt.Errorf("fault: mprotect rw: %w", err)
+	}
+	if r.tryStore() {
+		return fmt.Errorf("fault: store faulted after unprotect")
+	}
+	return nil
+}
+
+// MeasureTrap runs iters trap cycles on one page and returns the mean
+// cost of a cycle — the host-native value for Table 2's last row.
+func MeasureTrap(iters int) (time.Duration, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	r, err := newRegion()
+	if err != nil {
+		return 0, err
+	}
+	defer r.close()
+	// Warm up.
+	for i := 0; i < 3; i++ {
+		if err := trapCycle(r); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := trapCycle(r); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}

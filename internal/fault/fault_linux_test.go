@@ -1,0 +1,22 @@
+//go:build linux
+
+package fault
+
+import "testing"
+
+func BenchmarkTrapCycle(b *testing.B) {
+	if !Supported() {
+		b.Skip("platform without trap support")
+	}
+	r, err := newRegion()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trapCycle(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

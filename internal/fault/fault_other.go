@@ -1,0 +1,21 @@
+//go:build !linux
+
+package fault
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrUnsupported is returned on platforms without the mmap/mprotect
+// path used by the trap microbenchmark.
+var ErrUnsupported = errors.New("fault: trap measurement unsupported on this platform")
+
+// Supported reports whether trap measurement works on this platform.
+func Supported() bool { return false }
+
+// TrapOnce is unsupported on this platform.
+func TrapOnce() error { return ErrUnsupported }
+
+// MeasureTrap is unsupported on this platform.
+func MeasureTrap(int) (time.Duration, error) { return 0, ErrUnsupported }

@@ -1,0 +1,26 @@
+package fault
+
+import "testing"
+
+func TestTrapOnce(t *testing.T) {
+	if !Supported() {
+		t.Skip("platform without trap support")
+	}
+	if err := TrapOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureTrap(t *testing.T) {
+	if !Supported() {
+		t.Skip("platform without trap support")
+	}
+	d, err := MeasureTrap(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("trap cost = %v", d)
+	}
+	t.Logf("write fault + mprotect cycle: %v (Table 2 Alpha value: 360.1us)", d)
+}

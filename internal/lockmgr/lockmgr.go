@@ -1,0 +1,513 @@
+// Package lockmgr implements the paper's distributed segment locks
+// (§3.3): token-based mutual exclusion with a centralized manager per
+// lock and a distributed waiter queue, as used by TreadMarks and by the
+// prototype.
+//
+// At all times exactly one node owns a lock's token. Acquiring on the
+// owning node needs no communication; other nodes send a request to the
+// lock's manager (determined from the lock id), which appends the
+// requester to a distributed queue by forwarding the request to the
+// previous queue tail. The previous tail passes the token as soon as
+// its local transaction releases the lock.
+//
+// Each lock carries two counters on its token:
+//
+//   - Seq, incremented on every acquire: the sequence number stamped
+//     into lock records (§3.4);
+//   - LastWriteSeq, the Seq of the most recent *writing* holder: the
+//     coherency interlock blocks an acquire until all updates through
+//     LastWriteSeq have been applied locally, so a token can never
+//     outrun the update stream it orders (the A/B/C scenario of §3.4).
+//
+// The interlock state (applied-write sequence per lock) lives here;
+// the coherency layer calls MarkApplied as it installs updates and
+// WaitApplied to order them.
+package lockmgr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// Message type codes on the transport (0x10-0x1F reserved for lockmgr).
+const (
+	MsgLockReq   uint8 = 0x10 // requester -> manager: {lock u32, requester u32}
+	MsgLockPass  uint8 = 0x11 // manager -> prev tail: {lock u32, to u32}
+	MsgLockToken uint8 = 0x12 // prev tail -> requester: {lock u32, seq u64, lastWriteSeq u64}
+)
+
+// ErrClosed is returned by Acquire after Close.
+var ErrClosed = errors.New("lockmgr: closed")
+
+// lockState is this node's view of one lock.
+type lockState struct {
+	haveToken bool
+	held      bool
+	readers   int  // concurrent local shared holders
+	requested bool // a MsgLockReq is outstanding
+	seq       uint64
+	lastWrite uint64
+	pendingTo netproto.NodeID // pass token here on release (0 = none)
+	hasPend   bool
+
+	applied uint64 // highest write seq applied locally (interlock)
+}
+
+// TokenData lets a higher layer piggyback an opaque payload on token
+// passes (the §2.2 alternative where "segment updates could be ...
+// passed with the lock token by the last writer", Midway-style).
+// PrepareToken runs on the sending node just before the token leaves;
+// TokenArrived runs on the receiver before waiters wake. Neither may
+// call back into the Manager's blocking operations.
+type TokenData interface {
+	PrepareToken(lockID uint32, to netproto.NodeID) []byte
+	TokenArrived(lockID uint32, from netproto.NodeID, payload []byte)
+}
+
+// Manager provides distributed locks over a transport.
+type Manager struct {
+	tr    netproto.Transport
+	nodes []netproto.NodeID
+	stats *metrics.Stats
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	locks  map[uint32]*lockState
+	tails  map[uint32]netproto.NodeID // manager-role queue tails
+	closed bool
+
+	tdMu sync.RWMutex
+	td   TokenData
+}
+
+// SetTokenData installs the token piggyback hooks. Install before any
+// lock traffic flows.
+func (m *Manager) SetTokenData(td TokenData) {
+	m.tdMu.Lock()
+	defer m.tdMu.Unlock()
+	m.td = td
+}
+
+func (m *Manager) tokenData() TokenData {
+	m.tdMu.RLock()
+	defer m.tdMu.RUnlock()
+	return m.td
+}
+
+// New creates a lock manager endpoint. nodes must be the identical,
+// ordered cluster membership on every node: the manager of lock L is
+// nodes[L % len(nodes)], and that node initially owns L's token.
+func New(tr netproto.Transport, nodes []netproto.NodeID, stats *metrics.Stats) *Manager {
+	if stats == nil {
+		stats = metrics.NewStats()
+	}
+	m := &Manager{
+		tr:    tr,
+		nodes: append([]netproto.NodeID(nil), nodes...),
+		stats: stats,
+		locks: map[uint32]*lockState{},
+		tails: map[uint32]netproto.NodeID{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	tr.Handle(MsgLockReq, m.onLockReq)
+	tr.Handle(MsgLockPass, m.onLockPass)
+	tr.Handle(MsgLockToken, m.onLockToken)
+	return m
+}
+
+// Stats returns the manager's metrics accumulator.
+func (m *Manager) Stats() *metrics.Stats { return m.stats }
+
+// ManagerOf returns the node that manages lock id.
+func (m *Manager) ManagerOf(lockID uint32) netproto.NodeID {
+	return m.nodes[int(lockID)%len(m.nodes)]
+}
+
+// state returns (creating if needed) the local state for a lock. The
+// token is born at the manager node. Callers hold m.mu.
+func (m *Manager) state(lockID uint32) *lockState {
+	st, ok := m.locks[lockID]
+	if !ok {
+		st = &lockState{haveToken: m.ManagerOf(lockID) == m.tr.Self()}
+		m.locks[lockID] = st
+	}
+	return st
+}
+
+// Grant describes a successful acquire.
+type Grant struct {
+	LockID uint32
+	// Seq is the sequence number assigned to this acquire; it tags the
+	// transaction's lock record.
+	Seq uint64
+	// PrevWriteSeq is the sequence number of the last writing holder
+	// before this acquire; receivers use it to order updates.
+	PrevWriteSeq uint64
+}
+
+// Acquire blocks until the lock is held by the caller on this node and
+// all remote updates through the token's LastWriteSeq have been applied
+// locally (the coherency interlock). Locks follow strict two-phase
+// locking: the caller must hold the grant until Release at commit.
+func (m *Manager) Acquire(lockID uint32) (Grant, error) {
+	return m.acquire(lockID, true)
+}
+
+// AcquireNoInterlock acquires the lock token and mutual exclusion but
+// does NOT wait for remote updates to be applied. It exists for lazy
+// propagation (§2.2): the acquirer itself pulls and applies pending
+// log records after the token arrives, then proceeds once
+// Applied(lockID) reaches the returned grant's PrevWriteSeq.
+func (m *Manager) AcquireNoInterlock(lockID uint32) (Grant, error) {
+	return m.acquire(lockID, false)
+}
+
+// AcquireShared takes the lock in shared (read) mode: any number of
+// local readers may hold it concurrently, and a reader is admitted
+// only once all updates through the token's last write have been
+// applied (the same §3.4 interlock as exclusive acquires). Writers —
+// local exclusive acquires and remote token requests — wait for the
+// readers to drain; once a remote pass is pending, no new readers are
+// admitted, so remote waiters cannot starve. Shared grants do not
+// advance the lock's sequence number (readers leave no lock records).
+// This is an extension beyond the paper's mutex-only prototype,
+// matching the coarse read locks of the commercial stores §2.1 cites.
+func (m *Manager) AcquireShared(lockID uint32) (Grant, error) {
+	return m.acquireShared(lockID, true)
+}
+
+// AcquireSharedNoInterlock is AcquireShared without the applied-update
+// wait, for lazy propagation (the caller pulls and applies itself).
+func (m *Manager) AcquireSharedNoInterlock(lockID uint32) (Grant, error) {
+	return m.acquireShared(lockID, false)
+}
+
+func (m *Manager) acquireShared(lockID uint32, interlock bool) (Grant, error) {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	for {
+		if m.closed {
+			return Grant{}, ErrClosed
+		}
+		if st.haveToken && !st.held && !st.hasPend && (!interlock || st.applied >= st.lastWrite) {
+			st.readers++
+			m.stats.Add(metrics.CtrLockAcquires, 1)
+			m.stats.Add("lock_wait_ns", time.Since(start).Nanoseconds())
+			return Grant{LockID: lockID, Seq: st.seq, PrevWriteSeq: st.lastWrite}, nil
+		}
+		if !st.haveToken && !st.requested {
+			st.requested = true
+			mgr := m.ManagerOf(lockID)
+			var req [8]byte
+			binary.LittleEndian.PutUint32(req[0:], lockID)
+			binary.LittleEndian.PutUint32(req[4:], uint32(m.tr.Self()))
+			m.stats.Add(metrics.CtrLockRemote, 1)
+			if mgr == m.tr.Self() {
+				m.handleLockReqLocked(lockID, m.tr.Self())
+			} else {
+				m.mu.Unlock()
+				err := m.tr.Send(mgr, MsgLockReq, req[:])
+				m.mu.Lock()
+				if err != nil {
+					st.requested = false
+					return Grant{}, fmt.Errorf("lockmgr: request lock %d: %w", lockID, err)
+				}
+			}
+			continue
+		}
+		m.cond.Wait()
+	}
+}
+
+// ReleaseShared drops one shared hold; when the last reader leaves and
+// a remote pass is pending, the token moves on.
+func (m *Manager) ReleaseShared(lockID uint32) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	if st.readers == 0 {
+		m.mu.Unlock()
+		return
+	}
+	st.readers--
+	var passTo netproto.NodeID
+	var pass bool
+	if st.readers == 0 && !st.held && st.hasPend && st.haveToken {
+		passTo, pass = st.pendingTo, true
+		st.hasPend = false
+		st.haveToken = false
+	}
+	seq, lw := st.seq, st.lastWrite
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if pass {
+		m.sendToken(passTo, lockID, seq, lw)
+	}
+}
+
+// Readers reports the current local shared-hold count (diagnostics).
+func (m *Manager) Readers(lockID uint32) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(lockID).readers
+}
+
+func (m *Manager) acquire(lockID uint32, interlock bool) (Grant, error) {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	for {
+		if m.closed {
+			return Grant{}, ErrClosed
+		}
+		if st.haveToken && !st.held && st.readers == 0 && (!interlock || st.applied >= st.lastWrite) {
+			st.held = true
+			st.seq++
+			m.stats.Add(metrics.CtrLockAcquires, 1)
+			m.stats.Add("lock_wait_ns", time.Since(start).Nanoseconds())
+			return Grant{LockID: lockID, Seq: st.seq, PrevWriteSeq: st.lastWrite}, nil
+		}
+		if !st.haveToken && !st.requested {
+			st.requested = true
+			mgr := m.ManagerOf(lockID)
+			var req [8]byte
+			binary.LittleEndian.PutUint32(req[0:], lockID)
+			binary.LittleEndian.PutUint32(req[4:], uint32(m.tr.Self()))
+			m.stats.Add(metrics.CtrLockRemote, 1)
+			if mgr == m.tr.Self() {
+				m.handleLockReqLocked(lockID, m.tr.Self())
+			} else {
+				m.mu.Unlock()
+				err := m.tr.Send(mgr, MsgLockReq, req[:])
+				m.mu.Lock()
+				if err != nil {
+					st.requested = false
+					return Grant{}, fmt.Errorf("lockmgr: request lock %d: %w", lockID, err)
+				}
+			}
+			// The token (or a pass-to-self) may have arrived while the
+			// mutex was released above; recheck before sleeping.
+			continue
+		}
+		m.cond.Wait()
+	}
+}
+
+// Release releases a held lock at transaction commit. wrote records
+// whether the transaction modified data under the lock; if so the
+// lock's LastWriteSeq advances to this holder's Seq and the local
+// applied counter follows (our own writes are trivially applied here).
+// If a remote waiter is queued the token is passed to it.
+func (m *Manager) Release(lockID uint32, wrote bool) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	if !st.held {
+		m.mu.Unlock()
+		return
+	}
+	st.held = false
+	if wrote {
+		st.lastWrite = st.seq
+		if st.applied < st.seq {
+			st.applied = st.seq
+		}
+	}
+	var passTo netproto.NodeID
+	var pass bool
+	if st.hasPend {
+		passTo, pass = st.pendingTo, true
+		st.hasPend = false
+		st.haveToken = false
+	}
+	seq, lw := st.seq, st.lastWrite
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	if pass {
+		m.sendToken(passTo, lockID, seq, lw)
+	}
+}
+
+// sendToken ships the token (with its counters and any piggybacked
+// payload) to a peer. Callers must not hold m.mu: the TokenData hook
+// may take its own locks.
+func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite uint64) {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], lockID)
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	binary.LittleEndian.PutUint64(hdr[12:], lastWrite)
+	m.stats.Add(metrics.CtrLockRemote, 1)
+	if to == m.tr.Self() {
+		m.onLockToken(m.tr.Self(), hdr[:])
+		return
+	}
+	msg := hdr[:]
+	if td := m.tokenData(); td != nil {
+		if blob := td.PrepareToken(lockID, to); len(blob) > 0 {
+			msg = append(append(make([]byte, 0, len(hdr)+len(blob)), hdr[:]...), blob...)
+		}
+	}
+	// Best effort: a lost token means a dead peer; recovery handles it.
+	_ = m.tr.Send(to, MsgLockToken, msg)
+}
+
+// onLockReq runs at the lock's manager: append the requester to the
+// distributed queue by forwarding a pass request to the previous tail.
+func (m *Manager) onLockReq(from netproto.NodeID, payload []byte) {
+	if len(payload) != 8 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	requester := netproto.NodeID(binary.LittleEndian.Uint32(payload[4:]))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handleLockReqLocked(lockID, requester)
+}
+
+func (m *Manager) handleLockReqLocked(lockID uint32, requester netproto.NodeID) {
+	prevTail, ok := m.tails[lockID]
+	if !ok {
+		prevTail = m.tr.Self() // token born at the manager
+	}
+	m.tails[lockID] = requester
+	if prevTail == m.tr.Self() {
+		m.handleLockPassLocked(lockID, requester)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], lockID)
+	binary.LittleEndian.PutUint32(b[4:], uint32(requester))
+	m.stats.Add(metrics.CtrLockRemote, 1)
+	prev := prevTail
+	m.mu.Unlock()
+	err := m.tr.Send(prev, MsgLockPass, b[:])
+	m.mu.Lock()
+	_ = err
+}
+
+// onLockPass runs at the previous queue tail: hand the token to `to`
+// now if the lock is free, otherwise on release.
+func (m *Manager) onLockPass(from netproto.NodeID, payload []byte) {
+	if len(payload) != 8 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	to := netproto.NodeID(binary.LittleEndian.Uint32(payload[4:]))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handleLockPassLocked(lockID, to)
+}
+
+func (m *Manager) handleLockPassLocked(lockID uint32, to netproto.NodeID) {
+	if to == m.tr.Self() {
+		// The manager queued our own request and we are the previous
+		// tail (we already own the token): nothing to pass.
+		st := m.state(lockID)
+		st.requested = false
+		m.cond.Broadcast()
+		return
+	}
+	st := m.state(lockID)
+	if st.haveToken && !st.held && st.readers == 0 {
+		st.haveToken = false
+		seq, lw := st.seq, st.lastWrite
+		m.mu.Unlock()
+		m.sendToken(to, lockID, seq, lw)
+		m.mu.Lock()
+		return
+	}
+	// Busy or token still in flight to us: remember the successor.
+	st.pendingTo, st.hasPend = to, true
+}
+
+// onLockToken runs at a requester: the token has arrived.
+func (m *Manager) onLockToken(from netproto.NodeID, payload []byte) {
+	if len(payload) < 20 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	seq := binary.LittleEndian.Uint64(payload[4:])
+	lw := binary.LittleEndian.Uint64(payload[12:])
+	if blob := payload[20:]; len(blob) > 0 {
+		if td := m.tokenData(); td != nil {
+			td.TokenArrived(lockID, from, blob)
+		}
+	}
+	m.mu.Lock()
+	st := m.state(lockID)
+	st.haveToken = true
+	st.requested = false
+	st.seq = seq
+	st.lastWrite = lw
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// MarkApplied records that updates through writeSeq for the lock have
+// been installed in local memory. Called by the coherency layer's
+// applier (and implicitly for our own writes at Release). It wakes
+// acquirers blocked on the interlock.
+func (m *Manager) MarkApplied(lockID uint32, writeSeq uint64) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	if st.applied < writeSeq {
+		st.applied = writeSeq
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Applied returns the highest applied write sequence for the lock.
+func (m *Manager) Applied(lockID uint32) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(lockID).applied
+}
+
+// WaitApplied blocks until updates through writeSeq have been applied
+// locally (or the manager closes). The coherency applier uses this to
+// serialize updates from different nodes (§3.4: hold log records until
+// the updates for the preceding sequence number have been applied).
+func (m *Manager) WaitApplied(lockID uint32, writeSeq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	for st.applied < writeSeq {
+		if m.closed {
+			return ErrClosed
+		}
+		m.cond.Wait()
+	}
+	return nil
+}
+
+// Holding reports whether the lock is currently held on this node.
+func (m *Manager) Holding(lockID uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(lockID).held
+}
+
+// HasToken reports whether this node owns the lock's token.
+func (m *Manager) HasToken(lockID uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state(lockID).haveToken
+}
+
+// Close unblocks all waiters with ErrClosed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return nil
+}

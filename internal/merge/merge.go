@@ -1,0 +1,131 @@
+// Package merge implements the paper's log-merge utility (§3.4): each
+// node produces its own redo log, so before the standard recovery
+// procedure can run, the per-node logs must be merged into a single log
+// whose order is consistent with the interleaving of updates.
+//
+// The merge exploits strict two-phase locking: if two transactions
+// acquired the same lock, the one with the earlier sequence number for
+// that lock committed first. Those pairwise constraints define a
+// partial order over all records; the utility topologically sorts the
+// records (ties broken deterministically by node id and per-node commit
+// sequence) and emits them into one log suitable for rvm.Recover.
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"lbc/internal/wal"
+)
+
+// Merge reads every complete record from the input logs and returns
+// them in an order consistent with all per-lock sequence constraints.
+// Torn tails are ignored (they are uncommitted by definition).
+func Merge(inputs ...wal.Device) ([]*wal.TxRecord, error) {
+	var all []*wal.TxRecord
+	for i, dev := range inputs {
+		txs, err := wal.ReadDevice(dev)
+		if err != nil {
+			return nil, fmt.Errorf("merge: read input %d: %w", i, err)
+		}
+		for _, tx := range txs {
+			if !tx.Checkpoint {
+				all = append(all, tx)
+			}
+		}
+	}
+	return Order(all)
+}
+
+// Order topologically sorts records under the per-lock sequence
+// constraints. It is exposed separately so in-memory record sets (e.g.
+// from the coherency layer) can be merged without device round trips.
+func Order(all []*wal.TxRecord) ([]*wal.TxRecord, error) {
+	// Group records per lock and sort by that lock's sequence number;
+	// consecutive pairs become ordering edges.
+	type ref struct {
+		idx int
+		seq uint64
+	}
+	perLock := map[uint32][]ref{}
+	for i, tx := range all {
+		for _, l := range tx.Locks {
+			perLock[l.LockID] = append(perLock[l.LockID], ref{idx: i, seq: l.Seq})
+		}
+	}
+
+	succs := make([][]int, len(all))
+	indeg := make([]int, len(all))
+	for lockID, refs := range perLock {
+		sort.Slice(refs, func(i, j int) bool { return refs[i].seq < refs[j].seq })
+		for k := 1; k < len(refs); k++ {
+			if refs[k].seq == refs[k-1].seq {
+				a, b := all[refs[k-1].idx], all[refs[k].idx]
+				return nil, fmt.Errorf(
+					"merge: lock %d acquired twice at sequence %d (tx %d/%d and %d/%d): corrupt logs",
+					lockID, refs[k].seq, a.Node, a.TxSeq, b.Node, b.TxSeq)
+			}
+			succs[refs[k-1].idx] = append(succs[refs[k-1].idx], refs[k].idx)
+			indeg[refs[k].idx]++
+		}
+	}
+
+	// Kahn's algorithm with a deterministic ready heap ordered by
+	// (node, per-node commit seq).
+	less := func(i, j int) bool {
+		if all[i].Node != all[j].Node {
+			return all[i].Node < all[j].Node
+		}
+		return all[i].TxSeq < all[j].TxSeq
+	}
+	var ready []int
+	push := func(i int) {
+		ready = append(ready, i)
+		sort.Slice(ready, func(a, b int) bool { return less(ready[a], ready[b]) })
+	}
+	for i := range all {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Slice(ready, func(a, b int) bool { return less(ready[a], ready[b]) })
+
+	out := make([]*wal.TxRecord, 0, len(all))
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		out = append(out, all[i])
+		for _, s := range succs[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(out) != len(all) {
+		return nil, fmt.Errorf("merge: ordering cycle across %d records (logs are inconsistent)",
+			len(all)-len(out))
+	}
+	return out, nil
+}
+
+// MergeTo merges the inputs and appends the ordered records to out in
+// the standard encoding, returning the number of records written. The
+// output log can then be fed to rvm.Recover unchanged.
+func MergeTo(out wal.Device, inputs ...wal.Device) (int, error) {
+	txs, err := Merge(inputs...)
+	if err != nil {
+		return 0, err
+	}
+	var buf []byte
+	for _, tx := range txs {
+		buf = wal.AppendStandard(buf[:0], tx)
+		if _, err := out.Append(buf); err != nil {
+			return 0, fmt.Errorf("merge: append output: %w", err)
+		}
+	}
+	if err := out.Sync(); err != nil {
+		return 0, err
+	}
+	return len(txs), nil
+}

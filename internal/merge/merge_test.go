@@ -1,0 +1,269 @@
+package merge_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lbc/internal/coherency"
+	"lbc/internal/merge"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+func rec(node uint32, txSeq uint64, locks []wal.LockRec, off uint64, data string) *wal.TxRecord {
+	return &wal.TxRecord{
+		Node: node, TxSeq: txSeq, Locks: locks,
+		Ranges: []wal.RangeRec{{Region: 1, Off: off, Data: []byte(data)}},
+	}
+}
+
+func lk(id uint32, seq uint64, wrote bool) wal.LockRec {
+	return wal.LockRec{LockID: id, Seq: seq, Wrote: wrote}
+}
+
+func devFrom(recs ...*wal.TxRecord) wal.Device {
+	d := wal.NewMemDevice()
+	var buf []byte
+	for _, r := range recs {
+		buf = wal.AppendStandard(buf[:0], r)
+		d.Append(buf)
+	}
+	return d
+}
+
+func TestMergeInterleavedLocks(t *testing.T) {
+	// Node 1 wrote at lock seqs 1 and 3; node 2 at seq 2.
+	log1 := devFrom(
+		rec(1, 1, []wal.LockRec{lk(7, 1, true)}, 0, "a"),
+		rec(1, 2, []wal.LockRec{lk(7, 3, true)}, 0, "c"),
+	)
+	log2 := devFrom(
+		rec(2, 1, []wal.LockRec{lk(7, 2, true)}, 0, "b"),
+	)
+	out, err := merge.Merge(log1, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("merged %d records", len(out))
+	}
+	var got string
+	for _, tx := range out {
+		got += string(tx.Ranges[0].Data)
+	}
+	if got != "abc" {
+		t.Fatalf("merged order = %q, want abc", got)
+	}
+}
+
+func TestMergeSeqGapsFromAborts(t *testing.T) {
+	// Seq 2 was consumed by an aborted acquire and appears in no log;
+	// the merge must not stall.
+	log1 := devFrom(rec(1, 1, []wal.LockRec{lk(7, 1, true)}, 0, "a"))
+	log2 := devFrom(rec(2, 1, []wal.LockRec{lk(7, 3, true)}, 0, "b"))
+	out, err := merge.Merge(log1, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || string(out[0].Ranges[0].Data) != "a" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMergeIndependentLocksDeterministic(t *testing.T) {
+	// No shared locks: tie-break by (node, txSeq) must be stable.
+	log1 := devFrom(
+		rec(1, 1, []wal.LockRec{lk(1, 1, true)}, 0, "x"),
+		rec(1, 2, []wal.LockRec{lk(1, 2, true)}, 0, "y"),
+	)
+	log2 := devFrom(rec(2, 1, []wal.LockRec{lk(2, 1, true)}, 8, "z"))
+	a, err := merge.Merge(log1, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := merge.Merge(log2, log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].TxSeq != b[i].TxSeq {
+			t.Fatalf("merge not input-order independent at %d", i)
+		}
+	}
+}
+
+func TestMergeMultiLockTransaction(t *testing.T) {
+	// tx B holds locks 1 and 2; it must come after A (lock 1) and
+	// before C (lock 2).
+	logA := devFrom(rec(1, 1, []wal.LockRec{lk(1, 1, true)}, 0, "A"))
+	logB := devFrom(rec(2, 1, []wal.LockRec{lk(1, 2, true), lk(2, 1, true)}, 0, "B"))
+	logC := devFrom(rec(3, 1, []wal.LockRec{lk(2, 2, true)}, 0, "C"))
+	out, err := merge.Merge(logA, logB, logC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, tx := range out {
+		got += string(tx.Ranges[0].Data)
+	}
+	if got != "ABC" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestMergeDetectsDuplicateSeq(t *testing.T) {
+	log1 := devFrom(rec(1, 1, []wal.LockRec{lk(7, 1, true)}, 0, "a"))
+	log2 := devFrom(rec(2, 1, []wal.LockRec{lk(7, 1, true)}, 0, "b"))
+	if _, err := merge.Merge(log1, log2); err == nil {
+		t.Fatal("duplicate lock sequence not detected")
+	}
+}
+
+func TestMergeDetectsCycle(t *testing.T) {
+	// A before B on lock 1, B before A on lock 2: impossible under
+	// 2PL, must be reported.
+	a := rec(1, 1, []wal.LockRec{lk(1, 1, true), lk(2, 2, true)}, 0, "a")
+	b := rec(2, 1, []wal.LockRec{lk(1, 2, true), lk(2, 1, true)}, 0, "b")
+	if _, err := merge.Order([]*wal.TxRecord{a, b}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestMergeToProducesRecoverableLog(t *testing.T) {
+	log1 := devFrom(
+		rec(1, 1, []wal.LockRec{lk(7, 1, true)}, 0, "old value"),
+	)
+	log2 := devFrom(
+		rec(2, 1, []wal.LockRec{lk(7, 2, true)}, 0, "new value"),
+	)
+	merged := wal.NewMemDevice()
+	n, err := merge.MergeTo(merged, log1, log2)
+	if err != nil || n != 2 {
+		t.Fatalf("MergeTo: %d, %v", n, err)
+	}
+	data := rvm.NewMemStore()
+	if _, err := rvm.Recover(merged, data, rvm.RecoverOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := data.LoadRegion(1)
+	if string(img[:9]) != "new value" {
+		t.Fatalf("recovered image = %q", img[:9])
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	out, err := merge.Merge(wal.NewMemDevice(), wal.NewMemDevice())
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestPropertyMergedRecoveryMatchesCoherentImage is the paper's
+// end-to-end recoverability claim: running distributed transactions,
+// merging the per-node logs, and replaying them into the permanent
+// image must reproduce exactly the state the coherent caches converged
+// to (§3.4).
+func TestPropertyMergedRecoveryMatchesCoherentImage(t *testing.T) {
+	f := func(seed int64) bool {
+		const (
+			kNodes = 3
+			kLocks = 3
+			segLen = 128
+		)
+		hub := netproto.NewHub()
+		ids := []netproto.NodeID{1, 2, 3}
+		var nodes []*coherency.Node
+		var logs []wal.Device
+		for _, id := range ids {
+			log := wal.NewMemDevice()
+			logs = append(logs, log)
+			r, _ := rvm.Open(rvm.Options{Node: uint32(id), Log: log})
+			n, err := coherency.New(coherency.Options{
+				RVM: r, Transport: hub.Endpoint(id), Nodes: ids,
+			})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			defer n.Close()
+			nodes = append(nodes, n)
+		}
+		for _, n := range nodes {
+			if _, err := n.MapRegion(1, kLocks*segLen); err != nil {
+				t.Log(err)
+				return false
+			}
+			for l := uint32(0); l < kLocks; l++ {
+				n.AddSegment(coherency.Segment{LockID: l, Region: 1,
+					Off: uint64(l) * segLen, Len: segLen})
+			}
+		}
+		for _, n := range nodes {
+			if err := n.WaitPeers(1, 2, 5*time.Second); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+
+		var wg sync.WaitGroup
+		for i := range nodes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed + int64(i)))
+				for k := 0; k < 15; k++ {
+					lock := uint32(r.Intn(kLocks))
+					tx := nodes[i].Begin(rvm.NoRestore)
+					if err := tx.Acquire(lock); err != nil {
+						t.Error(err)
+						return
+					}
+					off := uint64(lock)*segLen + uint64(r.Intn(segLen-8))
+					data := make([]byte, r.Intn(7)+1)
+					r.Read(data)
+					tx.Write(nodes[i].RVM().Region(1), off, data)
+					if _, err := tx.Commit(rvm.NoFlush); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		// Quiesce all nodes.
+		for _, n := range nodes {
+			for l := uint32(0); l < kLocks; l++ {
+				tx := n.Begin(rvm.NoRestore)
+				if err := tx.Acquire(l); err != nil {
+					t.Error(err)
+					return false
+				}
+				tx.Commit(rvm.NoFlush)
+			}
+		}
+		want := append([]byte(nil), nodes[0].RVM().Region(1).Bytes()...)
+
+		// Merge the three logs and recover into a fresh store.
+		merged := wal.NewMemDevice()
+		if _, err := merge.MergeTo(merged, logs...); err != nil {
+			t.Log(err)
+			return false
+		}
+		data := rvm.NewMemStore()
+		data.StoreRegion(1, make([]byte, kLocks*segLen))
+		if _, err := rvm.Recover(merged, data, rvm.RecoverOptions{}); err != nil {
+			t.Log(err)
+			return false
+		}
+		img, _ := data.LoadRegion(1)
+		return bytes.Equal(img, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package metrics provides the phase-cost accounting used throughout the
+// log-based coherency system. The paper's figures decompose every
+// experiment into the same five phases — detect updates, collect updates,
+// disk I/O, network I/O, and apply updates — so the instrumentation is
+// shared by the RVM core, the coherency engines, and the benchmark
+// harness.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one segment of a stacked cost bar in Figures 1-3 and 8.
+type Phase int
+
+// The five cost phases from the paper's evaluation.
+const (
+	PhaseDetect  Phase = iota // detecting updates (set_range calls or faults)
+	PhaseCollect              // collecting updates at commit (gather + encode)
+	PhaseDiskIO               // writing the log tail to durable storage
+	PhaseNetIO                // transmitting coherency data to peers
+	PhaseApply                // applying received updates at a peer
+	numPhases
+)
+
+// String returns the label used in the paper's figure legends.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDetect:
+		return "Detect Updates"
+	case PhaseCollect:
+		return "Collect Updates"
+	case PhaseDiskIO:
+		return "Disk I/O"
+	case PhaseNetIO:
+		return "Network I/O"
+	case PhaseApply:
+		return "Apply Updates"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists all phases in figure-stack order (bottom to top).
+func Phases() []Phase {
+	return []Phase{PhaseDetect, PhaseCollect, PhaseDiskIO, PhaseNetIO, PhaseApply}
+}
+
+// Stats accumulates per-phase durations and event counters. All methods
+// are safe for concurrent use; receiver goroutines add apply time while
+// the mutator thread adds detect/collect time.
+type Stats struct {
+	phaseNS  [numPhases]atomic.Int64
+	counters sync.Map // string -> *atomic.Int64
+}
+
+// NewStats returns an empty statistics accumulator.
+func NewStats() *Stats { return &Stats{} }
+
+// AddPhase accrues d into phase p.
+func (s *Stats) AddPhase(p Phase, d time.Duration) {
+	s.phaseNS[p].Add(int64(d))
+}
+
+// Phase returns the accumulated time in phase p.
+func (s *Stats) Phase(p Phase) time.Duration {
+	return time.Duration(s.phaseNS[p].Load())
+}
+
+// Total returns the sum across all phases.
+func (s *Stats) Total() time.Duration {
+	var t time.Duration
+	for p := Phase(0); p < numPhases; p++ {
+		t += s.Phase(p)
+	}
+	return t
+}
+
+// Add increments the named counter by delta.
+func (s *Stats) Add(name string, delta int64) {
+	v, _ := s.counters.LoadOrStore(name, new(atomic.Int64))
+	v.(*atomic.Int64).Add(delta)
+}
+
+// Counter returns the value of the named counter (0 if never written).
+func (s *Stats) Counter(name string) int64 {
+	v, ok := s.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+// Counters returns a sorted snapshot of all counters.
+func (s *Stats) Counters() map[string]int64 {
+	out := map[string]int64{}
+	s.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// Reset zeroes all phases and counters.
+func (s *Stats) Reset() {
+	for p := Phase(0); p < numPhases; p++ {
+		s.phaseNS[p].Store(0)
+	}
+	s.counters.Range(func(k, v any) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
+}
+
+// Merge adds every phase and counter of o into s.
+func (s *Stats) Merge(o *Stats) {
+	for p := Phase(0); p < numPhases; p++ {
+		s.phaseNS[p].Add(o.phaseNS[p].Load())
+	}
+	o.counters.Range(func(k, v any) bool {
+		s.Add(k.(string), v.(*atomic.Int64).Load())
+		return true
+	})
+}
+
+// Snapshot returns an immutable copy of the stats, suitable for
+// reporting after an experiment completes.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{Counters: s.Counters()}
+	for p := Phase(0); p < numPhases; p++ {
+		snap.Phases[p] = s.Phase(p)
+	}
+	return snap
+}
+
+// Snapshot is a point-in-time copy of a Stats accumulator.
+type Snapshot struct {
+	Phases   [numPhases]time.Duration
+	Counters map[string]int64
+}
+
+// Phase returns the accumulated time in phase p.
+func (sn Snapshot) Phase(p Phase) time.Duration { return sn.Phases[p] }
+
+// Total returns the sum across all phases.
+func (sn Snapshot) Total() time.Duration {
+	var t time.Duration
+	for _, d := range sn.Phases {
+		t += d
+	}
+	return t
+}
+
+// Sub returns sn - o phase-wise and counter-wise (counters floor at
+// whatever arithmetic yields; no clamping).
+func (sn Snapshot) Sub(o Snapshot) Snapshot {
+	out := Snapshot{Counters: map[string]int64{}}
+	for p := range sn.Phases {
+		out.Phases[p] = sn.Phases[p] - o.Phases[p]
+	}
+	for k, v := range sn.Counters {
+		out.Counters[k] = v - o.Counters[k]
+	}
+	for k, v := range o.Counters {
+		if _, ok := sn.Counters[k]; !ok {
+			out.Counters[k] = -v
+		}
+	}
+	return out
+}
+
+// Format renders the snapshot as an aligned table: phases first in stack
+// order, then counters alphabetically.
+func (sn Snapshot) Format() string {
+	var b strings.Builder
+	for _, p := range Phases() {
+		if sn.Phases[p] != 0 {
+			fmt.Fprintf(&b, "  %-16s %12.3f ms\n", p, float64(sn.Phases[p])/1e6)
+		}
+	}
+	keys := make([]string, 0, len(sn.Counters))
+	for k := range sn.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-16s %12d\n", k, sn.Counters[k])
+	}
+	return b.String()
+}
+
+// Timer measures one phase interval. It is intentionally allocation-free
+// so it can wrap every set_range call without perturbing Figure 5/6.
+type Timer struct {
+	stats *Stats
+	phase Phase
+	start time.Time
+}
+
+// StartTimer begins timing phase p against stats s.
+func StartTimer(s *Stats, p Phase) Timer {
+	return Timer{stats: s, phase: p, start: time.Now()}
+}
+
+// Stop accrues the elapsed time and returns it.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.stats.AddPhase(t.phase, d)
+	return d
+}
+
+// Common counter names shared across packages. Keeping them in one place
+// prevents silent divergence between the engines and the harness.
+const (
+	CtrSetRangeCalls  = "set_range_calls"  // detect events (Log engine)
+	CtrRangesLogged   = "ranges_logged"    // distinct ranges at commit
+	CtrBytesLogged    = "bytes_logged"     // unique new-value bytes
+	CtrBytesSent      = "bytes_sent"       // coherency bytes on the wire
+	CtrMsgsSent       = "msgs_sent"        // coherency messages
+	CtrPagesTouched   = "pages_touched"    // pages with >=1 modified byte
+	CtrPageFaults     = "page_faults"      // simulated write faults (Page/CpyCmp)
+	CtrPageCopies     = "page_copies"      // twin copies (CpyCmp)
+	CtrPageCompares   = "page_compares"    // twin compares (CpyCmp)
+	CtrPagesSent      = "pages_sent"       // whole pages transmitted (Page)
+	CtrBytesApplied   = "bytes_applied"    // bytes written at receivers
+	CtrRecordsApplied = "records_applied"  // range records applied at receivers
+	CtrTxCommitted    = "tx_committed"     // committed transactions
+	CtrTxAborted      = "tx_aborted"       // aborted transactions
+	CtrLockAcquires   = "lock_acquires"    // distributed lock acquisitions
+	CtrLockRemote     = "lock_remote_msgs" // lock protocol messages sent
+	CtrLogFlushes     = "log_flushes"      // durable log forces
+)

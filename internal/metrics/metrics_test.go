@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhaseAccumulation(t *testing.T) {
+	s := NewStats()
+	s.AddPhase(PhaseDetect, 5*time.Millisecond)
+	s.AddPhase(PhaseDetect, 7*time.Millisecond)
+	s.AddPhase(PhaseApply, 2*time.Millisecond)
+	if got := s.Phase(PhaseDetect); got != 12*time.Millisecond {
+		t.Fatalf("detect = %v, want 12ms", got)
+	}
+	if got := s.Total(); got != 14*time.Millisecond {
+		t.Fatalf("total = %v, want 14ms", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseDetect:  "Detect Updates",
+		PhaseCollect: "Collect Updates",
+		PhaseDiskIO:  "Disk I/O",
+		PhaseNetIO:   "Network I/O",
+		PhaseApply:   "Apply Updates",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), w)
+		}
+	}
+	if got := Phase(99).String(); got != "Phase(99)" {
+		t.Errorf("unknown phase = %q", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewStats()
+	if s.Counter("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	s.Add(CtrBytesSent, 100)
+	s.Add(CtrBytesSent, 50)
+	s.Add(CtrMsgsSent, 1)
+	if got := s.Counter(CtrBytesSent); got != 150 {
+		t.Fatalf("bytes_sent = %d, want 150", got)
+	}
+	all := s.Counters()
+	if len(all) != 2 || all[CtrMsgsSent] != 1 {
+		t.Fatalf("counters snapshot = %v", all)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewStats()
+	s.Add("x", 9)
+	s.AddPhase(PhaseNetIO, time.Second)
+	s.Reset()
+	if s.Counter("x") != 0 || s.Total() != 0 {
+		t.Fatal("reset did not zero stats")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Add("x", 1)
+	a.AddPhase(PhaseCollect, time.Millisecond)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	b.AddPhase(PhaseCollect, 2*time.Millisecond)
+	a.Merge(b)
+	if a.Counter("x") != 3 || a.Counter("y") != 3 {
+		t.Fatalf("merged counters wrong: x=%d y=%d", a.Counter("x"), a.Counter("y"))
+	}
+	if a.Phase(PhaseCollect) != 3*time.Millisecond {
+		t.Fatalf("merged phase = %v", a.Phase(PhaseCollect))
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	s := NewStats()
+	s.Add("n", 10)
+	s.AddPhase(PhaseApply, 10*time.Millisecond)
+	before := s.Snapshot()
+	s.Add("n", 5)
+	s.Add("new", 2)
+	s.AddPhase(PhaseApply, 3*time.Millisecond)
+	diff := s.Snapshot().Sub(before)
+	if diff.Counters["n"] != 5 || diff.Counters["new"] != 2 {
+		t.Fatalf("diff counters = %v", diff.Counters)
+	}
+	if diff.Phase(PhaseApply) != 3*time.Millisecond {
+		t.Fatalf("diff apply = %v", diff.Phase(PhaseApply))
+	}
+}
+
+func TestSnapshotSubMissingKey(t *testing.T) {
+	s := NewStats()
+	s.Add("gone", 4)
+	before := s.Snapshot()
+	s.Reset()
+	diff := s.Snapshot().Sub(before)
+	if diff.Counters["gone"] != -4 {
+		t.Fatalf("expected -4 for counter only in baseline, got %d", diff.Counters["gone"])
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := NewStats()
+	tm := StartTimer(s, PhaseDiskIO)
+	time.Sleep(2 * time.Millisecond)
+	d := tm.Stop()
+	if d < 2*time.Millisecond {
+		t.Fatalf("timer returned %v", d)
+	}
+	if s.Phase(PhaseDiskIO) != d {
+		t.Fatalf("accrued %v, returned %v", s.Phase(PhaseDiskIO), d)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Add("c", 1)
+				s.AddPhase(PhaseNetIO, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Counter("c") != 8000 {
+		t.Fatalf("c = %d, want 8000", s.Counter("c"))
+	}
+	if s.Phase(PhaseNetIO) != 8000*time.Nanosecond {
+		t.Fatalf("netio = %v", s.Phase(PhaseNetIO))
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := NewStats()
+	s.AddPhase(PhaseDetect, time.Millisecond)
+	s.Add("zz", 1)
+	s.Add("aa", 2)
+	out := s.Snapshot().Format()
+	if !strings.Contains(out, "Detect Updates") {
+		t.Fatalf("format missing phase: %q", out)
+	}
+	if strings.Index(out, "aa") > strings.Index(out, "zz") {
+		t.Fatalf("counters not sorted: %q", out)
+	}
+}
+
+func TestPhasesOrder(t *testing.T) {
+	ps := Phases()
+	if len(ps) != 5 || ps[0] != PhaseDetect || ps[4] != PhaseApply {
+		t.Fatalf("Phases() = %v", ps)
+	}
+}

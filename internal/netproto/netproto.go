@@ -1,0 +1,421 @@
+// Package netproto provides the node-to-node messaging substrate for
+// the coherency and lock protocols: typed, length-prefixed binary
+// frames with per-sender FIFO ordering (the guarantee TCP gave the
+// paper's prototype, which the ordering interlock of §3.4 builds on).
+//
+// Two implementations are provided: a real TCP mesh (the prototype's
+// configuration — a writev per peer at commit) and an in-process
+// channel mesh for deterministic tests.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// NodeID identifies a node in the cluster.
+type NodeID uint32
+
+// Handler consumes an incoming message. Handlers for a given transport
+// are invoked sequentially per sender (FIFO); the payload is only valid
+// for the duration of the call.
+type Handler func(from NodeID, payload []byte)
+
+// Transport sends typed frames between nodes.
+type Transport interface {
+	// Self returns this endpoint's node id.
+	Self() NodeID
+	// Send transmits payload to the peer. It blocks until the payload
+	// has been written to the channel (TCP send buffer or in-proc
+	// queue), mirroring the synchronous writev of the prototype.
+	Send(to NodeID, typ uint8, payload []byte) error
+	// Handle registers the handler for a message type. Must be called
+	// before messages of that type arrive; not safe to call
+	// concurrently with message delivery.
+	Handle(typ uint8, h Handler)
+	// Peers lists the other nodes in the cluster.
+	Peers() []NodeID
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// ErrUnknownPeer is returned by Send for an unconfigured destination.
+var ErrUnknownPeer = errors.New("netproto: unknown peer")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("netproto: transport closed")
+
+// maxHandlers bounds message type codes (lockmgr uses 0x10-0x1F,
+// coherency 0x20-0x2F; codes above 0x3F are reserved).
+const maxHandlers = 64
+
+// --- In-process mesh -----------------------------------------------------
+
+// Hub connects in-process endpoints. Message delivery preserves
+// per-sender FIFO order (each endpoint drains a single queue).
+type Hub struct {
+	mu        sync.Mutex
+	endpoints map[NodeID]*ChanEndpoint
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub { return &Hub{endpoints: map[NodeID]*ChanEndpoint{}} }
+
+// Endpoint creates (or returns) the endpoint for id.
+func (h *Hub) Endpoint(id NodeID) *ChanEndpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ep, ok := h.endpoints[id]; ok {
+		return ep
+	}
+	ep := &ChanEndpoint{
+		hub:  h,
+		id:   id,
+		ch:   make(chan inMsg, 1024),
+		done: make(chan struct{}),
+	}
+	go ep.run()
+	h.endpoints[id] = ep
+	return ep
+}
+
+func (h *Hub) lookup(id NodeID) *ChanEndpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.endpoints[id]
+}
+
+func (h *Hub) ids(except NodeID) []NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeID, 0, len(h.endpoints))
+	for id := range h.endpoints {
+		if id != except {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+type inMsg struct {
+	from    NodeID
+	typ     uint8
+	payload []byte
+}
+
+// ChanEndpoint is an in-process Transport attached to a Hub.
+type ChanEndpoint struct {
+	hub      *Hub
+	id       NodeID
+	ch       chan inMsg
+	done     chan struct{}
+	closeOne sync.Once
+
+	hmu      sync.RWMutex
+	handlers [maxHandlers]Handler
+}
+
+// Self implements Transport.
+func (e *ChanEndpoint) Self() NodeID { return e.id }
+
+// Handle implements Transport.
+func (e *ChanEndpoint) Handle(typ uint8, h Handler) {
+	e.hmu.Lock()
+	defer e.hmu.Unlock()
+	e.handlers[typ] = h
+}
+
+// Send implements Transport. The payload is copied, so the caller may
+// reuse its buffer immediately (matching the semantics of a TCP write).
+func (e *ChanEndpoint) Send(to NodeID, typ uint8, payload []byte) error {
+	dst := e.hub.lookup(to)
+	if dst == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	select {
+	case dst.ch <- inMsg{from: e.id, typ: typ, payload: cp}:
+		return nil
+	case <-dst.done:
+		return ErrClosed
+	}
+}
+
+// Peers implements Transport.
+func (e *ChanEndpoint) Peers() []NodeID { return e.hub.ids(e.id) }
+
+// Close implements Transport.
+func (e *ChanEndpoint) Close() error {
+	e.closeOne.Do(func() { close(e.done) })
+	return nil
+}
+
+func (e *ChanEndpoint) run() {
+	for {
+		select {
+		case m := <-e.ch:
+			e.dispatch(m.from, m.typ, m.payload)
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *ChanEndpoint) dispatch(from NodeID, typ uint8, payload []byte) {
+	e.hmu.RLock()
+	h := e.handlers[typ]
+	e.hmu.RUnlock()
+	if h != nil {
+		h(from, payload)
+	}
+}
+
+// --- TCP mesh ------------------------------------------------------------
+
+// Frame layout: length u32 (type + payload) | type u8 | payload.
+// A connection begins with a 4-byte hello carrying the sender's NodeID;
+// each ordered node pair uses its own connection (A dials B to send
+// A->B), so per-sender FIFO order is TCP's own ordering.
+const frameHeaderLen = 5
+
+// TCPMesh is a Transport over real TCP connections.
+type TCPMesh struct {
+	self  NodeID
+	ln    net.Listener
+	peers map[NodeID]string // peer id -> dial address
+
+	hmu      sync.RWMutex
+	handlers [maxHandlers]Handler
+
+	cmu      sync.Mutex
+	conns    map[NodeID]net.Conn // outgoing connections
+	accepted map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewTCPMesh creates a mesh endpoint listening on listenAddr (use
+// "127.0.0.1:0" for tests) with the given peer address map. Handlers
+// should be registered before traffic starts.
+func NewTCPMesh(self NodeID, listenAddr string, peers map[NodeID]string) (*TCPMesh, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen %s: %w", listenAddr, err)
+	}
+	m := &TCPMesh{
+		self:     self,
+		ln:       ln,
+		peers:    peers,
+		conns:    map[NodeID]net.Conn{},
+		accepted: map[net.Conn]struct{}{},
+		closed:   make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the mesh's listening address (useful with ":0").
+func (m *TCPMesh) Addr() string { return m.ln.Addr().String() }
+
+// Self implements Transport.
+func (m *TCPMesh) Self() NodeID { return m.self }
+
+// Handle implements Transport.
+func (m *TCPMesh) Handle(typ uint8, h Handler) {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	m.handlers[typ] = h
+}
+
+// Peers implements Transport.
+func (m *TCPMesh) Peers() []NodeID {
+	out := make([]NodeID, 0, len(m.peers))
+	for id := range m.peers {
+		if id != m.self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SetPeer adds or updates a peer address (before traffic to it starts).
+func (m *TCPMesh) SetPeer(id NodeID, addr string) {
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	m.peers[id] = addr
+}
+
+// Send implements Transport, dialing the peer on first use.
+func (m *TCPMesh) Send(to NodeID, typ uint8, payload []byte) error {
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	conn, err := m.conn(to)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr, uint32(1+len(payload)))
+	hdr[4] = typ
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	if _, err := conn.Write(hdr); err != nil {
+		delete(m.conns, to)
+		conn.Close()
+		return fmt.Errorf("netproto: send to %d: %w", to, err)
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			delete(m.conns, to)
+			conn.Close()
+			return fmt.Errorf("netproto: send to %d: %w", to, err)
+		}
+	}
+	return nil
+}
+
+func (m *TCPMesh) conn(to NodeID) (net.Conn, error) {
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	if c, ok := m.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := m.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial %d at %s: %w", to, addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(m.self))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	m.conns[to] = c
+	return c, nil
+}
+
+func (m *TCPMesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.cmu.Lock()
+		select {
+		case <-m.closed:
+			m.cmu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		m.accepted[c] = struct{}{}
+		m.cmu.Unlock()
+		m.wg.Add(1)
+		go m.readLoop(c)
+	}
+}
+
+// readLoop services one incoming connection: hello, then frames. These
+// goroutines are the "receiver threads" of the prototype (§3.2).
+func (m *TCPMesh) readLoop(c net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		c.Close()
+		m.cmu.Lock()
+		delete(m.accepted, c)
+		m.cmu.Unlock()
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	var hello [4]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return
+	}
+	from := NodeID(binary.LittleEndian.Uint32(hello[:]))
+	var hdr [frameHeaderLen]byte
+	buf := make([]byte, 64<<10)
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n == 0 || n > 1<<30 {
+			return
+		}
+		typ := hdr[4]
+		payloadLen := int(n) - 1
+		if payloadLen > cap(buf) {
+			// Grow as data actually arrives so a hostile length prefix
+			// cannot force a giant allocation.
+			const chunk = 1 << 20
+			grown := make([]byte, 0, min(payloadLen, chunk))
+			for len(grown) < payloadLen {
+				next := payloadLen - len(grown)
+				if next > chunk {
+					next = chunk
+				}
+				start := len(grown)
+				grown = append(grown, make([]byte, next)...)
+				if _, err := io.ReadFull(c, grown[start:]); err != nil {
+					return
+				}
+			}
+			buf = grown
+			m.hmu.RLock()
+			h := m.handlers[typ]
+			m.hmu.RUnlock()
+			if h != nil {
+				h(from, buf[:payloadLen])
+			}
+			continue
+		}
+		b := buf[:payloadLen]
+		if _, err := io.ReadFull(c, b); err != nil {
+			return
+		}
+		m.hmu.RLock()
+		h := m.handlers[typ]
+		m.hmu.RUnlock()
+		if h != nil {
+			h(from, b)
+		}
+	}
+}
+
+// Close implements Transport.
+func (m *TCPMesh) Close() error {
+	m.once.Do(func() {
+		close(m.closed)
+		m.ln.Close()
+		m.cmu.Lock()
+		for id, c := range m.conns {
+			c.Close()
+			delete(m.conns, id)
+		}
+		for c := range m.accepted {
+			c.Close()
+		}
+		m.cmu.Unlock()
+	})
+	m.wg.Wait()
+	return nil
+}

@@ -1,0 +1,385 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect accumulates received messages for assertions.
+type collect struct {
+	mu   sync.Mutex
+	msgs []string
+	cond *sync.Cond
+}
+
+func newCollect() *collect {
+	c := &collect{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collect) handler(from NodeID, payload []byte) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, fmt.Sprintf("%d:%s", from, payload))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *collect) waitFor(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.msgs) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: have %d msgs, want %d: %v", len(c.msgs), n, c.msgs)
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	return append([]string(nil), c.msgs...)
+}
+
+func TestChanMeshDelivery(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+
+	rc := newCollect()
+	b.Handle(7, rc.handler)
+	if err := a.Send(2, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := rc.waitFor(t, 1)
+	if got[0] != "1:hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChanMeshFIFOPerSender(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	rc := newCollect()
+	b.Handle(1, rc.handler)
+	for i := 0; i < 100; i++ {
+		a.Send(2, 1, []byte(fmt.Sprintf("%03d", i)))
+	}
+	got := rc.waitFor(t, 100)
+	for i, m := range got {
+		if want := fmt.Sprintf("1:%03d", i); m != want {
+			t.Fatalf("msg %d = %q, want %q", i, m, want)
+		}
+	}
+}
+
+func TestChanMeshUnknownPeer(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	defer a.Close()
+	if err := a.Send(99, 1, nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChanMeshPeers(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	hub.Endpoint(2)
+	hub.Endpoint(3)
+	peers := a.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	for _, p := range peers {
+		if p == 1 {
+			t.Fatal("self in peers")
+		}
+	}
+}
+
+func TestChanMeshPayloadCopied(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	rc := newCollect()
+	b.Handle(1, rc.handler)
+	buf := []byte("original")
+	a.Send(2, 1, buf)
+	copy(buf, "CLOBBER!")
+	got := rc.waitFor(t, 1)
+	if got[0] != "1:original" {
+		t.Fatalf("payload aliased sender buffer: %v", got)
+	}
+}
+
+func TestChanMeshUnhandledTypeDropped(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(2, 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// No handler for type 9: message silently dropped, no crash.
+	time.Sleep(5 * time.Millisecond)
+}
+
+func newTCPPair(t *testing.T) (*TCPMesh, *TCPMesh) {
+	t.Helper()
+	a, err := NewTCPMesh(1, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPMesh(2, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.SetPeer(2, b.Addr())
+	b.SetPeer(1, a.Addr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPMeshDelivery(t *testing.T) {
+	a, b := newTCPPair(t)
+	rc := newCollect()
+	b.Handle(3, rc.handler)
+	if err := a.Send(2, 3, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got := rc.waitFor(t, 1)
+	if got[0] != "1:over tcp" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTCPMeshBidirectional(t *testing.T) {
+	a, b := newTCPPair(t)
+	ra, rb := newCollect(), newCollect()
+	a.Handle(1, ra.handler)
+	b.Handle(1, rb.handler)
+	a.Send(2, 1, []byte("ping"))
+	b.Send(1, 1, []byte("pong"))
+	if got := rb.waitFor(t, 1); got[0] != "1:ping" {
+		t.Fatalf("b got %v", got)
+	}
+	if got := ra.waitFor(t, 1); got[0] != "2:pong" {
+		t.Fatalf("a got %v", got)
+	}
+}
+
+func TestTCPMeshFIFO(t *testing.T) {
+	a, b := newTCPPair(t)
+	rc := newCollect()
+	b.Handle(1, rc.handler)
+	for i := 0; i < 200; i++ {
+		if err := a.Send(2, 1, []byte(fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rc.waitFor(t, 200)
+	for i, m := range got {
+		if want := fmt.Sprintf("1:%04d", i); m != want {
+			t.Fatalf("msg %d = %q", i, m)
+		}
+	}
+}
+
+func TestTCPMeshLargePayload(t *testing.T) {
+	a, b := newTCPPair(t)
+	var got []byte
+	done := make(chan struct{})
+	b.Handle(2, func(from NodeID, p []byte) {
+		got = append([]byte(nil), p...)
+		close(done)
+	})
+	big := bytes.Repeat([]byte{0xC3}, 1<<20)
+	if err := a.Send(2, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("payload corrupted: %d bytes", len(got))
+	}
+}
+
+func TestTCPMeshEmptyPayload(t *testing.T) {
+	a, b := newTCPPair(t)
+	rc := newCollect()
+	b.Handle(4, rc.handler)
+	if err := a.Send(2, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.waitFor(t, 1); got[0] != "1:" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTCPMeshUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send(42, 1, nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPMeshSendAfterClose(t *testing.T) {
+	a, _ := newTCPPair(t)
+	a.Close()
+	if err := a.Send(2, 1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPMeshConcurrentSenders(t *testing.T) {
+	a, b := newTCPPair(t)
+	rc := newCollect()
+	b.Handle(1, rc.handler)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a.Send(2, 1, []byte(fmt.Sprintf("g%d-%02d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := rc.waitFor(t, 200)
+	if len(got) != 200 {
+		t.Fatalf("received %d", len(got))
+	}
+}
+
+func TestTCPMeshThreeNodes(t *testing.T) {
+	var ms []*TCPMesh
+	for i := 1; i <= 3; i++ {
+		m, err := NewTCPMesh(NodeID(i), "127.0.0.1:0", map[NodeID]string{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+		t.Cleanup(func() { m.Close() })
+	}
+	for i, m := range ms {
+		for j, o := range ms {
+			if i != j {
+				m.SetPeer(o.Self(), o.Addr())
+			}
+		}
+	}
+	rc := newCollect()
+	ms[2].Handle(1, rc.handler)
+	ms[0].Send(3, 1, []byte("from-1"))
+	ms[1].Send(3, 1, []byte("from-2"))
+	got := rc.waitFor(t, 2)
+	seen := map[string]bool{}
+	for _, g := range got {
+		seen[g] = true
+	}
+	if !seen["1:from-1"] || !seen["2:from-2"] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkTCPSendSmall(b *testing.B) {
+	a, err := NewTCPMesh(1, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewTCPMesh(2, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	defer c.Close()
+	a.SetPeer(2, c.Addr())
+	done := make(chan struct{}, 1<<20)
+	c.Handle(1, func(NodeID, []byte) { done <- struct{}{} })
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(2, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		<-done
+	}
+}
+
+func TestHubEndpointReuse(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	if hub.Endpoint(1) != a {
+		t.Fatal("Endpoint(1) returned a new endpoint")
+	}
+	if a.Self() != 1 {
+		t.Fatalf("self = %d", a.Self())
+	}
+}
+
+func TestChanSendAfterTargetClose(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	b.Close()
+	// Sending to a closed endpoint must not block forever; either an
+	// error or (if the queue still had room) silent drop is fine.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 2000; i++ {
+			if err := a.Send(2, 1, []byte("x")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send to closed endpoint blocked")
+	}
+}
+
+func TestSetPeerRedirect(t *testing.T) {
+	a, b := newTCPPair(t)
+	c, err := NewTCPMesh(3, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	// Point "2" at a third node before any traffic: messages for 2 land
+	// at c's listener instead (it identifies senders by hello, not
+	// address).
+	a.SetPeer(2, c.Addr())
+	rc := newCollect()
+	c.Handle(9, rc.handler)
+	if err := a.Send(2, 9, []byte("redirected")); err != nil {
+		t.Fatal(err)
+	}
+	got := rc.waitFor(t, 1)
+	if got[0] != "1:redirected" {
+		t.Fatalf("got %v", got)
+	}
+	_ = b
+}

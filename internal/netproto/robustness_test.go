@@ -1,0 +1,66 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestMeshSurvivesGarbage: random bytes on the mesh listener must not
+// crash the node or poison later deliveries.
+func TestMeshSurvivesGarbage(t *testing.T) {
+	m, err := NewTCPMesh(1, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		c, err := net.Dial("tcp", m.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, rng.Intn(64)+1)
+		rng.Read(junk)
+		c.Write(junk)
+		c.Close()
+	}
+	// A frame with an absurd length must close the connection, not
+	// allocate gigabytes.
+	c, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], 7)
+	c.Write(hello[:])
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], 1<<31)
+	hdr[4] = 1
+	c.Write(hdr[:])
+	c.Close()
+
+	// Legitimate traffic still flows.
+	peer, err := NewTCPMesh(2, "127.0.0.1:0", map[NodeID]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	peer.SetPeer(1, m.Addr())
+	got := make(chan string, 1)
+	m.Handle(3, func(from NodeID, p []byte) { got <- string(p) })
+	if err := peer.Send(1, 3, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "fine" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery failed after garbage connections")
+	}
+}

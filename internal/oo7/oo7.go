@@ -1,0 +1,507 @@
+// Package oo7 implements the OO7 object-oriented database benchmark
+// [Carey, DeWitt & Naughton, SIGMOD 93] as used in the paper's
+// evaluation (§4.1): a design library of composite parts, each a graph
+// of atomic parts, reachable from a tree-shaped assembly hierarchy,
+// with a self-balancing part index on the atomic parts' build dates.
+//
+// The database is built inside an RVM region using the persistent heap
+// (internal/pheap) and the region-resident AVL index
+// (internal/avltree), so every object write is a logged, recoverable,
+// coherent region write — exactly the configuration the paper
+// measures ("we modified OO7 to run with RVM in standard virtual
+// memory").
+//
+// The paper's small configuration: a design library of 500 composite
+// parts, 20 atomic parts per composite, a 7-level assembly hierarchy
+// with fanout 3 (729 base assemblies), 3 composite parts per base
+// assembly, ~200-byte part objects.
+package oo7
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lbc/internal/avltree"
+	"lbc/internal/pheap"
+	"lbc/internal/rvm"
+)
+
+// Config describes an OO7 database. The zero value is not valid; use
+// Small() (the paper's configuration) or fill all fields.
+type Config struct {
+	NumComposite       int   // composite parts in the design library
+	AtomicPerComposite int   // atomic parts per composite
+	ConnPerAtomic      int   // outgoing connections per atomic part
+	AssmLevels         int   // assembly hierarchy depth (root = level 1)
+	AssmFanout         int   // children per complex assembly
+	CompPerBase        int   // composite refs per base assembly
+	Seed               int64 // generator seed (images are deterministic)
+	// PageAlign starts each composite's cluster on a fresh page so
+	// sparse traversals touch one page per composite, as in the
+	// paper's layout.
+	PageAlign bool
+	PageSize  int
+}
+
+// Small returns the paper's OO7 configuration.
+func Small() Config {
+	return Config{
+		NumComposite:       500,
+		AtomicPerComposite: 20,
+		ConnPerAtomic:      3,
+		AssmLevels:         7,
+		AssmFanout:         3,
+		CompPerBase:        3,
+		Seed:               1994,
+		PageAlign:          true,
+		PageSize:           8192,
+	}
+}
+
+// Tiny returns a scaled-down configuration for fast tests.
+func Tiny() Config {
+	return Config{
+		NumComposite:       20,
+		AtomicPerComposite: 5,
+		ConnPerAtomic:      2,
+		AssmLevels:         3,
+		AssmFanout:         3,
+		CompPerBase:        3,
+		Seed:               7,
+		PageAlign:          true,
+		PageSize:           8192,
+	}
+}
+
+// BaseAssemblies returns the number of leaves in the hierarchy.
+func (c Config) BaseAssemblies() int {
+	n := 1
+	for i := 1; i < c.AssmLevels; i++ {
+		n *= c.AssmFanout
+	}
+	return n
+}
+
+// Object layouts. All offsets are region offsets; pointer fields hold
+// payload offsets (0 = nil). Sizes chosen to match the paper's
+// "roughly 200 bytes" part objects.
+const (
+	atomicSize    = 200
+	compositeSize = 200
+	assemblySize  = 40
+
+	// AtomicPart fields.
+	apID    = 0  // u32
+	apDate  = 8  // i64 (the indexed build date; T3's 8-byte field)
+	apXY    = 16 // x i32, y i32 (T2's 8-byte field)
+	apDocID = 24 // u32
+	apOwner = 28 // u32: composite payload offset
+	apTo    = 32 // ConnPerAtomic * u32
+	apNext  = 56 // u32: next atomic in same composite
+
+	// CompositePart fields.
+	cpID       = 0  // u32
+	cpDate     = 8  // i64
+	cpRootPart = 16 // u32: first atomic part
+	cpNumParts = 20 // u32
+
+	// Assembly fields.
+	asID       = 0 // u32
+	asKind     = 4 // u32: 0 complex, 1 base
+	asChildren = 8 // AssmFanout (or CompPerBase) * u32
+)
+
+// Header layout at region offset 0. The index root cell lives inside
+// the header so the whole database state is region-resident.
+const (
+	hdrMagic     = 0  // u32 = "OO7!"
+	hdrRoot      = 4  // u32: root assembly offset
+	hdrIndexRoot = 8  // u32: AVL root cell
+	hdrNumComp   = 12 // u32
+	hdrAtomicPer = 16 // u32
+	hdrLevels    = 20 // u32
+	hdrFanout    = 24 // u32
+	hdrCompPer   = 28 // u32
+	hdrLib       = 32 // u32: offset of composite-offset array
+	hdrPageAlign = 36 // u32 (bool)
+	hdrPageSize  = 40 // u32
+	hdrConnPer   = 44 // u32
+	hdrSeed      = 48 // i64
+	hdrLen       = 64
+
+	magicOO7 = 0x4f4f3721 // "OO7!"
+)
+
+// DB is a handle to an OO7 database inside a region.
+type DB struct {
+	reg   *rvm.Region
+	heap  *pheap.Heap
+	index *avltree.Tree
+	cfg   Config
+}
+
+// RegionSize estimates a comfortable region size for the config.
+func RegionSize(cfg Config) int {
+	clusters := cfg.NumComposite
+	clusterBytes := (compositeSize + 8) + cfg.AtomicPerComposite*(atomicSize+8)
+	if cfg.PageAlign {
+		pages := (clusterBytes + cfg.PageSize - 1) / cfg.PageSize
+		clusterBytes = (pages + 1) * cfg.PageSize
+	}
+	atomics := cfg.NumComposite * cfg.AtomicPerComposite
+	assemblies := 0
+	n := 1
+	for l := 0; l < cfg.AssmLevels; l++ {
+		assemblies += n
+		n *= cfg.AssmFanout
+	}
+	size := hdrLen +
+		clusters*clusterBytes +
+		atomics*48 + // index nodes (24 B payload -> 32 B class + 8 B header)
+		assemblies*(assemblySize+16) +
+		cfg.NumComposite*4 + 1024 +
+		1<<16 // slack
+	// Round up to a page multiple.
+	return (size + cfg.PageSize) &^ (cfg.PageSize - 1)
+}
+
+// Build constructs a fresh OO7 database in the region within the given
+// transaction. Identical (region, cfg) inputs produce bit-identical
+// images, so every node can build its own copy deterministically.
+func Build(tx pheap.SetRanger, reg *rvm.Region, cfg Config) (*DB, error) {
+	if cfg.NumComposite == 0 || cfg.AtomicPerComposite == 0 || cfg.AssmLevels == 0 {
+		return nil, errors.New("oo7: zero-valued config")
+	}
+	if cfg.ConnPerAtomic > 6 {
+		return nil, errors.New("oo7: at most 6 connections per atomic part")
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 8192
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	if err := tx.SetRange(reg, 0, hdrLen); err != nil {
+		return nil, err
+	}
+	b := reg.Bytes()
+	put32 := func(off uint64, v uint32) { binary.LittleEndian.PutUint32(b[off:], v) }
+	put32(hdrMagic, magicOO7)
+	put32(hdrNumComp, uint32(cfg.NumComposite))
+	put32(hdrAtomicPer, uint32(cfg.AtomicPerComposite))
+	put32(hdrLevels, uint32(cfg.AssmLevels))
+	put32(hdrFanout, uint32(cfg.AssmFanout))
+	put32(hdrCompPer, uint32(cfg.CompPerBase))
+	if cfg.PageAlign {
+		put32(hdrPageAlign, 1)
+	}
+	put32(hdrPageSize, uint32(cfg.PageSize))
+	put32(hdrConnPer, uint32(cfg.ConnPerAtomic))
+	binary.LittleEndian.PutUint64(b[hdrSeed:], uint64(cfg.Seed))
+
+	heap, err := pheap.Format(reg, tx, hdrLen, uint64(reg.Size()))
+	if err != nil {
+		return nil, err
+	}
+	index, err := avltree.New(reg, heap, hdrIndexRoot)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{reg: reg, heap: heap, index: index, cfg: cfg}
+
+	// Design library: composite parts with their atomic-part clusters.
+	comps := make([]uint64, cfg.NumComposite)
+	nextID := uint32(1)
+	for c := 0; c < cfg.NumComposite; c++ {
+		if cfg.PageAlign {
+			if err := heap.AlignBump(tx, uint64(cfg.PageSize)); err != nil {
+				return nil, err
+			}
+		}
+		compOff, err := db.alloc(tx, compositeSize)
+		if err != nil {
+			return nil, err
+		}
+		comps[c] = compOff
+		atoms := make([]uint64, cfg.AtomicPerComposite)
+		for a := range atoms {
+			off, err := db.alloc(tx, atomicSize)
+			if err != nil {
+				return nil, err
+			}
+			atoms[a] = off
+		}
+		// Composite fields.
+		date := int64(rng.Intn(10000) + 1000)
+		db.put32(compOff+cpID, nextID)
+		db.put64(compOff+cpDate, uint64(date))
+		db.put32(compOff+cpRootPart, uint32(atoms[0]))
+		db.put32(compOff+cpNumParts, uint32(cfg.AtomicPerComposite))
+		nextID++
+		// Atomic fields: ring connection plus random extras; dates
+		// indexed in the part index.
+		for a, off := range atoms {
+			id := nextID
+			nextID++
+			adate := int64(rng.Intn(10000) + 1000)
+			db.put32(off+apID, id)
+			db.put64(off+apDate, uint64(adate))
+			db.put32(off+apXY, uint32(rng.Intn(100000)))
+			db.put32(off+apXY+4, uint32(rng.Intn(100000)))
+			db.put32(off+apDocID, uint32(rng.Intn(1<<20)))
+			db.put32(off+apOwner, uint32(compOff))
+			db.put32(off+apTo, uint32(atoms[(a+1)%len(atoms)])) // ring keeps the graph connected
+			for k := 1; k < cfg.ConnPerAtomic; k++ {
+				db.put32(off+apTo+uint64(k)*4, uint32(atoms[rng.Intn(len(atoms))]))
+			}
+			if a+1 < len(atoms) {
+				db.put32(off+apNext, uint32(atoms[a+1]))
+			} else {
+				db.put32(off+apNext, 0)
+			}
+			if err := index.Insert(tx, int32(adate), id); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Library array.
+	libOff, err := db.alloc(tx, uint32(4*cfg.NumComposite))
+	if err != nil {
+		return nil, err
+	}
+	for i, off := range comps {
+		db.put32(libOff+uint64(i)*4, uint32(off))
+	}
+	if err := tx.SetRange(reg, hdrLib, 4); err != nil {
+		return nil, err
+	}
+	put32(hdrLib, uint32(libOff))
+
+	// Assembly hierarchy: complex assemblies down to base assemblies
+	// that reference CompPerBase random composites. The first
+	// NumComposite references walk a random permutation so that every
+	// composite part is referenced at least once — Table 3's unique
+	// byte counts (e.g. T2-A's 4000 bytes = 500 parts x 8) assume the
+	// traversals reach the whole design library.
+	perm := rng.Perm(len(comps))
+	refCount := 0
+	pickComp := func() uint64 {
+		if refCount < len(perm) {
+			c := comps[perm[refCount]]
+			refCount++
+			return c
+		}
+		return comps[rng.Intn(len(comps))]
+	}
+	var buildAssm func(level int) (uint64, error)
+	buildAssm = func(level int) (uint64, error) {
+		off, err := db.alloc(tx, assemblySize)
+		if err != nil {
+			return 0, err
+		}
+		db.put32(off+asID, nextID)
+		nextID++
+		if level == cfg.AssmLevels {
+			db.put32(off+asKind, 1)
+			for k := 0; k < cfg.CompPerBase; k++ {
+				db.put32(off+asChildren+uint64(k)*4, uint32(pickComp()))
+			}
+			return off, nil
+		}
+		db.put32(off+asKind, 0)
+		for k := 0; k < cfg.AssmFanout; k++ {
+			child, err := buildAssm(level + 1)
+			if err != nil {
+				return 0, err
+			}
+			db.put32(off+asChildren+uint64(k)*4, uint32(child))
+		}
+		return off, nil
+	}
+	root, err := buildAssm(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.SetRange(reg, hdrRoot, 4); err != nil {
+		return nil, err
+	}
+	put32(hdrRoot, uint32(root))
+	return db, nil
+}
+
+// Open attaches to a database previously built in the region.
+func Open(reg *rvm.Region) (*DB, error) {
+	if reg.Size() < hdrLen {
+		return nil, errors.New("oo7: region too small")
+	}
+	b := reg.Bytes()
+	if binary.LittleEndian.Uint32(b[hdrMagic:]) != magicOO7 {
+		return nil, errors.New("oo7: region does not hold an OO7 database")
+	}
+	heap, err := pheap.Open(reg, hdrLen)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		NumComposite:       int(binary.LittleEndian.Uint32(b[hdrNumComp:])),
+		ConnPerAtomic:      int(binary.LittleEndian.Uint32(b[hdrConnPer:])),
+		Seed:               int64(binary.LittleEndian.Uint64(b[hdrSeed:])),
+		AtomicPerComposite: int(binary.LittleEndian.Uint32(b[hdrAtomicPer:])),
+		AssmLevels:         int(binary.LittleEndian.Uint32(b[hdrLevels:])),
+		AssmFanout:         int(binary.LittleEndian.Uint32(b[hdrFanout:])),
+		CompPerBase:        int(binary.LittleEndian.Uint32(b[hdrCompPer:])),
+		PageAlign:          binary.LittleEndian.Uint32(b[hdrPageAlign:]) == 1,
+		PageSize:           int(binary.LittleEndian.Uint32(b[hdrPageSize:])),
+	}
+	index, err := avltree.New(reg, heap, hdrIndexRoot)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{reg: reg, heap: heap, index: index, cfg: cfg}, nil
+}
+
+// Config returns the database's configuration (as persisted).
+func (db *DB) Config() Config { return db.cfg }
+
+// Region returns the database's region.
+func (db *DB) Region() *rvm.Region { return db.reg }
+
+// Index returns the part index.
+func (db *DB) Index() *avltree.Tree { return db.index }
+
+// alloc allocates and zero-declares an object.
+func (db *DB) alloc(tx pheap.SetRanger, size uint32) (uint64, error) {
+	off, err := db.heap.Alloc(tx, size)
+	if err != nil {
+		return 0, err
+	}
+	if err := tx.SetRange(db.reg, off, size); err != nil {
+		return 0, err
+	}
+	// Zero the payload: builds must be deterministic even when the
+	// allocator reuses freed blocks.
+	b := db.reg.Bytes()[off : off+uint64(size)]
+	for i := range b {
+		b[i] = 0
+	}
+	return off, nil
+}
+
+func (db *DB) u32(off uint64) uint32 {
+	return binary.LittleEndian.Uint32(db.reg.Bytes()[off:])
+}
+
+func (db *DB) u64(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(db.reg.Bytes()[off:])
+}
+
+// put32/put64 write without declaring; used only inside ranges already
+// declared by alloc/Build.
+func (db *DB) put32(off uint64, v uint32) {
+	binary.LittleEndian.PutUint32(db.reg.Bytes()[off:], v)
+}
+
+func (db *DB) put64(off uint64, v uint64) {
+	binary.LittleEndian.PutUint64(db.reg.Bytes()[off:], v)
+}
+
+// RootAssembly returns the hierarchy root's offset.
+func (db *DB) RootAssembly() uint64 { return uint64(db.u32(hdrRoot)) }
+
+// Composites returns the design library's composite offsets.
+func (db *DB) Composites() []uint64 {
+	lib := uint64(db.u32(hdrLib))
+	out := make([]uint64, db.cfg.NumComposite)
+	for i := range out {
+		out[i] = uint64(db.u32(lib + uint64(i)*4))
+	}
+	return out
+}
+
+// AtomicParts returns the offsets of a composite's atomic parts, in
+// cluster order.
+func (db *DB) AtomicParts(comp uint64) []uint64 {
+	var out []uint64
+	for off := uint64(db.u32(comp + cpRootPart)); off != 0; off = uint64(db.u32(off + apNext)) {
+		out = append(out, off)
+	}
+	return out
+}
+
+// AtomicID returns an atomic part's id.
+func (db *DB) AtomicID(part uint64) uint32 { return db.u32(part + apID) }
+
+// AtomicDate returns an atomic part's build date.
+func (db *DB) AtomicDate(part uint64) int64 { return int64(db.u64(part + apDate)) }
+
+// Validate checks the structural invariants of the database: part
+// counts, cluster chains, connection targets, index completeness.
+func (db *DB) Validate() error {
+	comps := db.Composites()
+	if len(comps) != db.cfg.NumComposite {
+		return fmt.Errorf("oo7: %d composites, want %d", len(comps), db.cfg.NumComposite)
+	}
+	total := 0
+	for _, c := range comps {
+		atoms := db.AtomicParts(c)
+		if len(atoms) != db.cfg.AtomicPerComposite {
+			return fmt.Errorf("oo7: composite %d has %d atomics", db.u32(c+cpID), len(atoms))
+		}
+		inCluster := map[uint64]bool{}
+		for _, a := range atoms {
+			inCluster[a] = true
+		}
+		for _, a := range atoms {
+			if uint64(db.u32(a+apOwner)) != c {
+				return fmt.Errorf("oo7: atomic %d owner broken", db.AtomicID(a))
+			}
+			for k := 0; k < db.cfg.ConnPerAtomic; k++ {
+				to := uint64(db.u32(a + apTo + uint64(k)*4))
+				if !inCluster[to] {
+					return fmt.Errorf("oo7: atomic %d connection %d escapes cluster", db.AtomicID(a), k)
+				}
+			}
+			if !db.index.Contains(int32(db.AtomicDate(a)), db.AtomicID(a)) {
+				return fmt.Errorf("oo7: atomic %d missing from index", db.AtomicID(a))
+			}
+		}
+		total += len(atoms)
+	}
+	if got := db.index.Count(); got != total {
+		return fmt.Errorf("oo7: index holds %d entries, want %d", got, total)
+	}
+	if err := db.index.CheckInvariants(); err != nil {
+		return err
+	}
+	// Assembly hierarchy shape.
+	bases := 0
+	var walk func(off uint64, level int) error
+	walk = func(off uint64, level int) error {
+		if db.u32(off+asKind) == 1 {
+			if level != db.cfg.AssmLevels {
+				return fmt.Errorf("oo7: base assembly at level %d", level)
+			}
+			bases++
+			return nil
+		}
+		for k := 0; k < db.cfg.AssmFanout; k++ {
+			child := uint64(db.u32(off + asChildren + uint64(k)*4))
+			if child == 0 {
+				return fmt.Errorf("oo7: nil child in complex assembly")
+			}
+			if err := walk(child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(db.RootAssembly(), 1); err != nil {
+		return err
+	}
+	if bases != db.cfg.BaseAssemblies() {
+		return fmt.Errorf("oo7: %d base assemblies, want %d", bases, db.cfg.BaseAssemblies())
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+package oo7
+
+import (
+	"bytes"
+	"testing"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+func buildDB(t *testing.T, cfg Config) (*rvm.RVM, *DB) {
+	t.Helper()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.Map(1, RegionSize(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := r.Begin(rvm.NoRestore)
+	db, err := Build(tx, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	return r, db
+}
+
+func TestTinyBuildValidates(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallBuildValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small config build in -short mode")
+	}
+	_, db := buildDB(t, Small())
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Config().BaseAssemblies(); got != 729 {
+		t.Fatalf("base assemblies = %d, want 729", got)
+	}
+	if got := db.Index().Count(); got != 10000 {
+		t.Fatalf("index entries = %d, want 10000", got)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, db1 := buildDB(t, Tiny())
+	_, db2 := buildDB(t, Tiny())
+	if !bytes.Equal(db1.Region().Bytes(), db2.Region().Bytes()) {
+		t.Fatal("two builds with the same seed differ")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	db2, err := Open(db.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Config() != db.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", db2.Config(), db.Config())
+	}
+	if err := db2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	r, _ := rvm.Open(rvm.Options{Node: 1})
+	reg, _ := r.Map(1, 4096)
+	if _, err := Open(reg); err == nil {
+		t.Fatal("garbage region opened")
+	}
+}
+
+func TestT1VisitCounts(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	res, err := db.T1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComp := cfg.BaseAssemblies() * cfg.CompPerBase
+	if res.CompositesVisited != wantComp {
+		t.Fatalf("composites visited = %d, want %d", res.CompositesVisited, wantComp)
+	}
+	if res.PartsVisited != wantComp*cfg.AtomicPerComposite {
+		t.Fatalf("parts visited = %d, want %d", res.PartsVisited, wantComp*cfg.AtomicPerComposite)
+	}
+}
+
+func TestT6SparseCounts(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	res, err := db.T6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.BaseAssemblies() * cfg.CompPerBase
+	if res.PartsVisited != want {
+		t.Fatalf("parts visited = %d, want %d", res.PartsVisited, want)
+	}
+}
+
+func TestT2VariantsUpdateCounts(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	visits := cfg.BaseAssemblies() * cfg.CompPerBase
+	for _, c := range []struct {
+		v    Variant
+		want int
+	}{
+		{VariantA, visits},
+		{VariantB, visits * cfg.AtomicPerComposite},
+		{VariantC, visits * cfg.AtomicPerComposite * 4},
+	} {
+		tx := r.Begin(rvm.NoRestore)
+		res, err := db.T2(tx, c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Updates != c.want {
+			t.Fatalf("T2-%v updates = %d, want %d", c.v, res.Updates, c.want)
+		}
+		if _, err := tx.Commit(rvm.NoFlush); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestT2SwapIsInvolution(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	before := append([]byte(nil), db.Region().Bytes()...)
+	for i := 0; i < 2; i++ {
+		tx := r.Begin(rvm.NoRestore)
+		if _, err := db.T2(tx, VariantB); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit(rvm.NoFlush)
+	}
+	// Swapping (x,y) twice restores every part.
+	if !bytes.Equal(before, db.Region().Bytes()) {
+		t.Fatal("double T2-B did not restore the image")
+	}
+}
+
+func TestT3UpdatesIndexConsistently(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	tx := r.Begin(rvm.NoRestore)
+	res, err := db.T3(tx, VariantA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates performed")
+	}
+	// Every part's (possibly new) date must still be indexed and the
+	// structure valid.
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT3AmplifiesUpdates(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	stats := r.Stats()
+	stats.Reset() // drop the build transaction's counts
+
+	tx := r.Begin(rvm.NoRestore)
+	db.T2(tx, VariantA)
+	tx.Commit(rvm.NoFlush)
+	t2Calls := stats.Counter(metrics.CtrSetRangeCalls)
+
+	stats.Reset()
+	tx = r.Begin(rvm.NoRestore)
+	db.T3(tx, VariantA)
+	tx.Commit(rvm.NoFlush)
+	t3Calls := stats.Counter(metrics.CtrSetRangeCalls)
+
+	// T3's index maintenance must multiply the write count (the paper
+	// reports ~7x for its AVL index).
+	if t3Calls < 3*t2Calls {
+		t.Fatalf("T3 made %d set_range calls vs T2's %d: no index amplification", t3Calls, t2Calls)
+	}
+	t.Logf("T2-A: %d calls, T3-A: %d calls (%.1fx)", t2Calls, t3Calls, float64(t3Calls)/float64(t2Calls))
+}
+
+func TestT12Counts(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	visits := cfg.BaseAssemblies() * cfg.CompPerBase
+	tx := r.Begin(rvm.NoRestore)
+	resA, err := db.T12(tx, VariantA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit(rvm.NoFlush)
+	if resA.Updates != visits || resA.PartsVisited != visits {
+		t.Fatalf("T12-A = %+v", resA)
+	}
+	tx = r.Begin(rvm.NoRestore)
+	resC, err := db.T12(tx, VariantC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit(rvm.NoFlush)
+	if resC.Updates != visits*4 {
+		t.Fatalf("T12-C updates = %d", resC.Updates)
+	}
+	if _, err := db.T12(r.Begin(rvm.NoRestore), VariantB); err == nil {
+		t.Fatal("T12-B accepted")
+	}
+}
+
+// TestTable3CharacteristicsSmall pins the deterministic Table 3
+// columns for the paper's configuration.
+func TestTable3CharacteristicsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small config in -short mode")
+	}
+	r, db := buildDB(t, Small())
+	stats := r.Stats()
+
+	run := func(name string, f func(tx *rvm.Tx) (Result, error)) (Result, *wal.TxRecord) {
+		stats.Reset()
+		tx := r.Begin(rvm.NoRestore)
+		res, err := f(tx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rec, err := tx.Commit(rvm.NoFlush)
+		if err != nil {
+			t.Fatalf("%s commit: %v", name, err)
+		}
+		return res, rec
+	}
+
+	// T12-A / T2-A: 2187 updates on 500 unique parts => 4000 unique
+	// bytes in 500 ranges; compressed message overhead 4 B per range
+	// => 6000 message bytes (Table 3).
+	res, rec := run("T12-A", func(tx *rvm.Tx) (Result, error) { return db.T12(tx, VariantA) })
+	if res.Updates != 2187 {
+		t.Fatalf("T12-A updates = %d", res.Updates)
+	}
+	if got := rec.DataBytes(); got != 4000 {
+		t.Fatalf("T12-A unique bytes = %d, want 4000", got)
+	}
+	if got := len(rec.Ranges); got != 500 {
+		t.Fatalf("T12-A ranges = %d, want 500", got)
+	}
+	// 4 bytes per range header plus one absolute first-range header:
+	// the paper reports exactly 6000 (500 x 12); ours is 6010 because
+	// the first range of a message carries the region id and an
+	// absolute address.
+	msg := rec.DataBytes() + wal.CompressedHeaderBytes(rec)
+	if msg < 6000 || msg > 6020 {
+		t.Fatalf("T12-A message bytes = %d, want ~6000", msg)
+	}
+
+	// Undo T12-A's swap so T2 sees pristine coordinates (not needed
+	// for counts, but keeps the image canonical).
+	run("T12-A-undo", func(tx *rvm.Tx) (Result, error) { return db.T12(tx, VariantA) })
+
+	// T2-B: 43740 updates, 80000 unique bytes, 120000 message bytes.
+	res, rec = run("T2-B", func(tx *rvm.Tx) (Result, error) { return db.T2(tx, VariantB) })
+	if res.Updates != 43740 {
+		t.Fatalf("T2-B updates = %d", res.Updates)
+	}
+	if rec.DataBytes() != 80000 || len(rec.Ranges) != 10000 {
+		t.Fatalf("T2-B bytes=%d ranges=%d", rec.DataBytes(), len(rec.Ranges))
+	}
+	if msg := rec.DataBytes() + wal.CompressedHeaderBytes(rec); msg < 120000 || msg > 120020 {
+		t.Fatalf("T2-B message bytes = %d, want ~120000", msg)
+	}
+
+	// T2-C repeats each update 4x but coalesces to the same ranges.
+	res, rec = run("T2-C", func(tx *rvm.Tx) (Result, error) { return db.T2(tx, VariantC) })
+	if res.Updates != 174960 {
+		t.Fatalf("T2-C updates = %d", res.Updates)
+	}
+	if rec.DataBytes() != 80000 {
+		t.Fatalf("T2-C unique bytes = %d", rec.DataBytes())
+	}
+
+	// T3-A: update amplification via the index; the paper reports
+	// 16924 updates and 31300 unique bytes for its AVL — ours differ
+	// in constant factor but must show the same amplification.
+	stats.Reset()
+	res, rec = run("T3-A", func(tx *rvm.Tx) (Result, error) { return db.T3(tx, VariantA) })
+	calls := stats.Counter(metrics.CtrSetRangeCalls)
+	if calls < 2*2187 {
+		t.Fatalf("T3-A only %d set_range calls", calls)
+	}
+	if rec.DataBytes() <= 4000 {
+		t.Fatalf("T3-A unique bytes = %d: no index writes?", rec.DataBytes())
+	}
+	t.Logf("T3-A: %d updates -> %d set_range calls, %d unique bytes, %d ranges",
+		res.Updates, calls, rec.DataBytes(), len(rec.Ranges))
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQ1Lookup(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	comps := db.Composites()
+	part := db.AtomicParts(comps[0])[0]
+	date := db.AtomicDate(part)
+	ids := db.Q1Lookup(date)
+	found := false
+	for _, id := range ids {
+		if id == db.AtomicID(part) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Q1(%d) = %v does not include part %d", date, ids, db.AtomicID(part))
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	r, _ := rvm.Open(rvm.Options{Node: 1})
+	reg, _ := r.Map(1, 1<<20)
+	tx := r.Begin(rvm.NoRestore)
+	if _, err := Build(tx, reg, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := Tiny()
+	bad.ConnPerAtomic = 9
+	if _, err := Build(tx, reg, bad); err == nil {
+		t.Fatal("too many connections accepted")
+	}
+}
+
+func TestPageAlignedClusters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small config in -short mode")
+	}
+	_, db := buildDB(t, Small())
+	// Every composite's root atomic part must live on its own page.
+	pages := map[uint64]bool{}
+	for _, comp := range db.Composites() {
+		root := uint64(db.u32(comp + cpRootPart))
+		p := root / 8192
+		if pages[p] {
+			t.Fatalf("two composite clusters share page %d", p)
+		}
+		pages[p] = true
+	}
+}
+
+func TestT12PartitionCoversLibraryExactly(t *testing.T) {
+	r, db := buildDB(t, Tiny())
+	n := db.Config().NumComposite
+	// Two disjoint partitions update disjoint part sets; their union
+	// covers what full T12-A covers.
+	tx := r.Begin(rvm.NoRestore)
+	resA, err := db.T12Partition(tx, 0, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := db.T12Partition(tx, n/2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tx.Commit(rvm.NoFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := db.Config().BaseAssemblies() * db.Config().CompPerBase
+	if resA.Updates+resB.Updates != full {
+		t.Fatalf("partition updates %d+%d != %d", resA.Updates, resB.Updates, full)
+	}
+	// Unique ranges = one per composite (each root part).
+	if len(rec.Ranges) != n {
+		t.Fatalf("ranges = %d, want %d", len(rec.Ranges), n)
+	}
+}
+
+func TestCompositeOffsetsAreSegmentBoundaries(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	n := db.Config().NumComposite
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		off := db.CompositeOffset(i)
+		if off <= prev {
+			t.Fatalf("composite %d offset %d not increasing", i, off)
+		}
+		prev = off
+	}
+	// All of composite i's atomic parts live before composite i+1.
+	for i := 0; i < n-1; i++ {
+		bound := db.CompositeOffset(i + 1)
+		for _, p := range db.AtomicParts(db.CompositeOffset(i)) {
+			if p+atomicSize > bound {
+				t.Fatalf("composite %d atomic at %d crosses boundary %d", i, p, bound)
+			}
+		}
+	}
+}

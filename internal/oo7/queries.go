@@ -1,0 +1,129 @@
+package oo7
+
+// OO7's query workloads [Carey et al. 93]. The paper's evaluation uses
+// the update traversals, but the full benchmark also specifies a query
+// mix; implementing it both exercises the part index as a read
+// structure and provides read-heavy workloads for coherency
+// experiments (large reads against sparse remote updates are exactly
+// the collaborative-design pattern of §2.1). Queries that depend on
+// document text (Q4's title matching) substitute the assembly
+// hierarchy, as documented in DESIGN.md.
+
+// Q1 (exact match): look up parts with the given build dates via the
+// part index; returns the number of parts found.
+func (db *DB) Q1(dates []int64) int {
+	found := 0
+	for _, d := range dates {
+		found += len(db.Q1Lookup(d))
+	}
+	return found
+}
+
+// Q2 (1% range): count atomic parts whose build date falls in the
+// lowest 1% of the date range. Returns matched parts.
+func (db *DB) Q2() int { return db.rangeQuery(0.01) }
+
+// Q3 (10% range): as Q2 over the lowest 10%.
+func (db *DB) Q3() int { return db.rangeQuery(0.10) }
+
+// rangeQuery counts index entries in the lowest fraction of the date
+// span via an in-order index scan of the matching range.
+func (db *DB) rangeQuery(frac float64) int {
+	lo, hi := db.dateBounds()
+	cut := lo + int64(float64(hi-lo)*frac)
+	count := 0
+	db.index.Range(int32(lo), int32(cut), func(int32, uint32) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// dateBounds scans the design library for the min and max atomic-part
+// build dates.
+func (db *DB) dateBounds() (lo, hi int64) {
+	first := true
+	for _, comp := range db.Composites() {
+		for _, part := range db.AtomicParts(comp) {
+			d := db.AtomicDate(part)
+			if first {
+				lo, hi = d, d
+				first = false
+				continue
+			}
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Q4 (assembly lookup, document-title substitute): for each given base
+// assembly ordinal, visit its composite parts; returns composites
+// visited.
+func (db *DB) Q4(baseOrdinals []int) int {
+	bases := db.baseAssemblies()
+	visited := 0
+	for _, ord := range baseOrdinals {
+		if ord < 0 || ord >= len(bases) {
+			continue
+		}
+		off := bases[ord]
+		for k := 0; k < db.cfg.CompPerBase; k++ {
+			comp := uint64(db.u32(off + asChildren + uint64(k)*4))
+			_ = db.u64(comp + cpDate)
+			visited++
+		}
+	}
+	return visited
+}
+
+// Q5 (one-level join): count base assemblies that reference a
+// composite part with a more recent build date than their own id-based
+// timestamp proxy; exercises assembly->composite pointers.
+func (db *DB) Q5() int {
+	matches := 0
+	for _, off := range db.baseAssemblies() {
+		asmDate := int64(db.u32(off + asID)) // proxy, as we store no assembly dates
+		for k := 0; k < db.cfg.CompPerBase; k++ {
+			comp := uint64(db.u32(off + asChildren + uint64(k)*4))
+			if int64(db.u64(comp+cpDate)) > asmDate {
+				matches++
+				break
+			}
+		}
+	}
+	return matches
+}
+
+// Q7 (scan): iterate every atomic part; returns the part count.
+func (db *DB) Q7() int {
+	count := 0
+	for _, comp := range db.Composites() {
+		for range db.AtomicParts(comp) {
+			count++
+		}
+	}
+	return count
+}
+
+// baseAssemblies collects the hierarchy's leaves in DFS order.
+func (db *DB) baseAssemblies() []uint64 {
+	var out []uint64
+	var walk func(off uint64)
+	walk = func(off uint64) {
+		if db.u32(off+asKind) == 1 {
+			out = append(out, off)
+			return
+		}
+		for k := 0; k < db.cfg.AssmFanout; k++ {
+			walk(uint64(db.u32(off + asChildren + uint64(k)*4)))
+		}
+	}
+	walk(db.RootAssembly())
+	return out
+}

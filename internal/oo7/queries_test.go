@@ -1,0 +1,125 @@
+package oo7
+
+import (
+	"testing"
+
+	"lbc/internal/rvm"
+)
+
+func TestQ1CountsMatches(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	// Collect every date; Q1 over all dates finds every part.
+	dates := map[int64]bool{}
+	total := 0
+	for _, c := range db.Composites() {
+		for _, p := range db.AtomicParts(c) {
+			dates[db.AtomicDate(p)] = true
+			total++
+		}
+	}
+	var all []int64
+	for d := range dates {
+		all = append(all, d)
+	}
+	if got := db.Q1(all); got != total {
+		t.Fatalf("Q1 over all dates = %d, want %d", got, total)
+	}
+	if got := db.Q1([]int64{-1}); got != 0 {
+		t.Fatalf("Q1 over absent date = %d", got)
+	}
+}
+
+func TestQ2Q3MatchBruteForce(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	lo, hi := db.dateBounds()
+	brute := func(frac float64) int {
+		cut := lo + int64(float64(hi-lo)*frac)
+		n := 0
+		for _, c := range db.Composites() {
+			for _, p := range db.AtomicParts(c) {
+				if d := db.AtomicDate(p); d >= lo && d <= cut {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got, want := db.Q2(), brute(0.01); got != want {
+		t.Fatalf("Q2 = %d, brute force = %d", got, want)
+	}
+	if got, want := db.Q3(), brute(0.10); got != want {
+		t.Fatalf("Q3 = %d, brute force = %d", got, want)
+	}
+	if db.Q3() < db.Q2() {
+		t.Fatal("Q3 found fewer parts than Q2")
+	}
+}
+
+func TestQ4VisitsRequestedAssemblies(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	got := db.Q4([]int{0, 1, 2})
+	if got != 3*cfg.CompPerBase {
+		t.Fatalf("Q4 visited %d composites", got)
+	}
+	// Out-of-range ordinals are ignored.
+	if got := db.Q4([]int{-1, 1 << 20}); got != 0 {
+		t.Fatalf("Q4 out-of-range visited %d", got)
+	}
+}
+
+func TestQ5Join(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	// Composite dates are >= 1000 and assembly id proxies are small,
+	// so every base assembly matches in practice; at minimum the count
+	// is bounded by the number of base assemblies.
+	got := db.Q5()
+	if got < 0 || got > db.Config().BaseAssemblies() {
+		t.Fatalf("Q5 = %d", got)
+	}
+	if got == 0 {
+		t.Fatal("Q5 found no matches (composite dates start at 1000)")
+	}
+}
+
+func TestQ7ScansEverything(t *testing.T) {
+	_, db := buildDB(t, Tiny())
+	cfg := db.Config()
+	if got := db.Q7(); got != cfg.NumComposite*cfg.AtomicPerComposite {
+		t.Fatalf("Q7 = %d", got)
+	}
+}
+
+func TestQueriesAfterT3(t *testing.T) {
+	// Index queries must stay correct after T3 has churned the index.
+	r, db := buildDB(t, Tiny())
+	tx := r.Begin(rvm.NoRestore)
+	if _, err := db.T3(tx, VariantB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := db.dateBounds()
+	if lo > hi {
+		t.Fatal("bounds inverted")
+	}
+	total := db.Q1(allDates(db))
+	if total != db.Config().NumComposite*db.Config().AtomicPerComposite {
+		t.Fatalf("Q1 after T3 = %d", total)
+	}
+}
+
+func allDates(db *DB) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, c := range db.Composites() {
+		for _, p := range db.AtomicParts(c) {
+			if d := db.AtomicDate(p); !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package oo7
+
+import (
+	"fmt"
+
+	"lbc/internal/pheap"
+)
+
+// Variant selects how many atomic parts an update traversal modifies
+// per composite-part visit (§4.1): A updates one atomic part, B every
+// atomic part, C every atomic part four times.
+type Variant int
+
+const (
+	VariantA Variant = iota
+	VariantB
+	VariantC
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantA:
+		return "A"
+	case VariantB:
+		return "B"
+	case VariantC:
+		return "C"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// repeats returns (parts per composite visit, updates per part).
+func (db *DB) variantPlan(v Variant) (parts, times int, err error) {
+	switch v {
+	case VariantA:
+		return 1, 1, nil
+	case VariantB:
+		return db.cfg.AtomicPerComposite, 1, nil
+	case VariantC:
+		return db.cfg.AtomicPerComposite, 4, nil
+	default:
+		return 0, 0, fmt.Errorf("oo7: unknown variant %d", int(v))
+	}
+}
+
+// visitComposites walks the assembly hierarchy depth-first and invokes
+// fn for every composite reference of every base assembly — the
+// skeleton shared by all OO7 traversals (2187 composite visits in the
+// paper's configuration: 729 base assemblies x 3 references).
+func (db *DB) visitComposites(fn func(comp uint64) error) error {
+	var walk func(off uint64) error
+	walk = func(off uint64) error {
+		if db.u32(off+asKind) == 1 {
+			for k := 0; k < db.cfg.CompPerBase; k++ {
+				comp := uint64(db.u32(off + asChildren + uint64(k)*4))
+				if err := fn(comp); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for k := 0; k < db.cfg.AssmFanout; k++ {
+			if err := walk(uint64(db.u32(off + asChildren + uint64(k)*4))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(db.RootAssembly())
+}
+
+// dfsAtomic performs the depth-first traversal of a composite's
+// atomic-part graph, following connections from the root part, and
+// calls fn on each part in first-visit order.
+func (db *DB) dfsAtomic(comp uint64, fn func(part uint64) error) error {
+	root := uint64(db.u32(comp + cpRootPart))
+	visited := make(map[uint64]bool, db.cfg.AtomicPerComposite)
+	stack := []uint64{root}
+	for len(stack) > 0 {
+		part := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[part] {
+			continue
+		}
+		visited[part] = true
+		if err := fn(part); err != nil {
+			return err
+		}
+		// Push connections in reverse so the ring neighbour pops first
+		// (deterministic visit order).
+		for k := db.cfg.ConnPerAtomic - 1; k >= 0; k-- {
+			to := uint64(db.u32(part + apTo + uint64(k)*4))
+			if !visited[to] {
+				stack = append(stack, to)
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes a traversal.
+type Result struct {
+	CompositesVisited int
+	PartsVisited      int
+	Updates           int // individual update operations performed
+}
+
+// T1 is the read-only dense traversal: visit every composite reference
+// and DFS its full atomic graph, touching each part.
+func (db *DB) T1() (Result, error) {
+	var res Result
+	err := db.visitComposites(func(comp uint64) error {
+		res.CompositesVisited++
+		return db.dfsAtomic(comp, func(part uint64) error {
+			res.PartsVisited++
+			_ = db.u64(part + apDate) // touch the part
+			return nil
+		})
+	})
+	return res, err
+}
+
+// T6 is the read-only sparse traversal: visit only the root atomic
+// part of each composite reference.
+func (db *DB) T6() (Result, error) {
+	var res Result
+	err := db.visitComposites(func(comp uint64) error {
+		res.CompositesVisited++
+		root := uint64(db.u32(comp + cpRootPart))
+		_ = db.u64(root + apDate)
+		res.PartsVisited++
+		return nil
+	})
+	return res, err
+}
+
+// swapXY performs the T2/T12 atomic-part update: exchanging the part's
+// (x, y) fields — "changing an eight-byte field" (§4.1).
+func (db *DB) swapXY(tx pheap.SetRanger, part uint64) error {
+	if err := tx.SetRange(db.reg, part+apXY, 8); err != nil {
+		return err
+	}
+	b := db.reg.Bytes()
+	x := db.u32(part + apXY)
+	y := db.u32(part + apXY + 4)
+	putU32(b[part+apXY:], y)
+	putU32(b[part+apXY+4:], x)
+	return nil
+}
+
+// changeDate performs the T3 update: increment the part's build date
+// and keep the part index current (delete the old entry, insert the
+// new one), which multiplies each update into several index writes.
+func (db *DB) changeDate(tx pheap.SetRanger, part uint64) error {
+	old := db.AtomicDate(part)
+	id := db.AtomicID(part)
+	if err := tx.SetRange(db.reg, part+apDate, 8); err != nil {
+		return err
+	}
+	db.put64(part+apDate, uint64(old+1))
+	if ok, err := db.index.Delete(tx, int32(old), id); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("oo7: part %d missing from index at date %d", id, old)
+	}
+	return db.index.Insert(tx, int32(old+1), id)
+}
+
+// T2 is the dense update traversal: like T1, but updates atomic parts
+// by swapping (x, y) per the variant's plan.
+func (db *DB) T2(tx pheap.SetRanger, v Variant) (Result, error) {
+	return db.updateTraversal(tx, v, db.swapXY)
+}
+
+// T3 is the index-update traversal: like T2, but the update changes
+// the indexed build date, forcing part-index maintenance.
+func (db *DB) T3(tx pheap.SetRanger, v Variant) (Result, error) {
+	return db.updateTraversal(tx, v, db.changeDate)
+}
+
+func (db *DB) updateTraversal(tx pheap.SetRanger, v Variant, update func(pheap.SetRanger, uint64) error) (Result, error) {
+	parts, times, err := db.variantPlan(v)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	err = db.visitComposites(func(comp uint64) error {
+		res.CompositesVisited++
+		done := 0
+		return db.dfsAtomic(comp, func(part uint64) error {
+			res.PartsVisited++
+			if done < parts {
+				for r := 0; r < times; r++ {
+					if err := update(tx, part); err != nil {
+						return err
+					}
+					res.Updates++
+				}
+				done++
+			}
+			return nil
+		})
+	})
+	return res, err
+}
+
+// T12 is the paper's added sparse-update traversal (§4.1): like T6 it
+// visits only one atomic part per composite reference, but updates it.
+// Only variants A (one update) and C (four updates) appear in the
+// paper.
+func (db *DB) T12(tx pheap.SetRanger, v Variant) (Result, error) {
+	times := 1
+	if v == VariantC {
+		times = 4
+	} else if v != VariantA {
+		return Result{}, fmt.Errorf("oo7: T12 supports variants A and C only")
+	}
+	var res Result
+	err := db.visitComposites(func(comp uint64) error {
+		res.CompositesVisited++
+		root := uint64(db.u32(comp + cpRootPart))
+		res.PartsVisited++
+		for r := 0; r < times; r++ {
+			if err := db.swapXY(tx, root); err != nil {
+				return err
+			}
+			res.Updates++
+		}
+		return nil
+	})
+	return res, err
+}
+
+// T12Partition is T12-A restricted to composites whose design-library
+// index lies in [lo, hi) — the unit of work for multi-writer
+// experiments where the library is partitioned into segments, each
+// under its own lock, and several nodes update disjoint partitions
+// concurrently (an extension beyond the paper's one-writer runs).
+func (db *DB) T12Partition(tx pheap.SetRanger, lo, hi int) (Result, error) {
+	idx := db.compositeIndex()
+	var res Result
+	err := db.visitComposites(func(comp uint64) error {
+		i, ok := idx[comp]
+		if !ok || i < lo || i >= hi {
+			return nil
+		}
+		res.CompositesVisited++
+		root := uint64(db.u32(comp + cpRootPart))
+		res.PartsVisited++
+		if err := db.swapXY(tx, root); err != nil {
+			return err
+		}
+		res.Updates++
+		return nil
+	})
+	return res, err
+}
+
+// CompositeOffset returns the region offset of the i-th composite
+// part's object — with page-aligned clusters, the start of its
+// cluster, usable as a segment boundary.
+func (db *DB) CompositeOffset(i int) uint64 {
+	return db.Composites()[i]
+}
+
+// compositeIndex maps composite offsets to design-library indexes.
+func (db *DB) compositeIndex() map[uint64]int {
+	comps := db.Composites()
+	m := make(map[uint64]int, len(comps))
+	for i, off := range comps {
+		m[off] = i
+	}
+	return m
+}
+
+// Q1Lookup is OO7's exact-match index query: find parts by build date
+// via the part index (extra coverage beyond the paper's traversals).
+func (db *DB) Q1Lookup(date int64) []uint32 {
+	var ids []uint32
+	db.index.Range(int32(date), int32(date), func(_ int32, part uint32) bool {
+		ids = append(ids, part)
+		return true
+	})
+	return ids
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

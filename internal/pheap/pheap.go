@@ -1,0 +1,243 @@
+// Package pheap is a persistent heap allocator for RVM regions: the
+// substrate that lets applications (and the OO7 benchmark) build
+// pointer-linked data structures in recoverable virtual memory, the
+// way the paper's C++ OO7 objects are "heap-allocated" inside the
+// mapped database (§4.1).
+//
+// Pointers are region offsets, so images are position-independent and
+// identical on every node. All allocator metadata lives inside the
+// region and every metadata mutation is declared through the
+// transaction's SetRange, so allocation state is itself recoverable
+// and coherent: a peer that applies the log records observes the same
+// heap.
+package pheap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lbc/internal/rvm"
+)
+
+// SetRanger is the slice of the transaction API the allocator needs.
+// Both rvm.Tx and coherency.Tx satisfy it.
+type SetRanger interface {
+	SetRange(reg *rvm.Region, off uint64, n uint32) error
+}
+
+const (
+	heapMagic     = 0x4c424850 // "LBHP"
+	numClasses    = 10         // 16 B .. 8 KB
+	minClassShift = 4          // smallest class: 16 bytes
+	blockHdrLen   = 8          // size u32 | state u32
+	stateUsed     = 0xA110C8ED
+	stateFree     = 0xF4EEF4EE
+
+	// Header layout (at the heap's base offset).
+	offMagic   = 0
+	offBump    = 8
+	offEnd     = 16
+	offFree    = 24 // numClasses * 8 bytes of free-list heads
+	heapHdrLen = offFree + numClasses*8
+)
+
+// Errors returned by the allocator.
+var (
+	ErrNotFormatted = errors.New("pheap: region does not hold a formatted heap")
+	ErrOutOfMemory  = errors.New("pheap: region exhausted")
+	ErrBadFree      = errors.New("pheap: free of invalid or already-free block")
+	ErrTooLarge     = errors.New("pheap: allocation exceeds largest size class")
+)
+
+// Heap is a handle to a persistent heap occupying [base, end) of a
+// region. The handle itself carries no state beyond the location; all
+// allocator state is in region memory.
+type Heap struct {
+	reg  *rvm.Region
+	base uint64
+}
+
+// Format initializes a heap covering [base, end) of the region and
+// returns its handle. The formatting writes are declared on tx, so
+// they commit (and propagate) atomically with the caller's other
+// initialization.
+func Format(reg *rvm.Region, tx SetRanger, base, end uint64) (*Heap, error) {
+	if end > uint64(reg.Size()) || base+heapHdrLen >= end {
+		return nil, fmt.Errorf("pheap: bad extent [%d,%d) in region of %d bytes", base, end, reg.Size())
+	}
+	h := &Heap{reg: reg, base: base}
+	if err := tx.SetRange(reg, base, heapHdrLen); err != nil {
+		return nil, err
+	}
+	b := reg.Bytes()
+	binary.LittleEndian.PutUint64(b[base+offMagic:], heapMagic)
+	binary.LittleEndian.PutUint64(b[base+offBump:], base+heapHdrLen)
+	binary.LittleEndian.PutUint64(b[base+offEnd:], end)
+	for c := 0; c < numClasses; c++ {
+		binary.LittleEndian.PutUint64(b[base+offFree+uint64(c)*8:], 0)
+	}
+	return h, nil
+}
+
+// Open attaches to a heap previously formatted at base.
+func Open(reg *rvm.Region, base uint64) (*Heap, error) {
+	if base+heapHdrLen > uint64(reg.Size()) {
+		return nil, ErrNotFormatted
+	}
+	if binary.LittleEndian.Uint64(reg.Bytes()[base+offMagic:]) != heapMagic {
+		return nil, ErrNotFormatted
+	}
+	return &Heap{reg: reg, base: base}, nil
+}
+
+// Region returns the heap's region.
+func (h *Heap) Region() *rvm.Region { return h.reg }
+
+// classFor returns the size class index for a payload size.
+func classFor(size uint32) (int, error) {
+	if size == 0 {
+		size = 1
+	}
+	c := 0
+	cap := uint32(1) << minClassShift
+	for cap < size {
+		cap <<= 1
+		c++
+	}
+	if c >= numClasses {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	return c, nil
+}
+
+// ClassSize returns the payload capacity of size class c.
+func ClassSize(c int) uint32 { return 1 << (minClassShift + c) }
+
+func (h *Heap) u64(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(h.reg.Bytes()[off:])
+}
+
+func (h *Heap) putU64(tx SetRanger, off uint64, v uint64) error {
+	if err := tx.SetRange(h.reg, off, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(h.reg.Bytes()[off:], v)
+	return nil
+}
+
+func (h *Heap) u32(off uint64) uint32 {
+	return binary.LittleEndian.Uint32(h.reg.Bytes()[off:])
+}
+
+func (h *Heap) putU32(tx SetRanger, off uint64, v uint32) error {
+	if err := tx.SetRange(h.reg, off, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(h.reg.Bytes()[off:], v)
+	return nil
+}
+
+// Alloc allocates size payload bytes and returns the payload offset.
+// The payload is NOT zeroed (callers initialize it under their own
+// SetRange, exactly like malloc).
+func (h *Heap) Alloc(tx SetRanger, size uint32) (uint64, error) {
+	c, err := classFor(size)
+	if err != nil {
+		return 0, err
+	}
+	headOff := h.base + offFree + uint64(c)*8
+	if head := h.u64(headOff); head != 0 {
+		// Pop the free list: the next pointer lives in the payload.
+		next := h.u64(head)
+		if err := h.putU64(tx, headOff, next); err != nil {
+			return 0, err
+		}
+		if err := h.putU32(tx, head-blockHdrLen+4, stateUsed); err != nil {
+			return 0, err
+		}
+		return head, nil
+	}
+	// Bump allocation.
+	bump := h.u64(h.base + offBump)
+	end := h.u64(h.base + offEnd)
+	blockLen := uint64(blockHdrLen) + uint64(ClassSize(c))
+	if bump+blockLen > end {
+		return 0, fmt.Errorf("%w: need %d bytes, %d left", ErrOutOfMemory, blockLen, end-bump)
+	}
+	if err := h.putU64(tx, h.base+offBump, bump+blockLen); err != nil {
+		return 0, err
+	}
+	if err := tx.SetRange(h.reg, bump, blockHdrLen); err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(h.reg.Bytes()[bump:], ClassSize(c))
+	binary.LittleEndian.PutUint32(h.reg.Bytes()[bump+4:], stateUsed)
+	return bump + blockHdrLen, nil
+}
+
+// Free returns a block to its size-class free list.
+func (h *Heap) Free(tx SetRanger, payload uint64) error {
+	if payload < h.base+heapHdrLen+blockHdrLen || payload >= h.u64(h.base+offEnd) {
+		return fmt.Errorf("%w: offset %d", ErrBadFree, payload)
+	}
+	hdr := payload - blockHdrLen
+	size := h.u32(hdr)
+	state := h.u32(hdr + 4)
+	if state != stateUsed {
+		return fmt.Errorf("%w: offset %d state %#x", ErrBadFree, payload, state)
+	}
+	c, err := classFor(size)
+	if err != nil || ClassSize(c) != size {
+		return fmt.Errorf("%w: offset %d corrupt size %d", ErrBadFree, payload, size)
+	}
+	headOff := h.base + offFree + uint64(c)*8
+	if err := h.putU32(tx, hdr+4, stateFree); err != nil {
+		return err
+	}
+	if err := h.putU64(tx, payload, h.u64(headOff)); err != nil {
+		return err
+	}
+	return h.putU64(tx, headOff, payload)
+}
+
+// SizeOf returns the payload capacity of an allocated block.
+func (h *Heap) SizeOf(payload uint64) (uint32, error) {
+	hdr := payload - blockHdrLen
+	if payload < h.base+heapHdrLen+blockHdrLen || h.u32(hdr+4) != stateUsed {
+		return 0, ErrBadFree
+	}
+	return h.u32(hdr), nil
+}
+
+// AlignBump advances the bump pointer to the next multiple of align
+// (wasting the skipped bytes). OO7 uses this to start each composite
+// part's cluster of atomic parts on a fresh VM page, reproducing the
+// paper's "atomic parts associated with a particular composite part
+// tend to be clustered on the same page" layout (§4.1).
+func (h *Heap) AlignBump(tx SetRanger, align uint64) error {
+	if align == 0 || align&(align-1) != 0 {
+		return fmt.Errorf("pheap: alignment %d is not a power of two", align)
+	}
+	bump := h.u64(h.base + offBump)
+	aligned := (bump + align - 1) &^ (align - 1)
+	if aligned == bump {
+		return nil
+	}
+	if aligned > h.u64(h.base+offEnd) {
+		return ErrOutOfMemory
+	}
+	return h.putU64(tx, h.base+offBump, aligned)
+}
+
+// Bump returns the current bump pointer (test/diagnostic aid).
+func (h *Heap) Bump() uint64 { return h.u64(h.base + offBump) }
+
+// FreeCount walks one class's free list (diagnostic aid).
+func (h *Heap) FreeCount(c int) int {
+	n := 0
+	for off := h.u64(h.base + offFree + uint64(c)*8); off != 0; off = h.u64(off) {
+		n++
+	}
+	return n
+}

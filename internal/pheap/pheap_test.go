@@ -1,0 +1,264 @@
+package pheap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+func newHeap(t *testing.T, size int) (*rvm.RVM, *Heap) {
+	t.Helper()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.Map(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := r.Begin(rvm.NoRestore)
+	h, err := Format(reg, tx, 0, uint64(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(rvm.NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	return r, h
+}
+
+func TestAllocDistinct(t *testing.T) {
+	r, h := newHeap(t, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		off, err := h.Alloc(tx, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d allocated twice", off)
+		}
+		seen[off] = true
+	}
+	tx.Commit(rvm.NoFlush)
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	r, h := newHeap(t, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	a, _ := h.Alloc(tx, 24)
+	if err := h.Free(tx, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(tx, 20) // same class (32 B): must reuse
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("free block not reused: %d vs %d", a, b)
+	}
+	tx.Commit(rvm.NoFlush)
+}
+
+func TestSizeClasses(t *testing.T) {
+	for _, c := range []struct {
+		size uint32
+		cap  uint32
+	}{{1, 16}, {16, 16}, {17, 32}, {100, 128}, {8192, 8192}} {
+		cl, err := classFor(c.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ClassSize(cl) != c.cap {
+			t.Fatalf("classFor(%d) -> %d bytes, want %d", c.size, ClassSize(cl), c.cap)
+		}
+	}
+	if _, err := classFor(8193); !errors.Is(err, ErrTooLarge) {
+		t.Fatal("oversized allocation accepted")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	r, h := newHeap(t, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	a, _ := h.Alloc(tx, 24)
+	h.Free(tx, a)
+	if err := h.Free(tx, a); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: %v", err)
+	}
+	if err := h.Free(tx, 4); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("bogus free: %v", err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	r, h := newHeap(t, 1024)
+	tx := r.Begin(rvm.NoRestore)
+	var err error
+	for i := 0; i < 1000; i++ {
+		if _, err = h.Alloc(tx, 64); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	r, h := newHeap(t, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	a, _ := h.Alloc(tx, 100)
+	sz, err := h.SizeOf(a)
+	if err != nil || sz != 128 {
+		t.Fatalf("SizeOf = %d, %v", sz, err)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	r, h := newHeap(t, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	a, _ := h.Alloc(tx, 32)
+	tx.Commit(rvm.NoFlush)
+
+	h2, err := Open(h.Region(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := r.Begin(rvm.NoRestore)
+	b, err := h2.Alloc(tx2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("reopened heap reallocated a live block")
+	}
+	tx2.Commit(rvm.NoFlush)
+}
+
+func TestOpenUnformatted(t *testing.T) {
+	r, _ := rvm.Open(rvm.Options{Node: 1})
+	reg, _ := r.Map(1, 4096)
+	if _, err := Open(reg, 0); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonZeroBase(t *testing.T) {
+	r, _ := rvm.Open(rvm.Options{Node: 1})
+	reg, _ := r.Map(1, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	h, err := Format(reg, tx, 4096, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := h.Alloc(tx, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 4096+heapHdrLen {
+		t.Fatalf("allocation at %d below heap base", off)
+	}
+	tx.Commit(rvm.NoFlush)
+}
+
+// TestHeapRecoverable: allocator state written through one RVM session
+// must recover identically — allocations made before a crash survive
+// and the bump pointer does not regress.
+func TestHeapRecoverable(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := rvm.NewMemStore()
+	data.StoreRegion(1, make([]byte, 1<<16))
+
+	r, _ := rvm.Open(rvm.Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 1<<16)
+	tx := r.Begin(rvm.NoRestore)
+	h, _ := Format(reg, tx, 0, 1<<16)
+	a, _ := h.Alloc(tx, 64)
+	tx.SetRange(reg, a, 5)
+	copy(reg.Bytes()[a:], "alive")
+	tx.Commit(rvm.NoFlush)
+	bumpBefore := h.Bump()
+
+	// Crash and recover into a fresh instance.
+	if _, err := rvm.Recover(log, data, rvm.RecoverOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := rvm.Open(rvm.Options{Node: 1, Data: data})
+	reg2, _ := r2.Map(1, 1<<16)
+	h2, err := Open(reg2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Bump() != bumpBefore {
+		t.Fatalf("bump regressed: %d vs %d", h2.Bump(), bumpBefore)
+	}
+	if string(reg2.Bytes()[a:a+5]) != "alive" {
+		t.Fatal("allocated data lost in recovery")
+	}
+	tx2 := r2.Begin(rvm.NoRestore)
+	b, err := h2.Alloc(tx2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("recovery resurrected a live block")
+	}
+}
+
+// TestPropertyAllocFreeNoOverlap: any interleaving of allocs and frees
+// yields non-overlapping live blocks fully inside the heap extent.
+func TestPropertyAllocFreeNoOverlap(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		r, _ := rvm.Open(rvm.Options{Node: 1})
+		reg, _ := r.Map(1, 1<<18)
+		tx := r.Begin(rvm.NoRestore)
+		h, _ := Format(reg, tx, 0, 1<<18)
+		rng := rand.New(rand.NewSource(seed))
+		live := map[uint64]uint32{} // payload offset -> class size
+		for i := 0; i < int(ops)+10; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				size := uint32(rng.Intn(500) + 1)
+				off, err := h.Alloc(tx, size)
+				if err != nil {
+					return false
+				}
+				sz, _ := h.SizeOf(off)
+				live[off] = sz
+			} else {
+				for off := range live {
+					if err := h.Free(tx, off); err != nil {
+						return false
+					}
+					delete(live, off)
+					break
+				}
+			}
+		}
+		// Overlap check: blocks [off, off+size) must be disjoint.
+		type iv struct{ a, b uint64 }
+		var ivs []iv
+		for off, sz := range live {
+			if off+uint64(sz) > uint64(reg.Size()) {
+				return false
+			}
+			ivs = append(ivs, iv{off, off + uint64(sz)})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].a < ivs[j].b && ivs[j].a < ivs[i].b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

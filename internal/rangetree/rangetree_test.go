@@ -1,0 +1,388 @@
+package rangetree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustValid(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(CoalesceFull)
+	if tr.Len() != 0 || tr.Bytes() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.Ranges(); len(got) != 0 {
+		t.Fatalf("Ranges() = %v", got)
+	}
+	mustValid(t, tr)
+}
+
+func TestZeroLengthIgnored(t *testing.T) {
+	tr := New(CoalesceFull)
+	if res := tr.Add(100, 0); res != CoalescedFast {
+		t.Fatalf("zero-length add = %v", res)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("zero-length range stored")
+	}
+}
+
+func TestSingleInsert(t *testing.T) {
+	for _, p := range []Policy{CoalesceFull, CoalesceExact} {
+		tr := New(p)
+		if res := tr.Add(10, 5); res != AddedNew {
+			t.Fatalf("%v: first add = %v", p, res)
+		}
+		if tr.Len() != 1 || tr.Bytes() != 5 {
+			t.Fatalf("%v: len=%d bytes=%d", p, tr.Len(), tr.Bytes())
+		}
+		mustValid(t, tr)
+	}
+}
+
+func TestRedundantFastPath(t *testing.T) {
+	for _, p := range []Policy{CoalesceFull, CoalesceExact} {
+		tr := New(p)
+		tr.Add(10, 8)
+		for i := 0; i < 100; i++ {
+			if res := tr.Add(10, 8); res != CoalescedFast {
+				t.Fatalf("%v: repeat add = %v", p, res)
+			}
+		}
+		if tr.Len() != 1 || tr.Bytes() != 8 {
+			t.Fatalf("%v: len=%d bytes=%d", p, tr.Len(), tr.Bytes())
+		}
+	}
+}
+
+func TestOrderedFastPath(t *testing.T) {
+	for _, p := range []Policy{CoalesceFull, CoalesceExact} {
+		tr := New(p)
+		tr.Add(0, 8)
+		ordered := 0
+		for i := 1; i < 1000; i++ {
+			res := tr.Add(uint64(i*16), 8)
+			if res == AddedOrdered {
+				ordered++
+			}
+		}
+		if ordered != 999 {
+			t.Fatalf("%v: ordered fast path hit %d/999", p, ordered)
+		}
+		if tr.Len() != 1000 {
+			t.Fatalf("%v: len = %d", p, tr.Len())
+		}
+		mustValid(t, tr)
+	}
+}
+
+func TestExactCoalesceNonAdjacent(t *testing.T) {
+	tr := New(CoalesceExact)
+	tr.Add(0, 8)
+	tr.Add(100, 8)
+	// Exact duplicate of an older (non-last) range: slow-path coalesce.
+	if res := tr.Add(0, 8); res != Coalesced {
+		t.Fatalf("exact dup = %v", res)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestExactPolicyKeepsOverlaps(t *testing.T) {
+	tr := New(CoalesceExact)
+	tr.Add(0, 16)
+	tr.Add(8, 16) // overlaps but not exact: both kept (redundant log bytes)
+	if tr.Len() != 2 || tr.Bytes() != 32 {
+		t.Fatalf("len=%d bytes=%d, want 2/32", tr.Len(), tr.Bytes())
+	}
+	mustValid(t, tr)
+}
+
+func TestFullCoalesceOverlap(t *testing.T) {
+	tr := New(CoalesceFull)
+	tr.Add(0, 16)
+	if res := tr.Add(8, 16); res != Coalesced {
+		t.Fatalf("overlap add = %v", res)
+	}
+	want := []Range{{0, 24}}
+	if got := tr.Ranges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranges = %v, want %v", got, want)
+	}
+	if tr.Bytes() != 24 {
+		t.Fatalf("bytes = %d", tr.Bytes())
+	}
+	mustValid(t, tr)
+}
+
+func TestFullCoalesceAdjacent(t *testing.T) {
+	tr := New(CoalesceFull)
+	tr.Add(0, 8)
+	tr.Add(8, 8) // exactly adjacent: must merge
+	if tr.Len() != 1 || tr.Bytes() != 16 {
+		t.Fatalf("len=%d bytes=%d", tr.Len(), tr.Bytes())
+	}
+	mustValid(t, tr)
+}
+
+func TestFullCoalesceBridgesMany(t *testing.T) {
+	tr := New(CoalesceFull)
+	for i := 0; i < 10; i++ {
+		tr.Add(uint64(i*100), 10) // 10 islands
+	}
+	// One giant range swallowing all islands.
+	if res := tr.Add(0, 1000); res != Coalesced {
+		t.Fatalf("bridge add = %v", res)
+	}
+	want := []Range{{0, 1000}}
+	if got := tr.Ranges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranges = %v", got)
+	}
+	mustValid(t, tr)
+}
+
+func TestFullCoalesceContained(t *testing.T) {
+	tr := New(CoalesceFull)
+	tr.Add(0, 100)
+	if res := tr.Add(10, 5); res != Coalesced {
+		t.Fatalf("contained add = %v", res)
+	}
+	if tr.Len() != 1 || tr.Bytes() != 100 {
+		t.Fatalf("len=%d bytes=%d", tr.Len(), tr.Bytes())
+	}
+}
+
+func TestFullCoalesceExtendsLeft(t *testing.T) {
+	tr := New(CoalesceFull)
+	tr.Add(50, 10)
+	tr.Add(40, 10) // adjacent on the left
+	want := []Range{{40, 20}}
+	if got := tr.Ranges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranges = %v", got)
+	}
+	mustValid(t, tr)
+}
+
+func TestReset(t *testing.T) {
+	tr := New(CoalesceExact)
+	for i := 0; i < 2000; i++ {
+		tr.Add(uint64(i*8), 8)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Bytes() != 0 {
+		t.Fatal("reset failed")
+	}
+	// Tree must be fully usable after reset.
+	tr.Add(5, 5)
+	if tr.Len() != 1 {
+		t.Fatal("add after reset failed")
+	}
+	mustValid(t, tr)
+}
+
+func TestVisitStopsEarly(t *testing.T) {
+	tr := New(CoalesceFull)
+	for i := 0; i < 10; i++ {
+		tr.Add(uint64(i*100), 10)
+	}
+	var seen int
+	tr.Visit(func(Range) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("visited %d, want 3", seen)
+	}
+}
+
+func TestRangesSorted(t *testing.T) {
+	tr := New(CoalesceExact)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		tr.Add(uint64(r.Intn(100000)), uint32(r.Intn(64)+1))
+	}
+	got := tr.Ranges()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return keyLess(got[i], got[j]) }) {
+		t.Fatal("Ranges() not sorted")
+	}
+	mustValid(t, tr)
+}
+
+// model is a brute-force interval set used as the oracle for the
+// property tests below.
+type model struct{ covered map[uint64]bool }
+
+func newModel() *model { return &model{covered: map[uint64]bool{}} }
+
+func (m *model) add(off uint64, length uint32) {
+	for i := uint64(0); i < uint64(length); i++ {
+		m.covered[off+i] = true
+	}
+}
+
+// ranges returns the maximal runs of covered bytes.
+func (m *model) ranges() []Range {
+	keys := make([]uint64, 0, len(m.covered))
+	for k := range m.covered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Range
+	for _, k := range keys {
+		if n := len(out); n > 0 && out[n-1].End() == k {
+			out[n-1].Len++
+		} else {
+			out = append(out, Range{Off: k, Len: 1})
+		}
+	}
+	return out
+}
+
+func TestPropertyFullCoalesceMatchesModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(CoalesceFull)
+		m := newModel()
+		for i := 0; i < int(n)+1; i++ {
+			off := uint64(r.Intn(2000))
+			ln := uint32(r.Intn(60) + 1)
+			tr.Add(off, ln)
+			m.add(off, ln)
+			if err := tr.CheckInvariants(); err != nil {
+				t.Logf("invariant after add(%d,%d): %v", off, ln, err)
+				return false
+			}
+		}
+		return reflect.DeepEqual(tr.Ranges(), m.ranges())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExactPolicyKeepsAllDistinct(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(CoalesceExact)
+		distinct := map[Range]bool{}
+		var bytes uint64
+		for i := 0; i < int(n)+1; i++ {
+			rg := Range{Off: uint64(r.Intn(500)), Len: uint32(r.Intn(32) + 1)}
+			tr.Add(rg.Off, rg.Len)
+			if !distinct[rg] {
+				distinct[rg] = true
+				bytes += uint64(rg.Len)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		return tr.Len() == len(distinct) && tr.Bytes() == bytes
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBytesNeverExceedSpan(t *testing.T) {
+	f := func(offs []uint16) bool {
+		tr := New(CoalesceFull)
+		for _, o := range offs {
+			tr.Add(uint64(o), 8)
+		}
+		// Under full coalescing, unique bytes <= 8 * distinct offsets.
+		uniq := map[uint16]bool{}
+		for _, o := range offs {
+			uniq[o] = true
+		}
+		return tr.Bytes() <= uint64(8*len(uniq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescendingInserts(t *testing.T) {
+	for _, p := range []Policy{CoalesceFull, CoalesceExact} {
+		tr := New(p)
+		for i := 999; i >= 0; i-- {
+			tr.Add(uint64(i*16), 8)
+		}
+		if tr.Len() != 1000 {
+			t.Fatalf("%v: len = %d", p, tr.Len())
+		}
+		mustValid(t, tr)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if CoalesceFull.String() != "full" || CoalesceExact.String() != "exact" {
+		t.Fatal("policy strings wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy string wrong")
+	}
+	if AddedNew.String() != "new" || CoalescedFast.String() != "coalesced-fast" ||
+		AddedOrdered.String() != "ordered" || Coalesced.String() != "coalesced" {
+		t.Fatal("result strings wrong")
+	}
+	if AddResult(9).String() != "AddResult(9)" {
+		t.Fatal("unknown result string wrong")
+	}
+}
+
+func BenchmarkAddOrdered(b *testing.B) {
+	tr := New(CoalesceExact)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(uint64(i)*16, 8)
+		if tr.Len() >= 1<<20 {
+			tr.Reset()
+		}
+	}
+}
+
+func BenchmarkAddUnordered(b *testing.B) {
+	tr := New(CoalesceExact)
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(uint64(r.Intn(1<<24))*16, 8)
+		if tr.Len() >= 1<<20 {
+			tr.Reset()
+		}
+	}
+}
+
+func BenchmarkAddRedundant(b *testing.B) {
+	tr := New(CoalesceExact)
+	tr.Add(64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(64, 8)
+	}
+}
+
+func BenchmarkAddFullCoalesce(b *testing.B) {
+	tr := New(CoalesceFull)
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(uint64(r.Intn(1<<22)), 16)
+		if tr.Len() >= 1<<18 {
+			tr.Reset()
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package rvm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Incremental, page-at-a-time checkpointing: the improved log-trimming
+// scheme the paper points to in §3.5 ("nodes checkpoint a page at a
+// time by writing the current version of a page to the checkpoint
+// file. Log records for updates made to a page before it was
+// checkpointed can be discarded"), attractive in the distributed
+// setting because it does not require the per-node logs to be merged.
+//
+// The sweep protocol: note the log length, then copy every page of
+// every mapped region to the permanent store, one page per Step. When
+// the sweep completes, every update that was logged before the sweep
+// began is reflected in some checkpointed page (pages are copied after
+// those updates were applied), so the log prefix up to the noted
+// length is redundant and is trimmed in place.
+//
+// Steps must be interleaved between transactions, not inside them: a
+// page copied mid-transaction would capture uncommitted bytes. The
+// coherency layer's lock boundaries are the natural interleaving
+// points (cf. Janssens & Fuchs checkpointing at lock releases, §5).
+
+// PageStore is an optional DataStore extension for writing single
+// pages of a region image in place.
+type PageStore interface {
+	StorePage(id uint32, off int64, data []byte) error
+}
+
+// IncrementalCheckpointer sweeps mapped regions page by page.
+type IncrementalCheckpointer struct {
+	r        *RVM
+	pageSize int
+
+	regions    []RegionID
+	regionIdx  int
+	pageIdx    int
+	sweepStart int64
+	active     bool
+	pagesDone  int
+}
+
+// NewIncrementalCheckpointer creates a checkpointer with the given
+// page granularity (0 means 8192).
+func (r *RVM) NewIncrementalCheckpointer(pageSize int) *IncrementalCheckpointer {
+	if pageSize <= 0 {
+		pageSize = 8192
+	}
+	return &IncrementalCheckpointer{r: r, pageSize: pageSize}
+}
+
+// PagesDone reports pages written during the current (or last) sweep.
+func (c *IncrementalCheckpointer) PagesDone() int { return c.pagesDone }
+
+// beginSweep snapshots the mapped region set and the log length.
+func (c *IncrementalCheckpointer) beginSweep() error {
+	c.r.mu.Lock()
+	c.regions = c.regions[:0]
+	for id := range c.r.regions {
+		c.regions = append(c.regions, id)
+	}
+	c.r.mu.Unlock()
+	for i := 1; i < len(c.regions); i++ { // insertion sort: tiny sets
+		for j := i; j > 0 && c.regions[j] < c.regions[j-1]; j-- {
+			c.regions[j], c.regions[j-1] = c.regions[j-1], c.regions[j]
+		}
+	}
+	sz, err := c.r.log.Size()
+	if err != nil {
+		return err
+	}
+	c.sweepStart = sz
+	c.regionIdx, c.pageIdx = 0, 0
+	c.pagesDone = 0
+	c.active = true
+	return nil
+}
+
+// Step checkpoints the next page. It returns done=true when a sweep
+// has just completed (and the log head has been trimmed). Calling Step
+// again starts a new sweep.
+func (c *IncrementalCheckpointer) Step() (done bool, err error) {
+	if !c.active {
+		if err := c.beginSweep(); err != nil {
+			return false, err
+		}
+		if len(c.regions) == 0 {
+			c.active = false
+			return true, nil
+		}
+	}
+	reg := c.r.Region(c.regions[c.regionIdx])
+	if reg == nil {
+		// Region unmapped mid-sweep: skip it.
+		c.regionIdx++
+		return c.finishIfDone()
+	}
+	start := c.pageIdx * c.pageSize
+	if start >= reg.Size() {
+		c.regionIdx++
+		c.pageIdx = 0
+		return c.finishIfDone()
+	}
+	end := start + c.pageSize
+	if end > reg.Size() {
+		end = reg.Size()
+	}
+	if err := c.storePage(uint32(reg.ID()), int64(start), reg.Bytes()[start:end]); err != nil {
+		return false, fmt.Errorf("rvm: checkpoint page %d of region %d: %w", c.pageIdx, reg.ID(), err)
+	}
+	c.pagesDone++
+	c.pageIdx++
+	if c.pageIdx*c.pageSize >= reg.Size() {
+		c.regionIdx++
+		c.pageIdx = 0
+	}
+	return c.finishIfDone()
+}
+
+func (c *IncrementalCheckpointer) finishIfDone() (bool, error) {
+	if c.regionIdx < len(c.regions) {
+		return false, nil
+	}
+	c.active = false
+	if err := c.r.data.Sync(); err != nil {
+		return true, err
+	}
+	if err := c.r.TrimLogHead(c.sweepStart); err != nil {
+		return true, fmt.Errorf("rvm: trim log head: %w", err)
+	}
+	return true, nil
+}
+
+// Run performs a complete sweep.
+func (c *IncrementalCheckpointer) Run() error {
+	for {
+		done, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// storePage writes one page, using the store's PageStore fast path
+// when available and read-modify-write otherwise.
+func (c *IncrementalCheckpointer) storePage(id uint32, off int64, data []byte) error {
+	if ps, ok := c.r.data.(PageStore); ok {
+		return ps.StorePage(id, off, data)
+	}
+	img, err := c.r.data.LoadRegion(id)
+	if err != nil && !errors.Is(err, ErrNoRegion) {
+		return err
+	}
+	need := int(off) + len(data)
+	if len(img) < need {
+		grown := make([]byte, need)
+		copy(grown, img)
+		img = grown
+	}
+	copy(img[off:], data)
+	return c.r.data.StoreRegion(id, img)
+}
+
+// TrimLogHead discards the log prefix [0, upTo): the records there are
+// reflected in checkpointed pages. Devices cannot drop prefixes, so
+// the tail is re-written in place; the operation serializes against
+// commits via the instance mutex.
+func (r *RVM) TrimLogHead(upTo int64) error {
+	if upTo <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sz, err := r.log.Size()
+	if err != nil {
+		return err
+	}
+	if upTo > sz {
+		return fmt.Errorf("rvm: trim head %d beyond log end %d", upTo, sz)
+	}
+	rc, err := r.log.Open(upTo)
+	if err != nil {
+		return err
+	}
+	tail, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return err
+	}
+	if err := r.log.Reset(); err != nil {
+		return err
+	}
+	if len(tail) > 0 {
+		if _, err := r.log.Append(tail); err != nil {
+			return err
+		}
+	}
+	return r.log.Sync()
+}

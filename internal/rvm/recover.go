@@ -1,0 +1,104 @@
+package rvm
+
+import (
+	"errors"
+	"fmt"
+
+	"lbc/internal/wal"
+)
+
+// RecoverOptions controls the recovery procedure.
+type RecoverOptions struct {
+	// TrimLog resets the log after its records have been applied to the
+	// permanent images (they are then redundant).
+	TrimLog bool
+	// TruncateTorn removes a torn tail (an interrupted append) from the
+	// log. Recovery always *ignores* a torn tail; this additionally
+	// repairs the device. Implied by TrimLog.
+	TruncateTorn bool
+}
+
+// RecoverResult summarizes what recovery did.
+type RecoverResult struct {
+	Records      int   // committed records replayed
+	BytesApplied int   // new-value bytes written into images
+	Torn         bool  // log ended in a torn/corrupt record
+	TornAt       int64 // offset of the valid prefix end when Torn
+}
+
+// Recover replays every committed record in the log into the permanent
+// region images of the data store (the standard write-ahead recovery
+// procedure: the log is the truth, the database file lags it). Records
+// are applied in log order; in the distributed configuration the log
+// must first be merged from the per-node logs (internal/merge, §3.4).
+func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResult, error) {
+	rc, err := log.Open(0)
+	if err != nil {
+		return nil, fmt.Errorf("rvm: open log for recovery: %w", err)
+	}
+	txs, torn, tornAt, err := wal.ReadAll(rc, 0)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoverResult{Torn: torn, TornAt: tornAt}
+
+	images := map[uint32][]byte{}
+	dirty := map[uint32]bool{}
+	load := func(id uint32, atLeast uint64) ([]byte, error) {
+		img, ok := images[id]
+		if !ok {
+			var err error
+			img, err = data.LoadRegion(id)
+			if err != nil && !errors.Is(err, ErrNoRegion) {
+				return nil, err
+			}
+		}
+		if uint64(len(img)) < atLeast {
+			grown := make([]byte, atLeast)
+			copy(grown, img)
+			img = grown
+		}
+		images[id] = img
+		return img, nil
+	}
+
+	for _, tx := range txs {
+		if tx.Checkpoint {
+			continue
+		}
+		for _, rec := range tx.Ranges {
+			img, err := load(rec.Region, rec.End())
+			if err != nil {
+				return nil, fmt.Errorf("rvm: recovery load region %d: %w", rec.Region, err)
+			}
+			copy(img[rec.Off:], rec.Data)
+			dirty[rec.Region] = true
+			res.BytesApplied += len(rec.Data)
+		}
+		res.Records++
+	}
+
+	for id := range dirty {
+		if err := data.StoreRegion(id, images[id]); err != nil {
+			return nil, fmt.Errorf("rvm: recovery store region %d: %w", id, err)
+		}
+	}
+	if len(dirty) > 0 {
+		if err := data.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case opts.TrimLog:
+		if err := log.Reset(); err != nil {
+			return nil, fmt.Errorf("rvm: trim log: %w", err)
+		}
+	case opts.TruncateTorn && torn:
+		if err := log.Truncate(tornAt); err != nil {
+			return nil, fmt.Errorf("rvm: truncate torn tail: %w", err)
+		}
+	}
+	return res, nil
+}

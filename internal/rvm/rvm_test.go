@@ -1,0 +1,618 @@
+package rvm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rangetree"
+	"lbc/internal/wal"
+)
+
+func newTestRVM(t *testing.T) *RVM {
+	t.Helper()
+	r, err := Open(Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMapCreatesZeroedRegion(t *testing.T) {
+	r := newTestRVM(t)
+	reg, err := r.Map(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Size() != 1024 || reg.ID() != 1 {
+		t.Fatalf("size=%d id=%d", reg.Size(), reg.ID())
+	}
+	for _, b := range reg.Bytes() {
+		if b != 0 {
+			t.Fatal("fresh region not zeroed")
+		}
+	}
+	// Mapping again returns the same region.
+	again, _ := r.Map(1, 1024)
+	if again != reg {
+		t.Fatal("re-map returned different region")
+	}
+}
+
+func TestMapLoadsExistingImage(t *testing.T) {
+	data := NewMemStore()
+	img := []byte("persistent image contents")
+	data.StoreRegion(7, img)
+	r, err := Open(Options{Node: 1, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := r.Map(7, len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reg.Bytes(), img) {
+		t.Fatalf("mapped %q", reg.Bytes())
+	}
+}
+
+func TestMapGrowsShortImage(t *testing.T) {
+	data := NewMemStore()
+	data.StoreRegion(7, []byte("abc"))
+	r, _ := Open(Options{Node: 1, Data: data})
+	reg, err := r.Map(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Size() != 10 || !bytes.Equal(reg.Bytes()[:3], []byte("abc")) {
+		t.Fatalf("grown image wrong: %q", reg.Bytes())
+	}
+}
+
+func TestSetRangeBounds(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	if err := tx.SetRange(reg, 90, 20); !errors.Is(err, ErrRangeBounds) {
+		t.Fatalf("out-of-bounds SetRange: %v", err)
+	}
+	if err := tx.SetRange(reg, 90, 10); err != nil {
+		t.Fatalf("in-bounds SetRange: %v", err)
+	}
+}
+
+func TestCommitLogsNewValues(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 10, 5)
+	copy(reg.Bytes()[10:], "hello")
+	tx.SetRange(reg, 50, 3)
+	copy(reg.Bytes()[50:], "xyz")
+	rec, err := tx.Commit(NoFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ranges) != 2 {
+		t.Fatalf("ranges = %d", len(rec.Ranges))
+	}
+	if rec.Ranges[0].Off != 10 || string(rec.Ranges[0].Data) != "hello" {
+		t.Fatalf("range 0 = %+v", rec.Ranges[0])
+	}
+	if rec.Ranges[1].Off != 50 || string(rec.Ranges[1].Data) != "xyz" {
+		t.Fatalf("range 1 = %+v", rec.Ranges[1])
+	}
+	// The record must be on the log device.
+	txs, err := wal.ReadDevice(r.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 || txs[0].TxSeq != rec.TxSeq {
+		t.Fatalf("log holds %d records", len(txs))
+	}
+}
+
+func TestCommitRangesSortedByAddress(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 1000)
+	tx := r.Begin(NoRestore)
+	for _, off := range []uint64{500, 100, 900, 300} {
+		tx.SetRange(reg, off, 8)
+	}
+	rec, _ := tx.Commit(NoFlush)
+	for i := 1; i < len(rec.Ranges); i++ {
+		if rec.Ranges[i].Off <= rec.Ranges[i-1].Off {
+			t.Fatalf("ranges not sorted: %v then %v", rec.Ranges[i-1].Off, rec.Ranges[i].Off)
+		}
+	}
+}
+
+func TestCommitMultiRegionOrder(t *testing.T) {
+	r := newTestRVM(t)
+	regA, _ := r.Map(2, 100)
+	regB, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(regA, 0, 4)
+	tx.SetRange(regB, 0, 4)
+	rec, _ := tx.Commit(NoFlush)
+	if len(rec.Ranges) != 2 || rec.Ranges[0].Region != 1 || rec.Ranges[1].Region != 2 {
+		t.Fatalf("regions out of order: %+v", rec.Ranges)
+	}
+}
+
+func TestAbortRestoresOldValues(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	copy(reg.Bytes()[10:], "original")
+	tx := r.Begin(Restore)
+	tx.SetRange(reg, 10, 8)
+	copy(reg.Bytes()[10:], "clobber!")
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if string(reg.Bytes()[10:18]) != "original" {
+		t.Fatalf("abort left %q", reg.Bytes()[10:18])
+	}
+	if r.Stats().Counter(metrics.CtrTxAborted) != 1 {
+		t.Fatal("abort not counted")
+	}
+}
+
+func TestAbortOverlappingUndo(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	copy(reg.Bytes(), "abcdefgh")
+	tx := r.Begin(Restore)
+	tx.SetRange(reg, 0, 4)
+	copy(reg.Bytes(), "WXYZ")
+	tx.SetRange(reg, 2, 4) // overlaps; captures already-clobbered bytes
+	copy(reg.Bytes()[2:], "1234")
+	tx.Abort()
+	if string(reg.Bytes()[:8]) != "abcdefgh" {
+		t.Fatalf("abort left %q", reg.Bytes()[:8])
+	}
+}
+
+func TestNoRestoreAbortFails(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	if err := tx.Abort(); err == nil {
+		t.Fatal("no-restore abort with modifications should fail")
+	}
+	// But a read-only no-restore tx can abort.
+	tx2 := r.Begin(NoRestore)
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxDoneErrors(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	tx.Commit(NoFlush)
+	if err := tx.SetRange(reg, 0, 4); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("SetRange after commit: %v", err)
+	}
+	if _, err := tx.Commit(NoFlush); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestSetLockDuplicate(t *testing.T) {
+	r := newTestRVM(t)
+	tx := r.Begin(NoRestore)
+	if err := tx.SetLock(5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetLock(5, 2, 1); err == nil {
+		t.Fatal("duplicate SetLock should fail under strict 2PL")
+	}
+}
+
+func TestLockRecordsInCommit(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetLock(5, 3, 1)
+	tx.SetRange(reg, 0, 4)
+	rec, _ := tx.Commit(NoFlush)
+	if len(rec.Locks) != 1 || rec.Locks[0].LockID != 5 || rec.Locks[0].Seq != 3 ||
+		rec.Locks[0].PrevWriteSeq != 1 || !rec.Locks[0].Wrote {
+		t.Fatalf("lock rec = %+v", rec.Locks)
+	}
+	// Read-only commit: Wrote must be false.
+	tx2 := r.Begin(NoRestore)
+	tx2.SetLock(5, 4, 3)
+	rec2, _ := tx2.Commit(NoFlush)
+	if rec2.Locks[0].Wrote {
+		t.Fatal("read-only tx marked Wrote")
+	}
+}
+
+func TestFlushModeSyncsLog(t *testing.T) {
+	dev := wal.NewMemDevice()
+	r, _ := Open(Options{Node: 1, Log: dev})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	tx.Commit(NoFlush)
+	if dev.Syncs() != 0 {
+		t.Fatal("no-flush commit synced")
+	}
+	tx2 := r.Begin(NoRestore)
+	tx2.SetRange(reg, 8, 4)
+	tx2.Commit(Flush)
+	if dev.Syncs() != 1 {
+		t.Fatalf("syncs = %d", dev.Syncs())
+	}
+	if r.Stats().Counter(metrics.CtrLogFlushes) != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestCommitHookReceivesRecord(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	var got *wal.TxRecord
+	r.AddCommitHook(func(tx *wal.TxRecord) { got = tx })
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 20, 4)
+	copy(reg.Bytes()[20:], "data")
+	rec, _ := tx.Commit(NoFlush)
+	if got != rec {
+		t.Fatal("hook did not receive the committed record")
+	}
+}
+
+func TestApplyRecord(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	n, err := r.ApplyRecord(&wal.TxRecord{
+		Node: 2, TxSeq: 1,
+		Ranges: []wal.RangeRec{
+			{Region: 1, Off: 5, Data: []byte("peer")},
+			{Region: 99, Off: 0, Data: []byte("unmapped-region-skipped")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("applied %d bytes", n)
+	}
+	if string(reg.Bytes()[5:9]) != "peer" {
+		t.Fatalf("region = %q", reg.Bytes()[5:9])
+	}
+}
+
+func TestApplyRecordOutOfBounds(t *testing.T) {
+	r := newTestRVM(t)
+	r.Map(1, 10)
+	_, err := r.ApplyRecord(&wal.TxRecord{
+		Ranges: []wal.RangeRec{{Region: 1, Off: 8, Data: []byte("toolong")}},
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds apply succeeded")
+	}
+}
+
+func TestRecoveryReplaysCommitted(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	data.StoreRegion(1, make([]byte, 100))
+
+	// Session 1: two committed transactions, then "crash" (no checkpoint).
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 5)
+	copy(reg.Bytes(), "first")
+	tx.Commit(NoFlush)
+	tx2 := r.Begin(NoRestore)
+	tx2.SetRange(reg, 10, 6)
+	copy(reg.Bytes()[10:], "second")
+	tx2.Commit(NoFlush)
+	// An uncommitted transaction scribbles but never commits.
+	tx3 := r.Begin(NoRestore)
+	tx3.SetRange(reg, 50, 4)
+	copy(reg.Bytes()[50:], "lost")
+
+	// The permanent image still has none of it.
+	img, _ := data.LoadRegion(1)
+	if !bytes.Equal(img, make([]byte, 100)) {
+		t.Fatal("permanent image modified before recovery")
+	}
+
+	res, err := Recover(log, data, RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.BytesApplied != 11 {
+		t.Fatalf("recovered %d records, %d bytes", res.Records, res.BytesApplied)
+	}
+	img, _ = data.LoadRegion(1)
+	if string(img[0:5]) != "first" || string(img[10:16]) != "second" {
+		t.Fatalf("image = %q", img[:20])
+	}
+	if !bytes.Equal(img[50:54], make([]byte, 4)) {
+		t.Fatal("uncommitted write leaked into permanent image")
+	}
+}
+
+func TestRecoveryTornTail(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 5)
+	copy(reg.Bytes(), "keep!")
+	tx.Commit(NoFlush)
+
+	// Simulate a crash mid-append: chop bytes off the log tail.
+	sz, _ := log.Size()
+	extra := wal.AppendStandard(nil, &wal.TxRecord{Node: 1, TxSeq: 99,
+		Ranges: []wal.RangeRec{{Region: 1, Off: 20, Data: []byte("torn")}}})
+	log.Append(extra[:len(extra)-5])
+
+	res, err := Recover(log, data, RecoverOptions{TruncateTorn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 || !res.Torn || res.TornAt != sz {
+		t.Fatalf("res = %+v, want torn at %d", res, sz)
+	}
+	if newSz, _ := log.Size(); newSz != sz {
+		t.Fatalf("torn tail not truncated: %d != %d", newSz, sz)
+	}
+	img, _ := data.LoadRegion(1)
+	if string(img[0:5]) != "keep!" {
+		t.Fatalf("image = %q", img[:5])
+	}
+}
+
+func TestOpenWithRecover(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 7)
+	copy(reg.Bytes(), "durable")
+	tx.Commit(Flush)
+
+	// Reopen with recovery: image must reflect the commit and the log
+	// must be trimmed.
+	r2, err := Open(Options{Node: 1, Log: log, Data: data, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2, _ := r2.Map(1, 100)
+	if string(reg2.Bytes()[:7]) != "durable" {
+		t.Fatalf("recovered image = %q", reg2.Bytes()[:7])
+	}
+	if sz, _ := log.Size(); sz != 0 {
+		t.Fatalf("log not trimmed: %d", sz)
+	}
+}
+
+func TestCheckpointTrimsLog(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	copy(reg.Bytes(), "ckpt")
+	tx.Commit(NoFlush)
+
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := log.Size(); sz != 0 {
+		t.Fatal("checkpoint did not trim log")
+	}
+	img, _ := data.LoadRegion(1)
+	if string(img[:4]) != "ckpt" {
+		t.Fatalf("checkpointed image = %q", img[:4])
+	}
+	// Recovery over the empty log is a no-op but leaves image intact.
+	if _, err := Recover(log, data, RecoverOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	img, _ = data.LoadRegion(1)
+	if string(img[:4]) != "ckpt" {
+		t.Fatal("recovery clobbered checkpointed image")
+	}
+}
+
+func TestClosedInstance(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 100)
+	r.Close()
+	if _, err := r.Map(2, 10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("map after close: %v", err)
+	}
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	if _, err := tx.Commit(NoFlush); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit after close: %v", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	r := newTestRVM(t)
+	r.Map(1, 10)
+	r.Unmap(1)
+	if r.Region(1) != nil {
+		t.Fatal("region still mapped")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := newTestRVM(t)
+	reg, _ := r.Map(1, 1000)
+	tx := r.Begin(NoRestore)
+	for i := 0; i < 10; i++ {
+		tx.SetRange(reg, uint64(i*16), 8)
+	}
+	tx.Commit(NoFlush)
+	s := r.Stats()
+	if s.Counter(metrics.CtrSetRangeCalls) != 10 {
+		t.Fatalf("set_range calls = %d", s.Counter(metrics.CtrSetRangeCalls))
+	}
+	if s.Counter(metrics.CtrRangesLogged) != 10 {
+		t.Fatalf("ranges = %d", s.Counter(metrics.CtrRangesLogged))
+	}
+	if s.Counter(metrics.CtrBytesLogged) != 80 {
+		t.Fatalf("bytes = %d", s.Counter(metrics.CtrBytesLogged))
+	}
+	if s.Phase(metrics.PhaseDetect) == 0 || s.Phase(metrics.PhaseCollect) == 0 {
+		t.Fatal("phase timers not accrued")
+	}
+}
+
+// TestPropertyRecoveryMatchesMemory drives random committed transactions
+// and verifies that recovery reconstructs exactly the final in-memory
+// image — the fundamental recoverability invariant.
+func TestPropertyRecoveryMatchesMemory(t *testing.T) {
+	f := func(seed int64, nTx uint8) bool {
+		log := wal.NewMemDevice()
+		data := NewMemStore()
+		data.StoreRegion(1, make([]byte, 4096))
+		r, _ := Open(Options{Node: 1, Log: log, Data: data})
+		reg, _ := r.Map(1, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(nTx%20)+1; i++ {
+			tx := r.Begin(NoRestore)
+			for j := 0; j < rng.Intn(8)+1; j++ {
+				off := uint64(rng.Intn(4000))
+				n := uint32(rng.Intn(64) + 1)
+				tx.SetRange(reg, off, n)
+				rng.Read(reg.Bytes()[off : off+uint64(n)])
+			}
+			if _, err := tx.Commit(NoFlush); err != nil {
+				t.Logf("commit: %v", err)
+				return false
+			}
+		}
+		want := append([]byte(nil), reg.Bytes()...)
+		if _, err := Recover(log, data, RecoverOptions{}); err != nil {
+			t.Logf("recover: %v", err)
+			return false
+		}
+		img, _ := data.LoadRegion(1)
+		return bytes.Equal(img, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAbortIsIdentity checks that a restore-mode transaction
+// that aborts leaves the image bit-identical to its pre-transaction
+// state regardless of the write pattern.
+func TestPropertyAbortIsIdentity(t *testing.T) {
+	f := func(seed int64, nWrites uint8) bool {
+		r, _ := Open(Options{Node: 1})
+		reg, _ := r.Map(1, 2048)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(reg.Bytes())
+		before := append([]byte(nil), reg.Bytes()...)
+		tx := r.Begin(Restore)
+		for j := 0; j < int(nWrites%16)+1; j++ {
+			off := uint64(rng.Intn(2000))
+			n := uint32(rng.Intn(48) + 1)
+			tx.SetRange(reg, off, n)
+			rng.Read(reg.Bytes()[off : off+uint64(n)])
+		}
+		if err := tx.Abort(); err != nil {
+			return false
+		}
+		return bytes.Equal(reg.Bytes(), before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadRegion(1); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("missing region: %v", err)
+	}
+	if err := s.StoreRegion(1, []byte("disk image")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StoreRegion(3, []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	img, err := s.LoadRegion(1)
+	if err != nil || string(img) != "disk image" {
+		t.Fatalf("load: %q, %v", img, err)
+	}
+	ids, err := s.Regions()
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("regions = %v, %v", ids, err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCoalescePolicy(t *testing.T) {
+	r, _ := Open(Options{Node: 1, Policy: rangetree.CoalesceFull})
+	reg, _ := r.Map(1, 100)
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 8)
+	tx.SetRange(reg, 8, 8) // adjacent: standard RVM merges
+	rec, _ := tx.Commit(NoFlush)
+	if len(rec.Ranges) != 1 || len(rec.Ranges[0].Data) != 16 {
+		t.Fatalf("full coalescing produced %+v", rec.Ranges)
+	}
+}
+
+func TestNeedsCheckpointHighWater(t *testing.T) {
+	r, err := Open(Options{Node: 1, LogHighWater: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := r.Map(1, 256)
+	if r.NeedsCheckpoint() {
+		t.Fatal("fresh instance needs checkpoint")
+	}
+	for i := 0; i < 3; i++ {
+		tx := r.Begin(NoRestore)
+		tx.SetRange(reg, uint64(i*8), 8)
+		tx.Commit(NoFlush)
+	}
+	if !r.NeedsCheckpoint() {
+		sz, _ := r.Log().Size()
+		t.Fatalf("log at %d bytes, high water 200, but no checkpoint flagged", sz)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NeedsCheckpoint() {
+		t.Fatal("still flagged after checkpoint")
+	}
+	// Unconfigured instances never flag.
+	r2, _ := Open(Options{Node: 2})
+	if r2.NeedsCheckpoint() {
+		t.Fatal("unconfigured high water flagged")
+	}
+}

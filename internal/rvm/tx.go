@@ -1,0 +1,235 @@
+package rvm
+
+import (
+	"fmt"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rangetree"
+	"lbc/internal/wal"
+)
+
+// TxMode controls whether a transaction can be aborted.
+type TxMode int
+
+const (
+	// Restore captures old values at SetRange so Abort can roll the
+	// in-memory image back (RVM's restore mode).
+	Restore TxMode = iota
+	// NoRestore skips undo capture; such a transaction cannot abort.
+	// This is RVM's common fast path for committed workloads.
+	NoRestore
+)
+
+// CommitMode controls commit durability.
+type CommitMode int
+
+const (
+	// Flush forces the log to durable storage before commit returns.
+	Flush CommitMode = iota
+	// NoFlush leaves the record in volatile buffers; a crash may lose
+	// it (but never tears the committed prefix).
+	NoFlush
+)
+
+// Tx is an in-progress transaction. A Tx is not safe for concurrent
+// use; RVM applications serialize access per transaction (§3:
+// "multi-threaded updates may or may not be serializable" — locking is
+// the coherency layer's business).
+type Tx struct {
+	rvm    *RVM
+	mode   TxMode
+	trees  map[RegionID]*rangetree.Tree
+	undo   []undoRec
+	locks  []wal.LockRec
+	done   bool
+	setCnt int64
+}
+
+type undoRec struct {
+	region *Region
+	off    uint64
+	old    []byte
+}
+
+// Begin starts a transaction (rvm_begin_transaction).
+func (r *RVM) Begin(mode TxMode) *Tx {
+	return &Tx{rvm: r, mode: mode, trees: map[RegionID]*rangetree.Tree{}}
+}
+
+// SetRange declares that the caller is about to modify
+// region[off:off+n] (rvm_set_range). In Restore mode the old contents
+// are captured for Abort. Declaring a range more than once is cheap:
+// the modified-range tree coalesces per the instance's policy.
+func (t *Tx) SetRange(reg *Region, off uint64, n uint32) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if off+uint64(n) > uint64(len(reg.data)) {
+		return fmt.Errorf("%w: [%d,%d) in region %d of size %d",
+			ErrRangeBounds, off, off+uint64(n), reg.id, len(reg.data))
+	}
+	tm := metrics.StartTimer(t.rvm.stats, metrics.PhaseDetect)
+	tree, ok := t.trees[reg.id]
+	if !ok {
+		tree = rangetree.New(t.rvm.policy)
+		t.trees[reg.id] = tree
+	}
+	res := tree.Add(off, n)
+	t.setCnt++
+	if t.mode == Restore && res != rangetree.CoalescedFast {
+		// Capture undo only for ranges that added new coverage. For
+		// simplicity old values are captured per SetRange call (a
+		// Coalesced result may re-capture overlapping bytes; abort
+		// replays undos in reverse order, so the oldest capture wins).
+		old := make([]byte, n)
+		copy(old, reg.data[off:off+uint64(n)])
+		t.undo = append(t.undo, undoRec{region: reg, off: off, old: old})
+	}
+	tm.Stop()
+	return nil
+}
+
+// SetLock associates a distributed lock acquisition with the
+// transaction (the paper's new rvm_setlockid_transaction call, §3.3).
+// Lock records are emitted into the transaction's log entry and drive
+// both receiver-side ordering and log merging.
+func (t *Tx) SetLock(lockID uint32, seq, prevWriteSeq uint64) error {
+	if t.done {
+		return ErrTxDone
+	}
+	for _, l := range t.locks {
+		if l.LockID == lockID {
+			return fmt.Errorf("rvm: lock %d already set on transaction (strict 2PL acquires a lock at most once)", lockID)
+		}
+	}
+	t.locks = append(t.locks, wal.LockRec{LockID: lockID, Seq: seq, PrevWriteSeq: prevWriteSeq})
+	return nil
+}
+
+// SetRangeCalls returns how many SetRange calls the transaction has
+// made (the per-update count behind Figures 5-7).
+func (t *Tx) SetRangeCalls() int64 { return t.setCnt }
+
+// PendingRanges returns the number of distinct modified ranges
+// currently recorded.
+func (t *Tx) PendingRanges() int {
+	var n int
+	for _, tree := range t.trees {
+		n += tree.Len()
+	}
+	return n
+}
+
+// Commit atomically enters the transaction's updates
+// (rvm_end_transaction): new values are gathered from the region
+// images in address order, appended to the durable log (forced when
+// mode is Flush), and handed to every commit hook — which is where
+// log-based coherency broadcasts them to peers. It returns the
+// committed record.
+func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	t.done = true
+	r := t.rvm
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.txSeq++
+	seq := r.txSeq
+	hooks := r.hooks
+
+	// Gather phase ("collect updates"): copy the new values out of the
+	// region images into one contiguous commit buffer, building the
+	// record that serves both recoverability and coherency. This
+	// mirrors RVM's writev gather — data is copied exactly once.
+	tm := metrics.StartTimer(r.stats, metrics.PhaseCollect)
+	tx := &wal.TxRecord{Node: r.node, TxSeq: seq}
+	var totalBytes int
+	for _, id := range sortedRegionIDs(t.trees) {
+		totalBytes += int(t.trees[id].Bytes())
+	}
+	buf := make([]byte, 0, totalBytes)
+	for _, id := range sortedRegionIDs(t.trees) {
+		reg := r.regions[id]
+		tree := t.trees[id]
+		if reg == nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: region %d", ErrNotMapped, id)
+		}
+		tree.Visit(func(rg rangetree.Range) bool {
+			start := len(buf)
+			buf = append(buf, reg.data[rg.Off:rg.Off+uint64(rg.Len)]...)
+			tx.Ranges = append(tx.Ranges, wal.RangeRec{
+				Region: uint32(id),
+				Off:    rg.Off,
+				Data:   buf[start:len(buf):len(buf)],
+			})
+			return true
+		})
+	}
+	// Finalize lock records: a lock is marked Wrote if the transaction
+	// modified anything. (Per-segment refinement happens in the
+	// coherency layer, which knows the segment <-> lock mapping.)
+	tx.Locks = append(tx.Locks, t.locks...)
+	for i := range tx.Locks {
+		tx.Locks[i].Wrote = len(tx.Ranges) > 0
+	}
+	tm.Stop()
+
+	// Durability phase: append to the log; force it in Flush mode.
+	dt := metrics.StartTimer(r.stats, metrics.PhaseDiskIO)
+	if _, _, err := r.writer.Commit(tx, mode == Flush); err != nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("rvm: log append: %w", err)
+	}
+	dt.Stop()
+	if mode == Flush {
+		r.stats.Add(metrics.CtrLogFlushes, 1)
+	}
+	r.mu.Unlock()
+
+	// Coherency phase: hand the committed record to hooks (eager
+	// broadcast happens here). Hooks run outside r.mu so receivers can
+	// call ApplyRecord without deadlock.
+	for _, h := range hooks {
+		h(tx)
+	}
+
+	r.stats.Add(metrics.CtrTxCommitted, 1)
+	r.stats.Add(metrics.CtrSetRangeCalls, t.setCnt)
+	r.stats.Add(metrics.CtrRangesLogged, int64(len(tx.Ranges)))
+	r.stats.Add(metrics.CtrBytesLogged, int64(totalBytes))
+	return tx, nil
+}
+
+// Abort rolls back the transaction. In Restore mode the captured old
+// values are copied back (newest first); in NoRestore mode Abort
+// returns an error because the image may already be inconsistent.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	if t.mode == NoRestore && len(t.trees) > 0 {
+		hasRanges := false
+		for _, tree := range t.trees {
+			if tree.Len() > 0 {
+				hasRanges = true
+				break
+			}
+		}
+		if hasRanges {
+			return fmt.Errorf("rvm: cannot abort a no-restore transaction with modifications")
+		}
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		copy(u.region.data[u.off:], u.old)
+	}
+	t.rvm.stats.Add(metrics.CtrTxAborted, 1)
+	return nil
+}

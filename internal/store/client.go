@@ -1,0 +1,186 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Client talks to a storage Server. It implements rvm.DataStore
+// directly, and LogDevice returns a wal.Device view of one node's log
+// on the server. A Client serializes its requests over a single TCP
+// connection, like a single NFS mount in the prototype.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a storage server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(op uint8, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeReq(c.conn, op, body); err != nil {
+		return nil, fmt.Errorf("store: send: %w", err)
+	}
+	resp, err := readMsg(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("store: recv: %w", err)
+	}
+	if len(resp) == 0 {
+		return nil, errors.New("store: empty response")
+	}
+	if resp[0] == statusErr {
+		msg := string(resp[1:])
+		// Re-map the sentinel that DataStore consumers test for.
+		if strings.Contains(msg, rvm.ErrNoRegion.Error()) {
+			return nil, rvm.ErrNoRegion
+		}
+		return nil, errors.New(msg)
+	}
+	return resp[1:], nil
+}
+
+// LoadRegion implements rvm.DataStore.
+func (c *Client) LoadRegion(id uint32) ([]byte, error) {
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], id)
+	return c.call(opLoadRegion, req[:])
+}
+
+// StoreRegion implements rvm.DataStore.
+func (c *Client) StoreRegion(id uint32, data []byte) error {
+	req := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(req, id)
+	copy(req[4:], data)
+	_, err := c.call(opStoreRegion, req)
+	return err
+}
+
+// Regions implements rvm.DataStore.
+func (c *Client) Regions() ([]uint32, error) {
+	resp, err := c.call(opListRegions, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDs(resp)
+}
+
+// Sync implements rvm.DataStore.
+func (c *Client) Sync() error {
+	_, err := c.call(opSyncData, nil)
+	return err
+}
+
+// Logs lists node ids that have logs on the server.
+func (c *Client) Logs() ([]uint32, error) {
+	resp, err := c.call(opListLogs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDs(resp)
+}
+
+// LogDevice returns a wal.Device backed by node's log on the server.
+func (c *Client) LogDevice(node uint32) wal.Device {
+	return &remoteLog{c: c, node: node}
+}
+
+// remoteLog adapts the server's per-node log to wal.Device.
+type remoteLog struct {
+	c    *Client
+	node uint32
+}
+
+func (l *remoteLog) req(extra int) []byte {
+	b := make([]byte, 4, 4+extra)
+	binary.LittleEndian.PutUint32(b, l.node)
+	return b
+}
+
+// Append implements wal.Device.
+func (l *remoteLog) Append(p []byte) (int64, error) {
+	resp, err := l.c.call(opAppendLog, append(l.req(len(p)), p...))
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("store: bad AppendLog response")
+	}
+	return int64(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// Sync implements wal.Device.
+func (l *remoteLog) Sync() error {
+	_, err := l.c.call(opSyncLog, l.req(0))
+	return err
+}
+
+// Size implements wal.Device.
+func (l *remoteLog) Size() (int64, error) {
+	resp, err := l.c.call(opLogSize, l.req(0))
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("store: bad LogSize response")
+	}
+	return int64(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// Open implements wal.Device: the tail is fetched in one round trip.
+func (l *remoteLog) Open(from int64) (io.ReadCloser, error) {
+	req := l.req(8)
+	var off [8]byte
+	binary.LittleEndian.PutUint64(off[:], uint64(from))
+	resp, err := l.c.call(opReadLog, append(req, off[:]...))
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(resp)), nil
+}
+
+// Truncate implements wal.Device.
+func (l *remoteLog) Truncate(size int64) error {
+	req := l.req(8)
+	var sz [8]byte
+	binary.LittleEndian.PutUint64(sz[:], uint64(size))
+	_, err := l.c.call(opTruncateLog, append(req, sz[:]...))
+	return err
+}
+
+// Reset implements wal.Device.
+func (l *remoteLog) Reset() error {
+	_, err := l.c.call(opResetLog, l.req(0))
+	return err
+}
+
+// Close implements wal.Device (the underlying client stays open; logs
+// share its connection).
+func (l *remoteLog) Close() error { return nil }

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbage throws malformed byte streams at the
+// server: it must drop the connection without crashing and keep
+// serving well-formed clients.
+func TestServerSurvivesGarbage(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		junk := make([]byte, rng.Intn(200)+1)
+		rng.Read(junk)
+		c.Write(junk)
+		c.Close()
+	}
+	// Oversized length prefix.
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], 1<<31)
+	c.Write(huge[:])
+	c.Close()
+
+	// A healthy client still works.
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.StoreRegion(1, []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	img, err := cli.LoadRegion(1)
+	if err != nil || string(img) != "still alive" {
+		t.Fatalf("load after garbage: %q, %v", img, err)
+	}
+}
+
+// TestServerHalfOpenConnections: clients that connect and go silent
+// must not wedge the accept loop.
+func TestServerHalfOpenConnections(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var idle []net.Conn
+	for i := 0; i < 8; i++ {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		idle = append(idle, c)
+	}
+	defer func() {
+		for _, c := range idle {
+			c.Close()
+		}
+	}()
+	done := make(chan error, 1)
+	go func() {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer cli.Close()
+		done <- cli.StoreRegion(2, []byte("x"))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server wedged by idle connections")
+	}
+}

@@ -1,0 +1,405 @@
+// Package store implements the logically centralized storage service of
+// the paper's client/server configuration: it holds the permanent
+// database (region images) and one redo log per client node. The
+// prototype used an NFS server for this role (§3); here it is an
+// explicit TCP service whose client implements rvm.DataStore and
+// wal.Device, so the RVM core is oblivious to whether its log and
+// database are local files or remote.
+//
+// The server is deliberately dumb — it does not interpret log records.
+// Recovery (merging the per-node logs and replaying them into the
+// database images) is driven by clients/utilities via cmd/logmerge and
+// cmd/rvmrecover, as in the paper's offline trimming scheme (§3.5).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Request/response opcodes.
+const (
+	opLoadRegion uint8 = iota + 1
+	opStoreRegion
+	opListRegions
+	opSyncData
+	opAppendLog
+	opSyncLog
+	opLogSize
+	opReadLog
+	opTruncateLog
+	opResetLog
+	opListLogs
+)
+
+const (
+	statusOK  uint8 = 0
+	statusErr uint8 = 1
+)
+
+const maxMsg = 1 << 30
+
+// Server is the storage service. Region images are kept in the given
+// rvm.DataStore; per-node logs are created on demand via the device
+// factory.
+type Server struct {
+	ln   net.Listener
+	data rvm.DataStore
+
+	mu      sync.Mutex
+	logs    map[uint32]wal.Device
+	mkLog   func(node uint32) (wal.Device, error)
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	closeMu sync.Once
+
+	mirrorState
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Data holds region images. Defaults to an in-memory store.
+	Data rvm.DataStore
+	// NewLog creates the log device for a node's log, on first use.
+	// Defaults to in-memory devices.
+	NewLog func(node uint32) (wal.Device, error)
+}
+
+// NewServer starts a storage server listening on addr (e.g.
+// "127.0.0.1:0").
+func NewServer(addr string, opts ServerOptions) (*Server, error) {
+	if opts.Data == nil {
+		opts.Data = rvm.NewMemStore()
+	}
+	if opts.NewLog == nil {
+		opts.NewLog = func(uint32) (wal.Device, error) { return wal.NewMemDevice(), nil }
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:     ln,
+		data:   opts.Data,
+		logs:   map[uint32]wal.Device{},
+		mkLog:  opts.NewLog,
+		conns:  map[net.Conn]struct{}{},
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Data exposes the server's region store (for offline utilities that
+// run colocated with the server).
+func (s *Server) Data() rvm.DataStore { return s.data }
+
+// Log returns the log device for a node, creating it if necessary.
+func (s *Server) Log(node uint32) (wal.Device, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.logs[node]; ok {
+		return d, nil
+	}
+	d, err := s.mkLog(node)
+	if err != nil {
+		return nil, err
+	}
+	s.logs[node] = d
+	return d, nil
+}
+
+// Logs lists node ids that have logs.
+func (s *Server) Logs() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint32, 0, len(s.logs))
+	for id := range s.logs {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Close shuts the server down, severing active client connections.
+func (s *Server) Close() error {
+	s.closeMu.Do(func() {
+		close(s.closed)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			s.mu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readMsg(c)
+		if err != nil {
+			return
+		}
+		if len(req) == 0 {
+			return
+		}
+		resp, err := s.handle(req[0], req[1:])
+		if err == nil {
+			err = s.forwardToMirror(req[0], req[1:])
+		}
+		if err != nil {
+			resp = []byte(err.Error())
+			if werr := writeMsg(c, statusErr, resp); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeMsg(c, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
+	switch op {
+	case opLoadRegion:
+		if len(body) != 4 {
+			return nil, errors.New("store: bad LoadRegion request")
+		}
+		id := binary.LittleEndian.Uint32(body)
+		img, err := s.data.LoadRegion(id)
+		if err != nil {
+			return nil, err
+		}
+		return img, nil
+
+	case opStoreRegion:
+		if len(body) < 4 {
+			return nil, errors.New("store: bad StoreRegion request")
+		}
+		id := binary.LittleEndian.Uint32(body)
+		return nil, s.data.StoreRegion(id, body[4:])
+
+	case opListRegions:
+		ids, err := s.data.Regions()
+		if err != nil {
+			return nil, err
+		}
+		return encodeIDs(ids), nil
+
+	case opSyncData:
+		return nil, s.data.Sync()
+
+	case opAppendLog:
+		if len(body) < 4 {
+			return nil, errors.New("store: bad AppendLog request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		off, err := dev.Append(body[4:])
+		if err != nil {
+			return nil, err
+		}
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(off))
+		return out[:], nil
+
+	case opSyncLog:
+		if len(body) != 4 {
+			return nil, errors.New("store: bad SyncLog request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		return nil, dev.Sync()
+
+	case opLogSize:
+		if len(body) != 4 {
+			return nil, errors.New("store: bad LogSize request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		sz, err := dev.Size()
+		if err != nil {
+			return nil, err
+		}
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(sz))
+		return out[:], nil
+
+	case opReadLog:
+		if len(body) != 12 {
+			return nil, errors.New("store: bad ReadLog request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		from := int64(binary.LittleEndian.Uint64(body[4:]))
+		rc, err := dev.Open(from)
+		if err != nil {
+			return nil, err
+		}
+		defer rc.Close()
+		return io.ReadAll(rc)
+
+	case opTruncateLog:
+		if len(body) != 12 {
+			return nil, errors.New("store: bad TruncateLog request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		return nil, dev.Truncate(int64(binary.LittleEndian.Uint64(body[4:])))
+
+	case opResetLog:
+		if len(body) != 4 {
+			return nil, errors.New("store: bad ResetLog request")
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		return nil, dev.Reset()
+
+	case opListLogs:
+		return encodeIDs(s.Logs()), nil
+
+	default:
+		return nil, fmt.Errorf("store: unknown op %d", op)
+	}
+}
+
+func encodeIDs(ids []uint32) []byte {
+	out := make([]byte, 4+4*len(ids))
+	binary.LittleEndian.PutUint32(out, uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(out[4+4*i:], id)
+	}
+	return out
+}
+
+func decodeIDs(b []byte) ([]uint32, error) {
+	if len(b) < 4 {
+		return nil, errors.New("store: short id list")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if len(b) != int(4+4*n) {
+		return nil, errors.New("store: malformed id list")
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint32(b[4+4*i:])
+	}
+	return ids, nil
+}
+
+// readMsg reads one length-prefixed message. The buffer grows as data
+// actually arrives (capped chunks), so a hostile length prefix cannot
+// force a huge upfront allocation.
+func readMsg(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxMsg {
+		return nil, fmt.Errorf("store: message too large: %d", n)
+	}
+	const chunk = 1 << 20
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	b := make([]byte, 0, first)
+	for len(b) < n {
+		next := n - len(b)
+		if next > chunk {
+			next = chunk
+		}
+		start := len(b)
+		b = append(b, make([]byte, next)...)
+		if _, err := io.ReadFull(r, b[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// writeMsg writes status byte + body as one length-prefixed message.
+func writeMsg(w io.Writer, status uint8, body []byte) error {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(1+len(body)))
+	hdr[4] = status
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		_, err := w.Write(body)
+		return err
+	}
+	return nil
+}
+
+// writeReq writes op byte + body as one length-prefixed message.
+func writeReq(w io.Writer, op uint8, body []byte) error {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(1+len(body)))
+	hdr[4] = op
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		_, err := w.Write(body)
+		return err
+	}
+	return nil
+}

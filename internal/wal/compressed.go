@@ -1,0 +1,309 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compressed coherency encoding (§3.2). Only the information a peer
+// needs to apply updates is sent: lock records (for ordering) and
+// new-value range records with compressed headers. The standard header's
+// recovery-only fields are dropped, and the remaining header is squeezed
+// from 104 bytes to 4-24 bytes:
+//
+//   - the range's address is replaced by its delta from the end of the
+//     preceding range when they are close together (ranges are sorted by
+//     address at commit, so deltas are small);
+//   - the size field shrinks to 1 byte for ranges under 256 bytes, 2
+//     bytes under 64 KB.
+//
+// Per-range header layout:
+//
+//	flags u8:
+//	  bit0    : explicit region id follows (u32) — first range of a region
+//	  bit1-2  : address encoding: 0 = delta u16, 1 = delta u24, 2 = abs u64
+//	  bit3-4  : size encoding:    0 = u8, 1 = u16, 2 = u32
+//	[region u32] [addr 2/3/8] [size 1/2/4] [data ...]
+//
+// The minimum header is therefore 4 bytes (flags + delta u16 + size u8)
+// and the maximum 17 bytes, within the paper's reported 4-24 byte range.
+//
+// Message layout:
+//
+//	+0  node   u32
+//	+4  txSeq  u64
+//	+12 nLocks u16, then nLocks * {lockID u32, seq u64, prev u64, wrote u8}
+//	    nRanges u32, then compressed ranges
+const (
+	addrDelta16 = 0
+	addrDelta24 = 1
+	addrAbs64   = 2
+
+	size8  = 0
+	size16 = 1
+	size32 = 2
+
+	cFlagRegion = 1 << 0
+
+	cLockRecLen = 21
+)
+
+// MinCompressedHeader and MaxCompressedHeader bound the per-range header
+// size of the compressed encoding (the paper reports 4-24 bytes).
+const (
+	MinCompressedHeader = 4
+	MaxCompressedHeader = 17
+)
+
+func addrEncoding(delta uint64, haveContext bool) (code byte, n int) {
+	if haveContext {
+		if delta < 1<<16 {
+			return addrDelta16, 2
+		}
+		if delta < 1<<24 {
+			return addrDelta24, 3
+		}
+	}
+	return addrAbs64, 8
+}
+
+func sizeEncoding(n int) (code byte, w int) {
+	switch {
+	case n <= 0xff:
+		return size8, 1
+	case n <= 0xffff:
+		return size16, 2
+	default:
+		return size32, 4
+	}
+}
+
+// CompressedSize returns the wire size of the compressed encoding of tx.
+func CompressedSize(tx *TxRecord) int {
+	n := 4 + 8 + 2 + len(tx.Locks)*cLockRecLen + 4
+	n += compressedRangesSize(tx.Ranges)
+	return n
+}
+
+// compressedRangesSize computes the range-section size without encoding.
+func compressedRangesSize(ranges []RangeRec) int {
+	var n int
+	curRegion := uint32(0)
+	haveRegion := false
+	var prevEnd uint64
+	for _, r := range ranges {
+		n++ // flags
+		newRegion := !haveRegion || r.Region != curRegion
+		if newRegion {
+			n += 4
+			curRegion, haveRegion = r.Region, true
+			prevEnd = 0
+		}
+		var delta uint64
+		haveCtx := !newRegion && r.Off >= prevEnd
+		if haveCtx {
+			delta = r.Off - prevEnd
+		}
+		_, aw := addrEncoding(delta, haveCtx)
+		n += aw
+		_, sw := sizeEncoding(len(r.Data))
+		n += sw + len(r.Data)
+		prevEnd = r.End()
+	}
+	return n
+}
+
+// CompressedHeaderBytes returns the total header overhead (message bytes
+// minus data bytes) of the compressed encoding — the quantity behind the
+// "Message Bytes" column of Table 3.
+func CompressedHeaderBytes(tx *TxRecord) int {
+	return compressedRangesSize(tx.Ranges) - tx.DataBytes()
+}
+
+// AppendCompressed appends the compressed coherency encoding of tx to
+// buf. Ranges must be sorted by (Region, Off), which is how the commit
+// path emits them (§3.2: "our modified set_range orders modified ranges
+// by their address").
+func AppendCompressed(buf []byte, tx *TxRecord) []byte {
+	var hdr [14]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tx.Node)
+	binary.LittleEndian.PutUint64(hdr[4:], tx.TxSeq)
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(len(tx.Locks)))
+	buf = append(buf, hdr[:]...)
+	var lrec [cLockRecLen]byte
+	for _, l := range tx.Locks {
+		binary.LittleEndian.PutUint32(lrec[0:], l.LockID)
+		binary.LittleEndian.PutUint64(lrec[4:], l.Seq)
+		binary.LittleEndian.PutUint64(lrec[12:], l.PrevWriteSeq)
+		if l.Wrote {
+			lrec[20] = 1
+		} else {
+			lrec[20] = 0
+		}
+		buf = append(buf, lrec[:]...)
+	}
+	var rc [4]byte
+	binary.LittleEndian.PutUint32(rc[:], uint32(len(tx.Ranges)))
+	buf = append(buf, rc[:]...)
+
+	curRegion := uint32(0)
+	haveRegion := false
+	var prevEnd uint64
+	var scratch [8]byte
+	for _, r := range tx.Ranges {
+		var flags byte
+		newRegion := !haveRegion || r.Region != curRegion
+		var delta uint64
+		haveCtx := !newRegion && r.Off >= prevEnd
+		if haveCtx {
+			delta = r.Off - prevEnd
+		}
+		aCode, _ := addrEncoding(delta, haveCtx)
+		sCode, _ := sizeEncoding(len(r.Data))
+		flags = aCode<<1 | sCode<<3
+		if newRegion {
+			flags |= cFlagRegion
+		}
+		buf = append(buf, flags)
+		if newRegion {
+			binary.LittleEndian.PutUint32(scratch[:], r.Region)
+			buf = append(buf, scratch[:4]...)
+			curRegion, haveRegion = r.Region, true
+		}
+		switch aCode {
+		case addrDelta16:
+			binary.LittleEndian.PutUint16(scratch[:], uint16(delta))
+			buf = append(buf, scratch[:2]...)
+		case addrDelta24:
+			binary.LittleEndian.PutUint32(scratch[:], uint32(delta))
+			buf = append(buf, scratch[:3]...)
+		default:
+			binary.LittleEndian.PutUint64(scratch[:], r.Off)
+			buf = append(buf, scratch[:8]...)
+		}
+		switch sCode {
+		case size8:
+			buf = append(buf, byte(len(r.Data)))
+		case size16:
+			binary.LittleEndian.PutUint16(scratch[:], uint16(len(r.Data)))
+			buf = append(buf, scratch[:2]...)
+		default:
+			binary.LittleEndian.PutUint32(scratch[:], uint32(len(r.Data)))
+			buf = append(buf, scratch[:4]...)
+		}
+		buf = append(buf, r.Data...)
+		prevEnd = r.End()
+	}
+	return buf
+}
+
+// DecodeCompressed decodes a compressed coherency message produced by
+// AppendCompressed. The returned record's range Data slices alias b.
+func DecodeCompressed(b []byte) (*TxRecord, error) {
+	if len(b) < 18 {
+		return nil, ErrTruncated
+	}
+	tx := &TxRecord{
+		Node:  binary.LittleEndian.Uint32(b[0:]),
+		TxSeq: binary.LittleEndian.Uint64(b[4:]),
+	}
+	nLocks := int(binary.LittleEndian.Uint16(b[12:]))
+	p := 14
+	if len(b) < p+nLocks*cLockRecLen+4 {
+		return nil, ErrTruncated
+	}
+	tx.Locks = make([]LockRec, nLocks)
+	for i := range tx.Locks {
+		tx.Locks[i] = LockRec{
+			LockID:       binary.LittleEndian.Uint32(b[p:]),
+			Seq:          binary.LittleEndian.Uint64(b[p+4:]),
+			PrevWriteSeq: binary.LittleEndian.Uint64(b[p+12:]),
+			Wrote:        b[p+20] != 0,
+		}
+		p += cLockRecLen
+	}
+	nRanges := int(binary.LittleEndian.Uint32(b[p:]))
+	p += 4
+	tx.Ranges = make([]RangeRec, 0, nRanges)
+
+	curRegion := uint32(0)
+	haveRegion := false
+	var prevEnd uint64
+	for i := 0; i < nRanges; i++ {
+		if p >= len(b) {
+			return nil, ErrTruncated
+		}
+		flags := b[p]
+		p++
+		if flags&cFlagRegion != 0 {
+			if p+4 > len(b) {
+				return nil, ErrTruncated
+			}
+			curRegion = binary.LittleEndian.Uint32(b[p:])
+			haveRegion = true
+			prevEnd = 0
+			p += 4
+		} else if !haveRegion {
+			return nil, fmt.Errorf("wal: range %d lacks region context", i)
+		}
+		var off uint64
+		switch (flags >> 1) & 3 {
+		case addrDelta16:
+			if p+2 > len(b) {
+				return nil, ErrTruncated
+			}
+			off = prevEnd + uint64(binary.LittleEndian.Uint16(b[p:]))
+			p += 2
+		case addrDelta24:
+			if p+3 > len(b) {
+				return nil, ErrTruncated
+			}
+			off = prevEnd + (uint64(b[p]) | uint64(b[p+1])<<8 | uint64(b[p+2])<<16)
+			p += 3
+		case addrAbs64:
+			if p+8 > len(b) {
+				return nil, ErrTruncated
+			}
+			off = binary.LittleEndian.Uint64(b[p:])
+			p += 8
+		default:
+			return nil, fmt.Errorf("wal: bad address encoding in range %d", i)
+		}
+		var size int
+		switch (flags >> 3) & 3 {
+		case size8:
+			if p+1 > len(b) {
+				return nil, ErrTruncated
+			}
+			size = int(b[p])
+			p++
+		case size16:
+			if p+2 > len(b) {
+				return nil, ErrTruncated
+			}
+			size = int(binary.LittleEndian.Uint16(b[p:]))
+			p += 2
+		case size32:
+			if p+4 > len(b) {
+				return nil, ErrTruncated
+			}
+			size = int(binary.LittleEndian.Uint32(b[p:]))
+			p += 4
+		default:
+			return nil, fmt.Errorf("wal: bad size encoding in range %d", i)
+		}
+		if p+size > len(b) {
+			return nil, ErrTruncated
+		}
+		tx.Ranges = append(tx.Ranges, RangeRec{Region: curRegion, Off: off, Data: b[p : p+size : p+size]})
+		p += size
+		prevEnd = off + uint64(size)
+	}
+	if p != len(b) {
+		return nil, fmt.Errorf("wal: %d trailing bytes", len(b)-p)
+	}
+	if err := tx.validate(); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}

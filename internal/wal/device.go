@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Device abstracts the durable home of a log: a local file for
+// single-node RVM, or the storage server for the distributed
+// configuration (the paper places per-node logs on a central NFS
+// server; internal/store plays that role here).
+type Device interface {
+	// Append writes p at the end of the log and returns the offset at
+	// which it was written. Append does not imply durability.
+	Append(p []byte) (int64, error)
+	// Sync forces all appended data to durable storage (the commit
+	// "flush" of RVM's flush mode).
+	Sync() error
+	// Size returns the current length of the log in bytes.
+	Size() (int64, error)
+	// Open returns a reader positioned at the given offset, for
+	// recovery scans.
+	Open(from int64) (io.ReadCloser, error)
+	// Truncate discards everything at and after size (used to drop a
+	// torn tail discovered during recovery).
+	Truncate(size int64) error
+	// Reset empties the log. Used after a checkpoint has made every
+	// logged update redundant (offline log trimming, §3.5).
+	Reset() error
+	Close() error
+}
+
+// FileDevice is a Device backed by a local file.
+type FileDevice struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileDevice opens (creating if needed) a file-backed log device.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log %s: %w", path, err)
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// Append implements Device.
+func (d *FileDevice) Append(p []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off, err := d.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.f.Write(p); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Open implements Device. The returned reader takes an independent file
+// handle so recovery can proceed while the device stays open.
+func (d *FileDevice) Open(from int64) (io.ReadCloser, error) {
+	f, err := os.Open(d.f.Name())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Truncate implements Device.
+func (d *FileDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Truncate(size)
+}
+
+// Reset implements Device.
+func (d *FileDevice) Reset() error { return d.Truncate(0) }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MemDevice is an in-memory Device for tests and for "disk logging
+// disabled" experiment configurations (§4: "we disabled RVM disk logging
+// so that we could isolate the costs associated with coherency"). It
+// models volatility: Sync advances a durable watermark, and
+// CrashUnsynced discards everything above it — the fate of no-flush
+// commits in a crash.
+type MemDevice struct {
+	mu     sync.Mutex
+	buf    []byte
+	syncs  int
+	synced int // bytes guaranteed durable
+}
+
+// NewMemDevice returns an empty in-memory log device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// Append implements Device.
+func (d *MemDevice) Append(p []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off := int64(len(d.buf))
+	d.buf = append(d.buf, p...)
+	return off, nil
+}
+
+// Sync implements Device: everything appended so far becomes durable.
+func (d *MemDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncs++
+	d.synced = len(d.buf)
+	return nil
+}
+
+// CrashUnsynced simulates a crash: appended-but-unsynced bytes are
+// lost, exactly as a kernel buffer cache would lose them.
+func (d *MemDevice) CrashUnsynced() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = d.buf[:d.synced]
+}
+
+// Syncs returns how many times Sync has been called.
+func (d *MemDevice) Syncs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.buf)), nil
+}
+
+// Open implements Device.
+func (d *MemDevice) Open(from int64) (io.ReadCloser, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if from > int64(len(d.buf)) {
+		return nil, fmt.Errorf("wal: offset %d beyond log end %d", from, len(d.buf))
+	}
+	cp := make([]byte, int64(len(d.buf))-from)
+	copy(cp, d.buf[from:])
+	return io.NopCloser(bytes.NewReader(cp)), nil
+}
+
+// Truncate implements Device.
+func (d *MemDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size > int64(len(d.buf)) {
+		return fmt.Errorf("wal: truncate %d beyond log end %d", size, len(d.buf))
+	}
+	d.buf = d.buf[:size]
+	if d.synced > len(d.buf) {
+		d.synced = len(d.buf)
+	}
+	return nil
+}
+
+// Reset implements Device.
+func (d *MemDevice) Reset() error { return d.Truncate(0) }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// Bytes returns a copy of the device contents (test helper).
+func (d *MemDevice) Bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := make([]byte, len(d.buf))
+	copy(cp, d.buf)
+	return cp
+}

@@ -1,0 +1,85 @@
+// Package wal implements the write-ahead redo log at the heart of
+// log-based coherency. The same committed transaction record serves two
+// masters (paper §2):
+//
+//   - recoverability: records are appended to a durable log in the
+//     standard encoding, whose 104-byte range headers mirror RVM's
+//     on-disk format, and replayed into the database file on recovery;
+//   - coherency: the identical new-value information is re-encoded with
+//     compressed 4-24 byte range headers (§3.2) and broadcast to peer
+//     nodes, which apply it directly to their cached memory images.
+//
+// Lock records embedded in each transaction record carry the per-lock
+// sequence numbers that order updates from different nodes, both on the
+// wire (receiver interlock, §3.4) and during log merging (cmd/logmerge).
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LockRec describes one lock acquired by a transaction (§3.4). Seq is
+// the lock's sequence number assigned at acquire. PrevWriteSeq is the
+// sequence number of the last *writing* holder before this transaction;
+// receivers apply a record only once the update with that sequence
+// number has been applied, which preserves global update order even
+// when intervening holders were read-only.
+type LockRec struct {
+	LockID       uint32
+	Seq          uint64
+	PrevWriteSeq uint64
+	Wrote        bool // whether this transaction modified data under the lock
+}
+
+// RangeRec is a new-value record: Data holds the committed bytes at
+// [Off, Off+len(Data)) within region Region. Addresses are region
+// offsets rather than raw virtual addresses so that peers with
+// differently-placed mappings can still apply them.
+type RangeRec struct {
+	Region uint32
+	Off    uint64
+	Data   []byte
+}
+
+// End returns the exclusive upper bound of the range.
+func (r RangeRec) End() uint64 { return r.Off + uint64(len(r.Data)) }
+
+// TxRecord is one committed transaction: the unit of atomicity, of
+// durability, and of coherency propagation.
+type TxRecord struct {
+	Node       uint32 // committing node
+	TxSeq      uint64 // per-node commit sequence number
+	Checkpoint bool   // true for checkpoint markers (no locks/ranges)
+	Locks      []LockRec
+	Ranges     []RangeRec // sorted by (Region, Off) at commit
+}
+
+// DataBytes returns the total number of new-value bytes in the record.
+func (tx *TxRecord) DataBytes() int {
+	var n int
+	for _, r := range tx.Ranges {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// Wrote reports whether the transaction modified any data.
+func (tx *TxRecord) Wrote() bool { return len(tx.Ranges) > 0 }
+
+// Validation errors shared by both decoders.
+var (
+	ErrBadMagic  = errors.New("wal: bad record magic")
+	ErrBadCRC    = errors.New("wal: checksum mismatch")
+	ErrTruncated = errors.New("wal: truncated record")
+)
+
+// validate performs structural sanity checks shared by the decoders.
+func (tx *TxRecord) validate() error {
+	for i, r := range tx.Ranges {
+		if len(r.Data) == 0 {
+			return fmt.Errorf("wal: empty range %d in tx %d/%d", i, tx.Node, tx.TxSeq)
+		}
+	}
+	return nil
+}

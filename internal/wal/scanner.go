@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Scanner iterates over the standard-encoded records of a log stream.
+// It tolerates a torn final record (a crash mid-append): scanning stops
+// cleanly and TornAt reports the offset at which the log should be
+// truncated before further use.
+type Scanner struct {
+	r      io.Reader
+	base   int64 // stream offset of buf[0]
+	buf    []byte
+	pos    int // consumed bytes within buf
+	err    error
+	torn   bool
+	tornAt int64
+}
+
+// NewScanner returns a Scanner reading records from r. base is the
+// log offset corresponding to the start of r (pass 0 when reading from
+// the head).
+func NewScanner(r io.Reader, base int64) *Scanner {
+	return &Scanner{r: r, base: base}
+}
+
+// Next returns the next record, or io.EOF after the last complete
+// record. A torn tail also ends iteration with io.EOF; check Torn.
+func (s *Scanner) Next() (*TxRecord, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		tx, n, err := DecodeStandard(s.buf[s.pos:])
+		switch {
+		case err == nil:
+			s.pos += n
+			return tx, nil
+		case errors.Is(err, ErrTruncated):
+			if readErr := s.fill(); readErr != nil {
+				if readErr == io.EOF {
+					if s.pos < len(s.buf) {
+						// Partial record at end of stream: torn tail.
+						s.torn = true
+						s.tornAt = s.base + int64(s.pos)
+					}
+					s.err = io.EOF
+					return nil, io.EOF
+				}
+				s.err = fmt.Errorf("wal: read log: %w", readErr)
+				return nil, s.err
+			}
+		case errors.Is(err, ErrBadCRC) || errors.Is(err, ErrBadMagic):
+			// A corrupt record also terminates the usable log; whether
+			// it is torn or bit-rotted is indistinguishable here.
+			s.torn = true
+			s.tornAt = s.base + int64(s.pos)
+			s.err = io.EOF
+			return nil, io.EOF
+		default:
+			s.err = err
+			return nil, err
+		}
+	}
+}
+
+// fill reads more data into the buffer, compacting consumed bytes.
+func (s *Scanner) fill() error {
+	if s.pos > 0 {
+		s.base += int64(s.pos)
+		s.buf = append(s.buf[:0], s.buf[s.pos:]...)
+		s.pos = 0
+	}
+	chunk := make([]byte, 64<<10)
+	n, err := s.r.Read(chunk)
+	if n > 0 {
+		s.buf = append(s.buf, chunk[:n]...)
+		return nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	return err
+}
+
+// Torn reports whether the scan ended at an incomplete or corrupt
+// record, and at which log offset the valid prefix ends.
+func (s *Scanner) Torn() (bool, int64) { return s.torn, s.tornAt }
+
+// ReadAll scans every complete record from r (starting at offset base)
+// and returns them along with torn-tail information.
+func ReadAll(r io.Reader, base int64) (txs []*TxRecord, torn bool, tornAt int64, err error) {
+	sc := NewScanner(r, base)
+	for {
+		tx, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, false, 0, err
+		}
+		txs = append(txs, tx)
+	}
+	torn, tornAt = sc.Torn()
+	return txs, torn, tornAt, nil
+}
+
+// ReadDevice scans all complete records currently on dev.
+func ReadDevice(dev Device) ([]*TxRecord, error) {
+	rc, err := dev.Open(0)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	txs, _, _, err := ReadAll(rc, 0)
+	return txs, err
+}

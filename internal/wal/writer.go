@@ -1,0 +1,53 @@
+package wal
+
+import "sync"
+
+// Writer serializes committed transactions onto a Device in the
+// standard encoding. It reuses its encode buffer across commits,
+// mirroring RVM's gather-at-commit structure (the data is copied out of
+// the application's virtual memory exactly once, at commit).
+type Writer struct {
+	mu      sync.Mutex
+	dev     Device
+	buf     []byte
+	entries int64
+	bytes   int64
+}
+
+// NewWriter returns a Writer appending to dev.
+func NewWriter(dev Device) *Writer { return &Writer{dev: dev} }
+
+// Commit appends tx to the log. When flush is true the log is forced to
+// durable storage before Commit returns (RVM's flush mode); when false
+// the record may sit in volatile buffers (no-flush mode).
+func (w *Writer) Commit(tx *TxRecord, flush bool) (off int64, n int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = AppendStandard(w.buf[:0], tx)
+	off, err = w.dev.Append(w.buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	if flush {
+		if err := w.dev.Sync(); err != nil {
+			return 0, 0, err
+		}
+	}
+	w.entries++
+	w.bytes += int64(len(w.buf))
+	return off, len(w.buf), nil
+}
+
+// Entries returns the number of records written through this Writer.
+func (w *Writer) Entries() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.entries
+}
+
+// Bytes returns the total encoded bytes written through this Writer.
+func (w *Writer) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}

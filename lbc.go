@@ -1,0 +1,125 @@
+// Package lbc is a Go implementation of log-based coherency — the
+// technique of Feeley, Chase, Narasayya & Levy, "Integrating Coherency
+// and Recoverability in Distributed Systems" (OSDI 1994) — together
+// with every substrate it rests on: recoverable virtual memory in the
+// style of CMU's RVM, a centralized storage service, distributed
+// token-based segment locks, per-node redo logs with a merge utility,
+// and the OO7 benchmark used for the paper's evaluation.
+//
+// A group of nodes shares a persistent store: each node maps the
+// database into memory, runs transactions against it with
+// rvm_set_range-style update declaration, and commits through a
+// write-ahead redo log. The committed log tail — the exact bytes that
+// make the transaction recoverable — is also broadcast to peer caches,
+// which apply it in lock-sequence order. Recoverability and coherency
+// ride the same records.
+//
+// Quick start (single process, two nodes):
+//
+//	cluster, _ := lbc.NewLocalCluster(2)
+//	defer cluster.Close()
+//	a, b := cluster.Node(0), cluster.Node(1)
+//	regA, _ := a.MapRegion(1, 1<<20)
+//	regB, _ := b.MapRegion(1, 1<<20)
+//	cluster.Barrier(1)
+//
+//	tx := a.Begin(lbc.NoRestore)
+//	tx.Acquire(0)                        // segment lock
+//	tx.Write(regA, 100, []byte("hello")) // set_range + store
+//	tx.Commit(lbc.NoFlush)               // log + broadcast + release
+//
+//	tx2 := b.Begin(lbc.NoRestore)
+//	tx2.Acquire(0)                       // blocks until update applied
+//	_ = regB.Bytes()[100:105]            // "hello"
+//	tx2.Commit(lbc.NoFlush)
+//
+// The paper's Table 1 interface maps directly:
+//
+//	Trans.Init/Begin   ->  Node.Begin
+//	Trans.Acquire      ->  Tx.Acquire (rvm_setlockid_transaction)
+//	Trans.SetRange     ->  Tx.SetRange (rvm_set_range)
+//	Trans.Commit       ->  Tx.Commit (rvm_end_transaction)
+package lbc
+
+import (
+	"lbc/internal/coherency"
+	"lbc/internal/lockmgr"
+	"lbc/internal/merge"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// Re-exported core types. The internal packages carry the full
+// documentation; these aliases are the supported public surface.
+type (
+	// Node is one participant in the coherent persistent store.
+	Node = coherency.Node
+	// Tx is a distributed transaction (locks + set_range + commit).
+	Tx = coherency.Tx
+	// Segment declares a lock's scope over a region.
+	Segment = coherency.Segment
+	// Region is a mapped persistent memory region.
+	Region = rvm.Region
+	// RegionID names a region in the store.
+	RegionID = rvm.RegionID
+	// TxRecord is a committed redo-log record.
+	TxRecord = wal.TxRecord
+	// Stats accumulates the five-phase cost decomposition.
+	Stats = metrics.Stats
+	// Grant describes a successful lock acquisition.
+	Grant = lockmgr.Grant
+	// NodeID identifies a cluster node.
+	NodeID = netproto.NodeID
+)
+
+// Transaction and commit modes (see internal/rvm).
+const (
+	// Restore transactions capture undo data and may abort.
+	Restore = rvm.Restore
+	// NoRestore transactions cannot abort but skip undo capture.
+	NoRestore = rvm.NoRestore
+	// Flush commits force the log to durable storage.
+	Flush = rvm.Flush
+	// NoFlush commits leave the log tail in volatile buffers.
+	NoFlush = rvm.NoFlush
+)
+
+// Propagation policies (see internal/coherency).
+const (
+	// Eager broadcasts committed log tails inside commit (the
+	// prototype's policy).
+	Eager = coherency.Eager
+	// Lazy pulls pending records from the storage server at acquire.
+	Lazy = coherency.Lazy
+	// Piggyback passes pending records with the lock token (§2.2's
+	// last-writer hand-off with record retention).
+	Piggyback = coherency.Piggyback
+)
+
+// Wire formats for coherency messages.
+const (
+	// Compressed uses 4-24 byte range headers (the paper's format).
+	Compressed = coherency.Compressed
+	// Standard ships 104-byte durable-log headers (ablation).
+	Standard = coherency.Standard
+)
+
+// MergeLogs orders per-node redo logs into a single recoverable log
+// (the paper's log-merge utility, §3.4).
+func MergeLogs(out wal.Device, inputs ...wal.Device) (int, error) {
+	return merge.MergeTo(out, inputs...)
+}
+
+// Recover replays a (merged) log into the permanent database images.
+func Recover(log wal.Device, data rvm.DataStore, trim bool) (*rvm.RecoverResult, error) {
+	return rvm.Recover(log, data, rvm.RecoverOptions{TrimLog: trim})
+}
+
+// NewStoreServer starts a storage server (region images + per-node
+// logs) on addr; pass "127.0.0.1:0" to pick a free port.
+func NewStoreServer(addr string) (*store.Server, error) {
+	return store.NewServer(addr, store.ServerOptions{})
+}

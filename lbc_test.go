@@ -1,0 +1,169 @@
+package lbc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cluster, err := NewLocalCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+	a, b := cluster.Node(0), cluster.Node(1)
+
+	tx := a.Begin(NoRestore)
+	if err := tx.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(a.RVM().Region(1), 100, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(NoFlush); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := b.Begin(NoRestore)
+	if err := tx2.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]byte(nil), b.RVM().Region(1).Bytes()[100:105]...)
+	tx2.Commit(NoFlush)
+	if string(got) != "hello" {
+		t.Fatalf("peer read %q", got)
+	}
+}
+
+func TestClusterWithTCPAndStore(t *testing.T) {
+	cluster, err := NewLocalCluster(2, WithTCP(), WithStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+	a := cluster.Node(0)
+	tx := a.Begin(NoRestore)
+	tx.Acquire(0)
+	tx.Write(a.RVM().Region(1), 0, []byte("durable+coherent"))
+	if _, err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	// The committed record reached the server's log for node 1.
+	dev, err := cluster.Store().Log(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, err := wal.ReadDevice(dev)
+	if err != nil || len(txs) != 1 {
+		t.Fatalf("server log holds %d records (%v)", len(txs), err)
+	}
+	// And the peer converged.
+	b := cluster.Node(1)
+	tx2 := b.Begin(NoRestore)
+	tx2.Acquire(0)
+	got := string(b.RVM().Region(1).Bytes()[:16])
+	tx2.Commit(NoFlush)
+	if got != "durable+coherent" {
+		t.Fatalf("peer read %q", got)
+	}
+}
+
+func TestClusterSeedImage(t *testing.T) {
+	img := bytes.Repeat([]byte{0xEE}, 1024)
+	cluster, err := NewLocalCluster(2, WithSeedImage(5, img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(5, len(img)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(cluster.Node(i).RVM().Region(5).Bytes(), img) {
+			t.Fatalf("node %d image not seeded", i+1)
+		}
+	}
+}
+
+func TestMergeAndRecoverFacade(t *testing.T) {
+	cluster, err := NewLocalCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 4096)
+	cluster.Barrier(1)
+
+	for i := 0; i < 2; i++ {
+		n := cluster.Node(i)
+		tx := n.Begin(NoRestore)
+		tx.Acquire(0)
+		tx.Write(n.RVM().Region(1), uint64(i*8), []byte{byte(i + 1)})
+		if _, err := tx.Commit(NoFlush); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := wal.NewMemDevice()
+	n, err := MergeLogs(merged, cluster.Log(0), cluster.Log(1))
+	if err != nil || n != 2 {
+		t.Fatalf("merged %d records, %v", n, err)
+	}
+	data := rvm.NewMemStore()
+	data.StoreRegion(1, make([]byte, 4096))
+	res, err := Recover(merged, data, true)
+	if err != nil || res.Records != 2 {
+		t.Fatalf("recover: %+v, %v", res, err)
+	}
+	img, _ := data.LoadRegion(1)
+	if img[0] != 1 || img[8] != 2 {
+		t.Fatalf("recovered image wrong: % x", img[:16])
+	}
+}
+
+func TestVersionedOption(t *testing.T) {
+	cluster, err := NewLocalCluster(2, WithVersioned(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.MapAll(1, 4096)
+	cluster.Barrier(1)
+
+	a, b := cluster.Node(0), cluster.Node(1)
+	tx := a.Begin(NoRestore)
+	tx.Acquire(0)
+	tx.Write(a.RVM().Region(1), 0, []byte("buffered"))
+	tx.Commit(NoFlush)
+
+	// Reader accepts explicitly.
+	if n := waitAccept(b); n != 1 {
+		t.Fatalf("accepted %d records", n)
+	}
+}
+
+func waitAccept(n *Node) int {
+	for i := 0; i < 1000; i++ {
+		if k := n.Accept(); k > 0 {
+			return k
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0
+}

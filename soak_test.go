@@ -1,0 +1,140 @@
+package lbc
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lbc/internal/wal"
+)
+
+// TestSoakMixedWorkload drives everything at once: concurrent writers
+// and aborters on several segments across TCP, an online coordinated
+// checkpoint in the middle, and a final merge + recovery that must
+// reproduce the converged image. This is the closest thing to a
+// production afternoon the test suite has.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	const (
+		kNodes = 3
+		kLocks = 4
+		segLen = 512
+		rounds = 30
+	)
+	cluster, err := NewLocalCluster(kNodes, WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, kLocks*segLen); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < kLocks; l++ {
+		cluster.AddSegmentAll(Segment{LockID: uint32(l), Region: 1,
+			Off: uint64(l) * segLen, Len: segLen})
+	}
+	if err := cluster.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+
+	phase := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < kNodes; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i)*7919 + 13))
+				n := cluster.Node(i)
+				reg := n.RVM().Region(1)
+				for k := 0; k < rounds; k++ {
+					lock := uint32(rng.Intn(kLocks))
+					mode := NoRestore
+					abort := rng.Intn(10) == 0
+					if abort {
+						mode = Restore
+					}
+					tx := n.Begin(mode)
+					if err := tx.Acquire(lock); err != nil {
+						t.Error(err)
+						return
+					}
+					off := uint64(lock)*segLen + uint64(rng.Intn(segLen-16))
+					data := make([]byte, rng.Intn(15)+1)
+					rng.Read(data)
+					if err := tx.Write(reg, off, data); err != nil {
+						t.Error(err)
+						return
+					}
+					if abort {
+						if err := tx.Abort(); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if _, err := tx.Commit(NoFlush); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	phase()
+
+	// Mid-run online log trim: node 2 coordinates.
+	locks := make([]uint32, kLocks)
+	for l := range locks {
+		locks[l] = uint32(l)
+	}
+	if err := cluster.Node(1).CoordinatedCheckpoint(locks, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < kNodes; i++ {
+		if sz, _ := cluster.Log(i).Size(); sz != 0 {
+			t.Fatalf("node %d log not trimmed mid-soak", i+1)
+		}
+	}
+
+	phase()
+
+	// Quiesce and compare all caches.
+	for i := 0; i < kNodes; i++ {
+		for l := 0; l < kLocks; l++ {
+			tx := cluster.Node(i).Begin(NoRestore)
+			if err := tx.Acquire(uint32(l)); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit(NoFlush)
+		}
+	}
+	base := cluster.Node(0).RVM().Region(1).Bytes()
+	for i := 1; i < kNodes; i++ {
+		if !bytes.Equal(base, cluster.Node(i).RVM().Region(1).Bytes()) {
+			t.Fatalf("node %d diverged after soak", i+1)
+		}
+	}
+
+	// Recovery: checkpointed image + merged post-checkpoint logs must
+	// equal the converged caches.
+	merged := wal.NewMemDevice()
+	if _, err := MergeLogs(merged, cluster.Log(0), cluster.Log(1), cluster.Log(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint went to node 2's data store.
+	data := cluster.Node(1).RVM().Data()
+	if _, err := Recover(merged, data, false); err != nil {
+		t.Fatal(err)
+	}
+	img, err := data.LoadRegion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, base) {
+		t.Fatal("checkpoint + merged-log recovery diverged from caches")
+	}
+}
