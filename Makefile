@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench table2 table3 figures examples clean
+.PHONY: all build vet test race chaos bench table2 table3 figures examples clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection suite: every named scenario across a
+# spread of seeds (failures print the seed; replay with -seed N).
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) run ./cmd/chaosrun -runs 10
 
 # Full benchmark sweep (every table and figure + ablations).
 bench:

@@ -1,0 +1,512 @@
+package lbc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"lbc/internal/chaos"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// This file is the chaos scenario engine: named, seed-reproducible
+// fault schedules driven over a real cluster, each ending in the
+// harness's three invariants (converged images, gap-free lock chains,
+// merge+recovery equivalence). cmd/chaosrun is the CLI front end; the
+// internal/chaos tests run every scenario twice per seed and require
+// bit-identical digests.
+//
+// Determinism rules the scenarios follow:
+//
+//   - One driver goroutine issues every transaction, so each link sees
+//     its update messages in a fixed order and the injector's per-link
+//     RNG replays the same schedule for the same seed.
+//   - Write payloads are regenerated from (seed, round, lock), never
+//     from shared mutable state.
+//   - Crashes and partitions happen only between rounds, when no
+//     transaction or token pass is in flight.
+//   - During a partition, writers are restricted to nodes that already
+//     hold the needed tokens; during a crash, locks managed by the
+//     down node are skipped (their manager is unreachable).
+
+// ChaosReport summarizes one scenario run. Two runs with the same
+// scenario and seed must produce identical Digest values.
+type ChaosReport struct {
+	Scenario  string
+	Seed      int64
+	Commits   int               // transactions committed by the driver
+	Records   int               // distinct committed records across all logs
+	Checksums map[uint32]uint64 // region id -> converged image checksum
+	Digest    uint64            // checksum over images + record population
+	Faults    map[string]int64  // injector counters (informational, not in Digest)
+}
+
+func (rep *ChaosReport) finish(images map[uint32][]byte, records int) {
+	rep.Records = records
+	rep.Checksums = map[uint32]uint64{}
+	ids := make([]uint32, 0, len(images))
+	for id := range images {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var h uint64 = 0xCBF29CE484222325
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= 0x100000001B3
+		}
+	}
+	for _, id := range ids {
+		ck := chaos.ImageChecksum(images[id])
+		rep.Checksums[id] = ck
+		mix(uint64(id))
+		mix(ck)
+	}
+	mix(uint64(records))
+	rep.Digest = h
+}
+
+// String renders the one-line summary chaosrun prints.
+func (rep *ChaosReport) String() string {
+	return fmt.Sprintf("scenario=%s seed=%d commits=%d records=%d digest=%016x",
+		rep.Scenario, rep.Seed, rep.Commits, rep.Records, rep.Digest)
+}
+
+// ChaosScenarios lists the named scenarios RunChaosScenario accepts.
+func ChaosScenarios() []string {
+	return []string{"partition-heal", "crash-restart", "store-failover"}
+}
+
+// RunChaosScenario executes one named scenario under the given seed
+// and returns its report. Errors carry the seed, so a failure log line
+// is sufficient to reproduce the run (cmd/chaosrun -seed N).
+func RunChaosScenario(name string, seed int64) (*ChaosReport, error) {
+	var rep *ChaosReport
+	var err error
+	switch name {
+	case "partition-heal":
+		rep, err = chaosPartitionHeal(seed)
+	case "crash-restart":
+		rep, err = chaosCrashRestart(seed)
+	case "store-failover":
+		rep, err = chaosStoreFailover(seed)
+	default:
+		return nil, fmt.Errorf("lbc: unknown chaos scenario %q (have %v)", name, ChaosScenarios())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos scenario %s seed=%d: %w", name, seed, err)
+	}
+	return rep, nil
+}
+
+// --- Shared machinery ----------------------------------------------------
+
+const (
+	chaosRegion  = RegionID(1)
+	chaosLocks   = 4
+	chaosSegLen  = 1024
+	chaosPayload = 48
+)
+
+// chaosData regenerates the payload for (round, lock) from the seed —
+// retriable and identical across runs.
+func chaosData(seed int64, round, lock int) []byte {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(round)*8191 + int64(lock)*131 + 7))
+	b := make([]byte, chaosPayload)
+	rng.Read(b)
+	return b
+}
+
+// chaosWrite runs one write transaction on node n under lock l.
+func chaosWrite(n *Node, seed int64, round, lock int) error {
+	tx := n.Begin(NoRestore)
+	if err := tx.Acquire(uint32(lock)); err != nil {
+		return fmt.Errorf("round %d lock %d acquire on node %d: %w", round, lock, n.Self(), err)
+	}
+	reg := n.RVM().Region(chaosRegion)
+	data := chaosData(seed, round, lock)
+	off := uint64(lock)*chaosSegLen + uint64(round%(chaosSegLen/chaosPayload))*chaosPayload
+	if err := tx.Write(reg, off, data); err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := tx.Commit(NoFlush); err != nil {
+		return fmt.Errorf("round %d lock %d commit on node %d: %w", round, lock, n.Self(), err)
+	}
+	return nil
+}
+
+// chaosConverge is the quiesce barrier: acquiring every lock on every
+// live node forces each interlock (and the pull-on-stall path) to
+// catch up through the last write before the lock is granted.
+func chaosConverge(c *Cluster) error {
+	for i := 0; i < c.Size(); i++ {
+		if c.Down(i) {
+			continue
+		}
+		n := c.Node(i)
+		for l := 0; l < chaosLocks; l++ {
+			tx := n.Begin(NoRestore)
+			if err := tx.Acquire(uint32(l)); err != nil {
+				return fmt.Errorf("converge: lock %d on node %d: %w", l, n.Self(), err)
+			}
+			if err := tx.Abort(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chaosCluster builds the 3-node store-backed fabric the network
+// scenarios share.
+func chaosCluster(inj *chaos.Injector) (*Cluster, error) {
+	c, err := NewLocalCluster(3, WithStore(), WithChaos(inj),
+		WithAcquireTimeout(10*time.Second))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.MapAll(chaosRegion, chaosLocks*chaosSegLen); err != nil {
+		c.Close()
+		return nil, err
+	}
+	for l := 0; l < chaosLocks; l++ {
+		c.AddSegmentAll(Segment{LockID: uint32(l), Region: chaosRegion,
+			Off: uint64(l) * chaosSegLen, Len: chaosSegLen})
+	}
+	if err := c.Barrier(chaosRegion); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// chaosCheck flushes reorder hold-backs, converges every cache, then
+// runs all three invariants and fills in the report.
+func chaosCheck(c *Cluster, rep *ChaosReport) error {
+	if err := c.FlushChaos(); err != nil {
+		return err
+	}
+	if err := chaosConverge(c); err != nil {
+		return err
+	}
+	images := map[uint32]map[uint32][]byte{}
+	for i := 0; i < c.Size(); i++ {
+		if c.Down(i) {
+			continue
+		}
+		reg := c.Node(i).RVM().Region(chaosRegion)
+		img := append([]byte(nil), reg.Bytes()...)
+		images[uint32(c.Node(i).Self())] = map[uint32][]byte{uint32(chaosRegion): img}
+	}
+	if err := chaos.CheckConverged(images); err != nil {
+		return err
+	}
+
+	logs := make([]wal.Device, 0, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		if c.Log(i) != nil {
+			logs = append(logs, c.Log(i))
+		}
+	}
+	txs, err := chaos.ReadLogRecords(logs...)
+	if err != nil {
+		return err
+	}
+	if err := chaos.CheckLockChains(txs); err != nil {
+		return err
+	}
+
+	var ref []byte
+	for i := 0; i < c.Size(); i++ {
+		if !c.Down(i) {
+			ref = images[uint32(c.Node(i).Self())][uint32(chaosRegion)]
+			break
+		}
+	}
+	want := map[uint32][]byte{uint32(chaosRegion): ref}
+	if err := chaos.CheckMergeRecovery(logs, want); err != nil {
+		return err
+	}
+
+	type identity struct {
+		node uint32
+		seq  uint64
+	}
+	seen := map[identity]bool{}
+	for _, tx := range txs {
+		seen[identity{tx.Node, tx.TxSeq}] = true
+	}
+	rep.finish(want, len(seen))
+	return nil
+}
+
+// --- Scenario 1: partition heal ------------------------------------------
+
+// chaosPartitionHeal drives writes under drop/dup/reorder faults,
+// isolates node 1 behind a symmetric partition while the majority
+// keeps writing, heals, and verifies the minority catches back up to
+// a converged state.
+func chaosPartitionHeal(seed int64) (*ChaosReport, error) {
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		DropProb:    0.15,
+		DupProb:     0.10,
+		ReorderProb: 0.10,
+	})
+	c, err := chaosCluster(inj)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rep := &ChaosReport{Scenario: "partition-heal", Seed: seed}
+
+	round := 0
+	// Phase A: rotating writers, every lock, faults live.
+	for ; round < 5; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+	// Positioning: node index 1 takes every token, so it can keep
+	// writing once the minority side is cut off.
+	for l := 0; l < chaosLocks; l++ {
+		if err := chaosWrite(c.Node(1), seed, round, l); err != nil {
+			return nil, err
+		}
+		rep.Commits++
+	}
+	round++
+
+	// Phase B: node id 1 is partitioned away; the majority holder
+	// writes on. Updates toward the minority fail visibly; drops
+	// toward node id 3 are recovered by pull-on-stall.
+	inj.Partition([]netproto.NodeID{1}, []netproto.NodeID{2, 3})
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if err := chaosWrite(c.Node(1), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+	inj.Heal()
+
+	// Phase C: full rotation again; node 1's first acquires pull the
+	// partition-era history from the server logs.
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := chaosCheck(c, rep); err != nil {
+		return nil, err
+	}
+	rep.Faults = inj.Stats()
+	return rep, nil
+}
+
+// --- Scenario 2: crash / restart -----------------------------------------
+
+// chaosCrashRestart kills node 3 mid-run (its tokens relocate to
+// survivors), keeps committing on the remaining pair, then restarts
+// it: real RVM log resumption plus server-log catch-up must bring its
+// cache back to the converged image before it writes again.
+func chaosCrashRestart(seed int64) (*ChaosReport, error) {
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		DropProb:    0.05,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+	})
+	c, err := chaosCluster(inj)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rep := &ChaosReport{Scenario: "crash-restart", Seed: seed}
+
+	round := 0
+	for ; round < 4; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+	// Position some tokens at the crash target so the relocation path
+	// is actually exercised.
+	for l := 0; l < chaosLocks; l += 2 {
+		if err := chaosWrite(c.Node(2), seed, round, l); err != nil {
+			return nil, err
+		}
+		rep.Commits++
+	}
+	round++
+
+	if err := c.Crash(2); err != nil {
+		return nil, err
+	}
+	// Locks managed by the down node (lock id % 3 == 2) are skipped:
+	// their manager is unreachable by design.
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if l%c.Size() == 2 {
+				continue
+			}
+			w := (round + l) % 2 // survivors only
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := c.Restart(2); err != nil {
+		return nil, err
+	}
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := chaosCheck(c, rep); err != nil {
+		return nil, err
+	}
+	rep.Faults = inj.Stats()
+	return rep, nil
+}
+
+// --- Scenario 3: storage failover ----------------------------------------
+
+// chaosStoreFailover commits through a mirrored storage pair while a
+// proxy injects connection drops, then kills the primary entirely;
+// the failover client re-homes to the backup, and the backup's log
+// must hold every committed record, recovering to the exact committed
+// image.
+func chaosStoreFailover(seed int64) (*ChaosReport, error) {
+	rep := &ChaosReport{Scenario: "store-failover", Seed: seed}
+
+	pair, err := store.NewReplicaPair("127.0.0.1:0", "127.0.0.1:0", store.ServerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer pair.Close()
+	proxy, err := chaos.NewProxy(pair.Primary.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+
+	cli, err := store.DialFailover(proxy.Addr(), pair.Backup.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	r, err := rvm.Open(rvm.Options{Node: 1, Log: cli.LogDevice(1), Data: cli})
+	if err != nil {
+		return nil, err
+	}
+	reg, err := r.Map(rvm.RegionID(chaosRegion), chaosLocks*chaosSegLen)
+	if err != nil {
+		return nil, err
+	}
+
+	commit := func(round, lock int) error {
+		tx := r.Begin(rvm.NoRestore)
+		data := chaosData(seed, round, lock)
+		off := uint64(lock)*chaosSegLen + uint64(round%(chaosSegLen/chaosPayload))*chaosPayload
+		if err := tx.SetRange(reg, off, uint32(len(data))); err != nil {
+			return err
+		}
+		copy(reg.Bytes()[off:], data)
+		if _, err := tx.Commit(rvm.NoFlush); err != nil {
+			return fmt.Errorf("round %d lock %d: %w", round, lock, err)
+		}
+		rep.Commits++
+		return nil
+	}
+
+	round := 0
+	for ; round < 3; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if err := commit(round, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Transient connection drop: the failover client re-dials through
+	// the still-running proxy and the same request succeeds.
+	proxy.Cut()
+	for ; round < 6; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if err := commit(round, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Primary death: proxy gone, server gone; the client's next call
+	// walks its address ring to the backup, which holds the full
+	// mirrored log.
+	proxy.Close()
+	pair.FailPrimary()
+	for ; round < 9; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if err := commit(round, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Every committed record must be on the backup, exactly once after
+	// identity dedup, and replaying them must reproduce the image.
+	blog, err := pair.Backup.Log(1)
+	if err != nil {
+		return nil, err
+	}
+	txs, err := chaos.ReadLogRecords(blog)
+	if err != nil {
+		return nil, err
+	}
+	type identity struct {
+		node uint32
+		seq  uint64
+	}
+	seen := map[identity]bool{}
+	for _, tx := range txs {
+		seen[identity{tx.Node, tx.TxSeq}] = true
+	}
+	if len(seen) != rep.Commits {
+		return nil, fmt.Errorf("backup log has %d distinct records, committed %d — committed records lost",
+			len(seen), rep.Commits)
+	}
+	img := append([]byte(nil), reg.Bytes()...)
+	want := map[uint32][]byte{uint32(chaosRegion): img}
+	if err := chaos.CheckMergeRecovery([]wal.Device{blog}, want); err != nil {
+		return nil, err
+	}
+	rep.finish(want, len(seen))
+	rep.Faults = map[string]int64{"proxy_cuts": int64(proxy.Cuts())}
+	return rep, nil
+}

@@ -3,8 +3,10 @@ package lbc
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"lbc/internal/chaos"
 	"lbc/internal/coherency"
 	"lbc/internal/netproto"
 	"lbc/internal/rangetree"
@@ -28,6 +30,8 @@ type clusterConfig struct {
 	seedImages  map[RegionID][]byte
 	policy      rangetree.Policy
 	diskLogDir  string
+	inj         *chaos.Injector
+	acqTimeout  time.Duration
 }
 
 // WithTCP connects the nodes over real loopback TCP sockets instead of
@@ -106,17 +110,43 @@ func WithDiskLog(dir string) Option {
 	return func(c *clusterConfig) { c.diskLogDir = dir }
 }
 
+// WithChaos routes every node's sends through the injector's
+// deterministic fault schedule, and (in store-backed configurations)
+// wraps each node's log device with the injector's storage faults and
+// enables pull-on-stall so dropped update broadcasts are recovered
+// from the server's logs. Combine with Cluster.Crash / Restart for
+// full crash-recovery scenarios.
+func WithChaos(in *chaos.Injector) Option {
+	return func(c *clusterConfig) { c.inj = in }
+}
+
+// WithAcquireTimeout bounds every lock acquire; blocked acquires fail
+// with lockmgr.ErrAcquireTimeout instead of waiting forever (used by
+// chaos harnesses to surface deadlocks as test failures).
+func WithAcquireTimeout(d time.Duration) Option {
+	return func(c *clusterConfig) { c.acqTimeout = d }
+}
+
 // Cluster is a set of in-process nodes for experiments, examples, and
 // tests. Production deployments wire the pieces directly (see
 // cmd/storeserver and the package example).
 type Cluster struct {
+	cfg     *clusterConfig
+	ids     []NodeID
 	nodes   []*Node
 	rvms    []*rvm.RVM
 	meshes  []*netproto.TCPMesh
+	hub     *netproto.Hub
+	trs     []netproto.Transport
 	srv     *store.Server
 	replica *store.ReplicaPair
 	clis    []*store.Client
 	logs    []wal.Device
+	datas   []rvm.DataStore // non-store configs: per-node stores (survive Crash)
+	down    []bool
+
+	regions map[RegionID]int // mapped via MapAll, for Restart re-mapping
+	segs    []Segment        // registered via AddSegmentAll
 }
 
 // NewLocalCluster builds k nodes (ids 1..k) connected per the options.
@@ -132,10 +162,21 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 		o(cfg)
 	}
 
-	cl := &Cluster{}
-	ids := make([]NodeID, k)
-	for i := range ids {
-		ids[i] = NodeID(i + 1)
+	cl := &Cluster{
+		cfg:     cfg,
+		nodes:   make([]*Node, k),
+		rvms:    make([]*rvm.RVM, k),
+		meshes:  make([]*netproto.TCPMesh, k),
+		trs:     make([]netproto.Transport, k),
+		clis:    make([]*store.Client, k),
+		logs:    make([]wal.Device, k),
+		datas:   make([]rvm.DataStore, k),
+		down:    make([]bool, k),
+		regions: map[RegionID]int{},
+	}
+	cl.ids = make([]NodeID, k)
+	for i := range cl.ids {
+		cl.ids[i] = NodeID(i + 1)
 	}
 
 	// Optional storage server.
@@ -163,98 +204,134 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 	}
 
 	// Transport.
-	var transports []netproto.Transport
 	if cfg.tcp {
-		for _, id := range ids {
+		for i, id := range cl.ids {
 			m, err := netproto.NewTCPMesh(id, "127.0.0.1:0", map[NodeID]string{})
 			if err != nil {
 				cl.Close()
 				return nil, err
 			}
-			cl.meshes = append(cl.meshes, m)
-			transports = append(transports, m)
+			cl.meshes[i] = m
+			cl.trs[i] = cl.wrapTransport(m)
 		}
 		for i, m := range cl.meshes {
 			for j, o := range cl.meshes {
 				if i != j {
-					m.SetPeer(ids[j], o.Addr())
+					m.SetPeer(cl.ids[j], o.Addr())
 				}
 			}
 		}
 	} else {
-		hub := netproto.NewHub()
-		for _, id := range ids {
-			transports = append(transports, hub.Endpoint(id))
+		cl.hub = netproto.NewHub()
+		for i, id := range cl.ids {
+			cl.trs[i] = cl.wrapTransport(cl.hub.Endpoint(id))
 		}
 	}
 
 	// Nodes.
-	for i, id := range ids {
-		var log wal.Device
-		var data rvm.DataStore
-		var peerLogs coherency.PeerLogReader
-		if cfg.useStore {
-			cli, err := store.Dial(cl.srv.Addr())
-			if err != nil {
-				cl.Close()
-				return nil, err
-			}
-			cl.clis = append(cl.clis, cli)
-			log = cli.LogDevice(uint32(id))
-			data = cli
-			peerLogs = func(node uint32) wal.Device { return cli.LogDevice(node) }
-		} else {
-			if cfg.diskLogDir != "" {
-				var err error
-				log, err = wal.OpenFileDevice(filepath.Join(cfg.diskLogDir, fmt.Sprintf("node-%d.log", id)))
-				if err != nil {
-					cl.Close()
-					return nil, err
-				}
-			} else {
-				log = wal.NewMemDevice()
-			}
-			data = rvm.NewMemStore()
-			for rid, img := range cfg.seedImages {
-				if err := data.StoreRegion(uint32(rid), img); err != nil {
-					cl.Close()
-					return nil, err
-				}
-			}
-		}
-		cl.logs = append(cl.logs, log)
-
-		r, err := rvm.Open(rvm.Options{Node: uint32(id), Log: log, Data: data, Policy: cfg.policy})
-		if err != nil {
+	for i := range cl.ids {
+		if err := cl.startNode(i, false); err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.rvms = append(cl.rvms, r)
-		n, err := coherency.New(coherency.Options{
-			RVM:         r,
-			Transport:   transports[i],
-			Nodes:       ids,
-			Propagation: cfg.propagation,
-			Wire:        cfg.wire,
-			PageSize:    cfg.pageSize,
-			PeerLogs:    peerLogs,
-			Versioned:   cfg.versioned[i],
-			CheckLocks:  cfg.checkLocks,
-		})
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.nodes = append(cl.nodes, n)
 	}
 	return cl, nil
+}
+
+// wrapTransport attaches the chaos injector to a raw transport, when
+// one is configured.
+func (c *Cluster) wrapTransport(tr netproto.Transport) netproto.Transport {
+	if c.cfg.inj != nil {
+		return chaos.WrapTransport(tr, c.cfg.inj)
+	}
+	return tr
+}
+
+// startNode builds node i's storage attachments, RVM instance, and
+// coherency node on top of the already-built transport c.trs[i].
+// With restart set it resumes the node's existing log (commit
+// sequence continues past the pre-crash records).
+func (c *Cluster) startNode(i int, restart bool) error {
+	id := c.ids[i]
+	cfg := c.cfg
+	var log wal.Device
+	var data rvm.DataStore
+	var peerLogs coherency.PeerLogReader
+	if cfg.useStore {
+		cli, err := store.Dial(c.srv.Addr())
+		if err != nil {
+			return err
+		}
+		c.clis[i] = cli
+		log = cli.LogDevice(uint32(id))
+		data = cli
+		peerLogs = func(node uint32) wal.Device { return cli.LogDevice(node) }
+	} else {
+		if restart {
+			// Re-attach the node's surviving private devices.
+			log = c.logs[i]
+			data = c.datas[i]
+		} else if cfg.diskLogDir != "" {
+			var err error
+			log, err = wal.OpenFileDevice(filepath.Join(cfg.diskLogDir, fmt.Sprintf("node-%d.log", id)))
+			if err != nil {
+				return err
+			}
+			data = rvm.NewMemStore()
+		} else {
+			log = wal.NewMemDevice()
+			data = rvm.NewMemStore()
+		}
+		if !restart {
+			for rid, img := range cfg.seedImages {
+				if err := data.StoreRegion(uint32(rid), img); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	c.logs[i] = log
+	c.datas[i] = data
+	if cfg.inj != nil && cfg.useStore {
+		log = chaos.WrapDevice(log, cfg.inj, fmt.Sprintf("node-%d", id))
+	}
+
+	r, err := rvm.Open(rvm.Options{
+		Node: uint32(id), Log: log, Data: data,
+		Policy: cfg.policy, ResumeLog: restart,
+	})
+	if err != nil {
+		return err
+	}
+	c.rvms[i] = r
+	n, err := coherency.New(coherency.Options{
+		RVM:            r,
+		Transport:      c.trs[i],
+		Nodes:          c.ids,
+		Propagation:    cfg.propagation,
+		Wire:           cfg.wire,
+		PageSize:       cfg.pageSize,
+		PeerLogs:       peerLogs,
+		Versioned:      cfg.versioned[i],
+		CheckLocks:     cfg.checkLocks,
+		PullOnStall:    cfg.inj != nil && cfg.useStore,
+		AcquireTimeout: cfg.acqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = n
+	return nil
 }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
 
-// Node returns node i (0-based).
+// Node returns node i (0-based). Nil while the node is crashed.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Down reports whether node i is currently crashed.
+func (c *Cluster) Down(i int) bool { return c.down[i] }
 
 // Log returns node i's redo-log device (for merging and recovery).
 func (c *Cluster) Log(i int) wal.Device { return c.logs[i] }
@@ -271,9 +348,13 @@ func (c *Cluster) StoreBackup() *store.Server {
 	return c.replica.Backup
 }
 
-// MapAll maps the region on every node.
+// MapAll maps the region on every live node.
 func (c *Cluster) MapAll(id RegionID, size int) error {
-	for _, n := range c.nodes {
+	c.regions[id] = size
+	for i, n := range c.nodes {
+		if c.down[i] {
+			continue
+		}
 		if _, err := n.MapRegion(id, size); err != nil {
 			return err
 		}
@@ -281,35 +362,249 @@ func (c *Cluster) MapAll(id RegionID, size int) error {
 	return nil
 }
 
-// Barrier waits until every node has seen every peer's mapping of the
-// region — the startup point after which eager broadcasts reach all
-// caches.
+// Barrier waits until every live node has seen every live peer's
+// mapping of the region — the startup point after which eager
+// broadcasts reach all caches.
 func (c *Cluster) Barrier(id RegionID) error {
-	for _, n := range c.nodes {
-		if err := n.WaitPeers(id, len(c.nodes)-1, 10*time.Second); err != nil {
+	live := 0
+	for i := range c.nodes {
+		if !c.down[i] {
+			live++
+		}
+	}
+	for i, n := range c.nodes {
+		if c.down[i] {
+			continue
+		}
+		if err := n.WaitPeers(id, live-1, 10*time.Second); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// AddSegmentAll registers the segment on every node.
+// AddSegmentAll registers the segment on every live node.
 func (c *Cluster) AddSegmentAll(seg Segment) {
-	for _, n := range c.nodes {
-		n.AddSegment(seg)
+	c.segs = append(c.segs, seg)
+	for i, n := range c.nodes {
+		if !c.down[i] {
+			n.AddSegment(seg)
+		}
 	}
+}
+
+// lockIDs returns the registered segment lock ids in ascending order
+// (the chaos harness's deterministic iteration order).
+func (c *Cluster) lockIDs() []uint32 {
+	ids := make([]uint32, 0, len(c.segs))
+	for _, s := range c.segs {
+		ids = append(ids, s.LockID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// adopterFor picks the node that inherits a dying node's lock token:
+// the lock's manager when alive, else the lowest-id live node.
+func (c *Cluster) adopterFor(lockID uint32, dying int) int {
+	mgr := int(lockID) % len(c.ids) // ids are 1..k in slice order
+	if mgr != dying && !c.down[mgr] {
+		return mgr
+	}
+	for i := range c.ids {
+		if i != dying && !c.down[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Crash kills node i: its coherency node, lock manager, transport
+// endpoint, and store connection all go away; volatile state (lock
+// tokens, interlock counters, cached images) is lost. Durable state —
+// the node's redo log and the permanent images — survives. Lock
+// tokens held by the dying node are volatile, so the supervisor
+// relocates each one to a live node (the lock's manager when
+// possible) and repairs the manager-side waiter queue; without this a
+// crash would leave those locks unholdable forever.
+//
+// The cluster must be quiescent (no transactions or token passes in
+// flight) when Crash is called; the harness crashes nodes only
+// between rounds.
+func (c *Cluster) Crash(i int) error {
+	if c.down[i] {
+		return fmt.Errorf("lbc: node %d already down", c.ids[i])
+	}
+	live := 0
+	for j := range c.ids {
+		if j != i && !c.down[j] {
+			live++
+		}
+	}
+	// Token surgery, while the dying node's state is still readable.
+	if live > 0 {
+		for _, lockID := range c.lockIDs() {
+			seq, lastWrite, have := c.nodes[i].Locks().TokenState(lockID)
+			if !have {
+				continue
+			}
+			ad := c.adopterFor(lockID, i)
+			if ad < 0 {
+				continue
+			}
+			c.nodes[ad].Locks().AdoptToken(lockID, seq, lastWrite)
+			mgr := int(lockID) % len(c.ids)
+			if mgr != i && !c.down[mgr] {
+				c.nodes[mgr].Locks().SetQueueTail(lockID, c.ids[ad])
+			}
+		}
+	}
+	c.nodes[i].Close()
+	c.nodes[i] = nil
+	c.rvms[i] = nil
+	if c.cfg.tcp {
+		c.meshes[i].Close()
+		c.meshes[i] = nil
+	} else {
+		c.hub.Drop(c.ids[i])
+	}
+	if c.clis[i] != nil {
+		c.clis[i].Close()
+		c.clis[i] = nil
+	}
+	c.down[i] = true
+	return nil
+}
+
+// Restart brings a crashed node back: a fresh transport endpoint and
+// store connection, an RVM instance that resumes the node's surviving
+// redo log (so new commits never reuse a pre-crash record identity),
+// re-registered segments and region mappings, repaired lock-token
+// bookkeeping, and a server-log catch-up that replays every committed
+// record in merge order to rebuild the cached images and interlock
+// state. Requires a store-backed cluster (WithStore /
+// WithReplicatedStore): private in-memory images do not survive a
+// crash, the server's logs do.
+func (c *Cluster) Restart(i int) error {
+	if !c.down[i] {
+		return fmt.Errorf("lbc: node %d is not down", c.ids[i])
+	}
+	if !c.cfg.useStore {
+		return fmt.Errorf("lbc: Restart requires a store-backed cluster")
+	}
+	id := c.ids[i]
+
+	// Fresh transport endpoint.
+	if c.cfg.tcp {
+		m, err := netproto.NewTCPMesh(id, "127.0.0.1:0", map[NodeID]string{})
+		if err != nil {
+			return err
+		}
+		for j, o := range c.meshes {
+			if j == i || o == nil {
+				continue
+			}
+			o.SetPeer(id, m.Addr())
+			m.SetPeer(c.ids[j], o.Addr())
+		}
+		c.meshes[i] = m
+		c.trs[i] = c.wrapTransport(m)
+	} else {
+		c.trs[i] = c.wrapTransport(c.hub.Endpoint(id))
+	}
+
+	if err := c.startNode(i, true); err != nil {
+		return err
+	}
+	c.down[i] = false
+
+	// Rebuild the coherency-layer working set.
+	for _, seg := range c.segs {
+		c.nodes[i].AddSegment(seg)
+	}
+	regs := make([]RegionID, 0, len(c.regions))
+	for rid := range c.regions {
+		regs = append(regs, rid)
+	}
+	sort.Slice(regs, func(a, b int) bool { return regs[a] < regs[b] })
+	for _, rid := range regs {
+		if _, err := c.nodes[i].MapRegion(rid, c.regions[rid]); err != nil {
+			return err
+		}
+		for j := range c.ids {
+			if j == i || c.down[j] {
+				continue
+			}
+			// Seed both mapping tables directly: the rejoining node
+			// must not wait on a best-effort announcement round.
+			c.nodes[i].NotePeerRegion(c.ids[j], rid)
+			c.nodes[j].NotePeerRegion(id, rid)
+		}
+	}
+
+	// Lock surgery: a fresh manager believes it owns the token for
+	// every lock it manages, but tokens relocated at crash time live
+	// elsewhere — forfeit those and point the waiter queue at the
+	// current holder.
+	for _, lockID := range c.lockIDs() {
+		holder := -1
+		for j := range c.ids {
+			if j == i || c.down[j] {
+				continue
+			}
+			if c.nodes[j].Locks().HasToken(lockID) {
+				holder = j
+				break
+			}
+		}
+		if holder < 0 {
+			continue // unused lock: the fresh manager's token is fine
+		}
+		if int(lockID)%len(c.ids) == i {
+			c.nodes[i].Locks().ForfeitToken(lockID)
+			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+		}
+	}
+
+	// Catch up from the server's logs: recovery proper (merge order,
+	// interlock seeding) — the restarted cache converges with the
+	// cluster before running new transactions.
+	return c.nodes[i].CatchUp()
+}
+
+// FlushChaos delivers any reorder hold-backs still parked in the
+// chaos injector on every live node's transport (no-op without
+// WithChaos). Harnesses call it when quiescing.
+func (c *Cluster) FlushChaos() error {
+	for i, tr := range c.trs {
+		if c.down[i] {
+			continue
+		}
+		if ct, ok := tr.(*chaos.Transport); ok {
+			if err := ct.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Close tears down nodes, transports, clients, and the server.
 func (c *Cluster) Close() error {
 	for _, n := range c.nodes {
-		n.Close()
+		if n != nil {
+			n.Close()
+		}
 	}
 	for _, m := range c.meshes {
-		m.Close()
+		if m != nil {
+			m.Close()
+		}
 	}
 	for _, cli := range c.clis {
-		cli.Close()
+		if cli != nil {
+			cli.Close()
+		}
 	}
 	if c.replica != nil {
 		c.replica.Close()

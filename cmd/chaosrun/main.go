@@ -1,0 +1,71 @@
+// Command chaosrun executes the named chaos scenarios — deterministic
+// fault-injection schedules over a live cluster with crash/restart and
+// storage failover — and prints each run's report. Every run prints
+// its seed first; re-running with -seed N replays the exact fault
+// schedule, so a failure line is a complete reproduction recipe.
+//
+// Usage:
+//
+//	chaosrun                         # all scenarios, time-derived seed
+//	chaosrun -scenario partition-heal -seed 42
+//	chaosrun -runs 20                # 20 seeds per scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lbc"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all",
+		fmt.Sprintf("scenario to run: one of %v, or \"all\"", lbc.ChaosScenarios()))
+	seed := flag.Int64("seed", 0,
+		"fault-schedule seed; 0 derives one from the clock (printed for replay)")
+	runs := flag.Int("runs", 1, "number of consecutive seeds to run per scenario")
+	verbose := flag.Bool("v", false, "print injector fault counters per run")
+	flag.Parse()
+
+	scenarios := lbc.ChaosScenarios()
+	if *scenario != "all" {
+		scenarios = []string{*scenario}
+	}
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano()
+	}
+	fmt.Printf("chaosrun: base seed %d (replay any run with -seed <seed>)\n", base)
+
+	failed := 0
+	for r := 0; r < *runs; r++ {
+		s := base + int64(r)
+		for _, sc := range scenarios {
+			rep, err := lbc.RunChaosScenario(sc, s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s seed=%d: %v\n", sc, s, err)
+				fmt.Fprintf(os.Stderr, "  reproduce: chaosrun -scenario %s -seed %d\n", sc, s)
+				failed++
+				continue
+			}
+			fmt.Println(rep)
+			if *verbose {
+				keys := make([]string, 0, len(rep.Faults))
+				for k := range rep.Faults {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Printf("  %s=%d\n", k, rep.Faults[k])
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "chaosrun: %d scenario run(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"lbc/internal/merge"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// This file holds the harness's invariant checkers — the properties a
+// chaos run asserts after quiescing:
+//
+//  1. Convergence: every node's cached image of every shared region is
+//     byte-identical (the coherency guarantee).
+//  2. Gap-free lock chains: across all logs, each lock's sequence
+//     numbers are unique and every write's PrevWriteSeq points at the
+//     previous write under that lock (the §3.4 interlock metadata is
+//     internally consistent).
+//  3. Merge/recovery equivalence: merging the per-node logs and
+//     running the standard recovery procedure over the merged log
+//     reproduces exactly the converged images (the paper's central
+//     claim — the redo logs hold everything needed for consistency).
+
+// ImageChecksum returns a stable FNV-1a checksum of a region image,
+// used in failure messages and reproducibility comparisons.
+func ImageChecksum(data []byte) uint64 {
+	var h uint64 = 0xCBF29CE484222325
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// CheckConverged verifies that every node's image of every region is
+// byte-identical. images maps node id -> region id -> image bytes. A
+// region missing on some nodes is only compared across the nodes that
+// map it.
+func CheckConverged(images map[uint32]map[uint32][]byte) error {
+	nodes := make([]uint32, 0, len(images))
+	for n := range images {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	ref := map[uint32]struct {
+		node uint32
+		data []byte
+	}{}
+	for _, n := range nodes {
+		for reg, img := range images[n] {
+			r, ok := ref[reg]
+			if !ok {
+				ref[reg] = struct {
+					node uint32
+					data []byte
+				}{node: n, data: img}
+				continue
+			}
+			if !bytes.Equal(r.data, img) {
+				return fmt.Errorf(
+					"chaos: region %d diverged: node %d checksum %016x != node %d checksum %016x",
+					reg, r.node, ImageChecksum(r.data), n, ImageChecksum(img))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLockChains verifies the per-lock sequence metadata across a set
+// of committed records (typically the union of every node's log):
+// sequence numbers under each lock are unique, and each write's
+// PrevWriteSeq names the previous write under that lock. Records are
+// deduplicated by (node, commit-seq) first, mirroring what merge and
+// catch-up do, so at-least-once appends do not trip the check.
+func CheckLockChains(txs []*wal.TxRecord) error {
+	type identity struct {
+		node uint32
+		seq  uint64
+	}
+	seen := map[identity]bool{}
+	type hold struct {
+		seq       uint64
+		prevWrite uint64
+		wrote     bool
+		node      uint32
+		txSeq     uint64
+	}
+	perLock := map[uint32][]hold{}
+	for _, tx := range txs {
+		if tx.Checkpoint {
+			continue
+		}
+		id := identity{node: tx.Node, seq: tx.TxSeq}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, l := range tx.Locks {
+			perLock[l.LockID] = append(perLock[l.LockID], hold{
+				seq: l.Seq, prevWrite: l.PrevWriteSeq, wrote: l.Wrote,
+				node: tx.Node, txSeq: tx.TxSeq,
+			})
+		}
+	}
+
+	locks := make([]uint32, 0, len(perLock))
+	for l := range perLock {
+		locks = append(locks, l)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+
+	for _, lockID := range locks {
+		holds := perLock[lockID]
+		sort.Slice(holds, func(i, j int) bool { return holds[i].seq < holds[j].seq })
+		var lastWrite uint64
+		for i, h := range holds {
+			if i > 0 && h.seq == holds[i-1].seq {
+				return fmt.Errorf(
+					"chaos: lock %d held twice at seq %d (tx %d/%d and %d/%d)",
+					lockID, h.seq, holds[i-1].node, holds[i-1].txSeq, h.node, h.txSeq)
+			}
+			if h.prevWrite != lastWrite {
+				return fmt.Errorf(
+					"chaos: lock %d chain gap at seq %d (tx %d/%d): PrevWriteSeq %d, want %d",
+					lockID, h.seq, h.node, h.txSeq, h.prevWrite, lastWrite)
+			}
+			if h.wrote {
+				lastWrite = h.seq
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMergeRecovery merges the per-node logs, runs the standard
+// recovery procedure over the merged log against an empty store, and
+// verifies the recovered images match want (region id -> converged
+// image). Recovery only grows a region as far as its last written
+// byte, so recovered images are zero-extended to want's length before
+// comparison — region images start zeroed, making that exact.
+func CheckMergeRecovery(logs []wal.Device, want map[uint32][]byte) error {
+	merged := wal.NewMemDevice()
+	if _, err := merge.MergeTo(merged, logs...); err != nil {
+		return fmt.Errorf("chaos: merge: %w", err)
+	}
+	data := rvm.NewMemStore()
+	if _, err := rvm.Recover(merged, data, rvm.RecoverOptions{}); err != nil {
+		return fmt.Errorf("chaos: recover merged log: %w", err)
+	}
+
+	regs := make([]uint32, 0, len(want))
+	for id := range want {
+		regs = append(regs, id)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+
+	for _, id := range regs {
+		img, err := data.LoadRegion(id)
+		if err != nil {
+			if len(bytes.TrimLeft(want[id], "\x00")) == 0 {
+				continue // never written; all-zero image is equivalent
+			}
+			return fmt.Errorf("chaos: recovered store missing region %d: %w", id, err)
+		}
+		if len(img) < len(want[id]) {
+			grown := make([]byte, len(want[id]))
+			copy(grown, img)
+			img = grown
+		}
+		if !bytes.Equal(img, want[id]) {
+			return fmt.Errorf(
+				"chaos: merge+recovery mismatch for region %d: recovered %016x, converged %016x",
+				id, ImageChecksum(img), ImageChecksum(want[id]))
+		}
+	}
+	return nil
+}
+
+// ReadLogRecords reads every complete, non-checkpoint record from the
+// given devices (helper shared by harness and tests).
+func ReadLogRecords(logs ...wal.Device) ([]*wal.TxRecord, error) {
+	var all []*wal.TxRecord
+	for i, dev := range logs {
+		txs, err := wal.ReadDevice(dev)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: read log %d: %w", i, err)
+		}
+		for _, tx := range txs {
+			if !tx.Checkpoint {
+				all = append(all, tx)
+			}
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import "lbc/internal/netproto"
+
+// Transport wraps a netproto.Transport, running every outgoing send
+// through the injector's fault schedule. Receives are untouched: all
+// faults are injected on the sender side, which keeps the decision
+// order (and so the schedule) deterministic per link.
+type Transport struct {
+	inner netproto.Transport
+	in    *Injector
+}
+
+var _ netproto.Transport = (*Transport)(nil)
+
+// WrapTransport attaches the injector to a transport.
+func WrapTransport(inner netproto.Transport, in *Injector) *Transport {
+	return &Transport{inner: inner, in: in}
+}
+
+// Inner returns the wrapped transport (harnesses need it for
+// fault-free control traffic during recovery surgery).
+func (t *Transport) Inner() netproto.Transport { return t.inner }
+
+// Self implements netproto.Transport.
+func (t *Transport) Self() netproto.NodeID { return t.inner.Self() }
+
+// Send implements netproto.Transport, subject to the fault schedule.
+func (t *Transport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	return t.in.deliver(t.inner.Send, t.inner.Self(), to, typ, payload)
+}
+
+// Handle implements netproto.Transport.
+func (t *Transport) Handle(typ uint8, h netproto.Handler) { t.inner.Handle(typ, h) }
+
+// Peers implements netproto.Transport.
+func (t *Transport) Peers() []netproto.NodeID { return t.inner.Peers() }
+
+// Close implements netproto.Transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// Flush delivers this endpoint's reorder hold-backs through the inner
+// transport, bypassing further fault decisions. Call at quiesce.
+func (t *Transport) Flush() error {
+	return t.in.flushHeld(t.inner.Self(), t.inner.Send)
+}

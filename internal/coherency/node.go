@@ -129,6 +129,17 @@ type Options struct {
 	// CheckLocks makes SetRange fail if the written range lies in a
 	// registered segment whose lock the transaction does not hold.
 	CheckLocks bool
+	// PullOnStall makes eager-mode acquires fall back to pulling
+	// committed records from the storage server's per-node logs when
+	// the interlock stalls (a broadcast was lost to a fault). Requires
+	// PeerLogs. Without it a lost eager update blocks the next acquire
+	// of its lock forever, which is fine on a reliable transport (the
+	// prototype's assumption) but not under injected faults.
+	PullOnStall bool
+	// AcquireTimeout bounds Tx.Acquire when positive; acquires that
+	// cannot complete (token holder unreachable) fail with
+	// lockmgr.ErrAcquireTimeout instead of blocking forever.
+	AcquireTimeout time.Duration
 }
 
 // Node is one participant in the coherent distributed store.
@@ -143,9 +154,13 @@ type Node struct {
 	peerLogs PeerLogReader
 	checkLk  bool
 
+	pullStall  bool
+	acqTimeout time.Duration
+
 	mu           sync.Mutex
 	segments     map[uint32]Segment // by lock id
 	regionPeers  map[rvm.RegionID]map[netproto.NodeID]bool
+	peersChanged chan struct{} // closed+replaced when regionPeers grows
 	readPos      map[uint32]int64 // lazy: per-peer log read offset
 	versioned    bool
 	retention    map[uint32]*lockHistory // piggyback: per-lock record history
@@ -177,6 +192,9 @@ func New(opts Options) (*Node, error) {
 	if opts.Propagation == Lazy && opts.PeerLogs == nil {
 		return nil, errors.New("coherency: lazy propagation requires PeerLogs")
 	}
+	if opts.PullOnStall && opts.PeerLogs == nil {
+		return nil, errors.New("coherency: PullOnStall requires PeerLogs")
+	}
 	if opts.Stats == nil {
 		opts.Stats = opts.RVM.Stats()
 	}
@@ -193,8 +211,11 @@ func New(opts Options) (*Node, error) {
 		pageSize:     opts.PageSize,
 		peerLogs:     opts.PeerLogs,
 		checkLk:      opts.CheckLocks,
+		pullStall:    opts.PullOnStall,
+		acqTimeout:   opts.AcquireTimeout,
 		segments:     map[uint32]Segment{},
 		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
+		peersChanged: make(chan struct{}),
 		readPos:      map[uint32]int64{},
 		versioned:    opts.Versioned,
 		retention:    map[uint32]*lockHistory{},
@@ -264,11 +285,15 @@ func (n *Node) MapRegion(id rvm.RegionID, size int) (*rvm.Region, error) {
 // region (cluster startup barrier), or the timeout elapses. While
 // waiting it periodically re-announces this node's own mapping, so
 // peers that started later (and missed the original best-effort
-// announcement) still learn about us.
+// announcement) still learn about us. Announcement arrivals wake the
+// wait immediately (no polling): onMapRegion replaces a notification
+// channel that this select watches.
 func (n *Node) WaitPeers(id rvm.RegionID, k int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	lastAnnounce := time.Now()
-	announce := func() {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	announce := time.NewTicker(50 * time.Millisecond)
+	defer announce.Stop()
+	reannounce := func() {
 		var b [4]byte
 		putU32(b[:], uint32(id))
 		for _, p := range n.tr.Peers() {
@@ -278,18 +303,20 @@ func (n *Node) WaitPeers(id rvm.RegionID, k int, timeout time.Duration) error {
 	for {
 		n.mu.Lock()
 		have := len(n.regionPeers[id])
+		changed := n.peersChanged
 		n.mu.Unlock()
 		if have >= k {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-changed:
+		case <-announce.C:
+			reannounce()
+		case <-deadline.C:
 			return fmt.Errorf("coherency: only %d/%d peers mapped region %d", have, k, id)
+		case <-n.done:
+			return errors.New("coherency: node closed while waiting for peers")
 		}
-		if time.Since(lastAnnounce) > 50*time.Millisecond {
-			announce()
-			lastAnnounce = time.Now()
-		}
-		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -298,12 +325,22 @@ func (n *Node) onMapRegion(from netproto.NodeID, payload []byte) {
 	if len(payload) != 4 {
 		return
 	}
-	id := rvm.RegionID(getU32(payload))
+	n.NotePeerRegion(from, rvm.RegionID(getU32(payload)))
+}
+
+// NotePeerRegion records that a peer has the region mapped, waking any
+// WaitPeers. Exposed so a restart supervisor can seed the mapping
+// table of a rejoining node without a full announcement round.
+func (n *Node) NotePeerRegion(peer netproto.NodeID, id rvm.RegionID) {
 	n.mu.Lock()
 	if n.regionPeers[id] == nil {
 		n.regionPeers[id] = map[netproto.NodeID]bool{}
 	}
-	n.regionPeers[id][from] = true
+	if !n.regionPeers[id][peer] {
+		n.regionPeers[id][peer] = true
+		close(n.peersChanged)
+		n.peersChanged = make(chan struct{})
+	}
 	n.mu.Unlock()
 }
 

@@ -54,11 +54,23 @@ func (t *Tx) Acquire(lockID uint32) error {
 
 	var g lockmgr.Grant
 	var err error
-	if n.prop == Lazy {
-		g, err = n.locks.AcquireNoInterlock(lockID)
-		if err == nil {
-			err = n.pullUpdates(lockID, g.PrevWriteSeq)
+	if n.prop == Lazy || (n.pullStall && n.peerLogs != nil) {
+		// Lazy propagation — or eager with pull-on-stall fault
+		// tolerance: take the token without the interlock, then pull
+		// and apply pending records from the server logs ourselves.
+		if n.acqTimeout > 0 {
+			g, err = n.locks.AcquireNoInterlockTimeout(lockID, n.acqTimeout)
+		} else {
+			g, err = n.locks.AcquireNoInterlock(lockID)
 		}
+		if err == nil {
+			if perr := n.pullUpdates(lockID, g.PrevWriteSeq); perr != nil {
+				n.locks.Release(lockID, false)
+				return perr
+			}
+		}
+	} else if n.acqTimeout > 0 {
+		g, err = n.locks.AcquireTimeout(lockID, n.acqTimeout)
 	} else {
 		g, err = n.locks.Acquire(lockID)
 	}
@@ -92,11 +104,14 @@ func (t *Tx) AcquireShared(lockID uint32) error {
 	n.Accept() // no-op unless versioned
 
 	var err error
-	if n.prop == Lazy {
+	if n.prop == Lazy || (n.pullStall && n.peerLogs != nil) {
 		var g lockmgr.Grant
 		g, err = n.locks.AcquireSharedNoInterlock(lockID)
 		if err == nil {
-			err = n.pullUpdates(lockID, g.PrevWriteSeq)
+			if perr := n.pullUpdates(lockID, g.PrevWriteSeq); perr != nil {
+				n.locks.ReleaseShared(lockID)
+				return perr
+			}
 		}
 	} else {
 		_, err = n.locks.AcquireShared(lockID)
@@ -286,25 +301,33 @@ func (n *Node) broadcast(rec *wal.TxRecord) {
 // committed record, and wait until the lock's chain has been applied
 // through targetSeq.
 func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
+	// Each round pulls the server logs, then parks on the interlock's
+	// condition variable with a bounded window: MarkApplied wakes it
+	// immediately, and only a genuinely missing record (still in
+	// flight from an interleaved writer, or lost) costs another pull.
+	const pullWindow = 2 * time.Millisecond
 	deadline := time.Now().Add(10 * time.Second)
 	for n.locks.Applied(lockID) < targetSeq {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("coherency: lazy pull for lock %d stalled at %d < %d",
+			return fmt.Errorf("coherency: pull for lock %d stalled at %d < %d",
 				lockID, n.locks.Applied(lockID), targetSeq)
 		}
-		for _, p := range n.tr.Peers() {
+		// Pull from every cluster member's server-side log, not just
+		// the transport's live peers: a crashed node's committed
+		// records are still in its log, and chains through them must
+		// stay completable while it is down.
+		for _, p := range n.clusterNodes {
+			if p == n.tr.Self() {
+				continue
+			}
 			if err := n.pullPeerLog(uint32(p)); err != nil {
 				return err
 			}
 		}
 		n.poke()
-		// The records are on the server before any release that could
-		// have delivered us the token, so one round normally suffices;
-		// loop defensively for interleaved writers.
-		if n.locks.Applied(lockID) >= targetSeq {
-			break
+		if n.locks.AwaitApplied(lockID, targetSeq, pullWindow) {
+			return nil
 		}
-		time.Sleep(100 * time.Microsecond)
 	}
 	return n.locks.WaitApplied(lockID, targetSeq)
 }

@@ -45,6 +45,16 @@ const (
 // ErrClosed is returned by Acquire after Close.
 var ErrClosed = errors.New("lockmgr: closed")
 
+// ErrAcquireTimeout is returned by AcquireTimeout when the token (or
+// the interlock's applied watermark) does not arrive in time — the
+// holder is unreachable, crashed, or still writing.
+var ErrAcquireTimeout = errors.New("lockmgr: acquire timed out")
+
+// tokenRetryDelay is how long a failed token pass waits before
+// retrying. Token passes must eventually succeed for liveness: a pass
+// lost to a transient partition would otherwise strand the token.
+var tokenRetryDelay = 25 * time.Millisecond
+
 // lockState is this node's view of one lock.
 type lockState struct {
 	haveToken bool
@@ -156,7 +166,16 @@ type Grant struct {
 // locally (the coherency interlock). Locks follow strict two-phase
 // locking: the caller must hold the grant until Release at commit.
 func (m *Manager) Acquire(lockID uint32) (Grant, error) {
-	return m.acquire(lockID, true)
+	return m.acquire(lockID, true, time.Time{})
+}
+
+// AcquireTimeout is Acquire bounded by a deadline: if the token does
+// not arrive (or the interlock does not clear) within d it returns
+// ErrAcquireTimeout. Any token request already sent stays queued; the
+// token eventually parks here and a later acquire claims it, so a
+// timed-out acquire never loses the token.
+func (m *Manager) AcquireTimeout(lockID uint32, d time.Duration) (Grant, error) {
+	return m.acquire(lockID, true, time.Now().Add(d))
 }
 
 // AcquireNoInterlock acquires the lock token and mutual exclusion but
@@ -165,7 +184,12 @@ func (m *Manager) Acquire(lockID uint32) (Grant, error) {
 // log records after the token arrives, then proceeds once
 // Applied(lockID) reaches the returned grant's PrevWriteSeq.
 func (m *Manager) AcquireNoInterlock(lockID uint32) (Grant, error) {
-	return m.acquire(lockID, false)
+	return m.acquire(lockID, false, time.Time{})
+}
+
+// AcquireNoInterlockTimeout is AcquireNoInterlock with a deadline.
+func (m *Manager) AcquireNoInterlockTimeout(lockID uint32, d time.Duration) (Grant, error) {
+	return m.acquire(lockID, false, time.Now().Add(d))
 }
 
 // AcquireShared takes the lock in shared (read) mode: any number of
@@ -259,7 +283,7 @@ func (m *Manager) Readers(lockID uint32) int {
 	return m.state(lockID).readers
 }
 
-func (m *Manager) acquire(lockID uint32, interlock bool) (Grant, error) {
+func (m *Manager) acquire(lockID uint32, interlock bool, deadline time.Time) (Grant, error) {
 	start := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -267,6 +291,9 @@ func (m *Manager) acquire(lockID uint32, interlock bool) (Grant, error) {
 	for {
 		if m.closed {
 			return Grant{}, ErrClosed
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return Grant{}, fmt.Errorf("%w: lock %d", ErrAcquireTimeout, lockID)
 		}
 		if st.haveToken && !st.held && st.readers == 0 && (!interlock || st.applied >= st.lastWrite) {
 			st.held = true
@@ -297,7 +324,14 @@ func (m *Manager) acquire(lockID uint32, interlock bool) (Grant, error) {
 			// mutex was released above; recheck before sleeping.
 			continue
 		}
-		m.cond.Wait()
+		if deadline.IsZero() {
+			m.cond.Wait()
+		} else {
+			// sync.Cond has no timed wait; a timer broadcast bounds it.
+			t := time.AfterFunc(time.Until(deadline), m.cond.Broadcast)
+			m.cond.Wait()
+			t.Stop()
+		}
 	}
 }
 
@@ -338,7 +372,12 @@ func (m *Manager) Release(lockID uint32, wrote bool) {
 
 // sendToken ships the token (with its counters and any piggybacked
 // payload) to a peer. Callers must not hold m.mu: the TokenData hook
-// may take its own locks.
+// may take its own locks. A failed pass is retried in the background
+// until it succeeds or the manager closes: a token stranded by a
+// transient partition would otherwise deadlock the lock forever, so
+// the pass must survive link loss (receivers tolerate the duplicate
+// deliveries an ambiguous failure can produce — re-installing the
+// same counters is idempotent).
 func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite uint64) {
 	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:], lockID)
@@ -355,8 +394,28 @@ func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite ui
 			msg = append(append(make([]byte, 0, len(hdr)+len(blob)), hdr[:]...), blob...)
 		}
 	}
-	// Best effort: a lost token means a dead peer; recovery handles it.
-	_ = m.tr.Send(to, MsgLockToken, msg)
+	if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
+		m.stats.Add("token_pass_retries", 1)
+		cp := append([]byte(nil), msg...)
+		m.retryToken(to, cp)
+	}
+}
+
+// retryToken re-sends a failed token pass after a delay, forever,
+// until the send succeeds or the manager closes.
+func (m *Manager) retryToken(to netproto.NodeID, msg []byte) {
+	time.AfterFunc(tokenRetryDelay, func() {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
+			m.stats.Add("token_pass_retries", 1)
+			m.retryToken(to, msg)
+		}
+	})
 }
 
 // onLockReq runs at the lock's manager: append the requester to the
@@ -487,6 +546,87 @@ func (m *Manager) WaitApplied(lockID uint32, writeSeq uint64) error {
 		m.cond.Wait()
 	}
 	return nil
+}
+
+// AwaitApplied is WaitApplied with a timeout: it returns true once
+// updates through writeSeq are applied, or false when the timeout
+// elapses or the manager closes. It wakes immediately on MarkApplied
+// (no busy polling).
+func (m *Manager) AwaitApplied(lockID uint32, writeSeq uint64, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	for st.applied < writeSeq {
+		if m.closed || time.Now().After(deadline) {
+			return false
+		}
+		t := time.AfterFunc(time.Until(deadline), m.cond.Broadcast)
+		m.cond.Wait()
+		t.Stop()
+	}
+	return true
+}
+
+// --- Crash-recovery surgery ----------------------------------------------
+//
+// The lock protocol assumes reliable peers: tokens live in volatile
+// memory, so a crashed node takes its tokens with it. These calls let
+// a supervisor that knows cluster-wide state (the chaos harness, or an
+// operator tool) reinstall a coherent token assignment after a crash.
+// They must only be used while no acquire for the affected lock is in
+// flight (quiesced recovery epochs).
+
+// TokenState returns the lock's token counters and whether this node
+// currently owns the token.
+func (m *Manager) TokenState(lockID uint32) (seq, lastWrite uint64, have bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	return st.seq, st.lastWrite, st.haveToken
+}
+
+// AdoptToken force-installs token ownership with the given counters —
+// used when the previous holder crashed and its token state was
+// salvaged (or reconstructed from the logs). The interlock still
+// applies: an acquire waits until updates through lastWrite have been
+// applied locally.
+func (m *Manager) AdoptToken(lockID uint32, seq, lastWrite uint64) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	st.haveToken = true
+	st.requested = false
+	st.hasPend = false
+	st.seq = seq
+	st.lastWrite = lastWrite
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// ForfeitToken clears local token ownership: a restarted node's fresh
+// state claims the tokens it manages, but some may have been adopted
+// elsewhere while it was down.
+func (m *Manager) ForfeitToken(lockID uint32) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	st.haveToken = false
+	st.requested = false
+	st.hasPend = false
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// SetQueueTail repairs this node's manager-side waiter queue: the next
+// MsgLockReq for the lock is forwarded to tail (the current token
+// holder after recovery) instead of a node that may no longer exist.
+func (m *Manager) SetQueueTail(lockID uint32, tail netproto.NodeID) {
+	m.mu.Lock()
+	if tail == m.tr.Self() {
+		delete(m.tails, lockID)
+	} else {
+		m.tails[lockID] = tail
+	}
+	m.mu.Unlock()
 }
 
 // Holding reports whether the lock is currently held on this node.

@@ -40,7 +40,28 @@ func Merge(inputs ...wal.Device) ([]*wal.TxRecord, error) {
 // Order topologically sorts records under the per-lock sequence
 // constraints. It is exposed separately so in-memory record sets (e.g.
 // from the coherency layer) can be merged without device round trips.
+//
+// Records with an identical (node, commit-seq) identity are collapsed
+// to one: a client that retries an ambiguous append after a storage
+// failover can legitimately write the same record twice, and replay
+// must stay idempotent under that at-least-once behaviour.
 func Order(all []*wal.TxRecord) ([]*wal.TxRecord, error) {
+	type identity struct {
+		node uint32
+		seq  uint64
+	}
+	seen := make(map[identity]bool, len(all))
+	deduped := all[:0:0]
+	for _, tx := range all {
+		id := identity{node: tx.Node, seq: tx.TxSeq}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		deduped = append(deduped, tx)
+	}
+	all = deduped
+
 	// Group records per lock and sort by that lock's sequence number;
 	// consecutive pairs become ordering edges.
 	type ref struct {

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // NodeID identifies a node in the cluster.
@@ -48,6 +49,16 @@ var ErrUnknownPeer = errors.New("netproto: unknown peer")
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("netproto: transport closed")
+
+// ErrPeerUnreachable is returned by Send when the peer cannot be
+// dialed within the configured timeout and retry budget (dead node,
+// network partition, or wrong address).
+var ErrPeerUnreachable = errors.New("netproto: peer unreachable")
+
+// ErrLinkClosed is returned by Send when an established connection
+// fails mid-write (peer crash or link loss). The connection is torn
+// down; a later Send re-dials.
+var ErrLinkClosed = errors.New("netproto: link closed")
 
 // maxHandlers bounds message type codes (lockmgr uses 0x10-0x1F,
 // coherency 0x20-0x2F; codes above 0x3F are reserved).
@@ -87,6 +98,18 @@ func (h *Hub) lookup(id NodeID) *ChanEndpoint {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.endpoints[id]
+}
+
+// Drop closes and forgets the endpoint for id, so a later Endpoint(id)
+// call builds a fresh one (a crashed node restarting in-process).
+func (h *Hub) Drop(id NodeID) {
+	h.mu.Lock()
+	ep := h.endpoints[id]
+	delete(h.endpoints, id)
+	h.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
 }
 
 func (h *Hub) ids(except NodeID) []NodeID {
@@ -134,7 +157,9 @@ func (e *ChanEndpoint) Handle(typ uint8, h Handler) {
 func (e *ChanEndpoint) Send(to NodeID, typ uint8, payload []byte) error {
 	dst := e.hub.lookup(to)
 	if dst == nil {
-		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+		// Unregistered or dropped (crashed) endpoint: unknown and, for
+		// callers probing liveness, unreachable.
+		return fmt.Errorf("%w (%w): %d", ErrUnknownPeer, ErrPeerUnreachable, to)
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
@@ -183,17 +208,58 @@ func (e *ChanEndpoint) dispatch(from NodeID, typ uint8, payload []byte) {
 // A->B), so per-sender FIFO order is TCP's own ordering.
 const frameHeaderLen = 5
 
+// MeshTimeouts bounds how long TCPMesh operations may block so one
+// dead peer cannot wedge a sender (the prototype's writev could; a
+// production mesh must not).
+type MeshTimeouts struct {
+	// Dial bounds connection establishment (default 2s).
+	Dial time.Duration
+	// Write bounds each frame write (default 5s).
+	Write time.Duration
+	// Retries is how many times Send re-attempts after a dial or write
+	// failure before giving up (default 2).
+	Retries int
+	// Backoff is the initial delay between attempts, doubling each
+	// retry (default 10ms).
+	Backoff time.Duration
+}
+
+func (t *MeshTimeouts) fill() {
+	if t.Dial <= 0 {
+		t.Dial = 2 * time.Second
+	}
+	if t.Write <= 0 {
+		t.Write = 5 * time.Second
+	}
+	if t.Retries < 0 {
+		t.Retries = 0
+	} else if t.Retries == 0 {
+		t.Retries = 2
+	}
+	if t.Backoff <= 0 {
+		t.Backoff = 10 * time.Millisecond
+	}
+}
+
+// peerLink is one outgoing connection with its own lock, so a stalled
+// or dialing peer serializes only senders to that peer, not the mesh.
+type peerLink struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
 // TCPMesh is a Transport over real TCP connections.
 type TCPMesh struct {
-	self  NodeID
-	ln    net.Listener
-	peers map[NodeID]string // peer id -> dial address
+	self NodeID
+	ln   net.Listener
+	tmo  MeshTimeouts
 
 	hmu      sync.RWMutex
 	handlers [maxHandlers]Handler
 
 	cmu      sync.Mutex
-	conns    map[NodeID]net.Conn // outgoing connections
+	peers    map[NodeID]string // peer id -> dial address
+	links    map[NodeID]*peerLink
 	accepted map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
@@ -205,6 +271,12 @@ type TCPMesh struct {
 // "127.0.0.1:0" for tests) with the given peer address map. Handlers
 // should be registered before traffic starts.
 func NewTCPMesh(self NodeID, listenAddr string, peers map[NodeID]string) (*TCPMesh, error) {
+	return NewTCPMeshTimeouts(self, listenAddr, peers, MeshTimeouts{})
+}
+
+// NewTCPMeshTimeouts is NewTCPMesh with explicit timeout/retry bounds.
+func NewTCPMeshTimeouts(self NodeID, listenAddr string, peers map[NodeID]string, tmo MeshTimeouts) (*TCPMesh, error) {
+	tmo.fill()
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: listen %s: %w", listenAddr, err)
@@ -212,8 +284,9 @@ func NewTCPMesh(self NodeID, listenAddr string, peers map[NodeID]string) (*TCPMe
 	m := &TCPMesh{
 		self:     self,
 		ln:       ln,
+		tmo:      tmo,
 		peers:    peers,
-		conns:    map[NodeID]net.Conn{},
+		links:    map[NodeID]*peerLink{},
 		accepted: map[net.Conn]struct{}{},
 		closed:   make(chan struct{}),
 	}
@@ -237,6 +310,8 @@ func (m *TCPMesh) Handle(typ uint8, h Handler) {
 
 // Peers implements Transport.
 func (m *TCPMesh) Peers() []NodeID {
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
 	out := make([]NodeID, 0, len(m.peers))
 	for id := range m.peers {
 		if id != m.self {
@@ -246,69 +321,114 @@ func (m *TCPMesh) Peers() []NodeID {
 	return out
 }
 
-// SetPeer adds or updates a peer address (before traffic to it starts).
+// SetPeer adds or updates a peer address. Updating an address drops
+// any established connection so the next Send dials the new one (used
+// when a crashed node restarts on a fresh port).
 func (m *TCPMesh) SetPeer(id NodeID, addr string) {
 	m.cmu.Lock()
-	defer m.cmu.Unlock()
+	changed := m.peers[id] != addr
 	m.peers[id] = addr
+	pl := m.links[id]
+	m.cmu.Unlock()
+	if changed && pl != nil {
+		pl.mu.Lock()
+		if pl.c != nil {
+			pl.c.Close()
+			pl.c = nil
+		}
+		pl.mu.Unlock()
+	}
 }
 
-// Send implements Transport, dialing the peer on first use.
+// Send implements Transport, dialing the peer on first use. Dials and
+// writes are bounded by the mesh timeouts, and transient failures are
+// retried with exponential backoff, so a dead peer costs a bounded
+// error instead of wedging the sender forever.
 func (m *TCPMesh) Send(to NodeID, typ uint8, payload []byte) error {
-	select {
-	case <-m.closed:
-		return ErrClosed
-	default:
+	var lastErr error
+	backoff := m.tmo.Backoff
+	for attempt := 0; attempt <= m.tmo.Retries; attempt++ {
+		select {
+		case <-m.closed:
+			return ErrClosed
+		default:
+		}
+		if attempt > 0 {
+			select {
+			case <-m.closed:
+				return ErrClosed
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		lastErr = m.trySend(to, typ, payload)
+		if lastErr == nil {
+			return nil
+		}
+		if errors.Is(lastErr, ErrUnknownPeer) || errors.Is(lastErr, ErrClosed) {
+			return lastErr
+		}
 	}
-	conn, err := m.conn(to)
+	return lastErr
+}
+
+// link returns (creating if needed) the outgoing link state for a
+// configured peer, plus its current dial address.
+func (m *TCPMesh) link(to NodeID) (*peerLink, string, error) {
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	addr, ok := m.peers[to]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	pl, ok := m.links[to]
+	if !ok {
+		pl = &peerLink{}
+		m.links[to] = pl
+	}
+	return pl, addr, nil
+}
+
+func (m *TCPMesh) trySend(to NodeID, typ uint8, payload []byte) error {
+	pl, addr, err := m.link(to)
 	if err != nil {
 		return err
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.c == nil {
+		c, err := net.DialTimeout("tcp", addr, m.tmo.Dial)
+		if err != nil {
+			return fmt.Errorf("netproto: dial %d at %s: %w (%v)", to, addr, ErrPeerUnreachable, err)
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(m.self))
+		c.SetWriteDeadline(time.Now().Add(m.tmo.Write))
+		if _, err := c.Write(hello[:]); err != nil {
+			c.Close()
+			return fmt.Errorf("netproto: hello to %d: %w (%v)", to, ErrLinkClosed, err)
+		}
+		c.SetWriteDeadline(time.Time{})
+		pl.c = c
 	}
 	hdr := make([]byte, frameHeaderLen)
 	binary.LittleEndian.PutUint32(hdr, uint32(1+len(payload)))
 	hdr[4] = typ
-	m.cmu.Lock()
-	defer m.cmu.Unlock()
-	if _, err := conn.Write(hdr); err != nil {
-		delete(m.conns, to)
-		conn.Close()
-		return fmt.Errorf("netproto: send to %d: %w", to, err)
-	}
+	bufs := net.Buffers{hdr}
 	if len(payload) > 0 {
-		if _, err := conn.Write(payload); err != nil {
-			delete(m.conns, to)
-			conn.Close()
-			return fmt.Errorf("netproto: send to %d: %w", to, err)
-		}
+		bufs = append(bufs, payload)
 	}
+	pl.c.SetWriteDeadline(time.Now().Add(m.tmo.Write))
+	if _, err := bufs.WriteTo(pl.c); err != nil {
+		pl.c.Close()
+		pl.c = nil
+		return fmt.Errorf("netproto: send to %d: %w (%v)", to, ErrLinkClosed, err)
+	}
+	pl.c.SetWriteDeadline(time.Time{})
 	return nil
-}
-
-func (m *TCPMesh) conn(to NodeID) (net.Conn, error) {
-	m.cmu.Lock()
-	defer m.cmu.Unlock()
-	if c, ok := m.conns[to]; ok {
-		return c, nil
-	}
-	addr, ok := m.peers[to]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, to)
-	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("netproto: dial %d at %s: %w", to, addr, err)
-	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(m.self))
-	if _, err := c.Write(hello[:]); err != nil {
-		c.Close()
-		return nil, err
-	}
-	m.conns[to] = c
-	return c, nil
 }
 
 func (m *TCPMesh) acceptLoop() {
@@ -407,14 +527,23 @@ func (m *TCPMesh) Close() error {
 		close(m.closed)
 		m.ln.Close()
 		m.cmu.Lock()
-		for id, c := range m.conns {
-			c.Close()
-			delete(m.conns, id)
+		links := make([]*peerLink, 0, len(m.links))
+		for id, pl := range m.links {
+			links = append(links, pl)
+			delete(m.links, id)
 		}
 		for c := range m.accepted {
 			c.Close()
 		}
 		m.cmu.Unlock()
+		for _, pl := range links {
+			pl.mu.Lock()
+			if pl.c != nil {
+				pl.c.Close()
+				pl.c = nil
+			}
+			pl.mu.Unlock()
+		}
 	})
 	m.wg.Wait()
 	return nil

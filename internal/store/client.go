@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
@@ -18,40 +19,117 @@ import (
 // directly, and LogDevice returns a wal.Device view of one node's log
 // on the server. A Client serializes its requests over a single TCP
 // connection, like a single NFS mount in the prototype.
+//
+// A failover client (DialFailover) carries an ordered address list —
+// primary first, then backups. A request that fails at the transport
+// level is retried: first on a fresh connection to the same address
+// (transient drop), then against each successor address (dead server,
+// promote the backup). Server-reported errors never fail over. Note
+// the at-least-once consequence: an append whose response was lost
+// may be retried against a server that already applied it, so log
+// replay (merge, catch-up) deduplicates records by (node, commit-seq).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu    sync.Mutex
+	conn  net.Conn
+	addrs []string // failover list; empty for a plain Dial client
+	cur   int      // index into addrs currently connected
 }
+
+const dialTimeout = 2 * time.Second
 
 // Dial connects to a storage server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialStore(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// DialFailover connects to the first reachable address and arms
+// transparent failover across the rest (primary/backup mirroring:
+// clients re-home to the backup when the primary dies).
+func DialFailover(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("store: DialFailover needs at least one address")
+	}
+	var lastErr error
+	for i, addr := range addrs {
+		conn, err := dialStore(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &Client{conn: conn, addrs: addrs, cur: i}, nil
+	}
+	return nil, lastErr
+}
+
+func dialStore(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("store: dial %s: %w", addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &Client{conn: conn}, nil
+	return conn, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
 }
 
-// call performs one request/response round trip.
-func (c *Client) call(op uint8, body []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// roundTrip performs one request/response exchange on the current
+// connection. Any error it returns is a transport failure.
+func (c *Client) roundTrip(op uint8, body []byte) ([]byte, error) {
+	if c.conn == nil {
+		return nil, errors.New("store: not connected")
+	}
 	if err := writeReq(c.conn, op, body); err != nil {
 		return nil, fmt.Errorf("store: send: %w", err)
 	}
 	resp, err := readMsg(c.conn)
 	if err != nil {
 		return nil, fmt.Errorf("store: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// call performs one request/response round trip, failing over across
+// the configured address list on transport errors.
+func (c *Client) call(op uint8, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(op, body)
+	if err != nil && len(c.addrs) > 0 {
+		// Attempt 0 re-dials the current address; each further attempt
+		// advances to the next one in the ring.
+		for attempt := 0; attempt <= len(c.addrs) && err != nil; attempt++ {
+			if c.conn != nil {
+				c.conn.Close()
+				c.conn = nil
+			}
+			if attempt > 0 {
+				c.cur = (c.cur + 1) % len(c.addrs)
+			}
+			conn, derr := dialStore(c.addrs[c.cur])
+			if derr != nil {
+				err = derr
+				continue
+			}
+			c.conn = conn
+			resp, err = c.roundTrip(op, body)
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	if len(resp) == 0 {
 		return nil, errors.New("store: empty response")

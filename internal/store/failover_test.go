@@ -1,0 +1,146 @@
+package store
+
+import (
+	"testing"
+
+	"lbc/internal/chaos"
+	"lbc/internal/wal"
+)
+
+// mkRec builds a committed record with a distinguishable identity.
+func mkRec(node uint32, seq uint64) *wal.TxRecord {
+	return &wal.TxRecord{
+		Node: node, TxSeq: seq,
+		Ranges: []wal.RangeRec{{Region: 1, Off: seq * 8, Data: []byte("payload!")}},
+	}
+}
+
+// TestFailoverClientSurvivesConnectionDrops drives appends through a
+// proxy that keeps severing the connection, then kills the primary
+// outright. Every append acknowledged to the client must be on the
+// backup afterwards: mirroring is synchronous, so committed log
+// records survive both transient drops and primary death.
+func TestFailoverClientSurvivesConnectionDrops(t *testing.T) {
+	pair, err := NewReplicaPair("127.0.0.1:0", "127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	proxy, err := chaos.NewProxy(pair.Primary.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cli, err := DialFailover(proxy.Addr(), pair.Backup.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	dev := cli.LogDevice(7)
+
+	const total = 30
+	var committed []uint64
+	append1 := func(seq uint64) {
+		t.Helper()
+		buf := wal.AppendStandard(nil, mkRec(7, seq))
+		if _, err := dev.Append(buf); err != nil {
+			t.Fatalf("append %d: %v", seq, err)
+		}
+		committed = append(committed, seq)
+	}
+
+	for seq := uint64(1); seq <= 10; seq++ {
+		append1(seq)
+	}
+	// Transient drops: every third append runs into a freshly severed
+	// connection and must succeed via redial.
+	for seq := uint64(11); seq <= 20; seq++ {
+		if seq%3 == 0 {
+			proxy.Cut()
+		}
+		append1(seq)
+	}
+	// Primary death: the client's address ring takes it to the backup.
+	proxy.Close()
+	pair.FailPrimary()
+	for seq := uint64(21); seq <= total; seq++ {
+		append1(seq)
+	}
+
+	blog, err := pair.Backup.Log(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, err := wal.ReadDevice(blog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for _, tx := range txs {
+		if tx.Node != 7 {
+			t.Fatalf("foreign record %d/%d in log", tx.Node, tx.TxSeq)
+		}
+		seen[tx.TxSeq]++
+	}
+	for _, seq := range committed {
+		if seen[seq] == 0 {
+			t.Errorf("committed record seq %d lost from backup log", seq)
+		}
+	}
+	if len(committed) != total {
+		t.Fatalf("driver committed %d, want %d", len(committed), total)
+	}
+}
+
+// TestDialFailoverSkipsDeadPrimary connects when the first address is
+// already dead.
+func TestDialFailoverSkipsDeadPrimary(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialFailover("127.0.0.1:1", srv.Addr())
+	if err != nil {
+		t.Fatalf("failover dial: %v", err)
+	}
+	defer cli.Close()
+	if err := cli.Sync(); err != nil {
+		t.Fatalf("call through failover client: %v", err)
+	}
+}
+
+// TestDialFailoverNeedsAddrs pins the empty-list error.
+func TestDialFailoverNeedsAddrs(t *testing.T) {
+	if _, err := DialFailover(); err == nil {
+		t.Fatal("DialFailover() accepted an empty address list")
+	}
+}
+
+// TestPlainClientDoesNotFailover: a Dial client keeps its
+// single-connection semantics — a severed connection is a hard error.
+func TestPlainClientDoesNotFailover(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := chaos.NewProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	cli, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	proxy.Cut()
+	if err := cli.Sync(); err == nil {
+		t.Fatal("plain client survived a severed connection")
+	}
+}

@@ -138,3 +138,36 @@ func TestSoakMixedWorkload(t *testing.T) {
 		t.Fatal("checkpoint + merged-log recovery diverged from caches")
 	}
 }
+
+// TestSoakChaosSchedule runs the full chaos scenario suite back to
+// back on consecutive seeds — a short deterministic soak of the fault
+// paths: partition heal, crash/restart catch-up, storage failover.
+// Each scenario asserts its own invariants; this test additionally
+// pins reproducibility by replaying the first seed and comparing
+// digests.
+func TestSoakChaosSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	const baseSeed = int64(7000)
+	for _, sc := range ChaosScenarios() {
+		var first *ChaosReport
+		for r := int64(0); r < 3; r++ {
+			rep, err := RunChaosScenario(sc, baseSeed+r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r == 0 {
+				first = rep
+			}
+		}
+		replay, err := RunChaosScenario(sc, baseSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.Digest != first.Digest {
+			t.Fatalf("%s seed %d replay digest %016x != %016x",
+				sc, baseSeed, replay.Digest, first.Digest)
+		}
+	}
+}
