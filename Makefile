@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench table2 table3 figures examples clean
+.PHONY: all build vet test race chaos bench bench-commit table2 table3 figures examples clean
 
 all: build vet test
 
@@ -27,6 +27,10 @@ chaos:
 # Full benchmark sweep (every table and figure + ablations).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Group-commit throughput sweep: per-tx fsync vs shared Append+Sync.
+bench-commit:
+	$(GO) run ./cmd/commitbench -o BENCH_commit.json
 
 # Individual experiments.
 table2:

@@ -166,7 +166,7 @@ func chaosConverge(c *Cluster) error {
 // scenarios share.
 func chaosCluster(inj *chaos.Injector) (*Cluster, error) {
 	c, err := NewLocalCluster(3, WithStore(), WithChaos(inj),
-		WithAcquireTimeout(10*time.Second))
+		WithAcquireTimeout(10*time.Second), WithGroupCommit())
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +424,7 @@ func chaosStoreFailover(seed int64) (*ChaosReport, error) {
 	}
 	defer cli.Close()
 
-	r, err := rvm.Open(rvm.Options{Node: 1, Log: cli.LogDevice(1), Data: cli})
+	r, err := rvm.Open(rvm.Options{Node: 1, Log: cli.LogDevice(1), Data: cli, GroupCommit: true})
 	if err != nil {
 		return nil, err
 	}

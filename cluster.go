@@ -32,6 +32,7 @@ type clusterConfig struct {
 	diskLogDir  string
 	inj         *chaos.Injector
 	acqTimeout  time.Duration
+	groupCommit bool
 }
 
 // WithTCP connects the nodes over real loopback TCP sockets instead of
@@ -125,6 +126,14 @@ func WithChaos(in *chaos.Injector) Option {
 // chaos harnesses to surface deadlocks as test failures).
 func WithAcquireTimeout(d time.Duration) Option {
 	return func(c *clusterConfig) { c.acqTimeout = d }
+}
+
+// WithGroupCommit enables the group-commit pipeline on every node:
+// concurrent flush-mode committers share one log Append+Sync
+// (wal.GroupWriter), and eager update broadcasts ship as one
+// multi-record frame per peer per batch.
+func WithGroupCommit() Option {
+	return func(c *clusterConfig) { c.groupCommit = true }
 }
 
 // Cluster is a set of in-process nodes for experiments, examples, and
@@ -299,6 +308,7 @@ func (c *Cluster) startNode(i int, restart bool) error {
 	r, err := rvm.Open(rvm.Options{
 		Node: uint32(id), Log: log, Data: data,
 		Policy: cfg.policy, ResumeLog: restart,
+		GroupCommit: cfg.groupCommit,
 	})
 	if err != nil {
 		return err
@@ -316,6 +326,7 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		CheckLocks:     cfg.checkLocks,
 		PullOnStall:    cfg.inj != nil && cfg.useStore,
 		AcquireTimeout: cfg.acqTimeout,
+		BatchUpdates:   cfg.groupCommit,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,66 @@
+// Command commitbench measures flush-mode commit throughput with and
+// without the group-commit pipeline across a sweep of concurrent
+// committers, writing the trajectory to BENCH_commit.json. Each
+// committer runs flush-mode transactions against one RVM instance
+// logging to a real file, so per-transaction mode pays one fsync per
+// commit while group mode shares a batched Append+Sync.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_commit.json", "output JSON path")
+	levels := flag.String("committers", "1,2,4,8,16", "comma-separated concurrency levels")
+	txPer := flag.Int("tx", 200, "transactions per committer")
+	payload := flag.Int("payload", 256, "payload bytes per transaction")
+	dir := flag.String("dir", "", "log directory (default: a temp dir)")
+	flag.Parse()
+
+	var committers []int
+	for _, s := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "commitbench: bad concurrency level %q\n", s)
+			os.Exit(1)
+		}
+		committers = append(committers, n)
+	}
+
+	logDir := *dir
+	if logDir == "" {
+		td, err := os.MkdirTemp("", "commitbench-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commitbench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(td)
+		logDir = td
+	}
+
+	res, err := bench.RunCommitBench(logDir, committers, *txPer, *payload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commitbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%10s %16s %16s %8s %14s %12s\n",
+		"committers", "per-tx commits/s", "group commits/s", "speedup", "group batches", "group syncs")
+	for _, pt := range res.Points {
+		fmt.Printf("%10d %16.0f %16.0f %7.2fx %14d %12d\n",
+			pt.Committers, pt.PerTxPerSec, pt.GroupPerSec, pt.Speedup, pt.GroupBatches, pt.GroupSyncs)
+	}
+
+	if err := bench.WriteCommitBench(res, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "commitbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

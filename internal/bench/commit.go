@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Commit-throughput experiment for the group-commit pipeline: N
+// concurrent committers run flush-mode transactions against one RVM
+// instance logging to a real file, once with the per-transaction
+// Writer (every commit pays its own fsync) and once with the
+// GroupWriter (committers share a batched Append+Sync). The ratio is
+// the pipeline's win; it should exceed 1 once committers outnumber the
+// device's serial force throughput.
+
+// CommitPoint is one concurrency level's measurement.
+type CommitPoint struct {
+	Committers  int     `json:"committers"`
+	PerTxPerSec float64 `json:"per_tx_commits_per_sec"`
+	GroupPerSec float64 `json:"group_commits_per_sec"`
+	Speedup     float64 `json:"speedup"`
+
+	GroupBatches      int64 `json:"group_batches"`
+	GroupBatchRecords int64 `json:"group_batch_records"`
+	GroupSyncs        int64 `json:"group_syncs"`
+	PerTxSyncs        int64 `json:"per_tx_syncs"`
+}
+
+// CommitBench is the BENCH_commit.json document.
+type CommitBench struct {
+	Bench       string        `json:"bench"`
+	Payload     int           `json:"payload_bytes"`
+	TxPerWorker int           `json:"tx_per_worker"`
+	Points      []CommitPoint `json:"points"`
+}
+
+// RunCommitBench measures per-tx fsync vs group commit at each
+// concurrency level, logging to fresh file devices under dir.
+func RunCommitBench(dir string, committers []int, txPerWorker, payload int) (*CommitBench, error) {
+	out := &CommitBench{Bench: "commit", Payload: payload, TxPerWorker: txPerWorker}
+	for _, k := range committers {
+		var pt CommitPoint
+		pt.Committers = k
+		for _, group := range []bool{false, true} {
+			perSec, stats, err := runCommitLevel(dir, k, txPerWorker, payload, group)
+			if err != nil {
+				return nil, err
+			}
+			if group {
+				pt.GroupPerSec = perSec
+				pt.GroupBatches = stats.Counter(metrics.CtrGroupBatches)
+				pt.GroupBatchRecords = stats.Counter(metrics.CtrGroupBatchRecords)
+				pt.GroupSyncs = stats.Counter(metrics.CtrGroupSyncs)
+			} else {
+				pt.PerTxPerSec = perSec
+				pt.PerTxSyncs = stats.Counter(metrics.CtrLogFlushes)
+			}
+		}
+		if pt.PerTxPerSec > 0 {
+			pt.Speedup = pt.GroupPerSec / pt.PerTxPerSec
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// runCommitLevel times k workers each committing txPerWorker flush-mode
+// transactions of payload bytes at disjoint offsets.
+func runCommitLevel(dir string, k, txPerWorker, payload int, group bool) (float64, *metrics.Stats, error) {
+	mode := "pertx"
+	if group {
+		mode = "group"
+	}
+	dev, err := wal.OpenFileDevice(filepath.Join(dir, fmt.Sprintf("commit-%s-%d.log", mode, k)))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer dev.Close()
+	stats := metrics.NewStats()
+	r, err := rvm.Open(rvm.Options{Node: 1, Log: dev, Stats: stats, GroupCommit: group})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer r.Close()
+
+	stride := txPerWorker * payload
+	reg, err := r.Map(1, k*stride)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+	start := time.Now()
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txPerWorker; i++ {
+				tx := r.Begin(rvm.NoRestore)
+				off := uint64(w*stride + i*payload)
+				if err := tx.SetRange(reg, off, uint32(payload)); err != nil {
+					errs <- err
+					return
+				}
+				copy(reg.Bytes()[off:], []byte{byte(w), byte(i)})
+				if _, err := tx.Commit(rvm.Flush); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, nil, err
+	default:
+	}
+	total := float64(k * txPerWorker)
+	return total / elapsed.Seconds(), stats, nil
+}
+
+// WriteCommitBench writes the document to path as indented JSON.
+func WriteCommitBench(b *CommitBench, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestCommitBenchSmoke(t *testing.T) {
+	b, err := RunCommitBench(t.TempDir(), []int{2}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(b.Points))
+	}
+	pt := b.Points[0]
+	if pt.PerTxPerSec <= 0 || pt.GroupPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", pt)
+	}
+	if pt.GroupBatchRecords != 2*4 {
+		t.Fatalf("group batch records = %d, want %d", pt.GroupBatchRecords, 2*4)
+	}
+	if pt.PerTxSyncs != 2*4 {
+		t.Fatalf("per-tx syncs = %d, want %d", pt.PerTxSyncs, 2*4)
+	}
+	if pt.GroupSyncs > pt.PerTxSyncs {
+		t.Fatalf("group syncs %d exceed per-tx syncs %d", pt.GroupSyncs, pt.PerTxSyncs)
+	}
+}

@@ -85,10 +85,13 @@ func (n *Node) applier() {
 					progress = true
 				} else if !n.stale(rec, appliedTx) {
 					keep = append(keep, rec)
+				} else {
+					n.stats.Add("records_stale", 1)
 				}
 			}
 			parked = keep
 			if !progress {
+				n.parked.Store(int64(len(parked)))
 				return
 			}
 		}
@@ -191,6 +194,12 @@ func (n *Node) apply(rec *wal.TxRecord, appliedTx map[uint32]uint64) {
 	n.stats.Add(metrics.CtrRecordsApplied, 1)
 	n.stats.Add(metrics.CtrBytesApplied, int64(bytes))
 }
+
+// Parked reports how many received records the applier currently holds
+// waiting for their per-lock predecessors (the §3.4 interlock). Tests
+// use it as a deterministic signal that an out-of-order record has been
+// processed and parked.
+func (n *Node) Parked() int { return int(n.parked.Load()) }
 
 // poke nudges the applier to retry parked records (after a local
 // commit advances applied sequences).

@@ -1,0 +1,161 @@
+package coherency
+
+import (
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/wal"
+)
+
+// Network half of the group-commit pipeline: with Options.BatchUpdates
+// set, eager broadcasts are queued and a sender goroutine ships one
+// MsgUpdateBatch frame per peer per drain instead of one transport
+// message per transaction. Batch frames carry format-tagged records
+// (compressed or standard), so the per-record fallback for
+// wal.ErrTooLarge composes with batching.
+//
+// Ordering: records enter the queue in commit order, before their locks
+// are released (Tx.Commit calls broadcast before Release), and flushSends
+// preserves queue order within each peer's frame. The receiver decodes a
+// frame's records in order and hands them to the applier, whose per-lock
+// sequence interlock is the actual ordering authority — cross-frame or
+// cross-peer reordering parks records exactly as it does for unbatched
+// delivery.
+
+// Per-record format tags inside a batch frame.
+const (
+	batchFmtCompressed byte = 0
+	batchFmtStandard   byte = 1
+)
+
+// outMsg is one queued broadcast: an encoded, format-tagged record and
+// the peers it targets.
+type outMsg struct {
+	payload []byte
+	peers   []netproto.NodeID
+}
+
+// encodeRecord encodes rec in the node's wire format, returning the
+// message and its type code. Records too large for the compressed
+// format fall back to the standard encoding.
+func (n *Node) encodeRecord(rec *wal.TxRecord) ([]byte, uint8) {
+	if n.wire != Standard {
+		msg, err := wal.AppendCompressed(nil, rec)
+		if err == nil {
+			return msg, MsgUpdate
+		}
+		n.stats.Add("compress_fallbacks", 1)
+	}
+	return wal.AppendStandard(nil, rec), MsgUpdateStd
+}
+
+// enqueueBroadcast queues rec for the sender goroutine.
+func (n *Node) enqueueBroadcast(rec *wal.TxRecord) {
+	peers := n.peersForRecord(rec)
+	if len(peers) == 0 {
+		return
+	}
+	msg, typ := n.encodeRecord(rec)
+	tag := batchFmtCompressed
+	if typ == MsgUpdateStd {
+		tag = batchFmtStandard
+	}
+	payload := make([]byte, 0, 1+len(msg))
+	payload = append(payload, tag)
+	payload = append(payload, msg...)
+
+	n.sendMu.Lock()
+	n.sendQ = append(n.sendQ, outMsg{payload: payload, peers: peers})
+	n.sendMu.Unlock()
+	select {
+	case n.sendWake <- struct{}{}:
+	default:
+	}
+}
+
+// sender drains the broadcast queue, one batch frame per peer per drain.
+// Batch boundaries form naturally: every commit that lands while the
+// previous drain's sends are in flight joins the next frame.
+func (n *Node) sender() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.sendWake:
+			n.flushSends()
+		case <-n.done:
+			n.flushSends()
+			return
+		}
+	}
+}
+
+// flushSends takes the current queue and ships it: records are grouped
+// per peer in queue order and each peer receives a single batch frame.
+func (n *Node) flushSends() {
+	n.sendMu.Lock()
+	q := n.sendQ
+	n.sendQ = nil
+	n.sendMu.Unlock()
+	if len(q) == 0 {
+		return
+	}
+
+	perPeer := map[netproto.NodeID][][]byte{}
+	var order []netproto.NodeID
+	for _, m := range q {
+		for _, p := range m.peers {
+			if perPeer[p] == nil {
+				order = append(order, p)
+			}
+			perPeer[p] = append(perPeer[p], m.payload)
+		}
+	}
+
+	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
+	defer tm.Stop()
+	for _, p := range order {
+		frame := netproto.AppendBatch(nil, perPeer[p])
+		if err := n.tr.Send(p, MsgUpdateBatch, frame); err != nil {
+			n.stats.Add("send_errors", 1)
+			continue
+		}
+		n.stats.Add(metrics.CtrMsgsSent, 1)
+		n.stats.Add(metrics.CtrBytesSent, int64(len(frame)))
+		n.stats.Add("batch_frames", 1)
+		n.stats.Add("batch_records", int64(len(perPeer[p])))
+	}
+}
+
+// onUpdateBatch decodes a batch frame and feeds its records to the
+// applier in frame order.
+func (n *Node) onUpdateBatch(from netproto.NodeID, payload []byte) {
+	parts, err := netproto.SplitBatch(payload)
+	if err != nil {
+		n.stats.Add("decode_errors", 1)
+		return
+	}
+	for _, part := range parts {
+		if len(part) < 1 {
+			n.stats.Add("decode_errors", 1)
+			return
+		}
+		switch part[0] {
+		case batchFmtCompressed:
+			rec, err := wal.DecodeCompressed(part[1:])
+			if err != nil {
+				n.stats.Add("decode_errors", 1)
+				return
+			}
+			n.enqueue(copyRecord(rec))
+		case batchFmtStandard:
+			rec, _, err := wal.DecodeStandard(part[1:])
+			if err != nil {
+				n.stats.Add("decode_errors", 1)
+				return
+			}
+			n.enqueue(rec) // DecodeStandard already copies data
+		default:
+			n.stats.Add("decode_errors", 1)
+			return
+		}
+	}
+}

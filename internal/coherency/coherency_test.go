@@ -146,7 +146,10 @@ func TestOutOfOrderArrivalIsHeld(t *testing.T) {
 		Ranges: []wal.RangeRec{{Region: 1, Off: 0, Data: []byte("2222")}},
 	}
 	n.enqueue(copyRecord(rec2)) // arrives first, must wait
-	time.Sleep(10 * time.Millisecond)
+	// The Parked gauge is the applier's signal that it has processed
+	// the record and shelved it behind the missing predecessor — a
+	// deterministic stand-in for "give the applier time to misapply".
+	waitFor(t, func() bool { return n.Parked() == 1 })
 	if got := region(t, n).Bytes()[:4]; string(got) == "2222" {
 		t.Fatal("record 2 applied before its predecessor")
 	}
@@ -179,7 +182,9 @@ func TestDuplicateRecordsIgnored(t *testing.T) {
 	n.enqueue(copyRecord(rec))
 	n.enqueue(copyRecord(rec))
 	waitFor(t, func() bool { return n.Stats().Counter(metrics.CtrRecordsApplied) >= 1 })
-	time.Sleep(10 * time.Millisecond)
+	// The duplicate is accounted as stale when the applier discards
+	// it; waiting on the counter replaces a timing-based sleep.
+	waitFor(t, func() bool { return n.Stats().Counter("records_stale") >= 1 })
 	if got := n.Stats().Counter(metrics.CtrRecordsApplied); got != 1 {
 		t.Fatalf("applied %d times", got)
 	}

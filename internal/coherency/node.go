@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lbc/internal/lockmgr"
@@ -38,9 +39,10 @@ import (
 
 // Message type codes on the transport (0x20-0x2F reserved here).
 const (
-	MsgUpdate    uint8 = 0x20 // compressed coherency record
-	MsgUpdateStd uint8 = 0x21 // standard-encoded record (header ablation)
-	MsgMapRegion uint8 = 0x22 // {region u32}: sender has region mapped
+	MsgUpdate      uint8 = 0x20 // compressed coherency record
+	MsgUpdateStd   uint8 = 0x21 // standard-encoded record (header ablation)
+	MsgMapRegion   uint8 = 0x22 // {region u32}: sender has region mapped
+	MsgUpdateBatch uint8 = 0x25 // batch frame of format-tagged records (0x23/0x24 are checkpoint)
 )
 
 // Propagation selects when committed log tails travel to peers (§2.2).
@@ -140,6 +142,12 @@ type Options struct {
 	// cannot complete (token holder unreachable) fail with
 	// lockmgr.ErrAcquireTimeout instead of blocking forever.
 	AcquireTimeout time.Duration
+	// BatchUpdates routes eager broadcasts through a sender goroutine
+	// that ships one MsgUpdateBatch frame per peer per batch instead of
+	// one message per transaction — the network half of the group-commit
+	// pipeline. Receiver-side ordering is unchanged: batched records go
+	// through the same per-lock sequence interlock.
+	BatchUpdates bool
 }
 
 // Node is one participant in the coherent distributed store.
@@ -156,11 +164,20 @@ type Node struct {
 
 	pullStall  bool
 	acqTimeout time.Duration
+	batch      bool
+
+	// Outgoing batch queue (BatchUpdates). sendMu is leaf-level: never
+	// taken while holding n.mu.
+	sendMu   sync.Mutex
+	sendQ    []outMsg
+	sendWake chan struct{}
+
+	parked atomic.Int64 // applier gauge: records held by the interlock
 
 	mu           sync.Mutex
 	segments     map[uint32]Segment // by lock id
 	regionPeers  map[rvm.RegionID]map[netproto.NodeID]bool
-	peersChanged chan struct{} // closed+replaced when regionPeers grows
+	peersChanged chan struct{}    // closed+replaced when regionPeers grows
 	readPos      map[uint32]int64 // lazy: per-peer log read offset
 	versioned    bool
 	retention    map[uint32]*lockHistory // piggyback: per-lock record history
@@ -213,6 +230,8 @@ func New(opts Options) (*Node, error) {
 		checkLk:      opts.CheckLocks,
 		pullStall:    opts.PullOnStall,
 		acqTimeout:   opts.AcquireTimeout,
+		batch:        opts.BatchUpdates,
+		sendWake:     make(chan struct{}, 1),
 		segments:     map[uint32]Segment{},
 		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
 		peersChanged: make(chan struct{}),
@@ -228,12 +247,17 @@ func New(opts Options) (*Node, error) {
 	n.tr.Handle(MsgUpdate, n.onUpdate)
 	n.tr.Handle(MsgUpdateStd, n.onUpdateStd)
 	n.tr.Handle(MsgMapRegion, n.onMapRegion)
+	n.tr.Handle(MsgUpdateBatch, n.onUpdateBatch)
 	if opts.Propagation == Piggyback {
 		n.locks.SetTokenData(n)
 	}
 	n.initCheckpoint()
 	n.wg.Add(1)
 	go n.applier()
+	if n.batch {
+		n.wg.Add(1)
+		go n.sender()
+	}
 	return n, nil
 }
 

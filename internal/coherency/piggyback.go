@@ -36,6 +36,12 @@ type retainedRec struct {
 	rec      *wal.TxRecord
 }
 
+// stdEncodingBit tags a token-blob record length word whose record is
+// in the standard encoding (fallback for records the compressed format
+// cannot carry). Record lengths are far below 2 GiB, so the high bit of
+// the u32 length is free.
+const stdEncodingBit = uint32(1) << 31
+
 func (n *Node) history(lockID uint32) *lockHistory {
 	h, ok := n.retention[lockID]
 	if !ok {
@@ -135,8 +141,14 @@ func (n *Node) PrepareToken(lockID uint32, to netproto.NodeID) []byte {
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(pending)))
 	buf = append(buf, scratch[:4]...)
 	for _, rr := range pending {
-		enc := wal.AppendCompressed(nil, rr.rec)
-		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
+		enc, err := wal.AppendCompressed(nil, rr.rec)
+		lenWord := uint32(len(enc))
+		if err != nil {
+			enc = wal.AppendStandard(nil, rr.rec)
+			lenWord = uint32(len(enc)) | stdEncodingBit
+			n.stats.Add("compress_fallbacks", 1)
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], lenWord)
 		buf = append(buf, scratch[:4]...)
 		buf = append(buf, enc...)
 	}
@@ -179,18 +191,29 @@ func (n *Node) TokenArrived(lockID uint32, from netproto.NodeID, blob []byte) {
 		if p+4 > len(blob) {
 			return
 		}
-		ln := int(binary.LittleEndian.Uint32(blob[p:]))
+		v := binary.LittleEndian.Uint32(blob[p:])
+		std := v&stdEncodingBit != 0
+		ln := int(v &^ stdEncodingBit)
 		p += 4
 		if p+ln > len(blob) {
 			return
 		}
-		rec, err := wal.DecodeCompressed(blob[p : p+ln])
-		if err != nil {
-			n.stats.Add("decode_errors", 1)
-			return
+		if std {
+			rec, _, err := wal.DecodeStandard(blob[p : p+ln])
+			if err != nil {
+				n.stats.Add("decode_errors", 1)
+				return
+			}
+			recs = append(recs, rec) // DecodeStandard already copies
+		} else {
+			rec, err := wal.DecodeCompressed(blob[p : p+ln])
+			if err != nil {
+				n.stats.Add("decode_errors", 1)
+				return
+			}
+			recs = append(recs, copyRecord(rec)) // blob buffer is transient
 		}
 		p += ln
-		recs = append(recs, copyRecord(rec)) // blob buffer is transient
 	}
 
 	n.mu.Lock()

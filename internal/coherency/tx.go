@@ -269,21 +269,19 @@ func (t *Tx) Abort() error {
 func (n *Node) BroadcastRecord(rec *wal.TxRecord) { n.broadcast(rec) }
 
 // broadcast encodes the record in the configured wire format and sends
-// it to every peer that has any of the modified regions mapped.
+// it to every peer that has any of the modified regions mapped. With
+// BatchUpdates the record is queued for the sender goroutine instead,
+// which ships one multi-record frame per peer per batch.
 func (n *Node) broadcast(rec *wal.TxRecord) {
+	if n.batch {
+		n.enqueueBroadcast(rec)
+		return
+	}
 	peers := n.peersForRecord(rec)
 	if len(peers) == 0 {
 		return
 	}
-	var msg []byte
-	var typ uint8
-	if n.wire == Standard {
-		msg = wal.AppendStandard(nil, rec)
-		typ = MsgUpdateStd
-	} else {
-		msg = wal.AppendCompressed(nil, rec)
-		typ = MsgUpdate
-	}
+	msg, typ := n.encodeRecord(rec)
 	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
 	for _, p := range peers {
 		if err := n.tr.Send(p, typ, msg); err != nil {

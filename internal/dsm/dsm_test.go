@@ -268,7 +268,11 @@ func TestRecordsInteroperateWithWAL(t *testing.T) {
 	e.OnWrite(50, 5)
 	copy(reg.Bytes()[50:], "wire!")
 	rec := &wal.TxRecord{Node: 1, TxSeq: 1, Ranges: e.Commit()}
-	got, err := wal.DecodeCompressed(wal.AppendCompressed(nil, rec))
+	enc, err := wal.AppendCompressed(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wal.DecodeCompressed(enc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,6 +65,14 @@ type lockState struct {
 	lastWrite uint64
 	pendingTo netproto.NodeID // pass token here on release (0 = none)
 	hasPend   bool
+	// writeWaiters counts local goroutines parked in acquire(). A
+	// queued pass must defer to them: the token routed here satisfies
+	// their (earlier) queue position, and they admit even with a pass
+	// pending — forwarding first would steal their turn. Shared
+	// waiters are deliberately excluded: they yield to a pending pass
+	// (anti-starvation) and re-request, so a token arriving with only
+	// shared waiters moves straight on.
+	writeWaiters int
 
 	applied uint64 // highest write seq applied locally (interlock)
 }
@@ -288,6 +296,14 @@ func (m *Manager) acquire(lockID uint32, interlock bool, deadline time.Time) (Gr
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(lockID)
+	st.writeWaiters++
+	defer func() {
+		st.writeWaiters--
+		// A timed-out (or failed) last write waiter may leave a parked
+		// pass on an idle token; nothing else would move it. Runs
+		// before the mutex defer above, so m.mu is still held.
+		m.passIfIdleLocked(st, lockID)
+	}()
 	for {
 		if m.closed {
 			return Grant{}, ErrClosed
@@ -475,16 +491,36 @@ func (m *Manager) handleLockPassLocked(lockID uint32, to netproto.NodeID) {
 		return
 	}
 	st := m.state(lockID)
-	if st.haveToken && !st.held && st.readers == 0 {
-		st.haveToken = false
-		seq, lw := st.seq, st.lastWrite
-		m.mu.Unlock()
-		m.sendToken(to, lockID, seq, lw)
-		m.mu.Lock()
+	// Park the successor, then forward immediately only if the token
+	// is here with nothing local entitled to it. The guard includes
+	// write waiters: a pass can arrive in the window between the token
+	// landing here and a parked local acquirer waking to take its
+	// turn — forwarding in that window steals the waiter's turn and
+	// can strand it behind the successor's unbounded hold.
+	st.pendingTo, st.hasPend = to, true
+	// Wake cond waiters observing lock state (tests park on it waiting
+	// for a successor to be queued; no protocol step needs this).
+	m.cond.Broadcast()
+	m.passIfIdleLocked(st, lockID)
+}
+
+// passIfIdleLocked forwards a parked pass when nothing local can or
+// will consume the token: it is present with no holder, no readers,
+// and no write waiters. (Write waiters admit even with a pass pending
+// and hand the token on at Release; shared waiters yield to a pending
+// pass and re-request after it moves on.) Callers hold m.mu; the send
+// itself runs with the mutex dropped.
+func (m *Manager) passIfIdleLocked(st *lockState, lockID uint32) {
+	if !st.hasPend || !st.haveToken || st.held || st.readers > 0 || st.writeWaiters > 0 {
 		return
 	}
-	// Busy or token still in flight to us: remember the successor.
-	st.pendingTo, st.hasPend = to, true
+	to := st.pendingTo
+	st.hasPend = false
+	st.haveToken = false
+	seq, lw := st.seq, st.lastWrite
+	m.mu.Unlock()
+	m.sendToken(to, lockID, seq, lw)
+	m.mu.Lock()
 }
 
 // onLockToken runs at a requester: the token has arrived.
@@ -507,6 +543,12 @@ func (m *Manager) onLockToken(from netproto.NodeID, payload []byte) {
 	st.seq = seq
 	st.lastWrite = lw
 	m.cond.Broadcast()
+	// A successor's pass can outrun the token (they travel from
+	// different senders); if it did and only shared waiters (or no
+	// one) are parked here, move the token on now — shared waiters
+	// refuse to admit past a pending pass, so no later local event
+	// would forward it.
+	m.passIfIdleLocked(st, lockID)
 	m.mu.Unlock()
 }
 

@@ -28,6 +28,25 @@ func cluster(t *testing.T, n int) []*Manager {
 	return ms
 }
 
+// awaitLockState blocks until pred holds for the lock's state on m,
+// waking on the manager's own cond broadcasts (every protocol step
+// broadcasts, so no polling is involved beyond a safety-net timer).
+func awaitLockState(t *testing.T, m *Manager, lockID uint32, pred func(st *lockState) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(lockID)
+	for !pred(st) {
+		if time.Now().After(deadline) {
+			t.Fatal("lock state condition not reached")
+		}
+		tm := time.AfterFunc(10*time.Millisecond, m.cond.Broadcast)
+		m.cond.Wait()
+		tm.Stop()
+	}
+}
+
 // acquire with a test timeout so protocol bugs fail fast.
 func mustAcquire(t *testing.T, m *Manager, lockID uint32) Grant {
 	t.Helper()
@@ -303,7 +322,9 @@ func TestCloseUnblocksWaiters(t *testing.T) {
 		_, err := ms[1].Acquire(lock)
 		errs <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	// Deterministic: the acquirer marks the lock requested before
+	// parking, so this observes it genuinely waiting.
+	awaitLockState(t, ms[1], lock, func(st *lockState) bool { return st.requested })
 	ms[1].Close()
 	select {
 	case err := <-errs:
@@ -451,6 +472,10 @@ func TestLockWaitCounterAccrues(t *testing.T) {
 			ms[1].Release(2, false)
 		}
 	}()
+	// Deterministic wait for the successor to be queued at the holder —
+	// from here on the acquirer is provably blocked — then hold the lock
+	// a further 20ms as the interval the counter must account for.
+	awaitLockState(t, ms[0], 2, func(st *lockState) bool { return st.hasPend })
 	time.Sleep(20 * time.Millisecond)
 	ms[0].Release(2, false)
 	<-done

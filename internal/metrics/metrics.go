@@ -234,4 +234,10 @@ const (
 	CtrLockAcquires   = "lock_acquires"    // distributed lock acquisitions
 	CtrLockRemote     = "lock_remote_msgs" // lock protocol messages sent
 	CtrLogFlushes     = "log_flushes"      // durable log forces
+
+	// Group-commit pipeline (wal.GroupWriter / coherency batcher).
+	CtrGroupBatches      = "group_batches"       // log batches written
+	CtrGroupBatchRecords = "group_batch_records" // records across all batches
+	CtrGroupBatchBytes   = "group_batch_bytes"   // encoded bytes across all batches
+	CtrGroupSyncs        = "group_syncs"         // shared durable forces
 )

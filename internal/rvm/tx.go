@@ -179,18 +179,22 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 		tx.Locks[i].Wrote = len(tx.Ranges) > 0
 	}
 	tm.Stop()
+	r.mu.Unlock()
 
-	// Durability phase: append to the log; force it in Flush mode.
+	// Durability phase: append to the log; force it in Flush mode. This
+	// runs outside r.mu so concurrent committers can overlap device I/O
+	// (and, with GroupCommit, share one force). Safe because strict 2PL
+	// gives concurrent transactions disjoint ranges, TxSeq was assigned
+	// under r.mu above, and both recovery and merge order records by
+	// (node, TxSeq) rather than by log append order.
 	dt := metrics.StartTimer(r.stats, metrics.PhaseDiskIO)
 	if _, _, err := r.writer.Commit(tx, mode == Flush); err != nil {
-		r.mu.Unlock()
 		return nil, fmt.Errorf("rvm: log append: %w", err)
 	}
 	dt.Stop()
 	if mode == Flush {
 		r.stats.Add(metrics.CtrLogFlushes, 1)
 	}
-	r.mu.Unlock()
 
 	// Coherency phase: hand the committed record to hooks (eager
 	// broadcast happens here). Hooks run outside r.mu so receivers can

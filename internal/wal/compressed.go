@@ -2,8 +2,20 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// ErrTooLarge reports a record that does not fit the compressed
+// encoding's narrow fields (more than 65535 lock records, or a range
+// larger than 4 GiB). Such records are still valid — callers should fall
+// back to the standard encoding, whose fields are wide enough.
+var ErrTooLarge = errors.New("wal: record exceeds compressed encoding limits")
+
+// ErrBadEncoding reports a structurally malformed compressed message:
+// the bytes parse as the right length but violate the format (reserved
+// encoding codes, a delta range before any region id, trailing garbage).
+var ErrBadEncoding = errors.New("wal: malformed compressed encoding")
 
 // Compressed coherency encoding (§3.2). Only the information a peer
 // needs to apply updates is sent: lock records (for ordering) and
@@ -124,7 +136,20 @@ func CompressedHeaderBytes(tx *TxRecord) int {
 // buf. Ranges must be sorted by (Region, Off), which is how the commit
 // path emits them (§3.2: "our modified set_range orders modified ranges
 // by their address").
-func AppendCompressed(buf []byte, tx *TxRecord) []byte {
+//
+// The compressed format stores the lock count in 16 bits and range sizes
+// in at most 32 bits; a record exceeding either limit returns
+// ErrTooLarge (with buf unmodified) and must be sent in the standard
+// encoding instead.
+func AppendCompressed(buf []byte, tx *TxRecord) ([]byte, error) {
+	if len(tx.Locks) > 0xFFFF {
+		return buf, fmt.Errorf("%w: %d lock records (max 65535)", ErrTooLarge, len(tx.Locks))
+	}
+	for i := range tx.Ranges {
+		if uint64(len(tx.Ranges[i].Data)) > 0xFFFFFFFF {
+			return buf, fmt.Errorf("%w: range %d is %d bytes (max 4 GiB)", ErrTooLarge, i, len(tx.Ranges[i].Data))
+		}
+	}
 	var hdr [14]byte
 	binary.LittleEndian.PutUint32(hdr[0:], tx.Node)
 	binary.LittleEndian.PutUint64(hdr[4:], tx.TxSeq)
@@ -194,7 +219,7 @@ func AppendCompressed(buf []byte, tx *TxRecord) []byte {
 		buf = append(buf, r.Data...)
 		prevEnd = r.End()
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeCompressed decodes a compressed coherency message produced by
@@ -224,6 +249,12 @@ func DecodeCompressed(b []byte) (*TxRecord, error) {
 	}
 	nRanges := int(binary.LittleEndian.Uint32(b[p:]))
 	p += 4
+	// Every range occupies at least one flags byte, so a count beyond
+	// the remaining bytes is malformed; checking before the make keeps
+	// a corrupt header from demanding gigabytes.
+	if nRanges > len(b)-p {
+		return nil, ErrTruncated
+	}
 	tx.Ranges = make([]RangeRec, 0, nRanges)
 
 	curRegion := uint32(0)
@@ -244,7 +275,7 @@ func DecodeCompressed(b []byte) (*TxRecord, error) {
 			prevEnd = 0
 			p += 4
 		} else if !haveRegion {
-			return nil, fmt.Errorf("wal: range %d lacks region context", i)
+			return nil, fmt.Errorf("%w: range %d lacks region context", ErrBadEncoding, i)
 		}
 		var off uint64
 		switch (flags >> 1) & 3 {
@@ -267,7 +298,7 @@ func DecodeCompressed(b []byte) (*TxRecord, error) {
 			off = binary.LittleEndian.Uint64(b[p:])
 			p += 8
 		default:
-			return nil, fmt.Errorf("wal: bad address encoding in range %d", i)
+			return nil, fmt.Errorf("%w: bad address encoding in range %d", ErrBadEncoding, i)
 		}
 		var size int
 		switch (flags >> 3) & 3 {
@@ -290,7 +321,7 @@ func DecodeCompressed(b []byte) (*TxRecord, error) {
 			size = int(binary.LittleEndian.Uint32(b[p:]))
 			p += 4
 		default:
-			return nil, fmt.Errorf("wal: bad size encoding in range %d", i)
+			return nil, fmt.Errorf("%w: bad size encoding in range %d", ErrBadEncoding, i)
 		}
 		if p+size > len(b) {
 			return nil, ErrTruncated
@@ -300,7 +331,7 @@ func DecodeCompressed(b []byte) (*TxRecord, error) {
 		prevEnd = off + uint64(size)
 	}
 	if p != len(b) {
-		return nil, fmt.Errorf("wal: %d trailing bytes", len(b)-p)
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(b)-p)
 	}
 	if err := tx.validate(); err != nil {
 		return nil, err

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// boundaryTxs are seed records straddling the compressed encoding's
+// width boundaries: address deltas at the u16/u24 edges (2^16, 2^24)
+// and range sizes at the u8/u16 edges.
+func boundaryTxs() []*TxRecord {
+	deltas := []uint64{0, 1<<16 - 1, 1 << 16, 1<<24 - 1, 1 << 24}
+	var txs []*TxRecord
+	for _, d := range deltas {
+		txs = append(txs, &TxRecord{
+			Node: 1, TxSeq: 1,
+			Ranges: []RangeRec{
+				{Region: 1, Off: 0, Data: make([]byte, 4)},
+				{Region: 1, Off: 4 + d, Data: make([]byte, 4)},
+			},
+		})
+	}
+	for _, sz := range []int{1, 255, 256, 65535, 65536} {
+		txs = append(txs, &TxRecord{
+			Node: 2, TxSeq: 7,
+			Ranges: []RangeRec{{Region: 3, Off: 128, Data: make([]byte, sz)}},
+		})
+	}
+	txs = append(txs, sampleTx())
+	txs = append(txs, &TxRecord{
+		Node: 9, TxSeq: 3,
+		Locks: []LockRec{{LockID: 4, Seq: 11, PrevWriteSeq: 10, Wrote: true}},
+	})
+	return txs
+}
+
+// FuzzCompressedRoundTrip feeds arbitrary bytes to DecodeCompressed:
+// anything it accepts must re-encode and re-decode to the same record,
+// and nothing may panic or misparse silently. The seed corpus pins the
+// delta-width boundaries (2^16, 2^24) and the size-width edges.
+func FuzzCompressedRoundTrip(f *testing.F) {
+	for _, tx := range boundaryTxs() {
+		enc, err := AppendCompressed(nil, tx)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := DecodeCompressed(b)
+		if err != nil {
+			return // rejected input: only the error path matters
+		}
+		enc, err := AppendCompressed(nil, rec)
+		if err != nil {
+			// A decoded record always fits the limits the encoder
+			// enforces (u16 lock count, u32 range sizes).
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		back, err := DecodeCompressed(enc)
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		if !txEqual(rec, back) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, rec)
+		}
+	})
+}
+
+func TestCompressedBoundaryRoundTrips(t *testing.T) {
+	for i, tx := range boundaryTxs() {
+		got, err := DecodeCompressed(mustCompress(t, tx))
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		if !txEqual(got, tx) {
+			t.Fatalf("boundary %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestCompressedRejectsTooManyLocks(t *testing.T) {
+	tx := &TxRecord{Node: 1, TxSeq: 1, Locks: make([]LockRec, 1<<16)}
+	for i := range tx.Locks {
+		tx.Locks[i] = LockRec{LockID: uint32(i), Seq: 1}
+	}
+	if _, err := AppendCompressed(nil, tx); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// The overflow fallback: the standard encoding's u32 lock count
+	// carries the same record losslessly.
+	got, _, err := DecodeStandard(AppendStandard(nil, tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !txEqual(got, tx) {
+		t.Fatal("standard-encoding fallback round trip failed")
+	}
+}
+
+func TestCompressedDecodeTypedErrors(t *testing.T) {
+	// A range record with no preceding region id: flags byte selects
+	// delta-u16 addressing with no region context.
+	enc := mustCompress(t, &TxRecord{Node: 1, TxSeq: 1})
+	// Rewrite nRanges (last 4 bytes of the lock-free header) to 1 and
+	// append a context-free range record.
+	enc[len(enc)-4] = 1
+	enc = append(enc, 0 /* flags: no region, delta16, size8 */, 0, 0 /* delta */, 0 /* size */)
+	_, err := DecodeCompressed(enc)
+	if !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("err = %v, want ErrBadEncoding", err)
+	}
+
+	// Trailing garbage after a well-formed record.
+	enc2 := append(mustCompress(t, sampleTx()), 0xEE)
+	if _, err := DecodeCompressed(enc2); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("trailing bytes: err = %v, want ErrBadEncoding", err)
+	}
+}

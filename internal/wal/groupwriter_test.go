@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowSyncDevice adds latency to Sync, modeling a real disk force. The
+// concurrency test relies on it: while one batch's force is in flight,
+// other committers must pile into the next batch.
+type slowSyncDevice struct {
+	Device
+	delay time.Duration
+}
+
+func (d *slowSyncDevice) Sync() error {
+	time.Sleep(d.delay)
+	return d.Device.Sync()
+}
+
+// failSyncDevice wraps a Device, failing every Sync after arming.
+type failSyncDevice struct {
+	Device
+	mu   sync.Mutex
+	fail bool
+}
+
+func (d *failSyncDevice) arm() {
+	d.mu.Lock()
+	d.fail = true
+	d.mu.Unlock()
+}
+
+func (d *failSyncDevice) Sync() error {
+	d.mu.Lock()
+	fail := d.fail
+	d.mu.Unlock()
+	if fail {
+		return errors.New("injected sync failure")
+	}
+	return d.Device.Sync()
+}
+
+func TestGroupWriterConcurrentCommits(t *testing.T) {
+	dev := NewMemDevice()
+	w := NewGroupWriter(&slowSyncDevice{Device: dev, delay: 200 * time.Microsecond}, GroupConfig{})
+	const workers = 8
+	const perWorker = 50
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := &TxRecord{
+					Node:  uint32(g + 1),
+					TxSeq: uint64(i + 1),
+					Ranges: []RangeRec{
+						{Region: 1, Off: uint64(i) * 8, Data: []byte(fmt.Sprintf("g%02di%02d", g, i))},
+					},
+				}
+				off, n, err := w.Commit(tx, true)
+				if err != nil {
+					t.Errorf("commit g=%d i=%d: %v", g, i, err)
+					return
+				}
+				if off < 0 || n <= 0 {
+					t.Errorf("commit g=%d i=%d: off=%d n=%d", g, i, off, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := w.Entries(); got != workers*perWorker {
+		t.Fatalf("entries = %d, want %d", got, workers*perWorker)
+	}
+	sz, _ := dev.Size()
+	if got := w.Bytes(); got != sz {
+		t.Fatalf("bytes = %d, device size %d", got, sz)
+	}
+
+	// Every record must be readable back, with per-node sequences intact.
+	rc, err := dev.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	txs, torn, _, err := ReadAll(rc, 0)
+	if err != nil || torn {
+		t.Fatalf("ReadAll: err=%v torn=%v", err, torn)
+	}
+	if len(txs) != workers*perWorker {
+		t.Fatalf("read %d records, want %d", len(txs), workers*perWorker)
+	}
+	lastSeq := map[uint32]uint64{}
+	for _, tx := range txs {
+		if tx.TxSeq != lastSeq[tx.Node]+1 {
+			t.Fatalf("node %d: seq %d after %d", tx.Node, tx.TxSeq, lastSeq[tx.Node])
+		}
+		lastSeq[tx.Node] = tx.TxSeq
+	}
+
+	// Group commit's point: strictly fewer device forces than commits.
+	if s := dev.Syncs(); s >= workers*perWorker {
+		t.Fatalf("syncs = %d, want < %d", s, workers*perWorker)
+	}
+}
+
+func TestGroupWriterBatchesShareSyncs(t *testing.T) {
+	// A serial committer gets no batching benefit, but each commit must
+	// still be durable when it returns.
+	dev := NewMemDevice()
+	w := NewGroupWriter(dev, GroupConfig{})
+	for i := 1; i <= 3; i++ {
+		tx := &TxRecord{Node: 1, TxSeq: uint64(i)}
+		if _, _, err := w.Commit(tx, true); err != nil {
+			t.Fatal(err)
+		}
+		sz, _ := dev.Size()
+		dev.CrashUnsynced()
+		if after, _ := dev.Size(); after != sz {
+			t.Fatalf("commit %d not durable: %d bytes after crash, want %d", i, after, sz)
+		}
+	}
+}
+
+func TestGroupWriterNoFlushSkipsSync(t *testing.T) {
+	dev := NewMemDevice()
+	w := NewGroupWriter(dev, GroupConfig{})
+	if _, _, err := w.Commit(&TxRecord{Node: 1, TxSeq: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if s := dev.Syncs(); s != 0 {
+		t.Fatalf("syncs = %d, want 0 for a no-flush commit", s)
+	}
+}
+
+func TestGroupWriterSyncFailure(t *testing.T) {
+	dev := &failSyncDevice{Device: NewMemDevice()}
+	w := NewGroupWriter(dev, GroupConfig{})
+
+	if _, _, err := w.Commit(&TxRecord{Node: 1, TxSeq: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	dev.arm()
+
+	off, n, err := w.Commit(&TxRecord{Node: 1, TxSeq: 2}, true)
+	if !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("err = %v, want ErrSyncFailed", err)
+	}
+	// The record was appended: real offset and size, and accounting
+	// includes it (it occupies log space a recovery scan may replay).
+	if off <= 0 || n <= 0 {
+		t.Fatalf("off=%d n=%d, want the real append position", off, n)
+	}
+	if got := w.Entries(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	sz, _ := dev.Size()
+	if got := w.Bytes(); got != sz {
+		t.Fatalf("bytes = %d, device size %d", got, sz)
+	}
+
+	// A non-flush commit never asked for durability, so a failing Sync
+	// cannot fail it.
+	if _, _, err := w.Commit(&TxRecord{Node: 1, TxSeq: 3}, false); err != nil {
+		t.Fatalf("no-flush commit: %v", err)
+	}
+}
+
+func TestWriterSyncFailure(t *testing.T) {
+	dev := &failSyncDevice{Device: NewMemDevice()}
+	w := NewWriter(dev)
+
+	if _, _, err := w.Commit(&TxRecord{Node: 1, TxSeq: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	dev.arm()
+
+	off, n, err := w.Commit(&TxRecord{Node: 1, TxSeq: 2}, true)
+	if !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("err = %v, want ErrSyncFailed", err)
+	}
+	if off <= 0 || n <= 0 {
+		t.Fatalf("off=%d n=%d, want the real append position", off, n)
+	}
+	if got := w.Entries(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	sz, _ := dev.Size()
+	if got := w.Bytes(); got != sz {
+		t.Fatalf("bytes = %d, device size %d", got, sz)
+	}
+}

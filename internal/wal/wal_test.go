@@ -108,9 +108,20 @@ func TestStandardTruncatedPrefix(t *testing.T) {
 	}
 }
 
+// mustCompress encodes tx with AppendCompressed, failing the test on
+// overflow — for records known to fit the compressed limits.
+func mustCompress(t testing.TB, tx *TxRecord) []byte {
+	t.Helper()
+	enc, err := AppendCompressed(nil, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
 func TestCompressedRoundTrip(t *testing.T) {
 	tx := sampleTx()
-	enc := AppendCompressed(nil, tx)
+	enc := mustCompress(t, tx)
 	if len(enc) != CompressedSize(tx) {
 		t.Fatalf("encoded %d bytes, CompressedSize says %d", len(enc), CompressedSize(tx))
 	}
@@ -163,7 +174,7 @@ func TestCompressedLargeDelta(t *testing.T) {
 			{Region: 1, Off: 1 << 30, Data: make([]byte, 4)},
 		},
 	}
-	got, err := DecodeCompressed(AppendCompressed(nil, tx))
+	got, err := DecodeCompressed(mustCompress(t, tx))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +192,7 @@ func TestCompressedOutOfOrderRanges(t *testing.T) {
 			{Region: 1, Off: 100, Data: make([]byte, 4)},
 		},
 	}
-	got, err := DecodeCompressed(AppendCompressed(nil, tx))
+	got, err := DecodeCompressed(mustCompress(t, tx))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +230,12 @@ func TestPropertyEncodingsRoundTrip(t *testing.T) {
 			t.Logf("standard round trip failed: %v", err)
 			return false
 		}
-		cmp, err := DecodeCompressed(AppendCompressed(nil, tx))
+		enc, err := AppendCompressed(nil, tx)
+		if err != nil {
+			t.Logf("compressed encode failed: %v", err)
+			return false
+		}
+		cmp, err := DecodeCompressed(enc)
 		if err != nil || !txEqual(cmp, tx) {
 			t.Logf("compressed round trip failed: %v", err)
 			return false
@@ -411,12 +427,12 @@ func BenchmarkAppendCompressed(b *testing.B) {
 	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf = AppendCompressed(buf[:0], tx)
+		buf, _ = AppendCompressed(buf[:0], tx)
 	}
 }
 
 func BenchmarkDecodeCompressed(b *testing.B) {
-	enc := AppendCompressed(nil, sampleTx())
+	enc := mustCompress(b, sampleTx())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeCompressed(enc); err != nil {

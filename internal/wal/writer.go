@@ -1,6 +1,19 @@
 package wal
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSyncFailed reports that a committed record was appended to the log
+// device but the force to durable storage failed. The record occupies
+// real log space — a recovery scan may replay it if the device retained
+// the bytes — so Commit returns the true offset and size alongside this
+// error, and the writer's entry/byte accounting includes the record.
+// Callers must treat the transaction as not durably committed, but must
+// NOT assume the append never happened.
+var ErrSyncFailed = errors.New("wal: log sync failed")
 
 // Writer serializes committed transactions onto a Device in the
 // standard encoding. It reuses its encode buffer across commits,
@@ -20,6 +33,12 @@ func NewWriter(dev Device) *Writer { return &Writer{dev: dev} }
 // Commit appends tx to the log. When flush is true the log is forced to
 // durable storage before Commit returns (RVM's flush mode); when false
 // the record may sit in volatile buffers (no-flush mode).
+//
+// Error semantics: if the append itself fails, nothing reached the
+// device and Commit returns (0, 0, err). If the append succeeds but the
+// flush-mode force fails, the record IS on the device: Commit returns
+// the real offset and size with an error wrapping ErrSyncFailed, and
+// Entries/Bytes count the record.
 func (w *Writer) Commit(tx *TxRecord, flush bool) (off int64, n int, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -28,13 +47,16 @@ func (w *Writer) Commit(tx *TxRecord, flush bool) (off int64, n int, err error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	if flush {
-		if err := w.dev.Sync(); err != nil {
-			return 0, 0, err
-		}
-	}
+	// The record is on the device from here on: accounting must include
+	// it even if the force below fails, so log-volume bookkeeping and
+	// recovery scans agree about what the device holds.
 	w.entries++
 	w.bytes += int64(len(w.buf))
+	if flush {
+		if serr := w.dev.Sync(); serr != nil {
+			return off, len(w.buf), fmt.Errorf("%w: %w", ErrSyncFailed, serr)
+		}
+	}
 	return off, len(w.buf), nil
 }
 
