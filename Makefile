@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-commit table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check table2 table3 figures examples clean
+
+# Total coverage floor enforced by `make cover` (CI's coverage job).
+COVER_MIN ?= 60
 
 all: build vet test
 
@@ -11,6 +14,23 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Uses staticcheck and golangci-lint when
+# installed; CI installs both, locally they are optional.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v golangci-lint >/dev/null 2>&1; then golangci-lint run; \
+	else echo "lint: golangci-lint not installed, skipping"; fi
+
+# Per-package coverage summary plus a hard floor on total coverage.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -20
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk "BEGIN{exit !($$total >= $(COVER_MIN))}" || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 test:
 	$(GO) test ./...
@@ -31,6 +51,11 @@ bench:
 # Group-commit throughput sweep: per-tx fsync vs shared Append+Sync.
 bench-commit:
 	$(GO) run ./cmd/commitbench -o BENCH_commit.json
+
+# Regression gate: re-run the sweep and fail if the best group-commit
+# speedup drops below 80% of the committed baseline.
+bench-check:
+	$(GO) run ./cmd/commitbench -check -baseline BENCH_commit.json
 
 # Individual experiments.
 table2:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lbc/internal/chaos"
+	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
@@ -43,6 +44,17 @@ type ChaosReport struct {
 	Checksums map[uint32]uint64 // region id -> converged image checksum
 	Digest    uint64            // checksum over images + record population
 	Faults    map[string]int64  // injector counters (informational, not in Digest)
+	Dists     map[string]Dist   // latency/occupancy quantiles (informational, not in Digest)
+}
+
+// Dist summarizes one metrics histogram aggregated across the surviving
+// nodes. Wall-clock distributions vary run to run, so they stay out of
+// the determinism Digest.
+type Dist struct {
+	Count int64
+	P50   int64
+	P90   int64
+	P99   int64
 }
 
 func (rep *ChaosReport) finish(images map[uint32][]byte, records int) {
@@ -242,7 +254,29 @@ func chaosCheck(c *Cluster, rep *ChaosReport) error {
 		seen[identity{tx.Node, tx.TxSeq}] = true
 	}
 	rep.finish(want, len(seen))
+	rep.Dists = chaosDists(c)
 	return nil
+}
+
+// chaosDists merges the metrics histograms of every surviving node and
+// reports their quantiles.
+func chaosDists(c *Cluster) map[string]Dist {
+	agg := metrics.NewStats()
+	for i := 0; i < c.Size(); i++ {
+		if !c.Down(i) {
+			agg.Merge(c.Node(i).Stats())
+		}
+	}
+	out := map[string]Dist{}
+	for name, h := range agg.Hists() {
+		out[name] = Dist{
+			Count: h.Count,
+			P50:   h.Quantile(0.5),
+			P90:   h.Quantile(0.9),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // --- Scenario 1: partition heal ------------------------------------------

@@ -9,6 +9,7 @@ import (
 	"lbc/internal/chaos"
 	"lbc/internal/coherency"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 	"lbc/internal/rangetree"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
@@ -33,6 +34,7 @@ type clusterConfig struct {
 	inj         *chaos.Injector
 	acqTimeout  time.Duration
 	groupCommit bool
+	traceCap    int
 }
 
 // WithTCP connects the nodes over real loopback TCP sockets instead of
@@ -136,6 +138,13 @@ func WithGroupCommit() Option {
 	return func(c *clusterConfig) { c.groupCommit = true }
 }
 
+// WithTracing gives every node a trace ring of the given span capacity,
+// recording the commit path (begin → lock → group-commit → disk → net →
+// peer apply) for Cluster.Tracer to dump or inspect.
+func WithTracing(capacity int) Option {
+	return func(c *clusterConfig) { c.traceCap = capacity }
+}
+
 // Cluster is a set of in-process nodes for experiments, examples, and
 // tests. Production deployments wire the pieces directly (see
 // cmd/storeserver and the package example).
@@ -152,6 +161,7 @@ type Cluster struct {
 	clis    []*store.Client
 	logs    []wal.Device
 	datas   []rvm.DataStore // non-store configs: per-node stores (survive Crash)
+	tracers []*obs.Tracer   // nil without WithTracing; survive Restart
 	down    []bool
 
 	regions map[RegionID]int // mapped via MapAll, for Restart re-mapping
@@ -180,6 +190,7 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 		clis:    make([]*store.Client, k),
 		logs:    make([]wal.Device, k),
 		datas:   make([]rvm.DataStore, k),
+		tracers: make([]*obs.Tracer, k),
 		down:    make([]bool, k),
 		regions: map[RegionID]int{},
 	}
@@ -305,10 +316,14 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		log = chaos.WrapDevice(log, cfg.inj, fmt.Sprintf("node-%d", id))
 	}
 
+	if cfg.traceCap > 0 && c.tracers[i] == nil {
+		c.tracers[i] = obs.NewTracer(uint32(id), cfg.traceCap)
+	}
 	r, err := rvm.Open(rvm.Options{
 		Node: uint32(id), Log: log, Data: data,
 		Policy: cfg.policy, ResumeLog: restart,
 		GroupCommit: cfg.groupCommit,
+		Trace:       c.tracers[i],
 	})
 	if err != nil {
 		return err
@@ -337,6 +352,11 @@ func (c *Cluster) startNode(i int, restart bool) error {
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Tracer returns node i's trace ring (nil without WithTracing). The
+// ring survives Crash/Restart, so post-recovery spans append to the
+// pre-crash history.
+func (c *Cluster) Tracer(i int) *obs.Tracer { return c.tracers[i] }
 
 // Node returns node i (0-based). Nil while the node is crashed.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }

@@ -22,6 +22,9 @@ func main() {
 	txPer := flag.Int("tx", 200, "transactions per committer")
 	payload := flag.Int("payload", 256, "payload bytes per transaction")
 	dir := flag.String("dir", "", "log directory (default: a temp dir)")
+	check := flag.Bool("check", false, "regression gate: compare against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_commit.json", "baseline JSON for -check")
+	frac := flag.Float64("frac", 0.8, "minimum fresh/baseline max-speedup ratio for -check")
 	flag.Parse()
 
 	var committers []int
@@ -50,17 +53,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "commitbench:", err)
 		os.Exit(1)
 	}
+	printPoints(res)
 
+	if *check {
+		base, err := bench.ReadCommitBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commitbench:", err)
+			os.Exit(1)
+		}
+		if cerr := bench.CheckCommitBench(res, base, *frac); cerr != nil {
+			// Shared CI machines are noisy; one bad sweep is not a
+			// regression. Re-run once before failing the gate.
+			fmt.Fprintln(os.Stderr, "commitbench:", cerr, "(retrying once)")
+			res, err = bench.RunCommitBench(logDir, committers, *txPer, *payload)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "commitbench:", err)
+				os.Exit(1)
+			}
+			printPoints(res)
+			if cerr := bench.CheckCommitBench(res, base, *frac); cerr != nil {
+				fmt.Fprintln(os.Stderr, "commitbench:", cerr)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check OK: fresh max speedup %.2fx vs baseline %.2fx (threshold %.0f%%)\n",
+			res.MaxSpeedup(), base.MaxSpeedup(), *frac*100)
+	}
+
+	// In check mode the default output path is the baseline itself;
+	// only write when the user explicitly chose a destination.
+	oSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			oSet = true
+		}
+	})
+	if !*check || oSet {
+		if err := bench.WriteCommitBench(res, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "commitbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func printPoints(res *bench.CommitBench) {
 	fmt.Printf("%10s %16s %16s %8s %14s %12s\n",
 		"committers", "per-tx commits/s", "group commits/s", "speedup", "group batches", "group syncs")
 	for _, pt := range res.Points {
 		fmt.Printf("%10d %16.0f %16.0f %7.2fx %14d %12d\n",
 			pt.Committers, pt.PerTxPerSec, pt.GroupPerSec, pt.Speedup, pt.GroupBatches, pt.GroupSyncs)
 	}
-
-	if err := bench.WriteCommitBench(res, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "commitbench:", err)
-		os.Exit(1)
-	}
-	fmt.Println("wrote", *out)
 }

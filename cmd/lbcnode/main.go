@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"lbc/internal/coherency"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
 	"lbc/internal/wal"
@@ -44,6 +46,9 @@ func main() {
 		writes    = flag.Int("writes", 200, "locked writes to perform")
 		prop      = flag.String("propagation", "eager", "eager | lazy | piggyback")
 		seed      = flag.Int64("seed", 0, "workload seed (default: node id)")
+		debugAddr = flag.String("debug", "", "serve /debug/lbc (metrics, vars, trace, pprof) on this address")
+		traceFile = flag.String("trace", "", "dump the trace ring as JSONL to this file at exit")
+		traceCap  = flag.Int("trace-cap", 1<<16, "trace ring capacity in spans")
 	)
 	flag.Parse()
 	if *nodeID == 0 || *listen == "" || *peersSpec == "" || *storeAddr == "" {
@@ -70,13 +75,32 @@ func main() {
 		die(err)
 	}
 	defer cli.Close()
+	var tracer *obs.Tracer
+	if *debugAddr != "" || *traceFile != "" {
+		tracer = obs.NewTracer(uint32(*nodeID), *traceCap)
+	}
 	r, err := rvm.Open(rvm.Options{
-		Node: uint32(*nodeID),
-		Log:  cli.LogDevice(uint32(*nodeID)),
-		Data: cli,
+		Node:  uint32(*nodeID),
+		Log:   cli.LogDevice(uint32(*nodeID)),
+		Data:  cli,
+		Trace: tracer,
 	})
 	if err != nil {
 		die(err)
+	}
+
+	if *traceFile != "" {
+		defer func() {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbcnode: trace dump:", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lbcnode: trace dump:", err)
+			}
+		}()
 	}
 
 	mesh, err := netproto.NewTCPMesh(netproto.NodeID(*nodeID), *listen, peers)
@@ -107,6 +131,18 @@ func main() {
 		die(err)
 	}
 	defer n.Close()
+
+	if *debugAddr != "" {
+		mreg := obs.NewRegistry()
+		mreg.Register("rvm", r.Stats())
+		mreg.RegisterGauge("applier_parked", func() int64 { return int64(n.Parked()) })
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.Handler(mreg, tracer)); err != nil {
+				fmt.Fprintln(os.Stderr, "lbcnode: debug server:", err)
+			}
+		}()
+		fmt.Printf("lbcnode %d: /debug/lbc on http://%s/debug/lbc/metrics\n", *nodeID, *debugAddr)
+	}
 
 	reg, err := n.MapRegion(1, *region)
 	if err != nil {

@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 
+	"lbc/internal/obs"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
 	"lbc/internal/wal"
@@ -24,6 +26,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	debugAddr := flag.String("debug", "", "serve /debug/lbc (metrics, vars, pprof) on this address")
 	flag.Parse()
 
 	opts := store.ServerOptions{}
@@ -46,6 +49,18 @@ func main() {
 		die(err)
 	}
 	fmt.Printf("storeserver: listening on %s (dir=%q)\n", srv.Addr(), *dir)
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register("store", srv.Stats())
+		reg.RegisterGauge("store_logs", func() int64 { return int64(len(srv.Logs())) })
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.Handler(reg, nil)); err != nil {
+				fmt.Fprintln(os.Stderr, "storeserver: debug server:", err)
+			}
+		}()
+		fmt.Printf("storeserver: /debug/lbc on http://%s/debug/lbc/metrics\n", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -32,6 +32,14 @@ type CommitPoint struct {
 	GroupBatchRecords int64 `json:"group_batch_records"`
 	GroupSyncs        int64 `json:"group_syncs"`
 	PerTxSyncs        int64 `json:"per_tx_syncs"`
+
+	// Latency/occupancy distributions from the metrics histograms.
+	PerTxFsyncP50NS int64 `json:"per_tx_fsync_p50_ns,omitempty"`
+	PerTxFsyncP99NS int64 `json:"per_tx_fsync_p99_ns,omitempty"`
+	GroupFsyncP50NS int64 `json:"group_fsync_p50_ns,omitempty"`
+	GroupFsyncP99NS int64 `json:"group_fsync_p99_ns,omitempty"`
+	BatchP50        int64 `json:"batch_occupancy_p50,omitempty"`
+	BatchP99        int64 `json:"batch_occupancy_p99,omitempty"`
 }
 
 // CommitBench is the BENCH_commit.json document.
@@ -59,9 +67,21 @@ func RunCommitBench(dir string, committers []int, txPerWorker, payload int) (*Co
 				pt.GroupBatches = stats.Counter(metrics.CtrGroupBatches)
 				pt.GroupBatchRecords = stats.Counter(metrics.CtrGroupBatchRecords)
 				pt.GroupSyncs = stats.Counter(metrics.CtrGroupSyncs)
+				if h := stats.Hist(metrics.HistFsyncNS); h.Count() > 0 {
+					pt.GroupFsyncP50NS = h.Quantile(0.5)
+					pt.GroupFsyncP99NS = h.Quantile(0.99)
+				}
+				if h := stats.Hist(metrics.HistBatchRecords); h.Count() > 0 {
+					pt.BatchP50 = h.Quantile(0.5)
+					pt.BatchP99 = h.Quantile(0.99)
+				}
 			} else {
 				pt.PerTxPerSec = perSec
 				pt.PerTxSyncs = stats.Counter(metrics.CtrLogFlushes)
+				if h := stats.Hist(metrics.HistFsyncNS); h.Count() > 0 {
+					pt.PerTxFsyncP50NS = h.Quantile(0.5)
+					pt.PerTxFsyncP99NS = h.Quantile(0.99)
+				}
 			}
 		}
 		if pt.PerTxPerSec > 0 {
@@ -137,4 +157,46 @@ func WriteCommitBench(b *CommitBench, path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCommitBench loads a BENCH_commit.json document.
+func ReadCommitBench(path string) (*CommitBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b CommitBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// MaxSpeedup returns the largest group-commit speedup across the
+// sweep's concurrency levels (the benchmark's headline number).
+func (b *CommitBench) MaxSpeedup() float64 {
+	var max float64
+	for _, pt := range b.Points {
+		if pt.Speedup > max {
+			max = pt.Speedup
+		}
+	}
+	return max
+}
+
+// CheckCommitBench is the bench-regression gate: it fails when the
+// fresh run's best speedup falls below frac of the committed
+// baseline's best. Comparing maxima (rather than point-by-point)
+// tolerates CI machines whose fsync cost shifts the crossover
+// concurrency, while still catching a pipeline that stopped batching.
+func CheckCommitBench(fresh, baseline *CommitBench, frac float64) error {
+	fm, bm := fresh.MaxSpeedup(), baseline.MaxSpeedup()
+	if bm <= 0 {
+		return fmt.Errorf("bench: baseline has no speedup data")
+	}
+	if fm < bm*frac {
+		return fmt.Errorf("bench: group-commit regression: fresh max speedup %.2fx < %.0f%% of baseline %.2fx",
+			fm, frac*100, bm)
+	}
+	return nil
 }

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 func TestCommitBenchSmoke(t *testing.T) {
 	b, err := RunCommitBench(t.TempDir(), []int{2}, 4, 64)
@@ -14,6 +17,12 @@ func TestCommitBenchSmoke(t *testing.T) {
 	if pt.PerTxPerSec <= 0 || pt.GroupPerSec <= 0 {
 		t.Fatalf("non-positive throughput: %+v", pt)
 	}
+	if pt.PerTxFsyncP50NS <= 0 || pt.GroupFsyncP50NS <= 0 {
+		t.Fatalf("fsync histogram quantiles missing: %+v", pt)
+	}
+	if pt.BatchP99 < 1 {
+		t.Fatalf("batch occupancy quantile missing: %+v", pt)
+	}
 	if pt.GroupBatchRecords != 2*4 {
 		t.Fatalf("group batch records = %d, want %d", pt.GroupBatchRecords, 2*4)
 	}
@@ -22,5 +31,51 @@ func TestCommitBenchSmoke(t *testing.T) {
 	}
 	if pt.GroupSyncs > pt.PerTxSyncs {
 		t.Fatalf("group syncs %d exceed per-tx syncs %d", pt.GroupSyncs, pt.PerTxSyncs)
+	}
+}
+
+func mkBench(speedups ...float64) *CommitBench {
+	b := &CommitBench{Bench: "commit"}
+	for i, s := range speedups {
+		b.Points = append(b.Points, CommitPoint{Committers: 1 << i, Speedup: s})
+	}
+	return b
+}
+
+func TestCheckCommitBench(t *testing.T) {
+	base := mkBench(0.9, 1.8, 3.5)
+	if err := CheckCommitBench(mkBench(1.0, 2.0, 3.4), base, 0.8); err != nil {
+		t.Fatalf("within threshold, got %v", err)
+	}
+	// Max moved to a different concurrency level: still fine.
+	if err := CheckCommitBench(mkBench(3.0, 2.0, 1.0), base, 0.8); err != nil {
+		t.Fatalf("shifted crossover, got %v", err)
+	}
+	if err := CheckCommitBench(mkBench(1.0, 1.2, 2.0), base, 0.8); err == nil {
+		t.Fatal("regression not detected")
+	}
+	if err := CheckCommitBench(mkBench(1.0), &CommitBench{}, 0.8); err == nil {
+		t.Fatal("empty baseline not rejected")
+	}
+}
+
+func TestCommitBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := mkBench(1.0, 2.5)
+	want.Payload = 256
+	want.TxPerWorker = 10
+	want.Points[1].GroupFsyncP99NS = 12345
+	if err := WriteCommitBench(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCommitBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxSpeedup() != 2.5 || got.Points[1].GroupFsyncP99NS != 12345 || got.Payload != 256 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadCommitBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline not an error")
 	}
 }

@@ -1,8 +1,11 @@
 package coherency
 
 import (
+	"time"
+
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 	"lbc/internal/wal"
 )
 
@@ -12,7 +15,7 @@ import (
 func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
 	rec, err := wal.DecodeCompressed(payload)
 	if err != nil {
-		n.stats.Add("decode_errors", 1)
+		n.stats.Add(metrics.CtrDecodeErrors, 1)
 		return
 	}
 	n.enqueue(copyRecord(rec))
@@ -22,7 +25,7 @@ func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
 func (n *Node) onUpdateStd(from netproto.NodeID, payload []byte) {
 	rec, _, err := wal.DecodeStandard(payload)
 	if err != nil {
-		n.stats.Add("decode_errors", 1)
+		n.stats.Add(metrics.CtrDecodeErrors, 1)
 		return
 	}
 	n.enqueue(rec) // DecodeStandard already copies data
@@ -86,7 +89,7 @@ func (n *Node) applier() {
 				} else if !n.stale(rec, appliedTx) {
 					keep = append(keep, rec)
 				} else {
-					n.stats.Add("records_stale", 1)
+					n.stats.Add(metrics.CtrRecordsStale, 1)
 				}
 			}
 			parked = keep
@@ -176,11 +179,23 @@ func (n *Node) canApply(rec *wal.TxRecord, appliedTx map[uint32]uint64) bool {
 // apply installs the record and advances the per-lock applied
 // sequences, waking any acquirer blocked on the interlock.
 func (n *Node) apply(rec *wal.TxRecord, appliedTx map[uint32]uint64) {
+	traced := n.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	tm := metrics.StartTimer(n.stats, metrics.PhaseApply)
 	bytes, err := n.rvm.ApplyRecord(rec)
 	tm.Stop()
+	if traced {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanApply, Node: rec.Node, Tx: rec.TxSeq,
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+			N: int64(bytes),
+		})
+	}
 	if err != nil {
-		n.stats.Add("apply_errors", 1)
+		n.stats.Add(metrics.CtrApplyErrors, 1)
 		return
 	}
 	if rec.TxSeq > appliedTx[rec.Node] {

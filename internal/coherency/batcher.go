@@ -1,8 +1,11 @@
 package coherency
 
 import (
+	"time"
+
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 	"lbc/internal/wal"
 )
 
@@ -43,7 +46,7 @@ func (n *Node) encodeRecord(rec *wal.TxRecord) ([]byte, uint8) {
 		if err == nil {
 			return msg, MsgUpdate
 		}
-		n.stats.Add("compress_fallbacks", 1)
+		n.stats.Add(metrics.CtrCompressFallbacks, 1)
 	}
 	return wal.AppendStandard(nil, rec), MsgUpdateStd
 }
@@ -69,6 +72,15 @@ func (n *Node) enqueueBroadcast(rec *wal.TxRecord) {
 	select {
 	case n.sendWake <- struct{}{}:
 	default:
+	}
+	if n.trace.Enabled() {
+		// The record's network phase starts here; the per-peer frame
+		// cost shows up as net.batch_frame spans from the sender.
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanBroadcast, Node: rec.Node, Tx: rec.TxSeq,
+			Start: time.Now().UnixNano(),
+			N:     int64(len(msg)) * int64(len(peers)),
+		})
 	}
 }
 
@@ -110,18 +122,30 @@ func (n *Node) flushSends() {
 		}
 	}
 
+	traced := n.trace.Enabled()
 	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
 	defer tm.Stop()
 	for _, p := range order {
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		frame := netproto.AppendBatch(nil, perPeer[p])
 		if err := n.tr.Send(p, MsgUpdateBatch, frame); err != nil {
-			n.stats.Add("send_errors", 1)
+			n.stats.Add(metrics.CtrSendErrors, 1)
 			continue
 		}
 		n.stats.Add(metrics.CtrMsgsSent, 1)
 		n.stats.Add(metrics.CtrBytesSent, int64(len(frame)))
-		n.stats.Add("batch_frames", 1)
-		n.stats.Add("batch_records", int64(len(perPeer[p])))
+		n.stats.Add(metrics.CtrBatchFrames, 1)
+		n.stats.Add(metrics.CtrBatchRecords, int64(len(perPeer[p])))
+		if traced {
+			n.trace.Emit(obs.Span{
+				Name: obs.SpanFrame, Peer: uint32(p),
+				Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+				N: int64(len(perPeer[p])),
+			})
+		}
 	}
 }
 
@@ -130,31 +154,31 @@ func (n *Node) flushSends() {
 func (n *Node) onUpdateBatch(from netproto.NodeID, payload []byte) {
 	parts, err := netproto.SplitBatch(payload)
 	if err != nil {
-		n.stats.Add("decode_errors", 1)
+		n.stats.Add(metrics.CtrDecodeErrors, 1)
 		return
 	}
 	for _, part := range parts {
 		if len(part) < 1 {
-			n.stats.Add("decode_errors", 1)
+			n.stats.Add(metrics.CtrDecodeErrors, 1)
 			return
 		}
 		switch part[0] {
 		case batchFmtCompressed:
 			rec, err := wal.DecodeCompressed(part[1:])
 			if err != nil {
-				n.stats.Add("decode_errors", 1)
+				n.stats.Add(metrics.CtrDecodeErrors, 1)
 				return
 			}
 			n.enqueue(copyRecord(rec))
 		case batchFmtStandard:
 			rec, _, err := wal.DecodeStandard(part[1:])
 			if err != nil {
-				n.stats.Add("decode_errors", 1)
+				n.stats.Add(metrics.CtrDecodeErrors, 1)
 				return
 			}
 			n.enqueue(rec) // DecodeStandard already copies data
 		default:
-			n.stats.Add("decode_errors", 1)
+			n.stats.Add(metrics.CtrDecodeErrors, 1)
 			return
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"lbc/internal/lockmgr"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -156,6 +157,7 @@ type Node struct {
 	tr       netproto.Transport
 	locks    *lockmgr.Manager
 	stats    *metrics.Stats
+	trace    *obs.Tracer
 	prop     Propagation
 	wire     WireFormat
 	pageSize int
@@ -223,6 +225,7 @@ func New(opts Options) (*Node, error) {
 		tr:           opts.Transport,
 		locks:        lockmgr.New(opts.Transport, opts.Nodes, opts.Stats),
 		stats:        opts.Stats,
+		trace:        opts.RVM.Tracer(),
 		prop:         opts.Propagation,
 		wire:         opts.Wire,
 		pageSize:     opts.PageSize,
@@ -244,6 +247,7 @@ func New(opts Options) (*Node, error) {
 		done:         make(chan struct{}),
 		wake:         make(chan struct{}, 1),
 	}
+	n.locks.SetTracer(n.trace)
 	n.tr.Handle(MsgUpdate, n.onUpdate)
 	n.tr.Handle(MsgUpdateStd, n.onUpdateStd)
 	n.tr.Handle(MsgMapRegion, n.onMapRegion)

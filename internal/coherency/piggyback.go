@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"lbc/internal/metrics"
+
 	"lbc/internal/netproto"
 	"lbc/internal/wal"
 )
@@ -146,7 +148,7 @@ func (n *Node) PrepareToken(lockID uint32, to netproto.NodeID) []byte {
 		if err != nil {
 			enc = wal.AppendStandard(nil, rr.rec)
 			lenWord = uint32(len(enc)) | stdEncodingBit
-			n.stats.Add("compress_fallbacks", 1)
+			n.stats.Add(metrics.CtrCompressFallbacks, 1)
 		}
 		binary.LittleEndian.PutUint32(scratch[:4], lenWord)
 		buf = append(buf, scratch[:4]...)
@@ -201,14 +203,14 @@ func (n *Node) TokenArrived(lockID uint32, from netproto.NodeID, blob []byte) {
 		if std {
 			rec, _, err := wal.DecodeStandard(blob[p : p+ln])
 			if err != nil {
-				n.stats.Add("decode_errors", 1)
+				n.stats.Add(metrics.CtrDecodeErrors, 1)
 				return
 			}
 			recs = append(recs, rec) // DecodeStandard already copies
 		} else {
 			rec, err := wal.DecodeCompressed(blob[p : p+ln])
 			if err != nil {
-				n.stats.Add("decode_errors", 1)
+				n.stats.Add(metrics.CtrDecodeErrors, 1)
 				return
 			}
 			recs = append(recs, copyRecord(rec)) // blob buffer is transient

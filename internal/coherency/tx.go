@@ -8,6 +8,7 @@ import (
 	"lbc/internal/lockmgr"
 	"lbc/internal/merge"
 	"lbc/internal/metrics"
+	"lbc/internal/obs"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -52,6 +53,11 @@ func (t *Tx) Acquire(lockID uint32) error {
 	n := t.node
 	n.Accept() // no-op unless versioned
 
+	traced := t.inner.Traced()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	var g lockmgr.Grant
 	var err error
 	if n.prop == Lazy || (n.pullStall && n.peerLogs != nil) {
@@ -80,6 +86,15 @@ func (t *Tx) Acquire(lockID uint32) error {
 	if err := t.inner.SetLock(lockID, g.Seq, g.PrevWriteSeq); err != nil {
 		n.locks.Release(lockID, false)
 		return err
+	}
+	if traced {
+		// Buffered on the transaction: the (node, txSeq) identity does
+		// not exist until Commit, which stamps and emits it.
+		t.inner.AddSpan(obs.Span{
+			Name: obs.SpanLock, Lock: lockID,
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+			N: int64(g.Seq),
+		})
 	}
 	t.grants = append(t.grants, g)
 	return nil
@@ -282,16 +297,28 @@ func (n *Node) broadcast(rec *wal.TxRecord) {
 		return
 	}
 	msg, typ := n.encodeRecord(rec)
+	traced := n.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
 	for _, p := range peers {
 		if err := n.tr.Send(p, typ, msg); err != nil {
-			n.stats.Add("send_errors", 1)
+			n.stats.Add(metrics.CtrSendErrors, 1)
 			continue
 		}
 		n.stats.Add(metrics.CtrMsgsSent, 1)
 		n.stats.Add(metrics.CtrBytesSent, int64(len(msg)))
 	}
 	tm.Stop()
+	if traced {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanBroadcast, Node: rec.Node, Tx: rec.TxSeq,
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+			N: int64(len(msg)) * int64(len(peers)),
+		})
+	}
 }
 
 // pullUpdates implements lazy propagation: read the per-node logs on
@@ -412,7 +439,7 @@ func (n *Node) CatchUp() error {
 		}
 		applied++
 	}
-	n.stats.Add("catchup_records", int64(applied))
+	n.stats.Add(metrics.CtrCatchupRecords, int64(applied))
 	return nil
 }
 

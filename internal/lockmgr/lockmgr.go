@@ -33,6 +33,7 @@ import (
 
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
+	"lbc/internal/obs"
 )
 
 // Message type codes on the transport (0x10-0x1F reserved for lockmgr).
@@ -93,6 +94,7 @@ type Manager struct {
 	tr    netproto.Transport
 	nodes []netproto.NodeID
 	stats *metrics.Stats
+	trace *obs.Tracer
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -141,6 +143,10 @@ func New(tr netproto.Transport, nodes []netproto.NodeID, stats *metrics.Stats) *
 
 // Stats returns the manager's metrics accumulator.
 func (m *Manager) Stats() *metrics.Stats { return m.stats }
+
+// SetTracer directs token-movement spans (lock.token_send/recv) to tr.
+// Install before any lock traffic flows; tr may be nil.
+func (m *Manager) SetTracer(tr *obs.Tracer) { m.trace = tr }
 
 // ManagerOf returns the node that manages lock id.
 func (m *Manager) ManagerOf(lockID uint32) netproto.NodeID {
@@ -231,8 +237,10 @@ func (m *Manager) acquireShared(lockID uint32, interlock bool) (Grant, error) {
 		}
 		if st.haveToken && !st.held && !st.hasPend && (!interlock || st.applied >= st.lastWrite) {
 			st.readers++
+			wait := time.Since(start).Nanoseconds()
 			m.stats.Add(metrics.CtrLockAcquires, 1)
-			m.stats.Add("lock_wait_ns", time.Since(start).Nanoseconds())
+			m.stats.Add(metrics.CtrLockWaitNS, wait)
+			m.stats.Observe(metrics.HistLockWaitNS, wait)
 			return Grant{LockID: lockID, Seq: st.seq, PrevWriteSeq: st.lastWrite}, nil
 		}
 		if !st.haveToken && !st.requested {
@@ -314,8 +322,10 @@ func (m *Manager) acquire(lockID uint32, interlock bool, deadline time.Time) (Gr
 		if st.haveToken && !st.held && st.readers == 0 && (!interlock || st.applied >= st.lastWrite) {
 			st.held = true
 			st.seq++
+			wait := time.Since(start).Nanoseconds()
 			m.stats.Add(metrics.CtrLockAcquires, 1)
-			m.stats.Add("lock_wait_ns", time.Since(start).Nanoseconds())
+			m.stats.Add(metrics.CtrLockWaitNS, wait)
+			m.stats.Observe(metrics.HistLockWaitNS, wait)
 			return Grant{LockID: lockID, Seq: st.seq, PrevWriteSeq: st.lastWrite}, nil
 		}
 		if !st.haveToken && !st.requested {
@@ -410,8 +420,14 @@ func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite ui
 			msg = append(append(make([]byte, 0, len(hdr)+len(blob)), hdr[:]...), blob...)
 		}
 	}
+	if m.trace.Enabled() {
+		m.trace.Emit(obs.Span{
+			Name: obs.SpanTokenSend, Lock: lockID, Peer: uint32(to),
+			Start: time.Now().UnixNano(), N: int64(seq),
+		})
+	}
 	if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
-		m.stats.Add("token_pass_retries", 1)
+		m.stats.Add(metrics.CtrTokenPassRetries, 1)
 		cp := append([]byte(nil), msg...)
 		m.retryToken(to, cp)
 	}
@@ -428,7 +444,7 @@ func (m *Manager) retryToken(to netproto.NodeID, msg []byte) {
 			return
 		}
 		if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
-			m.stats.Add("token_pass_retries", 1)
+			m.stats.Add(metrics.CtrTokenPassRetries, 1)
 			m.retryToken(to, msg)
 		}
 	})
@@ -531,6 +547,12 @@ func (m *Manager) onLockToken(from netproto.NodeID, payload []byte) {
 	lockID := binary.LittleEndian.Uint32(payload[0:])
 	seq := binary.LittleEndian.Uint64(payload[4:])
 	lw := binary.LittleEndian.Uint64(payload[12:])
+	if m.trace.Enabled() {
+		m.trace.Emit(obs.Span{
+			Name: obs.SpanTokenRecv, Lock: lockID, Peer: uint32(from),
+			Start: time.Now().UnixNano(), N: int64(seq),
+		})
+	}
 	if blob := payload[20:]; len(blob) > 0 {
 		if td := m.tokenData(); td != nil {
 			td.TokenArrived(lockID, from, blob)

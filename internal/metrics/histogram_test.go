@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 4; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 6 {
+		t.Fatalf("count=%d sum=%d, want 4/6", h.Count(), h.Sum())
+	}
+	// Values below histExact land in exact buckets, so quantiles over
+	// a uniform 0..3 population are exact.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 3 {
+		t.Errorf("p100 = %d, want 3", got)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-17)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d, want 1/0", h.Count(), h.Sum())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %d, want 0", got)
+	}
+}
+
+func TestHistogramBucketBoundsConsistent(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and
+	// bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < numHistBuckets; i++ {
+		up := histUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d not > previous %d", i, up, prev)
+		}
+		if got := histIndex(up); got != i {
+			t.Fatalf("histIndex(histUpper(%d)=%d) = %d", i, up, got)
+		}
+		prev = up
+	}
+	// The next value after a bucket's bound belongs to the next bucket.
+	for i := 0; i < numHistBuckets-1; i++ {
+		if got := histIndex(histUpper(i) + 1); got != i+1 {
+			t.Fatalf("histIndex(upper(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against a log-uniform population the estimate (bucket upper
+	// bound) must stay within the documented 25% relative error of the
+	// true quantile, and never understate it.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v) // spread within the decade
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		truth := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		if got < truth {
+			t.Errorf("q=%v: estimate %d understates true %d", q, got, truth)
+		}
+		if float64(got) > float64(truth)*1.25 {
+			t.Errorf("q=%v: estimate %d exceeds true %d by >25%%", q, got, truth)
+		}
+	}
+}
+
+func TestHistogramMergeAndSnapshot(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	sn := a.Snapshot()
+	if sn.Count != 200 {
+		t.Fatalf("snapshot count = %d", sn.Count)
+	}
+	if sn.Quantile(0.5) != a.Quantile(0.5) {
+		t.Errorf("snapshot p50 %d != live p50 %d", sn.Quantile(0.5), a.Quantile(0.5))
+	}
+	var total int64
+	for _, bk := range sn.Buckets {
+		total += bk.Count
+	}
+	if total != 200 {
+		t.Errorf("snapshot buckets sum to %d, want 200", total)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("reset left count=%d p50=%d", a.Count(), a.Quantile(0.5))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestStatsObserveFixedAndDynamic(t *testing.T) {
+	s := NewStats()
+	s.Observe(HistFsyncNS, 1000)
+	s.Observe("custom_hist", 7)
+	if h := s.Hist(HistFsyncNS); h == nil || h.Count() != 1 {
+		t.Fatalf("fixed histogram missing or empty: %v", h)
+	}
+	if h := s.Hist("custom_hist"); h == nil || h.Count() != 1 {
+		t.Fatalf("dynamic histogram missing or empty: %v", h)
+	}
+	if s.Hist("never_observed") != nil {
+		t.Error("Hist on unknown name should return nil")
+	}
+	all := s.Hists()
+	if len(all) != 2 {
+		t.Fatalf("Hists() = %v, want 2 entries", all)
+	}
+
+	o := NewStats()
+	o.Observe(HistFsyncNS, 2000)
+	o.Observe("custom_hist", 9)
+	s.Merge(o)
+	if got := s.Hist(HistFsyncNS).Count(); got != 2 {
+		t.Errorf("merged fixed hist count = %d, want 2", got)
+	}
+	if got := s.Hist("custom_hist").Count(); got != 2 {
+		t.Errorf("merged dynamic hist count = %d, want 2", got)
+	}
+
+	s.Reset()
+	if len(s.Hists()) != 0 {
+		t.Errorf("Reset left histograms: %v", s.Hists())
+	}
+}
+
+func BenchmarkCounterFixed(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Add(CtrTxCommitted, 1)
+		}
+	})
+}
+
+func BenchmarkCounterDynamic(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Add("bench_dynamic_counter", 1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			s.Observe(HistFsyncNS, v)
+			v = (v * 2862933555777941757) & (1<<40 - 1)
+		}
+	})
+}

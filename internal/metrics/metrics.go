@@ -51,12 +51,24 @@ func Phases() []Phase {
 	return []Phase{PhaseDetect, PhaseCollect, PhaseDiskIO, PhaseNetIO, PhaseApply}
 }
 
-// Stats accumulates per-phase durations and event counters. All methods
-// are safe for concurrent use; receiver goroutines add apply time while
-// the mutator thread adds detect/collect time.
+// Stats accumulates per-phase durations, event counters, and sample
+// histograms. All methods are safe for concurrent use; receiver
+// goroutines add apply time while the mutator thread adds
+// detect/collect time.
+//
+// The counters named by the Ctr* constants (and the histograms named
+// by the Hist* constants) live in fixed tables indexed by a
+// package-init lookup map, so the hot commit path increments a plain
+// atomic without touching sync.Map or allocating. Unknown names fall
+// back to a sync.Map, preserving the open namespace for tests and
+// experiments.
 type Stats struct {
 	phaseNS  [numPhases]atomic.Int64
-	counters sync.Map // string -> *atomic.Int64
+	fixed    [maxFixedCounters]atomic.Int64
+	counters sync.Map // string -> *atomic.Int64 (names not in fixedIdx)
+
+	fixedHists [maxFixedHists]Histogram
+	hists      sync.Map // string -> *Histogram (names not in fixedHistIdx)
 }
 
 // NewStats returns an empty statistics accumulator.
@@ -81,14 +93,26 @@ func (s *Stats) Total() time.Duration {
 	return t
 }
 
-// Add increments the named counter by delta.
+// Add increments the named counter by delta. Known names (the Ctr*
+// constants) hit a fixed atomic table: no allocation, no sync.Map.
 func (s *Stats) Add(name string, delta int64) {
+	if idx, ok := fixedIdx[name]; ok {
+		s.fixed[idx].Add(delta)
+		return
+	}
+	if v, ok := s.counters.Load(name); ok {
+		v.(*atomic.Int64).Add(delta)
+		return
+	}
 	v, _ := s.counters.LoadOrStore(name, new(atomic.Int64))
 	v.(*atomic.Int64).Add(delta)
 }
 
 // Counter returns the value of the named counter (0 if never written).
 func (s *Stats) Counter(name string) int64 {
+	if idx, ok := fixedIdx[name]; ok {
+		return s.fixed[idx].Load()
+	}
 	v, ok := s.counters.Load(name)
 	if !ok {
 		return 0
@@ -96,9 +120,15 @@ func (s *Stats) Counter(name string) int64 {
 	return v.(*atomic.Int64).Load()
 }
 
-// Counters returns a sorted snapshot of all counters.
+// Counters returns a snapshot of all counters. Fixed-table counters
+// appear only once written, matching the dynamic table's behavior.
 func (s *Stats) Counters() map[string]int64 {
 	out := map[string]int64{}
+	for name, idx := range fixedIdx {
+		if v := s.fixed[idx].Load(); v != 0 {
+			out[name] = v
+		}
+	}
 	s.counters.Range(func(k, v any) bool {
 		out[k.(string)] = v.(*atomic.Int64).Load()
 		return true
@@ -106,24 +136,98 @@ func (s *Stats) Counters() map[string]int64 {
 	return out
 }
 
-// Reset zeroes all phases and counters.
+// Observe records one sample into the named histogram. Known names
+// (the Hist* constants) hit a fixed table; unknown names allocate a
+// histogram on first use.
+func (s *Stats) Observe(name string, v int64) {
+	if idx, ok := fixedHistIdx[name]; ok {
+		s.fixedHists[idx].Observe(v)
+		return
+	}
+	if h, ok := s.hists.Load(name); ok {
+		h.(*Histogram).Observe(v)
+		return
+	}
+	h, _ := s.hists.LoadOrStore(name, &Histogram{})
+	h.(*Histogram).Observe(v)
+}
+
+// Hist returns the named histogram, or nil if the name is unknown and
+// has never been observed. The returned histogram is live.
+func (s *Stats) Hist(name string) *Histogram {
+	if idx, ok := fixedHistIdx[name]; ok {
+		return &s.fixedHists[idx]
+	}
+	if h, ok := s.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	return nil
+}
+
+// Hists returns a snapshot of every histogram with at least one sample.
+func (s *Stats) Hists() map[string]HistSnapshot {
+	out := map[string]HistSnapshot{}
+	for name, idx := range fixedHistIdx {
+		if s.fixedHists[idx].Count() > 0 {
+			out[name] = s.fixedHists[idx].Snapshot()
+		}
+	}
+	s.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		if h.Count() > 0 {
+			out[k.(string)] = h.Snapshot()
+		}
+		return true
+	})
+	return out
+}
+
+// Reset zeroes all phases, counters, and histograms.
 func (s *Stats) Reset() {
 	for p := Phase(0); p < numPhases; p++ {
 		s.phaseNS[p].Store(0)
+	}
+	for i := range s.fixed {
+		s.fixed[i].Store(0)
 	}
 	s.counters.Range(func(k, v any) bool {
 		v.(*atomic.Int64).Store(0)
 		return true
 	})
+	for i := range s.fixedHists {
+		s.fixedHists[i].Reset()
+	}
+	s.hists.Range(func(k, v any) bool {
+		v.(*Histogram).Reset()
+		return true
+	})
 }
 
-// Merge adds every phase and counter of o into s.
+// Merge adds every phase, counter, and histogram of o into s.
 func (s *Stats) Merge(o *Stats) {
 	for p := Phase(0); p < numPhases; p++ {
 		s.phaseNS[p].Add(o.phaseNS[p].Load())
 	}
+	for name, idx := range fixedIdx {
+		if v := o.fixed[idx].Load(); v != 0 {
+			s.Add(name, v)
+		}
+	}
 	o.counters.Range(func(k, v any) bool {
 		s.Add(k.(string), v.(*atomic.Int64).Load())
+		return true
+	})
+	for i := range s.fixedHists {
+		s.fixedHists[i].Merge(&o.fixedHists[i])
+	}
+	o.hists.Range(func(k, v any) bool {
+		name := k.(string)
+		if h, ok := s.hists.Load(name); ok {
+			h.(*Histogram).Merge(v.(*Histogram))
+			return true
+		}
+		h, _ := s.hists.LoadOrStore(name, &Histogram{})
+		h.(*Histogram).Merge(v.(*Histogram))
 		return true
 	})
 }
@@ -131,7 +235,7 @@ func (s *Stats) Merge(o *Stats) {
 // Snapshot returns an immutable copy of the stats, suitable for
 // reporting after an experiment completes.
 func (s *Stats) Snapshot() Snapshot {
-	snap := Snapshot{Counters: s.Counters()}
+	snap := Snapshot{Counters: s.Counters(), Hists: s.Hists()}
 	for p := Phase(0); p < numPhases; p++ {
 		snap.Phases[p] = s.Phase(p)
 	}
@@ -142,6 +246,7 @@ func (s *Stats) Snapshot() Snapshot {
 type Snapshot struct {
 	Phases   [numPhases]time.Duration
 	Counters map[string]int64
+	Hists    map[string]HistSnapshot
 }
 
 // Phase returns the accumulated time in phase p.
@@ -190,6 +295,16 @@ func (sn Snapshot) Format() string {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "  %-16s %12d\n", k, sn.Counters[k])
+	}
+	hk := make([]string, 0, len(sn.Hists))
+	for k := range sn.Hists {
+		hk = append(hk, k)
+	}
+	sort.Strings(hk)
+	for _, k := range hk {
+		h := sn.Hists[k]
+		fmt.Fprintf(&b, "  %-16s n=%d p50=%d p90=%d p99=%d\n",
+			k, h.Count, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 	}
 	return b.String()
 }
@@ -240,4 +355,63 @@ const (
 	CtrGroupBatchRecords = "group_batch_records" // records across all batches
 	CtrGroupBatchBytes   = "group_batch_bytes"   // encoded bytes across all batches
 	CtrGroupSyncs        = "group_syncs"         // shared durable forces
+
+	// Coherency / lock-manager event counters. These were ad-hoc string
+	// literals before the observability layer; naming them here keeps
+	// the engines and the export registry in agreement.
+	CtrLockWaitNS        = "lock_wait_ns"       // cumulative acquire wait
+	CtrSendErrors        = "send_errors"        // failed coherency sends
+	CtrBatchFrames       = "batch_frames"       // MsgUpdateBatch frames sent
+	CtrBatchRecords      = "batch_records"      // records across all frames
+	CtrRecordsStale      = "records_stale"      // duplicate records discarded
+	CtrApplyErrors       = "apply_errors"       // records that failed to apply
+	CtrDecodeErrors      = "decode_errors"      // undecodable wire payloads
+	CtrCompressFallbacks = "compress_fallbacks" // ErrTooLarge -> standard encoding
+	CtrCatchupRecords    = "catchup_records"    // records replayed at restart
+	CtrTokenPassRetries  = "token_pass_retries" // token passes re-sent after a failure
 )
+
+// Histogram names pre-registered into the fixed table. Values are
+// nanoseconds unless the name says otherwise.
+const (
+	HistFsyncNS      = "fsync_ns"          // durable-force latency per log sync
+	HistBatchRecords = "batch_occupancy"   // records per group-commit batch
+	HistLockWaitNS   = "lock_wait_hist_ns" // per-acquire lock wait
+)
+
+// Fixed-table sizing. The lookup maps are built once at init; Add and
+// Observe consult them with a read-only map access (no allocation).
+const (
+	maxFixedCounters = 48
+	maxFixedHists    = 8
+)
+
+var fixedIdx = buildIndex([]string{
+	CtrSetRangeCalls, CtrRangesLogged, CtrBytesLogged, CtrBytesSent,
+	CtrMsgsSent, CtrPagesTouched, CtrPageFaults, CtrPageCopies,
+	CtrPageCompares, CtrPagesSent, CtrBytesApplied, CtrRecordsApplied,
+	CtrTxCommitted, CtrTxAborted, CtrLockAcquires, CtrLockRemote,
+	CtrLogFlushes,
+	CtrGroupBatches, CtrGroupBatchRecords, CtrGroupBatchBytes, CtrGroupSyncs,
+	CtrLockWaitNS, CtrSendErrors, CtrBatchFrames, CtrBatchRecords,
+	CtrRecordsStale, CtrApplyErrors, CtrDecodeErrors, CtrCompressFallbacks,
+	CtrCatchupRecords, CtrTokenPassRetries,
+}, maxFixedCounters)
+
+var fixedHistIdx = buildIndex([]string{
+	HistFsyncNS, HistBatchRecords, HistLockWaitNS,
+}, maxFixedHists)
+
+func buildIndex(names []string, max int) map[string]int {
+	if len(names) > max {
+		panic(fmt.Sprintf("metrics: %d fixed names exceed table size %d", len(names), max))
+	}
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := m[n]; dup {
+			panic("metrics: duplicate fixed name " + n)
+		}
+		m[n] = i
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the /debug/lbc HTTP surface:
+//
+//	/debug/lbc/metrics     Prometheus text exposition
+//	/debug/lbc/vars        JSON snapshot (expvar-style)
+//	/debug/lbc/trace       trace ring as JSONL (tracer may be nil)
+//	/debug/lbc/pprof/...   standard net/http/pprof handlers
+//
+// Mount it on a mux at "/debug/lbc/" (trailing slash) or serve it as a
+// root handler; paths are matched by suffix under /debug/lbc.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/lbc/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/lbc/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/lbc/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		if err := tr.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// pprof.Index only resolves profile names under /debug/pprof/, so
+	// the named profiles are registered explicitly under our prefix.
+	mux.HandleFunc("/debug/lbc/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/lbc/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/lbc/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/lbc/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/lbc/pprof/trace", pprof.Trace)
+	for _, name := range []string{"heap", "goroutine", "allocs", "block", "mutex", "threadcreate"} {
+		mux.Handle("/debug/lbc/pprof/"+name, pprof.Handler(name))
+	}
+	return mux
+}

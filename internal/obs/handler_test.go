@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lbc/internal/metrics"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	s := metrics.NewStats()
+	s.Add(metrics.CtrTxCommitted, 1)
+	reg := NewRegistry()
+	reg.Register("rvm", s)
+	tr := NewTracer(1, 16)
+	tr.Emit(Span{Name: SpanTx, Tx: 1})
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, ct := get("/debug/lbc/metrics"); code != 200 ||
+		!strings.Contains(body, "lbc_tx_committed_total") ||
+		!strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics: code=%d ct=%q body=%q", code, ct, body)
+	}
+	if code, body, ct := get("/debug/lbc/vars"); code != 200 ||
+		!strings.Contains(body, `"tx_committed"`) ||
+		!strings.Contains(ct, "application/json") {
+		t.Errorf("vars: code=%d ct=%q body=%q", code, ct, body)
+	}
+	if code, body, _ := get("/debug/lbc/trace"); code != 200 ||
+		!strings.Contains(body, `"name":"tx"`) {
+		t.Errorf("trace: code=%d body=%q", code, body)
+	}
+	if code, body, _ := get("/debug/lbc/pprof/goroutine?debug=1"); code != 200 ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("pprof: code=%d body=%.80q", code, body)
+	}
+	if code, _, _ := get("/debug/lbc/nosuch"); code != 404 {
+		t.Errorf("unknown path code=%d, want 404", code)
+	}
+}
+
+func TestHandlerNilTracer(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/lbc/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("nil-tracer trace endpoint: code=%d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lbc/internal/metrics"
+)
+
+// Registry names metrics.Stats accumulators (and scalar gauges) for
+// export. One registry serves one process; groups distinguish sources
+// within it ("rvm", "store", one per node in tests).
+type Registry struct {
+	mu     sync.Mutex
+	stats  map[string]*metrics.Stats
+	gauges map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		stats:  map[string]*metrics.Stats{},
+		gauges: map[string]func() int64{},
+	}
+}
+
+// Register exposes s under group. Re-registering a group replaces it.
+func (r *Registry) Register(group string, s *metrics.Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats[group] = s
+}
+
+// RegisterGauge exposes fn's value as gauge name (e.g. applier Parked).
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+func (r *Registry) snapshot() (map[string]metrics.Snapshot, map[string]int64) {
+	r.mu.Lock()
+	stats := make(map[string]*metrics.Stats, len(r.stats))
+	for g, s := range r.stats {
+		stats[g] = s
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for n, fn := range r.gauges {
+		gauges[n] = fn
+	}
+	r.mu.Unlock()
+
+	sn := make(map[string]metrics.Snapshot, len(stats))
+	for g, s := range stats {
+		sn[g] = s.Snapshot()
+	}
+	gv := make(map[string]int64, len(gauges))
+	for n, fn := range gauges {
+		gv[n] = fn()
+	}
+	return sn, gv
+}
+
+// promName maps a counter/histogram name to a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("lbc_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func phaseLabel(p metrics.Phase) string {
+	switch p {
+	case metrics.PhaseDetect:
+		return "detect"
+	case metrics.PhaseCollect:
+		return "collect"
+	case metrics.PhaseDiskIO:
+		return "disk_io"
+	case metrics.PhaseNetIO:
+		return "net_io"
+	case metrics.PhaseApply:
+		return "apply"
+	default:
+		return fmt.Sprintf("phase_%d", int(p))
+	}
+}
+
+// WritePrometheus renders every registered group in the Prometheus text
+// exposition format (version 0.0.4): phase timings as
+// lbc_phase_seconds_total{group,phase}, counters as
+// lbc_<name>_total{group}, histograms as cumulative
+// lbc_<name>{group,le} bucket series with _sum and _count, gauges as
+// lbc_<name>.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps, gauges := r.snapshot()
+
+	groups := make([]string, 0, len(snaps))
+	for g := range snaps {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+
+	var b strings.Builder
+	b.WriteString("# HELP lbc_phase_seconds_total Cumulative time per commit-pipeline phase.\n")
+	b.WriteString("# TYPE lbc_phase_seconds_total counter\n")
+	for _, g := range groups {
+		sn := snaps[g]
+		for _, p := range metrics.Phases() {
+			fmt.Fprintf(&b, "lbc_phase_seconds_total{group=%q,phase=%q} %g\n",
+				g, phaseLabel(p), sn.Phase(p).Seconds())
+		}
+	}
+
+	// Counters, grouped by metric name so each name gets one HELP/TYPE
+	// header followed by all its group series.
+	type series struct {
+		group string
+		v     int64
+	}
+	counters := map[string][]series{}
+	for _, g := range groups {
+		for name, v := range snaps[g].Counters {
+			mn := promName(name) + "_total"
+			counters[mn] = append(counters[mn], series{g, v})
+		}
+	}
+	cnames := make([]string, 0, len(counters))
+	for n := range counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, mn := range cnames {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", mn)
+		ss := counters[mn]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].group < ss[j].group })
+		for _, s := range ss {
+			fmt.Fprintf(&b, "%s{group=%q} %d\n", mn, s.group, s.v)
+		}
+	}
+
+	// Histograms: cumulative le buckets + +Inf, _sum, _count.
+	type hseries struct {
+		group string
+		sn    metrics.HistSnapshot
+	}
+	hists := map[string][]hseries{}
+	for _, g := range groups {
+		for name, hs := range snaps[g].Hists {
+			mn := promName(name)
+			hists[mn] = append(hists[mn], hseries{g, hs})
+		}
+	}
+	hnames := make([]string, 0, len(hists))
+	for n := range hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, mn := range hnames {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", mn)
+		hs := hists[mn]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].group < hs[j].group })
+		for _, h := range hs {
+			var cum int64
+			for _, bk := range h.sn.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "%s_bucket{group=%q,le=%q} %d\n", mn, h.group, fmt.Sprintf("%d", bk.Upper), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{group=%q,le=\"+Inf\"} %d\n", mn, h.group, h.sn.Count)
+			fmt.Fprintf(&b, "%s_sum{group=%q} %d\n", mn, h.group, h.sn.Sum)
+			fmt.Fprintf(&b, "%s_count{group=%q} %d\n", mn, h.group, h.sn.Count)
+		}
+	}
+
+	gnames := make([]string, 0, len(gauges))
+	for n := range gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		mn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", mn)
+		fmt.Fprintf(&b, "%s %d\n", mn, gauges[n])
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonSnapshot is the expvar-style document served at /debug/lbc/vars.
+type jsonSnapshot struct {
+	At     string               `json:"at"`
+	Groups map[string]jsonGroup `json:"groups"`
+	Gauges map[string]int64     `json:"gauges,omitempty"`
+}
+
+type jsonGroup struct {
+	PhaseNS  map[string]int64    `json:"phase_ns"`
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Hists    map[string]jsonHist `json:"hists,omitempty"`
+}
+
+type jsonHist struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// WriteJSON renders the registry as a single JSON document: per-group
+// phase nanoseconds, counters, and histogram summaries plus gauges.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps, gauges := r.snapshot()
+	doc := jsonSnapshot{
+		At:     time.Now().UTC().Format(time.RFC3339Nano),
+		Groups: map[string]jsonGroup{},
+	}
+	if len(gauges) > 0 {
+		doc.Gauges = gauges
+	}
+	for g, sn := range snaps {
+		jg := jsonGroup{PhaseNS: map[string]int64{}}
+		for _, p := range metrics.Phases() {
+			jg.PhaseNS[phaseLabel(p)] = int64(sn.Phase(p))
+		}
+		if len(sn.Counters) > 0 {
+			jg.Counters = sn.Counters
+		}
+		if len(sn.Hists) > 0 {
+			jg.Hists = map[string]jsonHist{}
+			for name, hs := range sn.Hists {
+				jg.Hists[name] = jsonHist{
+					Count: hs.Count, Sum: hs.Sum,
+					P50: hs.Quantile(0.50), P90: hs.Quantile(0.90), P99: hs.Quantile(0.99),
+				}
+			}
+		}
+		doc.Groups[g] = jg
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

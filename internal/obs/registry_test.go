@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+)
+
+func testRegistry() *Registry {
+	s := metrics.NewStats()
+	s.AddPhase(metrics.PhaseDetect, 5*time.Millisecond)
+	s.AddPhase(metrics.PhaseDiskIO, 20*time.Millisecond)
+	s.Add(metrics.CtrTxCommitted, 42)
+	s.Add(metrics.CtrGroupBatches, 7)
+	s.Observe(metrics.HistFsyncNS, 1_000_000)
+	s.Observe(metrics.HistFsyncNS, 3_000_000)
+	s.Observe(metrics.HistFsyncNS, 9_000_000)
+
+	o := metrics.NewStats()
+	o.Add(metrics.CtrRecordsApplied, 5)
+
+	r := NewRegistry()
+	r.Register("rvm", s)
+	r.Register("store", o)
+	r.RegisterGauge("applier_parked", func() int64 { return 3 })
+	return r
+}
+
+// promMetricLine matches one sample line of the text exposition format:
+// metric_name{label="value",...} <float>
+var promMetricLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? [-+]?(?:[0-9]*\.)?[0-9]+(?:e[-+]?[0-9]+)?$`)
+
+// parseProm validates Prometheus text exposition syntax line by line
+// and returns sample values keyed by the full series string
+// (name{labels}).
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("invalid metric type in %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		if !promMetricLine.MatchString(line) {
+			t.Fatalf("invalid metric line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		series, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		samples[series] = v
+
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typed[strings.TrimSuffix(name, suf)] == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("series %q has no preceding TYPE declaration", series)
+		}
+	}
+	return samples
+}
+
+func TestWritePrometheusValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.String())
+
+	checks := map[string]float64{
+		`lbc_phase_seconds_total{group="rvm",phase="detect"}`:  0.005,
+		`lbc_phase_seconds_total{group="rvm",phase="disk_io"}`: 0.02,
+		`lbc_phase_seconds_total{group="store",phase="apply"}`: 0,
+		`lbc_tx_committed_total{group="rvm"}`:                  42,
+		`lbc_group_batches_total{group="rvm"}`:                 7,
+		`lbc_records_applied_total{group="store"}`:             5,
+		`lbc_fsync_ns_count{group="rvm"}`:                      3,
+		`lbc_fsync_ns_sum{group="rvm"}`:                        13_000_000,
+		`lbc_fsync_ns_bucket{group="rvm",le="+Inf"}`:           3,
+		`lbc_applier_parked`:                                   3,
+	}
+	for series, want := range checks {
+		got, ok := samples[series]
+		if !ok {
+			t.Errorf("missing series %s\nfull output:\n%s", series, buf.String())
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+
+	// Histogram buckets must be cumulative (monotone non-decreasing in
+	// le order) and end at the +Inf count.
+	type bk struct {
+		le  float64
+		cum float64
+	}
+	var bks []bk
+	for series, v := range samples {
+		if !strings.HasPrefix(series, `lbc_fsync_ns_bucket{group="rvm"`) {
+			continue
+		}
+		le := series[strings.Index(series, `le="`)+4:]
+		le = le[:strings.IndexByte(le, '"')]
+		if le == "+Inf" {
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bad le %q: %v", le, err)
+		}
+		bks = append(bks, bk{f, v})
+	}
+	if len(bks) == 0 {
+		t.Fatal("no finite fsync buckets exported")
+	}
+	for i := 1; i < len(bks); i++ {
+		for j := 0; j < i; j++ {
+			if bks[j].le < bks[i].le && bks[j].cum > bks[i].cum {
+				t.Errorf("bucket counts not cumulative: le=%g cum=%g > le=%g cum=%g",
+					bks[j].le, bks[j].cum, bks[i].le, bks[i].cum)
+			}
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := testRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		At     string `json:"at"`
+		Groups map[string]struct {
+			PhaseNS  map[string]int64 `json:"phase_ns"`
+			Counters map[string]int64 `json:"counters"`
+			Hists    map[string]struct {
+				Count int64 `json:"count"`
+				Sum   int64 `json:"sum"`
+				P50   int64 `json:"p50"`
+				P99   int64 `json:"p99"`
+			} `json:"hists"`
+		} `json:"groups"`
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if _, err := time.Parse(time.RFC3339Nano, doc.At); err != nil {
+		t.Errorf("bad timestamp %q: %v", doc.At, err)
+	}
+	rvm, ok := doc.Groups["rvm"]
+	if !ok {
+		t.Fatalf("missing rvm group: %s", buf.String())
+	}
+	if rvm.PhaseNS["detect"] != int64(5*time.Millisecond) {
+		t.Errorf("detect ns = %d", rvm.PhaseNS["detect"])
+	}
+	if rvm.Counters["tx_committed"] != 42 {
+		t.Errorf("tx_committed = %d", rvm.Counters["tx_committed"])
+	}
+	h, ok := rvm.Hists["fsync_ns"]
+	if !ok {
+		t.Fatal("missing fsync_ns histogram")
+	}
+	if h.Count != 3 || h.Sum != 13_000_000 {
+		t.Errorf("hist count=%d sum=%d", h.Count, h.Sum)
+	}
+	if h.P50 < 3_000_000 || h.P50 > 3_750_000 {
+		t.Errorf("p50 = %d, want within 25%% above 3ms", h.P50)
+	}
+	if doc.Gauges["applier_parked"] != 3 {
+		t.Errorf("gauge = %d", doc.Gauges["applier_parked"])
+	}
+	if _, ok := doc.Groups["store"]; !ok {
+		t.Error("missing store group")
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"tx_committed": "lbc_tx_committed",
+		"Weird-Name.1": "lbc_weird_name_1",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	s := metrics.NewStats()
+	s.Add(metrics.CtrTxCommitted, 2)
+	r := NewRegistry()
+	r.Register("rvm", s)
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "lbc_tx_committed_total") {
+			fmt.Println(line)
+		}
+	}
+	// Output: lbc_tx_committed_total{group="rvm"} 2
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerBasicLifecycle(t *testing.T) {
+	tr := NewTracer(3, 64)
+	if !tr.Enabled() {
+		t.Fatal("new tracer should be enabled")
+	}
+	tr.Emit(Span{Name: SpanTx, Node: 3, Tx: 1, Start: 100, Dur: 50})
+	tr.Emit(Span{Name: SpanDetect, Node: 3, Tx: 1, Start: 110, Dur: 5})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != SpanTx || spans[0].Self != 3 || spans[0].Tx != 1 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Name != SpanDetect {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	tr.Emit(Span{Name: SpanTx})
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer returned spans: %v", got)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Self() != 0 {
+		t.Error("nil tracer accessors should return zeros")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil WriteJSONL: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil WriteJSONL wrote %q", buf.String())
+	}
+}
+
+func TestTracerDisable(t *testing.T) {
+	tr := NewTracer(1, 16)
+	tr.SetEnabled(false)
+	tr.Emit(Span{Name: SpanTx})
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded a span")
+	}
+	tr.SetEnabled(true)
+	tr.Emit(Span{Name: SpanTx})
+	if tr.Len() != 1 {
+		t.Fatal("re-enabled tracer did not record")
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(0, 16) // capacity rounds to 16
+	const total = 40
+	for i := 0; i < total; i++ {
+		tr.Emit(Span{Name: SpanTx, Tx: uint64(i)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("got %d spans after wrap, want 16", len(spans))
+	}
+	// Oldest-first: the retained window is [total-16, total).
+	for i, s := range spans {
+		if want := uint64(total - 16 + i); s.Tx != want {
+			t.Fatalf("span %d tx = %d, want %d", i, s.Tx, want)
+		}
+	}
+	if tr.Dropped() != total-16 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), total-16)
+	}
+}
+
+func TestTracerCapacityRounding(t *testing.T) {
+	tr := NewTracer(0, 100)
+	for i := 0; i < 128; i++ {
+		tr.Emit(Span{Tx: uint64(i)})
+	}
+	if got := len(tr.Spans()); got != 128 {
+		t.Errorf("capacity 100 should round to 128, kept %d", got)
+	}
+	if tr := NewTracer(0, 0); len(tr.slots) != 16 {
+		t.Errorf("minimum capacity = %d, want 16", len(tr.slots))
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(7, 1<<12)
+	const workers, per = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Span{Name: SpanTx, Node: uint32(id), Tx: uint64(i), Start: int64(i), Dur: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != workers*per {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*per)
+	}
+	// Every span must be complete (no torn writes) and stamped Self=7.
+	perNode := map[uint32]int{}
+	for _, s := range spans {
+		if s.Self != 7 || s.Name != SpanTx || s.Dur != 1 {
+			t.Fatalf("torn or mis-stamped span: %+v", s)
+		}
+		perNode[s.Node]++
+	}
+	for id := 0; id < workers; id++ {
+		if perNode[uint32(id)] != per {
+			t.Errorf("node %d has %d spans, want %d", id, perNode[uint32(id)], per)
+		}
+	}
+}
+
+func TestTracerConcurrentEmitAndRead(t *testing.T) {
+	// Readers racing writers across wraparound must only ever see
+	// complete spans. Run with -race to make this meaningful.
+	tr := NewTracer(1, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Emit(Span{Name: SpanApply, Tx: uint64(i), Dur: 42})
+				}
+			}
+		}()
+	}
+	for r := 0; r < 200; r++ {
+		for _, s := range tr.Spans() {
+			if s.Name != SpanApply || s.Dur != 42 {
+				t.Fatalf("torn span: %+v", s)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(2, 16)
+	tr.Emit(Span{Name: SpanLock, Node: 2, Tx: 9, Lock: 5, Start: 1000, Dur: 30})
+	tr.Emit(Span{Name: SpanApply, Node: 1, Tx: 4, Peer: 2, Start: 2000, Dur: 10, N: 128})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Span
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, s)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0].Name != SpanLock || lines[0].Lock != 5 || lines[0].Self != 2 {
+		t.Errorf("line 0 = %+v", lines[0])
+	}
+	if lines[1].Name != SpanApply || lines[1].N != 128 || lines[1].Peer != 2 {
+		t.Errorf("line 1 = %+v", lines[1])
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	tr := NewTracer(1, 1<<14)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Emit(Span{Name: SpanTx, Tx: 1, Start: 1, Dur: 1})
+		}
+	})
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	tr := NewTracer(1, 1<<14)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Emit(Span{Name: SpanTx, Tx: 1, Start: 1, Dur: 1})
+		}
+	})
+}
+
+func ExampleTracer_WriteJSONL() {
+	tr := NewTracer(1, 16)
+	tr.Emit(Span{Name: SpanTx, Node: 1, Tx: 7, Start: 100, Dur: 25})
+	var buf bytes.Buffer
+	_ = tr.WriteJSONL(&buf)
+	fmt.Print(buf.String())
+	// Output: {"name":"tx","self":1,"node":1,"tx":7,"start_ns":100,"dur_ns":25}
+}

@@ -2,8 +2,10 @@ package rvm
 
 import (
 	"fmt"
+	"time"
 
 	"lbc/internal/metrics"
+	"lbc/internal/obs"
 	"lbc/internal/rangetree"
 	"lbc/internal/wal"
 )
@@ -43,6 +45,14 @@ type Tx struct {
 	locks  []wal.LockRec
 	done   bool
 	setCnt int64
+
+	// Tracing state, populated only when the instance's tracer is
+	// enabled. Spans recorded before commit (lock acquisition, detect)
+	// buffer here because the transaction's sequence number does not
+	// exist until Commit assigns it; Commit stamps and emits them.
+	begin    time.Time
+	detectNS int64
+	spans    []obs.Span
 }
 
 type undoRec struct {
@@ -53,8 +63,27 @@ type undoRec struct {
 
 // Begin starts a transaction (rvm_begin_transaction).
 func (r *RVM) Begin(mode TxMode) *Tx {
-	return &Tx{rvm: r, mode: mode, trees: map[RegionID]*rangetree.Tree{}}
+	t := &Tx{rvm: r, mode: mode, trees: map[RegionID]*rangetree.Tree{}}
+	if r.trace.Enabled() {
+		t.begin = time.Now()
+	}
+	return t
 }
+
+// AddSpan buffers a span on the transaction; Commit stamps it with the
+// committing node and sequence number (unless already set) and emits
+// it. The coherency layer uses this for lock-acquire spans, which
+// happen before the transaction has an identity. No-op when the
+// instance's tracer is disabled.
+func (t *Tx) AddSpan(s obs.Span) {
+	if t.rvm.trace.Enabled() {
+		t.spans = append(t.spans, s)
+	}
+}
+
+// Traced reports whether the instance's tracer is recording; callers
+// use it to skip clock reads when tracing is off.
+func (t *Tx) Traced() bool { return t.rvm.trace.Enabled() }
 
 // SetRange declares that the caller is about to modify
 // region[off:off+n] (rvm_set_range). In Restore mode the old contents
@@ -76,6 +105,7 @@ func (t *Tx) SetRange(reg *Region, off uint64, n uint32) error {
 	}
 	res := tree.Add(off, n)
 	t.setCnt++
+	traced := t.rvm.trace.Enabled()
 	if t.mode == Restore && res != rangetree.CoalescedFast {
 		// Capture undo only for ranges that added new coverage. For
 		// simplicity old values are captured per SetRange call (a
@@ -85,7 +115,10 @@ func (t *Tx) SetRange(reg *Region, off uint64, n uint32) error {
 		copy(old, reg.data[off:off+uint64(n)])
 		t.undo = append(t.undo, undoRec{region: reg, off: off, old: old})
 	}
-	tm.Stop()
+	d := tm.Stop()
+	if traced {
+		t.detectNS += int64(d)
+	}
 	return nil
 }
 
@@ -132,6 +165,7 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 	}
 	t.done = true
 	r := t.rvm
+	traced := r.trace.Enabled()
 
 	r.mu.Lock()
 	if r.closed {
@@ -178,7 +212,7 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 	for i := range tx.Locks {
 		tx.Locks[i].Wrote = len(tx.Ranges) > 0
 	}
-	tm.Stop()
+	collectNS := int64(tm.Stop())
 	r.mu.Unlock()
 
 	// Durability phase: append to the log; force it in Flush mode. This
@@ -191,9 +225,47 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 	if _, _, err := r.writer.Commit(tx, mode == Flush); err != nil {
 		return nil, fmt.Errorf("rvm: log append: %w", err)
 	}
-	dt.Stop()
+	diskNS := int64(dt.Stop())
 	if mode == Flush {
 		r.stats.Add(metrics.CtrLogFlushes, 1)
+	}
+
+	if traced {
+		now := time.Now()
+		// Buffered spans first (lock acquisition happened earliest),
+		// stamped with the identity the transaction just received.
+		for _, s := range t.spans {
+			if s.Node == 0 {
+				s.Node = r.node
+			}
+			if s.Tx == 0 {
+				s.Tx = seq
+			}
+			r.trace.Emit(s)
+		}
+		nowNS := now.UnixNano()
+		beginNS := t.begin.UnixNano()
+		if t.begin.IsZero() {
+			// Tracer enabled mid-transaction: approximate begin.
+			beginNS = nowNS - diskNS - collectNS - t.detectNS
+		}
+		r.trace.Emit(obs.Span{
+			Name: obs.SpanDetect, Node: r.node, Tx: seq,
+			Start: beginNS, Dur: t.detectNS, N: t.setCnt,
+		})
+		r.trace.Emit(obs.Span{
+			Name: obs.SpanCollect, Node: r.node, Tx: seq,
+			Start: nowNS - diskNS - collectNS, Dur: collectNS,
+			N: int64(len(tx.Ranges)),
+		})
+		r.trace.Emit(obs.Span{
+			Name: obs.SpanAppend, Node: r.node, Tx: seq,
+			Start: nowNS - diskNS, Dur: diskNS, N: int64(totalBytes),
+		})
+		r.trace.Emit(obs.Span{
+			Name: obs.SpanTx, Node: r.node, Tx: seq,
+			Start: beginNS, Dur: nowNS - beginNS,
+		})
 	}
 
 	// Coherency phase: hand the committed record to hooks (eager

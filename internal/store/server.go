@@ -20,6 +20,7 @@ import (
 	"net"
 	"sync"
 
+	"lbc/internal/metrics"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -50,8 +51,9 @@ const maxMsg = 1 << 30
 // rvm.DataStore; per-node logs are created on demand via the device
 // factory.
 type Server struct {
-	ln   net.Listener
-	data rvm.DataStore
+	ln    net.Listener
+	data  rvm.DataStore
+	stats *metrics.Stats
 
 	mu      sync.Mutex
 	logs    map[uint32]wal.Device
@@ -89,6 +91,7 @@ func NewServer(addr string, opts ServerOptions) (*Server, error) {
 	s := &Server{
 		ln:     ln,
 		data:   opts.Data,
+		stats:  metrics.NewStats(),
 		logs:   map[uint32]wal.Device{},
 		mkLog:  opts.NewLog,
 		conns:  map[net.Conn]struct{}{},
@@ -105,6 +108,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Data exposes the server's region store (for offline utilities that
 // run colocated with the server).
 func (s *Server) Data() rvm.DataStore { return s.data }
+
+// Stats exposes the server's op counters (requests and bytes per
+// opcode) for the /debug/lbc endpoint.
+func (s *Server) Stats() *metrics.Stats { return s.stats }
 
 // Log returns the log device for a node, creating it if necessary.
 func (s *Server) Log(node uint32) (wal.Device, error) {
@@ -185,11 +192,14 @@ func (s *Server) serveConn(c net.Conn) {
 		if len(req) == 0 {
 			return
 		}
+		s.stats.Add(opCounter(req[0]), 1)
+		s.stats.Add("op_bytes_in", int64(len(req)))
 		resp, err := s.handle(req[0], req[1:])
 		if err == nil {
 			err = s.forwardToMirror(req[0], req[1:])
 		}
 		if err != nil {
+			s.stats.Add("op_errors", 1)
 			resp = []byte(err.Error())
 			if werr := writeMsg(c, statusErr, resp); werr != nil {
 				return
@@ -199,6 +209,36 @@ func (s *Server) serveConn(c net.Conn) {
 		if err := writeMsg(c, statusOK, resp); err != nil {
 			return
 		}
+	}
+}
+
+// opCounter maps a request opcode to its stats counter name.
+func opCounter(op uint8) string {
+	switch op {
+	case opLoadRegion:
+		return "op_load_region"
+	case opStoreRegion:
+		return "op_store_region"
+	case opListRegions:
+		return "op_list_regions"
+	case opSyncData:
+		return "op_sync_data"
+	case opAppendLog:
+		return "op_append_log"
+	case opSyncLog:
+		return "op_sync_log"
+	case opLogSize:
+		return "op_log_size"
+	case opReadLog:
+		return "op_read_log"
+	case opTruncateLog:
+		return "op_truncate_log"
+	case opResetLog:
+		return "op_reset_log"
+	case opListLogs:
+		return "op_list_logs"
+	default:
+		return "op_unknown"
 	}
 }
 

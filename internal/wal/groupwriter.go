@@ -3,8 +3,10 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lbc/internal/metrics"
+	"lbc/internal/obs"
 )
 
 // GroupConfig tunes a GroupWriter. Zero values select defaults.
@@ -17,8 +19,12 @@ type GroupConfig struct {
 	// not record size. Default 1 MiB.
 	MaxBatchBytes int
 	// Stats, when non-nil, receives group-commit counters
-	// (metrics.CtrGroupBatches etc.).
+	// (metrics.CtrGroupBatches etc.) and the fsync-latency and
+	// batch-occupancy histograms.
 	Stats *metrics.Stats
+	// Trace, when non-nil and enabled, receives group.enqueue,
+	// group.lead/group.follow, and wal.sync spans.
+	Trace *obs.Tracer
 }
 
 // GroupWriter is a drop-in replacement for Writer that lets concurrent
@@ -37,6 +43,7 @@ type GroupConfig struct {
 type GroupWriter struct {
 	dev      Device
 	stats    *metrics.Stats
+	trace    *obs.Tracer
 	maxRecs  int
 	maxBytes int
 
@@ -75,6 +82,7 @@ func NewGroupWriter(dev Device, cfg GroupConfig) *GroupWriter {
 	w := &GroupWriter{
 		dev:      dev,
 		stats:    cfg.Stats,
+		trace:    cfg.Trace,
 		maxRecs:  cfg.MaxBatchRecords,
 		maxBytes: cfg.MaxBatchBytes,
 	}
@@ -90,6 +98,11 @@ func NewGroupWriter(dev Device, cfg GroupConfig) *GroupWriter {
 // they occupy log space. Non-flush committers in a batch whose force
 // fails see no error — they never asked for durability.
 func (w *GroupWriter) Commit(tx *TxRecord, flush bool) (int64, int, error) {
+	traced := w.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	ent := groupEntry{
 		enc:   AppendStandard(nil, tx),
 		flush: flush,
@@ -104,10 +117,29 @@ func (w *GroupWriter) Commit(tx *TxRecord, flush bool) (int64, int, error) {
 	w.pendBytes += len(ent.enc)
 	w.mu.Unlock()
 
+	var t1 time.Time
+	if traced {
+		t1 = time.Now()
+		w.trace.Emit(obs.Span{
+			Name: obs.SpanEnqueue, Node: tx.Node, Tx: tx.TxSeq,
+			Start: t0.UnixNano(), Dur: t1.Sub(t0).Nanoseconds(),
+			N: int64(len(ent.enc)),
+		})
+	}
 	if leader {
 		w.writeBatch()
 	}
 	res := <-ent.done
+	if traced {
+		name := obs.SpanFollow
+		if leader {
+			name = obs.SpanLead
+		}
+		w.trace.Emit(obs.Span{
+			Name: name, Node: tx.Node, Tx: tx.TxSeq,
+			Start: t1.UnixNano(), Dur: time.Since(t1).Nanoseconds(),
+		})
+	}
 	return res.off, len(ent.enc), res.err
 }
 
@@ -151,11 +183,28 @@ func (w *GroupWriter) writeBatch() {
 		w.stats.Add(metrics.CtrGroupBatches, 1)
 		w.stats.Add(metrics.CtrGroupBatchRecords, int64(len(batch)))
 		w.stats.Add(metrics.CtrGroupBatchBytes, int64(len(buf)))
+		w.stats.Observe(metrics.HistBatchRecords, int64(len(batch)))
 	}
 
 	var syncErr error
 	if needSync {
-		if serr := w.dev.Sync(); serr != nil {
+		timed := w.stats != nil || w.trace.Enabled()
+		var s0 time.Time
+		if timed {
+			s0 = time.Now()
+		}
+		serr := w.dev.Sync()
+		if timed {
+			d := time.Since(s0).Nanoseconds()
+			if w.stats != nil {
+				w.stats.Observe(metrics.HistFsyncNS, d)
+			}
+			w.trace.Emit(obs.Span{
+				Name: obs.SpanSync, Start: s0.UnixNano(), Dur: d,
+				N: int64(len(batch)),
+			})
+		}
+		if serr != nil {
 			syncErr = fmt.Errorf("%w: %w", ErrSyncFailed, serr)
 		} else if w.stats != nil {
 			w.stats.Add(metrics.CtrGroupSyncs, 1)

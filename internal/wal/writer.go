@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"lbc/internal/metrics"
 )
 
 // ErrSyncFailed reports that a committed record was appended to the log
@@ -23,12 +26,17 @@ type Writer struct {
 	mu      sync.Mutex
 	dev     Device
 	buf     []byte
+	stats   *metrics.Stats
 	entries int64
 	bytes   int64
 }
 
 // NewWriter returns a Writer appending to dev.
 func NewWriter(dev Device) *Writer { return &Writer{dev: dev} }
+
+// SetStats directs per-force latency samples (metrics.HistFsyncNS) to s.
+// Call before the writer is shared between goroutines.
+func (w *Writer) SetStats(s *metrics.Stats) { w.stats = s }
 
 // Commit appends tx to the log. When flush is true the log is forced to
 // durable storage before Commit returns (RVM's flush mode); when false
@@ -53,7 +61,15 @@ func (w *Writer) Commit(tx *TxRecord, flush bool) (off int64, n int, err error) 
 	w.entries++
 	w.bytes += int64(len(w.buf))
 	if flush {
-		if serr := w.dev.Sync(); serr != nil {
+		var t0 time.Time
+		if w.stats != nil {
+			t0 = time.Now()
+		}
+		serr := w.dev.Sync()
+		if w.stats != nil {
+			w.stats.Observe(metrics.HistFsyncNS, time.Since(t0).Nanoseconds())
+		}
+		if serr != nil {
 			return off, len(w.buf), fmt.Errorf("%w: %w", ErrSyncFailed, serr)
 		}
 	}

@@ -1,0 +1,221 @@
+package lbc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lbc/internal/chaos"
+	"lbc/internal/obs"
+)
+
+// TestTwoNodeChaosTrace is the observability acceptance run: a
+// two-node store-backed cluster with group commit and mild network
+// faults, where every committed write transaction must leave all five
+// paper phases in the trace — detect, collect, disk I/O, network I/O
+// (broadcast), and a peer-side apply — plus its lock-acquire span, and
+// the merged ring must dump as parseable JSONL.
+func TestTwoNodeChaosTrace(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed: 42, DropProb: 0.05, DupProb: 0.05, ReorderProb: 0.05,
+	})
+	c, err := NewLocalCluster(2,
+		WithStore(), WithChaos(inj), WithGroupCommit(),
+		WithTracing(1<<14), WithAcquireTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const (
+		region  = RegionID(1)
+		locks   = 4
+		segLen  = 1024
+		rounds  = 10
+		payload = 32
+	)
+	if err := c.MapAll(region, locks*segLen); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < locks; l++ {
+		c.AddSegmentAll(Segment{LockID: uint32(l), Region: region,
+			Off: uint64(l) * segLen, Len: segLen})
+	}
+	if err := c.Barrier(region); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each node runs one committer goroutine per owned lock (node 0:
+	// locks 0-1, node 1: locks 2-3), so flush-mode commits overlap and
+	// the group-commit pipeline actually batches.
+	type txID struct {
+		node uint32
+		seq  uint64
+	}
+	var mu sync.Mutex
+	committed := map[txID]int{} // -> committing cluster index
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*locks)
+	for i := 0; i < 2; i++ {
+		for _, lock := range []uint32{uint32(2 * i), uint32(2*i + 1)} {
+			wg.Add(1)
+			go func(i int, lock uint32) {
+				defer wg.Done()
+				n := c.Node(i)
+				reg := n.RVM().Region(region)
+				for r := 0; r < rounds; r++ {
+					tx := n.Begin(NoRestore)
+					if err := tx.Acquire(lock); err != nil {
+						errs <- fmt.Errorf("node %d lock %d round %d: %w", i, lock, r, err)
+						return
+					}
+					off := uint64(lock)*segLen + uint64(r)*payload
+					data := bytes.Repeat([]byte{byte(lock), byte(r)}, payload/2)
+					if err := tx.Write(reg, off, data); err != nil {
+						errs <- err
+						return
+					}
+					rec, err := tx.Commit(Flush)
+					if err != nil {
+						errs <- fmt.Errorf("node %d lock %d round %d: %w", i, lock, r, err)
+						return
+					}
+					mu.Lock()
+					committed[txID{rec.Node, rec.TxSeq}] = i
+					mu.Unlock()
+				}
+			}(i, lock)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := c.FlushChaos(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Converge: cycling every lock through both nodes pulls dropped
+	// updates in via the acquire interlock; poll until the peer of
+	// every committer has an apply span for each committed tx.
+	applySeen := func() map[txID]map[int]bool {
+		out := map[txID]map[int]bool{}
+		for i := 0; i < 2; i++ {
+			for _, sp := range c.Tracer(i).Spans() {
+				if sp.Name == obs.SpanApply {
+					id := txID{sp.Node, sp.Tx}
+					if out[id] == nil {
+						out[id] = map[int]bool{}
+					}
+					out[id][i] = true
+				}
+			}
+		}
+		return out
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		seen := applySeen()
+		missing := 0
+		for id, committer := range committed {
+			if !seen[id][1-committer] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d committed txs never applied on the peer", missing)
+		}
+		for i := 0; i < 2; i++ {
+			for l := 0; l < locks; l++ {
+				tx := c.Node(i).Begin(NoRestore)
+				if err := tx.Acquire(uint32(l)); err != nil {
+					t.Fatalf("converge acquire: %v", err)
+				}
+				if err := tx.Abort(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for i := 0; i < 2; i++ {
+		if d := c.Tracer(i).Dropped(); d != 0 {
+			t.Fatalf("node %d ring dropped %d spans; raise capacity", i, d)
+		}
+	}
+
+	// Per-tx phase coverage. Committer-side spans index by (node, tx);
+	// group-commit internals (enqueue/lead/follow/sync) are batch-level
+	// so they are asserted in aggregate below.
+	perTx := map[txID]map[string]bool{}
+	var groupSpans, syncSpans, frameSpans int
+	for i := 0; i < 2; i++ {
+		for _, sp := range c.Tracer(i).Spans() {
+			switch sp.Name {
+			case obs.SpanEnqueue:
+				groupSpans++
+			case obs.SpanSync:
+				syncSpans++
+			case obs.SpanFrame:
+				frameSpans++
+			}
+			if sp.Tx == 0 && sp.Node == 0 {
+				continue // batch-level or token spans
+			}
+			id := txID{sp.Node, sp.Tx}
+			if perTx[id] == nil {
+				perTx[id] = map[string]bool{}
+			}
+			perTx[id][sp.Name] = true
+		}
+	}
+	phases := []string{
+		obs.SpanTx, obs.SpanDetect, obs.SpanCollect, obs.SpanAppend,
+		obs.SpanBroadcast, obs.SpanApply, obs.SpanLock,
+	}
+	for id := range committed {
+		got := perTx[id]
+		for _, want := range phases {
+			if !got[want] {
+				t.Errorf("tx node=%d seq=%d missing %s span (have %v)", id.node, id.seq, want, got)
+			}
+		}
+	}
+	if groupSpans == 0 || syncSpans == 0 || frameSpans == 0 {
+		t.Fatalf("group-commit/batch spans missing: enqueue=%d sync=%d frame=%d",
+			groupSpans, syncSpans, frameSpans)
+	}
+
+	// The ring must dump as JSONL: one valid span object per line.
+	var buf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if err := c.Tracer(i).WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var sp obs.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if sp.Name == "" || sp.Start == 0 {
+			t.Fatalf("span missing name/start: %q", sc.Text())
+		}
+		lines++
+	}
+	if lines < len(committed)*5 {
+		t.Fatalf("JSONL has %d lines, want at least %d", lines, len(committed)*5)
+	}
+}
