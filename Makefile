@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
 COVER_MIN ?= 60
@@ -56,6 +56,15 @@ bench-commit:
 # speedup drops below 80% of the committed baseline.
 bench-check:
 	$(GO) run ./cmd/commitbench -check -baseline BENCH_commit.json
+
+# Peer-apply throughput sweep: serial applier vs the dependency-
+# scheduled parallel pipeline across disjoint lock-chain counts.
+bench-apply:
+	$(GO) run ./cmd/applybench -o BENCH_apply.json
+
+# Regression gate for the apply pipeline (80% of baseline best speedup).
+bench-apply-check:
+	$(GO) run ./cmd/applybench -check -baseline BENCH_apply.json
 
 # Individual experiments.
 table2:

@@ -32,9 +32,11 @@ type clusterConfig struct {
 	policy      rangetree.Policy
 	diskLogDir  string
 	inj         *chaos.Injector
-	acqTimeout  time.Duration
-	groupCommit bool
-	traceCap    int
+	acqTimeout   time.Duration
+	groupCommit  bool
+	traceCap     int
+	applyWorkers int
+	serialApply  bool
 }
 
 // WithTCP connects the nodes over real loopback TCP sockets instead of
@@ -143,6 +145,19 @@ func WithGroupCommit() Option {
 // peer apply) for Cluster.Tracer to dump or inspect.
 func WithTracing(capacity int) Option {
 	return func(c *clusterConfig) { c.traceCap = capacity }
+}
+
+// WithApplyWorkers sets the size of every node's parallel apply worker
+// pool (default min(GOMAXPROCS, 8)). Records on disjoint lock chains
+// install concurrently; each chain keeps its §3.4 order.
+func WithApplyWorkers(k int) Option {
+	return func(c *clusterConfig) { c.applyWorkers = k }
+}
+
+// WithSerialApply restores the pre-pipeline single-goroutine applier on
+// every node (the ablation baseline for the parallel apply pipeline).
+func WithSerialApply() Option {
+	return func(c *clusterConfig) { c.serialApply = true }
 }
 
 // Cluster is a set of in-process nodes for experiments, examples, and
@@ -342,6 +357,8 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		PullOnStall:    cfg.inj != nil && cfg.useStore,
 		AcquireTimeout: cfg.acqTimeout,
 		BatchUpdates:   cfg.groupCommit,
+		ApplyWorkers:   cfg.applyWorkers,
+		SerialApply:    cfg.serialApply,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,98 @@
+// Command applybench measures peer-update apply throughput with the
+// serial applier versus the dependency-scheduled parallel pipeline
+// across a sweep of disjoint lock-chain counts, writing the trajectory
+// to BENCH_apply.json. Deliveries are skewed (two senders, one far
+// ahead of the other) so the serial applier pays its quadratic parked
+// rescans while the scheduler's per-lock wake index stays linear; both
+// runs must produce byte-identical images.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_apply.json", "output JSON path")
+	levels := flag.String("chains", "1,2,4,8", "comma-separated disjoint lock-chain counts")
+	records := flag.Int("records", 256, "records per chain")
+	payload := flag.Int("payload", 4096, "payload bytes per record")
+	workers := flag.Int("workers", 4, "apply workers for the parallel runs")
+	check := flag.Bool("check", false, "regression gate: compare against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_apply.json", "baseline JSON for -check")
+	frac := flag.Float64("frac", 0.8, "minimum fresh/baseline max-speedup ratio for -check")
+	flag.Parse()
+
+	var chains []int
+	for _, s := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "applybench: bad chain count %q\n", s)
+			os.Exit(1)
+		}
+		chains = append(chains, n)
+	}
+
+	res, err := bench.RunApplyBench(chains, *records, *payload, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "applybench:", err)
+		os.Exit(1)
+	}
+	printPoints(res)
+
+	if *check {
+		base, err := bench.ReadApplyBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "applybench:", err)
+			os.Exit(1)
+		}
+		if cerr := bench.CheckApplyBench(res, base, *frac); cerr != nil {
+			// Shared CI machines are noisy; one bad sweep is not a
+			// regression. Re-run once before failing the gate.
+			fmt.Fprintln(os.Stderr, "applybench:", cerr, "(retrying once)")
+			res, err = bench.RunApplyBench(chains, *records, *payload, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "applybench:", err)
+				os.Exit(1)
+			}
+			printPoints(res)
+			if cerr := bench.CheckApplyBench(res, base, *frac); cerr != nil {
+				fmt.Fprintln(os.Stderr, "applybench:", cerr)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check OK: fresh max speedup %.2fx vs baseline %.2fx (threshold %.0f%%)\n",
+			res.MaxSpeedup(), base.MaxSpeedup(), *frac*100)
+	}
+
+	// In check mode the default output path is the baseline itself;
+	// only write when the user explicitly chose a destination.
+	oSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			oSet = true
+		}
+	})
+	if !*check || oSet {
+		if err := bench.WriteApplyBench(res, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "applybench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func printPoints(res *bench.ApplyBench) {
+	fmt.Printf("%7s %16s %16s %8s %14s %14s\n",
+		"chains", "serial recs/s", "parallel recs/s", "speedup", "serial allocs", "pooled allocs")
+	for _, pt := range res.Points {
+		fmt.Printf("%7d %16.0f %16.0f %7.2fx %14.1f %14.1f\n",
+			pt.Chains, pt.SerialRecsPerSec, pt.ParallelRecsPerSec, pt.Speedup,
+			pt.SerialAllocsPerRec, pt.ParallelAllocsPerRec)
+	}
+}

@@ -136,6 +136,7 @@ func main() {
 		mreg := obs.NewRegistry()
 		mreg.Register("rvm", r.Stats())
 		mreg.RegisterGauge("applier_parked", func() int64 { return int64(n.Parked()) })
+		mreg.RegisterGauge("apply_queue_depth", func() int64 { return n.ApplyQueueDepth() })
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, obs.Handler(mreg, tracer)); err != nil {
 				fmt.Fprintln(os.Stderr, "lbcnode: debug server:", err)

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lbc/internal/coherency"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Peer-apply throughput experiment for the dependency-scheduled apply
+// pipeline: one receiving node is fed pre-encoded update frames for C
+// disjoint per-lock chains from two senders whose deliveries interleave
+// out of order (sender A carries the odd write sequences, sender B the
+// even ones, and A's records all arrive first). Under that skew the
+// serial applier parks roughly half of every chain and rescans the
+// whole parked set on each arrival — O(parked²) — while the parallel
+// engine indexes parked records by blocking lock and wakes exactly the
+// successors of each install. The gap widens with chain count, which is
+// the sweep axis. Both runs must converge to byte-identical images; the
+// run fails otherwise.
+//
+// Alloc columns come from runtime.MemStats deltas around each run and
+// capture the receive path's pooling win (pooled frame buffers and
+// record arenas versus a fresh copy per record).
+
+// ApplyPoint is one chain-count level's measurement.
+type ApplyPoint struct {
+	Chains int `json:"chains"`
+
+	SerialRecsPerSec   float64 `json:"serial_recs_per_sec"`
+	ParallelRecsPerSec float64 `json:"parallel_recs_per_sec"`
+	Speedup            float64 `json:"speedup"`
+
+	SerialAllocsPerRec   float64 `json:"serial_allocs_per_rec"`
+	ParallelAllocsPerRec float64 `json:"parallel_allocs_per_rec"`
+	SerialBytesPerRec    float64 `json:"serial_bytes_per_rec"`
+	ParallelBytesPerRec  float64 `json:"parallel_bytes_per_rec"`
+}
+
+// ApplyBench is the BENCH_apply.json document.
+type ApplyBench struct {
+	Bench           string       `json:"bench"`
+	RecordsPerChain int          `json:"records_per_chain"`
+	Payload         int          `json:"payload_bytes"`
+	Workers         int          `json:"apply_workers"`
+	Points          []ApplyPoint `json:"points"`
+}
+
+// chainSpan is the bytes of region each chain's segment covers. Writes
+// rotate through span/payload slots so later sequences overwrite
+// earlier ones and the final image is sensitive to apply order.
+const chainSpan = 64 << 10
+
+// RunApplyBench measures serial vs parallel apply throughput at each
+// chain count, verifying that both reach the same final image.
+func RunApplyBench(chains []int, recordsPerChain, payload, workers int) (*ApplyBench, error) {
+	out := &ApplyBench{
+		Bench: "apply", RecordsPerChain: recordsPerChain,
+		Payload: payload, Workers: workers,
+	}
+	for _, c := range chains {
+		frames := buildApplyFrames(c, recordsPerChain, payload)
+		var pt ApplyPoint
+		pt.Chains = c
+		var serialSum, parallelSum [sha256.Size]byte
+		for _, serial := range []bool{true, false} {
+			perSec, allocs, bytes, sum, err := runApplyLevel(frames, c, recordsPerChain, payload, workers, serial)
+			if err != nil {
+				return nil, err
+			}
+			if serial {
+				pt.SerialRecsPerSec = perSec
+				pt.SerialAllocsPerRec = allocs
+				pt.SerialBytesPerRec = bytes
+				serialSum = sum
+			} else {
+				pt.ParallelRecsPerSec = perSec
+				pt.ParallelAllocsPerRec = allocs
+				pt.ParallelBytesPerRec = bytes
+				parallelSum = sum
+			}
+		}
+		if serialSum != parallelSum {
+			return nil, fmt.Errorf("bench: apply divergence at %d chains: serial %x != parallel %x",
+				c, serialSum[:8], parallelSum[:8])
+		}
+		if pt.SerialRecsPerSec > 0 {
+			pt.Speedup = pt.ParallelRecsPerSec / pt.SerialRecsPerSec
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// applyFrame is one pre-encoded update delivery.
+type applyFrame struct {
+	from    netproto.NodeID
+	payload []byte
+}
+
+// buildApplyFrames fabricates the skewed two-sender delivery schedule:
+// sender 2 commits every chain's odd write sequences, sender 3 the even
+// ones, and the schedule plays all of sender 2's frames (round-robin
+// across chains, ascending sequence) before any of sender 3's. Frames
+// are encoded once and reused by both runs; the receive path copies
+// records out of the payload before returning.
+func buildApplyFrames(chains, recordsPerChain, payload int) []applyFrame {
+	slots := chainSpan / payload
+	var frames []applyFrame
+	txSeq := map[netproto.NodeID]uint64{}
+	emit := func(from netproto.NodeID, chain int, seq uint64) {
+		txSeq[from]++
+		base := uint64(chain) * chainSpan
+		off := base + uint64(int(seq)%slots)*uint64(payload)
+		data := make([]byte, payload)
+		for i := range data {
+			data[i] = byte(uint64(chain)*31 + seq*7 + uint64(i))
+		}
+		rec := &wal.TxRecord{
+			Node: uint32(from), TxSeq: txSeq[from],
+			Locks: []wal.LockRec{{
+				LockID: uint32(chain), Seq: seq, PrevWriteSeq: seq - 1, Wrote: true,
+			}},
+			Ranges: []wal.RangeRec{{Region: 1, Off: off, Data: data}},
+		}
+		enc, err := wal.AppendCompressed(make([]byte, 0, wal.CompressedSize(rec)), rec)
+		if err != nil {
+			panic(err) // fabricated records always fit the compressed format
+		}
+		frames = append(frames, applyFrame{from: from, payload: enc})
+	}
+	for seq := uint64(1); seq <= uint64(recordsPerChain); seq += 2 {
+		for c := 0; c < chains; c++ {
+			emit(2, c, seq)
+		}
+	}
+	for seq := uint64(2); seq <= uint64(recordsPerChain); seq += 2 {
+		for c := 0; c < chains; c++ {
+			emit(3, c, seq)
+		}
+	}
+	return frames
+}
+
+// runApplyLevel drives the frame schedule into a fresh receiving node
+// and times delivery-to-quiescence.
+func runApplyLevel(frames []applyFrame, chains, recordsPerChain, payload, workers int, serial bool) (perSec, allocsPerRec, bytesPerRec float64, sum [sha256.Size]byte, err error) {
+	hub := netproto.NewHub()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		return 0, 0, 0, sum, err
+	}
+	defer r.Close()
+	opts := coherency.Options{
+		RVM: r, Transport: hub.Endpoint(1),
+		Nodes:       []netproto.NodeID{1, 2, 3},
+		SerialApply: serial,
+	}
+	if !serial {
+		opts.ApplyWorkers = workers
+	}
+	n, err := coherency.New(opts)
+	if err != nil {
+		return 0, 0, 0, sum, err
+	}
+	defer n.Close()
+	reg, err := n.MapRegion(1, chains*chainSpan)
+	if err != nil {
+		return 0, 0, 0, sum, err
+	}
+	for c := 0; c < chains; c++ {
+		n.AddSegment(coherency.Segment{
+			LockID: uint32(c), Region: 1,
+			Off: uint64(c) * chainSpan, Len: chainSpan,
+		})
+	}
+
+	total := chains * recordsPerChain
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, f := range frames {
+		n.DeliverUpdate(f.from, f.payload)
+	}
+	if err := n.Quiesce(60 * time.Second); err != nil {
+		return 0, 0, 0, sum, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	sum = sha256.Sum256(reg.Bytes())
+	perSec = float64(total) / elapsed.Seconds()
+	allocsPerRec = float64(m1.Mallocs-m0.Mallocs) / float64(total)
+	bytesPerRec = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total)
+	return perSec, allocsPerRec, bytesPerRec, sum, nil
+}
+
+// WriteApplyBench writes the document to path as indented JSON.
+func WriteApplyBench(b *ApplyBench, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadApplyBench loads a BENCH_apply.json document.
+func ReadApplyBench(path string) (*ApplyBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ApplyBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// MaxSpeedup returns the largest parallel-over-serial apply speedup
+// across the chain-count sweep (the benchmark's headline number).
+func (b *ApplyBench) MaxSpeedup() float64 {
+	var max float64
+	for _, pt := range b.Points {
+		if pt.Speedup > max {
+			max = pt.Speedup
+		}
+	}
+	return max
+}
+
+// CheckApplyBench is the bench-regression gate: it fails when the fresh
+// run's best speedup falls below frac of the committed baseline's best.
+// Maxima rather than point-by-point comparison tolerates machines whose
+// scheduling shifts which chain count wins, while still catching a
+// scheduler that fell back to serial behaviour.
+func CheckApplyBench(fresh, baseline *ApplyBench, frac float64) error {
+	fm, bm := fresh.MaxSpeedup(), baseline.MaxSpeedup()
+	if bm <= 0 {
+		return fmt.Errorf("bench: baseline has no speedup data")
+	}
+	if fm < bm*frac {
+		return fmt.Errorf("bench: parallel-apply regression: fresh max speedup %.2fx < %.0f%% of baseline %.2fx",
+			fm, frac*100, bm)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Package bufpool provides size-classed byte-buffer pooling for the
+// receive and send paths of the coherency protocol. The paper's
+// prototype allocated a fresh buffer per incoming frame and per encoded
+// record; under the group-commit pipeline (>10k records/sec on the
+// wire) that allocation rate dominates the receive path, so frame
+// buffers, record arenas, and encode buffers are recycled here instead.
+//
+// Ownership rules (enforced by the coherency/netproto tests):
+//
+//   - Get returns a buffer with len 0 and cap >= n that the caller owns
+//     exclusively until it calls Put.
+//   - Put transfers ownership back to the pool; the caller must not
+//     read or write the buffer (or any slice aliasing it) afterwards.
+//   - A buffer handed to another goroutine travels with its ownership:
+//     exactly one side calls Put, after the last access.
+//
+// Buffers are filed into power-of-two size classes between 512 bytes
+// and 16 MiB. Requests above the largest class fall back to plain
+// allocation and Put discards such buffers, so a single hostile-length
+// frame cannot pin gigabytes inside the pool.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	minClassBits = 9  // 512 B
+	maxClassBits = 24 // 16 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var classes [numClasses]sync.Pool
+
+// Counters for tests and benchmark reporting: how often Get was served
+// from a pool vs. a fresh allocation, and how many buffers came back.
+var (
+	gets   atomic.Int64
+	reuses atomic.Int64
+	puts   atomic.Int64
+)
+
+// classFor returns the smallest class index whose buffers hold n bytes,
+// or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c > maxClassBits {
+		return -1
+	}
+	return c - minClassBits
+}
+
+// Get returns a buffer with len 0 and cap at least n. The caller owns
+// it until Put.
+func Get(n int) []byte {
+	gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		reuses.Add(1)
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<(c+minClassBits))
+}
+
+// Put returns a buffer obtained from Get (or any buffer the caller
+// owns outright) to the pool. Buffers smaller than the minimum class
+// or larger than the maximum are discarded. Put files the buffer under
+// the largest class its capacity can serve, so a grown buffer is still
+// reusable.
+func Put(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 // floor(log2(cap))
+	if c < minClassBits || c > maxClassBits {
+		return
+	}
+	puts.Add(1)
+	b = b[:0]
+	//lint:ignore SA6002 the slice-header box per Put replaces a payload-sized allocation
+	classes[c-minClassBits].Put(b) //nolint:staticcheck
+}
+
+// Stats reports (gets, pool hits, puts) since process start.
+func Stats() (int64, int64, int64) {
+	return gets.Load(), reuses.Load(), puts.Load()
+}

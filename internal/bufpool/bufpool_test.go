@@ -1,0 +1,99 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 512, 513, 4096, 65536, 1 << 20, (1 << 24) + 1} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d) len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) cap = %d", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {512, 0}, {513, 1}, {1024, 1}, {1025, 2},
+		{1 << 24, numClasses - 1}, {(1 << 24) + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestReuseKeepsCapacityInvariant(t *testing.T) {
+	// A buffer grown past its class must be re-filed so a later Get
+	// still receives at least the capacity it asked for.
+	b := Get(600) // class 1: cap 1024
+	b = append(b, make([]byte, 5000)...)
+	Put(b) // cap >= 5000, filed under the class its cap can serve
+	for i := 0; i < 100; i++ {
+		g := Get(4096)
+		if cap(g) < 4096 {
+			t.Fatalf("reused buffer cap %d < 4096", cap(g))
+		}
+		Put(g)
+	}
+}
+
+func TestPutOversizedDiscards(t *testing.T) {
+	_, _, before := Stats()
+	Put(make([]byte, 0, 1<<25)) // above the largest class
+	Put(make([]byte, 0, 8))     // below the smallest class
+	if _, _, after := Stats(); after != before {
+		t.Fatalf("out-of-range Put was pooled (puts %d -> %d)", before, after)
+	}
+}
+
+func TestBuffersDoNotAlias(t *testing.T) {
+	a := Get(1024)
+	b := Get(1024)
+	a = append(a, bytes.Repeat([]byte{0xaa}, 1024)...)
+	b = append(b, bytes.Repeat([]byte{0xbb}, 1024)...)
+	for i := range a {
+		if a[i] != 0xaa {
+			t.Fatalf("buffer a corrupted at %d", i)
+		}
+	}
+	Put(a)
+	Put(b)
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	// Exercised under -race: concurrent Get/Put with per-goroutine
+	// payloads must never observe another goroutine's bytes while the
+	// buffer is owned.
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g byte) {
+			ok := true
+			for i := 0; i < 500; i++ {
+				b := Get(2048)
+				b = append(b, bytes.Repeat([]byte{g}, 2048)...)
+				for j := 0; j < 2048; j += 257 {
+					if b[j] != g {
+						ok = false
+					}
+				}
+				Put(b)
+			}
+			done <- ok
+		}(byte(g))
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("buffer observed foreign bytes while owned")
+		}
+	}
+}

@@ -11,30 +11,55 @@ import (
 
 // onUpdate handles an incoming compressed coherency record. The
 // transport owns the payload buffer, so the decoded record (which
-// aliases it) is deep-copied before crossing into the applier.
+// aliases it) is copied before crossing into the apply pipeline — into
+// a pooled arena on the parallel path, a plain allocation on the
+// serial (ablation) path.
 func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
 	rec, err := wal.DecodeCompressed(payload)
 	if err != nil {
-		n.stats.Add(metrics.CtrDecodeErrors, 1)
+		n.decodeError(from)
 		return
 	}
-	n.enqueue(copyRecord(rec))
+	if n.serial {
+		n.enqueue(copyRecord(rec))
+		return
+	}
+	n.enqueue(n.adoptRecord(rec))
 }
 
 // onUpdateStd handles a standard-encoded record (header ablation mode).
 func (n *Node) onUpdateStd(from netproto.NodeID, payload []byte) {
 	rec, _, err := wal.DecodeStandard(payload)
 	if err != nil {
-		n.stats.Add(metrics.CtrDecodeErrors, 1)
+		n.decodeError(from)
 		return
 	}
 	n.enqueue(rec) // DecodeStandard already copies data
 }
 
+// decodeError counts a malformed update frame, both in aggregate and
+// attributed to the sending node (a persistently garbling peer shows up
+// by name in /debug/lbc instead of as an anonymous total).
+func (n *Node) decodeError(from netproto.NodeID) {
+	n.stats.Add(metrics.CtrDecodeErrors, 1)
+	n.stats.Add(metrics.DecodeErrorsFrom(uint32(from)), 1)
+}
+
+// enqueue admits a record to the apply pipeline. The channel send is
+// attempted without blocking first so commit-path stalls on a full
+// apply queue are visible as a counter, not silent latency.
 func (n *Node) enqueue(rec *wal.TxRecord) {
+	n.outstanding.Add(1)
+	select {
+	case n.applyCh <- rec:
+		return
+	default:
+	}
+	n.stats.Add(metrics.CtrApplyBackpressure, 1)
 	select {
 	case n.applyCh <- rec:
 	case <-n.done:
+		n.recordDone(rec)
 	}
 }
 
@@ -85,11 +110,13 @@ func (n *Node) applier() {
 			for _, rec := range parked {
 				if n.canApply(rec, appliedTx) {
 					n.apply(rec, appliedTx)
+					n.recordDone(rec)
 					progress = true
 				} else if !n.stale(rec, appliedTx) {
 					keep = append(keep, rec)
 				} else {
 					n.stats.Add(metrics.CtrRecordsStale, 1)
+					n.recordDone(rec)
 				}
 			}
 			parked = keep
@@ -210,19 +237,41 @@ func (n *Node) apply(rec *wal.TxRecord, appliedTx map[uint32]uint64) {
 	n.stats.Add(metrics.CtrBytesApplied, int64(bytes))
 }
 
-// Parked reports how many received records the applier currently holds
-// waiting for their per-lock predecessors (the §3.4 interlock). Tests
-// use it as a deterministic signal that an out-of-order record has been
-// processed and parked.
-func (n *Node) Parked() int { return int(n.parked.Load()) }
+// Parked reports how many received records the apply pipeline currently
+// holds waiting for their per-lock predecessors (the §3.4 interlock).
+// Tests use it as a deterministic signal that an out-of-order record has
+// been processed and parked.
+func (n *Node) Parked() int {
+	if n.eng != nil {
+		return n.eng.Parked()
+	}
+	return int(n.parked.Load())
+}
 
-// poke nudges the applier to retry parked records (after a local
-// commit advances applied sequences).
+// poke retries every parked record (after local state advanced applied
+// sequences in bulk — a pull, a catch-up). When only specific locks
+// advanced, pokeLocks is cheaper.
 func (n *Node) poke() {
+	if n.eng != nil {
+		n.eng.WakeAll()
+		return
+	}
 	select {
 	case n.wake <- struct{}{}:
 	default:
 	}
+}
+
+// pokeLocks retries records parked on the given locks (a local commit
+// released them with new applied sequences). The parallel engine wakes
+// exactly those waiters; the serial applier falls back to a full
+// parked-list rescan.
+func (n *Node) pokeLocks(lockIDs []uint32) {
+	if n.eng != nil {
+		n.eng.WakeLocks(lockIDs)
+		return
+	}
+	n.poke()
 }
 
 // Accept applies all updates buffered in versioned mode (§2.1-2.2: a

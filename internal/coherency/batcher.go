@@ -3,6 +3,7 @@ package coherency
 import (
 	"time"
 
+	"lbc/internal/bufpool"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
@@ -39,16 +40,19 @@ type outMsg struct {
 
 // encodeRecord encodes rec in the node's wire format, returning the
 // message and its type code. Records too large for the compressed
-// format fall back to the standard encoding.
+// format fall back to the standard encoding. The returned buffer comes
+// from bufpool; the caller owns it and must Put it after the last send.
 func (n *Node) encodeRecord(rec *wal.TxRecord) ([]byte, uint8) {
 	if n.wire != Standard {
-		msg, err := wal.AppendCompressed(nil, rec)
+		b := bufpool.Get(wal.CompressedSize(rec))
+		msg, err := wal.AppendCompressed(b, rec)
 		if err == nil {
 			return msg, MsgUpdate
 		}
+		bufpool.Put(b)
 		n.stats.Add(metrics.CtrCompressFallbacks, 1)
 	}
-	return wal.AppendStandard(nil, rec), MsgUpdateStd
+	return wal.AppendStandard(bufpool.Get(wal.StandardSize(rec)), rec), MsgUpdateStd
 }
 
 // enqueueBroadcast queues rec for the sender goroutine.
@@ -62,9 +66,9 @@ func (n *Node) enqueueBroadcast(rec *wal.TxRecord) {
 	if typ == MsgUpdateStd {
 		tag = batchFmtStandard
 	}
-	payload := make([]byte, 0, 1+len(msg))
-	payload = append(payload, tag)
+	payload := append(bufpool.Get(1+len(msg)), tag)
 	payload = append(payload, msg...)
+	bufpool.Put(msg)
 
 	n.sendMu.Lock()
 	n.sendQ = append(n.sendQ, outMsg{payload: payload, peers: peers})
@@ -130,55 +134,73 @@ func (n *Node) flushSends() {
 		if traced {
 			t0 = time.Now()
 		}
-		frame := netproto.AppendBatch(nil, perPeer[p])
-		if err := n.tr.Send(p, MsgUpdateBatch, frame); err != nil {
+		parts := perPeer[p]
+		size := 4
+		for _, part := range parts {
+			size += 4 + len(part)
+		}
+		frame := netproto.AppendBatch(bufpool.Get(size), parts)
+		err := n.tr.Send(p, MsgUpdateBatch, frame)
+		// Send does not retain the frame (ChanEndpoint copies, TCP
+		// writes synchronously), so it can be recycled either way.
+		bufpool.Put(frame)
+		if err != nil {
 			n.stats.Add(metrics.CtrSendErrors, 1)
 			continue
 		}
 		n.stats.Add(metrics.CtrMsgsSent, 1)
-		n.stats.Add(metrics.CtrBytesSent, int64(len(frame)))
+		n.stats.Add(metrics.CtrBytesSent, int64(size))
 		n.stats.Add(metrics.CtrBatchFrames, 1)
-		n.stats.Add(metrics.CtrBatchRecords, int64(len(perPeer[p])))
+		n.stats.Add(metrics.CtrBatchRecords, int64(len(parts)))
 		if traced {
 			n.trace.Emit(obs.Span{
 				Name: obs.SpanFrame, Peer: uint32(p),
 				Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
-				N: int64(len(perPeer[p])),
+				N: int64(len(parts)),
 			})
 		}
+	}
+	// Record payloads are shared across the per-peer frames; all frames
+	// have been built and sent, so release them once here.
+	for _, m := range q {
+		bufpool.Put(m.payload)
 	}
 }
 
 // onUpdateBatch decodes a batch frame and feeds its records to the
-// applier in frame order.
+// apply pipeline in frame order.
 func (n *Node) onUpdateBatch(from netproto.NodeID, payload []byte) {
 	parts, err := netproto.SplitBatch(payload)
 	if err != nil {
-		n.stats.Add(metrics.CtrDecodeErrors, 1)
+		n.decodeError(from)
 		return
 	}
 	for _, part := range parts {
 		if len(part) < 1 {
-			n.stats.Add(metrics.CtrDecodeErrors, 1)
+			n.decodeError(from)
 			return
 		}
 		switch part[0] {
 		case batchFmtCompressed:
 			rec, err := wal.DecodeCompressed(part[1:])
 			if err != nil {
-				n.stats.Add(metrics.CtrDecodeErrors, 1)
+				n.decodeError(from)
 				return
 			}
-			n.enqueue(copyRecord(rec))
+			if n.serial {
+				n.enqueue(copyRecord(rec))
+			} else {
+				n.enqueue(n.adoptRecord(rec))
+			}
 		case batchFmtStandard:
 			rec, _, err := wal.DecodeStandard(part[1:])
 			if err != nil {
-				n.stats.Add(metrics.CtrDecodeErrors, 1)
+				n.decodeError(from)
 				return
 			}
 			n.enqueue(rec) // DecodeStandard already copies data
 		default:
-			n.stats.Add(metrics.CtrDecodeErrors, 1)
+			n.decodeError(from)
 			return
 		}
 	}

@@ -520,6 +520,14 @@ func TestDecodeErrorCounted(t *testing.T) {
 	if nodes[1].Stats().Counter("decode_errors") != 1 {
 		t.Fatal("decode error not counted")
 	}
+	// The error is also attributed to the sending node, so a poison
+	// peer is identifiable from the metrics alone.
+	if nodes[1].Stats().Counter(metrics.DecodeErrorsFrom(1)) != 1 {
+		t.Fatal("decode error not attributed to sender")
+	}
+	if nodes[1].Stats().Counter(metrics.DecodeErrorsFrom(2)) != 0 {
+		t.Fatal("decode error attributed to wrong sender")
+	}
 }
 
 func TestAcceptInNonVersionedModeIsNoop(t *testing.T) {

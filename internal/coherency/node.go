@@ -34,6 +34,7 @@ import (
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
+	"lbc/internal/parapply"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -149,6 +150,17 @@ type Options struct {
 	// pipeline. Receiver-side ordering is unchanged: batched records go
 	// through the same per-lock sequence interlock.
 	BatchUpdates bool
+	// ApplyWorkers sets the size of the parallel apply worker pool
+	// (default min(GOMAXPROCS, 8)). Records on disjoint per-lock chains
+	// install concurrently; each chain keeps its §3.4 order. 1 still
+	// uses the dependency scheduler with a single worker (O(1) wakeups
+	// instead of the serial applier's parked-list rescans).
+	ApplyWorkers int
+	// SerialApply restores the pre-pipeline receive path: a single
+	// applier goroutine with a rescanned parked list and per-record
+	// copies instead of pooled arenas. Kept as the ablation baseline
+	// for benchmarks and the equivalence tests.
+	SerialApply bool
 }
 
 // Node is one participant in the coherent distributed store.
@@ -167,6 +179,23 @@ type Node struct {
 	pullStall  bool
 	acqTimeout time.Duration
 	batch      bool
+	serial     bool
+
+	// Parallel apply pipeline (nil when SerialApply). The engine owns
+	// dependency scheduling; the node supplies install/teardown.
+	eng *parapply.Engine
+
+	// Pooled arenas backing records adopted from transport buffers, by
+	// record identity. Returned to bufpool when the record reaches a
+	// terminal state (recordDone).
+	arenaMu sync.Mutex
+	arenas  map[*wal.TxRecord][]byte
+
+	// Records admitted to the apply pipeline that have not reached a
+	// terminal state (installed or dropped). Includes parked and
+	// versioned-buffered records; the /debug/lbc queue-depth gauge and
+	// Quiesce read it.
+	outstanding atomic.Int64
 
 	// Outgoing batch queue (BatchUpdates). sendMu is leaf-level: never
 	// taken while holding n.mu.
@@ -234,6 +263,8 @@ func New(opts Options) (*Node, error) {
 		pullStall:    opts.PullOnStall,
 		acqTimeout:   opts.AcquireTimeout,
 		batch:        opts.BatchUpdates,
+		serial:       opts.SerialApply,
+		arenas:       map[*wal.TxRecord][]byte{},
 		sendWake:     make(chan struct{}, 1),
 		segments:     map[uint32]Segment{},
 		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
@@ -257,7 +288,21 @@ func New(opts Options) (*Node, error) {
 	}
 	n.initCheckpoint()
 	n.wg.Add(1)
-	go n.applier()
+	if n.serial {
+		go n.applier()
+	} else {
+		n.eng = parapply.New(parapply.Config{
+			Workers: opts.ApplyWorkers,
+			Applied: n.locks.Applied,
+			Install: n.installRecord,
+			Done:    func(rec *wal.TxRecord, err error) { n.recordDone(rec) },
+			Drop: func(rec *wal.TxRecord) {
+				n.stats.Add(metrics.CtrRecordsStale, 1)
+				n.recordDone(rec)
+			},
+		})
+		go n.scheduler()
+	}
 	if n.batch {
 		n.wg.Add(1)
 		go n.sender()
@@ -390,13 +435,18 @@ func (n *Node) peersForRecord(rec *wal.TxRecord) []netproto.NodeID {
 	return out
 }
 
-// Close stops the applier and the lock manager.
+// Close stops the apply pipeline and the lock manager.
 func (n *Node) Close() error {
 	n.closeOne.Do(func() {
 		close(n.done)
 		n.locks.Close()
 	})
 	n.wg.Wait()
+	if n.eng != nil {
+		// After the scheduler has exited: nothing submits anymore, so
+		// this drains in-flight installs and discards parked records.
+		n.eng.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,165 @@
+package coherency
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Equivalence stress for the parallel apply engine: a randomized
+// committed-record stream — per-lock chains, occasional multi-lock
+// records, lock-free per-sender records, duplicated deliveries, and a
+// shuffled delivery order — is played into a serial-applier node and a
+// parallel-pipeline node. Both must converge to byte-identical images:
+// the per-lock interlock (and per-sender FIFO for lock-free records) is
+// the entire ordering contract, so any schedule the engine admits that
+// the serial applier would not produces a divergent image here.
+
+const (
+	eqChains   = 4
+	eqSpan     = 4096
+	eqScratch  = 512 // per-sender lock-free scratch area
+	eqSenders  = 2   // senders are nodes 2 and 3
+	eqRegionSz = eqChains*eqSpan + eqSenders*eqScratch
+)
+
+// eqFrame is one scheduled delivery: a pre-encoded update frame and the
+// peer it arrives from.
+type eqFrame struct {
+	from netproto.NodeID
+	buf  []byte
+}
+
+// buildEquivalenceStream fabricates the stream and its (shuffled,
+// partially duplicated) delivery schedule.
+func buildEquivalenceStream(t *testing.T, rng *rand.Rand, records int) []eqFrame {
+	t.Helper()
+	var lockSeq [eqChains]uint64
+	senderTx := map[uint32]uint64{}
+	var frames []eqFrame
+
+	for i := 0; i < records; i++ {
+		sender := uint32(2 + rng.Intn(eqSenders))
+		senderTx[sender]++
+		rec := &wal.TxRecord{Node: sender, TxSeq: senderTx[sender]}
+
+		if rng.Intn(8) == 0 {
+			// Lock-free record: writes rotate through the sender's own
+			// scratch slots, so per-sender FIFO fully determines the
+			// final bytes.
+			slot := senderTx[sender] % 8
+			off := uint64(eqChains*eqSpan) + uint64(sender-2)*eqScratch + slot*64
+			data := make([]byte, 64)
+			rng.Read(data)
+			rec.Ranges = []wal.RangeRec{{Region: 1, Off: off, Data: data}}
+		} else {
+			chains := []int{rng.Intn(eqChains)}
+			if rng.Intn(5) == 0 {
+				other := rng.Intn(eqChains)
+				if other != chains[0] {
+					chains = append(chains, other)
+				}
+			}
+			sort.Ints(chains)
+			for _, c := range chains {
+				lockSeq[c]++
+				rec.Locks = append(rec.Locks, wal.LockRec{
+					LockID: uint32(c), Seq: lockSeq[c],
+					PrevWriteSeq: lockSeq[c] - 1, Wrote: true,
+				})
+				size := 1 + rng.Intn(64)
+				off := uint64(c*eqSpan + rng.Intn(eqSpan-size))
+				data := make([]byte, size)
+				rng.Read(data)
+				rec.Ranges = append(rec.Ranges, wal.RangeRec{Region: 1, Off: off, Data: data})
+			}
+			// Ranges are already sorted by (Region, Off): segment bases
+			// ascend with the (sorted) chain index.
+		}
+		enc, err := wal.AppendCompressed(make([]byte, 0, wal.CompressedSize(rec)), rec)
+		if err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
+		frames = append(frames, eqFrame{from: netproto.NodeID(sender), buf: enc})
+	}
+
+	// Shuffled schedule with duplicated deliveries sprinkled in.
+	sched := append([]eqFrame(nil), frames...)
+	rng.Shuffle(len(sched), func(i, j int) { sched[i], sched[j] = sched[j], sched[i] })
+	for i := 0; i < len(frames)/10; i++ {
+		dup := sched[rng.Intn(len(sched))]
+		at := rng.Intn(len(sched) + 1)
+		sched = append(sched, eqFrame{})
+		copy(sched[at+1:], sched[at:])
+		sched[at] = dup
+	}
+	return sched
+}
+
+// playStream drives the schedule into a fresh receiving node and
+// returns the final image.
+func playStream(t *testing.T, sched []eqFrame, serial bool) []byte {
+	t.Helper()
+	hub := netproto.NewHub()
+	r, err := rvm.Open(rvm.Options{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	opts := Options{
+		RVM: r, Transport: hub.Endpoint(1),
+		Nodes:       []netproto.NodeID{1, 2, 3},
+		SerialApply: serial,
+	}
+	if !serial {
+		opts.ApplyWorkers = 4
+	}
+	n, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	reg, err := n.MapRegion(1, eqRegionSz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < eqChains; c++ {
+		n.AddSegment(Segment{LockID: uint32(c), Region: 1, Off: uint64(c * eqSpan), Len: eqSpan})
+	}
+	for _, f := range sched {
+		n.DeliverUpdate(f.from, f.buf)
+	}
+	if err := n.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p := n.Parked(); p != 0 {
+		t.Fatalf("%d records still parked after full delivery", p)
+	}
+	return append([]byte(nil), reg.Bytes()...)
+}
+
+func TestParallelApplierMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sched := buildEquivalenceStream(t, rng, 150)
+			serialImg := playStream(t, sched, true)
+			parallelImg := playStream(t, sched, false)
+			if !bytes.Equal(serialImg, parallelImg) {
+				for i := range serialImg {
+					if serialImg[i] != parallelImg[i] {
+						t.Fatalf("images diverge at byte %d: serial %02x parallel %02x",
+							i, serialImg[i], parallelImg[i])
+					}
+				}
+			}
+		})
+	}
+}

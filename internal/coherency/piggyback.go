@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"lbc/internal/bufpool"
 	"lbc/internal/metrics"
-
 	"lbc/internal/netproto"
 	"lbc/internal/wal"
 )
@@ -143,16 +143,20 @@ func (n *Node) PrepareToken(lockID uint32, to netproto.NodeID) []byte {
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(pending)))
 	buf = append(buf, scratch[:4]...)
 	for _, rr := range pending {
-		enc, err := wal.AppendCompressed(nil, rr.rec)
+		// The per-record encode buffer is pooled: its bytes are appended
+		// into the blob (which lockmgr owns) and recycled right away.
+		enc, err := wal.AppendCompressed(bufpool.Get(wal.CompressedSize(rr.rec)), rr.rec)
 		lenWord := uint32(len(enc))
 		if err != nil {
-			enc = wal.AppendStandard(nil, rr.rec)
+			bufpool.Put(enc)
+			enc = wal.AppendStandard(bufpool.Get(wal.StandardSize(rr.rec)), rr.rec)
 			lenWord = uint32(len(enc)) | stdEncodingBit
 			n.stats.Add(metrics.CtrCompressFallbacks, 1)
 		}
 		binary.LittleEndian.PutUint32(scratch[:4], lenWord)
 		buf = append(buf, scratch[:4]...)
 		buf = append(buf, enc...)
+		bufpool.Put(enc)
 	}
 	n.stats.Add("token_piggyback_bytes", int64(len(buf)))
 	n.stats.Add("token_piggyback_recs", int64(len(pending)))
@@ -203,17 +207,21 @@ func (n *Node) TokenArrived(lockID uint32, from netproto.NodeID, blob []byte) {
 		if std {
 			rec, _, err := wal.DecodeStandard(blob[p : p+ln])
 			if err != nil {
-				n.stats.Add(metrics.CtrDecodeErrors, 1)
+				n.decodeError(from)
 				return
 			}
 			recs = append(recs, rec) // DecodeStandard already copies
 		} else {
 			rec, err := wal.DecodeCompressed(blob[p : p+ln])
 			if err != nil {
-				n.stats.Add(metrics.CtrDecodeErrors, 1)
+				n.decodeError(from)
 				return
 			}
-			recs = append(recs, copyRecord(rec)) // blob buffer is transient
+			// Deliberately an unpooled copy (not adoptRecord): these
+			// records are retained in the lock history indefinitely as
+			// well as enqueued, so a pooled arena would be recycled by
+			// recordDone while the history still references it.
+			recs = append(recs, copyRecord(rec))
 		}
 		p += ln
 	}

@@ -1,0 +1,175 @@
+package coherency
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lbc/internal/bufpool"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/obs"
+	"lbc/internal/wal"
+)
+
+// scheduler feeds the parallel apply engine (the replacement for the
+// serial applier goroutine): it forwards admitted records to the
+// dependency scheduler and implements the versioned read model by
+// holding records back until Accept.
+func (n *Node) scheduler() {
+	defer n.wg.Done()
+	var buffered []*wal.TxRecord // versioned mode: awaiting Accept
+
+	versioned := func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.versioned
+	}
+
+	for {
+		select {
+		case rec := <-n.applyCh:
+			if versioned() {
+				buffered = append(buffered, rec)
+				continue
+			}
+			n.eng.Submit(rec)
+
+		case reply := <-n.acceptCh:
+			// Accept (versioned mode): submit the buffered batch and
+			// wait for the engine to settle, so the records that can
+			// apply have actually been installed when Accept returns
+			// (the serial applier's drain-before-reply contract).
+			k := len(buffered)
+			for _, rec := range buffered {
+				n.eng.Submit(rec)
+			}
+			buffered = nil
+			n.eng.Settle()
+			reply <- k
+
+		case <-n.done:
+			for _, rec := range buffered {
+				n.recordDone(rec)
+			}
+			return
+		}
+	}
+}
+
+// installRecord is the engine's Install callback: it installs one
+// record into the local image and advances the interlock. It runs on an
+// apply worker; the engine guarantees per-chain and per-sender order
+// and that no identity is in flight twice.
+func (n *Node) installRecord(worker int, rec *wal.TxRecord) error {
+	traced := n.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
+	start := time.Now()
+	tm := metrics.StartTimer(n.stats, metrics.PhaseApply)
+	bytes, err := n.rvm.ApplyRecord(rec)
+	tm.Stop()
+	if traced {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanApply, Node: rec.Node, Tx: rec.TxSeq,
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+			N: int64(bytes), Worker: worker,
+		})
+	}
+	if err != nil {
+		// Do not mark applied: the chain stalls at this record, exactly
+		// like the serial applier (successors stay parked).
+		n.stats.Add(metrics.CtrApplyErrors, 1)
+		return err
+	}
+	for _, l := range rec.Locks {
+		if l.Wrote {
+			n.locks.MarkApplied(l.LockID, l.Seq)
+		}
+	}
+	busy := time.Since(start)
+	n.stats.Add(metrics.CtrRecordsApplied, 1)
+	n.stats.Add(metrics.CtrBytesApplied, int64(bytes))
+	n.stats.Add(metrics.CtrApplyWorkerBusyNS, busy.Nanoseconds())
+	n.stats.Observe(metrics.HistApplyNS, busy.Nanoseconds())
+	return nil
+}
+
+// recordDone releases a record that reached a terminal state (installed
+// or dropped): its pooled arena, if any, goes back to bufpool and the
+// outstanding gauge drops.
+func (n *Node) recordDone(rec *wal.TxRecord) {
+	n.arenaMu.Lock()
+	buf, pooled := n.arenas[rec]
+	if pooled {
+		delete(n.arenas, rec)
+	}
+	n.arenaMu.Unlock()
+	if pooled {
+		bufpool.Put(buf)
+	}
+	n.outstanding.Add(-1)
+}
+
+// adoptRecord moves a record decoded from a transport-owned buffer
+// onto a pooled arena. The decoded struct and its lock/range headers
+// are already fresh allocations (DecodeCompressed never aliases them
+// into the input), so only the range data — which does alias the
+// transport buffer — is copied out; the transport may recycle its
+// buffer as soon as the handler returns. The arena is returned to the
+// pool by recordDone once the record is terminal. Records that outlive
+// the pipeline (piggyback retention) must use copyRecord instead.
+func (n *Node) adoptRecord(rec *wal.TxRecord) *wal.TxRecord {
+	var total int
+	for _, r := range rec.Ranges {
+		total += len(r.Data)
+	}
+	buf := bufpool.Get(total)
+	for i := range rec.Ranges {
+		start := len(buf)
+		buf = append(buf, rec.Ranges[i].Data...)
+		rec.Ranges[i].Data = buf[start:len(buf):len(buf)]
+	}
+	n.arenaMu.Lock()
+	n.arenas[rec] = buf
+	n.arenaMu.Unlock()
+	return rec
+}
+
+// ApplyQueueDepth reports how many records have been admitted to the
+// apply pipeline but not yet installed or dropped (queued, parked,
+// buffered, or in flight). Exported as the apply_queue_depth gauge.
+func (n *Node) ApplyQueueDepth() int64 { return n.outstanding.Load() }
+
+// Quiesce blocks until the apply pipeline is empty: every admitted
+// record installed or dropped. Records parked on predecessors that
+// never arrive (and versioned-mode buffered records) keep it waiting,
+// so it is a benchmark/test barrier for complete delivery, not a
+// production fence.
+func (n *Node) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.outstanding.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-n.done:
+			return errors.New("coherency: node closed while quiescing")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coherency: quiesce timeout with %d records outstanding (%d parked)",
+				n.outstanding.Load(), n.Parked())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// DeliverUpdate injects a compressed update frame as if it had arrived
+// from peer `from` on the transport. Benchmarks and tests use it to
+// drive the receive path without a wire.
+func (n *Node) DeliverUpdate(from netproto.NodeID, payload []byte) {
+	n.onUpdate(from, payload)
+}

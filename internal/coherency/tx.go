@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"time"
 
+	"lbc/internal/bufpool"
 	"lbc/internal/lockmgr"
 	"lbc/internal/merge"
 	"lbc/internal/metrics"
 	"lbc/internal/obs"
+	"lbc/internal/parapply"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -254,7 +256,17 @@ func (t *Tx) Commit(mode rvm.CommitMode) (*wal.TxRecord, error) {
 		n.locks.ReleaseShared(id)
 	}
 	if len(t.grants) > 0 {
-		n.poke() // local applied sequences moved; retry parked records
+		// Local applied sequences moved; retry exactly the records
+		// parked on the locks this commit advanced.
+		ids := make([]uint32, 0, len(t.grants))
+		for _, g := range t.grants {
+			if wrote[g.LockID] {
+				ids = append(ids, g.LockID)
+			}
+		}
+		if len(ids) > 0 {
+			n.pokeLocks(ids)
+		}
 	}
 	return rec, nil
 }
@@ -312,11 +324,16 @@ func (n *Node) broadcast(rec *wal.TxRecord) {
 		n.stats.Add(metrics.CtrBytesSent, int64(len(msg)))
 	}
 	tm.Stop()
+	msgLen := len(msg)
+	// Send does not retain the message (ChanEndpoint copies, TCP writes
+	// synchronously before returning), so the encode buffer recycles
+	// after the last peer.
+	bufpool.Put(msg)
 	if traced {
 		n.trace.Emit(obs.Span{
 			Name: obs.SpanBroadcast, Node: rec.Node, Tx: rec.TxSeq,
 			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
-			N: int64(len(msg)) * int64(len(peers)),
+			N: int64(msgLen) * int64(len(peers)),
 		})
 	}
 }
@@ -427,8 +444,16 @@ func (n *Node) CatchUp() error {
 	if err != nil {
 		return fmt.Errorf("coherency: catch-up merge: %w", err)
 	}
-	var applied int
-	for _, rec := range ordered {
+	// Replay through the dependency scheduler: disjoint chains install
+	// in parallel, each chain in merge order (the same engine the live
+	// receive path uses). Serial mode keeps one worker.
+	workers := 0
+	if n.serial {
+		workers = 1
+	} else if n.eng != nil {
+		workers = n.eng.Workers()
+	}
+	stats, err := parapply.Replay(ordered, workers, func(_ int, rec *wal.TxRecord) error {
 		if _, err := n.rvm.ApplyRecord(rec); err != nil {
 			return fmt.Errorf("coherency: catch-up apply %d/%d: %w", rec.Node, rec.TxSeq, err)
 		}
@@ -437,10 +462,10 @@ func (n *Node) CatchUp() error {
 				n.locks.MarkApplied(l.LockID, l.Seq)
 			}
 		}
-		applied++
-	}
-	n.stats.Add(metrics.CtrCatchupRecords, int64(applied))
-	return nil
+		return nil
+	})
+	n.stats.Add(metrics.CtrCatchupRecords, int64(stats.Installed))
+	return err
 }
 
 // countPages counts distinct pages overlapped by the ranges (Table 3's

@@ -369,6 +369,10 @@ const (
 	CtrCompressFallbacks = "compress_fallbacks" // ErrTooLarge -> standard encoding
 	CtrCatchupRecords    = "catchup_records"    // records replayed at restart
 	CtrTokenPassRetries  = "token_pass_retries" // token passes re-sent after a failure
+
+	// Parallel apply pipeline (coherency scheduler + parapply engine).
+	CtrApplyBackpressure = "apply_backpressure"   // enqueues that blocked on a full apply queue
+	CtrApplyWorkerBusyNS = "apply_worker_busy_ns" // cumulative worker install time
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -377,7 +381,15 @@ const (
 	HistFsyncNS      = "fsync_ns"          // durable-force latency per log sync
 	HistBatchRecords = "batch_occupancy"   // records per group-commit batch
 	HistLockWaitNS   = "lock_wait_hist_ns" // per-acquire lock wait
+	HistApplyNS      = "apply_ns"          // per-record install latency
 )
+
+// DecodeErrorsFrom names the per-sender decode-error counter for node.
+// The names are dynamic (one per misbehaving peer, normally zero), so
+// they live in the sync.Map fallback rather than the fixed table.
+func DecodeErrorsFrom(node uint32) string {
+	return fmt.Sprintf("decode_errors_from_%d", node)
+}
 
 // Fixed-table sizing. The lookup maps are built once at init; Add and
 // Observe consult them with a read-only map access (no allocation).
@@ -396,10 +408,11 @@ var fixedIdx = buildIndex([]string{
 	CtrLockWaitNS, CtrSendErrors, CtrBatchFrames, CtrBatchRecords,
 	CtrRecordsStale, CtrApplyErrors, CtrDecodeErrors, CtrCompressFallbacks,
 	CtrCatchupRecords, CtrTokenPassRetries,
+	CtrApplyBackpressure, CtrApplyWorkerBusyNS,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{
-	HistFsyncNS, HistBatchRecords, HistLockWaitNS,
+	HistFsyncNS, HistBatchRecords, HistLockWaitNS, HistApplyNS,
 }, maxFixedHists)
 
 func buildIndex(names []string, max int) map[string]int {

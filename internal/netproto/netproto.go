@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lbc/internal/bufpool"
 )
 
 // NodeID identifies a node in the cluster.
@@ -152,8 +154,10 @@ func (e *ChanEndpoint) Handle(typ uint8, h Handler) {
 	e.handlers[typ] = h
 }
 
-// Send implements Transport. The payload is copied, so the caller may
-// reuse its buffer immediately (matching the semantics of a TCP write).
+// Send implements Transport. The payload is copied into a pooled
+// buffer, so the caller may reuse its own immediately (matching the
+// semantics of a TCP write). The pooled copy is owned by the receiving
+// endpoint, which returns it after handler dispatch.
 func (e *ChanEndpoint) Send(to NodeID, typ uint8, payload []byte) error {
 	dst := e.hub.lookup(to)
 	if dst == nil {
@@ -161,12 +165,12 @@ func (e *ChanEndpoint) Send(to NodeID, typ uint8, payload []byte) error {
 		// callers probing liveness, unreachable.
 		return fmt.Errorf("%w (%w): %d", ErrUnknownPeer, ErrPeerUnreachable, to)
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	cp := append(bufpool.Get(len(payload)), payload...)
 	select {
 	case dst.ch <- inMsg{from: e.id, typ: typ, payload: cp}:
 		return nil
 	case <-dst.done:
+		bufpool.Put(cp)
 		return ErrClosed
 	}
 }
@@ -185,6 +189,9 @@ func (e *ChanEndpoint) run() {
 		select {
 		case m := <-e.ch:
 			e.dispatch(m.from, m.typ, m.payload)
+			// The Handler contract says the payload is only valid for
+			// the duration of the call, so it can be recycled here.
+			bufpool.Put(m.payload)
 		case <-e.done:
 			return
 		}
@@ -472,7 +479,12 @@ func (m *TCPMesh) readLoop(c net.Conn) {
 	}
 	from := NodeID(binary.LittleEndian.Uint32(hello[:]))
 	var hdr [frameHeaderLen]byte
-	buf := make([]byte, 64<<10)
+	// Frame buffers come from the shared pool, one Get/Put per frame:
+	// the handler contract bounds payload validity to the call, so the
+	// buffer can be recycled immediately after dispatch — across all
+	// receiver goroutines, frames reuse a handful of pooled buffers
+	// instead of allocating per frame.
+	const chunk = 1 << 20
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
 			return
@@ -483,41 +495,42 @@ func (m *TCPMesh) readLoop(c net.Conn) {
 		}
 		typ := hdr[4]
 		payloadLen := int(n) - 1
-		if payloadLen > cap(buf) {
-			// Grow as data actually arrives so a hostile length prefix
-			// cannot force a giant allocation.
-			const chunk = 1 << 20
-			grown := make([]byte, 0, min(payloadLen, chunk))
-			for len(grown) < payloadLen {
-				next := payloadLen - len(grown)
+		buf := bufpool.Get(min(payloadLen, chunk))
+		if payloadLen <= cap(buf) {
+			buf = buf[:payloadLen]
+			if _, err := io.ReadFull(c, buf); err != nil {
+				bufpool.Put(buf)
+				return
+			}
+		} else {
+			// Oversized frame: grow as data actually arrives so a
+			// hostile length prefix cannot force a giant allocation
+			// (and the pool rejects >16MiB buffers when returned).
+			ok := true
+			for len(buf) < payloadLen {
+				next := payloadLen - len(buf)
 				if next > chunk {
 					next = chunk
 				}
-				start := len(grown)
-				grown = append(grown, make([]byte, next)...)
-				if _, err := io.ReadFull(c, grown[start:]); err != nil {
-					return
+				start := len(buf)
+				buf = append(buf, make([]byte, next)...)
+				if _, err := io.ReadFull(c, buf[start:]); err != nil {
+					ok = false
+					break
 				}
 			}
-			buf = grown
-			m.hmu.RLock()
-			h := m.handlers[typ]
-			m.hmu.RUnlock()
-			if h != nil {
-				h(from, buf[:payloadLen])
+			if !ok {
+				bufpool.Put(buf)
+				return
 			}
-			continue
-		}
-		b := buf[:payloadLen]
-		if _, err := io.ReadFull(c, b); err != nil {
-			return
 		}
 		m.hmu.RLock()
 		h := m.handlers[typ]
 		m.hmu.RUnlock()
 		if h != nil {
-			h(from, b)
+			h(from, buf[:payloadLen])
 		}
+		bufpool.Put(buf)
 	}
 }
 

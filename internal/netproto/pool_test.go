@@ -1,0 +1,82 @@
+package netproto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Pooled-dispatch stress: the in-process endpoint copies every Send
+// into a pooled buffer and recycles it right after handler dispatch.
+// Under heavy churn of mixed frame sizes — with the sender clobbering
+// its own buffer the moment Send returns — every handler invocation
+// must still observe exactly the bytes that were sent, in per-sender
+// FIFO order. Run under -race this also proves the recycle happens
+// strictly after the handler returns.
+func TestChanMeshPooledDispatchContent(t *testing.T) {
+	hub := NewHub()
+	a := hub.Endpoint(1)
+	b := hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+
+	const frames = 800
+	frameSize := func(i int) int { return 1 + (i*37)%2048 }
+
+	var mu sync.Mutex
+	var got int
+	var firstErr error
+	b.Handle(3, func(from NodeID, payload []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return
+		}
+		i := got
+		got++
+		if len(payload) != frameSize(i) {
+			firstErr = fmt.Errorf("frame %d: len %d, want %d", i, len(payload), frameSize(i))
+			return
+		}
+		for j, c := range payload {
+			if c != byte(i) {
+				firstErr = fmt.Errorf("frame %d: byte %d = %02x, want %02x", i, j, c, byte(i))
+				return
+			}
+		}
+	})
+
+	buf := make([]byte, 2049)
+	for i := 0; i < frames; i++ {
+		frame := buf[:frameSize(i)]
+		for j := range frame {
+			frame[j] = byte(i)
+		}
+		if err := a.Send(2, 3, frame); err != nil {
+			t.Fatal(err)
+		}
+		// Send copied the payload: the next iteration's overwrite (and
+		// this clobber) must not reach the handler.
+		for j := range frame {
+			frame[j] = 0xAA
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n, err := got, firstErr
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == frames {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: received %d/%d frames", n, frames)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -30,6 +30,9 @@ type Span struct {
 	Start int64  `json:"start_ns"`
 	Dur   int64  `json:"dur_ns"`
 	N     int64  `json:"n,omitempty"`
+	// Worker is the 1-based apply-worker index for peer.apply spans
+	// (which worker of the parallel pipeline installed the record).
+	Worker int `json:"worker,omitempty"`
 }
 
 // Span names emitted by the engines, one per stage of the paper's

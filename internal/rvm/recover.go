@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lbc/internal/parapply"
 	"lbc/internal/wal"
 )
 
@@ -16,6 +17,11 @@ type RecoverOptions struct {
 	// log. Recovery always *ignores* a torn tail; this additionally
 	// repairs the device. Implied by TrimLog.
 	TruncateTorn bool
+	// Workers sets the parallelism of the replay. Records on disjoint
+	// lock chains install concurrently; each chain stays sequential
+	// (internal/parapply). 0 picks a default; 1 degenerates to the
+	// serial log-order replay.
+	Workers int
 }
 
 // RecoverResult summarizes what recovery did.
@@ -28,9 +34,13 @@ type RecoverResult struct {
 
 // Recover replays every committed record in the log into the permanent
 // region images of the data store (the standard write-ahead recovery
-// procedure: the log is the truth, the database file lags it). Records
-// are applied in log order; in the distributed configuration the log
-// must first be merged from the per-node logs (internal/merge, §3.4).
+// procedure: the log is the truth, the database file lags it). The
+// replay runs through the dependency scheduler (internal/parapply):
+// records on disjoint lock chains install concurrently while each
+// chain keeps its §3.4 sequence order, which is equivalent to the
+// serial log-order replay because only same-chain records can overlap
+// in the address space. In the distributed configuration the log must
+// first be merged from the per-node logs (internal/merge, §3.4).
 func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResult, error) {
 	rc, err := log.Open(0)
 	if err != nil {
@@ -43,16 +53,28 @@ func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResul
 	}
 	res := &RecoverResult{Torn: torn, TornAt: tornAt}
 
+	// Pre-size every image serially so the parallel install phase never
+	// reallocates a region (workers copy into stable backing arrays).
+	live := make([]*wal.TxRecord, 0, len(txs))
+	need := map[uint32]uint64{} // region -> required image size
+	for _, tx := range txs {
+		if tx.Checkpoint {
+			continue
+		}
+		live = append(live, tx)
+		for _, rec := range tx.Ranges {
+			if rec.End() > need[rec.Region] {
+				need[rec.Region] = rec.End()
+			}
+		}
+	}
+
 	images := map[uint32][]byte{}
 	dirty := map[uint32]bool{}
-	load := func(id uint32, atLeast uint64) ([]byte, error) {
-		img, ok := images[id]
-		if !ok {
-			var err error
-			img, err = data.LoadRegion(id)
-			if err != nil && !errors.Is(err, ErrNoRegion) {
-				return nil, err
-			}
+	for id, atLeast := range need {
+		img, err := data.LoadRegion(id)
+		if err != nil && !errors.Is(err, ErrNoRegion) {
+			return nil, fmt.Errorf("rvm: recovery load region %d: %w", id, err)
 		}
 		if uint64(len(img)) < atLeast {
 			grown := make([]byte, atLeast)
@@ -60,23 +82,24 @@ func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResul
 			img = grown
 		}
 		images[id] = img
-		return img, nil
+		dirty[id] = true
 	}
 
-	for _, tx := range txs {
-		if tx.Checkpoint {
-			continue
-		}
+	if _, err := parapply.Replay(live, opts.Workers, func(_ int, tx *wal.TxRecord) error {
 		for _, rec := range tx.Ranges {
-			img, err := load(rec.Region, rec.End())
-			if err != nil {
-				return nil, fmt.Errorf("rvm: recovery load region %d: %w", rec.Region, err)
-			}
-			copy(img[rec.Off:], rec.Data)
-			dirty[rec.Region] = true
+			copy(images[rec.Region][rec.Off:rec.End()], rec.Data)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Duplicate identities the scheduler suppressed carried identical
+	// bytes, so count every live record the way serial replay did.
+	res.Records = len(live)
+	for _, tx := range live {
+		for _, rec := range tx.Ranges {
 			res.BytesApplied += len(rec.Data)
 		}
-		res.Records++
 	}
 
 	for id := range dirty {
