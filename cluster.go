@@ -8,6 +8,7 @@ import (
 
 	"lbc/internal/chaos"
 	"lbc/internal/coherency"
+	"lbc/internal/membership"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
 	"lbc/internal/rangetree"
@@ -20,23 +21,39 @@ import (
 type Option func(*clusterConfig)
 
 type clusterConfig struct {
-	tcp         bool
-	propagation coherency.Propagation
-	wire        coherency.WireFormat
-	pageSize    int
-	checkLocks  bool
-	versioned   map[int]bool
-	useStore    bool
-	replicated  bool
-	seedImages  map[RegionID][]byte
-	policy      rangetree.Policy
-	diskLogDir  string
-	inj         *chaos.Injector
+	tcp          bool
+	propagation  coherency.Propagation
+	wire         coherency.WireFormat
+	pageSize     int
+	checkLocks   bool
+	versioned    map[int]bool
+	useStore     bool
+	replicated   bool
+	seedImages   map[RegionID][]byte
+	policy       rangetree.Policy
+	diskLogDir   string
+	inj          *chaos.Injector
 	acqTimeout   time.Duration
 	groupCommit  bool
 	traceCap     int
 	applyWorkers int
 	serialApply  bool
+	member       *MembershipOptions
+}
+
+// MembershipOptions configures live failure handling (WithMembership).
+type MembershipOptions struct {
+	// SuspectAfter / EvictAfter are the failure detector's parameters
+	// (see membership.Config); zero values take the detector defaults.
+	SuspectAfter time.Duration
+	EvictAfter   int
+	// Clock substitutes the detector's time source. Deterministic
+	// harnesses pass one shared membership.ManualClock and drive
+	// Cluster.TickMembership explicitly.
+	Clock membership.Clock
+	// Interval starts a wall-clock detector ticker on every node when
+	// positive. Leave zero with a ManualClock.
+	Interval time.Duration
 }
 
 // WithTCP connects the nodes over real loopback TCP sockets instead of
@@ -160,6 +177,15 @@ func WithSerialApply() Option {
 	return func(c *clusterConfig) { c.serialApply = true }
 }
 
+// WithMembership gives every node a heartbeat failure detector and an
+// epoch fence on its update traffic: dead peers are evicted, their lock
+// tokens reclaimed by the survivors, and delayed pre-eviction update
+// frames are dropped at delivery. Use Cluster.Kill / Rejoin for live
+// (non-quiesced-surgery) failure scenarios.
+func WithMembership(o MembershipOptions) Option {
+	return func(c *clusterConfig) { c.member = &o }
+}
+
 // Cluster is a set of in-process nodes for experiments, examples, and
 // tests. Production deployments wire the pieces directly (see
 // cmd/storeserver and the package example).
@@ -175,8 +201,9 @@ type Cluster struct {
 	replica *store.ReplicaPair
 	clis    []*store.Client
 	logs    []wal.Device
-	datas   []rvm.DataStore // non-store configs: per-node stores (survive Crash)
-	tracers []*obs.Tracer   // nil without WithTracing; survive Restart
+	datas   []rvm.DataStore       // non-store configs: per-node stores (survive Crash)
+	tracers []*obs.Tracer         // nil without WithTracing; survive Restart
+	mons    []*membership.Monitor // nil without WithMembership
 	down    []bool
 
 	regions map[RegionID]int // mapped via MapAll, for Restart re-mapping
@@ -206,6 +233,7 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 		logs:    make([]wal.Device, k),
 		datas:   make([]rvm.DataStore, k),
 		tracers: make([]*obs.Tracer, k),
+		mons:    make([]*membership.Monitor, k),
 		down:    make([]bool, k),
 		regions: map[RegionID]int{},
 	}
@@ -344,9 +372,31 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		return err
 	}
 	c.rvms[i] = r
+
+	// Live membership: the monitor rides the (possibly chaos-wrapped)
+	// transport directly — its control frames must reach evicted nodes
+	// during rejoin — while coherency and the lock manager sit behind a
+	// fence that epoch-tags update frames and quarantines the evicted.
+	tr := c.trs[i]
+	var mon *membership.Monitor
+	if cfg.member != nil {
+		mon = membership.New(membership.Config{
+			Transport:    c.trs[i],
+			Nodes:        c.ids,
+			Clock:        cfg.member.Clock,
+			SuspectAfter: cfg.member.SuspectAfter,
+			EvictAfter:   cfg.member.EvictAfter,
+			Stats:        r.Stats(),
+			Trace:        c.tracers[i],
+		})
+		c.mons[i] = mon
+		tr = membership.NewFence(c.trs[i], mon, r.Stats(), []uint8{
+			coherency.MsgUpdate, coherency.MsgUpdateStd, coherency.MsgUpdateBatch,
+		})
+	}
 	n, err := coherency.New(coherency.Options{
 		RVM:            r,
-		Transport:      c.trs[i],
+		Transport:      tr,
 		Nodes:          c.ids,
 		Propagation:    cfg.propagation,
 		Wire:           cfg.wire,
@@ -359,9 +409,13 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		BatchUpdates:   cfg.groupCommit,
 		ApplyWorkers:   cfg.applyWorkers,
 		SerialApply:    cfg.serialApply,
+		Membership:     mon,
 	})
 	if err != nil {
 		return err
+	}
+	if mon != nil && cfg.member.Interval > 0 {
+		mon.Start(cfg.member.Interval)
 	}
 	c.nodes[i] = n
 	return nil
@@ -507,6 +561,17 @@ func (c *Cluster) Crash(i int) error {
 			}
 		}
 	}
+	c.stopNode(i)
+	return nil
+}
+
+// stopNode tears down node i's runtime state (shared by Crash and
+// Kill): coherency node, detector, transport endpoint, store client.
+func (c *Cluster) stopNode(i int) {
+	if c.mons[i] != nil {
+		c.mons[i].Close()
+		c.mons[i] = nil
+	}
 	c.nodes[i].Close()
 	c.nodes[i] = nil
 	c.rvms[i] = nil
@@ -521,6 +586,22 @@ func (c *Cluster) Crash(i int) error {
 		c.clis[i] = nil
 	}
 	c.down[i] = true
+}
+
+// Kill fails node i abruptly: no token surgery, no goodbye — exactly
+// what a real crash looks like to the survivors. Requires
+// WithMembership: the failure detector notices the silence, evicts the
+// node, and the survivors reclaim its lock tokens on their own (unlike
+// Crash, where a supervisor relocates tokens by fiat). Durable state
+// survives for a later Rejoin.
+func (c *Cluster) Kill(i int) error {
+	if c.down[i] {
+		return fmt.Errorf("lbc: node %d already down", c.ids[i])
+	}
+	if c.cfg.member == nil {
+		return fmt.Errorf("lbc: Kill requires WithMembership (use Crash)")
+	}
+	c.stopNode(i)
 	return nil
 }
 
@@ -620,6 +701,193 @@ func (c *Cluster) Restart(i int) error {
 	return c.nodes[i].CatchUp()
 }
 
+// Rejoin brings a Killed (evicted) node back through the membership
+// protocol: a fresh endpoint and node resume the durable state, a
+// ready=false Join learns the cluster's current epoch (so outgoing
+// update frames tag correctly while catching up), the server-log
+// catch-up replays every committed record, and a ready=true Join asks
+// the survivors to readmit the node — only then do their detectors
+// mark it alive again and their broadcasts include it. No cluster
+// restart, no supervisor token fiat: tokens the node once held now
+// live with the survivors (reclaim), and the usual rejoin surgery
+// points its manager-side queues at the current holders.
+func (c *Cluster) Rejoin(i int) error {
+	if !c.down[i] {
+		return fmt.Errorf("lbc: node %d is not down", c.ids[i])
+	}
+	if c.cfg.member == nil {
+		return fmt.Errorf("lbc: Rejoin requires WithMembership (use Restart)")
+	}
+	if !c.cfg.useStore {
+		return fmt.Errorf("lbc: Rejoin requires a store-backed cluster")
+	}
+	id := c.ids[i]
+
+	if c.cfg.tcp {
+		m, err := netproto.NewTCPMesh(id, "127.0.0.1:0", map[NodeID]string{})
+		if err != nil {
+			return err
+		}
+		for j, o := range c.meshes {
+			if j == i || o == nil {
+				continue
+			}
+			o.SetPeer(id, m.Addr())
+			m.SetPeer(c.ids[j], o.Addr())
+		}
+		c.meshes[i] = m
+		c.trs[i] = c.wrapTransport(m)
+	} else {
+		c.trs[i] = c.wrapTransport(c.hub.Endpoint(id))
+	}
+	if err := c.startNode(i, true); err != nil {
+		return err
+	}
+	c.down[i] = false
+	mon := c.mons[i]
+
+	// Phase one: learn the current epoch before any epoch-tagged frame
+	// leaves this node — frames tagged with a stale epoch would be
+	// fenced at every survivor.
+	ep, err := mon.Join(false, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("lbc: rejoin node %d: %w", id, err)
+	}
+	mon.SetEpoch(ep)
+
+	// Rebuild the coherency working set. Survivor fences still drop
+	// this node's announcements (it is evicted until the ready Join),
+	// so both sides' mapping tables are seeded directly.
+	for _, seg := range c.segs {
+		c.nodes[i].AddSegment(seg)
+	}
+	regs := make([]RegionID, 0, len(c.regions))
+	for rid := range c.regions {
+		regs = append(regs, rid)
+	}
+	sort.Slice(regs, func(a, b int) bool { return regs[a] < regs[b] })
+	for _, rid := range regs {
+		if _, err := c.nodes[i].MapRegion(rid, c.regions[rid]); err != nil {
+			return err
+		}
+		for j := range c.ids {
+			if j == i || c.down[j] {
+				continue
+			}
+			c.nodes[i].NotePeerRegion(c.ids[j], rid)
+			c.nodes[j].NotePeerRegion(id, rid)
+		}
+	}
+
+	// Tokens this node once held were reclaimed by the survivors while
+	// it was dead: forfeit the fresh state's claim on home-managed locks
+	// and point their queues at the current holders.
+	for _, lockID := range c.lockIDs() {
+		holder := -1
+		for j := range c.ids {
+			if j == i || c.down[j] {
+				continue
+			}
+			if c.nodes[j].Locks().HasToken(lockID) {
+				holder = j
+				break
+			}
+		}
+		if holder < 0 {
+			continue
+		}
+		if int(lockID)%len(c.ids) == i {
+			c.nodes[i].Locks().ForfeitToken(lockID)
+			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+		}
+	}
+
+	// Catch up from the server's logs to the cluster's current image.
+	if err := c.nodes[i].CatchUp(); err != nil {
+		return err
+	}
+
+	// Phase two: announce readiness. On return every reachable survivor
+	// has readmitted this node (their OnRejoin callbacks restore it to
+	// the broadcast sets) and its next acquire re-enters the token
+	// protocol at the current epoch.
+	if _, err := mon.Join(true, 5*time.Second); err != nil {
+		return fmt.Errorf("lbc: rejoin node %d: %w", id, err)
+	}
+	return nil
+}
+
+// Membership returns node i's failure detector (nil without
+// WithMembership, or while the node is down).
+func (c *Cluster) Membership(i int) *membership.Monitor { return c.mons[i] }
+
+// TickMembership runs one failure-detector round on every live node.
+// Deterministic harnesses drive detection explicitly: advance the
+// shared ManualClock, then tick.
+func (c *Cluster) TickMembership() {
+	for i, mon := range c.mons {
+		if mon != nil && !c.down[i] {
+			mon.Tick()
+		}
+	}
+}
+
+// AwaitEvicted blocks until every live node's detector has evicted
+// node victim (the eviction broadcast and callbacks are asynchronous).
+func (c *Cluster) AwaitEvicted(victim int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for i, mon := range c.mons {
+			if mon == nil || c.down[i] || i == victim {
+				continue
+			}
+			if !mon.Evicted(c.ids[victim]) {
+				all = false
+			}
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("lbc: node %d not evicted everywhere after %v", c.ids[victim], timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AwaitLiveTokens blocks until every registered lock's token is owned
+// by some live node — i.e. the survivors' reclaim protocol has
+// finished re-minting whatever the dead took with it.
+func (c *Cluster) AwaitLiveTokens(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var stuck []uint32
+		for _, lockID := range c.lockIDs() {
+			found := false
+			for j := range c.ids {
+				if c.down[j] {
+					continue
+				}
+				if c.nodes[j].Locks().HasToken(lockID) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				stuck = append(stuck, lockID)
+			}
+		}
+		if len(stuck) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("lbc: locks %v have no live token holder after %v", stuck, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // FlushChaos delivers any reorder hold-backs still parked in the
 // chaos injector on every live node's transport (no-op without
 // WithChaos). Harnesses call it when quiescing.
@@ -639,6 +907,11 @@ func (c *Cluster) FlushChaos() error {
 
 // Close tears down nodes, transports, clients, and the server.
 func (c *Cluster) Close() error {
+	for _, mon := range c.mons {
+		if mon != nil {
+			mon.Close()
+		}
+	}
 	for _, n := range c.nodes {
 		if n != nil {
 			n.Close()

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"lbc/internal/coherency"
+	"lbc/internal/membership"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
@@ -45,6 +46,7 @@ func main() {
 		locks     = flag.Int("locks", 4, "number of segment locks")
 		writes    = flag.Int("writes", 200, "locked writes to perform")
 		prop      = flag.String("propagation", "eager", "eager | lazy | piggyback")
+		heartbeat = flag.Duration("heartbeat", 0, "failure-detector tick interval (0 disables live membership)")
 		seed      = flag.Int64("seed", 0, "workload seed (default: node id)")
 		debugAddr = flag.String("debug", "", "serve /debug/lbc (metrics, vars, trace, pprof) on this address")
 		traceFile = flag.String("trace", "", "dump the trace ring as JSONL to this file at exit")
@@ -109,6 +111,27 @@ func main() {
 	}
 	defer mesh.Close()
 
+	// With -heartbeat, a failure detector rides the mesh and the
+	// coherency layer speaks through an epoch fence: update frames carry
+	// the sender's membership epoch and frames from a superseded epoch
+	// (or an evicted peer) are dropped at delivery.
+	var tr netproto.Transport = mesh
+	var mon *membership.Monitor
+	var mstats *metrics.Stats
+	if *heartbeat > 0 {
+		mstats = metrics.NewStats()
+		mon = membership.New(membership.Config{
+			Transport: mesh,
+			Nodes:     ids,
+			Stats:     mstats,
+			Trace:     tracer,
+		})
+		defer mon.Close()
+		tr = membership.NewFence(mesh, mon, mstats, []uint8{
+			coherency.MsgUpdate, coherency.MsgUpdateStd, coherency.MsgUpdateBatch,
+		})
+	}
+
 	var propagation coherency.Propagation
 	switch *prop {
 	case "lazy":
@@ -122,21 +145,29 @@ func main() {
 	}
 	n, err := coherency.New(coherency.Options{
 		RVM:         r,
-		Transport:   mesh,
+		Transport:   tr,
 		Nodes:       ids,
 		Propagation: propagation,
 		PeerLogs:    func(node uint32) wal.Device { return cli.LogDevice(node) },
+		Membership:  mon,
 	})
 	if err != nil {
 		die(err)
 	}
 	defer n.Close()
+	if mon != nil {
+		mon.Start(*heartbeat)
+	}
 
 	if *debugAddr != "" {
 		mreg := obs.NewRegistry()
 		mreg.Register("rvm", r.Stats())
 		mreg.RegisterGauge("applier_parked", func() int64 { return int64(n.Parked()) })
 		mreg.RegisterGauge("apply_queue_depth", func() int64 { return n.ApplyQueueDepth() })
+		if mon != nil {
+			mreg.Register("membership", mstats)
+			mon.Export(mreg)
+		}
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, obs.Handler(mreg, tracer)); err != nil {
 				fmt.Fprintln(os.Stderr, "lbcnode: debug server:", err)

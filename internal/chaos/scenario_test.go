@@ -64,6 +64,17 @@ func TestStoreFailoverScenario(t *testing.T) {
 	}
 }
 
+func TestEvictRejoinScenario(t *testing.T) {
+	rep := runTwice(t, "evict-rejoin", 42)
+	if rep.Records != rep.Commits {
+		t.Errorf("records %d != commits %d: eviction or rejoin lost committed records",
+			rep.Records, rep.Commits)
+	}
+	if rep.Faults["drops"] == 0 && rep.Faults["reorders"] == 0 && rep.Faults["dups"] == 0 {
+		t.Error("no update faults fired; scenario is not exercising the injector")
+	}
+}
+
 // TestScenarioSeedSweep runs every scenario across a few seeds —
 // different schedules, same invariants.
 func TestScenarioSeedSweep(t *testing.T) {

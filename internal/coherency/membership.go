@@ -1,0 +1,297 @@
+package coherency
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"lbc/internal/membership"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/obs"
+	"lbc/internal/wal"
+)
+
+// Live membership integration: when the failure detector
+// (internal/membership) evicts a peer, each survivor quarantines it
+// and the surviving manager of every lock reclaims tokens the victim
+// took down with it. Reclaim re-mints a lost token at the highest
+// sequence any evidence supports — survivor token counters gathered
+// over MsgTokenQuery/MsgTokenInfo, plus a scan of every cluster
+// member's durable log on the storage server (the victim's committed
+// writes are all there, which is what makes the re-mint safe: the new
+// counters can never fall below a committed write, so the gap-free
+// lock-chain invariant survives the eviction). See DESIGN.md §9.
+
+// Membership message codes (within coherency's 0x20-0x2F range).
+const (
+	// MsgTokenQuery asks a peer for its token state: {lock u32}.
+	MsgTokenQuery uint8 = 0x26
+	// MsgTokenInfo answers: {lock u32, have u8, seq u64, lastWrite u64}.
+	MsgTokenInfo uint8 = 0x27
+)
+
+// tokenInfo is one peer's answer to a MsgTokenQuery.
+type tokenInfo struct {
+	have      bool
+	seq       uint64
+	lastWrite uint64
+}
+
+// initMembership wires the monitor into the node: the lock manager
+// routes around evicted peers, eviction/rejoin callbacks land here,
+// and the token-state query pair used by reclaim is registered.
+func (n *Node) initMembership() {
+	mon := n.member
+	n.locks.SetLiveView(mon.Alive)
+	mon.OnEvict(n.handleEvict)
+	mon.OnRejoin(n.handleRejoin)
+	n.tr.Handle(MsgTokenQuery, n.onTokenQuery)
+	n.tr.Handle(MsgTokenInfo, n.onTokenInfo)
+}
+
+// Membership returns the node's failure detector, or nil when live
+// membership is not configured.
+func (n *Node) Membership() *membership.Monitor { return n.member }
+
+func (n *Node) onTokenQuery(from netproto.NodeID, payload []byte) {
+	if len(payload) != 4 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload)
+	seq, lastWrite, have := n.locks.TokenState(lockID)
+	var b [21]byte
+	binary.LittleEndian.PutUint32(b[0:], lockID)
+	if have {
+		b[4] = 1
+	}
+	binary.LittleEndian.PutUint64(b[5:], seq)
+	binary.LittleEndian.PutUint64(b[13:], lastWrite)
+	_ = n.tr.Send(from, MsgTokenInfo, b[:])
+}
+
+func (n *Node) onTokenInfo(from netproto.NodeID, payload []byte) {
+	if len(payload) != 21 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	info := tokenInfo{
+		have:      payload[4] == 1,
+		seq:       binary.LittleEndian.Uint64(payload[5:]),
+		lastWrite: binary.LittleEndian.Uint64(payload[13:]),
+	}
+	n.tokMu.Lock()
+	if n.tokInfo[lockID] == nil {
+		n.tokInfo[lockID] = map[netproto.NodeID]tokenInfo{}
+	}
+	n.tokInfo[lockID][from] = info
+	ch := n.tokWake
+	n.tokWake = make(chan struct{})
+	n.tokMu.Unlock()
+	close(ch)
+}
+
+// queryTokens asks every live peer for its token state on lockID and
+// waits (bounded) for all answers. Missing answers degrade safety not
+// at all — the log scan is the authoritative floor — only precision.
+func (n *Node) queryTokens(lockID uint32, peers []netproto.NodeID, timeout time.Duration) map[netproto.NodeID]tokenInfo {
+	n.tokMu.Lock()
+	delete(n.tokInfo, lockID)
+	n.tokMu.Unlock()
+
+	var b [4]byte
+	putU32(b[:], lockID)
+	want := 0
+	for _, p := range peers {
+		if n.tr.Send(p, MsgTokenQuery, b[:]) == nil {
+			want++
+		}
+	}
+	deadline := time.After(timeout)
+	for {
+		n.tokMu.Lock()
+		got := len(n.tokInfo[lockID])
+		out := make(map[netproto.NodeID]tokenInfo, got)
+		for p, i := range n.tokInfo[lockID] {
+			out[p] = i
+		}
+		ch := n.tokWake
+		n.tokMu.Unlock()
+		if got >= want {
+			return out
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			return out
+		}
+	}
+}
+
+// scanLockLog walks every cluster member's durable log for the lock's
+// records and returns the highest sequence seen and the highest
+// writing sequence. Every committed write is in some member's log —
+// including the victim's, whose log lives on the storage server — so
+// these are hard floors for the re-minted counters.
+func (n *Node) scanLockLog(lockID uint32) (maxSeq, maxWrite uint64) {
+	if n.peerLogs == nil {
+		return 0, 0
+	}
+	for _, id := range n.clusterNodes {
+		dev := n.peerLogs(uint32(id))
+		rc, err := dev.Open(0)
+		if err != nil {
+			continue
+		}
+		txs, _, _, err := wal.ReadAll(rc, 0)
+		rc.Close()
+		if err != nil {
+			continue
+		}
+		for _, tx := range txs {
+			for _, l := range tx.Locks {
+				if l.LockID != lockID {
+					continue
+				}
+				if l.Seq > maxSeq {
+					maxSeq = l.Seq
+				}
+				if l.Wrote && l.Seq > maxWrite {
+					maxWrite = l.Seq
+				}
+			}
+		}
+	}
+	return maxSeq, maxWrite
+}
+
+// survivingManager returns the node responsible for reclaiming the
+// lock after evictions: lockmgr's ManagerOf already routes around
+// evicted peers through the live view, so every survivor computes the
+// same answer from the shared eviction broadcast.
+func (n *Node) survivingManager(lockID uint32) netproto.NodeID {
+	return n.locks.ManagerOf(lockID)
+}
+
+// handleEvict runs (on its own goroutine) when the failure detector
+// confirms an eviction: quarantine the victim, then reclaim every
+// registered lock this node now manages.
+func (n *Node) handleEvict(victim netproto.NodeID, epoch uint32) {
+	traced := n.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
+
+	// Quarantine: stop broadcasting updates to the victim. Its inbound
+	// frames are already dropped by the fence.
+	n.mu.Lock()
+	for _, peers := range n.regionPeers {
+		delete(peers, victim)
+	}
+	locks := make([]uint32, 0, len(n.segments))
+	for id := range n.segments {
+		locks = append(locks, id)
+	}
+	n.mu.Unlock()
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+
+	// Purge parked passes / stale requests aimed at the victim.
+	n.locks.EvictPeer(victim)
+
+	// Token reclaim, for the locks whose surviving manager is this node.
+	live := make([]netproto.NodeID, 0, len(n.clusterNodes))
+	for _, id := range n.clusterNodes {
+		if id != n.tr.Self() && n.member.Alive(id) {
+			live = append(live, id)
+		}
+	}
+	for _, lockID := range locks {
+		if n.survivingManager(lockID) != n.tr.Self() {
+			continue
+		}
+		n.reclaimToken(lockID, live)
+	}
+	if traced {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanEvict, Peer: uint32(victim), Self: uint32(n.tr.Self()),
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(), N: int64(epoch),
+		})
+	}
+}
+
+// reclaimToken restores lock lockID to a usable state after an
+// eviction. If a survivor (or this node) still holds the token, only
+// the manager-side queue tail needs repair. Otherwise the token died
+// with the victim and is re-minted here at counters no lower than any
+// committed write: Seq = max(survivor counters, highest logged Seq),
+// LastWriteSeq = highest logged writing Seq. The §3.4 interlock then
+// forces the next holder to apply through that write before it runs,
+// and pull-on-stall fetches any update the victim broadcast into the
+// void — no committed write is lost, no sequence is reused by a
+// logged record, so chaos.CheckLockChains holds across the eviction.
+func (n *Node) reclaimToken(lockID uint32, live []netproto.NodeID) {
+	infos := n.queryTokens(lockID, live, 2*time.Second)
+	seq, lastWrite, have := n.locks.TokenState(lockID)
+	if have {
+		n.locks.SetQueueTail(lockID, n.tr.Self())
+		return
+	}
+	for _, p := range live {
+		if infos[p].have {
+			n.locks.SetQueueTail(lockID, p)
+			return
+		}
+	}
+
+	// Token lost with the victim: re-mint.
+	logSeq, logWrite := n.scanLockLog(lockID)
+	remintSeq, remintLW := logSeq, logWrite
+	if seq > remintSeq {
+		remintSeq = seq
+	}
+	if lastWrite > remintLW {
+		remintLW = lastWrite
+	}
+	for _, info := range infos {
+		if info.seq > remintSeq {
+			remintSeq = info.seq
+		}
+		if info.lastWrite > remintLW {
+			remintLW = info.lastWrite
+		}
+	}
+	if remintLW > remintSeq {
+		remintSeq = remintLW
+	}
+	n.locks.SetQueueTail(lockID, n.tr.Self())
+	n.locks.AdoptTokenKeepQueue(lockID, remintSeq, remintLW)
+	n.stats.Add(metrics.CtrReclaimedTokens, 1)
+	if n.trace.Enabled() {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanReclaim, Lock: lockID, Self: uint32(n.tr.Self()),
+			Start: time.Now().UnixNano(), N: int64(remintSeq),
+		})
+	}
+}
+
+// handleRejoin runs when a readmitted peer announces it has caught up:
+// put it back into every region's broadcast set so eager updates reach
+// it again (idempotent with the supervisor's direct seeding).
+func (n *Node) handleRejoin(peer netproto.NodeID, epoch uint32) {
+	n.mu.Lock()
+	for id := range n.regionPeers {
+		if !n.regionPeers[id][peer] {
+			n.regionPeers[id][peer] = true
+			close(n.peersChanged)
+			n.peersChanged = make(chan struct{})
+		}
+	}
+	n.mu.Unlock()
+	if n.trace.Enabled() {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanRejoin, Peer: uint32(peer), Self: uint32(n.tr.Self()),
+			Start: time.Now().UnixNano(), N: int64(epoch),
+		})
+	}
+}

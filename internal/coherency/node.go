@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"lbc/internal/lockmgr"
+	"lbc/internal/membership"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
@@ -161,6 +162,14 @@ type Options struct {
 	// copies instead of pooled arenas. Kept as the ablation baseline
 	// for benchmarks and the equivalence tests.
 	SerialApply bool
+	// Membership, when set, wires live failure handling into the node:
+	// the lock manager routes around evicted peers, eviction triggers
+	// token reclaim (see membership.go), and rejoin announcements
+	// restore the peer to the broadcast sets. The caller owns the
+	// monitor's lifecycle (Start/Close); Transport should be a
+	// membership.Fence over the same monitor so update frames are
+	// epoch-tagged.
+	Membership *membership.Monitor
 }
 
 // Node is one participant in the coherent distributed store.
@@ -204,6 +213,13 @@ type Node struct {
 	sendWake chan struct{}
 
 	parked atomic.Int64 // applier gauge: records held by the interlock
+
+	// Live membership (nil without Options.Membership). tokInfo /
+	// tokWake collect MsgTokenInfo replies during token reclaim.
+	member  *membership.Monitor
+	tokMu   sync.Mutex
+	tokInfo map[uint32]map[netproto.NodeID]tokenInfo
+	tokWake chan struct{}
 
 	mu           sync.Mutex
 	segments     map[uint32]Segment // by lock id
@@ -264,6 +280,9 @@ func New(opts Options) (*Node, error) {
 		acqTimeout:   opts.AcquireTimeout,
 		batch:        opts.BatchUpdates,
 		serial:       opts.SerialApply,
+		member:       opts.Membership,
+		tokInfo:      map[uint32]map[netproto.NodeID]tokenInfo{},
+		tokWake:      make(chan struct{}),
 		arenas:       map[*wal.TxRecord][]byte{},
 		sendWake:     make(chan struct{}, 1),
 		segments:     map[uint32]Segment{},
@@ -285,6 +304,9 @@ func New(opts Options) (*Node, error) {
 	n.tr.Handle(MsgUpdateBatch, n.onUpdateBatch)
 	if opts.Propagation == Piggyback {
 		n.locks.SetTokenData(n)
+	}
+	if n.member != nil {
+		n.initMembership()
 	}
 	n.initCheckpoint()
 	n.wg.Add(1)

@@ -1,0 +1,281 @@
+package lockmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// Eviction-path tests: queue-tail repair after a waiter or holder dies,
+// the capped token-send backoff, and error plumbing for requests aimed
+// at evicted peers. These drive the surgery API (EvictPeer,
+// SetQueueTail, AdoptTokenKeepQueue) exactly the way the membership
+// layer's reclaim protocol does.
+
+// liveView builds a SetLiveView predicate from a mutable dead-set.
+func liveView(dead map[netproto.NodeID]bool) func(netproto.NodeID) bool {
+	return func(id netproto.NodeID) bool { return !dead[id] }
+}
+
+func TestQueueTailRepairAfterEvictedWaiter(t *testing.T) {
+	ms := cluster(t, 3)
+	const lock = 3 // managed by nodes[0] = node 1
+
+	// The manager holds its own lock; node 3 queues behind it and
+	// becomes the manager-side queue tail, with the pass parked at the
+	// holder.
+	mustAcquire(t, ms[0], lock)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := ms[2].Acquire(lock)
+		errs <- err
+	}()
+	awaitLockState(t, ms[0], lock, func(st *lockState) bool { return st.hasPend })
+
+	// Node 3 is evicted while holding the queue-tail position. The
+	// survivors purge it: the parked pass is dropped (the token must not
+	// launch at a corpse) and the tail entry cleared so the next request
+	// forwards from the manager's own token, not the dead waiter.
+	dead := map[netproto.NodeID]bool{3: true}
+	for _, m := range ms[:2] {
+		m.SetLiveView(liveView(dead))
+		m.EvictPeer(3)
+	}
+	// Reclaim confirms the token never left the manager and repairs the
+	// tail to the current holder (self -> entry deleted).
+	ms[0].SetQueueTail(lock, 1)
+
+	ms[0].Release(lock, false)
+
+	// A fresh waiter must reach the token through the repaired queue,
+	// not wait forever behind the evicted tail.
+	g := mustAcquire(t, ms[1], lock)
+	if g.Seq != 2 {
+		t.Fatalf("grant after repair = %+v", g)
+	}
+	ms[1].Release(lock, false)
+	if !ms[1].HasToken(lock) {
+		t.Fatal("token did not reach the post-repair waiter")
+	}
+}
+
+func TestRemintAfterEvictedHolder(t *testing.T) {
+	ms := cluster(t, 3)
+	const lock = 3 // managed by node 1
+
+	// Node 3 takes the token away and writes twice, then dies with the
+	// token (seq 2, lastWrite 2).
+	mustAcquire(t, ms[2], lock)
+	ms[2].Release(lock, true)
+	ms[0].MarkApplied(lock, 1)
+	ms[1].MarkApplied(lock, 1)
+	ms[2].MarkApplied(lock, 1)
+	g := mustAcquire(t, ms[2], lock)
+	ms[2].Release(lock, true)
+	if g.Seq != 2 {
+		t.Fatalf("pre-crash grant = %+v", g)
+	}
+
+	dead := map[netproto.NodeID]bool{3: true}
+	for _, m := range ms[:2] {
+		m.SetLiveView(liveView(dead))
+		m.EvictPeer(3)
+	}
+	// Reclaim at the manager: no survivor has the token, the logs say
+	// the chain reached seq 2 with lastWrite 2 — re-mint there.
+	ms[0].SetQueueTail(lock, 1)
+	ms[0].AdoptTokenKeepQueue(lock, 2, 2)
+	if !ms[0].HasToken(lock) {
+		t.Fatal("re-mint did not install the token")
+	}
+
+	// The chain continues gap-free from the re-minted counters, and the
+	// interlock still gates on the dead holder's write.
+	ms[0].MarkApplied(lock, 2)
+	ms[1].MarkApplied(lock, 2)
+	g2 := mustAcquire(t, ms[1], lock)
+	if g2.Seq != 3 || g2.PrevWriteSeq != 2 {
+		t.Fatalf("post-remint grant = %+v", g2)
+	}
+	ms[1].Release(lock, false)
+}
+
+func TestAdoptTokenKeepQueueForwardsParkedPass(t *testing.T) {
+	ms := cluster(t, 3)
+	const lock = 3 // managed by node 1
+
+	// Node 2's request raced the eviction of the previous holder: the
+	// manager re-queued it against itself, so a pass is parked on a
+	// tokenless lock (the token died with the holder).
+	ms[0].ForfeitToken(lock)
+	errs := make(chan error, 1)
+	go func() {
+		g, err := ms[1].Acquire(lock)
+		if err == nil {
+			ms[1].Release(lock, false)
+			_ = g
+		}
+		errs <- err
+	}()
+	awaitLockState(t, ms[0], lock, func(st *lockState) bool { return st.hasPend })
+
+	// Live reclaim re-mints at the manager; the parked pass must be
+	// kept and forwarded, not dropped (AdoptToken semantics would
+	// strand the waiter).
+	ms[0].AdoptTokenKeepQueue(lock, 5, 0)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("raced waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked pass was not forwarded by AdoptTokenKeepQueue")
+	}
+	if !ms[1].HasToken(lock) {
+		t.Fatal("token did not reach the parked waiter")
+	}
+	seq, _, _ := ms[1].TokenState(lock)
+	if seq != 6 {
+		t.Fatalf("post-adopt chain seq = %d, want 6", seq)
+	}
+}
+
+func TestManagerOfRoutesAroundEvicted(t *testing.T) {
+	ms := cluster(t, 3)
+	const lock = 3 // home = node 1
+	if ms[1].ManagerOf(lock) != 1 {
+		t.Fatalf("home manager = %d", ms[1].ManagerOf(lock))
+	}
+	dead := map[netproto.NodeID]bool{1: true}
+	ms[1].SetLiveView(liveView(dead))
+	if got := ms[1].ManagerOf(lock); got != 2 {
+		t.Fatalf("stand-in manager = %d, want 2 (first live after home)", got)
+	}
+	// A stand-in must never mint the lock's token just by touching its
+	// state: the real token may survive on another node.
+	if ms[1].HasToken(lock) {
+		t.Fatal("stand-in manager minted a token")
+	}
+	// Home rejoins: management reverts.
+	delete(dead, 1)
+	if got := ms[1].ManagerOf(lock); got != 1 {
+		t.Fatalf("manager after rejoin = %d, want 1", got)
+	}
+}
+
+// failingTransport wraps an endpoint and fails every Send of the given
+// type with a transient error, counting attempts.
+type failingTransport struct {
+	netproto.Transport
+	failType uint8
+	attempts chan struct{}
+}
+
+var errLinkDown = errors.New("test: link down")
+
+func (f *failingTransport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	if typ == f.failType {
+		select {
+		case f.attempts <- struct{}{}:
+		default:
+		}
+		return errLinkDown
+	}
+	return f.Transport.Send(to, typ, payload)
+}
+
+func TestTokenSendBackoffAbandons(t *testing.T) {
+	defer func(d time.Duration, n int) {
+		tokenRetryDelay, maxTokenSendAttempts = d, n
+	}(tokenRetryDelay, maxTokenSendAttempts)
+	tokenRetryDelay = time.Millisecond
+	maxTokenSendAttempts = 3
+
+	hub := netproto.NewHub()
+	ids := []netproto.NodeID{1, 2}
+	ft := &failingTransport{
+		Transport: hub.Endpoint(1),
+		failType:  MsgLockToken,
+		attempts:  make(chan struct{}, 16),
+	}
+	st := metrics.NewStats()
+	m1 := New(ft, ids, st)
+	m2 := New(hub.Endpoint(2), ids, nil)
+	t.Cleanup(func() { m1.Close(); m2.Close() })
+
+	const lock = 2 // managed by node 1
+	mustAcquire(t, m1, lock)
+	go func() { _, _ = m2.AcquireTimeout(lock, 200*time.Millisecond) }()
+	awaitLockState(t, m1, lock, func(st *lockState) bool { return st.hasPend })
+	m1.Release(lock, false) // pass launches into the dead link
+
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Counter(metrics.CtrTokenSendsAbandoned) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("token pass never abandoned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := st.Counter(metrics.CtrTokenSendRetries); got != int64(maxTokenSendAttempts) {
+		t.Fatalf("lock_token_send_retries = %d, want %d", got, maxTokenSendAttempts)
+	}
+	if len(ft.attempts) != maxTokenSendAttempts {
+		t.Fatalf("send attempts = %d, want %d", len(ft.attempts), maxTokenSendAttempts)
+	}
+}
+
+func TestTokenSendToEvictedPeerAbandonsImmediately(t *testing.T) {
+	ms := cluster(t, 2)
+	const lock = 2 // managed by node 1
+	mustAcquire(t, ms[0], lock)
+	go func() { _, _ = ms[1].AcquireTimeout(lock, 200*time.Millisecond) }()
+	awaitLockState(t, ms[0], lock, func(st *lockState) bool { return st.hasPend })
+
+	// Node 2 is evicted before the holder releases: the pass must be
+	// abandoned at the liveness check, with no retries.
+	dead := map[netproto.NodeID]bool{2: true}
+	ms[0].SetLiveView(liveView(dead))
+	ms[0].Release(lock, false)
+
+	st := ms[0].Stats()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Counter(metrics.CtrTokenSendsAbandoned) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pass to evicted peer not abandoned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := st.Counter(metrics.CtrTokenSendRetries); got != 0 {
+		t.Fatalf("retried %d times into an evicted peer", got)
+	}
+}
+
+// evictedTransport fails every Send with ErrPeerEvicted, as the
+// membership Fence does for destinations the detector expelled.
+type evictedTransport struct {
+	netproto.Transport
+}
+
+func (f *evictedTransport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	return netproto.ErrPeerEvicted
+}
+
+func TestAcquireSurfacesErrPeerEvicted(t *testing.T) {
+	hub := netproto.NewHub()
+	ids := []netproto.NodeID{1, 2}
+	m2 := New(&evictedTransport{Transport: hub.Endpoint(2)}, ids, nil)
+	t.Cleanup(func() { m2.Close() })
+
+	// Lock 2's manager (node 1) is evicted; the request fails fast and
+	// the typed error survives the wrapping.
+	_, err := m2.Acquire(2)
+	if err == nil {
+		t.Fatal("acquire against an evicted manager succeeded")
+	}
+	if !errors.Is(err, ErrPeerEvicted) {
+		t.Fatalf("err = %v, want errors.Is(..., ErrPeerEvicted)", err)
+	}
+}

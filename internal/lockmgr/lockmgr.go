@@ -51,10 +51,26 @@ var ErrClosed = errors.New("lockmgr: closed")
 // holder is unreachable, crashed, or still writing.
 var ErrAcquireTimeout = errors.New("lockmgr: acquire timed out")
 
-// tokenRetryDelay is how long a failed token pass waits before
-// retrying. Token passes must eventually succeed for liveness: a pass
-// lost to a transient partition would otherwise strand the token.
+// ErrPeerEvicted (shared with the transport layer) marks operations
+// against a peer the failure detector has evicted: requests to a dead
+// manager fail with it, and background token passes abandon instead of
+// retrying into the void. errors.Is matches it through the wrapped
+// errors Acquire returns.
+var ErrPeerEvicted = netproto.ErrPeerEvicted
+
+// tokenRetryDelay is the base delay of the capped exponential backoff
+// a failed token pass retries under (delays double per attempt, capped
+// at one second).
 var tokenRetryDelay = 25 * time.Millisecond
+
+// maxTokenSendAttempts bounds how many times a token pass is tried
+// before it is abandoned (lock_token_sends_abandoned). Abandoning is
+// safe only because an abandoned token is recoverable: the membership
+// layer's reclaim protocol re-mints tokens lost to dead peers, and a
+// pass to a live peer that failed this many times means the link — not
+// the peer — is gone, which the failure detector will shortly confirm
+// as an eviction. The pre-membership behavior was retry-forever.
+var maxTokenSendAttempts = 8
 
 // lockState is this node's view of one lock.
 type lockState struct {
@@ -104,6 +120,29 @@ type Manager struct {
 
 	tdMu sync.RWMutex
 	td   TokenData
+
+	lvMu sync.RWMutex
+	live func(netproto.NodeID) bool // nil: every roster node is live
+}
+
+// SetLiveView installs the failure detector's liveness predicate.
+// With it, ManagerOf routes around evicted nodes (the first live node
+// scanning the roster from the lock's home slot), and token sends to
+// evicted peers are abandoned instead of retried. Every node must use
+// the same view for the manager choice to stay consistent — the
+// membership layer's eviction broadcast provides exactly that.
+func (m *Manager) SetLiveView(fn func(netproto.NodeID) bool) {
+	m.lvMu.Lock()
+	m.live = fn
+	m.lvMu.Unlock()
+}
+
+// peerLive reports whether the live view (if any) considers id alive.
+func (m *Manager) peerLive(id netproto.NodeID) bool {
+	m.lvMu.RLock()
+	fn := m.live
+	m.lvMu.RUnlock()
+	return fn == nil || fn(id)
 }
 
 // SetTokenData installs the token piggyback hooks. Install before any
@@ -148,17 +187,32 @@ func (m *Manager) Stats() *metrics.Stats { return m.stats }
 // Install before any lock traffic flows; tr may be nil.
 func (m *Manager) SetTracer(tr *obs.Tracer) { m.trace = tr }
 
-// ManagerOf returns the node that manages lock id.
+// ManagerOf returns the node that manages lock id: the lock's home
+// slot in the roster, or — under a live view with the home node
+// evicted — the first live node scanning forward from it. When the
+// home node rejoins, management reverts to it (the rejoin surgery
+// repairs its queue-tail bookkeeping first).
 func (m *Manager) ManagerOf(lockID uint32) netproto.NodeID {
-	return m.nodes[int(lockID)%len(m.nodes)]
+	home := int(lockID) % len(m.nodes)
+	for k := 0; k < len(m.nodes); k++ {
+		id := m.nodes[(home+k)%len(m.nodes)]
+		if m.peerLive(id) {
+			return id
+		}
+	}
+	return m.nodes[home]
 }
 
 // state returns (creating if needed) the local state for a lock. The
-// token is born at the manager node. Callers hold m.mu.
+// token is born at the lock's static home slot — never at a stand-in
+// manager, which routes requests for an evicted home but must not mint
+// a second token when the real one survives on some other node (the
+// reclaim protocol adopts a token at the stand-in only after
+// confirming no survivor holds one). Callers hold m.mu.
 func (m *Manager) state(lockID uint32) *lockState {
 	st, ok := m.locks[lockID]
 	if !ok {
-		st = &lockState{haveToken: m.ManagerOf(lockID) == m.tr.Self()}
+		st = &lockState{haveToken: m.nodes[int(lockID)%len(m.nodes)] == m.tr.Self()}
 		m.locks[lockID] = st
 	}
 	return st
@@ -399,11 +453,14 @@ func (m *Manager) Release(lockID uint32, wrote bool) {
 // sendToken ships the token (with its counters and any piggybacked
 // payload) to a peer. Callers must not hold m.mu: the TokenData hook
 // may take its own locks. A failed pass is retried in the background
-// until it succeeds or the manager closes: a token stranded by a
-// transient partition would otherwise deadlock the lock forever, so
-// the pass must survive link loss (receivers tolerate the duplicate
-// deliveries an ambiguous failure can produce — re-installing the
-// same counters is idempotent).
+// under capped exponential backoff — a token stranded by a transient
+// partition would otherwise deadlock the lock — but the retry loop
+// consults the failure detector and gives up once the destination is
+// evicted or the attempt cap is reached: the membership layer's
+// reclaim protocol re-mints abandoned tokens, so retrying forever into
+// a dead peer (the pre-membership behavior) is no longer needed for
+// liveness. Receivers tolerate the duplicate deliveries an ambiguous
+// failure can produce — re-installing the same counters is idempotent.
 func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite uint64) {
 	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:], lockID)
@@ -412,6 +469,10 @@ func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite ui
 	m.stats.Add(metrics.CtrLockRemote, 1)
 	if to == m.tr.Self() {
 		m.onLockToken(m.tr.Self(), hdr[:])
+		return
+	}
+	if !m.peerLive(to) {
+		m.stats.Add(metrics.CtrTokenSendsAbandoned, 1)
 		return
 	}
 	msg := hdr[:]
@@ -427,26 +488,52 @@ func (m *Manager) sendToken(to netproto.NodeID, lockID uint32, seq, lastWrite ui
 		})
 	}
 	if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
+		if errors.Is(err, netproto.ErrPeerEvicted) {
+			m.stats.Add(metrics.CtrTokenSendsAbandoned, 1)
+			return
+		}
 		m.stats.Add(metrics.CtrTokenPassRetries, 1)
+		m.stats.Add(metrics.CtrTokenSendRetries, 1)
 		cp := append([]byte(nil), msg...)
-		m.retryToken(to, cp)
+		m.retryToken(to, cp, 1)
 	}
 }
 
-// retryToken re-sends a failed token pass after a delay, forever,
-// until the send succeeds or the manager closes.
-func (m *Manager) retryToken(to netproto.NodeID, msg []byte) {
-	time.AfterFunc(tokenRetryDelay, func() {
+// retryToken re-sends a failed token pass with exponentially growing
+// delays (doubling from tokenRetryDelay, capped at one second) until
+// the send succeeds, the destination is evicted, the attempt cap is
+// reached, or the manager closes.
+func (m *Manager) retryToken(to netproto.NodeID, msg []byte, attempt int) {
+	if attempt >= maxTokenSendAttempts {
+		m.stats.Add(metrics.CtrTokenSendsAbandoned, 1)
+		return
+	}
+	delay := tokenRetryDelay << (attempt - 1)
+	if delay > time.Second {
+		delay = time.Second
+	}
+	time.AfterFunc(delay, func() {
 		m.mu.Lock()
 		closed := m.closed
 		m.mu.Unlock()
 		if closed {
 			return
 		}
-		if err := m.tr.Send(to, MsgLockToken, msg); err != nil {
-			m.stats.Add(metrics.CtrTokenPassRetries, 1)
-			m.retryToken(to, msg)
+		if !m.peerLive(to) {
+			m.stats.Add(metrics.CtrTokenSendsAbandoned, 1)
+			return
 		}
+		err := m.tr.Send(to, MsgLockToken, msg)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, netproto.ErrPeerEvicted) {
+			m.stats.Add(metrics.CtrTokenSendsAbandoned, 1)
+			return
+		}
+		m.stats.Add(metrics.CtrTokenPassRetries, 1)
+		m.stats.Add(metrics.CtrTokenSendRetries, 1)
+		m.retryToken(to, msg, attempt+1)
 	})
 }
 
@@ -667,6 +754,23 @@ func (m *Manager) AdoptToken(lockID uint32, seq, lastWrite uint64) {
 	m.mu.Unlock()
 }
 
+// AdoptTokenKeepQueue is AdoptToken for live reclaim: a request that
+// raced the eviction may already have parked a pass here, and dropping
+// it (as AdoptToken does for quiesced crash surgery) would strand the
+// requester. The parked pass is kept and forwarded if nothing local is
+// entitled to the token.
+func (m *Manager) AdoptTokenKeepQueue(lockID uint32, seq, lastWrite uint64) {
+	m.mu.Lock()
+	st := m.state(lockID)
+	st.haveToken = true
+	st.requested = false
+	st.seq = seq
+	st.lastWrite = lastWrite
+	m.cond.Broadcast()
+	m.passIfIdleLocked(st, lockID)
+	m.mu.Unlock()
+}
+
 // ForfeitToken clears local token ownership: a restarted node's fresh
 // state claims the tokens it manages, but some may have been adopted
 // elsewhere while it was down.
@@ -676,6 +780,36 @@ func (m *Manager) ForfeitToken(lockID uint32) {
 	st.haveToken = false
 	st.requested = false
 	st.hasPend = false
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// EvictPeer purges a dead peer from this node's volatile lock state:
+// parked passes destined for it are dropped (the token stays here
+// instead of launching at a corpse), manager-side queue tails pointing
+// at it are cleared (the next request forwards from the manager's own
+// token, or from whatever tail reclaim installs), and request flags
+// for locks whose token is absent are reset so parked acquirers
+// re-request from the lock's post-eviction manager. Like the rest of
+// the surgery API it assumes no acquire for the affected locks is in
+// flight (the membership layer evicts between quiesced rounds; a
+// re-request racing an in-flight one only costs a duplicate queue
+// entry, which the pass protocol tolerates as a duplicate delivery).
+func (m *Manager) EvictPeer(peer netproto.NodeID) {
+	m.mu.Lock()
+	for _, st := range m.locks {
+		if st.hasPend && st.pendingTo == peer {
+			st.hasPend = false
+		}
+		if !st.haveToken && st.requested {
+			st.requested = false
+		}
+	}
+	for lockID, tail := range m.tails {
+		if tail == peer {
+			delete(m.tails, lockID)
+		}
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

@@ -1,0 +1,125 @@
+package membership
+
+import (
+	"encoding/binary"
+
+	"lbc/internal/bufpool"
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// Fence wraps a Transport with membership enforcement:
+//
+//   - outgoing frames of the fenced types carry a 4-byte epoch prefix;
+//   - sends to an evicted peer fail fast with netproto.ErrPeerEvicted
+//     instead of timing out against a dead endpoint;
+//   - inbound frames from an evicted sender are dropped (quarantine:
+//     a zombie that has not noticed its own eviction cannot corrupt
+//     survivors), counted as evicted_sender_frames;
+//   - inbound fenced frames carrying an epoch older than the local one
+//     are dropped and counted as stale_epoch_frames — the delayed
+//     pre-eviction update that resurfaces after a reorder/delay fault
+//     never reaches the apply pipeline;
+//   - every admitted frame feeds the failure detector via Observe, so
+//     ordinary traffic doubles as the heartbeat.
+//
+// Only update-class frames are epoch-tagged. Lock-protocol frames
+// between live nodes stay valid across an epoch bump — a token pass in
+// flight while a third node is evicted must still land, or the lock
+// would strand — so for them eviction of the sender is the only drop
+// rule. Token safety across the bump comes from the reclaim protocol
+// re-minting at the highest applied sequence, not from discarding
+// survivor-to-survivor lock traffic.
+//
+// The fence sits outside any chaos wrapper (fence → chaos → wire):
+// frames are tagged with the epoch current at send time, and a frame
+// the injector holds back is judged at delivery time against the
+// receiver's then-current epoch — exactly the hazard window the fence
+// exists to close.
+type Fence struct {
+	inner  netproto.Transport
+	mon    *Monitor
+	stats  *metrics.Stats
+	fenced [256]bool
+}
+
+var _ netproto.Transport = (*Fence)(nil)
+
+// NewFence wraps inner. fencedTypes lists the message type codes that
+// carry the epoch tag (the coherency update frames); the caller passes
+// them in to keep this package decoupled from the layers above it.
+func NewFence(inner netproto.Transport, mon *Monitor, stats *metrics.Stats, fencedTypes []uint8) *Fence {
+	if stats == nil {
+		stats = metrics.NewStats()
+	}
+	f := &Fence{inner: inner, mon: mon, stats: stats}
+	for _, t := range fencedTypes {
+		f.fenced[t] = true
+	}
+	return f
+}
+
+// Self implements netproto.Transport.
+func (f *Fence) Self() netproto.NodeID { return f.inner.Self() }
+
+// Epoch returns the membership epoch stamped on outgoing fenced frames.
+func (f *Fence) Epoch() uint32 { return f.mon.Epoch() }
+
+// Send implements netproto.Transport: fenced types gain the epoch
+// prefix; any send to an evicted peer fails fast.
+func (f *Fence) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	if f.mon.Evicted(to) {
+		return netproto.ErrPeerEvicted
+	}
+	if !f.fenced[typ] {
+		return f.inner.Send(to, typ, payload)
+	}
+	buf := bufpool.Get(4 + len(payload))
+	buf = buf[:4]
+	binary.LittleEndian.PutUint32(buf, f.mon.Epoch())
+	buf = append(buf, payload...)
+	err := f.inner.Send(to, typ, buf)
+	// Send does not retain the frame (ChanEndpoint copies, TCP writes
+	// synchronously), so the tag buffer recycles immediately.
+	bufpool.Put(buf)
+	return err
+}
+
+// Handle implements netproto.Transport, wrapping the handler with the
+// quarantine and epoch checks.
+func (f *Fence) Handle(typ uint8, h netproto.Handler) {
+	fenced := f.fenced[typ]
+	f.inner.Handle(typ, func(from netproto.NodeID, payload []byte) {
+		if f.mon.Evicted(from) {
+			f.stats.Add(metrics.CtrEvictedSenderFrames, 1)
+			return
+		}
+		f.mon.Observe(from)
+		if fenced {
+			if len(payload) < 4 {
+				return
+			}
+			if e := binary.LittleEndian.Uint32(payload); e < f.mon.Epoch() {
+				f.stats.Add(metrics.CtrStaleEpochFrames, 1)
+				return
+			}
+			payload = payload[4:]
+		}
+		h(from, payload)
+	})
+}
+
+// Peers implements netproto.Transport, filtered to live members.
+func (f *Fence) Peers() []netproto.NodeID {
+	all := f.inner.Peers()
+	out := all[:0]
+	for _, id := range all {
+		if f.mon.Alive(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Close implements netproto.Transport.
+func (f *Fence) Close() error { return f.inner.Close() }

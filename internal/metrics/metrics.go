@@ -373,6 +373,16 @@ const (
 	// Parallel apply pipeline (coherency scheduler + parapply engine).
 	CtrApplyBackpressure = "apply_backpressure"   // enqueues that blocked on a full apply queue
 	CtrApplyWorkerBusyNS = "apply_worker_busy_ns" // cumulative worker install time
+
+	// Membership / live failure handling (internal/membership).
+	CtrTokenSendRetries    = "lock_token_send_retries"    // token-pass retries under capped backoff
+	CtrTokenSendsAbandoned = "lock_token_sends_abandoned" // token passes given up (peer evicted / cap hit)
+	CtrStaleEpochFrames    = "stale_epoch_frames"         // update frames dropped for carrying an old epoch
+	CtrEvictedSenderFrames = "evicted_sender_frames"      // frames dropped because the sender is evicted
+	CtrSuspicions          = "member_suspicions"          // peers newly suspected by the failure detector
+	CtrEvictions           = "member_evictions"           // peers evicted (locally confirmed or adopted)
+	CtrRejoins             = "member_rejoins"             // evicted peers readmitted after catch-up
+	CtrReclaimedTokens     = "lock_tokens_reclaimed"      // lock tokens re-minted after an eviction
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -409,6 +419,9 @@ var fixedIdx = buildIndex([]string{
 	CtrRecordsStale, CtrApplyErrors, CtrDecodeErrors, CtrCompressFallbacks,
 	CtrCatchupRecords, CtrTokenPassRetries,
 	CtrApplyBackpressure, CtrApplyWorkerBusyNS,
+	CtrTokenSendRetries, CtrTokenSendsAbandoned, CtrStaleEpochFrames,
+	CtrEvictedSenderFrames, CtrSuspicions, CtrEvictions, CtrRejoins,
+	CtrReclaimedTokens,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{

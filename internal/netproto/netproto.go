@@ -62,8 +62,16 @@ var ErrPeerUnreachable = errors.New("netproto: peer unreachable")
 // down; a later Send re-dials.
 var ErrLinkClosed = errors.New("netproto: link closed")
 
+// ErrPeerEvicted is returned by Send when the destination has been
+// evicted from the cluster membership (see internal/membership): the
+// peer is dead to this epoch, so retrying is pointless until it rejoins
+// under a new one. Defined here so transport wrappers and the lock
+// manager agree on one typed value without an import cycle.
+var ErrPeerEvicted = errors.New("netproto: peer evicted")
+
 // maxHandlers bounds message type codes (lockmgr uses 0x10-0x1F,
-// coherency 0x20-0x2F; codes above 0x3F are reserved).
+// coherency 0x20-0x2F, membership 0x30-0x3F; codes above 0x3F are
+// reserved).
 const maxHandlers = 64
 
 // --- In-process mesh -----------------------------------------------------

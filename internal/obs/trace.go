@@ -54,6 +54,12 @@ const (
 	SpanApply     = "peer.apply"      // applying a received record
 	SpanTokenSend = "lock.token_send" // lock token passed to a peer
 	SpanTokenRecv = "lock.token_recv" // lock token received
+
+	// Membership / failure-handling spans (internal/membership).
+	SpanSuspect = "member.suspect"     // peer crossed the silence threshold
+	SpanEvict   = "member.evict"       // eviction confirmed, epoch bumped
+	SpanRejoin  = "member.rejoin"      // evicted peer readmitted
+	SpanReclaim = "lock.token_reclaim" // lost token re-minted by its manager
 )
 
 // Tracer records spans into a fixed-capacity ring buffer. Writers claim
