@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-store table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
 COVER_MIN ?= 60
@@ -65,6 +65,10 @@ bench-apply:
 # Regression gate for the apply pipeline (80% of baseline best speedup).
 bench-apply-check:
 	$(GO) run ./cmd/applybench -check -baseline BENCH_apply.json
+
+# Storage write path: single server vs 3-replica majority quorum.
+bench-store:
+	$(GO) run ./cmd/storebench -o BENCH_store.json
 
 # Individual experiments.
 table2:

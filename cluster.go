@@ -12,6 +12,7 @@ import (
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
 	"lbc/internal/rangetree"
+	"lbc/internal/replstore"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
 	"lbc/internal/wal"
@@ -29,6 +30,7 @@ type clusterConfig struct {
 	versioned    map[int]bool
 	useStore     bool
 	replicated   bool
+	quorum       int
 	seedImages   map[RegionID][]byte
 	policy       rangetree.Policy
 	diskLogDir   string
@@ -105,6 +107,19 @@ func WithReplicatedStore() Option {
 	return func(c *clusterConfig) {
 		c.useStore = true
 		c.replicated = true
+	}
+}
+
+// WithQuorumStore is WithStore with n independent storage replicas and
+// majority-quorum replication (internal/replstore): every node talks
+// to the replica set through a quorum client, writes acknowledge only
+// after a majority persists them, and the replica set reconfigures
+// through epoch-numbered views while commits continue. n must be odd
+// to make majorities meaningful (3 is the usual choice).
+func WithQuorumStore(n int) Option {
+	return func(c *clusterConfig) {
+		c.useStore = true
+		c.quorum = n
 	}
 }
 
@@ -186,6 +201,16 @@ func WithMembership(o MembershipOptions) Option {
 	return func(c *clusterConfig) { c.member = &o }
 }
 
+// storeClient is what a node needs from its storage attachment: the
+// permanent-image interface, per-node log devices, and teardown. Both
+// the plain/mirrored client (*store.Client) and the quorum client
+// (*replstore.Client) satisfy it.
+type storeClient interface {
+	rvm.DataStore
+	LogDevice(node uint32) wal.Device
+	Close() error
+}
+
 // Cluster is a set of in-process nodes for experiments, examples, and
 // tests. Production deployments wire the pieces directly (see
 // cmd/storeserver and the package example).
@@ -199,7 +224,10 @@ type Cluster struct {
 	trs     []netproto.Transport
 	srv     *store.Server
 	replica *store.ReplicaPair
-	clis    []*store.Client
+	qsrvs   []*store.Server   // quorum replicas (WithQuorumStore); nil slots are dead
+	qaddrs  []string          // quorum replica addresses, index-aligned with qsrvs
+	qadmin  *replstore.Client // admin quorum client (seeding, reconfiguration)
+	clis    []storeClient
 	logs    []wal.Device
 	datas   []rvm.DataStore       // non-store configs: per-node stores (survive Crash)
 	tracers []*obs.Tracer         // nil without WithTracing; survive Restart
@@ -229,7 +257,7 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 		rvms:    make([]*rvm.RVM, k),
 		meshes:  make([]*netproto.TCPMesh, k),
 		trs:     make([]netproto.Transport, k),
-		clis:    make([]*store.Client, k),
+		clis:    make([]storeClient, k),
 		logs:    make([]wal.Device, k),
 		datas:   make([]rvm.DataStore, k),
 		tracers: make([]*obs.Tracer, k),
@@ -244,7 +272,36 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 
 	// Optional storage server.
 	if cfg.useStore {
-		if cfg.replicated {
+		if cfg.quorum > 0 {
+			if cfg.quorum < 3 {
+				return nil, fmt.Errorf("lbc: quorum store needs at least 3 replicas")
+			}
+			for r := 0; r < cfg.quorum; r++ {
+				srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+				if err != nil {
+					cl.Close()
+					return nil, err
+				}
+				cl.qsrvs = append(cl.qsrvs, srv)
+				cl.qaddrs = append(cl.qaddrs, srv.Addr())
+			}
+			if err := replstore.Bootstrap(cl.qaddrs); err != nil {
+				cl.Close()
+				return nil, err
+			}
+			admin, err := replstore.DialView(cl.qaddrs, replstore.Options{})
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.qadmin = admin
+			for id, img := range cfg.seedImages {
+				if err := admin.StoreRegion(uint32(id), img); err != nil {
+					cl.Close()
+					return nil, err
+				}
+			}
+		} else if cfg.replicated {
 			pair, err := store.NewReplicaPair("127.0.0.1:0", "127.0.0.1:0", store.ServerOptions{})
 			if err != nil {
 				return nil, err
@@ -258,10 +315,12 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 			}
 			cl.srv = srv
 		}
-		for id, img := range cfg.seedImages {
-			if err := cl.srv.Data().StoreRegion(uint32(id), img); err != nil {
-				cl.Close()
-				return nil, err
+		if cl.srv != nil {
+			for id, img := range cfg.seedImages {
+				if err := cl.srv.Data().StoreRegion(uint32(id), img); err != nil {
+					cl.Close()
+					return nil, err
+				}
 			}
 		}
 	}
@@ -317,10 +376,25 @@ func (c *Cluster) wrapTransport(tr netproto.Transport) netproto.Transport {
 func (c *Cluster) startNode(i int, restart bool) error {
 	id := c.ids[i]
 	cfg := c.cfg
+	if cfg.traceCap > 0 && c.tracers[i] == nil {
+		c.tracers[i] = obs.NewTracer(uint32(id), cfg.traceCap)
+	}
 	var log wal.Device
 	var data rvm.DataStore
 	var peerLogs coherency.PeerLogReader
-	if cfg.useStore {
+	if cfg.useStore && cfg.quorum > 0 {
+		// Each node gets its own quorum client over the current view (a
+		// restarted node may come back after a reconfiguration).
+		qc, err := replstore.DialView(c.qadmin.View().Members,
+			replstore.Options{Trace: c.tracers[i]})
+		if err != nil {
+			return err
+		}
+		c.clis[i] = qc
+		log = qc.LogDevice(uint32(id))
+		data = qc
+		peerLogs = func(node uint32) wal.Device { return qc.LogDevice(node) }
+	} else if cfg.useStore {
 		cli, err := store.Dial(c.srv.Addr())
 		if err != nil {
 			return err
@@ -359,9 +433,6 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		log = chaos.WrapDevice(log, cfg.inj, fmt.Sprintf("node-%d", id))
 	}
 
-	if cfg.traceCap > 0 && c.tracers[i] == nil {
-		c.tracers[i] = obs.NewTracer(uint32(id), cfg.traceCap)
-	}
 	r, err := rvm.Open(rvm.Options{
 		Node: uint32(id), Log: log, Data: data,
 		Policy: cfg.policy, ResumeLog: restart,
@@ -448,6 +519,99 @@ func (c *Cluster) StoreBackup() *store.Server {
 		return nil
 	}
 	return c.replica.Backup
+}
+
+// StoreReplica returns quorum replica r's server (WithQuorumStore
+// only; nil while that replica is killed).
+func (c *Cluster) StoreReplica(r int) *store.Server {
+	if r < 0 || r >= len(c.qsrvs) {
+		return nil
+	}
+	return c.qsrvs[r]
+}
+
+// StoreReplicaAddrs returns the quorum replica addresses in slot
+// order. A killed-and-replaced slot carries the replacement's address.
+func (c *Cluster) StoreReplicaAddrs() []string {
+	return append([]string(nil), c.qaddrs...)
+}
+
+// QuorumAdmin returns the administrative quorum client (WithQuorumStore
+// only): reconfiguration, digests, and lag inspection run through it.
+func (c *Cluster) QuorumAdmin() *replstore.Client { return c.qadmin }
+
+// KillStoreReplica fails quorum replica r abruptly: its listener and
+// connections die mid-stream, its state is gone. Commits keep flowing
+// through the surviving majority.
+func (c *Cluster) KillStoreReplica(r int) error {
+	if r < 0 || r >= len(c.qsrvs) || c.qsrvs[r] == nil {
+		return fmt.Errorf("lbc: no live quorum replica %d", r)
+	}
+	err := c.qsrvs[r].Close()
+	c.qsrvs[r] = nil
+	return err
+}
+
+// ReplaceStoreReplica starts a fresh empty server in dead slot r,
+// catches it up from the surviving majority (snapshot plus log tail),
+// and installs the next view with the replacement in the dead
+// replica's seat — written through both the old and the new view's
+// majorities. Every node's quorum client adopts the new view before
+// the call returns.
+func (c *Cluster) ReplaceStoreReplica(r int) (string, error) {
+	if r < 0 || r >= len(c.qsrvs) {
+		return "", fmt.Errorf("lbc: no quorum replica slot %d", r)
+	}
+	if c.qsrvs[r] != nil {
+		return "", fmt.Errorf("lbc: quorum replica %d is still alive", r)
+	}
+	fresh, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+	if err != nil {
+		return "", err
+	}
+	if err := c.qadmin.ReplaceReplica(c.qaddrs[r], fresh.Addr()); err != nil {
+		fresh.Close()
+		return "", err
+	}
+	c.qsrvs[r] = fresh
+	c.qaddrs[r] = fresh.Addr()
+	c.RefreshQuorumViews()
+	return fresh.Addr(), nil
+}
+
+// RefreshQuorumViews makes every live node's quorum client (and the
+// admin client) re-read the current view, dropping connections to
+// departed replicas and dialing new members.
+func (c *Cluster) RefreshQuorumViews() {
+	for i, cli := range c.clis {
+		if c.down[i] || cli == nil {
+			continue
+		}
+		if qc, ok := cli.(*replstore.Client); ok {
+			qc.RefreshView()
+		}
+	}
+	if c.qadmin != nil {
+		c.qadmin.RefreshView()
+	}
+}
+
+// QuiesceQuorum drains the straggler replication goroutines on every
+// quorum client — after it returns, every write acknowledged so far
+// has landed on every replica it will ever land on, so per-replica
+// digests are comparable.
+func (c *Cluster) QuiesceQuorum() {
+	for i, cli := range c.clis {
+		if c.down[i] || cli == nil {
+			continue
+		}
+		if qc, ok := cli.(*replstore.Client); ok {
+			qc.Quiesce()
+		}
+	}
+	if c.qadmin != nil {
+		c.qadmin.Quiesce()
+	}
 }
 
 // MapAll maps the region on every live node.
@@ -925,6 +1089,14 @@ func (c *Cluster) Close() error {
 	for _, cli := range c.clis {
 		if cli != nil {
 			cli.Close()
+		}
+	}
+	if c.qadmin != nil {
+		c.qadmin.Close()
+	}
+	for _, s := range c.qsrvs {
+		if s != nil {
+			s.Close()
 		}
 	}
 	if c.replica != nil {

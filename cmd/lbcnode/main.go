@@ -12,6 +12,12 @@
 //	lbcnode -node 3 -listen 127.0.0.1:7103 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102 -store 127.0.0.1:7070
 //
 // All three print the same final checksum.
+//
+// Passing a comma-separated list to -store attaches the node to a
+// majority-quorum replica set (internal/replstore) instead of a single
+// server; the listed addresses seed the current view:
+//
+//	lbcnode ... -store 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
+	"lbc/internal/replstore"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
 	"lbc/internal/wal"
@@ -41,7 +48,7 @@ func main() {
 		nodeID    = flag.Uint("node", 0, "this node's id (required, unique)")
 		listen    = flag.String("listen", "", "mesh listen address (required)")
 		peersSpec = flag.String("peers", "", "peer list: id=addr,id=addr (required)")
-		storeAddr = flag.String("store", "", "storage server address (required)")
+		storeAddr = flag.String("store", "", "storage server address, or comma-separated quorum replica addresses (required)")
 		region    = flag.Int("region", 1<<20, "shared region size in bytes")
 		locks     = flag.Int("locks", 4, "number of segment locks")
 		writes    = flag.Int("writes", 200, "locked writes to perform")
@@ -72,19 +79,54 @@ func main() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	cli, err := store.Dial(*storeAddr)
-	if err != nil {
-		die(err)
-	}
-	defer cli.Close()
 	var tracer *obs.Tracer
 	if *debugAddr != "" || *traceFile != "" {
 		tracer = obs.NewTracer(uint32(*nodeID), *traceCap)
 	}
+
+	// Single address: one storage server (possibly mirrored behind a
+	// failover pair). Several addresses: a majority-quorum replica set.
+	var (
+		data       rvm.DataStore
+		logDev     func(node uint32) wal.Device
+		storeStats *metrics.Stats
+		lagMax     func() int64
+	)
+	if storeAddrs := splitAddrs(*storeAddr); len(storeAddrs) > 1 {
+		qc, err := replstore.DialView(storeAddrs, replstore.Options{Trace: tracer})
+		if err != nil {
+			die(err)
+		}
+		defer qc.Close()
+		data = qc
+		logDev = qc.LogDevice
+		storeStats = qc.Stats()
+		lagMax = func() int64 {
+			var max int64
+			for _, l := range qc.Lag() {
+				if l > max {
+					max = l
+				}
+			}
+			return max
+		}
+		v := qc.View()
+		fmt.Printf("lbcnode %d: quorum store view epoch %d (%d replicas)\n",
+			*nodeID, v.Epoch, len(v.Members))
+	} else {
+		cli, err := store.Dial(*storeAddr)
+		if err != nil {
+			die(err)
+		}
+		defer cli.Close()
+		data = cli
+		logDev = cli.LogDevice
+		storeStats = cli.Stats()
+	}
 	r, err := rvm.Open(rvm.Options{
 		Node:  uint32(*nodeID),
-		Log:   cli.LogDevice(uint32(*nodeID)),
-		Data:  cli,
+		Log:   logDev(uint32(*nodeID)),
+		Data:  data,
 		Trace: tracer,
 	})
 	if err != nil {
@@ -148,7 +190,7 @@ func main() {
 		Transport:   tr,
 		Nodes:       ids,
 		Propagation: propagation,
-		PeerLogs:    func(node uint32) wal.Device { return cli.LogDevice(node) },
+		PeerLogs:    func(node uint32) wal.Device { return logDev(node) },
 		Membership:  mon,
 	})
 	if err != nil {
@@ -162,8 +204,12 @@ func main() {
 	if *debugAddr != "" {
 		mreg := obs.NewRegistry()
 		mreg.Register("rvm", r.Stats())
+		mreg.Register("store", storeStats)
 		mreg.RegisterGauge("applier_parked", func() int64 { return int64(n.Parked()) })
 		mreg.RegisterGauge("apply_queue_depth", func() int64 { return n.ApplyQueueDepth() })
+		if lagMax != nil {
+			mreg.RegisterGauge("store_replica_lag_max", lagMax)
+		}
 		if mon != nil {
 			mreg.Register("membership", mstats)
 			mon.Export(mreg)
@@ -306,6 +352,16 @@ func main() {
 		*nodeID,
 		s.Counter(metrics.CtrBytesSent), s.Counter(metrics.CtrMsgsSent),
 		s.Counter(metrics.CtrRecordsApplied))
+}
+
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func parsePeers(spec string) (map[netproto.NodeID]string, error) {

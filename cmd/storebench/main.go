@@ -1,0 +1,53 @@
+// Command storebench measures the storage write path in its two
+// deployments — a single storage server versus a 3-replica
+// majority-quorum store (internal/replstore) — and writes the
+// comparison to BENCH_store.json. The headline is the replication tax:
+// single-box appends/sec divided by quorum appends/sec, with the
+// quorum commit latency distribution alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_store.json", "output JSON path")
+	appends := flag.Int("appends", 2000, "log appends per configuration")
+	writes := flag.Int("writes", 400, "versioned region writes per configuration")
+	payload := flag.Int("payload", 256, "payload bytes per operation")
+	flag.Parse()
+
+	res, err := bench.RunStoreBench(*appends, *writes, *payload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	for _, pt := range res.Points {
+		fmt.Printf("%-8s replicas=%d  appends/s=%9.0f  region-writes/s=%9.0f  write p50=%s p99=%s\n",
+			pt.Config, pt.Replicas, pt.AppendsPerSec, pt.RegionWritesPerSec,
+			ns(pt.WriteP50NS), ns(pt.WriteP99NS))
+	}
+	fmt.Printf("replication tax: %.2fx (single/quorum appends per second)\n", res.AppendOverhead)
+	if err := bench.WriteStoreBench(res, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func ns(v int64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1_000:
+		return fmt.Sprintf("%dns", v)
+	case v < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	}
+}

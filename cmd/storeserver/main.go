@@ -6,6 +6,19 @@
 //
 // With -dir the images and logs persist on local disk; without it the
 // server is memory-backed (useful for experiments).
+//
+// A server can also run as one replica of a majority-quorum store
+// (internal/replstore). Start each replica plainly, then install the
+// first view from any one of them:
+//
+//	storeserver -listen 127.0.0.1:7071 &
+//	storeserver -listen 127.0.0.1:7072 &
+//	storeserver -listen 127.0.0.1:7073 -init-view 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+//
+// A later replacement joins an existing set — snapshot catch-up plus a
+// view change happen before it counts toward any quorum:
+//
+//	storeserver -listen 127.0.0.1:7074 -join 127.0.0.1:7071,127.0.0.1:7072
 package main
 
 import (
@@ -15,9 +28,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 
 	"lbc/internal/obs"
+	"lbc/internal/replstore"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
 	"lbc/internal/wal"
@@ -27,7 +43,12 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
 	debugAddr := flag.String("debug", "", "serve /debug/lbc (metrics, vars, pprof) on this address")
+	initView := flag.String("init-view", "", "comma-separated replica addresses (including this one): install the epoch-1 view across them")
+	join := flag.String("join", "", "comma-separated seed addresses of an existing replica set: catch up and join its view")
 	flag.Parse()
+	if *initView != "" && *join != "" {
+		die(fmt.Errorf("-init-view and -join are mutually exclusive"))
+	}
 
 	opts := store.ServerOptions{}
 	if *dir != "" {
@@ -50,10 +71,49 @@ func main() {
 	}
 	fmt.Printf("storeserver: listening on %s (dir=%q)\n", srv.Addr(), *dir)
 
+	if *initView != "" {
+		addrs := splitAddrs(*initView)
+		if err := retryFor(30*time.Second, func() error {
+			return replstore.Bootstrap(addrs)
+		}); err != nil {
+			die(fmt.Errorf("init-view: %w", err))
+		}
+		fmt.Printf("storeserver: installed view epoch 1 across %v\n", addrs)
+	}
+	if *join != "" {
+		seeds := splitAddrs(*join)
+		if err := retryFor(60*time.Second, func() error {
+			adm, err := replstore.DialView(seeds, replstore.Options{})
+			if err != nil {
+				return err
+			}
+			defer adm.Close()
+			return adm.AddReplica(srv.Addr())
+		}); err != nil {
+			die(fmt.Errorf("join: %w", err))
+		}
+		v, _ := srv.CurrentView()
+		fmt.Printf("storeserver: joined view epoch %d (%d members)\n", v.Epoch, len(v.Members))
+	}
+
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register("store", srv.Stats())
 		reg.RegisterGauge("store_logs", func() int64 { return int64(len(srv.Logs())) })
+		reg.RegisterGauge("store_view_epoch", func() int64 {
+			v, err := srv.CurrentView()
+			if err != nil {
+				return -1
+			}
+			return int64(v.Epoch)
+		})
+		reg.RegisterGauge("store_view_members", func() int64 {
+			v, err := srv.CurrentView()
+			if err != nil {
+				return -1
+			}
+			return int64(len(v.Members))
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, obs.Handler(reg, nil)); err != nil {
 				fmt.Fprintln(os.Stderr, "storeserver: debug server:", err)
@@ -67,6 +127,33 @@ func main() {
 	<-sig
 	fmt.Println("storeserver: shutting down")
 	srv.Close()
+}
+
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// retryFor retries fn until it succeeds or the window elapses —
+// replica sets come up one process at a time, so the first attempts
+// race the other replicas' listeners.
+func retryFor(window time.Duration, fn func() error) error {
+	deadline := time.Now().Add(window)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 }
 
 func die(err error) {

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/replstore"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// Storage-path experiment for the quorum-replicated store: the same
+// append and versioned-region-write workloads run once against a
+// single storage server and once against a 3-replica majority quorum
+// (internal/replstore). The quorum pays one extra round trip's worth
+// of fan-out per write but acknowledges at the majority, so its
+// overhead is bounded by the slower of the two fastest replicas — the
+// ratio between the two configurations is the replication tax.
+
+// StorePoint is one configuration's measurement.
+type StorePoint struct {
+	Config   string `json:"config"` // "single" | "quorum3"
+	Replicas int    `json:"replicas"`
+
+	AppendsPerSec      float64 `json:"appends_per_sec"`
+	RegionWritesPerSec float64 `json:"region_writes_per_sec"`
+
+	// Client-side latency quantiles from the metrics histograms.
+	WriteP50NS int64 `json:"write_p50_ns,omitempty"`
+	WriteP99NS int64 `json:"write_p99_ns,omitempty"`
+	// Quorum configurations also record the end-to-end quorum commit
+	// distribution (fan-out + majority wait).
+	QuorumWriteP50NS int64 `json:"quorum_write_p50_ns,omitempty"`
+	QuorumWriteP99NS int64 `json:"quorum_write_p99_ns,omitempty"`
+}
+
+// StoreBench is the BENCH_store.json document.
+type StoreBench struct {
+	Bench   string       `json:"bench"`
+	Payload int          `json:"payload_bytes"`
+	Appends int          `json:"appends"`
+	Writes  int          `json:"region_writes"`
+	Points  []StorePoint `json:"points"`
+	// AppendOverhead is single-box appends/sec divided by quorum
+	// appends/sec (>= 1 in practice; the replication tax headline).
+	AppendOverhead float64 `json:"append_overhead"`
+}
+
+// RunStoreBench measures the single-box and 3-replica append and
+// region-write paths with the given workload sizes.
+func RunStoreBench(appends, writes, payload int) (*StoreBench, error) {
+	out := &StoreBench{Bench: "store", Payload: payload, Appends: appends, Writes: writes}
+
+	single, err := runStoreSingle(appends, writes, payload)
+	if err != nil {
+		return nil, err
+	}
+	out.Points = append(out.Points, single)
+
+	quorum, err := runStoreQuorum(3, appends, writes, payload)
+	if err != nil {
+		return nil, err
+	}
+	out.Points = append(out.Points, quorum)
+
+	if quorum.AppendsPerSec > 0 {
+		out.AppendOverhead = single.AppendsPerSec / quorum.AppendsPerSec
+	}
+	return out, nil
+}
+
+// storeWorkload drives the append and region-write loops against any
+// log device + region writer pair and returns the two rates.
+func storeWorkload(dev wal.Device, storeRegion func(uint32, []byte) error,
+	appends, writes, payload int) (appendRate, writeRate float64, err error) {
+	buf := make([]byte, payload)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if _, err := dev.Append(buf); err != nil {
+			return 0, 0, fmt.Errorf("append %d: %w", i, err)
+		}
+	}
+	if err := dev.Sync(); err != nil {
+		return 0, 0, err
+	}
+	appendRate = float64(appends) / time.Since(start).Seconds()
+
+	start = time.Now()
+	for i := 0; i < writes; i++ {
+		if err := storeRegion(uint32(1+i%8), buf); err != nil {
+			return 0, 0, fmt.Errorf("region write %d: %w", i, err)
+		}
+	}
+	writeRate = float64(writes) / time.Since(start).Seconds()
+	return appendRate, writeRate, nil
+}
+
+func runStoreSingle(appends, writes, payload int) (StorePoint, error) {
+	pt := StorePoint{Config: "single", Replicas: 1}
+	srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+	if err != nil {
+		return pt, err
+	}
+	defer srv.Close()
+	cli, err := store.Dial(srv.Addr())
+	if err != nil {
+		return pt, err
+	}
+	defer cli.Close()
+
+	pt.AppendsPerSec, pt.RegionWritesPerSec, err = storeWorkload(
+		cli.LogDevice(1), cli.StoreRegion, appends, writes, payload)
+	if err != nil {
+		return pt, err
+	}
+	if h, ok := cli.Stats().Hists()[metrics.HistStoreWriteNS]; ok && h.Count > 0 {
+		pt.WriteP50NS = h.Quantile(0.5)
+		pt.WriteP99NS = h.Quantile(0.99)
+	}
+	return pt, nil
+}
+
+func runStoreQuorum(n, appends, writes, payload int) (StorePoint, error) {
+	pt := StorePoint{Config: fmt.Sprintf("quorum%d", n), Replicas: n}
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+		if err != nil {
+			return pt, err
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	if err := replstore.Bootstrap(addrs); err != nil {
+		return pt, err
+	}
+	qc, err := replstore.DialView(addrs, replstore.Options{})
+	if err != nil {
+		return pt, err
+	}
+	defer qc.Close()
+
+	pt.AppendsPerSec, pt.RegionWritesPerSec, err = storeWorkload(
+		qc.LogDevice(1), qc.StoreRegion, appends, writes, payload)
+	if err != nil {
+		return pt, err
+	}
+	qc.Quiesce()
+	hists := qc.Stats().Hists()
+	if h, ok := hists[metrics.HistStoreWriteNS]; ok && h.Count > 0 {
+		pt.WriteP50NS = h.Quantile(0.5)
+		pt.WriteP99NS = h.Quantile(0.99)
+	}
+	if h, ok := hists[metrics.HistQuorumWriteNS]; ok && h.Count > 0 {
+		pt.QuorumWriteP50NS = h.Quantile(0.5)
+		pt.QuorumWriteP99NS = h.Quantile(0.99)
+	}
+	return pt, nil
+}
+
+// WriteStoreBench writes the document to path as indented JSON.
+func WriteStoreBench(b *StoreBench, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadStoreBench loads a BENCH_store.json document.
+func ReadStoreBench(path string) (*StoreBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b StoreBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &b, nil
+}

@@ -75,6 +75,23 @@ func TestEvictRejoinScenario(t *testing.T) {
 	}
 }
 
+func TestStoreQuorumFailoverScenario(t *testing.T) {
+	rep := runTwice(t, "store-quorum-failover", 42)
+	if rep.Records != rep.Commits {
+		t.Errorf("records %d != commits %d: replica failover lost acknowledged writes",
+			rep.Records, rep.Commits)
+	}
+	if rep.Faults["replica_kills"] == 0 {
+		t.Error("no replica was killed; scenario is not exercising failover")
+	}
+	if rep.Faults["view_changes"] == 0 {
+		t.Error("replacement did not go through a view change")
+	}
+	if rep.Faults["catchup_bytes"] == 0 {
+		t.Error("replacement joined without a snapshot/log-tail transfer")
+	}
+}
+
 // TestScenarioSeedSweep runs every scenario across a few seeds —
 // different schedules, same invariants.
 func TestScenarioSeedSweep(t *testing.T) {

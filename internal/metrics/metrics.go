@@ -383,6 +383,18 @@ const (
 	CtrEvictions           = "member_evictions"           // peers evicted (locally confirmed or adopted)
 	CtrRejoins             = "member_rejoins"             // evicted peers readmitted after catch-up
 	CtrReclaimedTokens     = "lock_tokens_reclaimed"      // lock tokens re-minted after an eviction
+
+	// Quorum-replicated store (internal/replstore).
+	CtrStoreQuorumWrites  = "store_quorum_writes"       // region/log writes acked by a majority
+	CtrStoreQuorumReads   = "store_quorum_reads"        // version-validated quorum reads
+	CtrStoreReadFast      = "store_quorum_read_fast"    // reads satisfied by the preferred replica
+	CtrStoreReadRepairs   = "store_read_repairs"        // stale region copies rewritten after a read
+	CtrStoreLogRepairs    = "store_log_repairs"         // behind replica log tails re-copied
+	CtrStoreQuorumRetries = "store_quorum_retries"      // quorum rounds retried after losing a majority
+	CtrStoreViewChanges   = "store_view_changes"        // reconfigurations installed (epoch bumps)
+	CtrStoreViewRefreshes = "store_view_refreshes"      // view re-reads from the replica set
+	CtrStoreCatchupBytes  = "store_catchup_bytes"       // snapshot + log-tail bytes shipped to joiners
+	CtrStoreReplicaBehind = "store_replica_behind_acks" // append acks reporting a behind replica
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -392,6 +404,17 @@ const (
 	HistBatchRecords = "batch_occupancy"   // records per group-commit batch
 	HistLockWaitNS   = "lock_wait_hist_ns" // per-acquire lock wait
 	HistApplyNS      = "apply_ns"          // per-record install latency
+
+	// Storage-service latency (internal/store client + server) and
+	// quorum round trips (internal/replstore).
+	HistStoreReadNS       = "store_read_ns"           // client-observed read op latency
+	HistStoreWriteNS      = "store_write_ns"          // client-observed write op latency
+	HistStoreDialNS       = "store_dial_ns"           // client dial latency (incl. failover walks)
+	HistStoreServeReadNS  = "store_serve_read_ns"     // server-side read op handling
+	HistStoreServeWriteNS = "store_serve_write_ns"    // server-side write op handling
+	HistQuorumWriteNS     = "store_quorum_write_ns"   // full quorum write round trip
+	HistQuorumReadNS      = "store_quorum_read_ns"    // full quorum read round trip
+	HistReplicaLagBytes   = "store_replica_lag_bytes" // per-sample log-size gap behind the freshest replica
 )
 
 // DecodeErrorsFrom names the per-sender decode-error counter for node.
@@ -404,8 +427,8 @@ func DecodeErrorsFrom(node uint32) string {
 // Fixed-table sizing. The lookup maps are built once at init; Add and
 // Observe consult them with a read-only map access (no allocation).
 const (
-	maxFixedCounters = 48
-	maxFixedHists    = 8
+	maxFixedCounters = 64
+	maxFixedHists    = 16
 )
 
 var fixedIdx = buildIndex([]string{
@@ -422,10 +445,17 @@ var fixedIdx = buildIndex([]string{
 	CtrTokenSendRetries, CtrTokenSendsAbandoned, CtrStaleEpochFrames,
 	CtrEvictedSenderFrames, CtrSuspicions, CtrEvictions, CtrRejoins,
 	CtrReclaimedTokens,
+	CtrStoreQuorumWrites, CtrStoreQuorumReads, CtrStoreReadFast,
+	CtrStoreReadRepairs, CtrStoreLogRepairs, CtrStoreQuorumRetries,
+	CtrStoreViewChanges, CtrStoreViewRefreshes, CtrStoreCatchupBytes,
+	CtrStoreReplicaBehind,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{
 	HistFsyncNS, HistBatchRecords, HistLockWaitNS, HistApplyNS,
+	HistStoreReadNS, HistStoreWriteNS, HistStoreDialNS,
+	HistStoreServeReadNS, HistStoreServeWriteNS,
+	HistQuorumWriteNS, HistQuorumReadNS, HistReplicaLagBytes,
 }, maxFixedHists)
 
 func buildIndex(names []string, max int) map[string]int {

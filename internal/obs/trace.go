@@ -60,6 +60,11 @@ const (
 	SpanEvict   = "member.evict"       // eviction confirmed, epoch bumped
 	SpanRejoin  = "member.rejoin"      // evicted peer readmitted
 	SpanReclaim = "lock.token_reclaim" // lost token re-minted by its manager
+
+	// Quorum-replicated store spans (internal/replstore).
+	SpanQuorumWrite = "store.quorum_write" // one majority-acked write round
+	SpanCatchup     = "store.catchup"      // snapshot + log-tail transfer to a joiner
+	SpanViewChange  = "store.view_change"  // reconfiguration installed through both majorities
 )
 
 // Tracer records spans into a fixed-capacity ring buffer. Writers claim

@@ -1,0 +1,512 @@
+// Package replstore implements a majority-quorum replicated storage
+// service behind the same client surface as internal/store: it
+// implements rvm.DataStore, and LogDevice returns a wal.Device, so the
+// RVM core and the coherency engines are oblivious to whether their
+// stable store is one box, a mirrored pair, or a quorum of replicas.
+//
+// The design follows the classic client-coordinated quorum scheme
+// ("two majorities always intersect"): a write is acknowledged only
+// after a majority of the current view has persisted it, and a read
+// collects version tags from a majority, so every read quorum overlaps
+// every acknowledged write quorum in at least one replica that holds
+// the freshest copy. Region images carry per-key version tags (enabling
+// read-repair of stale copies); per-node redo logs use offset-guarded
+// appends, exploiting the log prefix property — a replica that holds N
+// bytes of a log holds the same N bytes as every other replica, so
+// "freshest" is simply "longest".
+//
+// Views are first-class: a view is an epoch-numbered replica set,
+// persisted on every replica. Reconfiguration (view.go) runs while
+// commits continue: the new view is written through a majority of the
+// old view AND a majority of the new one, so any later quorum — under
+// either view — intersects a replica that knows the newer epoch. A
+// joining replica is caught up (snapshot transfer + log tail) before
+// it counts toward any quorum.
+package replstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/obs"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// Options configures a quorum client.
+type Options struct {
+	// Trace receives store.quorum_write / store.catchup spans. May be nil.
+	Trace *obs.Tracer
+}
+
+// Client is a quorum-coordinating storage client. It holds one
+// connection per replica and fans each operation out across the
+// current view, acknowledging once a majority responds.
+type Client struct {
+	stats *metrics.Stats
+	trace *obs.Tracer
+
+	mu    sync.Mutex
+	view  store.View
+	conns map[string]*store.Client
+	lag   map[string]int64 // last observed log-size gap behind the freshest replica
+	logs  map[uint32]*quorumLog
+
+	wg sync.WaitGroup // outstanding fan-out goroutines
+}
+
+// ErrNoView is returned by DialView when no reachable replica reports
+// an installed view.
+var ErrNoView = errors.New("replstore: no view installed on any replica")
+
+// Bootstrap installs the initial view (epoch 1, the given members) on
+// every listed replica. It is the one step that bypasses quorum logic:
+// it must run once, against fresh replicas, before any client dials in.
+func Bootstrap(addrs []string) error {
+	if len(addrs) == 0 {
+		return errors.New("replstore: Bootstrap needs at least one address")
+	}
+	v := store.View{Epoch: 1, Members: append([]string(nil), addrs...)}
+	for _, a := range addrs {
+		sc, err := store.Dial(a)
+		if err != nil {
+			return fmt.Errorf("replstore: bootstrap %s: %w", a, err)
+		}
+		_, err = sc.SetView(v)
+		sc.Close()
+		if err != nil {
+			return fmt.Errorf("replstore: bootstrap %s: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// DialView connects to the replica set: it asks every seed address for
+// its view and adopts the highest epoch found. Seeds that are
+// unreachable or uninitialized are skipped, so a client can start from
+// a stale member list as long as one current replica answers.
+func DialView(seeds []string, o Options) (*Client, error) {
+	c := &Client{
+		stats: metrics.NewStats(),
+		trace: o.Trace,
+		conns: map[string]*store.Client{},
+		lag:   map[string]int64{},
+		logs:  map[uint32]*quorumLog{},
+	}
+	var best store.View
+	for _, a := range seeds {
+		sc, err := c.conn(a)
+		if err != nil {
+			continue
+		}
+		v, err := sc.GetView()
+		if err == nil && v.Epoch > best.Epoch {
+			best = v
+		}
+	}
+	if best.Epoch == 0 {
+		c.Close()
+		return nil, ErrNoView
+	}
+	c.mu.Lock()
+	c.view = best
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Stats exposes quorum counters and round-trip histograms.
+func (c *Client) Stats() *metrics.Stats { return c.stats }
+
+// View returns the view this client currently coordinates under.
+func (c *Client) View() store.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Clone()
+}
+
+// Lag returns the last observed per-replica log-size gap behind the
+// freshest replica (bytes), for gauge export.
+func (c *Client) Lag() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.lag))
+	for k, v := range c.lag {
+		out[k] = v
+	}
+	return out
+}
+
+// Quiesce blocks until every outstanding fan-out goroutine (including
+// best-effort repairs) has completed. Tests use it to reach a settled
+// replica state before comparing digests.
+func (c *Client) Quiesce() { c.wg.Wait() }
+
+// Close drains outstanding fan-outs and closes every replica
+// connection.
+func (c *Client) Close() error {
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range c.conns {
+		sc.Close()
+	}
+	c.conns = map[string]*store.Client{}
+	return nil
+}
+
+// members snapshots the current view's member list.
+func (c *Client) members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.view.Members...)
+}
+
+// conn returns (dialing if needed) the connection to one replica. Each
+// replica gets a single-address failover client, so a transient drop
+// re-dials transparently on the next call.
+func (c *Client) conn(addr string) (*store.Client, error) {
+	c.mu.Lock()
+	sc := c.conns[addr]
+	c.mu.Unlock()
+	if sc != nil {
+		return sc, nil
+	}
+	nc, err := store.DialFailover(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.conns[addr]; cur != nil {
+		go nc.Close()
+		return cur, nil
+	}
+	c.conns[addr] = nc
+	return nc, nil
+}
+
+// dropConn closes and forgets the connection to a removed replica.
+func (c *Client) dropConn(addr string) {
+	c.mu.Lock()
+	sc := c.conns[addr]
+	delete(c.conns, addr)
+	delete(c.lag, addr)
+	c.mu.Unlock()
+	if sc != nil {
+		sc.Close()
+	}
+}
+
+// reply is one replica's answer to a fanned-out operation.
+type reply struct {
+	addr string
+	val  any
+	err  error
+}
+
+// fanout runs fn against every listed replica concurrently and returns
+// the replies collected up to the point a majority had succeeded (or
+// all replicas had answered). Stragglers complete in the background —
+// their effects still land on the replica — and are accounted for by
+// Quiesce.
+func (c *Client) fanout(members []string, fn func(addr string, sc *store.Client) (any, error)) []reply {
+	ch := make(chan reply, len(members))
+	for _, m := range members {
+		c.wg.Add(1)
+		go func(m string) {
+			defer c.wg.Done()
+			sc, err := c.conn(m)
+			if err != nil {
+				ch <- reply{addr: m, err: err}
+				return
+			}
+			v, err := fn(m, sc)
+			ch <- reply{addr: m, val: v, err: err}
+		}(m)
+	}
+	need := len(members)/2 + 1
+	out := make([]reply, 0, len(members))
+	ok := 0
+	for i := 0; i < len(members); i++ {
+		r := <-ch
+		out = append(out, r)
+		if r.err == nil {
+			ok++
+			if ok >= need {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// successes counts err-free replies.
+func successes(replies []reply) int {
+	n := 0
+	for _, r := range replies {
+		if r.err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// noQuorum builds the diagnostic error for a round that failed to
+// reach a majority: every replica that answered and how it failed.
+func noQuorum(op string, need int, replies []reply) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replstore: %s: quorum not reached (%d/%d acks)", op, successes(replies), need)
+	for _, r := range replies {
+		if r.err != nil {
+			fmt.Fprintf(&b, "; %s: %v", r.addr, r.err)
+		}
+	}
+	return errors.New(b.String())
+}
+
+// withQuorum fans fn out over the current view and requires a majority
+// of successes, refreshing the view and retrying once if the first
+// round falls short (the view may have changed under us).
+func (c *Client) withQuorum(op string, fn func(addr string, sc *store.Client) (any, error)) ([]reply, error) {
+	members := c.members()
+	replies := c.fanout(members, fn)
+	if successes(replies) >= len(members)/2+1 {
+		return replies, nil
+	}
+	c.stats.Add(metrics.CtrStoreQuorumRetries, 1)
+	if err := c.RefreshView(); err != nil {
+		return nil, fmt.Errorf("%w (view refresh: %v)", noQuorum(op, len(members)/2+1, replies), err)
+	}
+	members = c.members()
+	replies = c.fanout(members, fn)
+	if successes(replies) >= len(members)/2+1 {
+		return replies, nil
+	}
+	return nil, noQuorum(op, len(members)/2+1, replies)
+}
+
+// verReply carries a version tag (and, for full reads, the image).
+type verReply struct {
+	ver  uint64
+	data []byte
+	full bool
+}
+
+// LoadRegion implements rvm.DataStore with a version-validated quorum
+// read. The preferred replica for the region returns the full image;
+// the rest return just their version tag. If the preferred replica's
+// version matches the quorum maximum it has proven freshness and its
+// image is used directly (the fast path); otherwise the image is
+// fetched from a replica holding the maximum, and stale members of the
+// quorum are read-repaired.
+func (c *Client) LoadRegion(id uint32) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		c.stats.Add(metrics.CtrStoreQuorumReads, 1)
+		c.stats.Observe(metrics.HistQuorumReadNS, time.Since(start).Nanoseconds())
+	}()
+	members := c.members()
+	if len(members) == 0 {
+		return nil, errors.New("replstore: empty view")
+	}
+	pref := members[int(id)%len(members)]
+	replies, err := c.withQuorum("load_region", func(addr string, sc *store.Client) (any, error) {
+		if addr == pref {
+			ver, data, err := sc.ReadVersioned(id)
+			return verReply{ver: ver, data: data, full: true}, err
+		}
+		ver, err := sc.VersionOf(id)
+		return verReply{ver: ver}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maxVer uint64
+	for _, r := range replies {
+		if r.err == nil && r.val.(verReply).ver > maxVer {
+			maxVer = r.val.(verReply).ver
+		}
+	}
+	if maxVer == 0 {
+		return nil, rvm.ErrNoRegion
+	}
+	var img []byte
+	fast := false
+	for _, r := range replies {
+		if r.err == nil && r.addr == pref {
+			if v := r.val.(verReply); v.full && v.ver == maxVer {
+				img, fast = v.data, true
+			}
+			break
+		}
+	}
+	if fast {
+		c.stats.Add(metrics.CtrStoreReadFast, 1)
+	} else {
+		img, err = c.fetchAt(id, maxVer, replies)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Read-repair: rewrite stale copies seen in this quorum.
+	for _, r := range replies {
+		if r.err == nil && r.val.(verReply).ver < maxVer {
+			if sc, cerr := c.conn(r.addr); cerr == nil {
+				if _, werr := sc.WriteVersioned(id, maxVer, img); werr == nil {
+					c.stats.Add(metrics.CtrStoreReadRepairs, 1)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// fetchAt fetches the region image from a replica that reported the
+// target version.
+func (c *Client) fetchAt(id uint32, want uint64, replies []reply) ([]byte, error) {
+	for _, r := range replies {
+		if r.err != nil || r.val.(verReply).ver < want {
+			continue
+		}
+		sc, err := c.conn(r.addr)
+		if err != nil {
+			continue
+		}
+		ver, data, err := sc.ReadVersioned(id)
+		if err == nil && ver >= want {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("replstore: region %d: no replica served version %d", id, want)
+}
+
+// StoreRegion implements rvm.DataStore with a majority-acknowledged
+// versioned write: a version quorum picks max+1, then the tagged image
+// must persist on a majority before the call returns.
+func (c *Client) StoreRegion(id uint32, data []byte) error {
+	start := time.Now()
+	var ver uint64
+	defer func() {
+		c.stats.Add(metrics.CtrStoreQuorumWrites, 1)
+		c.stats.Observe(metrics.HistQuorumWriteNS, time.Since(start).Nanoseconds())
+		if c.trace.Enabled() {
+			c.trace.Emit(obs.Span{
+				Name: obs.SpanQuorumWrite, Lock: id, Tx: ver,
+				Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(),
+				N: int64(len(data)),
+			})
+		}
+	}()
+	for attempt := 0; attempt < 3; attempt++ {
+		replies, err := c.withQuorum("version_of", func(_ string, sc *store.Client) (any, error) {
+			return sc.VersionOf(id)
+		})
+		if err != nil {
+			return err
+		}
+		var maxVer uint64
+		for _, r := range replies {
+			if r.err == nil && r.val.(uint64) > maxVer {
+				maxVer = r.val.(uint64)
+			}
+		}
+		ver = maxVer + 1
+		wr, err := c.withQuorum("write_versioned", func(_ string, sc *store.Client) (any, error) {
+			cur, err := sc.WriteVersioned(id, ver, data)
+			if err != nil {
+				return nil, err
+			}
+			if cur > ver {
+				return nil, fmt.Errorf("replstore: region %d: version %d superseded by %d", id, ver, cur)
+			}
+			return cur, nil
+		})
+		if err == nil && successes(wr) >= len(c.members())/2+1 {
+			return nil
+		}
+		// A concurrent writer advanced the version under us: re-run the
+		// version round and try again with a higher tag.
+		c.stats.Add(metrics.CtrStoreQuorumRetries, 1)
+	}
+	return fmt.Errorf("replstore: region %d: write lost the version race 3 times", id)
+}
+
+// Regions implements rvm.DataStore: the union of region ids across a
+// majority (any acknowledged region write reached a majority, so the
+// union over any majority is complete).
+func (c *Client) Regions() ([]uint32, error) {
+	replies, err := c.withQuorum("list_regions", func(_ string, sc *store.Client) (any, error) {
+		return sc.Regions()
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[uint32]bool{}
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		for _, id := range r.val.([]uint32) {
+			seen[id] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Sync implements rvm.DataStore: a majority must force their images.
+func (c *Client) Sync() error {
+	_, err := c.withQuorum("sync_data", func(_ string, sc *store.Client) (any, error) {
+		return nil, sc.Sync()
+	})
+	return err
+}
+
+// Logs lists node ids with logs anywhere in the quorum.
+func (c *Client) Logs() ([]uint32, error) {
+	replies, err := c.withQuorum("list_logs", func(_ string, sc *store.Client) (any, error) {
+		return sc.Logs()
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[uint32]bool{}
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		for _, id := range r.val.([]uint32) {
+			seen[id] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// LogDevice returns the quorum-replicated wal.Device for node's log.
+// Devices are cached per node so the append cursor is shared across
+// callers.
+func (c *Client) LogDevice(node uint32) wal.Device {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok := c.logs[node]; ok {
+		return l
+	}
+	l := &quorumLog{c: c, node: node, nextOff: -1}
+	c.logs[node] = l
+	return l
+}

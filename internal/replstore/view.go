@@ -1,0 +1,297 @@
+package replstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/obs"
+	"lbc/internal/store"
+)
+
+// View-change protocol. A view is installed by writing it, with a
+// bumped epoch, through a majority of the OLD view and a majority of
+// the NEW view. Because any two majorities of the old view intersect,
+// a client still coordinating under the old view cannot assemble a
+// quorum that misses the new epoch; and because a majority of the new
+// view holds it, clients adopting the new view can always rediscover
+// it. Single-step reconfiguration (one Reconfigure at a time from one
+// admin) keeps the argument inductive: epochs only advance, and the
+// replica-side SetView guard rejects regressions.
+
+// RefreshView re-reads the view from every replica this client knows
+// about and adopts the highest epoch found. Called automatically when
+// a quorum round falls short (the view may have changed under us).
+func (c *Client) RefreshView() error {
+	c.stats.Add(metrics.CtrStoreViewRefreshes, 1)
+	c.mu.Lock()
+	known := map[string]bool{}
+	for _, m := range c.view.Members {
+		known[m] = true
+	}
+	for a := range c.conns {
+		known[a] = true
+	}
+	best := c.view.Clone()
+	c.mu.Unlock()
+	for a := range known {
+		sc, err := c.conn(a)
+		if err != nil {
+			continue
+		}
+		v, err := sc.GetView()
+		if err == nil && v.Epoch > best.Epoch {
+			best = v
+		}
+	}
+	c.adoptView(best)
+	return nil
+}
+
+// adoptView installs v locally if it advances the epoch, dropping
+// connections to replicas that left the membership.
+func (c *Client) adoptView(v store.View) {
+	c.mu.Lock()
+	if v.Epoch <= c.view.Epoch {
+		c.mu.Unlock()
+		return
+	}
+	var gone []string
+	for a := range c.conns {
+		if !v.Contains(a) {
+			gone = append(gone, a)
+		}
+	}
+	c.view = v.Clone()
+	c.mu.Unlock()
+	for _, a := range gone {
+		c.dropConn(a)
+	}
+}
+
+// gatherAll runs fn on every listed replica and waits for all replies
+// (no majority early-return): view installation needs per-set ack
+// counts, not just a global majority.
+func (c *Client) gatherAll(members []string, fn func(addr string, sc *store.Client) (any, error)) []reply {
+	ch := make(chan reply, len(members))
+	for _, m := range members {
+		c.wg.Add(1)
+		go func(m string) {
+			defer c.wg.Done()
+			sc, err := c.conn(m)
+			if err != nil {
+				ch <- reply{addr: m, err: err}
+				return
+			}
+			v, err := fn(m, sc)
+			ch <- reply{addr: m, val: v, err: err}
+		}(m)
+	}
+	out := make([]reply, 0, len(members))
+	for range members {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// Reconfigure moves the view from its current membership to
+// (members - remove + add) while commits continue. Added replicas are
+// caught up (snapshot + log tail) BEFORE the new view is installed, so
+// they never count toward a quorum they cannot serve.
+func (c *Client) Reconfigure(add, remove []string) error {
+	old := c.View()
+	if old.Epoch == 0 {
+		return ErrNoView
+	}
+	newMembers := make([]string, 0, len(old.Members)+len(add))
+	removed := map[string]bool{}
+	for _, a := range remove {
+		removed[a] = true
+	}
+	for _, m := range old.Members {
+		if !removed[m] {
+			newMembers = append(newMembers, m)
+		}
+	}
+	for _, a := range add {
+		if !old.Contains(a) && !removed[a] {
+			newMembers = append(newMembers, a)
+		}
+	}
+	if len(newMembers) == 0 {
+		return errors.New("replstore: reconfiguration would empty the view")
+	}
+	for _, a := range add {
+		if old.Contains(a) {
+			continue
+		}
+		if err := c.catchUp(a); err != nil {
+			return fmt.Errorf("replstore: catch-up of %s: %w", a, err)
+		}
+	}
+	nv := store.View{Epoch: old.Epoch + 1, Members: newMembers}
+
+	// Install through both majorities: the union hears the proposal,
+	// and we require acks from a majority of the old AND new sets.
+	union := append([]string(nil), old.Members...)
+	for _, m := range newMembers {
+		if !old.Contains(m) {
+			union = append(union, m)
+		}
+	}
+	start := time.Now()
+	replies := c.gatherAll(union, func(_ string, sc *store.Client) (any, error) {
+		cur, err := sc.SetView(nv)
+		if err != nil {
+			return nil, err
+		}
+		if cur.Epoch > nv.Epoch {
+			return cur, fmt.Errorf("replstore: view %d superseded by %d", nv.Epoch, cur.Epoch)
+		}
+		return cur, nil
+	})
+	okOld, okNew := 0, 0
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		if old.Contains(r.addr) {
+			okOld++
+		}
+		if nv.Contains(r.addr) {
+			okNew++
+		}
+	}
+	if okOld < old.Majority() || okNew < nv.Majority() {
+		return fmt.Errorf("replstore: view %d not installed (old %d/%d, new %d/%d acks)",
+			nv.Epoch, okOld, old.Majority(), okNew, nv.Majority())
+	}
+	c.adoptView(nv)
+	c.stats.Add(metrics.CtrStoreViewChanges, 1)
+	if c.trace.Enabled() {
+		c.trace.Emit(obs.Span{
+			Name: obs.SpanViewChange, Tx: nv.Epoch,
+			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(),
+			N: int64(len(newMembers)),
+		})
+	}
+	return nil
+}
+
+// AddReplica catches addr up and adds it to the view.
+func (c *Client) AddReplica(addr string) error { return c.Reconfigure([]string{addr}, nil) }
+
+// RemoveReplica drops addr from the view.
+func (c *Client) RemoveReplica(addr string) error { return c.Reconfigure(nil, []string{addr}) }
+
+// ReplaceReplica swaps a dead replica for a fresh one in a single view
+// change: the replacement is caught up first, then one epoch bump
+// removes the dead member and admits the new one.
+func (c *Client) ReplaceReplica(dead, fresh string) error {
+	return c.Reconfigure([]string{fresh}, []string{dead})
+}
+
+// readVersionedQuorum performs a full-image quorum read: every replica
+// returns its tagged copy, and the highest version among a majority
+// wins. Used by catch-up, where the joiner needs the version tag too.
+func (c *Client) readVersionedQuorum(id uint32) (uint64, []byte, error) {
+	replies, err := c.withQuorum("read_versioned", func(_ string, sc *store.Client) (any, error) {
+		ver, data, err := sc.ReadVersioned(id)
+		return verReply{ver: ver, data: data, full: true}, err
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	var best verReply
+	for _, r := range replies {
+		if r.err == nil && r.val.(verReply).ver >= best.ver {
+			best = r.val.(verReply)
+		}
+	}
+	return best.ver, best.data, nil
+}
+
+// catchUp brings a (fresh or stale) replica to the current state:
+// a snapshot of every region image (read through the quorum, written
+// with its version tag) plus a full copy of every per-node log from
+// the freshest holder. The log copy runs in bounded delta rounds so
+// appends that land during the transfer are picked up before the
+// replica is admitted; the final round runs after the bulk is over and
+// is normally empty.
+func (c *Client) catchUp(addr string) error {
+	start := time.Now()
+	dst, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	var copied int64
+
+	// Region snapshot.
+	ids, err := c.Regions()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		ver, img, err := c.readVersionedQuorum(id)
+		if err != nil {
+			return err
+		}
+		if ver == 0 {
+			continue
+		}
+		if _, err := dst.WriteVersioned(id, ver, img); err != nil {
+			return err
+		}
+		copied += int64(len(img))
+	}
+
+	// Log transfer: the joiner may hold a stale, diverged tail from a
+	// previous incarnation, so each log restarts from zero and is
+	// copied whole from the freshest replica, then topped up in delta
+	// rounds until it matches.
+	nodes, err := c.Logs()
+	if err != nil {
+		return err
+	}
+	for _, node := range sortedU32(nodes) {
+		if err := dst.LogDevice(node).Reset(); err != nil {
+			return err
+		}
+		for round := 0; ; round++ {
+			_, maxAddr, maxSize, err := c.sizeQuorum(node)
+			if err != nil {
+				return err
+			}
+			have, err := dst.LogDevice(node).Size()
+			if err != nil {
+				return err
+			}
+			if have >= maxSize {
+				break
+			}
+			if round >= 5 {
+				return fmt.Errorf("replstore: catch-up of log %d did not converge (%d < %d)",
+					node, have, maxSize)
+			}
+			donor, err := c.conn(maxAddr)
+			if err != nil {
+				return err
+			}
+			if err := c.copyLogRange(donor, dst, node, have, maxSize); err != nil {
+				return err
+			}
+			copied += maxSize - have
+		}
+	}
+
+	c.stats.Add(metrics.CtrStoreCatchupBytes, copied)
+	if c.trace.Enabled() {
+		c.trace.Emit(obs.Span{
+			Name:  obs.SpanCatchup,
+			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(),
+			N: copied,
+		})
+	}
+	return nil
+}

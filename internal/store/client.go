@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"lbc/internal/metrics"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
 )
@@ -29,6 +30,8 @@ import (
 // may be retried against a server that already applied it, so log
 // replay (merge, catch-up) deduplicates records by (node, commit-seq).
 type Client struct {
+	stats *metrics.Stats
+
 	mu    sync.Mutex
 	conn  net.Conn
 	addrs []string // failover list; empty for a plain Dial client
@@ -39,34 +42,48 @@ const dialTimeout = 2 * time.Second
 
 // Dial connects to a storage server.
 func Dial(addr string) (*Client, error) {
-	conn, err := dialStore(addr)
+	c := &Client{stats: metrics.NewStats()}
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
 
 // DialFailover connects to the first reachable address and arms
 // transparent failover across the rest (primary/backup mirroring:
-// clients re-home to the backup when the primary dies).
+// clients re-home to the backup when the primary dies). When every
+// address fails, the returned error is a *DialError listing each
+// attempt.
 func DialFailover(addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("store: DialFailover needs at least one address")
 	}
-	var lastErr error
+	c := &Client{stats: metrics.NewStats(), addrs: addrs}
+	agg := &DialError{Op: "dial"}
 	for i, addr := range addrs {
-		conn, err := dialStore(addr)
+		conn, err := c.dial(addr)
 		if err != nil {
-			lastErr = err
+			agg.Attempts = append(agg.Attempts, DialAttempt{Addr: addr, Err: err})
 			continue
 		}
-		return &Client{conn: conn, addrs: addrs, cur: i}, nil
+		c.conn = conn
+		c.cur = i
+		return c, nil
 	}
-	return nil, lastErr
+	return nil, agg
 }
 
-func dialStore(addr string) (net.Conn, error) {
+// Stats exposes the client's op latency histograms (read/write/dial)
+// for the /debug/lbc endpoint.
+func (c *Client) Stats() *metrics.Stats { return c.stats }
+
+// dial connects to one address, recording dial latency.
+func (c *Client) dial(addr string) (net.Conn, error) {
+	start := time.Now()
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	c.stats.Observe(metrics.HistStoreDialNS, time.Since(start).Nanoseconds())
 	if err != nil {
 		return nil, fmt.Errorf("store: dial %s: %w", addr, err)
 	}
@@ -103,12 +120,24 @@ func (c *Client) roundTrip(op uint8, body []byte) ([]byte, error) {
 }
 
 // call performs one request/response round trip, failing over across
-// the configured address list on transport errors.
+// the configured address list on transport errors. A walk that
+// exhausts the whole ring reports a *DialError naming every address
+// tried and how each failed.
 func (c *Client) call(op uint8, body []byte) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		if isWriteOp(op) {
+			c.stats.Observe(metrics.HistStoreWriteNS, time.Since(start).Nanoseconds())
+		} else {
+			c.stats.Observe(metrics.HistStoreReadNS, time.Since(start).Nanoseconds())
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.roundTrip(op, body)
 	if err != nil && len(c.addrs) > 0 {
+		agg := &DialError{Op: opCounter(op)}
+		agg.Attempts = append(agg.Attempts, DialAttempt{Addr: c.addrs[c.cur], Err: err})
 		// Attempt 0 re-dials the current address; each further attempt
 		// advances to the next one in the ring.
 		for attempt := 0; attempt <= len(c.addrs) && err != nil; attempt++ {
@@ -119,13 +148,20 @@ func (c *Client) call(op uint8, body []byte) ([]byte, error) {
 			if attempt > 0 {
 				c.cur = (c.cur + 1) % len(c.addrs)
 			}
-			conn, derr := dialStore(c.addrs[c.cur])
+			conn, derr := c.dial(c.addrs[c.cur])
 			if derr != nil {
 				err = derr
+				agg.Attempts = append(agg.Attempts, DialAttempt{Addr: c.addrs[c.cur], Err: derr})
 				continue
 			}
 			c.conn = conn
 			resp, err = c.roundTrip(op, body)
+			if err != nil {
+				agg.Attempts = append(agg.Attempts, DialAttempt{Addr: c.addrs[c.cur], Err: err})
+			}
+		}
+		if err != nil {
+			return nil, agg
 		}
 	}
 	if err != nil {
@@ -134,13 +170,19 @@ func (c *Client) call(op uint8, body []byte) ([]byte, error) {
 	if len(resp) == 0 {
 		return nil, errors.New("store: empty response")
 	}
-	if resp[0] == statusErr {
+	switch resp[0] {
+	case statusErr:
 		msg := string(resp[1:])
 		// Re-map the sentinel that DataStore consumers test for.
 		if strings.Contains(msg, rvm.ErrNoRegion.Error()) {
 			return nil, rvm.ErrNoRegion
 		}
 		return nil, errors.New(msg)
+	case statusBehind:
+		if len(resp) != 9 {
+			return nil, errors.New("store: bad behind response")
+		}
+		return nil, &BehindError{Size: int64(binary.LittleEndian.Uint64(resp[1:]))}
 	}
 	return resp[1:], nil
 }
@@ -187,13 +229,20 @@ func (c *Client) Logs() ([]uint32, error) {
 
 // LogDevice returns a wal.Device backed by node's log on the server.
 func (c *Client) LogDevice(node uint32) wal.Device {
-	return &remoteLog{c: c, node: node}
+	return &remoteLog{c: c, node: node, nextOff: -1}
 }
 
-// remoteLog adapts the server's per-node log to wal.Device.
+// remoteLog adapts the server's per-node log to wal.Device. Appends go
+// through the offset-guarded AppendLogAt op: the device tracks where
+// its next record belongs, so a retried append after a lost ack (or a
+// failover to a mirror that already applied the forwarded copy) acks
+// idempotently instead of duplicating the record.
 type remoteLog struct {
 	c    *Client
 	node uint32
+
+	offMu   sync.Mutex
+	nextOff int64 // next append offset; -1 until learned from the server
 }
 
 func (l *remoteLog) req(extra int) []byte {
@@ -202,16 +251,33 @@ func (l *remoteLog) req(extra int) []byte {
 	return b
 }
 
-// Append implements wal.Device.
+// Append implements wal.Device via the offset-guarded protocol.
 func (l *remoteLog) Append(p []byte) (int64, error) {
-	resp, err := l.c.call(opAppendLog, append(l.req(len(p)), p...))
+	l.offMu.Lock()
+	defer l.offMu.Unlock()
+	if l.nextOff < 0 {
+		sz, err := l.sizeRemote()
+		if err != nil {
+			return 0, err
+		}
+		l.nextOff = sz
+	}
+	newSize, err := l.c.AppendLogAt(l.node, l.nextOff, p)
+	var behind *BehindError
+	if errors.As(err, &behind) {
+		// The server's log shrank under us (offline trim by another
+		// client). Re-home to its current tail, matching the plain
+		// append-at-end semantics this device used to have.
+		l.nextOff = behind.Size
+		newSize, err = l.c.AppendLogAt(l.node, l.nextOff, p)
+	}
 	if err != nil {
+		l.nextOff = -1 // relearn after an ambiguous failure
 		return 0, err
 	}
-	if len(resp) != 8 {
-		return 0, errors.New("store: bad AppendLog response")
-	}
-	return int64(binary.LittleEndian.Uint64(resp)), nil
+	off := l.nextOff
+	l.nextOff = newSize
+	return off, nil
 }
 
 // Sync implements wal.Device.
@@ -221,7 +287,9 @@ func (l *remoteLog) Sync() error {
 }
 
 // Size implements wal.Device.
-func (l *remoteLog) Size() (int64, error) {
+func (l *remoteLog) Size() (int64, error) { return l.sizeRemote() }
+
+func (l *remoteLog) sizeRemote() (int64, error) {
 	resp, err := l.c.call(opLogSize, l.req(0))
 	if err != nil {
 		return 0, err
@@ -246,16 +314,26 @@ func (l *remoteLog) Open(from int64) (io.ReadCloser, error) {
 
 // Truncate implements wal.Device.
 func (l *remoteLog) Truncate(size int64) error {
+	l.offMu.Lock()
+	defer l.offMu.Unlock()
 	req := l.req(8)
 	var sz [8]byte
 	binary.LittleEndian.PutUint64(sz[:], uint64(size))
 	_, err := l.c.call(opTruncateLog, append(req, sz[:]...))
+	l.nextOff = -1
 	return err
 }
 
 // Reset implements wal.Device.
 func (l *remoteLog) Reset() error {
+	l.offMu.Lock()
+	defer l.offMu.Unlock()
 	_, err := l.c.call(opResetLog, l.req(0))
+	if err == nil {
+		l.nextOff = 0
+	} else {
+		l.nextOff = -1
+	}
 	return err
 }
 

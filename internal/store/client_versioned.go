@@ -1,0 +1,160 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"lbc/internal/bufpool"
+)
+
+// Client methods for the quorum-replication protocol. These are the
+// building blocks internal/replstore fans out across a view; they are
+// exposed on the plain client so single-box deployments, tools, and
+// tests can exercise the same code paths.
+
+// ReadVersioned fetches a region with its version tag. An absent
+// region reads as version 0 with nil data (not an error), so quorum
+// reads can count replicas that have never seen the key.
+func (c *Client) ReadVersioned(id uint32) (uint64, []byte, error) {
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], id)
+	resp, err := c.call(opReadVersioned, req[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) < 8 {
+		return 0, nil, errors.New("store: bad ReadVersioned response")
+	}
+	ver := binary.LittleEndian.Uint64(resp)
+	if ver == 0 {
+		return 0, nil, nil
+	}
+	return ver, resp[8:], nil
+}
+
+// VersionOf fetches just a region's version tag (0 if absent).
+func (c *Client) VersionOf(id uint32) (uint64, error) {
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], id)
+	resp, err := c.call(opVersionOf, req[:])
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("store: bad VersionOf response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+// WriteVersioned stores a region image tagged with ver. The replica
+// applies it only if ver advances its current version; the returned
+// version is whatever is current after the op, so callers can detect
+// both success (cur == ver) and a lost race (cur > ver).
+func (c *Client) WriteVersioned(id uint32, ver uint64, data []byte) (uint64, error) {
+	req := bufpool.Get(12 + len(data))[:12+len(data)]
+	defer bufpool.Put(req)
+	binary.LittleEndian.PutUint32(req, id)
+	binary.LittleEndian.PutUint64(req[4:], ver)
+	copy(req[12:], data)
+	resp, err := c.call(opWriteVersioned, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("store: bad WriteVersioned response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+// AppendLogAt appends data to node's log iff the log is exactly
+// expected bytes long (see handleAppendLogAt for the dup/torn-tail
+// cases). Returns the log size after the append. A replica missing
+// the prefix yields a *BehindError carrying its current size.
+func (c *Client) AppendLogAt(node uint32, expected int64, data []byte) (int64, error) {
+	req := bufpool.Get(12 + len(data))[:12+len(data)]
+	defer bufpool.Put(req)
+	binary.LittleEndian.PutUint32(req, node)
+	binary.LittleEndian.PutUint64(req[4:], uint64(expected))
+	copy(req[12:], data)
+	resp, err := c.call(opAppendLogAt, req)
+	if err != nil {
+		var behind *BehindError
+		if errors.As(err, &behind) {
+			behind.Node = node
+		}
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("store: bad AppendLogAt response")
+	}
+	return int64(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// GetView fetches the replica's current view (epoch 0 when it was
+// never initialized into one).
+func (c *Client) GetView() (View, error) {
+	resp, err := c.call(opGetView, nil)
+	if err != nil {
+		return View{}, err
+	}
+	return decodeView(resp)
+}
+
+// SetView proposes a view; the replica adopts it only if the epoch
+// advances. Returns the view current after the op.
+func (c *Client) SetView(v View) (View, error) {
+	resp, err := c.call(opSetView, encodeView(v))
+	if err != nil {
+		return View{}, err
+	}
+	return decodeView(resp)
+}
+
+// LogStat fetches every log's size in one round trip.
+func (c *Client) LogStat() (map[uint32]int64, error) {
+	resp, err := c.call(opLogStat, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, errors.New("store: bad LogStat response")
+	}
+	n := int(binary.LittleEndian.Uint32(resp))
+	if len(resp) != 4+12*n {
+		return nil, errors.New("store: malformed LogStat response")
+	}
+	out := make(map[uint32]int64, n)
+	for i := 0; i < n; i++ {
+		off := 4 + 12*i
+		node := binary.LittleEndian.Uint32(resp[off:])
+		out[node] = int64(binary.LittleEndian.Uint64(resp[off+4:]))
+	}
+	return out, nil
+}
+
+// ReadLogRange reads [from, from+n) of node's log in one round trip
+// (the server returns the whole tail from `from`; the client slices).
+// Used by catch-up to copy a log gap in bounded chunks.
+func (c *Client) ReadLogRange(node uint32, from, n int64) ([]byte, error) {
+	rc, err := c.LogDevice(node).Open(from)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	buf := make([]byte, 0, n)
+	tmp := bufpool.Get(64 * 1024)[:64*1024]
+	defer bufpool.Put(tmp)
+	for int64(len(buf)) < n {
+		k, err := rc.Read(tmp)
+		if k > 0 {
+			if int64(len(buf))+int64(k) > n {
+				k = int(n - int64(len(buf)))
+			}
+			buf = append(buf, tmp[:k]...)
+		}
+		if err != nil {
+			break
+		}
+	}
+	return buf, nil
+}

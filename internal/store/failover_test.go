@@ -1,6 +1,8 @@
 package store
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"lbc/internal/chaos"
@@ -108,6 +110,59 @@ func TestDialFailoverSkipsDeadPrimary(t *testing.T) {
 	defer cli.Close()
 	if err := cli.Sync(); err != nil {
 		t.Fatalf("call through failover client: %v", err)
+	}
+}
+
+// TestDialFailoverAggregateError: when every address fails, the error
+// is a typed *DialError naming each attempt, not just the last one.
+func TestDialFailoverAggregateError(t *testing.T) {
+	_, err := DialFailover("127.0.0.1:1", "127.0.0.1:2")
+	var agg *DialError
+	if !errors.As(err, &agg) {
+		t.Fatalf("want *DialError, got %T: %v", err, err)
+	}
+	if len(agg.Attempts) != 2 {
+		t.Fatalf("attempts: %+v", agg.Attempts)
+	}
+	if agg.Attempts[0].Addr != "127.0.0.1:1" || agg.Attempts[1].Addr != "127.0.0.1:2" {
+		t.Fatalf("attempt addresses: %+v", agg.Attempts)
+	}
+	for _, a := range agg.Attempts {
+		if a.Err == nil {
+			t.Fatalf("attempt %s has nil error", a.Addr)
+		}
+	}
+	if !strings.Contains(agg.Error(), "127.0.0.1:2") {
+		t.Fatalf("error string drops attempts: %v", agg)
+	}
+}
+
+// TestCallRingExhaustedAggregateError: a live client whose whole ring
+// dies mid-session reports the same typed aggregate from the op path.
+func TestCallRingExhaustedAggregateError(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialFailover(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	err = cli.Sync()
+	var agg *DialError
+	if !errors.As(err, &agg) {
+		t.Fatalf("want *DialError after ring exhaustion, got %T: %v", err, err)
+	}
+	if agg.Op != "op_sync_data" {
+		t.Fatalf("op: %q", agg.Op)
+	}
+	if len(agg.Attempts) == 0 {
+		t.Fatal("no attempts recorded")
 	}
 }
 

@@ -38,7 +38,8 @@ func (s *Server) forwardToMirror(op uint8, body []byte) error {
 		return nil
 	}
 	switch op {
-	case opStoreRegion, opAppendLog, opSyncLog, opTruncateLog, opResetLog, opSyncData:
+	case opStoreRegion, opAppendLog, opSyncLog, opTruncateLog, opResetLog,
+		opSyncData, opWriteVersioned, opAppendLogAt, opSetView:
 		if _, err := m.call(op, body); err != nil {
 			return fmt.Errorf("store: mirror: %w", err)
 		}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"lbc/internal/metrics"
 	"lbc/internal/rvm"
@@ -38,11 +39,21 @@ const (
 	opTruncateLog
 	opResetLog
 	opListLogs
+
+	// Quorum-replication protocol (see versioned.go / internal/replstore).
+	opReadVersioned  // {region u32} -> {ver u64, data}
+	opWriteVersioned // {region u32, ver u64, data} -> {cur u64}
+	opVersionOf      // {region u32} -> {ver u64}
+	opAppendLogAt    // {node u32, expected u64, data} -> {newSize u64} | behind{size u64}
+	opGetView        // {} -> {view}
+	opSetView        // {view} -> {view}
+	opLogStat        // {} -> {n u32, (node u32, size u64)*}
 )
 
 const (
-	statusOK  uint8 = 0
-	statusErr uint8 = 1
+	statusOK     uint8 = 0
+	statusErr    uint8 = 1
+	statusBehind uint8 = 2 // AppendLogAt against a replica missing the prefix
 )
 
 const maxMsg = 1 << 30
@@ -64,6 +75,7 @@ type Server struct {
 	closeMu sync.Once
 
 	mirrorState
+	versionedState
 }
 
 // ServerOptions configures a Server.
@@ -194,11 +206,26 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		s.stats.Add(opCounter(req[0]), 1)
 		s.stats.Add("op_bytes_in", int64(len(req)))
+		start := time.Now()
 		resp, err := s.handle(req[0], req[1:])
 		if err == nil {
 			err = s.forwardToMirror(req[0], req[1:])
 		}
+		if isWriteOp(req[0]) {
+			s.stats.Observe(metrics.HistStoreServeWriteNS, time.Since(start).Nanoseconds())
+		} else {
+			s.stats.Observe(metrics.HistStoreServeReadNS, time.Since(start).Nanoseconds())
+		}
 		if err != nil {
+			var behind *logBehind
+			if errors.As(err, &behind) {
+				var sz [8]byte
+				binary.LittleEndian.PutUint64(sz[:], uint64(behind.size))
+				if werr := writeMsg(c, statusBehind, sz[:]); werr != nil {
+					return
+				}
+				continue
+			}
 			s.stats.Add("op_errors", 1)
 			resp = []byte(err.Error())
 			if werr := writeMsg(c, statusErr, resp); werr != nil {
@@ -237,9 +264,33 @@ func opCounter(op uint8) string {
 		return "op_reset_log"
 	case opListLogs:
 		return "op_list_logs"
+	case opReadVersioned:
+		return "op_read_versioned"
+	case opWriteVersioned:
+		return "op_write_versioned"
+	case opVersionOf:
+		return "op_version_of"
+	case opAppendLogAt:
+		return "op_append_log_at"
+	case opGetView:
+		return "op_get_view"
+	case opSetView:
+		return "op_set_view"
+	case opLogStat:
+		return "op_log_stat"
 	default:
 		return "op_unknown"
 	}
+}
+
+// isWriteOp classifies an opcode for the serve-latency histograms.
+func isWriteOp(op uint8) bool {
+	switch op {
+	case opStoreRegion, opSyncData, opAppendLog, opSyncLog, opTruncateLog,
+		opResetLog, opWriteVersioned, opAppendLogAt, opSetView:
+		return true
+	}
+	return false
 }
 
 func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
@@ -267,7 +318,7 @@ func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return encodeIDs(ids), nil
+		return encodeIDs(filterMeta(ids)), nil
 
 	case opSyncData:
 		return nil, s.data.Sync()
@@ -352,6 +403,27 @@ func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
 
 	case opListLogs:
 		return encodeIDs(s.Logs()), nil
+
+	case opReadVersioned:
+		return s.handleReadVersioned(body)
+
+	case opWriteVersioned:
+		return s.handleWriteVersioned(body)
+
+	case opVersionOf:
+		return s.handleVersionOf(body)
+
+	case opAppendLogAt:
+		return s.handleAppendLogAt(body)
+
+	case opGetView:
+		return s.handleGetView()
+
+	case opSetView:
+		return s.handleSetView(body)
+
+	case opLogStat:
+		return s.handleLogStat()
 
 	default:
 		return nil, fmt.Errorf("store: unknown op %d", op)

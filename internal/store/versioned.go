@@ -1,0 +1,429 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"lbc/internal/rvm"
+)
+
+// This file holds the server side of the quorum-replication protocol
+// used by internal/replstore: version-tagged region writes (so a
+// client can validate freshness with a version quorum and read-repair
+// stale copies), offset-guarded idempotent log appends (so a retried
+// append after a lost ack cannot duplicate or misorder records), and
+// epoch-numbered views (the replica-set membership that quorum clients
+// agree on). The server stays dumb: it enforces per-key version
+// monotonicity and append offsets, nothing more — all quorum logic
+// lives in the client.
+
+// Meta regions. Region ids at or above metaRegionMin are reserved for
+// server-internal state (the version table and the current view); they
+// are persisted through the ordinary data store so they survive with
+// the images, but are hidden from ListRegions.
+const (
+	metaRegionMin      uint32 = 0xFFFFFFF0
+	metaRegionView     uint32 = 0xFFFFFFFE
+	metaRegionVersions uint32 = 0xFFFFFFFF
+)
+
+// View is an epoch-numbered replica set. Higher epochs win; a server
+// accepts a SetView only if it advances the epoch, so concurrent
+// reconfigurations cannot regress the membership.
+type View struct {
+	Epoch   uint64
+	Members []string
+}
+
+// Clone returns a deep copy.
+func (v View) Clone() View {
+	return View{Epoch: v.Epoch, Members: append([]string(nil), v.Members...)}
+}
+
+// Majority returns the quorum size of the view: floor(n/2)+1.
+func (v View) Majority() int { return len(v.Members)/2 + 1 }
+
+// Contains reports whether addr is a member of the view.
+func (v View) Contains(addr string) bool {
+	for _, m := range v.Members {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func encodeView(v View) []byte {
+	n := 12
+	for _, m := range v.Members {
+		n += 2 + len(m)
+	}
+	out := make([]byte, 12, n)
+	binary.LittleEndian.PutUint64(out, v.Epoch)
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(v.Members)))
+	for _, m := range v.Members {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(m)))
+		out = append(out, l[:]...)
+		out = append(out, m...)
+	}
+	return out
+}
+
+func decodeView(b []byte) (View, error) {
+	if len(b) < 12 {
+		return View{}, errors.New("store: short view")
+	}
+	v := View{Epoch: binary.LittleEndian.Uint64(b)}
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	b = b[12:]
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return View{}, errors.New("store: malformed view")
+		}
+		l := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < l {
+			return View{}, errors.New("store: malformed view member")
+		}
+		v.Members = append(v.Members, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return View{}, errors.New("store: trailing view bytes")
+	}
+	return v, nil
+}
+
+// versionedState adds the version-table and view fields to Server;
+// kept separate so server.go stays focused on transport and dispatch.
+type versionedState struct {
+	vmu        sync.Mutex
+	versions   map[uint32]uint64
+	versLoaded bool
+	view       View
+	viewLoaded bool
+}
+
+// loadVersionsLocked lazily loads the persisted version table.
+func (s *Server) loadVersionsLocked() error {
+	if s.versLoaded {
+		return nil
+	}
+	s.versions = map[uint32]uint64{}
+	img, err := s.data.LoadRegion(metaRegionVersions)
+	if err != nil {
+		if errors.Is(err, rvm.ErrNoRegion) {
+			s.versLoaded = true
+			return nil
+		}
+		return err
+	}
+	if len(img) < 4 {
+		return errors.New("store: corrupt version table")
+	}
+	n := int(binary.LittleEndian.Uint32(img))
+	if len(img) != 4+12*n {
+		return errors.New("store: corrupt version table")
+	}
+	for i := 0; i < n; i++ {
+		off := 4 + 12*i
+		id := binary.LittleEndian.Uint32(img[off:])
+		s.versions[id] = binary.LittleEndian.Uint64(img[off+4:])
+	}
+	s.versLoaded = true
+	return nil
+}
+
+// saveVersionsLocked persists the version table (sorted for
+// deterministic images).
+func (s *Server) saveVersionsLocked() error {
+	ids := make([]uint32, 0, len(s.versions))
+	for id := range s.versions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 4+12*len(ids))
+	binary.LittleEndian.PutUint32(out, uint32(len(ids)))
+	for i, id := range ids {
+		off := 4 + 12*i
+		binary.LittleEndian.PutUint32(out[off:], id)
+		binary.LittleEndian.PutUint64(out[off+4:], s.versions[id])
+	}
+	return s.data.StoreRegion(metaRegionVersions, out)
+}
+
+func (s *Server) loadViewLocked() error {
+	if s.viewLoaded {
+		return nil
+	}
+	img, err := s.data.LoadRegion(metaRegionView)
+	if err != nil {
+		if errors.Is(err, rvm.ErrNoRegion) {
+			s.viewLoaded = true
+			return nil
+		}
+		return err
+	}
+	v, err := decodeView(img)
+	if err != nil {
+		return err
+	}
+	s.view = v
+	s.viewLoaded = true
+	return nil
+}
+
+// CurrentView returns the view this replica believes in (epoch 0 when
+// the replica was never initialized into one). Exposed for /debug/lbc.
+func (s *Server) CurrentView() (View, error) {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadViewLocked(); err != nil {
+		return View{}, err
+	}
+	return s.view.Clone(), nil
+}
+
+// handleReadVersioned serves {region u32} -> {ver u64, data}. An
+// absent region reads as version 0 with no data — never an error, so
+// quorum reads can count replicas that simply have not seen the key.
+func (s *Server) handleReadVersioned(body []byte) ([]byte, error) {
+	if len(body) != 4 {
+		return nil, errors.New("store: bad ReadVersioned request")
+	}
+	id := binary.LittleEndian.Uint32(body)
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadVersionsLocked(); err != nil {
+		return nil, err
+	}
+	ver := s.versions[id]
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, ver)
+	if ver == 0 {
+		return out, nil
+	}
+	img, err := s.data.LoadRegion(id)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, img...), nil
+}
+
+// handleVersionOf serves {region u32} -> {ver u64}.
+func (s *Server) handleVersionOf(body []byte) ([]byte, error) {
+	if len(body) != 4 {
+		return nil, errors.New("store: bad VersionOf request")
+	}
+	id := binary.LittleEndian.Uint32(body)
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadVersionsLocked(); err != nil {
+		return nil, err
+	}
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], s.versions[id])
+	return out[:], nil
+}
+
+// handleWriteVersioned serves {region u32, ver u64, data} -> {cur u64}.
+// The write applies only if ver advances the region's version; either
+// way the response carries the version now current, so a duplicate
+// delivery (retry, read-repair race) acks idempotently.
+func (s *Server) handleWriteVersioned(body []byte) ([]byte, error) {
+	if len(body) < 12 {
+		return nil, errors.New("store: bad WriteVersioned request")
+	}
+	id := binary.LittleEndian.Uint32(body)
+	if id >= metaRegionMin {
+		return nil, fmt.Errorf("store: region %d is reserved", id)
+	}
+	ver := binary.LittleEndian.Uint64(body[4:])
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadVersionsLocked(); err != nil {
+		return nil, err
+	}
+	cur := s.versions[id]
+	if ver > cur {
+		if err := s.data.StoreRegion(id, body[12:]); err != nil {
+			return nil, err
+		}
+		s.versions[id] = ver
+		if err := s.saveVersionsLocked(); err != nil {
+			return nil, err
+		}
+		cur = ver
+	}
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], cur)
+	return out[:], nil
+}
+
+// handleGetView serves {} -> {view}.
+func (s *Server) handleGetView() ([]byte, error) {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadViewLocked(); err != nil {
+		return nil, err
+	}
+	return encodeView(s.view), nil
+}
+
+// handleSetView serves {view} -> {view now current}. Only an epoch
+// advance is accepted; a stale installer learns the newer view from
+// the response.
+func (s *Server) handleSetView(body []byte) ([]byte, error) {
+	v, err := decodeView(body)
+	if err != nil {
+		return nil, err
+	}
+	if v.Epoch == 0 || len(v.Members) == 0 {
+		return nil, errors.New("store: view needs an epoch and members")
+	}
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if err := s.loadViewLocked(); err != nil {
+		return nil, err
+	}
+	if v.Epoch > s.view.Epoch {
+		if err := s.data.StoreRegion(metaRegionView, encodeView(v)); err != nil {
+			return nil, err
+		}
+		s.view = v.Clone()
+	}
+	return encodeView(s.view), nil
+}
+
+// logBehind reports an AppendLogAt whose expected offset lies beyond
+// the replica's log: the replica is behind and needs the gap copied
+// before it can accept the record. serveConn turns it into a
+// statusBehind response instead of a plain error.
+type logBehind struct{ size int64 }
+
+func (e *logBehind) Error() string {
+	return fmt.Sprintf("store: log behind, size %d", e.size)
+}
+
+// handleAppendLogAt serves {node u32, expected u64, data} ->
+// {newSize u64}. The append applies only at the expected offset:
+//   - size == expected: plain append.
+//   - size >= expected+len: possible duplicate — the existing bytes at
+//     [expected, expected+len) are compared; identical content acks
+//     idempotently, divergent content (an unacked tail from a previous
+//     incarnation that lost the quorum race) is truncated away and
+//     overwritten with the canonical record.
+//   - expected < size < expected+len: torn or divergent tail —
+//     truncated to expected, then appended.
+//   - size < expected: the replica is behind; statusBehind carries its
+//     current size so the client can copy the gap from a fresh peer.
+func (s *Server) handleAppendLogAt(body []byte) ([]byte, error) {
+	if len(body) < 12 {
+		return nil, errors.New("store: bad AppendLogAt request")
+	}
+	node := binary.LittleEndian.Uint32(body)
+	expected := int64(binary.LittleEndian.Uint64(body[4:]))
+	data := body[12:]
+	dev, err := s.Log(node)
+	if err != nil {
+		return nil, err
+	}
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case size < expected:
+		return nil, &logBehind{size: size}
+
+	case size == expected:
+		// Plain append at the tail.
+
+	case size >= expected+int64(len(data)):
+		same, err := tailEquals(dev, expected, data)
+		if err != nil {
+			return nil, err
+		}
+		if same {
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], uint64(size))
+			return out[:], nil
+		}
+		if err := dev.Truncate(expected); err != nil {
+			return nil, err
+		}
+
+	default: // expected < size < expected+len: torn tail
+		if err := dev.Truncate(expected); err != nil {
+			return nil, err
+		}
+	}
+	off, err := dev.Append(data)
+	if err != nil {
+		return nil, err
+	}
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], uint64(off)+uint64(len(data)))
+	return out[:], nil
+}
+
+// tailEquals reports whether the device holds exactly data at
+// [off, off+len(data)).
+func tailEquals(dev interface {
+	Open(from int64) (io.ReadCloser, error)
+}, off int64, data []byte) (bool, error) {
+	rc, err := dev.Open(off)
+	if err != nil {
+		return false, err
+	}
+	defer rc.Close()
+	buf := make([]byte, len(data))
+	if _, err := io.ReadFull(rc, buf); err != nil {
+		return false, err
+	}
+	for i := range buf {
+		if buf[i] != data[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// handleLogStat serves {} -> {n u32, (node u32, size u64)*}: every
+// log's size in one round trip, for replica-lag tracking and catch-up.
+func (s *Server) handleLogStat() ([]byte, error) {
+	ids := s.Logs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 4+12*len(ids))
+	binary.LittleEndian.PutUint32(out, uint32(len(ids)))
+	for i, id := range ids {
+		dev, err := s.Log(id)
+		if err != nil {
+			return nil, err
+		}
+		sz, err := dev.Size()
+		if err != nil {
+			return nil, err
+		}
+		off := 4 + 12*i
+		binary.LittleEndian.PutUint32(out[off:], id)
+		binary.LittleEndian.PutUint64(out[off+4:], uint64(sz))
+	}
+	return out, nil
+}
+
+// filterMeta drops reserved meta regions from a region id list.
+func filterMeta(ids []uint32) []uint32 {
+	out := ids[:0]
+	for _, id := range ids {
+		if id < metaRegionMin {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lbc/internal/wal"
+)
+
+func newVersionedPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// TestVersionedRegionOps: version tags are monotonic, stale writes ack
+// idempotently, and meta regions stay hidden from ListRegions.
+func TestVersionedRegionOps(t *testing.T) {
+	_, cli := newVersionedPair(t)
+
+	if ver, data, err := cli.ReadVersioned(1); err != nil || ver != 0 || data != nil {
+		t.Fatalf("absent region: ver=%d data=%q err=%v", ver, data, err)
+	}
+	cur, err := cli.WriteVersioned(1, 3, []byte("v3"))
+	if err != nil || cur != 3 {
+		t.Fatalf("write v3: cur=%d err=%v", cur, err)
+	}
+	// A stale write must not regress the image but still ack with the
+	// current version.
+	cur, err = cli.WriteVersioned(1, 2, []byte("v2"))
+	if err != nil || cur != 3 {
+		t.Fatalf("stale write: cur=%d err=%v", cur, err)
+	}
+	ver, data, err := cli.ReadVersioned(1)
+	if err != nil || ver != 3 || string(data) != "v3" {
+		t.Fatalf("read: ver=%d data=%q err=%v", ver, data, err)
+	}
+	if v, err := cli.VersionOf(1); err != nil || v != 3 {
+		t.Fatalf("version of: %d, %v", v, err)
+	}
+	ids, err := cli.Regions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id >= metaRegionMin {
+			t.Fatalf("meta region %d leaked into ListRegions", id)
+		}
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("regions: %v", ids)
+	}
+	if _, err := cli.WriteVersioned(metaRegionView, 1, []byte("nope")); err == nil {
+		t.Fatal("writing a reserved region succeeded")
+	}
+}
+
+// TestAppendLogAtGuard covers the four offset cases: plain append,
+// idempotent duplicate, divergent-tail heal, and behind.
+func TestAppendLogAtGuard(t *testing.T) {
+	srv, cli := newVersionedPair(t)
+
+	recA := []byte("record-A")
+	recB := []byte("record-B")
+
+	size, err := cli.AppendLogAt(5, 0, recA)
+	if err != nil || size != int64(len(recA)) {
+		t.Fatalf("append: size=%d err=%v", size, err)
+	}
+	// Duplicate retry: same offset, same bytes — idempotent ack.
+	size, err = cli.AppendLogAt(5, 0, recA)
+	if err != nil || size != int64(len(recA)) {
+		t.Fatalf("dup append: size=%d err=%v", size, err)
+	}
+	// Divergent tail: different bytes at an existing offset are the
+	// canonical record superseding an unacked leftover — heal in place.
+	size, err = cli.AppendLogAt(5, 0, recB)
+	if err != nil || size != int64(len(recB)) {
+		t.Fatalf("heal append: size=%d err=%v", size, err)
+	}
+	dev, err := srv.Log(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := dev.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(rc)
+	rc.Close()
+	if !bytes.Equal(buf.Bytes(), recB) {
+		t.Fatalf("log after heal: %q", buf.Bytes())
+	}
+	// Behind: appending past the tail reports the replica's size.
+	_, err = cli.AppendLogAt(5, 100, recA)
+	var behind *BehindError
+	if !errors.As(err, &behind) {
+		t.Fatalf("expected BehindError, got %v", err)
+	}
+	if behind.Node != 5 || behind.Size != int64(len(recB)) {
+		t.Fatalf("behind: %+v", behind)
+	}
+}
+
+// TestViewOps: epoch-guarded view installation.
+func TestViewOps(t *testing.T) {
+	srv, cli := newVersionedPair(t)
+
+	if v, err := cli.GetView(); err != nil || v.Epoch != 0 {
+		t.Fatalf("initial view: %+v, %v", v, err)
+	}
+	v1 := View{Epoch: 1, Members: []string{"a:1", "b:2", "c:3"}}
+	cur, err := cli.SetView(v1)
+	if err != nil || cur.Epoch != 1 || len(cur.Members) != 3 {
+		t.Fatalf("set view: %+v, %v", cur, err)
+	}
+	// A stale installer learns the newer view instead of regressing it.
+	cur, err = cli.SetView(View{Epoch: 1, Members: []string{"x:9"}})
+	if err != nil || cur.Epoch != 1 || cur.Members[0] != "a:1" {
+		t.Fatalf("stale set view: %+v, %v", cur, err)
+	}
+	v2 := View{Epoch: 2, Members: []string{"a:1", "b:2", "d:4"}}
+	if cur, err = cli.SetView(v2); err != nil || cur.Epoch != 2 {
+		t.Fatalf("advance view: %+v, %v", cur, err)
+	}
+	sv, err := srv.CurrentView()
+	if err != nil || sv.Epoch != 2 || !sv.Contains("d:4") {
+		t.Fatalf("server view: %+v, %v", sv, err)
+	}
+	if sv.Majority() != 2 {
+		t.Fatalf("majority of 3 = %d", sv.Majority())
+	}
+}
+
+// TestLogStat: all log sizes in one round trip.
+func TestLogStat(t *testing.T) {
+	_, cli := newVersionedPair(t)
+	if _, err := cli.AppendLogAt(1, 0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.AppendLogAt(2, 0, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	stat, err := cli.LogStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stat) != 2 || stat[1] != 4 || stat[2] != 2 {
+		t.Fatalf("log stat: %v", stat)
+	}
+}
+
+// TestClientLatencyHistograms: the per-op read/write/dial histograms
+// are populated through Stats().
+func TestClientLatencyHistograms(t *testing.T) {
+	_, cli := newVersionedPair(t)
+	if err := cli.StoreRegion(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.LoadRegion(1); err != nil {
+		t.Fatal(err)
+	}
+	hists := cli.Stats().Hists()
+	for _, name := range []string{"store_read_ns", "store_write_ns", "store_dial_ns"} {
+		h, ok := hists[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("histogram %s not populated: %v", name, hists)
+		}
+	}
+}
+
+// TestVersionedStateSurvivesRestart: version tags and the view are
+// persisted through the data store, so a replica restarted on the same
+// images (a disk that survived) still proves freshness correctly.
+func TestVersionedStateSurvivesRestart(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := srv.Data()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WriteVersioned(7, 9, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.SetView(View{Epoch: 4, Members: []string{"m:1"}}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	srv.Close()
+
+	srv2, err := NewServer("127.0.0.1:0", ServerOptions{Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cli2, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	ver, img, err := cli2.ReadVersioned(7)
+	if err != nil || ver != 9 || string(img) != "persisted" {
+		t.Fatalf("after restart: ver=%d img=%q err=%v", ver, img, err)
+	}
+	v, err := cli2.GetView()
+	if err != nil || v.Epoch != 4 {
+		t.Fatalf("view after restart: %+v, %v", v, err)
+	}
+}
+
+// TestRemoteLogAppendIdempotentAcrossMirror: the offset-guarded append
+// path means a mirror that already holds the forwarded copy simply
+// dup-acks; records never duplicate even when the same append is
+// replayed against both sides of a replica pair.
+func TestRemoteLogAppendIdempotentAcrossMirror(t *testing.T) {
+	pair, err := NewReplicaPair("127.0.0.1:0", "127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	cli, err := DialFailover(pair.Primary.Addr(), pair.Backup.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	dev := cli.LogDevice(3)
+	rec := wal.AppendStandard(nil, &wal.TxRecord{Node: 3, TxSeq: 1,
+		Ranges: []wal.RangeRec{{Region: 1, Off: 0, Data: []byte("once")}}})
+	if _, err := dev.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Fail over to the backup (which already has the mirrored copy) and
+	// append the next record: offsets must line up with no duplicates.
+	pair.FailPrimary()
+	rec2 := wal.AppendStandard(nil, &wal.TxRecord{Node: 3, TxSeq: 2,
+		Ranges: []wal.RangeRec{{Region: 1, Off: 8, Data: []byte("twice")}}})
+	if _, err := dev.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	blog, err := pair.Backup.Log(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, err := wal.ReadDevice(blog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 || txs[0].TxSeq != 1 || txs[1].TxSeq != 2 {
+		t.Fatalf("backup log: %d records", len(txs))
+	}
+}
