@@ -87,6 +87,23 @@ func (l *quorumLog) Append(p []byte) (int64, error) {
 		})
 		lastReplies = replies
 		if successes(replies) < len(members)/2+1 {
+			// A failed round can be self-inflicted: nextOff is learned
+			// from the *longest* replica, which may carry an
+			// unacknowledged tail (a coordinator that died mid-fan-out
+			// persisted a record on a minority). Then the append lands
+			// on that one replica while the majority answers "behind" —
+			// and would answer "behind" on every retry. Repair the
+			// behind responders from the freshest replica before
+			// retrying so a quorum can re-form at this offset.
+			for _, r := range replies {
+				var behind *store.BehindError
+				if errors.As(r.err, &behind) {
+					c.stats.Add(metrics.CtrStoreReplicaBehind, 1)
+					if rerr := c.repairLog(l.node, r.addr); rerr == nil {
+						c.stats.Add(metrics.CtrStoreLogRepairs, 1)
+					}
+				}
+			}
 			continue
 		}
 		l.nextOff = off + int64(len(p))
@@ -150,25 +167,30 @@ func (c *Client) repairLog(node uint32, addr string) error {
 }
 
 // copyLogRange streams [from, to) of node's log from donor to dst in
-// chunked, offset-guarded appends.
+// chunked, offset-guarded appends. Donor reads use the same chunk size
+// as the appends, so client and donor memory stay bounded no matter
+// how large the catch-up gap is.
 func (c *Client) copyLogRange(donor, dst *store.Client, node uint32, from, to int64) error {
 	const chunk = 1 << 18
-	data, err := donor.ReadLogRange(node, from, to-from)
-	if err != nil {
-		return err
-	}
-	if int64(len(data)) < to-from {
-		to = from + int64(len(data)) // donor shrank (trim); copy what it has
-	}
 	for off := from; off < to; {
 		n := to - off
 		if n > chunk {
 			n = chunk
 		}
-		if _, err := dst.AppendLogAt(node, off, data[off-from:off-from+n]); err != nil {
+		data, err := donor.ReadLogRange(node, off, n)
+		if err != nil {
 			return err
 		}
-		off += n
+		if len(data) == 0 {
+			return nil // donor shrank (trim); copy what it had
+		}
+		if _, err := dst.AppendLogAt(node, off, data); err != nil {
+			return err
+		}
+		off += int64(len(data))
+		if int64(len(data)) < n {
+			return nil // donor shrank mid-copy
+		}
 	}
 	return nil
 }

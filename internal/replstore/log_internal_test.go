@@ -1,0 +1,93 @@
+package replstore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lbc/internal/store"
+)
+
+// TestAppendRepairsBehindMajority reproduces the torn-coordinator
+// case: a previous coordinator died mid-fan-out after persisting a
+// record on one replica only, and a new coordinator learns its append
+// offset from that longest replica. Its first round then succeeds only
+// there — the majority answers "behind" — so Append must repair the
+// behind responders and re-form the quorum instead of failing every
+// retry at the same offset (which would wedge the log until a manual
+// reconfiguration).
+func TestAppendRepairsBehindMajority(t *testing.T) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	if err := Bootstrap(addrs); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialView(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	dev := c.LogDevice(3).(*quorumLog)
+	prefix := []byte("committed-prefix")
+	if _, err := dev.Append(prefix); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce() // let the straggler append land everywhere
+
+	// The unacknowledged tail: persisted on replica 0 alone.
+	torn := []byte("torn-unacked-tail")
+	sc, err := store.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AppendLogAt(3, int64(len(prefix)), torn); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+
+	// Pin the cursor to the longest replica's size, as a fresh client
+	// sampling that replica in its size quorum would learn it.
+	tornOff := int64(len(prefix) + len(torn))
+	dev.mu.Lock()
+	dev.nextOff = tornOff
+	dev.mu.Unlock()
+
+	rec := []byte("next-record")
+	off, err := dev.Append(rec)
+	if err != nil {
+		t.Fatalf("append with behind majority: %v", err)
+	}
+	if off != tornOff {
+		t.Fatalf("append offset %d, want %d", off, tornOff)
+	}
+	c.Quiesce()
+
+	want := append(append(append([]byte(nil), prefix...), torn...), rec...)
+	for i, a := range addrs {
+		sc, err := store.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := sc.LogDevice(3).Open(0)
+		if err != nil {
+			t.Fatalf("replica %d open: %v", i, err)
+		}
+		got, err := io.ReadAll(rc)
+		rc.Close()
+		sc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replica %d diverged after repair: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}

@@ -25,11 +25,14 @@
 package replstore
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lbc/internal/metrics"
@@ -49,8 +52,9 @@ type Options struct {
 // connection per replica and fans each operation out across the
 // current view, acknowledging once a majority responds.
 type Client struct {
-	stats *metrics.Stats
-	trace *obs.Tracer
+	stats    *metrics.Stats
+	trace    *obs.Tracer
+	writerID uint16 // low bits of every version tag this client mints
 
 	mu    sync.Mutex
 	view  store.View
@@ -64,6 +68,39 @@ type Client struct {
 // ErrNoView is returned by DialView when no reachable replica reports
 // an installed view.
 var ErrNoView = errors.New("replstore: no view installed on any replica")
+
+// Version tags are writer-unique: the upper 48 bits carry the region's
+// sequence number, the low 16 a client-unique writer id. Two clients
+// racing StoreRegion on the same region each pick sequence max+1 but
+// mint *different* tags, so they can never land different payloads
+// under one tag on disjoint majority subsets — numeric comparison
+// still totally orders tags (higher sequence wins; equal sequences tie-
+// break on writer id), and read-repair reconciles any divergence by
+// tag inequality.
+const verWriterBits = 16
+
+// nextTag mints the tag for the write following maxVer.
+func nextTag(maxVer uint64, writer uint16) uint64 {
+	return ((maxVer>>verWriterBits)+1)<<verWriterBits | uint64(writer)
+}
+
+// writerIDs hands out client-unique writer ids: a process-random base
+// (so independent processes almost surely differ) plus an in-process
+// counter (so clients in one process always differ). A cross-process
+// collision is caught by the server's equal-tag payload check and
+// surfaces as a retried write, never as silent divergence.
+var (
+	writerBase = func() uint32 {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return 0x9e37 // fall back to a fixed base; the counter still separates in-process clients
+		}
+		return binary.LittleEndian.Uint32(b[:])
+	}()
+	writerSeq atomic.Uint32
+)
+
+func newWriterID() uint16 { return uint16(writerBase + writerSeq.Add(1)) }
 
 // Bootstrap installs the initial view (epoch 1, the given members) on
 // every listed replica. It is the one step that bypasses quorum logic:
@@ -93,11 +130,12 @@ func Bootstrap(addrs []string) error {
 // a stale member list as long as one current replica answers.
 func DialView(seeds []string, o Options) (*Client, error) {
 	c := &Client{
-		stats: metrics.NewStats(),
-		trace: o.Trace,
-		conns: map[string]*store.Client{},
-		lag:   map[string]int64{},
-		logs:  map[uint32]*quorumLog{},
+		stats:    metrics.NewStats(),
+		trace:    o.Trace,
+		writerID: newWriterID(),
+		conns:    map[string]*store.Client{},
+		lag:      map[string]int64{},
+		logs:     map[uint32]*quorumLog{},
 	}
 	var best store.View
 	for _, a := range seeds {
@@ -349,10 +387,16 @@ func (c *Client) LoadRegion(id uint32) ([]byte, error) {
 	if fast {
 		c.stats.Add(metrics.CtrStoreReadFast, 1)
 	} else {
-		img, err = c.fetchAt(id, maxVer, replies)
+		var fver uint64
+		fver, img, err = c.fetchAt(id, maxVer, replies)
 		if err != nil {
 			return nil, err
 		}
+		// The donor may have advanced past the quorum maximum between
+		// the version round and the fetch; repair with the tag the
+		// image was actually read under, so repaired replicas never
+		// hold a (version, data) pair that was never written.
+		maxVer = fver
 	}
 	// Read-repair: rewrite stale copies seen in this quorum.
 	for _, r := range replies {
@@ -367,9 +411,11 @@ func (c *Client) LoadRegion(id uint32) ([]byte, error) {
 	return img, nil
 }
 
-// fetchAt fetches the region image from a replica that reported the
-// target version.
-func (c *Client) fetchAt(id uint32, want uint64, replies []reply) ([]byte, error) {
+// fetchAt fetches the region image from a replica that reported at
+// least the target version, returning the version the image was
+// actually read under so the caller can repair with a matching
+// (version, data) pair.
+func (c *Client) fetchAt(id uint32, want uint64, replies []reply) (uint64, []byte, error) {
 	for _, r := range replies {
 		if r.err != nil || r.val.(verReply).ver < want {
 			continue
@@ -380,15 +426,21 @@ func (c *Client) fetchAt(id uint32, want uint64, replies []reply) ([]byte, error
 		}
 		ver, data, err := sc.ReadVersioned(id)
 		if err == nil && ver >= want {
-			return data, nil
+			return ver, data, nil
 		}
 	}
-	return nil, fmt.Errorf("replstore: region %d: no replica served version %d", id, want)
+	return 0, nil, fmt.Errorf("replstore: region %d: no replica served version %d", id, want)
 }
 
 // StoreRegion implements rvm.DataStore with a majority-acknowledged
-// versioned write: a version quorum picks max+1, then the tagged image
-// must persist on a majority before the call returns.
+// versioned write: a version quorum reads the current maximum, the
+// next tag is minted writer-unique (sequence max+1 in the high bits,
+// this client's writer id in the low bits — see nextTag), then the
+// tagged image must persist on a majority before the call returns. A
+// concurrent writer to the same region mints a different tag, so the
+// two writes are totally ordered and the loser is either superseded
+// (cur > ver) or rejected by the server's equal-tag payload check —
+// never silently acked with divergent data.
 func (c *Client) StoreRegion(id uint32, data []byte) error {
 	start := time.Now()
 	var ver uint64
@@ -416,7 +468,7 @@ func (c *Client) StoreRegion(id uint32, data []byte) error {
 				maxVer = r.val.(uint64)
 			}
 		}
-		ver = maxVer + 1
+		ver = nextTag(maxVer, c.writerID)
 		wr, err := c.withQuorum("write_versioned", func(_ string, sc *store.Client) (any, error) {
 			cur, err := sc.WriteVersioned(id, ver, data)
 			if err != nil {

@@ -3,6 +3,7 @@ package replstore_test
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"lbc/internal/metrics"
@@ -125,6 +126,58 @@ func TestQuorumSurvivesMinorityDeath(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("log content diverged: got %d bytes, want %d", buf.Len(), len(want))
+	}
+}
+
+// TestConcurrentWritersNeverShareATag: two quorum clients hammering
+// the same region must never leave replicas holding different data
+// under the same version tag — tags are writer-unique, so a tag maps
+// to exactly one payload cluster-wide even when racing writers land on
+// overlapping majority subsets.
+func TestConcurrentWritersNeverShareATag(t *testing.T) {
+	_, addrs := startReplicas(t, 3)
+	c1 := dialQuorum(t, addrs)
+	c2, err := replstore.DialView(addrs, replstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+
+	var wg sync.WaitGroup
+	for i, c := range []*replstore.Client{c1, c2} {
+		wg.Add(1)
+		go func(i int, c *replstore.Client) {
+			defer wg.Done()
+			for r := 0; r < 25; r++ {
+				// A write may legitimately lose the version race and
+				// error; silent divergence is what the test hunts.
+				_ = c.StoreRegion(1, []byte(fmt.Sprintf("writer-%d-round-%d", i, r)))
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	c1.Quiesce()
+	c2.Quiesce()
+
+	byTag := map[uint64][]byte{}
+	for i, a := range addrs {
+		sc, err := store.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ver, data, err := sc.ReadVersioned(1)
+		sc.Close()
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		if prev, ok := byTag[ver]; ok && !bytes.Equal(prev, data) {
+			t.Fatalf("replicas diverge under tag %d: %q vs %q", ver, prev, data)
+		}
+		byTag[ver] = data
+	}
+	// A quorum read must settle on a single (tag, data) pair.
+	if _, err := c1.LoadRegion(1); err != nil {
+		t.Fatal(err)
 	}
 }
 

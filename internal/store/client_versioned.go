@@ -132,29 +132,15 @@ func (c *Client) LogStat() (map[uint32]int64, error) {
 	return out, nil
 }
 
-// ReadLogRange reads [from, from+n) of node's log in one round trip
-// (the server returns the whole tail from `from`; the client slices).
-// Used by catch-up to copy a log gap in bounded chunks.
+// ReadLogRange reads at most [from, from+n) of node's log in one round
+// trip; the server reads and returns only the requested window, so the
+// allocation on both ends is bounded by n regardless of how long the
+// log tail is. A short (or empty) result means the log ends before
+// from+n. Used by catch-up to copy a log gap in bounded chunks.
 func (c *Client) ReadLogRange(node uint32, from, n int64) ([]byte, error) {
-	rc, err := c.LogDevice(node).Open(from)
-	if err != nil {
-		return nil, err
-	}
-	defer rc.Close()
-	buf := make([]byte, 0, n)
-	tmp := bufpool.Get(64 * 1024)[:64*1024]
-	defer bufpool.Put(tmp)
-	for int64(len(buf)) < n {
-		k, err := rc.Read(tmp)
-		if k > 0 {
-			if int64(len(buf))+int64(k) > n {
-				k = int(n - int64(len(buf)))
-			}
-			buf = append(buf, tmp[:k]...)
-		}
-		if err != nil {
-			break
-		}
-	}
-	return buf, nil
+	var req [20]byte
+	binary.LittleEndian.PutUint32(req[:], node)
+	binary.LittleEndian.PutUint64(req[4:], uint64(from))
+	binary.LittleEndian.PutUint64(req[12:], uint64(n))
+	return c.call(opReadLogRange, req[:])
 }

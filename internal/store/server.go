@@ -48,6 +48,7 @@ const (
 	opGetView        // {} -> {view}
 	opSetView        // {view} -> {view}
 	opLogStat        // {} -> {n u32, (node u32, size u64)*}
+	opReadLogRange   // {node u32, from u64, n u64} -> data (at most n bytes)
 )
 
 const (
@@ -278,6 +279,8 @@ func opCounter(op uint8) string {
 		return "op_set_view"
 	case opLogStat:
 		return "op_log_stat"
+	case opReadLogRange:
+		return "op_read_log_range"
 	default:
 		return "op_unknown"
 	}
@@ -327,10 +330,14 @@ func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
 		if len(body) < 4 {
 			return nil, errors.New("store: bad AppendLog request")
 		}
-		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		node := binary.LittleEndian.Uint32(body)
+		dev, err := s.Log(node)
 		if err != nil {
 			return nil, err
 		}
+		mu := s.logOpLock(node)
+		mu.Lock()
+		defer mu.Unlock()
 		off, err := dev.Append(body[4:])
 		if err != nil {
 			return nil, err
@@ -385,20 +392,28 @@ func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
 		if len(body) != 12 {
 			return nil, errors.New("store: bad TruncateLog request")
 		}
-		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		node := binary.LittleEndian.Uint32(body)
+		dev, err := s.Log(node)
 		if err != nil {
 			return nil, err
 		}
+		mu := s.logOpLock(node)
+		mu.Lock()
+		defer mu.Unlock()
 		return nil, dev.Truncate(int64(binary.LittleEndian.Uint64(body[4:])))
 
 	case opResetLog:
 		if len(body) != 4 {
 			return nil, errors.New("store: bad ResetLog request")
 		}
-		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		node := binary.LittleEndian.Uint32(body)
+		dev, err := s.Log(node)
 		if err != nil {
 			return nil, err
 		}
+		mu := s.logOpLock(node)
+		mu.Lock()
+		defer mu.Unlock()
 		return nil, dev.Reset()
 
 	case opListLogs:
@@ -424,6 +439,30 @@ func (s *Server) handle(op uint8, body []byte) ([]byte, error) {
 
 	case opLogStat:
 		return s.handleLogStat()
+
+	case opReadLogRange:
+		if len(body) != 20 {
+			return nil, errors.New("store: bad ReadLogRange request")
+		}
+		n := int64(binary.LittleEndian.Uint64(body[12:]))
+		if n < 0 || n > maxMsg {
+			return nil, fmt.Errorf("store: ReadLogRange length %d out of range", n)
+		}
+		dev, err := s.Log(binary.LittleEndian.Uint32(body))
+		if err != nil {
+			return nil, err
+		}
+		rc, err := dev.Open(int64(binary.LittleEndian.Uint64(body[4:])))
+		if err != nil {
+			return nil, err
+		}
+		defer rc.Close()
+		buf := make([]byte, n)
+		k, err := io.ReadFull(rc, buf)
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, err
+		}
+		return buf[:k], nil
 
 	default:
 		return nil, fmt.Errorf("store: unknown op %d", op)

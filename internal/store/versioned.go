@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -107,6 +108,28 @@ type versionedState struct {
 	versLoaded bool
 	view       View
 	viewLoaded bool
+
+	logOpMu sync.Mutex
+	logOps  map[uint32]*sync.Mutex
+}
+
+// logOpLock returns the mutex serializing mutations of one node's log.
+// Log ops from different connections run on different goroutines; the
+// offset-guard handlers read the size and then mutate, so the check and
+// the mutation must be atomic per log or two racing appends could both
+// pass the same guard.
+func (s *Server) logOpLock(node uint32) *sync.Mutex {
+	s.logOpMu.Lock()
+	defer s.logOpMu.Unlock()
+	if s.logOps == nil {
+		s.logOps = map[uint32]*sync.Mutex{}
+	}
+	m := s.logOps[node]
+	if m == nil {
+		m = &sync.Mutex{}
+		s.logOps[node] = m
+	}
+	return m
 }
 
 // loadVersionsLocked lazily loads the persisted version table.
@@ -232,9 +255,14 @@ func (s *Server) handleVersionOf(body []byte) ([]byte, error) {
 }
 
 // handleWriteVersioned serves {region u32, ver u64, data} -> {cur u64}.
-// The write applies only if ver advances the region's version; either
-// way the response carries the version now current, so a duplicate
-// delivery (retry, read-repair race) acks idempotently.
+// The write applies only if ver advances the region's version; a stale
+// or duplicate delivery (retry, read-repair race) acks idempotently
+// with the version now current. An equal tag must carry the identical
+// payload: tags are writer-unique (see replstore.StoreRegion), so a
+// legitimate duplicate is byte-identical by construction — different
+// bytes under one tag mean two writers collided on it, and the write is
+// rejected so the collision fails visibly instead of leaving replicas
+// divergent under a tag read-repair can never reconcile.
 func (s *Server) handleWriteVersioned(body []byte) ([]byte, error) {
 	if len(body) < 12 {
 		return nil, errors.New("store: bad WriteVersioned request")
@@ -250,7 +278,8 @@ func (s *Server) handleWriteVersioned(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	cur := s.versions[id]
-	if ver > cur {
+	switch {
+	case ver > cur:
 		if err := s.data.StoreRegion(id, body[12:]); err != nil {
 			return nil, err
 		}
@@ -259,6 +288,15 @@ func (s *Server) handleWriteVersioned(body []byte) ([]byte, error) {
 			return nil, err
 		}
 		cur = ver
+
+	case ver == cur && ver != 0:
+		img, err := s.data.LoadRegion(id)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(img, body[12:]) {
+			return nil, fmt.Errorf("store: region %d: conflicting write at version %d", id, ver)
+		}
 	}
 	var out [8]byte
 	binary.LittleEndian.PutUint64(out[:], cur)
@@ -333,6 +371,9 @@ func (s *Server) handleAppendLogAt(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	mu := s.logOpLock(node)
+	mu.Lock()
+	defer mu.Unlock()
 	size, err := dev.Size()
 	if err != nil {
 		return nil, err
