@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-store table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
 COVER_MIN ?= 60
@@ -65,6 +65,16 @@ bench-apply:
 # Regression gate for the apply pipeline (80% of baseline best speedup).
 bench-apply-check:
 	$(GO) run ./cmd/applybench -check -baseline BENCH_apply.json
+
+# Recovery-time sweep: cold log vs checkpoint-marker log, serial vs
+# parallel install, over one committed history.
+bench-recover:
+	$(GO) run ./cmd/recoverbench -o BENCH_recover.json
+
+# Regression gate: the checkpoint's tail-only-replay benefit must hold
+# at 60% of the committed baseline.
+bench-recover-check:
+	$(GO) run ./cmd/recoverbench -check -baseline BENCH_recover.json
 
 # Storage write path: single server vs 3-replica majority quorum.
 bench-store:

@@ -659,6 +659,17 @@ func (c *Cluster) AddSegmentAll(seg Segment) {
 	}
 }
 
+// Checkpoint runs a fuzzy coordinated checkpoint from node i over
+// every registered segment lock: the image sweep proceeds concurrently
+// with commits, a short final quiesce stamps the durable marker, and
+// every node's log head is trimmed online to its raced-commit tail.
+func (c *Cluster) Checkpoint(i int, timeout time.Duration) error {
+	if c.down[i] {
+		return fmt.Errorf("lbc: checkpoint coordinator node %d is down", c.ids[i])
+	}
+	return c.nodes[i].CoordinatedCheckpoint(c.lockIDs(), timeout)
+}
+
 // lockIDs returns the registered segment lock ids in ascending order
 // (the chaos harness's deterministic iteration order).
 func (c *Cluster) lockIDs() []uint32 {

@@ -1,0 +1,88 @@
+// Command recoverbench measures crash-recovery time over one committed
+// history in four modes — cold log vs checkpoint-marker log, serial vs
+// parallel install — writing the results to BENCH_recover.json. The
+// checkpointed runs must position replay at the durable marker and
+// replay only the tail (structural gate), and all four modes must
+// recover byte-identical images.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_recover.json", "output JSON path")
+	records := flag.Int("records", 4096, "committed records in the history")
+	payload := flag.Int("payload", 4096, "payload bytes per record")
+	chains := flag.Int("chains", 8, "disjoint lock chains (parallel install width)")
+	workers := flag.Int("workers", 4, "install workers for the parallel runs")
+	cut := flag.Float64("cut", 0.9, "fraction of records below the checkpoint marker")
+	check := flag.Bool("check", false, "regression gate: compare against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_recover.json", "baseline JSON for -check")
+	frac := flag.Float64("frac", 0.6, "minimum fresh/baseline checkpoint-benefit ratio for -check")
+	flag.Parse()
+
+	run := func() *bench.RecoverBench {
+		res, err := bench.RunRecoverBench(*records, *payload, *chains, *workers, *cut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recoverbench:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+	res := run()
+	printRecover(res)
+
+	if *check {
+		base, err := bench.ReadRecoverBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recoverbench:", err)
+			os.Exit(1)
+		}
+		if cerr := bench.CheckRecoverBench(res, base, *frac); cerr != nil {
+			// Shared CI machines are noisy; one bad sweep is not a
+			// regression. Re-run once before failing the gate.
+			fmt.Fprintln(os.Stderr, "recoverbench:", cerr, "(retrying once)")
+			res = run()
+			printRecover(res)
+			if cerr := bench.CheckRecoverBench(res, base, *frac); cerr != nil {
+				fmt.Fprintln(os.Stderr, "recoverbench:", cerr)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check OK: fresh checkpoint benefit %.2fx vs baseline %.2fx (threshold %.0f%%)\n",
+			res.CkptBenefit, base.CkptBenefit, *frac*100)
+	}
+
+	// In check mode the default output path is the baseline itself;
+	// only write when the user explicitly chose a destination.
+	oSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			oSet = true
+		}
+	})
+	if !*check || oSet {
+		if err := bench.WriteRecoverBench(res, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "recoverbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func printRecover(res *bench.RecoverBench) {
+	fmt.Printf("history: %d records x %dB over %d chains, log %d bytes, tail %d records\n",
+		res.Records, res.Payload, res.Chains, res.LogBytes, res.TailRecords)
+	fmt.Printf("%14s %12s\n", "mode", "recover ms")
+	fmt.Printf("%14s %12.2f\n", "cold-serial", res.ColdSerialMS)
+	fmt.Printf("%14s %12.2f\n", "cold-parallel", res.ColdParallelMS)
+	fmt.Printf("%14s %12.2f\n", "ckpt-serial", res.CkptSerialMS)
+	fmt.Printf("%14s %12.2f\n", "ckpt-parallel", res.CkptParallelMS)
+	fmt.Printf("checkpoint benefit %.2fx, parallel speedup %.2fx\n",
+		res.CkptBenefit, res.ParallelSpeedup)
+}

@@ -2,123 +2,345 @@ package coherency
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/rvm"
 )
 
 // Online coordinated log trimming (§3.5). The prototype trimmed logs
-// offline; the paper sketches the online scheme implemented here:
-// "one node would checkpoint at a time, broadcasting to other nodes
-// when done to inform them of their new log head."
+// offline; the paper sketches the online scheme implemented here: "one
+// node would checkpoint at a time, broadcasting to other nodes when
+// done to inform them of their new log head."
 //
-// The coordinator acquires every segment lock (quiescing writers and —
-// via the acquire interlock — guaranteeing its own image reflects all
-// committed updates), writes its region images to the permanent store,
-// then broadcasts a checkpoint notification. Every node's logged
-// records are now reflected in the permanent images, so each node
-// resets its own log and acknowledges. Locks release afterward.
+// The sweep is fuzzy and incremental (rvm.IncrementalCheckpointer): the
+// coordinator copies each registered segment to the permanent store
+// while holding only that segment's lock — the acquire interlock
+// guarantees the local image reflects every committed update to the
+// segment, and the lock excludes concurrent writers from the bytes
+// being copied — so commits under other locks proceed throughout the
+// bulk of the image write. Only a short final step quiesces all locks:
+// it sweeps the ranges no registered segment covers, re-copies pages
+// dirtied by commits that raced the sweep, forces the store, appends a
+// durable checkpoint marker carrying the cut-point LSN, and trims the
+// coordinator's log head online. Peers then trim their own logs to the
+// cut they recorded when the checkpoint began (every record below that
+// cut committed — and was therefore applied at the coordinator under
+// the relevant lock — before any page was swept).
+//
+// Two-phase framing:
+//
+//	Begin{epoch}      coordinator -> peers   peers note their log size
+//	BeginAck{epoch}   peer -> coordinator    (the cut candidate) and ack
+//	    ... fuzzy per-lock sweep, concurrent with commits ...
+//	    ... quiesce: remainder sweep, dirty resweep, marker, trim ...
+//	Checkpoint{epoch, lsn}  coordinator -> peers   trim to recorded cut
+//	CheckpointAck{epoch}    peer -> coordinator
 
-// Message codes (continuing the 0x20-0x2F coherency block).
+// Message codes (continuing the 0x20-0x2F coherency block; 0x26/0x27
+// belong to token reclaim).
 const (
-	MsgCheckpoint    uint8 = 0x23 // coordinator -> peers: {epoch u64}
-	MsgCheckpointAck uint8 = 0x24 // peer -> coordinator: {epoch u64}
+	MsgCheckpoint         uint8 = 0x23 // coordinator -> peers: {epoch u64, lsn u64}
+	MsgCheckpointAck      uint8 = 0x24 // peer -> coordinator: {epoch u64}
+	MsgCheckpointBegin    uint8 = 0x28 // coordinator -> peers: {epoch u64}
+	MsgCheckpointBeginAck uint8 = 0x29 // peer -> coordinator: {epoch u64}
 )
 
-// ckptState tracks in-flight coordinated checkpoints on the
-// coordinator side.
+// cutKey names one peer-side cut candidate: epochs are per-coordinator
+// counters, so the coordinator id disambiguates concurrent checkpoints
+// from different nodes.
+type cutKey struct {
+	from  netproto.NodeID
+	epoch uint64
+}
+
+// ckptState tracks in-flight coordinated checkpoints: ack waiters on
+// the coordinator side, recorded log cuts on the peer side.
 type ckptState struct {
-	mu      sync.Mutex
-	epoch   uint64
-	waiters map[uint64]chan netproto.NodeID
+	mu           sync.Mutex
+	epoch        uint64
+	waiters      map[uint64]chan netproto.NodeID // done-phase acks
+	beginWaiters map[uint64]chan netproto.NodeID // begin-phase acks
+	cuts         map[cutKey]int64                // peer: log size at Begin
 }
 
 func (n *Node) initCheckpoint() {
-	n.ckpt = &ckptState{waiters: map[uint64]chan netproto.NodeID{}}
+	n.ckpt = &ckptState{
+		waiters:      map[uint64]chan netproto.NodeID{},
+		beginWaiters: map[uint64]chan netproto.NodeID{},
+		cuts:         map[cutKey]int64{},
+	}
 	n.tr.Handle(MsgCheckpoint, n.onCheckpoint)
 	n.tr.Handle(MsgCheckpointAck, n.onCheckpointAck)
+	n.tr.Handle(MsgCheckpointBegin, n.onCheckpointBegin)
+	n.tr.Handle(MsgCheckpointBeginAck, n.onCheckpointBeginAck)
 }
 
-// CoordinatedCheckpoint trims every node's log online. lockIDs must
-// cover every segment that receives writes (typically all registered
-// locks); the coordinator holds them for the duration, so the
-// operation serializes with all transactions.
+// sweepRange is one byte range the quiesced remainder sweep must copy.
+type sweepRange struct {
+	region rvm.RegionID
+	off, n uint64
+}
+
+// CoordinatedCheckpoint checkpoints the cluster and trims every node's
+// log online. lockIDs must cover every segment that receives writes
+// (typically all registered locks). Unlike the original stop-the-world
+// pass, the image sweep runs concurrently with commits: each registered
+// segment is copied under its own lock only, and all locks are held
+// together just for the short sealing step at the end.
 func (n *Node) CoordinatedCheckpoint(lockIDs []uint32, timeout time.Duration) error {
-	// Quiesce: acquire every lock (ordered, to avoid deadlock against
-	// a concurrent coordinator).
-	tx := n.Begin(rvm.NoRestore)
-	for _, id := range lockIDs {
-		if err := tx.Acquire(id); err != nil {
-			return fmt.Errorf("coherency: checkpoint acquire lock %d: %w", id, err)
-		}
-	}
-	// Release via Abort: the quiesce transaction performed no writes,
-	// and aborting leaves no record in the just-trimmed log.
-	defer tx.Abort()
-
-	// The interlock guarantees our images are current; persist them
-	// and trim our own log.
-	if err := n.rvm.Checkpoint(); err != nil {
-		return fmt.Errorf("coherency: checkpoint images: %w", err)
-	}
-
-	// Tell the peers their logs are redundant.
+	deadline := time.Now().Add(timeout)
 	peers := n.tr.Peers()
-	if len(peers) == 0 {
-		return nil
-	}
+
 	n.ckpt.mu.Lock()
 	n.ckpt.epoch++
 	epoch := n.ckpt.epoch
-	acks := make(chan netproto.NodeID, len(peers))
-	n.ckpt.waiters[epoch] = acks
 	n.ckpt.mu.Unlock()
-	defer func() {
-		n.ckpt.mu.Lock()
-		delete(n.ckpt.waiters, epoch)
-		n.ckpt.mu.Unlock()
-	}()
 
-	var msg [8]byte
-	binary.LittleEndian.PutUint64(msg[:], epoch)
-	for _, p := range peers {
-		if err := n.tr.Send(p, MsgCheckpoint, msg[:]); err != nil {
-			return fmt.Errorf("coherency: checkpoint notify %d: %w", p, err)
+	// Phase 1: peers record their current log size as the cut they will
+	// trim to. Every record below a peer's cut committed before any page
+	// was swept, so the per-lock sweeps below are guaranteed to observe
+	// it (interlock) — which is what makes the cut safe to trim.
+	var beginMsg [8]byte
+	binary.LittleEndian.PutUint64(beginMsg[:], epoch)
+	if len(peers) > 0 {
+		if err := n.ckptRound(peers, MsgCheckpointBegin, beginMsg[:], n.ckpt.beginWaiters, epoch, deadline); err != nil {
+			return fmt.Errorf("coherency: checkpoint begin: %w", err)
 		}
 	}
-	deadline := time.After(timeout)
-	need := map[netproto.NodeID]bool{}
-	for _, p := range peers {
-		need[p] = true
+
+	ckpt := n.rvm.NewIncrementalCheckpointer(n.pageSize)
+	if err := ckpt.BeginConcurrent(); err != nil {
+		return fmt.Errorf("coherency: checkpoint begin sweep: %w", err)
 	}
-	for len(need) > 0 {
-		select {
-		case from := <-acks:
-			delete(need, from)
-		case <-deadline:
-			return fmt.Errorf("coherency: checkpoint epoch %d: %d peers did not ack", epoch, len(need))
-		case <-n.done:
-			return fmt.Errorf("coherency: node closed during checkpoint")
+	// Abandon dirty tracking on any error path (no-op after a
+	// successful FinishQuiesced).
+	defer ckpt.AbortConcurrent()
+
+	// Ordered acquisition avoids deadlock against a concurrent
+	// coordinator.
+	sorted := append([]uint32(nil), lockIDs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// Phase 2: fuzzy sweep — copy each registered segment while holding
+	// only its lock. Commits under the other locks proceed concurrently.
+	for _, id := range sorted {
+		n.mu.Lock()
+		seg, ok := n.segments[id]
+		n.mu.Unlock()
+		if !ok {
+			continue // no registered scope: swept under the quiesce below
+		}
+		tx := n.Begin(rvm.NoRestore)
+		err := tx.Acquire(id)
+		if err == nil {
+			err = ckpt.SweepRange(seg.Region, seg.Off, seg.Len)
+		}
+		// Release the lock whether or not the sweep succeeded: a failed
+		// acquire holds nothing, a failed sweep must not leak the lock.
+		_ = tx.Abort()
+		if err != nil {
+			return fmt.Errorf("coherency: checkpoint sweep lock %d: %w", id, err)
+		}
+	}
+
+	// Phase 3: seal under a full quiesce. The abort is registered
+	// *before* the acquire loop so a failed acquire releases the locks
+	// taken by earlier iterations (a mid-loop return used to leak them).
+	qtx := n.Begin(rvm.NoRestore)
+	defer qtx.Abort()
+	for _, id := range sorted {
+		if err := qtx.Acquire(id); err != nil {
+			return fmt.Errorf("coherency: checkpoint acquire lock %d: %w", id, err)
+		}
+	}
+	// Bytes no registered segment covers were not swept under a lock;
+	// copy them now that all writers are excluded. (With no registered
+	// segments this degenerates to the full stop-the-world image write.)
+	for _, sr := range n.uncoveredRanges(sorted) {
+		if err := ckpt.SweepRange(sr.region, sr.off, sr.n); err != nil {
+			return fmt.Errorf("coherency: checkpoint remainder sweep: %w", err)
+		}
+	}
+	// Re-copy pages dirtied by commits that raced the per-lock sweeps.
+	if _, err := ckpt.ResweepDirty(); err != nil {
+		return fmt.Errorf("coherency: checkpoint resweep: %w", err)
+	}
+	// Force the images, append + sync the durable marker. If we crash
+	// after this point recovery starts at the marker, before it at the
+	// previous start point — either way the images and log agree.
+	lsn, cut, err := ckpt.FinishQuiesced()
+	if err != nil {
+		return fmt.Errorf("coherency: checkpoint finish: %w", err)
+	}
+	// Trim our own log head past the marker: every record below it is
+	// in the permanent images. Commits racing the trim land above the
+	// cut, so they survive — but the trim still runs under the quiesce
+	// so that devices without an atomic HeadTrimmer rewrite safely.
+	if err := n.rvm.TrimLogHead(cut); err != nil {
+		return fmt.Errorf("coherency: checkpoint trim: %w", err)
+	}
+
+	// Phase 4: peers trim to their recorded cuts. Still under the
+	// quiesce for the same rewrite-safety reason.
+	if len(peers) > 0 {
+		var doneMsg [16]byte
+		binary.LittleEndian.PutUint64(doneMsg[:8], epoch)
+		binary.LittleEndian.PutUint64(doneMsg[8:], uint64(lsn))
+		if err := n.ckptRound(peers, MsgCheckpoint, doneMsg[:], n.ckpt.waiters, epoch, deadline); err != nil {
+			return fmt.Errorf("coherency: checkpoint commit: %w", err)
 		}
 	}
 	return nil
 }
 
-// onCheckpoint runs at a peer: the coordinator's images now reflect
-// all committed updates, so the local log is redundant.
-func (n *Node) onCheckpoint(from netproto.NodeID, payload []byte) {
+// ckptRound broadcasts one checkpoint protocol message and waits for
+// every peer's ack, registered in the given waiter map under epoch.
+func (n *Node) ckptRound(peers []netproto.NodeID, typ uint8, payload []byte,
+	waiters map[uint64]chan netproto.NodeID, epoch uint64, deadline time.Time) error {
+	acks := make(chan netproto.NodeID, len(peers))
+	n.ckpt.mu.Lock()
+	waiters[epoch] = acks
+	n.ckpt.mu.Unlock()
+	defer func() {
+		n.ckpt.mu.Lock()
+		delete(waiters, epoch)
+		n.ckpt.mu.Unlock()
+	}()
+	for _, p := range peers {
+		if err := n.tr.Send(p, typ, payload); err != nil {
+			return fmt.Errorf("notify %d: %w", p, err)
+		}
+	}
+	need := map[netproto.NodeID]bool{}
+	for _, p := range peers {
+		need[p] = true
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for len(need) > 0 {
+		select {
+		case from := <-acks:
+			delete(need, from)
+		case <-timer.C:
+			return fmt.Errorf("epoch %d: %d peers did not ack", epoch, len(need))
+		case <-n.done:
+			return errors.New("node closed during checkpoint")
+		}
+	}
+	return nil
+}
+
+// uncoveredRanges returns, per mapped region, the byte ranges not
+// covered by any of the given locks' registered segments. These ranges
+// were not swept under a lock and must be copied under the quiesce.
+func (n *Node) uncoveredRanges(lockIDs []uint32) []sweepRange {
+	n.mu.Lock()
+	segs := make([]Segment, 0, len(lockIDs))
+	for _, id := range lockIDs {
+		if s, ok := n.segments[id]; ok {
+			segs = append(segs, s)
+		}
+	}
+	n.mu.Unlock()
+
+	var out []sweepRange
+	for _, rid := range n.rvm.RegionIDs() {
+		reg := n.rvm.Region(rid)
+		if reg == nil {
+			continue
+		}
+		size := uint64(reg.Size())
+		var iv [][2]uint64
+		for _, s := range segs {
+			if s.Region != rid || s.Len == 0 || s.Off >= size {
+				continue
+			}
+			hi := s.Off + s.Len
+			if hi > size {
+				hi = size
+			}
+			iv = append(iv, [2]uint64{s.Off, hi})
+		}
+		sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+		var at uint64
+		for _, p := range iv {
+			if p[0] > at {
+				out = append(out, sweepRange{region: rid, off: at, n: p[0] - at})
+			}
+			if p[1] > at {
+				at = p[1]
+			}
+		}
+		if at < size {
+			out = append(out, sweepRange{region: rid, off: at, n: size - at})
+		}
+	}
+	return out
+}
+
+// onCheckpointBegin runs at a peer: record the current log size as the
+// cut this checkpoint will trim to. Records below it committed before
+// the coordinator's sweep started, so the sweep observes them; records
+// appended later may have raced the sweep and must survive in the log.
+func (n *Node) onCheckpointBegin(from netproto.NodeID, payload []byte) {
 	if len(payload) != 8 {
 		return
 	}
-	if err := n.rvm.Log().Reset(); err != nil {
-		n.stats.Add("checkpoint_errors", 1)
+	epoch := binary.LittleEndian.Uint64(payload)
+	sz, err := n.rvm.Log().Size()
+	if err != nil {
+		// Unknown size: record a zero cut, i.e. trim nothing. The
+		// checkpoint still completes; this peer just keeps its log.
+		n.stats.Add(metrics.CtrCkptErrors, 1)
+		sz = 0
+	}
+	n.ckpt.mu.Lock()
+	for k := range n.ckpt.cuts {
+		if k.from == from {
+			delete(n.ckpt.cuts, k) // only the newest epoch per coordinator matters
+		}
+	}
+	n.ckpt.cuts[cutKey{from: from, epoch: epoch}] = sz
+	n.ckpt.mu.Unlock()
+	_ = n.tr.Send(from, MsgCheckpointBeginAck, payload)
+}
+
+// onCheckpointBeginAck runs at the coordinator.
+func (n *Node) onCheckpointBeginAck(from netproto.NodeID, payload []byte) {
+	if len(payload) != 8 {
 		return
 	}
-	n.stats.Add("log_trims", 1)
-	_ = n.tr.Send(from, MsgCheckpointAck, payload)
+	n.ckptAck(from, binary.LittleEndian.Uint64(payload), n.ckpt.beginWaiters)
+}
+
+// onCheckpoint runs at a peer: the coordinator's images now reflect
+// every record below the cut recorded at Begin, so trim the local log
+// head to that cut. Commits that raced the sweep sit above the cut and
+// survive in the tail.
+func (n *Node) onCheckpoint(from netproto.NodeID, payload []byte) {
+	if len(payload) != 16 {
+		return
+	}
+	epoch := binary.LittleEndian.Uint64(payload[:8])
+	n.ckpt.mu.Lock()
+	cut, ok := n.ckpt.cuts[cutKey{from: from, epoch: epoch}]
+	delete(n.ckpt.cuts, cutKey{from: from, epoch: epoch})
+	n.ckpt.mu.Unlock()
+	if ok && cut > 0 {
+		if err := n.rvm.TrimLogHead(cut); err != nil {
+			n.stats.Add(metrics.CtrCkptErrors, 1)
+			return // no ack: the coordinator times out and reports
+		}
+	}
+	var ack [8]byte
+	binary.LittleEndian.PutUint64(ack[:], epoch)
+	_ = n.tr.Send(from, MsgCheckpointAck, ack[:])
 }
 
 // onCheckpointAck runs at the coordinator.
@@ -126,9 +348,12 @@ func (n *Node) onCheckpointAck(from netproto.NodeID, payload []byte) {
 	if len(payload) != 8 {
 		return
 	}
-	epoch := binary.LittleEndian.Uint64(payload)
+	n.ckptAck(from, binary.LittleEndian.Uint64(payload), n.ckpt.waiters)
+}
+
+func (n *Node) ckptAck(from netproto.NodeID, epoch uint64, waiters map[uint64]chan netproto.NodeID) {
 	n.ckpt.mu.Lock()
-	ch := n.ckpt.waiters[epoch]
+	ch := waiters[epoch]
 	n.ckpt.mu.Unlock()
 	if ch != nil {
 		select {

@@ -397,6 +397,9 @@ func (n *Node) pullPeerLog(peer uint32) error {
 		}
 		sz := int64(wal.StandardSize(rec))
 		pos += sz
+		if rec.Checkpoint {
+			continue // durable marker, not a committed update
+		}
 		n.enqueue(rec)
 	}
 	n.mu.Lock()
@@ -429,7 +432,12 @@ func (n *Node) CatchUp() error {
 		if err != nil {
 			return fmt.Errorf("coherency: catch-up scan log %d: %w", id, err)
 		}
-		all = append(all, txs...)
+		for _, tx := range txs {
+			if tx.Checkpoint {
+				continue // durable marker, not a committed update
+			}
+			all = append(all, tx)
+		}
 		// Lazy bookkeeping: everything read here is consumed.
 		sz, err := dev.Size()
 		if err == nil {

@@ -384,6 +384,14 @@ const (
 	CtrRejoins             = "member_rejoins"             // evicted peers readmitted after catch-up
 	CtrReclaimedTokens     = "lock_tokens_reclaimed"      // lock tokens re-minted after an eviction
 
+	// Checkpointing (rvm incremental sweeps + the coordinated protocol).
+	CtrCkptSizeErrors = "checkpoint_size_errors" // log.Size failures swallowed by NeedsCheckpoint
+	CtrCkptSweepPages = "checkpoint_sweep_pages" // pages copied to the store by fuzzy sweeps
+	CtrCkptDirtyPages = "checkpoint_dirty_pages" // pages re-copied after racing commits dirtied them
+	CtrCkptMarkers    = "checkpoint_markers"     // durable checkpoint markers appended
+	CtrLogTrims       = "log_trims"              // online log head trims completed
+	CtrCkptErrors     = "checkpoint_errors"      // checkpoint steps that failed (peer or coordinator)
+
 	// Quorum-replicated store (internal/replstore).
 	CtrStoreQuorumWrites  = "store_quorum_writes"       // region/log writes acked by a majority
 	CtrStoreQuorumReads   = "store_quorum_reads"        // version-validated quorum reads
@@ -445,6 +453,8 @@ var fixedIdx = buildIndex([]string{
 	CtrTokenSendRetries, CtrTokenSendsAbandoned, CtrStaleEpochFrames,
 	CtrEvictedSenderFrames, CtrSuspicions, CtrEvictions, CtrRejoins,
 	CtrReclaimedTokens,
+	CtrCkptSizeErrors, CtrCkptSweepPages, CtrCkptDirtyPages,
+	CtrCkptMarkers, CtrLogTrims, CtrCkptErrors,
 	CtrStoreQuorumWrites, CtrStoreQuorumReads, CtrStoreReadFast,
 	CtrStoreReadRepairs, CtrStoreLogRepairs, CtrStoreQuorumRetries,
 	CtrStoreViewChanges, CtrStoreViewRefreshes, CtrStoreCatchupBytes,

@@ -1,0 +1,216 @@
+package rvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lbc/internal/metrics"
+	"lbc/internal/wal"
+)
+
+// cloneStore copies every region image into a fresh MemStore, standing
+// in for recovering against the permanent store as a crash would see it
+// without disturbing the live one.
+func cloneStore(t *testing.T, s DataStore) *MemStore {
+	t.Helper()
+	out := NewMemStore()
+	ids, err := s.Regions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		img, err := s.LoadRegion(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.StoreRegion(id, img)
+	}
+	return out
+}
+
+// TestFuzzySweepMarkerRecovery drives the concurrent checkpoint API the
+// way the coordinator does — sweep, raced commit, dirty resweep, marker
+// — but leaves the log untrimmed (the standalone/crash-window shape) and
+// checks recovery starts at the marker and replays only the tail.
+func TestFuzzySweepMarkerRecovery(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 4*4096)
+
+	commit := func(off uint64, s string) {
+		tx := r.Begin(NoRestore)
+		if err := tx.SetRange(reg, off, uint32(len(s))); err != nil {
+			t.Fatal(err)
+		}
+		copy(reg.Bytes()[off:], s)
+		if _, err := tx.Commit(Flush); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commit(0, "pre1")
+	commit(4096, "pre2")
+
+	c := r.NewIncrementalCheckpointer(4096)
+	if err := c.BeginConcurrent(); err != nil {
+		t.Fatal(err)
+	}
+	// Sweep the whole region, then race a commit against the sweep: page
+	// 0's swept copy is now stale and must be re-copied by ResweepDirty.
+	if err := c.SweepRange(1, 0, uint64(reg.Size())); err != nil {
+		t.Fatal(err)
+	}
+	commit(0, "mid1")
+	if n, err := c.ResweepDirty(); err != nil || n != 1 {
+		t.Fatalf("resweep: n=%d err=%v", n, err)
+	}
+	markerAt, end, err := c.FinishQuiesced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := log.Size(); end != sz || markerAt >= end {
+		t.Fatalf("marker [%d,%d) vs log size %d", markerAt, end, sz)
+	}
+
+	// Post-checkpoint tail.
+	commit(8192, "post")
+
+	res, err := Recover(log, cloneStore(t, data), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checkpointed || res.ReplayFrom != end {
+		t.Fatalf("res = %+v, want replay from %d", res, end)
+	}
+	if res.Records != 1 || res.SkippedRecords != 3 {
+		t.Fatalf("replayed %d skipped %d, want 1/3", res.Records, res.SkippedRecords)
+	}
+	if res.CheckpointLSN != uint64(markerAt) {
+		t.Fatalf("marker LSN %d, want %d", res.CheckpointLSN, markerAt)
+	}
+	if r.Stats().Counter("checkpoint_markers") != 1 {
+		t.Fatal("marker counter not incremented")
+	}
+}
+
+// TestFuzzySweepRecoveredImageMatches: the cut-point invariant end to
+// end — recover from the marker-bearing log into a copy of the
+// permanent store and compare against the live image.
+func TestFuzzySweepRecoveredImageMatches(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 2*4096)
+
+	for i := 0; i < 8; i++ {
+		tx := r.Begin(NoRestore)
+		off := uint64(i * 512)
+		tx.SetRange(reg, off, 4)
+		copy(reg.Bytes()[off:], []byte{byte(i + 1), 2, 3, 4})
+		tx.Commit(Flush)
+	}
+	c := r.NewIncrementalCheckpointer(4096)
+	c.BeginConcurrent()
+	c.SweepRange(1, 0, uint64(reg.Size()))
+	// Raced commit after its page was swept.
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 100, 4)
+	copy(reg.Bytes()[100:], "RACE")
+	tx.Commit(Flush)
+	if _, err := c.ResweepDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FinishQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), reg.Bytes()...)
+
+	check := cloneStore(t, data)
+	if _, err := Recover(log, check, RecoverOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := check.LoadRegion(1)
+	if !bytes.Equal(img, want) {
+		t.Fatal("recovered image differs from live image")
+	}
+}
+
+// TestAbortConcurrentLeavesNoMarker: an abandoned fuzzy sweep writes no
+// marker and recovery replays from offset 0 as before.
+func TestAbortConcurrentLeavesNoMarker(t *testing.T) {
+	log := wal.NewMemDevice()
+	data := NewMemStore()
+	r, _ := Open(Options{Node: 1, Log: log, Data: data})
+	reg, _ := r.Map(1, 4096)
+
+	tx := r.Begin(NoRestore)
+	tx.SetRange(reg, 0, 4)
+	copy(reg.Bytes(), "pre ")
+	tx.Commit(Flush)
+
+	c := r.NewIncrementalCheckpointer(4096)
+	c.BeginConcurrent()
+	c.SweepRange(1, 0, 4096)
+	c.AbortConcurrent()
+	if r.dirty.Load() != nil {
+		t.Fatal("dirty tracker still installed after abort")
+	}
+
+	res, err := Recover(log, cloneStore(t, data), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpointed || res.ReplayFrom != 0 || res.Records != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestCheckpointFlushClosed: Checkpoint and Flush on a closed instance
+// fail with ErrClosed (they used to run against released state).
+func TestCheckpointFlushClosed(t *testing.T) {
+	r, _ := Open(Options{Node: 1, Log: wal.NewMemDevice(), Data: NewMemStore()})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	if err := r.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+}
+
+// failSizeDevice wraps a device with a Size that always errors.
+type failSizeDevice struct {
+	wal.Device
+}
+
+func (d failSizeDevice) Size() (int64, error) {
+	return 0, errors.New("injected size failure")
+}
+
+// TestNeedsCheckpointSizeError: a device error must not silently read
+// as "no checkpoint pressure" — it is counted and treated as needing a
+// checkpoint.
+func TestNeedsCheckpointSizeError(t *testing.T) {
+	r, _ := Open(Options{
+		Node: 1,
+		Log:  failSizeDevice{wal.NewMemDevice()},
+		Data: NewMemStore(),
+
+		LogHighWater: 1 << 20,
+	})
+	if !r.NeedsCheckpoint() {
+		t.Fatal("unreadable log size reported as no checkpoint pressure")
+	}
+	if got := r.Stats().Counter(metrics.CtrCkptSizeErrors); got != 1 {
+		t.Fatalf("checkpoint_size_errors = %d", got)
+	}
+	// Without a high-water mark the size is never consulted.
+	r2, _ := Open(Options{Node: 2, Log: failSizeDevice{wal.NewMemDevice()}})
+	if r2.NeedsCheckpoint() {
+		t.Fatal("no high-water mark but NeedsCheckpoint true")
+	}
+}

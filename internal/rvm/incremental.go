@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+
+	"lbc/internal/metrics"
+	"lbc/internal/wal"
 )
 
 // Incremental, page-at-a-time checkpointing: the improved log-trimming
@@ -42,6 +46,83 @@ type IncrementalCheckpointer struct {
 	sweepStart int64
 	active     bool
 	pagesDone  int
+
+	concurrent bool // a fuzzy sweep (BeginConcurrent) is in progress
+}
+
+// pageKey identifies one page of one region in the dirty tracker.
+type pageKey struct {
+	region uint32
+	page   uint64
+}
+
+// dirtyTracker records pages written while a fuzzy sweep runs, so the
+// final quiesced step can re-copy exactly the pages whose swept copies
+// may have gone stale. It is installed in RVM.dirty for the duration of
+// a BeginConcurrent..FinishQuiesced window.
+type dirtyTracker struct {
+	mu       sync.Mutex
+	pageSize uint64
+	pages    map[pageKey]struct{}
+}
+
+func (t *dirtyTracker) markRanges(ranges []wal.RangeRec) {
+	if len(ranges) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, rec := range ranges {
+		if len(rec.Data) == 0 {
+			continue
+		}
+		first := rec.Off / t.pageSize
+		last := (rec.End() - 1) / t.pageSize
+		for p := first; p <= last; p++ {
+			t.pages[pageKey{region: rec.Region, page: p}] = struct{}{}
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *dirtyTracker) markRange(region uint32, off, end uint64) {
+	if end <= off {
+		return
+	}
+	t.mu.Lock()
+	first := off / t.pageSize
+	last := (end - 1) / t.pageSize
+	for p := first; p <= last; p++ {
+		t.pages[pageKey{region: region, page: p}] = struct{}{}
+	}
+	t.mu.Unlock()
+}
+
+// take returns and clears the dirtied page set.
+func (t *dirtyTracker) take() []pageKey {
+	t.mu.Lock()
+	keys := make([]pageKey, 0, len(t.pages))
+	for k := range t.pages {
+		keys = append(keys, k)
+	}
+	t.pages = map[pageKey]struct{}{}
+	t.mu.Unlock()
+	return keys
+}
+
+// markDirty records the ranges in the active dirty tracker, if a fuzzy
+// sweep is running. Called from commit (after gather), remote applies
+// and restore-mode aborts — every path that writes a mapped image.
+func (r *RVM) markDirty(ranges []wal.RangeRec) {
+	if t := r.dirty.Load(); t != nil {
+		t.markRanges(ranges)
+	}
+}
+
+// markDirtyRange is the single-range variant used by Abort's undo path.
+func (r *RVM) markDirtyRange(region uint32, off, end uint64) {
+	if t := r.dirty.Load(); t != nil {
+		t.markRange(region, off, end)
+	}
 }
 
 // NewIncrementalCheckpointer creates a checkpointer with the given
@@ -168,9 +249,149 @@ func (c *IncrementalCheckpointer) storePage(id uint32, off int64, data []byte) e
 	return c.r.data.StoreRegion(id, img)
 }
 
+// BeginConcurrent starts a fuzzy sweep: the log length is noted and a
+// dirty-page tracker is installed, so pages written by commits, remote
+// applies and aborts racing the sweep are recorded for re-copy. The
+// caller then drives SweepRange/SweepRegions (holding the covering
+// segment lock for each range, which keeps uncommitted bytes out of
+// the copies), and seals the checkpoint with ResweepDirty +
+// FinishQuiesced under a full quiesce.
+func (c *IncrementalCheckpointer) BeginConcurrent() error {
+	if c.concurrent {
+		return errors.New("rvm: concurrent sweep already in progress")
+	}
+	sz, err := c.r.log.Size()
+	if err != nil {
+		return err
+	}
+	c.sweepStart = sz
+	c.pagesDone = 0
+	c.concurrent = true
+	c.r.dirty.Store(&dirtyTracker{
+		pageSize: uint64(c.pageSize),
+		pages:    map[pageKey]struct{}{},
+	})
+	return nil
+}
+
+// SweepRange copies the bytes [off, off+n) of region id to the
+// permanent store in page-sized chunks. The caller must hold the
+// segment lock covering the range: the lock excludes concurrent
+// writers from these bytes (a copy never captures uncommitted data)
+// and the acquire interlock guarantees all committed peer updates to
+// the range have been applied locally. Only the exact range is read,
+// so writers under *other* locks proceed concurrently without a data
+// race.
+func (c *IncrementalCheckpointer) SweepRange(id RegionID, off, n uint64) error {
+	if !c.concurrent {
+		return errors.New("rvm: SweepRange without BeginConcurrent")
+	}
+	if n == 0 {
+		return nil
+	}
+	reg := c.r.Region(id)
+	if reg == nil {
+		return nil // unmapped: nothing cached locally to checkpoint
+	}
+	end := off + n
+	if end > uint64(reg.Size()) {
+		end = uint64(reg.Size())
+	}
+	ps := uint64(c.pageSize)
+	for at := off; at < end; {
+		// Chunk boundaries align to pages so the store sees page-shaped
+		// writes, clipped to the locked range at both ends.
+		stop := (at/ps + 1) * ps
+		if stop > end {
+			stop = end
+		}
+		if err := c.storePage(uint32(id), int64(at), reg.Bytes()[at:stop]); err != nil {
+			return fmt.Errorf("rvm: sweep region %d [%d,%d): %w", id, at, stop, err)
+		}
+		c.pagesDone++
+		c.r.stats.Add(metrics.CtrCkptSweepPages, 1)
+		at = stop
+	}
+	return nil
+}
+
+// ResweepDirty re-copies every page dirtied since BeginConcurrent.
+// Must run under a full quiesce (all segment locks held): the racing
+// writers are excluded, so whole-page copies are safe, and nothing can
+// dirty a page after it is re-copied. Returns the number of pages
+// re-swept.
+func (c *IncrementalCheckpointer) ResweepDirty() (int, error) {
+	if !c.concurrent {
+		return 0, errors.New("rvm: ResweepDirty without BeginConcurrent")
+	}
+	t := c.r.dirty.Load()
+	if t == nil {
+		return 0, nil
+	}
+	keys := t.take()
+	ps := uint64(c.pageSize)
+	var done int
+	for _, k := range keys {
+		reg := c.r.Region(RegionID(k.region))
+		if reg == nil {
+			continue
+		}
+		start := k.page * ps
+		if start >= uint64(reg.Size()) {
+			continue
+		}
+		end := start + ps
+		if end > uint64(reg.Size()) {
+			end = uint64(reg.Size())
+		}
+		if err := c.storePage(k.region, int64(start), reg.Bytes()[start:end]); err != nil {
+			return done, fmt.Errorf("rvm: resweep page %d of region %d: %w", k.page, k.region, err)
+		}
+		done++
+		c.pagesDone++
+		c.r.stats.Add(metrics.CtrCkptDirtyPages, 1)
+	}
+	return done, nil
+}
+
+// FinishQuiesced seals the fuzzy sweep: the swept pages are forced to
+// the permanent store, a checkpoint marker carrying the cut-point LSN
+// is appended and synced, and dirty tracking stops. Must run under the
+// same quiesce as ResweepDirty, with no commits in flight. It returns
+// the marker's offset (the recovery cut) and the offset just past it
+// (the head-trim point that also removes the marker).
+func (c *IncrementalCheckpointer) FinishQuiesced() (markerAt, end int64, err error) {
+	if !c.concurrent {
+		return 0, 0, errors.New("rvm: FinishQuiesced without BeginConcurrent")
+	}
+	if err := c.r.data.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("rvm: checkpoint sync: %w", err)
+	}
+	markerAt, end, err = c.r.AppendCheckpointMarker()
+	if err != nil {
+		return 0, 0, err
+	}
+	c.r.dirty.Store(nil)
+	c.concurrent = false
+	return markerAt, end, nil
+}
+
+// AbortConcurrent abandons a fuzzy sweep: dirty tracking stops and no
+// marker is written. Pages already copied are harmless (they reflect
+// committed bytes); the log is not trimmed. Safe to call after
+// FinishQuiesced (no-op).
+func (c *IncrementalCheckpointer) AbortConcurrent() {
+	if !c.concurrent {
+		return
+	}
+	c.r.dirty.Store(nil)
+	c.concurrent = false
+}
+
 // TrimLogHead discards the log prefix [0, upTo): the records there are
-// reflected in checkpointed pages. Devices cannot drop prefixes, so
-// the tail is re-written in place; the operation serializes against
+// reflected in checkpointed pages. Devices implementing wal.HeadTrimmer
+// (file and memory logs) drop the prefix crash-atomically; otherwise
+// the tail is re-written in place. The operation serializes against
 // commits via the instance mutex.
 func (r *RVM) TrimLogHead(upTo int64) error {
 	if upTo <= 0 {
@@ -178,6 +399,13 @@ func (r *RVM) TrimLogHead(upTo int64) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if ht, ok := r.log.(wal.HeadTrimmer); ok {
+		if err := ht.TrimHead(upTo); err != nil {
+			return err
+		}
+		r.stats.Add(metrics.CtrLogTrims, 1)
+		return nil
+	}
 	sz, err := r.log.Size()
 	if err != nil {
 		return err
@@ -202,5 +430,9 @@ func (r *RVM) TrimLogHead(upTo int64) error {
 			return err
 		}
 	}
-	return r.log.Sync()
+	if err := r.log.Sync(); err != nil {
+		return err
+	}
+	r.stats.Add(metrics.CtrLogTrims, 1)
+	return nil
 }

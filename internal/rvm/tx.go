@@ -215,6 +215,11 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 	collectNS := int64(tm.Stop())
 	r.mu.Unlock()
 
+	// A fuzzy checkpoint sweep may be running: record the pages this
+	// commit wrote so the sweep re-copies them under its final quiesce
+	// (no-op when no sweep is active).
+	r.markDirty(tx.Ranges)
+
 	// Durability phase: append to the log; force it in Flush mode. This
 	// runs outside r.mu so concurrent committers can overlap device I/O
 	// (and, with GroupCommit, share one force). Safe because strict 2PL
@@ -305,6 +310,8 @@ func (t *Tx) Abort() error {
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		copy(u.region.data[u.off:], u.old)
+		// Rollback rewrites image bytes: a fuzzy sweep must re-copy them.
+		t.rvm.markDirtyRange(uint32(u.region.id), u.off, u.off+uint64(len(u.old)))
 	}
 	t.rvm.stats.Add(metrics.CtrTxAborted, 1)
 	return nil

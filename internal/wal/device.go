@@ -33,6 +33,14 @@ type Device interface {
 	Close() error
 }
 
+// HeadTrimmer is an optional Device extension: discard the prefix
+// [0, upTo) in one crash-atomic step, keeping the tail. Online log
+// truncation (§3.5) prefers it over the generic read-tail/Reset/re-
+// append rewrite, which can lose the tail if the node dies mid-rewrite.
+type HeadTrimmer interface {
+	TrimHead(upTo int64) error
+}
+
 // FileDevice is a Device backed by a local file.
 type FileDevice struct {
 	mu sync.Mutex
@@ -103,6 +111,56 @@ func (d *FileDevice) Truncate(size int64) error {
 
 // Reset implements Device.
 func (d *FileDevice) Reset() error { return d.Truncate(0) }
+
+// TrimHead implements HeadTrimmer: the tail [upTo, size) is copied to a
+// temporary file in the same directory, forced to disk, and renamed over
+// the log. The rename is the commit point, so a crash leaves either the
+// full old log or the trimmed new one — never a torn rewrite.
+func (d *FileDevice) TrimHead(upTo int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if upTo <= 0 {
+		return nil
+	}
+	st, err := d.f.Stat()
+	if err != nil {
+		return err
+	}
+	if upTo > st.Size() {
+		return fmt.Errorf("wal: trim head %d beyond log end %d", upTo, st.Size())
+	}
+	path := d.f.Name()
+	tmpPath := path + ".trim"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(tmp, io.NewSectionReader(d.f, upTo, st.Size()-upTo)); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	tmp.Close()
+	// The old descriptor points at the unlinked inode; reopen the path
+	// (now the trimmed file) so Append/Open keep working.
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen trimmed log %s: %w", path, err)
+	}
+	d.f.Close()
+	d.f = nf
+	return nil
+}
 
 // Close implements Device.
 func (d *FileDevice) Close() error { return d.f.Close() }
@@ -191,6 +249,25 @@ func (d *MemDevice) Truncate(size int64) error {
 
 // Reset implements Device.
 func (d *MemDevice) Reset() error { return d.Truncate(0) }
+
+// TrimHead implements HeadTrimmer. The in-memory swap is atomic under
+// the device mutex; the durable watermark shifts with the data.
+func (d *MemDevice) TrimHead(upTo int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if upTo <= 0 {
+		return nil
+	}
+	if upTo > int64(len(d.buf)) {
+		return fmt.Errorf("wal: trim head %d beyond log end %d", upTo, len(d.buf))
+	}
+	d.buf = append(d.buf[:0:0], d.buf[upTo:]...)
+	d.synced -= int(upTo)
+	if d.synced < 0 {
+		d.synced = 0
+	}
+	return nil
+}
 
 // Close implements Device.
 func (d *MemDevice) Close() error { return nil }

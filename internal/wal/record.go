@@ -51,8 +51,16 @@ type TxRecord struct {
 	Node       uint32 // committing node
 	TxSeq      uint64 // per-node commit sequence number
 	Checkpoint bool   // true for checkpoint markers (no locks/ranges)
-	Locks      []LockRec
-	Ranges     []RangeRec // sorted by (Region, Off) at commit
+	// CheckpointLSN is meaningful only on checkpoint markers: the log
+	// offset at which the marker was appended, i.e. the cut point below
+	// which every record was reflected in the permanent images when the
+	// marker became durable (§3.5). Recovery positions its replay by the
+	// marker's physical offset in the stream — a head trim shifts
+	// offsets, so the recorded LSN is validation and observability, not
+	// a seek target.
+	CheckpointLSN uint64
+	Locks         []LockRec
+	Ranges        []RangeRec // sorted by (Region, Off) at commit
 }
 
 // DataBytes returns the total number of new-value bytes in the record.

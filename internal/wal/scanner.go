@@ -90,6 +90,12 @@ func (s *Scanner) fill() error {
 // record, and at which log offset the valid prefix ends.
 func (s *Scanner) Torn() (bool, int64) { return s.torn, s.tornAt }
 
+// Pos returns the stream offset immediately after the last record
+// returned by Next — the offset at which the next record starts.
+// Recovery uses it to note the physical position of a checkpoint
+// marker while streaming.
+func (s *Scanner) Pos() int64 { return s.base + int64(s.pos) }
+
 // ReadAll scans every complete record from r (starting at offset base)
 // and returns them along with torn-tail information.
 func ReadAll(r io.Reader, base int64) (txs []*TxRecord, torn bool, tornAt int64, err error) {

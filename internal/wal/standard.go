@@ -34,6 +34,12 @@ const (
 	StdRangeHeaderLen = 104
 
 	flagCheckpoint = 1 << 0
+	// flagCkptLSN marks a checkpoint record whose body ends with an
+	// 8-byte checkpoint LSN (the §3.5 cut point). Carried as a separate
+	// flag so pre-LSN marker records still decode.
+	flagCkptLSN = 1 << 1
+
+	ckptLSNLen = 8
 )
 
 // StandardSize returns the encoded size of tx in the standard format.
@@ -41,6 +47,9 @@ func StandardSize(tx *TxRecord) int {
 	n := entryHeaderLen + len(tx.Locks)*lockRecLen + 4
 	for _, r := range tx.Ranges {
 		n += StdRangeHeaderLen + len(r.Data)
+	}
+	if tx.Checkpoint {
+		n += ckptLSNLen
 	}
 	return n
 }
@@ -55,7 +64,8 @@ func AppendStandard(buf []byte, tx *TxRecord) []byte {
 	}
 	var flags uint16
 	if tx.Checkpoint {
-		flags |= flagCheckpoint
+		flags |= flagCheckpoint | flagCkptLSN
+		bodyLen += ckptLSNLen
 	}
 	var hdr [entryHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], txMagic)
@@ -95,6 +105,11 @@ func AppendStandard(buf []byte, tx *TxRecord) []byte {
 		}
 		buf = append(buf, rhdr[:]...)
 		buf = append(buf, r.Data...)
+	}
+	if tx.Checkpoint {
+		var lsn [ckptLSNLen]byte
+		binary.LittleEndian.PutUint64(lsn[:], tx.CheckpointLSN)
+		buf = append(buf, lsn[:]...)
 	}
 
 	crc := crc32.ChecksumIEEE(buf[start:])
@@ -168,6 +183,13 @@ func DecodeStandard(b []byte) (*TxRecord, int, error) {
 		copy(data, b[p:p+dataLen])
 		p += dataLen
 		tx.Ranges = append(tx.Ranges, RangeRec{Region: region, Off: off, Data: data})
+	}
+	if flags&flagCkptLSN != 0 {
+		if p+ckptLSNLen > total-4 {
+			return nil, 0, fmt.Errorf("wal: checkpoint LSN overruns body")
+		}
+		tx.CheckpointLSN = binary.LittleEndian.Uint64(b[p:])
+		p += ckptLSNLen
 	}
 	if p != total-4 {
 		return nil, 0, fmt.Errorf("wal: body length mismatch (%d != %d)", p, total-4)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -530,5 +531,112 @@ func TestWriterConcurrentCommits(t *testing.T) {
 			t.Fatalf("node %d: seq %d after %d", tx.Node, tx.TxSeq, perNode[tx.Node])
 		}
 		perNode[tx.Node] = tx.TxSeq
+	}
+}
+
+func TestCheckpointLSNRoundTrip(t *testing.T) {
+	tx := &TxRecord{Node: 3, Checkpoint: true, CheckpointLSN: 0xDEADBEEF12}
+	enc := AppendStandard(nil, tx)
+	if len(enc) != StandardSize(tx) {
+		t.Fatalf("encoded %d bytes, StandardSize says %d", len(enc), StandardSize(tx))
+	}
+	got, n, err := DecodeStandard(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if !got.Checkpoint || got.CheckpointLSN != tx.CheckpointLSN {
+		t.Fatalf("marker round trip: ckpt=%v lsn=%#x, want lsn=%#x",
+			got.Checkpoint, got.CheckpointLSN, tx.CheckpointLSN)
+	}
+	// Non-marker records must not pay (or parse) the LSN trailer.
+	plain := &TxRecord{Node: 1, TxSeq: 2,
+		Ranges: []RangeRec{{Region: 1, Off: 0, Data: []byte("x")}}}
+	if StandardSize(plain) != len(AppendStandard(nil, plain)) {
+		t.Fatal("plain record size mismatch")
+	}
+}
+
+func TestScannerPos(t *testing.T) {
+	var log []byte
+	recs := []*TxRecord{
+		{Node: 1, TxSeq: 1, Ranges: []RangeRec{{Region: 1, Off: 0, Data: []byte("aa")}}},
+		{Node: 1, Checkpoint: true, CheckpointLSN: 42},
+		{Node: 1, TxSeq: 2, Ranges: []RangeRec{{Region: 1, Off: 8, Data: []byte("bb")}}},
+	}
+	var ends []int64
+	for _, r := range recs {
+		log = AppendStandard(log, r)
+		ends = append(ends, int64(len(log)))
+	}
+	sc := NewScanner(bytes.NewReader(log), 0)
+	for i := range recs {
+		if _, err := sc.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Pos() != ends[i] {
+			t.Fatalf("after record %d Pos()=%d, want %d", i, sc.Pos(), ends[i])
+		}
+	}
+}
+
+func TestMemDeviceTrimHead(t *testing.T) {
+	d := NewMemDevice()
+	if _, err := d.Append([]byte("headtail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TrimHead(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(d.Bytes()); got != "tail" {
+		t.Fatalf("after trim: %q", got)
+	}
+	// Trimmed bytes stay durable: a crash must not lose the tail.
+	d.CrashUnsynced()
+	if got := string(d.Bytes()); got != "tail" {
+		t.Fatalf("after crash: %q", got)
+	}
+	if err := d.TrimHead(100); err == nil {
+		t.Fatal("trim beyond end must fail")
+	}
+}
+
+func TestFileDeviceTrimHead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Append([]byte("headtail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TrimHead(4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 4 {
+		t.Fatalf("size after trim = %d", sz)
+	}
+	// The device keeps working through the swapped descriptor, and Open
+	// reads the renamed file.
+	if _, err := d.Append([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := d.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(all) != "tail+more" {
+		t.Fatalf("log contents after trim+append: %q", all)
+	}
+	if _, err := os.Stat(path + ".trim"); !os.IsNotExist(err) {
+		t.Fatalf("temp trim file left behind: %v", err)
 	}
 }
