@@ -26,21 +26,40 @@ import (
 // being copied — so commits under other locks proceed throughout the
 // bulk of the image write. Only a short final step quiesces all locks:
 // it sweeps the ranges no registered segment covers, re-copies pages
-// dirtied by commits that raced the sweep, forces the store, appends a
-// durable checkpoint marker carrying the cut-point LSN, and trims the
-// coordinator's log head online. Peers then trim their own logs to the
-// cut they recorded when the checkpoint began (every record below that
-// cut committed — and was therefore applied at the coordinator under
-// the relevant lock — before any page was swept).
+// dirtied by commits that raced the sweep, forces the store, and
+// appends a durable checkpoint marker carrying the cut-point LSN. The
+// quiesce is then released — the remaining steps are pure log
+// maintenance — and after a sync round that drains every lazy
+// consumer, the coordinator trims its own log head online and peers
+// trim theirs to the cut they recorded when the checkpoint began
+// (every record below that cut committed — and was therefore applied
+// at the coordinator under the relevant lock — before any page was
+// swept).
 //
-// Two-phase framing:
+// Cuts are *logical* log offsets (rvm.LogCut: physical size plus bytes
+// already trimmed), not raw sizes. Concurrent checkpoints from
+// different coordinators are allowed, and one may trim a log between
+// another's Begin and Checkpoint messages; logical cuts rebase against
+// such trims (rvm.TrimLogHeadLogical), so a stale cut removes only
+// records it actually covers and never ones appended after it was
+// recorded.
 //
-//	Begin{epoch}      coordinator -> peers   peers note their log size
-//	BeginAck{epoch}   peer -> coordinator    (the cut candidate) and ack
+// Protocol framing:
+//
+//	Begin{epoch}      coordinator -> peers   peers note their logical log
+//	BeginAck{epoch}   peer -> coordinator    end (the cut candidate) and ack
 //	    ... fuzzy per-lock sweep, concurrent with commits ...
-//	    ... quiesce: remainder sweep, dirty resweep, marker, trim ...
+//	    ... quiesce: remainder sweep, dirty resweep, marker; release ...
+//	Sync{epoch}       coordinator -> peers   every node drains the server
+//	SyncAck{epoch}    peer -> coordinator    logs it reads lazily, then acks
 //	Checkpoint{epoch, lsn}  coordinator -> peers   trim to recorded cut
 //	CheckpointAck{epoch}    peer -> coordinator
+//
+// The sync round exists because head trims move byte offsets under
+// every lazy reader and delete records a lagging node may not have
+// pulled yet: no log head moves until every node has drained all
+// server-side logs past the cuts. A node that cannot drain withholds
+// its ack, the round times out, and nothing is trimmed.
 
 // Message codes (continuing the 0x20-0x2F coherency block; 0x26/0x27
 // belong to token reclaim).
@@ -49,6 +68,8 @@ const (
 	MsgCheckpointAck      uint8 = 0x24 // peer -> coordinator: {epoch u64}
 	MsgCheckpointBegin    uint8 = 0x28 // coordinator -> peers: {epoch u64}
 	MsgCheckpointBeginAck uint8 = 0x29 // peer -> coordinator: {epoch u64}
+	MsgCheckpointSync     uint8 = 0x2A // coordinator -> peers: {epoch u64}
+	MsgCheckpointSyncAck  uint8 = 0x2B // peer -> coordinator: {epoch u64}
 )
 
 // cutKey names one peer-side cut candidate: epochs are per-coordinator
@@ -66,19 +87,23 @@ type ckptState struct {
 	epoch        uint64
 	waiters      map[uint64]chan netproto.NodeID // done-phase acks
 	beginWaiters map[uint64]chan netproto.NodeID // begin-phase acks
-	cuts         map[cutKey]int64                // peer: log size at Begin
+	syncWaiters  map[uint64]chan netproto.NodeID // sync-phase acks
+	cuts         map[cutKey]int64                // peer: logical log cut at Begin
 }
 
 func (n *Node) initCheckpoint() {
 	n.ckpt = &ckptState{
 		waiters:      map[uint64]chan netproto.NodeID{},
 		beginWaiters: map[uint64]chan netproto.NodeID{},
+		syncWaiters:  map[uint64]chan netproto.NodeID{},
 		cuts:         map[cutKey]int64{},
 	}
 	n.tr.Handle(MsgCheckpoint, n.onCheckpoint)
 	n.tr.Handle(MsgCheckpointAck, n.onCheckpointAck)
 	n.tr.Handle(MsgCheckpointBegin, n.onCheckpointBegin)
 	n.tr.Handle(MsgCheckpointBeginAck, n.onCheckpointBeginAck)
+	n.tr.Handle(MsgCheckpointSync, n.onCheckpointSync)
+	n.tr.Handle(MsgCheckpointSyncAck, n.onCheckpointSyncAck)
 }
 
 // sweepRange is one byte range the quiesced remainder sweep must copy.
@@ -102,10 +127,12 @@ func (n *Node) CoordinatedCheckpoint(lockIDs []uint32, timeout time.Duration) er
 	epoch := n.ckpt.epoch
 	n.ckpt.mu.Unlock()
 
-	// Phase 1: peers record their current log size as the cut they will
-	// trim to. Every record below a peer's cut committed before any page
-	// was swept, so the per-lock sweeps below are guaranteed to observe
-	// it (interlock) — which is what makes the cut safe to trim.
+	// Phase 1: peers record their current logical log end as the cut
+	// they will trim to. Every record below a peer's cut committed
+	// before any page was swept, so the per-lock sweeps below are
+	// guaranteed to observe it (interlock) — which is what makes the cut
+	// safe to trim. Logical cuts stay valid even if another coordinator
+	// trims the peer's log before our Checkpoint message arrives.
 	var beginMsg [8]byte
 	binary.LittleEndian.PutUint64(beginMsg[:], epoch)
 	if len(peers) > 0 {
@@ -178,16 +205,40 @@ func (n *Node) CoordinatedCheckpoint(lockIDs []uint32, timeout time.Duration) er
 	if err != nil {
 		return fmt.Errorf("coherency: checkpoint finish: %w", err)
 	}
-	// Trim our own log head past the marker: every record below it is
-	// in the permanent images. Commits racing the trim land above the
-	// cut, so they survive — but the trim still runs under the quiesce
-	// so that devices without an atomic HeadTrimmer rewrite safely.
-	if err := n.rvm.TrimLogHead(cut); err != nil {
+	// The marker is durable and cut is a stable logical offset: the
+	// locks are no longer needed. Release the quiesce before the network
+	// rounds below, so a slow or dead peer stalls only this checkpoint —
+	// not every commit in the cluster for the full caller timeout. (The
+	// deferred Abort above remains as a no-op backstop for error paths.)
+	_ = qtx.Abort()
+
+	// Phase 4: drain lazy consumers. Head trims move byte offsets under
+	// every reader of these logs and delete records a lagging node may
+	// not have pulled yet, so each node — this one included — drains
+	// every server-side log it reads before any head moves. A node that
+	// cannot drain withholds its ack and the checkpoint aborts without
+	// trimming anything; a later attempt retries. Non-lazy
+	// configurations ack immediately (the Begin-cut interlock argument
+	// already covers applied state there).
+	if err := n.drainPeerLogs(); err != nil {
+		return fmt.Errorf("coherency: checkpoint drain: %w", err)
+	}
+	if len(peers) > 0 {
+		if err := n.ckptRound(peers, MsgCheckpointSync, beginMsg[:], n.ckpt.syncWaiters, epoch, deadline); err != nil {
+			return fmt.Errorf("coherency: checkpoint sync: %w", err)
+		}
+	}
+
+	// Trim our own log head past the marker: every record below it is in
+	// the permanent images, and every lazy reader is past it after the
+	// sync round. Commits racing the trim land above the cut and
+	// survive; devices without an atomic HeadTrimmer rewrite safely
+	// under rvm's log latch, so no quiesce is needed here.
+	if err := n.rvm.TrimLogHeadLogical(cut); err != nil {
 		return fmt.Errorf("coherency: checkpoint trim: %w", err)
 	}
 
-	// Phase 4: peers trim to their recorded cuts. Still under the
-	// quiesce for the same rewrite-safety reason.
+	// Phase 5: peers trim to their recorded cuts.
 	if len(peers) > 0 {
 		var doneMsg [16]byte
 		binary.LittleEndian.PutUint64(doneMsg[:8], epoch)
@@ -284,21 +335,24 @@ func (n *Node) uncoveredRanges(lockIDs []uint32) []sweepRange {
 	return out
 }
 
-// onCheckpointBegin runs at a peer: record the current log size as the
-// cut this checkpoint will trim to. Records below it committed before
-// the coordinator's sweep started, so the sweep observes them; records
-// appended later may have raced the sweep and must survive in the log.
+// onCheckpointBegin runs at a peer: record the current logical log end
+// as the cut this checkpoint will trim to. Records below it committed
+// before the coordinator's sweep started, so the sweep observes them;
+// records appended later may have raced the sweep and must survive in
+// the log. The cut is logical (rvm.LogCut), so a concurrent
+// coordinator trimming our log between now and the Checkpoint message
+// cannot shift it onto — and silently delete — those later records.
 func (n *Node) onCheckpointBegin(from netproto.NodeID, payload []byte) {
 	if len(payload) != 8 {
 		return
 	}
 	epoch := binary.LittleEndian.Uint64(payload)
-	sz, err := n.rvm.Log().Size()
+	cut, err := n.rvm.LogCut()
 	if err != nil {
 		// Unknown size: record a zero cut, i.e. trim nothing. The
 		// checkpoint still completes; this peer just keeps its log.
 		n.stats.Add(metrics.CtrCkptErrors, 1)
-		sz = 0
+		cut = 0
 	}
 	n.ckpt.mu.Lock()
 	for k := range n.ckpt.cuts {
@@ -306,7 +360,7 @@ func (n *Node) onCheckpointBegin(from netproto.NodeID, payload []byte) {
 			delete(n.ckpt.cuts, k) // only the newest epoch per coordinator matters
 		}
 	}
-	n.ckpt.cuts[cutKey{from: from, epoch: epoch}] = sz
+	n.ckpt.cuts[cutKey{from: from, epoch: epoch}] = cut
 	n.ckpt.mu.Unlock()
 	_ = n.tr.Send(from, MsgCheckpointBeginAck, payload)
 }
@@ -322,7 +376,8 @@ func (n *Node) onCheckpointBeginAck(from netproto.NodeID, payload []byte) {
 // onCheckpoint runs at a peer: the coordinator's images now reflect
 // every record below the cut recorded at Begin, so trim the local log
 // head to that cut. Commits that raced the sweep sit above the cut and
-// survive in the tail.
+// survive in the tail; the logical trim rebases the cut against any
+// trims a concurrent coordinator applied since Begin.
 func (n *Node) onCheckpoint(from netproto.NodeID, payload []byte) {
 	if len(payload) != 16 {
 		return
@@ -333,7 +388,7 @@ func (n *Node) onCheckpoint(from netproto.NodeID, payload []byte) {
 	delete(n.ckpt.cuts, cutKey{from: from, epoch: epoch})
 	n.ckpt.mu.Unlock()
 	if ok && cut > 0 {
-		if err := n.rvm.TrimLogHead(cut); err != nil {
+		if err := n.rvm.TrimLogHeadLogical(cut); err != nil {
 			n.stats.Add(metrics.CtrCkptErrors, 1)
 			return // no ack: the coordinator times out and reports
 		}
@@ -341,6 +396,31 @@ func (n *Node) onCheckpoint(from netproto.NodeID, payload []byte) {
 	var ack [8]byte
 	binary.LittleEndian.PutUint64(ack[:], epoch)
 	_ = n.tr.Send(from, MsgCheckpointAck, ack[:])
+}
+
+// onCheckpointSync runs at a peer after the coordinator's marker is
+// durable and before any log head moves: drain every server-side log
+// this node reads lazily, so its saved read positions — and its
+// pending-record backlog — are past any cut about to be trimmed. The
+// ack is withheld on a failed drain; the coordinator then times out
+// and no log is trimmed, leaving a later checkpoint free to retry.
+func (n *Node) onCheckpointSync(from netproto.NodeID, payload []byte) {
+	if len(payload) != 8 {
+		return
+	}
+	if err := n.drainPeerLogs(); err != nil {
+		n.stats.Add(metrics.CtrCkptErrors, 1)
+		return // no ack: the coordinator times out and reports
+	}
+	_ = n.tr.Send(from, MsgCheckpointSyncAck, payload)
+}
+
+// onCheckpointSyncAck runs at the coordinator.
+func (n *Node) onCheckpointSyncAck(from netproto.NodeID, payload []byte) {
+	if len(payload) != 8 {
+		return
+	}
+	n.ckptAck(from, binary.LittleEndian.Uint64(payload), n.ckpt.syncWaiters)
 }
 
 // onCheckpointAck runs at the coordinator.

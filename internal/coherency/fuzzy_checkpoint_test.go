@@ -2,12 +2,14 @@ package coherency
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"lbc/internal/lockmgr"
+	"lbc/internal/metrics"
 	"lbc/internal/netproto"
 	"lbc/internal/rvm"
 	"lbc/internal/wal"
@@ -188,6 +190,53 @@ func TestCheckpointAllowsConcurrentCommits(t *testing.T) {
 	want := readUnder(t, nodes[0], 2, 512, 15)
 	if !bytes.Equal(got[512:527], want) {
 		t.Fatalf("recovered %q, live %q", got[512:527], want)
+	}
+}
+
+// TestCheckpointCutSurvivesConcurrentTrim: a peer's recorded cut must
+// stay correct when another coordinator trims the peer's log between
+// the first coordinator's Begin and Checkpoint messages. The handlers
+// are driven directly because two live coordinators cannot be held in
+// the racing window deterministically (a gated sweep holds the very
+// lock the second quiesce needs).
+func TestCheckpointCutSurvivesConcurrentTrim(t *testing.T) {
+	nodes, logs := fuzzyCluster(t, 2, halfSegments, nil)
+	peer := nodes[1]
+
+	commitWrite(t, peer, 2, 512, []byte("below-the-cut"))
+
+	// Coordinator A's Begin arrives: the peer records its cut.
+	var epochMsg [8]byte
+	binary.LittleEndian.PutUint64(epochMsg[:], 7)
+	peer.onCheckpointBegin(1, epochMsg[:])
+
+	// Coordinator B completes a whole checkpoint inside A's window and
+	// trims everything recorded so far; then a commit races A's sweep.
+	cut, err := peer.RVM().LogCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.RVM().TrimLogHeadLogical(cut); err != nil {
+		t.Fatal(err)
+	}
+	commitWrite(t, peer, 2, 512, []byte("raced-the-ckpt"))
+
+	// A's Checkpoint arrives. Interpreted as a raw post-trim offset, A's
+	// stale cut would delete the raced commit's record (or fall beyond
+	// the log end); the logical cut rebases against B's trim to a no-op.
+	var doneMsg [16]byte
+	binary.LittleEndian.PutUint64(doneMsg[:8], 7)
+	peer.onCheckpoint(1, doneMsg[:])
+
+	txs, err := wal.ReadDevice(logs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("%d records in peer log after stale-cut trim, want the raced commit only", len(txs))
+	}
+	if got := peer.Stats().Counter(metrics.CtrCkptErrors); got != 0 {
+		t.Fatalf("stale cut raised %d checkpoint errors", got)
 	}
 }
 

@@ -233,6 +233,58 @@ func TestLazyRandomConvergence(t *testing.T) {
 	}
 }
 
+// TestLazyPullSurvivesHeadTrim: checkpoint head trims move byte
+// offsets under every lazy reader. A reader whose saved position is
+// from the pre-trim coordinate space must detect the trim and rescan
+// from the new head instead of stalling forever on a clean-looking or
+// garbage tail. The equal-length records make the nastiest shape: the
+// trimmed log grows back to exactly the stale read position, so only
+// the no-progress rescan escalation can see the new record.
+func TestLazyPullSurvivesHeadTrim(t *testing.T) {
+	nodes, _ := lazyCluster(t, 2, 1024)
+	commitWrite(t, nodes[0], 1, 100, []byte("before-trim!"))
+	if got := readUnder(t, nodes[1], 1, 100, 12); string(got) != "before-trim!" {
+		t.Fatalf("pre-trim read: %q", got)
+	}
+
+	// A checkpoint trims the writer's server-side log behind the
+	// reader's back, then a new commit lands.
+	cut, err := nodes[0].RVM().LogCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].RVM().TrimLogHeadLogical(cut); err != nil {
+		t.Fatal(err)
+	}
+	commitWrite(t, nodes[0], 1, 100, []byte("after-trim!!"))
+
+	if got := readUnder(t, nodes[1], 1, 100, 12); string(got) != "after-trim!!" {
+		t.Fatalf("post-trim read: %q", got)
+	}
+	if nodes[1].Stats().Counter(metrics.CtrPullRescans) == 0 {
+		t.Fatal("reader caught up without a head-trim rescan")
+	}
+}
+
+// TestCheckpointDrainsLazyReaders: the checkpoint sync round. Node 2
+// has never acquired the lock, so its read position is at the very
+// start of node 1's log — everything the checkpoint wants to trim is
+// still unpulled. The coordinator must drain the laggard before any
+// log head moves; without the sync round the records are deleted
+// unread and the laggard's later acquire wedges until timeout.
+func TestCheckpointDrainsLazyReaders(t *testing.T) {
+	nodes, _ := lazyCluster(t, 2, 1024)
+	commitWrite(t, nodes[0], 1, 0, []byte("gen-one"))
+	commitWrite(t, nodes[0], 1, 0, []byte("gen-two"))
+
+	if err := nodes[0].CoordinatedCheckpoint([]uint32{1}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := readUnder(t, nodes[1], 1, 0, 7); string(got) != "gen-two" {
+		t.Fatalf("laggard after checkpoint: %q", got)
+	}
+}
+
 func TestLazySharedAcquirePulls(t *testing.T) {
 	nodes, _ := lazyCluster(t, 2, 1024)
 	commitWrite(t, nodes[0], 1, 0, []byte("for readers"))

@@ -349,6 +349,7 @@ func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
 	// flight from an interleaved writer, or lost) costs another pull.
 	const pullWindow = 2 * time.Millisecond
 	deadline := time.Now().Add(10 * time.Second)
+	rescanned := false
 	for n.locks.Applied(lockID) < targetSeq {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("coherency: pull for lock %d stalled at %d < %d",
@@ -370,43 +371,143 @@ func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
 		if n.locks.AwaitApplied(lockID, targetSeq, pullWindow) {
 			return nil
 		}
+		if !rescanned {
+			// A full pull round made no progress. A checkpoint may have
+			// head-trimmed a log to exactly the length of our saved read
+			// position — a tail read then looks like "no news" even
+			// though the bytes under the offset changed. Rescan every
+			// log from its head once; duplicates are dropped as stale by
+			// the appliers.
+			rescanned = true
+			n.rescanPeerLogs()
+		}
 	}
 	return n.locks.WaitApplied(lockID, targetSeq)
 }
 
 // pullPeerLog fetches and enqueues the unread tail of one peer's log.
+// Checkpoints head-trim these logs online, shifting every byte offset
+// under us: when the saved read position lands beyond the end or
+// inside a record, the log is rescanned from its new head and the
+// position rebased. Re-enqueued records are dropped as stale by the
+// appliers' lock-sequence and per-sender dedup, so a rescan is always
+// safe — just wasted work, counted in pull_rescans.
 func (n *Node) pullPeerLog(peer uint32) error {
 	n.mu.Lock()
 	from := n.readPos[peer]
 	n.mu.Unlock()
 
 	dev := n.peerLogs(peer)
-	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
-	rc, err := dev.Open(from)
-	tm.Stop()
+	pos, suspectTrim, err := n.scanPeerLog(dev, from)
 	if err != nil {
 		return fmt.Errorf("coherency: read peer %d log: %w", peer, err)
 	}
-	defer rc.Close()
-	sc := wal.NewScanner(rc, from)
-	pos := from
-	for {
-		rec, err := sc.Next()
+	if suspectTrim {
+		n.stats.Add(metrics.CtrPullRescans, 1)
+		pos, _, err = n.scanPeerLog(dev, 0)
 		if err != nil {
-			break // io.EOF or torn tail: stop at the valid prefix
+			return fmt.Errorf("coherency: rescan peer %d log: %w", peer, err)
 		}
-		sz := int64(wal.StandardSize(rec))
-		pos += sz
-		if rec.Checkpoint {
-			continue // durable marker, not a committed update
-		}
-		n.enqueue(rec)
+		n.mu.Lock()
+		// Rebase rather than max: the old position counted bytes that no
+		// longer exist.
+		n.readPos[peer] = pos
+		n.mu.Unlock()
+		return nil
 	}
 	n.mu.Lock()
 	if pos > n.readPos[peer] {
 		n.readPos[peer] = pos
 	}
 	n.mu.Unlock()
+	return nil
+}
+
+// scanPeerLog reads one peer log from the given offset, enqueueing
+// every committed record, and returns the offset just past the last
+// complete one. suspectTrim reports read patterns indicating the log
+// head was trimmed under the caller's saved position — the log is now
+// shorter than the offset, the device refuses the offset outright, or
+// the very first decode at a nonzero offset hits garbage (a mid-record
+// landing) — rather than a clean tail.
+func (n *Node) scanPeerLog(dev wal.Device, from int64) (pos int64, suspectTrim bool, err error) {
+	if from > 0 {
+		if sz, serr := dev.Size(); serr == nil && sz < from {
+			return from, true, nil
+		}
+	}
+	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
+	rc, err := dev.Open(from)
+	tm.Stop()
+	if err != nil {
+		if from > 0 {
+			return from, true, nil // offset beyond a shrunken log
+		}
+		return 0, false, err
+	}
+	defer rc.Close()
+	sc := wal.NewScanner(rc, from)
+	pos = from
+	var scanned int
+	for {
+		rec, rerr := sc.Next()
+		if rerr != nil {
+			break // io.EOF (possibly torn): stop at the valid prefix
+		}
+		scanned++
+		pos += int64(wal.StandardSize(rec))
+		if rec.Checkpoint {
+			continue // durable marker, not a committed update
+		}
+		n.enqueue(rec)
+	}
+	if torn, _ := sc.Torn(); torn && scanned == 0 && from > 0 {
+		// Garbage right at the resume offset: almost certainly a trim
+		// landed us mid-record (a genuine torn tail still decodes
+		// cleanly up to the tear). A spurious rescan is safe either way.
+		return from, true, nil
+	}
+	return pos, false, nil
+}
+
+// rescanPeerLogs re-reads every cluster member's log from its head and
+// rebases the saved read positions — the recovery path for head trims
+// a tail read cannot detect. Errors are per-log best effort: a log
+// that cannot be read now simply keeps its old position.
+func (n *Node) rescanPeerLogs() {
+	for _, p := range n.clusterNodes {
+		if p == n.tr.Self() {
+			continue
+		}
+		n.stats.Add(metrics.CtrPullRescans, 1)
+		pos, _, err := n.scanPeerLog(n.peerLogs(uint32(p)), 0)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.readPos[uint32(p)] = pos
+		n.mu.Unlock()
+	}
+	n.poke()
+}
+
+// drainPeerLogs pulls every cluster member's server-side log to its
+// current end (no-op without PeerLogs). The coordinated checkpoint
+// runs it on every node before any log head is trimmed, so no lazy
+// consumer is left holding a read position — or missing records —
+// below a cut.
+func (n *Node) drainPeerLogs() error {
+	if n.peerLogs == nil {
+		return nil
+	}
+	for _, p := range n.clusterNodes {
+		if p == n.tr.Self() {
+			continue
+		}
+		if err := n.pullPeerLog(uint32(p)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

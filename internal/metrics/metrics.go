@@ -391,6 +391,7 @@ const (
 	CtrCkptMarkers    = "checkpoint_markers"     // durable checkpoint markers appended
 	CtrLogTrims       = "log_trims"              // online log head trims completed
 	CtrCkptErrors     = "checkpoint_errors"      // checkpoint steps that failed (peer or coordinator)
+	CtrPullRescans    = "pull_rescans"           // lazy pulls restarted from the head after a trim
 
 	// Quorum-replicated store (internal/replstore).
 	CtrStoreQuorumWrites  = "store_quorum_writes"       // region/log writes acked by a majority
@@ -454,7 +455,7 @@ var fixedIdx = buildIndex([]string{
 	CtrEvictedSenderFrames, CtrSuspicions, CtrEvictions, CtrRejoins,
 	CtrReclaimedTokens,
 	CtrCkptSizeErrors, CtrCkptSweepPages, CtrCkptDirtyPages,
-	CtrCkptMarkers, CtrLogTrims, CtrCkptErrors,
+	CtrCkptMarkers, CtrLogTrims, CtrCkptErrors, CtrPullRescans,
 	CtrStoreQuorumWrites, CtrStoreQuorumReads, CtrStoreReadFast,
 	CtrStoreReadRepairs, CtrStoreLogRepairs, CtrStoreQuorumRetries,
 	CtrStoreViewChanges, CtrStoreViewRefreshes, CtrStoreCatchupBytes,

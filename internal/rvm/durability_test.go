@@ -140,7 +140,7 @@ func TestCrashMidFuzzyCheckpointConverges(t *testing.T) {
 	// the scanner sees a torn record, not a clean end.
 	crashes = append(crashes, snap("torn-marker", log.Bytes()[:markerAt+5]))
 
-	if err := r.TrimLogHead(end); err != nil {
+	if err := r.TrimLogHeadLogical(end); err != nil {
 		t.Fatal(err)
 	}
 	commit(8192, "post")

@@ -167,6 +167,124 @@ func TestAbortConcurrentLeavesNoMarker(t *testing.T) {
 	}
 }
 
+// TestBeginConcurrentExclusive: the in-progress guard lives in the
+// RVM, not the checkpointer instance. A second fuzzy sweep on the same
+// instance (e.g. a racing coordinator constructing its own
+// checkpointer) must fail to start — if it replaced the first sweep's
+// dirty tracker, either sweep finishing would silently disable the
+// other's tracking and its resweep would miss pages dirtied by racing
+// commits.
+func TestBeginConcurrentExclusive(t *testing.T) {
+	r, _ := Open(Options{Node: 1, Log: wal.NewMemDevice(), Data: NewMemStore()})
+	if _, err := r.Map(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	a := r.NewIncrementalCheckpointer(4096)
+	b := r.NewIncrementalCheckpointer(4096)
+	if err := a.BeginConcurrent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginConcurrent(); err == nil {
+		t.Fatal("second concurrent sweep started while the first was active")
+	}
+	if r.dirty.Load() == nil {
+		t.Fatal("rejected begin clobbered the first sweep's dirty tracker")
+	}
+	// The loser's abort must not disturb the winner either.
+	b.AbortConcurrent()
+	if r.dirty.Load() == nil {
+		t.Fatal("loser's abort removed the winner's dirty tracker")
+	}
+	a.AbortConcurrent()
+	if r.dirty.Load() != nil {
+		t.Fatal("dirty tracker leaked after the winner aborted")
+	}
+	if err := b.BeginConcurrent(); err != nil {
+		t.Fatalf("sweep after the first one ended: %v", err)
+	}
+	b.AbortConcurrent()
+}
+
+// TestTrimLogHeadLogicalRebase: logical cuts are stable across head
+// trims. A cut recorded before another checkpoint trims the log must,
+// when applied later, remove only the bytes still below it — never
+// records appended after it was recorded.
+func TestTrimLogHeadLogicalRebase(t *testing.T) {
+	log := wal.NewMemDevice()
+	r, _ := Open(Options{Node: 1, Log: log, Data: NewMemStore()})
+	reg, _ := r.Map(1, 4096)
+
+	commit := func(off uint64, s string) {
+		tx := r.Begin(NoRestore)
+		if err := tx.SetRange(reg, off, uint32(len(s))); err != nil {
+			t.Fatal(err)
+		}
+		copy(reg.Bytes()[off:], s)
+		if _, err := tx.Commit(Flush); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commit(0, "aaaa")
+	commit(8, "bbbb")
+	cut, err := r.LogCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := log.Size(); cut != sz {
+		t.Fatalf("fresh instance: logical cut %d != physical size %d", cut, sz)
+	}
+
+	// Another coordinator trims everything recorded so far, then a new
+	// commit lands.
+	if err := r.TrimLogHead(cut); err != nil {
+		t.Fatal(err)
+	}
+	commit(16, "cccc")
+
+	// Applying the stale cut now must be a no-op: everything below it
+	// is already gone, and raw-offset trimming would delete the new
+	// record instead.
+	if err := r.TrimLogHeadLogical(cut); err != nil {
+		t.Fatal(err)
+	}
+	txs, err := wal.ReadDevice(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("%d records after stale-cut trim, want the post-trim commit only", len(txs))
+	}
+
+	// With a nonzero trimmed base, a cut between two records still
+	// removes exactly the records below it.
+	cutMid, _ := r.LogCut()
+	commit(24, "dddd")
+	if err := r.TrimLogHeadLogical(cutMid); err != nil {
+		t.Fatal(err)
+	}
+	txs, _ = wal.ReadDevice(log)
+	if len(txs) != 1 {
+		t.Fatalf("%d records after mid-log logical trim, want 1", len(txs))
+	}
+
+	// A cut at the logical end empties the log; replaying any stale cut
+	// afterwards stays a no-op.
+	cutEnd, _ := r.LogCut()
+	if cutEnd <= cutMid {
+		t.Fatalf("logical offsets not monotonic: %d <= %d", cutEnd, cutMid)
+	}
+	if err := r.TrimLogHeadLogical(cutEnd); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := log.Size(); sz != 0 {
+		t.Fatalf("log has %d bytes after trimming to its logical end", sz)
+	}
+	if err := r.TrimLogHeadLogical(cut); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCheckpointFlushClosed: Checkpoint and Flush on a closed instance
 // fail with ErrClosed (they used to run against released state).
 func TestCheckpointFlushClosed(t *testing.T) {

@@ -47,7 +47,8 @@ type IncrementalCheckpointer struct {
 	active     bool
 	pagesDone  int
 
-	concurrent bool // a fuzzy sweep (BeginConcurrent) is in progress
+	concurrent bool          // a fuzzy sweep (BeginConcurrent) is in progress
+	tracker    *dirtyTracker // this sweep's tracker, installed in r.dirty
 }
 
 // pageKey identifies one page of one region in the dirty tracker.
@@ -260,17 +261,27 @@ func (c *IncrementalCheckpointer) BeginConcurrent() error {
 	if c.concurrent {
 		return errors.New("rvm: concurrent sweep already in progress")
 	}
+	t := &dirtyTracker{
+		pageSize: uint64(c.pageSize),
+		pages:    map[pageKey]struct{}{},
+	}
+	// The in-progress guard lives in the RVM, not this instance: a
+	// second checkpointer on the same RVM (e.g. a racing coordinator)
+	// must fail to start rather than replace the first sweep's tracker —
+	// either sweep finishing would silently disable the other's dirty
+	// tracking and its resweep would miss racing commits.
+	if !c.r.dirty.CompareAndSwap(nil, t) {
+		return errors.New("rvm: another fuzzy sweep is already in progress on this instance")
+	}
 	sz, err := c.r.log.Size()
 	if err != nil {
+		c.r.dirty.CompareAndSwap(t, nil)
 		return err
 	}
 	c.sweepStart = sz
 	c.pagesDone = 0
+	c.tracker = t
 	c.concurrent = true
-	c.r.dirty.Store(&dirtyTracker{
-		pageSize: uint64(c.pageSize),
-		pages:    map[pageKey]struct{}{},
-	})
 	return nil
 }
 
@@ -358,8 +369,10 @@ func (c *IncrementalCheckpointer) ResweepDirty() (int, error) {
 // the permanent store, a checkpoint marker carrying the cut-point LSN
 // is appended and synced, and dirty tracking stops. Must run under the
 // same quiesce as ResweepDirty, with no commits in flight. It returns
-// the marker's offset (the recovery cut) and the offset just past it
-// (the head-trim point that also removes the marker).
+// the marker's physical offset (the recovery cut) and the *logical*
+// offset just past it — the head-trim point, expressed as a LogCut
+// value so applying it via TrimLogHeadLogical composes with trims by
+// concurrent coordinators.
 func (c *IncrementalCheckpointer) FinishQuiesced() (markerAt, end int64, err error) {
 	if !c.concurrent {
 		return 0, 0, errors.New("rvm: FinishQuiesced without BeginConcurrent")
@@ -371,7 +384,10 @@ func (c *IncrementalCheckpointer) FinishQuiesced() (markerAt, end int64, err err
 	if err != nil {
 		return 0, 0, err
 	}
-	c.r.dirty.Store(nil)
+	// Uninstall only our own tracker (CAS, not Store): never clobber a
+	// tracker some other sweep installed.
+	c.r.dirty.CompareAndSwap(c.tracker, nil)
+	c.tracker = nil
 	c.concurrent = false
 	return markerAt, end, nil
 }
@@ -384,28 +400,62 @@ func (c *IncrementalCheckpointer) AbortConcurrent() {
 	if !c.concurrent {
 		return
 	}
-	c.r.dirty.Store(nil)
+	c.r.dirty.CompareAndSwap(c.tracker, nil)
+	c.tracker = nil
 	c.concurrent = false
 }
 
-// TrimLogHead discards the log prefix [0, upTo): the records there are
+// TrimLogHead discards the log prefix [0, upTo), where upTo is a
+// physical offset into the current log: the records there are
 // reflected in checkpointed pages. Devices implementing wal.HeadTrimmer
 // (file and memory logs) drop the prefix crash-atomically; otherwise
-// the tail is re-written in place. The operation serializes against
-// commits via the instance mutex.
+// the tail is re-written in place under the exclusive log latch, so
+// commit appends racing the rewrite (they run outside the instance
+// mutex) cannot be dropped. Callers holding a cut recorded in the past
+// should prefer TrimLogHeadLogical, which stays correct across
+// intervening trims.
 func (r *RVM) TrimLogHead(upTo int64) error {
 	if upTo <= 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.trimLogHeadLocked(upTo)
+}
+
+// TrimLogHeadLogical trims the log head to the given logical cut (a
+// LogCut or checkpoint-marker end value), rebasing it against bytes
+// already trimmed. Concurrent checkpoints may each trim the same log:
+// whichever applies later removes only the bytes still below its own
+// cut, so a cut recorded before another coordinator's trim can never
+// delete records appended after it was recorded. A cut at or below the
+// current head is a no-op.
+func (r *RVM) TrimLogHeadLogical(cut int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	phys := cut - r.trimmed
+	if phys <= 0 {
+		return nil // an earlier trim already covered this cut
+	}
+	return r.trimLogHeadLocked(phys)
+}
+
+// trimLogHeadLocked discards [0, upTo) with r.mu held, advancing the
+// cumulative trimmed counter that anchors logical log offsets.
+func (r *RVM) trimLogHeadLocked(upTo int64) error {
 	if ht, ok := r.log.(wal.HeadTrimmer); ok {
 		if err := ht.TrimHead(upTo); err != nil {
 			return err
 		}
+		r.trimmed += upTo
 		r.stats.Add(metrics.CtrLogTrims, 1)
 		return nil
 	}
+	// Generic rewrite: freeze the log across read-tail/Reset/re-append.
+	// Without the exclusive latch a commit landing between the tail read
+	// and the Reset would be silently erased.
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
 	sz, err := r.log.Size()
 	if err != nil {
 		return err
@@ -433,6 +483,7 @@ func (r *RVM) TrimLogHead(upTo int64) error {
 	if err := r.log.Sync(); err != nil {
 		return err
 	}
+	r.trimmed += upTo
 	r.stats.Add(metrics.CtrLogTrims, 1)
 	return nil
 }

@@ -225,10 +225,15 @@ func (t *Tx) Commit(mode CommitMode) (*wal.TxRecord, error) {
 	// (and, with GroupCommit, share one force). Safe because strict 2PL
 	// gives concurrent transactions disjoint ranges, TxSeq was assigned
 	// under r.mu above, and both recovery and merge order records by
-	// (node, TxSeq) rather than by log append order.
+	// (node, TxSeq) rather than by log append order. The shared log
+	// latch excludes only the online head-trim rewrite used by devices
+	// without an atomic HeadTrimmer, which must not race appends.
 	dt := metrics.StartTimer(r.stats, metrics.PhaseDiskIO)
-	if _, _, err := r.writer.Commit(tx, mode == Flush); err != nil {
-		return nil, fmt.Errorf("rvm: log append: %w", err)
+	r.logMu.RLock()
+	_, _, werr := r.writer.Commit(tx, mode == Flush)
+	r.logMu.RUnlock()
+	if werr != nil {
+		return nil, fmt.Errorf("rvm: log append: %w", werr)
 	}
 	diskNS := int64(dt.Stop())
 	if mode == Flush {

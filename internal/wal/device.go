@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -151,6 +152,19 @@ func (d *FileDevice) TrimHead(upTo int64) error {
 		return err
 	}
 	tmp.Close()
+	// The rename commits the trim only once the directory entry is
+	// durable: fsync the parent directory, or a crash could resurrect
+	// the pre-trim log (harmless for recovery, but the trim would be
+	// silently lost again and again).
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: open log directory after trim: %w", err)
+	}
+	syncErr := dir.Sync()
+	dir.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: sync log directory after trim: %w", syncErr)
+	}
 	// The old descriptor points at the unlinked inode; reopen the path
 	// (now the trimmed file) so Append/Open keep working.
 	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
