@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store bench-scale bench-scale-check table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
-COVER_MIN ?= 60
+COVER_MIN ?= 70
 
 all: build vet test
 
@@ -79,6 +79,18 @@ bench-recover-check:
 # Storage write path: single server vs 3-replica majority quorum.
 bench-store:
 	$(GO) run ./cmd/storebench -o BENCH_store.json
+
+# Sharded-coherency scale sweep: 2..16-node clusters under skewed lock
+# ownership, consistent-hash homes + migration + interest routing vs
+# the flat broadcast baseline.
+bench-scale:
+	$(GO) run ./cmd/scalebench -o BENCH_scale.json
+
+# Regression gate: the largest/smallest-cluster throughput ratio must
+# clear the 3x structural floor and hold 80% of the committed baseline,
+# and interest routing must still cut the per-node frame load.
+bench-scale-check:
+	$(GO) run ./cmd/scalebench -check -baseline BENCH_scale.json
 
 # Individual experiments.
 table2:

@@ -91,7 +91,7 @@ func (rep *ChaosReport) String() string {
 
 // ChaosScenarios lists the named scenarios RunChaosScenario accepts.
 func ChaosScenarios() []string {
-	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover"}
+	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover", "migrate-evict"}
 }
 
 // RunChaosScenario executes one named scenario under the given seed
@@ -111,6 +111,8 @@ func RunChaosScenario(name string, seed int64) (*ChaosReport, error) {
 		rep, err = chaosEvictRejoin(seed)
 	case "store-quorum-failover":
 		rep, err = chaosStoreQuorumFailover(seed)
+	case "migrate-evict":
+		rep, err = chaosMigrateEvict(seed)
 	default:
 		return nil, fmt.Errorf("lbc: unknown chaos scenario %q (have %v)", name, ChaosScenarios())
 	}
@@ -402,11 +404,11 @@ func chaosCrashRestart(seed int64) (*ChaosReport, error) {
 	if err := c.Crash(2); err != nil {
 		return nil, err
 	}
-	// Locks managed by the down node (lock id % 3 == 2) are skipped:
-	// their manager is unreachable by design.
+	// Locks homed at the down node are skipped: their manager is
+	// unreachable by design.
 	for end := round + 4; round < end; round++ {
 		for l := 0; l < chaosLocks; l++ {
-			if l%c.Size() == 2 {
+			if c.homeIndex(uint32(l)) == 2 {
 				continue
 			}
 			w := (round + l) % 2 // survivors only
@@ -594,6 +596,183 @@ func chaosEvictRejoin(seed int64) (*ChaosReport, error) {
 		return nil, err
 	}
 	rep.Faults = inj.Stats()
+	return rep, nil
+}
+
+// --- Scenario 6: lock-home migration under eviction churn ----------------
+
+// chaosMigrateEvict runs the full sharded coherency plane (lock-home
+// migration + interest-routed updates) through an eviction/rejoin
+// cycle. Node index 2 dominates the demand on every lock until the
+// homes migrate to it, then it is killed holding every token AND the
+// migrated mint authority. The survivors' detectors evict it, which
+// must drop the migration overrides (routing reverts to the ring birth
+// homes), purge its interest registrations, and re-mint the tokens at
+// the highest logged sequence — the per-lock chains stay gap-free
+// across both the home move and the reclaim. After the node rejoins
+// (CatchUp re-registers its interest from its own log), a full
+// rotation plus the three invariants close out the run.
+func chaosMigrateEvict(seed int64) (*ChaosReport, error) {
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		DropProb:    0.05,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+	})
+	clk := membership.NewManualClock()
+	c, err := chaosCluster(inj,
+		WithLockMigration(), WithInterestRouting(),
+		WithMembership(MembershipOptions{
+			SuspectAfter: 500 * time.Millisecond,
+			EvictAfter:   3,
+			Clock:        clk,
+		}))
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rep := &ChaosReport{Scenario: "migrate-evict", Seed: seed}
+
+	round := 0
+	// Phase A: rotating writers seed every node's interest in every
+	// lock and give each home a baseline demand count.
+	for ; round < 3; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	// Phase B: node index 2 generates two thirds of each lock's token
+	// bounces (demand is counted per request reaching the home, so the
+	// interleaved minority writers are what keep the token moving and
+	// the demand visible). Every lock not birth-homed at node 2 crosses
+	// the migration threshold and hands its home over mid-phase.
+	for end := round + 6; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			for slot := 0; slot < 4; slot++ {
+				w := 2
+				switch slot {
+				case 1:
+					w = 0
+				case 3:
+					w = 1
+				}
+				if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+					return nil, err
+				}
+				rep.Commits++
+			}
+		}
+	}
+	// The handoff itself is asynchronous; wait for it without
+	// committing (the commit schedule must stay seed-deterministic). A
+	// dropped handoff message aborts that attempt, but phase B generated
+	// demand for several re-evaluations per lock.
+	migCount := func() int64 {
+		var n int64
+		for i := 0; i < c.Size(); i++ {
+			if !c.Down(i) {
+				n += c.Node(i).Stats().Counter(metrics.CtrLockMigrations)
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for migCount() == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("no lock home migrated under 2x dominant demand")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Position every token at the migration target, then kill it: the
+	// survivors must recover tokens AND home authority with no help.
+	for l := 0; l < chaosLocks; l++ {
+		if err := chaosWrite(c.Node(2), seed, round, l); err != nil {
+			return nil, err
+		}
+		rep.Commits++
+	}
+	round++
+	if err := c.Kill(2); err != nil {
+		return nil, err
+	}
+
+	// Detection, as in evict-rejoin: advance the manual clock until the
+	// survivors agree the dead node is out, then wait for the token
+	// re-mint. Eviction also drops every migration override, so lock
+	// routing falls back to the ring birth homes.
+	evictedEverywhere := func() bool {
+		for i := 0; i < c.Size(); i++ {
+			if c.Down(i) || i == 2 {
+				continue
+			}
+			if !c.Membership(i).Evicted(c.ids[2]) {
+				return false
+			}
+		}
+		return true
+	}
+	for tick := 0; tick < 12 && !evictedEverywhere(); tick++ {
+		clk.Advance(600 * time.Millisecond)
+		c.TickMembership()
+		if err := chaosAwaitAcks(c, 5*time.Second); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.AwaitEvicted(2, 5*time.Second); err != nil {
+		return nil, err
+	}
+	if err := c.AwaitLiveTokens(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	// Phase C: survivors write every lock — including the ones whose
+	// home had migrated to the dead node and just reverted.
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % 2 // survivors only
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	// Rejoin: membership handshake + server-log catch-up; CatchUp
+	// re-registers the node's interest from its own logged writes.
+	if err := c.Rejoin(2); err != nil {
+		return nil, err
+	}
+
+	// Phase D: full rotation again, routed updates reaching the
+	// rejoined node once more.
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := chaosCheck(c, rep); err != nil {
+		return nil, err
+	}
+	rep.Faults = inj.Stats()
+	var aborted int64
+	for i := 0; i < c.Size(); i++ {
+		if !c.Down(i) {
+			aborted += c.Node(i).Stats().Counter(metrics.CtrLockMigrationsAborted)
+		}
+	}
+	rep.Faults["lock_migrations"] = migCount()
+	rep.Faults["lock_migrations_aborted"] = aborted
 	return rep, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"lbc/internal/chaos"
 	"lbc/internal/coherency"
+	"lbc/internal/lockmgr"
 	"lbc/internal/membership"
 	"lbc/internal/netproto"
 	"lbc/internal/obs"
@@ -41,6 +42,8 @@ type clusterConfig struct {
 	applyWorkers int
 	serialApply  bool
 	member       *MembershipOptions
+	migrate      bool
+	interest     bool
 }
 
 // MembershipOptions configures live failure handling (WithMembership).
@@ -199,6 +202,28 @@ func WithSerialApply() Option {
 // (non-quiesced-surgery) failure scenarios.
 func WithMembership(o MembershipOptions) Option {
 	return func(c *clusterConfig) { c.member = &o }
+}
+
+// WithLockMigration turns on dominant-writer lock-home migration on
+// every node: a home that sees another node generate a decisive
+// majority of a lock's demand hands that lock's queue and token-mint
+// authority to it through a fenced three-message exchange. With
+// WithMembership the migration epoch rides the membership epoch, so
+// handoffs fenced before an eviction cannot land after it.
+func WithLockMigration() Option {
+	return func(c *clusterConfig) { c.migrate = true }
+}
+
+// WithInterestRouting narrows eager update broadcast to the peers that
+// registered interest in the written locks (interest is seeded by lock
+// acquisition and replayed on rejoin). Requires WithStore: the implied
+// pull-on-stall path is the correctness backstop for peers that have
+// not yet announced interest.
+func WithInterestRouting() Option {
+	return func(c *clusterConfig) {
+		c.interest = true
+		c.useStore = true
+	}
 }
 
 // storeClient is what a node needs from its storage attachment: the
@@ -466,24 +491,32 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		})
 	}
 	n, err := coherency.New(coherency.Options{
-		RVM:            r,
-		Transport:      tr,
-		Nodes:          c.ids,
-		Propagation:    cfg.propagation,
-		Wire:           cfg.wire,
-		PageSize:       cfg.pageSize,
-		PeerLogs:       peerLogs,
-		Versioned:      cfg.versioned[i],
-		CheckLocks:     cfg.checkLocks,
-		PullOnStall:    cfg.inj != nil && cfg.useStore,
-		AcquireTimeout: cfg.acqTimeout,
-		BatchUpdates:   cfg.groupCommit,
-		ApplyWorkers:   cfg.applyWorkers,
-		SerialApply:    cfg.serialApply,
-		Membership:     mon,
+		RVM:             r,
+		Transport:       tr,
+		Nodes:           c.ids,
+		Propagation:     cfg.propagation,
+		Wire:            cfg.wire,
+		PageSize:        cfg.pageSize,
+		PeerLogs:        peerLogs,
+		Versioned:       cfg.versioned[i],
+		CheckLocks:      cfg.checkLocks,
+		PullOnStall:     cfg.inj != nil && cfg.useStore,
+		InterestRouting: cfg.interest,
+		AcquireTimeout:  cfg.acqTimeout,
+		BatchUpdates:    cfg.groupCommit,
+		ApplyWorkers:    cfg.applyWorkers,
+		SerialApply:     cfg.serialApply,
+		Membership:      mon,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.migrate {
+		var epoch func() uint32
+		if mon != nil {
+			epoch = mon.Epoch
+		}
+		n.Locks().EnableMigration(epoch)
 	}
 	if mon != nil && cfg.member.Interval > 0 {
 		mon.Start(cfg.member.Interval)
@@ -681,10 +714,22 @@ func (c *Cluster) lockIDs() []uint32 {
 	return ids
 }
 
+// homeIndex returns the slice index of a lock's ring birth home (ids
+// are 1..k in slice order).
+func (c *Cluster) homeIndex(lockID uint32) int {
+	home := lockmgr.HomeOf(c.ids, lockID)
+	for i, id := range c.ids {
+		if id == home {
+			return i
+		}
+	}
+	return 0
+}
+
 // adopterFor picks the node that inherits a dying node's lock token:
-// the lock's manager when alive, else the lowest-id live node.
+// the lock's birth home when alive, else the lowest-id live node.
 func (c *Cluster) adopterFor(lockID uint32, dying int) int {
-	mgr := int(lockID) % len(c.ids) // ids are 1..k in slice order
+	mgr := c.homeIndex(lockID)
 	if mgr != dying && !c.down[mgr] {
 		return mgr
 	}
@@ -730,7 +775,7 @@ func (c *Cluster) Crash(i int) error {
 				continue
 			}
 			c.nodes[ad].Locks().AdoptToken(lockID, seq, lastWrite)
-			mgr := int(lockID) % len(c.ids)
+			mgr := c.homeIndex(lockID)
 			if mgr != i && !c.down[mgr] {
 				c.nodes[mgr].Locks().SetQueueTail(lockID, c.ids[ad])
 			}
@@ -864,7 +909,7 @@ func (c *Cluster) Restart(i int) error {
 		if holder < 0 {
 			continue // unused lock: the fresh manager's token is fine
 		}
-		if int(lockID)%len(c.ids) == i {
+		if c.homeIndex(lockID) == i {
 			c.nodes[i].Locks().ForfeitToken(lockID)
 			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
 		}
@@ -971,7 +1016,7 @@ func (c *Cluster) Rejoin(i int) error {
 		if holder < 0 {
 			continue
 		}
-		if int(lockID)%len(c.ids) == i {
+		if c.homeIndex(lockID) == i {
 			c.nodes[i].Locks().ForfeitToken(lockID)
 			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
 		}

@@ -53,6 +53,8 @@ func main() {
 		locks     = flag.Int("locks", 4, "number of segment locks")
 		writes    = flag.Int("writes", 200, "locked writes to perform")
 		prop      = flag.String("propagation", "eager", "eager | lazy | piggyback")
+		migrate   = flag.Bool("migrate", false, "enable dominant-writer lock-home migration")
+		interest  = flag.Bool("interest", false, "route eager updates only to peers interested in the written locks")
 		heartbeat = flag.Duration("heartbeat", 0, "failure-detector tick interval (0 disables live membership)")
 		seed      = flag.Int64("seed", 0, "workload seed (default: node id)")
 		debugAddr = flag.String("debug", "", "serve /debug/lbc (metrics, vars, trace, pprof) on this address")
@@ -186,17 +188,25 @@ func main() {
 		die(fmt.Errorf("unknown propagation %q", *prop))
 	}
 	n, err := coherency.New(coherency.Options{
-		RVM:         r,
-		Transport:   tr,
-		Nodes:       ids,
-		Propagation: propagation,
-		PeerLogs:    func(node uint32) wal.Device { return logDev(node) },
-		Membership:  mon,
+		RVM:             r,
+		Transport:       tr,
+		Nodes:           ids,
+		Propagation:     propagation,
+		PeerLogs:        func(node uint32) wal.Device { return logDev(node) },
+		InterestRouting: *interest,
+		Membership:      mon,
 	})
 	if err != nil {
 		die(err)
 	}
 	defer n.Close()
+	if *migrate {
+		var epoch func() uint32
+		if mon != nil {
+			epoch = mon.Epoch
+		}
+		n.Locks().EnableMigration(epoch)
+	}
 	if mon != nil {
 		mon.Start(*heartbeat)
 	}

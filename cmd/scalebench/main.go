@@ -1,0 +1,100 @@
+// Command scalebench sweeps cluster sizes with a skewed-ownership
+// workload, measuring the sharded coherency plane (consistent-hash
+// lock homes + lock-home migration + interest-routed updates) against
+// the flat broadcast baseline, and writes the trajectory to
+// BENCH_scale.json. Workers are closed-loop with a fixed think time,
+// so throughput scales with node count as long as per-transaction
+// latency stays flat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_scale.json", "output JSON path")
+	sizesFlag := flag.String("sizes", "2,4,8,16", "comma-separated cluster sizes")
+	txPer := flag.Int("tx", 150, "transactions per worker")
+	locks := flag.Int("locks", 8, "locks per node")
+	own := flag.Int("own", 90, "percent of writes on the worker's own locks")
+	think := flag.Int("think-us", 1000, "closed-loop think time per transaction (microseconds)")
+	check := flag.Bool("check", false, "regression gate: compare against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_scale.json", "baseline JSON for -check")
+	frac := flag.Float64("frac", 0.8, "minimum fresh/baseline scaling-ratio fraction for -check")
+	minRatio := flag.Float64("min-ratio", 3.0, "structural floor: largest/smallest cluster throughput ratio")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "scalebench: bad cluster size %q\n", s)
+			os.Exit(1)
+		}
+		sizes = append(sizes, n)
+	}
+
+	run := func() *bench.ScaleBench {
+		res, err := bench.RunScaleBench(sizes, *txPer, *locks, *own, *think)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		printPoints(res)
+		return res
+	}
+	res := run()
+
+	if *check {
+		base, err := bench.ReadScaleBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		if cerr := bench.CheckScaleBench(res, base, *frac, *minRatio); cerr != nil {
+			// Shared CI machines are noisy; one bad sweep is not a
+			// regression. Re-run once before failing the gate.
+			fmt.Fprintln(os.Stderr, "scalebench:", cerr, "(retrying once)")
+			res = run()
+			if cerr := bench.CheckScaleBench(res, base, *frac, *minRatio); cerr != nil {
+				fmt.Fprintln(os.Stderr, "scalebench:", cerr)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check OK: scaling ratio %.2fx (floor %.2fx, baseline %.2fx), max frame cut %.2fx\n",
+			res.ScalingRatio(), *minRatio, base.ScalingRatio(), res.MaxFrameCut())
+	}
+
+	// In check mode the default output path is the baseline itself;
+	// only write when the user explicitly chose a destination.
+	oSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			oSet = true
+		}
+	})
+	if !*check || oSet {
+		if err := bench.WriteScaleBench(res, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func printPoints(res *bench.ScaleBench) {
+	fmt.Printf("%6s %12s %12s %14s %14s %10s %11s\n",
+		"nodes", "sharded tx/s", "flat tx/s", "frames/node", "flat frames", "frame cut", "migrations")
+	for _, pt := range res.Points {
+		fmt.Printf("%6d %12.0f %12.0f %14.1f %14.1f %9.2fx %11d\n",
+			pt.Nodes, pt.TxPerSec, pt.FlatPerSec, pt.FramesPerNode,
+			pt.FlatFramesPerNode, pt.FrameCut, pt.Migrations)
+	}
+	fmt.Printf("scaling ratio %.2fx, max frame cut %.2fx\n", res.ScalingRatio(), res.MaxFrameCut())
+}

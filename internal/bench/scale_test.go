@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScaleBenchSmoke(t *testing.T) {
+	b, err := RunScaleBench([]int{2}, 8, 2, 75, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(b.Points))
+	}
+	pt := b.Points[0]
+	if pt.TxPerSec <= 0 || pt.FlatPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", pt)
+	}
+	if pt.FlatFramesPerNode <= 0 {
+		t.Fatalf("flat baseline broadcast no frames: %+v", pt)
+	}
+}
+
+func mkScale(points ...ScalePoint) *ScaleBench {
+	return &ScaleBench{Bench: "scale", Points: points}
+}
+
+func TestCheckScaleBench(t *testing.T) {
+	base := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 4},
+		ScalePoint{Nodes: 16, TxPerSec: 3500, FrameCut: 9},
+	)
+	ok := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 4},
+		ScalePoint{Nodes: 16, TxPerSec: 3200, FrameCut: 8},
+	)
+	if err := CheckScaleBench(ok, base, 0.8, 3.0); err != nil {
+		t.Fatalf("within threshold, got %v", err)
+	}
+	// Structural floor: ratio below minRatio fails even vs a weak baseline.
+	slow := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 4},
+		ScalePoint{Nodes: 16, TxPerSec: 2500, FrameCut: 8},
+	)
+	if err := CheckScaleBench(slow, base, 0.5, 3.0); err == nil {
+		t.Fatal("sub-floor scaling ratio accepted")
+	}
+	// Interest routing must cut frames somewhere.
+	flat := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 1},
+		ScalePoint{Nodes: 16, TxPerSec: 3500, FrameCut: 1},
+	)
+	if err := CheckScaleBench(flat, base, 0.8, 3.0); err == nil {
+		t.Fatal("no frame cut accepted")
+	}
+	// Baseline regression: ratio holds the floor but not 80% of baseline.
+	strong := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 4},
+		ScalePoint{Nodes: 16, TxPerSec: 5000, FrameCut: 9},
+	)
+	weak := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1000, FrameCut: 4},
+		ScalePoint{Nodes: 16, TxPerSec: 3100, FrameCut: 9},
+	)
+	if err := CheckScaleBench(weak, strong, 0.8, 3.0); err == nil {
+		t.Fatal("baseline regression not detected")
+	}
+	if err := CheckScaleBench(ok, mkScale(), 0.8, 3.0); err == nil {
+		t.Fatal("empty baseline not rejected")
+	}
+}
+
+func TestScaleBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scale.json")
+	want := mkScale(
+		ScalePoint{Nodes: 2, TxPerSec: 1200, FramesPerNode: 30, FlatFramesPerNode: 150, FrameCut: 5},
+		ScalePoint{Nodes: 8, TxPerSec: 4000, FramesPerNode: 130, FlatFramesPerNode: 1050, FrameCut: 8.07, Migrations: 3},
+	)
+	want.TxPerWorker = 150
+	want.OwnPct = 90
+	if err := WriteScaleBench(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScaleBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ScalingRatio() != 4000.0/1200.0 || got.MaxFrameCut() != 8.07 ||
+		got.Points[1].Migrations != 3 || got.OwnPct != 90 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadScaleBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline not an error")
+	}
+}

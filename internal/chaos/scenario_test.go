@@ -92,6 +92,20 @@ func TestStoreQuorumFailoverScenario(t *testing.T) {
 	}
 }
 
+func TestMigrateEvictScenario(t *testing.T) {
+	rep := runTwice(t, "migrate-evict", 42)
+	if rep.Records != rep.Commits {
+		t.Errorf("records %d != commits %d: home migration or eviction lost committed records",
+			rep.Records, rep.Commits)
+	}
+	if rep.Faults["lock_migrations"] == 0 {
+		t.Error("no lock home migrated; scenario is not exercising the handoff")
+	}
+	if rep.Faults["drops"] == 0 && rep.Faults["reorders"] == 0 && rep.Faults["dups"] == 0 {
+		t.Error("no update faults fired; scenario is not exercising the injector")
+	}
+}
+
 // TestScenarioSeedSweep runs every scenario across a few seeds —
 // different schedules, same invariants.
 func TestScenarioSeedSweep(t *testing.T) {

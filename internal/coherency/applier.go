@@ -15,6 +15,7 @@ import (
 // a pooled arena on the parallel path, a plain allocation on the
 // serial (ablation) path.
 func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
+	n.stats.Add(metrics.CtrUpdateFramesRecv, 1)
 	rec, err := wal.DecodeCompressed(payload)
 	if err != nil {
 		n.decodeError(from)
@@ -29,6 +30,7 @@ func (n *Node) onUpdate(from netproto.NodeID, payload []byte) {
 
 // onUpdateStd handles a standard-encoded record (header ablation mode).
 func (n *Node) onUpdateStd(from netproto.NodeID, payload []byte) {
+	n.stats.Add(metrics.CtrUpdateFramesRecv, 1)
 	rec, _, err := wal.DecodeStandard(payload)
 	if err != nil {
 		n.decodeError(from)

@@ -170,6 +170,7 @@ func (n *Node) flushSends() {
 // onUpdateBatch decodes a batch frame and feeds its records to the
 // apply pipeline in frame order.
 func (n *Node) onUpdateBatch(from netproto.NodeID, payload []byte) {
+	n.stats.Add(metrics.CtrUpdateFramesRecv, 1)
 	parts, err := netproto.SplitBatch(payload)
 	if err != nil {
 		n.decodeError(from)

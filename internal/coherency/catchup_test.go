@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lbc/internal/lockmgr"
 	"lbc/internal/netproto"
 	"lbc/internal/rvm"
 	"lbc/internal/store"
@@ -23,6 +24,12 @@ func TestCatchUpAfterRestart(t *testing.T) {
 	defer srv.Close()
 	hub := netproto.NewHub()
 	ids := []netproto.NodeID{1, 2}
+	// A lock whose ring birth home is node 1: node 2's endpoint does
+	// not exist in session 1, so the acquire must be purely local.
+	lock := uint32(0)
+	for lockmgr.HomeOf(ids, lock) != 1 {
+		lock++
+	}
 
 	mkNode := func(id netproto.NodeID, ep netproto.Transport) (*Node, *store.Client) {
 		cli, err := store.Dial(srv.Addr())
@@ -50,7 +57,7 @@ func TestCatchUpAfterRestart(t *testing.T) {
 	}
 	for i := 0; i < 5; i++ {
 		tx := n1.Begin(rvm.NoRestore)
-		if err := tx.Acquire(0); err != nil {
+		if err := tx.Acquire(lock); err != nil {
 			t.Fatal(err)
 		}
 		tx.Write(n1.RVM().Region(1), uint64(i*16), []byte(fmt.Sprintf("commit-%d", i)))
@@ -81,10 +88,10 @@ func TestCatchUpAfterRestart(t *testing.T) {
 			t.Fatalf("slot %d = %q, want %q", i, got, want)
 		}
 	}
-	// The interlock state was seeded: lock 0's chain reached seq 5, so
-	// a local acquire must succeed without waiting (no peers alive to
-	// deliver anything).
-	if got := n2.Locks().Applied(0); got != 5 {
+	// The interlock state was seeded: the lock's chain reached seq 5,
+	// so a local acquire must succeed without waiting (no peers alive
+	// to deliver anything).
+	if got := n2.Locks().Applied(lock); got != 5 {
 		t.Fatalf("applied chain = %d, want 5", got)
 	}
 	if n2.Stats().Counter("catchup_records") != 5 {

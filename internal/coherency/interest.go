@@ -1,0 +1,162 @@
+package coherency
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// Interest-based update routing (Options.InterestRouting): instead of
+// broadcasting every committed record to every peer with the modified
+// region mapped, peers declare interest in the locks whose segments
+// they actually touch, and eager propagation ships update frames only
+// to peers interested in a record's writing locks. On a sharded
+// cluster where most locks are touched by a few nodes this cuts the
+// per-node receive load from O(cluster writes) to O(relevant writes).
+//
+// Interest is a routing hint, never a correctness input: the mode
+// implies pull-on-stall, so a peer that acquires a lock it had no
+// interest in simply pulls the records it was never sent from the
+// storage server's logs (the same backstop that covers lost frames).
+// Interest is seeded by lock acquisition, dropped explicitly via
+// DropInterest when a cached segment is evicted, purged for evicted
+// peers, and re-announced when a peer (re)appears — a rejoiner
+// re-registers through CatchUp from its own logged writes.
+
+// MsgInterest carries an interest delta within coherency's 0x20-0x2F
+// code range: {on u8, n u32, lock u32 × n}.
+const MsgInterest uint8 = 0x2C
+
+// encodeInterest builds a MsgInterest payload.
+func encodeInterest(on bool, locks []uint32) []byte {
+	b := make([]byte, 5+4*len(locks))
+	if on {
+		b[0] = 1
+	}
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(locks)))
+	for i, l := range locks {
+		binary.LittleEndian.PutUint32(b[5+4*i:], l)
+	}
+	return b
+}
+
+// onInterest applies a peer's interest delta.
+func (n *Node) onInterest(from netproto.NodeID, payload []byte) {
+	if len(payload) < 5 {
+		return
+	}
+	on := payload[0] == 1
+	count := int(binary.LittleEndian.Uint32(payload[1:]))
+	if len(payload) != 5+4*count {
+		return
+	}
+	n.mu.Lock()
+	for i := 0; i < count; i++ {
+		lockID := binary.LittleEndian.Uint32(payload[5+4*i:])
+		if on {
+			if n.interest[lockID] == nil {
+				n.interest[lockID] = map[netproto.NodeID]bool{}
+			}
+			n.interest[lockID][from] = true
+		} else if n.interest[lockID] != nil {
+			delete(n.interest[lockID], from)
+			if len(n.interest[lockID]) == 0 {
+				delete(n.interest, lockID)
+			}
+		}
+	}
+	n.mu.Unlock()
+}
+
+// registerInterest declares this node's interest in the locks to every
+// peer (idempotent: already-registered locks are skipped).
+func (n *Node) registerInterest(locks ...uint32) {
+	if !n.interestOn {
+		return
+	}
+	n.mu.Lock()
+	fresh := locks[:0]
+	for _, l := range locks {
+		if !n.myInterest[l] {
+			n.myInterest[l] = true
+			fresh = append(fresh, l)
+		}
+	}
+	n.mu.Unlock()
+	if len(fresh) == 0 {
+		return
+	}
+	n.stats.Add(metrics.CtrInterestRegs, int64(len(fresh)))
+	msg := encodeInterest(true, fresh)
+	for _, p := range n.tr.Peers() {
+		_ = n.tr.Send(p, MsgInterest, msg)
+	}
+}
+
+// DropInterest withdraws this node's interest in the locks (the cache
+// eviction / piggyback-discard hook): peers stop routing their updates
+// here. A later acquire re-registers and pulls anything missed.
+func (n *Node) DropInterest(locks ...uint32) {
+	if !n.interestOn {
+		return
+	}
+	n.mu.Lock()
+	dropped := locks[:0]
+	for _, l := range locks {
+		if n.myInterest[l] {
+			delete(n.myInterest, l)
+			dropped = append(dropped, l)
+		}
+	}
+	n.mu.Unlock()
+	if len(dropped) == 0 {
+		return
+	}
+	msg := encodeInterest(false, dropped)
+	for _, p := range n.tr.Peers() {
+		_ = n.tr.Send(p, MsgInterest, msg)
+	}
+}
+
+// announceInterestTo replays this node's full interest set to one peer
+// — run when a peer maps a region (it may have missed earlier deltas)
+// and when an evicted peer rejoins (its table was purged with us in it).
+func (n *Node) announceInterestTo(peer netproto.NodeID) {
+	if !n.interestOn {
+		return
+	}
+	n.mu.Lock()
+	locks := make([]uint32, 0, len(n.myInterest))
+	for l := range n.myInterest {
+		locks = append(locks, l)
+	}
+	n.mu.Unlock()
+	if len(locks) == 0 {
+		return
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	_ = n.tr.Send(peer, MsgInterest, encodeInterest(true, locks))
+}
+
+// purgeInterest removes an evicted peer from every interest set; its
+// rejoin re-registers through CatchUp.
+func (n *Node) purgeInterest(peer netproto.NodeID) {
+	n.mu.Lock()
+	for lockID, set := range n.interest {
+		delete(set, peer)
+		if len(set) == 0 {
+			delete(n.interest, lockID)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// InterestedIn reports whether peer currently has interest registered
+// for the lock (diagnostics and tests).
+func (n *Node) InterestedIn(lockID uint32, peer netproto.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.interest[lockID][peer]
+}

@@ -196,6 +196,10 @@ func (n *Node) handleEvict(victim netproto.NodeID, epoch uint32) {
 	n.mu.Unlock()
 	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
 
+	// The victim stops receiving routed updates; a rejoin re-registers
+	// its interest through CatchUp.
+	n.purgeInterest(victim)
+
 	// Purge parked passes / stale requests aimed at the victim.
 	n.locks.EvictPeer(victim)
 
@@ -279,6 +283,9 @@ func (n *Node) reclaimToken(lockID uint32, live []netproto.NodeID) {
 // put it back into every region's broadcast set so eager updates reach
 // it again (idempotent with the supervisor's direct seeding).
 func (n *Node) handleRejoin(peer netproto.NodeID, epoch uint32) {
+	// The readmitted peer resumes managing its ring span: cached
+	// stand-in resolutions are stale the moment the view flips back.
+	n.locks.InvalidateRoutes()
 	n.mu.Lock()
 	for id := range n.regionPeers {
 		if !n.regionPeers[id][peer] {
@@ -288,6 +295,9 @@ func (n *Node) handleRejoin(peer netproto.NodeID, epoch uint32) {
 		}
 	}
 	n.mu.Unlock()
+	// The rejoiner's interest table started empty: replay our full set
+	// so its commits route back to us without waiting for a stall.
+	n.announceInterestTo(peer)
 	if n.trace.Enabled() {
 		n.trace.Emit(obs.Span{
 			Name: obs.SpanRejoin, Peer: uint32(peer), Self: uint32(n.tr.Self()),

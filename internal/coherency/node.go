@@ -145,6 +145,14 @@ type Options struct {
 	// cannot complete (token holder unreachable) fail with
 	// lockmgr.ErrAcquireTimeout instead of blocking forever.
 	AcquireTimeout time.Duration
+	// InterestRouting ships eager updates only to peers that have
+	// registered interest in a record's writing locks (seeded by lock
+	// acquisition, withdrawn by DropInterest) instead of to every peer
+	// with the region mapped. Requires PeerLogs and implies
+	// PullOnStall: a peer acquiring a lock it was not interested in
+	// pulls the records it was never sent from the server logs, so
+	// routing is purely a delivery optimization (see interest.go).
+	InterestRouting bool
 	// BatchUpdates routes eager broadcasts through a sender goroutine
 	// that ships one MsgUpdateBatch frame per peer per batch instead of
 	// one message per transaction — the network half of the group-commit
@@ -189,6 +197,7 @@ type Node struct {
 	acqTimeout time.Duration
 	batch      bool
 	serial     bool
+	interestOn bool
 
 	// Parallel apply pipeline (nil when SerialApply). The engine owns
 	// dependency scheduling; the node supplies install/teardown.
@@ -224,6 +233,8 @@ type Node struct {
 	mu           sync.Mutex
 	segments     map[uint32]Segment // by lock id
 	regionPeers  map[rvm.RegionID]map[netproto.NodeID]bool
+	interest     map[uint32]map[netproto.NodeID]bool // lock -> interested peers
+	myInterest   map[uint32]bool                     // locks this node registered
 	peersChanged chan struct{}    // closed+replaced when regionPeers grows
 	readPos      map[uint32]int64 // lazy: per-peer log read offset
 	versioned    bool
@@ -259,6 +270,14 @@ func New(opts Options) (*Node, error) {
 	if opts.PullOnStall && opts.PeerLogs == nil {
 		return nil, errors.New("coherency: PullOnStall requires PeerLogs")
 	}
+	if opts.InterestRouting {
+		if opts.PeerLogs == nil {
+			return nil, errors.New("coherency: InterestRouting requires PeerLogs")
+		}
+		// The pull path is interest routing's correctness backstop: a
+		// peer that was never sent a record fetches it at acquire.
+		opts.PullOnStall = true
+	}
 	if opts.Stats == nil {
 		opts.Stats = opts.RVM.Stats()
 	}
@@ -280,6 +299,7 @@ func New(opts Options) (*Node, error) {
 		acqTimeout:   opts.AcquireTimeout,
 		batch:        opts.BatchUpdates,
 		serial:       opts.SerialApply,
+		interestOn:   opts.InterestRouting,
 		member:       opts.Membership,
 		tokInfo:      map[uint32]map[netproto.NodeID]tokenInfo{},
 		tokWake:      make(chan struct{}),
@@ -287,6 +307,8 @@ func New(opts Options) (*Node, error) {
 		sendWake:     make(chan struct{}, 1),
 		segments:     map[uint32]Segment{},
 		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
+		interest:     map[uint32]map[netproto.NodeID]bool{},
+		myInterest:   map[uint32]bool{},
 		peersChanged: make(chan struct{}),
 		readPos:      map[uint32]int64{},
 		versioned:    opts.Versioned,
@@ -302,6 +324,7 @@ func New(opts Options) (*Node, error) {
 	n.tr.Handle(MsgUpdateStd, n.onUpdateStd)
 	n.tr.Handle(MsgMapRegion, n.onMapRegion)
 	n.tr.Handle(MsgUpdateBatch, n.onUpdateBatch)
+	n.tr.Handle(MsgInterest, n.onInterest)
 	if opts.Propagation == Piggyback {
 		n.locks.SetTokenData(n)
 	}
@@ -431,16 +454,26 @@ func (n *Node) NotePeerRegion(peer netproto.NodeID, id rvm.RegionID) {
 	if n.regionPeers[id] == nil {
 		n.regionPeers[id] = map[netproto.NodeID]bool{}
 	}
-	if !n.regionPeers[id][peer] {
+	fresh := !n.regionPeers[id][peer]
+	if fresh {
 		n.regionPeers[id][peer] = true
 		close(n.peersChanged)
 		n.peersChanged = make(chan struct{})
 	}
 	n.mu.Unlock()
+	if fresh {
+		// A peer we have not seen map this region may have missed our
+		// earlier interest deltas (it was down, or not yet wired).
+		n.announceInterestTo(peer)
+	}
 }
 
 // peersForRecord returns the peers that have any of the record's
-// regions mapped (the eager broadcast recipient set).
+// regions mapped (the eager broadcast recipient set). With interest
+// routing the set is further narrowed to peers interested in at least
+// one of the record's writing locks; records that carry no writing
+// lock (the DSM baseline's raw page updates) keep the full region set,
+// since no interest key exists to route them by.
 func (n *Node) peersForRecord(rec *wal.TxRecord) []netproto.NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -448,6 +481,26 @@ func (n *Node) peersForRecord(rec *wal.TxRecord) []netproto.NodeID {
 	for _, r := range rec.Ranges {
 		for p := range n.regionPeers[rvm.RegionID(r.Region)] {
 			set[p] = true
+		}
+	}
+	if n.interestOn && len(set) > 0 {
+		routed := false
+		keep := map[netproto.NodeID]bool{}
+		for _, l := range rec.Locks {
+			if !l.Wrote {
+				continue
+			}
+			routed = true
+			for p := range n.interest[l.LockID] {
+				keep[p] = true
+			}
+		}
+		if routed {
+			for p := range set {
+				if !keep[p] {
+					delete(set, p)
+				}
+			}
 		}
 	}
 	out := make([]netproto.NodeID, 0, len(set))

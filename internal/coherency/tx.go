@@ -85,6 +85,9 @@ func (t *Tx) Acquire(lockID uint32) error {
 	if err != nil {
 		return err
 	}
+	// Holding the lock is the interest signal: updates to its segment
+	// should route here from now on.
+	n.registerInterest(lockID)
 	if err := t.inner.SetLock(lockID, g.Seq, g.PrevWriteSeq); err != nil {
 		n.locks.Release(lockID, false)
 		return err
@@ -136,6 +139,7 @@ func (t *Tx) AcquireShared(lockID uint32) error {
 	if err != nil {
 		return err
 	}
+	n.registerInterest(lockID)
 	t.shared = append(t.shared, lockID)
 	return nil
 }
@@ -354,6 +358,12 @@ func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("coherency: pull for lock %d stalled at %d < %d",
 				lockID, n.locks.Applied(lockID), targetSeq)
+		}
+		// Eager modes pull only as a backstop: the broadcast usually
+		// trails the token pass by microseconds, so give it one window
+		// before paying a full round of server-log reads.
+		if n.prop == Eager && n.locks.AwaitApplied(lockID, targetSeq, pullWindow) {
+			return nil
 		}
 		// Pull from every cluster member's server-side log, not just
 		// the transport's live peers: a crashed node's committed
@@ -574,7 +584,31 @@ func (n *Node) CatchUp() error {
 		return nil
 	})
 	n.stats.Add(metrics.CtrCatchupRecords, int64(stats.Installed))
-	return err
+	if err != nil {
+		return err
+	}
+	// Re-register interest from this node's own logged history: the
+	// locks it wrote under before going down are the ones whose updates
+	// should route here again (eviction purged it from peers' tables).
+	if n.interestOn {
+		var mine []uint32
+		seen := map[uint32]bool{}
+		for _, rec := range ordered {
+			if rec.Node != uint32(n.tr.Self()) {
+				continue
+			}
+			for _, l := range rec.Locks {
+				if l.Wrote && !seen[l.LockID] {
+					seen[l.LockID] = true
+					mine = append(mine, l.LockID)
+				}
+			}
+		}
+		if len(mine) > 0 {
+			n.registerInterest(mine...)
+		}
+	}
+	return nil
 }
 
 // countPages counts distinct pages overlapped by the ranges (Table 3's

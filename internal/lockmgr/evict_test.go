@@ -22,7 +22,7 @@ func liveView(dead map[netproto.NodeID]bool) func(netproto.NodeID) bool {
 
 func TestQueueTailRepairAfterEvictedWaiter(t *testing.T) {
 	ms := cluster(t, 3)
-	const lock = 3 // managed by nodes[0] = node 1
+	lock := lockHomedAt(t, 3, 1) // ring birth home = node 1
 
 	// The manager holds its own lock; node 3 queues behind it and
 	// becomes the manager-side queue tail, with the pass parked at the
@@ -64,7 +64,7 @@ func TestQueueTailRepairAfterEvictedWaiter(t *testing.T) {
 
 func TestRemintAfterEvictedHolder(t *testing.T) {
 	ms := cluster(t, 3)
-	const lock = 3 // managed by node 1
+	lock := lockHomedAt(t, 3, 1) // ring birth home = node 1
 
 	// Node 3 takes the token away and writes twice, then dies with the
 	// token (seq 2, lastWrite 2).
@@ -105,7 +105,7 @@ func TestRemintAfterEvictedHolder(t *testing.T) {
 
 func TestAdoptTokenKeepQueueForwardsParkedPass(t *testing.T) {
 	ms := cluster(t, 3)
-	const lock = 3 // managed by node 1
+	lock := lockHomedAt(t, 3, 1) // ring birth home = node 1
 
 	// Node 2's request raced the eviction of the previous holder: the
 	// manager re-queued it against itself, so a pass is parked on a
@@ -145,24 +145,39 @@ func TestAdoptTokenKeepQueueForwardsParkedPass(t *testing.T) {
 
 func TestManagerOfRoutesAroundEvicted(t *testing.T) {
 	ms := cluster(t, 3)
-	const lock = 3 // home = node 1
+	lock := lockHomedAt(t, 3, 1) // ring birth home = node 1
 	if ms[1].ManagerOf(lock) != 1 {
 		t.Fatalf("home manager = %d", ms[1].ManagerOf(lock))
 	}
 	dead := map[netproto.NodeID]bool{1: true}
 	ms[1].SetLiveView(liveView(dead))
-	if got := ms[1].ManagerOf(lock); got != 2 {
-		t.Fatalf("stand-in manager = %d, want 2 (first live after home)", got)
+	got := ms[1].ManagerOf(lock)
+	if got == 1 {
+		t.Fatal("ManagerOf still routes to the evicted home")
+	}
+	// Every node with the same view resolves the same stand-in (the
+	// first live successor in ring order is a pure function of the
+	// roster and the dead set).
+	ms[2].SetLiveView(liveView(dead))
+	if got2 := ms[2].ManagerOf(lock); got2 != got {
+		t.Fatalf("stand-in disagrees across nodes: %d vs %d", got, got2)
 	}
 	// A stand-in must never mint the lock's token just by touching its
 	// state: the real token may survive on another node.
 	if ms[1].HasToken(lock) {
 		t.Fatal("stand-in manager minted a token")
 	}
-	// Home rejoins: management reverts.
+	// Home rejoins: management reverts. The resolved-home cache is
+	// per-view, so the rejoin must invalidate it (the membership layer
+	// does this via InvalidateRoutes) — mutating the dead-set alone
+	// must NOT be enough once a resolution is cached.
 	delete(dead, 1)
+	if got := ms[1].ManagerOf(lock); got == 1 {
+		t.Fatal("cached stand-in resolution was recomputed without invalidation")
+	}
+	ms[1].InvalidateRoutes()
 	if got := ms[1].ManagerOf(lock); got != 1 {
-		t.Fatalf("manager after rejoin = %d, want 1", got)
+		t.Fatalf("manager after rejoin+invalidate = %d, want 1", got)
 	}
 }
 
@@ -206,7 +221,7 @@ func TestTokenSendBackoffAbandons(t *testing.T) {
 	m2 := New(hub.Endpoint(2), ids, nil)
 	t.Cleanup(func() { m1.Close(); m2.Close() })
 
-	const lock = 2 // managed by node 1
+	lock := lockHomedAt(t, 2, 1) // ring birth home = node 1
 	mustAcquire(t, m1, lock)
 	go func() { _, _ = m2.AcquireTimeout(lock, 200*time.Millisecond) }()
 	awaitLockState(t, m1, lock, func(st *lockState) bool { return st.hasPend })
@@ -229,7 +244,7 @@ func TestTokenSendBackoffAbandons(t *testing.T) {
 
 func TestTokenSendToEvictedPeerAbandonsImmediately(t *testing.T) {
 	ms := cluster(t, 2)
-	const lock = 2 // managed by node 1
+	lock := lockHomedAt(t, 2, 1) // ring birth home = node 1
 	mustAcquire(t, ms[0], lock)
 	go func() { _, _ = ms[1].AcquireTimeout(lock, 200*time.Millisecond) }()
 	awaitLockState(t, ms[0], lock, func(st *lockState) bool { return st.hasPend })
@@ -269,9 +284,9 @@ func TestAcquireSurfacesErrPeerEvicted(t *testing.T) {
 	m2 := New(&evictedTransport{Transport: hub.Endpoint(2)}, ids, nil)
 	t.Cleanup(func() { m2.Close() })
 
-	// Lock 2's manager (node 1) is evicted; the request fails fast and
-	// the typed error survives the wrapping.
-	_, err := m2.Acquire(2)
+	// The lock's manager (node 1) is evicted; the request fails fast
+	// and the typed error survives the wrapping.
+	_, err := m2.Acquire(lockHomedAt(t, 2, 1))
 	if err == nil {
 		t.Fatal("acquire against an evicted manager succeeded")
 	}

@@ -109,6 +109,7 @@ type TokenData interface {
 type Manager struct {
 	tr    netproto.Transport
 	nodes []netproto.NodeID
+	ring  *ring
 	stats *metrics.Stats
 	trace *obs.Tracer
 
@@ -123,18 +124,40 @@ type Manager struct {
 
 	lvMu sync.RWMutex
 	live func(netproto.NodeID) bool // nil: every roster node is live
+
+	// routeMu guards the resolved-home cache and the migration
+	// overrides. It is a leaf below m.mu (ManagerOf runs both with and
+	// without m.mu held) and above lvMu (resolution consults the live
+	// view while holding it).
+	routeMu   sync.RWMutex
+	homeCache map[uint32]netproto.NodeID // lock -> resolved manager, this view
+	overrides map[uint32]netproto.NodeID // lock -> migrated home
+
+	mig migrator
 }
 
 // SetLiveView installs the failure detector's liveness predicate.
-// With it, ManagerOf routes around evicted nodes (the first live node
-// scanning the roster from the lock's home slot), and token sends to
-// evicted peers are abandoned instead of retried. Every node must use
-// the same view for the manager choice to stay consistent — the
+// With it, ManagerOf routes around evicted nodes (the first live
+// successor in ring order from the lock's position), and token sends
+// to evicted peers are abandoned instead of retried. Every node must
+// use the same view for the manager choice to stay consistent — the
 // membership layer's eviction broadcast provides exactly that.
+// Installing a view invalidates the resolved-home cache.
 func (m *Manager) SetLiveView(fn func(netproto.NodeID) bool) {
 	m.lvMu.Lock()
 	m.live = fn
 	m.lvMu.Unlock()
+	m.InvalidateRoutes()
+}
+
+// InvalidateRoutes drops every cached ManagerOf resolution. The
+// membership layer calls it on each view change (eviction, rejoin):
+// cached homes are valid only within one view, and revalidating
+// per-call would put the live-view walk back on the acquire hot path.
+func (m *Manager) InvalidateRoutes() {
+	m.routeMu.Lock()
+	clear(m.homeCache)
+	m.routeMu.Unlock()
 }
 
 // peerLive reports whether the live view (if any) considers id alive.
@@ -159,24 +182,34 @@ func (m *Manager) tokenData() TokenData {
 	return m.td
 }
 
-// New creates a lock manager endpoint. nodes must be the identical,
-// ordered cluster membership on every node: the manager of lock L is
-// nodes[L % len(nodes)], and that node initially owns L's token.
+// New creates a lock manager endpoint. nodes must be the identical
+// cluster membership on every node: the manager of lock L is the ring
+// owner of L's hash under consistent-hash placement (HomeOf), and
+// that node initially owns L's token. Placement depends only on the
+// roster's ids, not its order, so differently-ordered peer lists
+// still agree.
 func New(tr netproto.Transport, nodes []netproto.NodeID, stats *metrics.Stats) *Manager {
 	if stats == nil {
 		stats = metrics.NewStats()
 	}
 	m := &Manager{
-		tr:    tr,
-		nodes: append([]netproto.NodeID(nil), nodes...),
-		stats: stats,
-		locks: map[uint32]*lockState{},
-		tails: map[uint32]netproto.NodeID{},
+		tr:        tr,
+		nodes:     append([]netproto.NodeID(nil), nodes...),
+		stats:     stats,
+		locks:     map[uint32]*lockState{},
+		tails:     map[uint32]netproto.NodeID{},
+		homeCache: map[uint32]netproto.NodeID{},
+		overrides: map[uint32]netproto.NodeID{},
 	}
+	m.ring = buildRing(m.nodes)
 	m.cond = sync.NewCond(&m.mu)
+	m.mig.init(m)
 	tr.Handle(MsgLockReq, m.onLockReq)
 	tr.Handle(MsgLockPass, m.onLockPass)
 	tr.Handle(MsgLockToken, m.onLockToken)
+	tr.Handle(MsgMigrate, m.onMigrate)
+	tr.Handle(MsgMigrateAck, m.onMigrateAck)
+	tr.Handle(MsgHomeUpdate, m.onHomeUpdate)
 	return m
 }
 
@@ -187,32 +220,71 @@ func (m *Manager) Stats() *metrics.Stats { return m.stats }
 // Install before any lock traffic flows; tr may be nil.
 func (m *Manager) SetTracer(tr *obs.Tracer) { m.trace = tr }
 
-// ManagerOf returns the node that manages lock id: the lock's home
-// slot in the roster, or — under a live view with the home node
-// evicted — the first live node scanning forward from it. When the
+// ManagerOf returns the node that manages lock id: a migrated home
+// installed by the handoff protocol while it stays live, else the
+// lock's consistent-hash birth home, or — under a live view with that
+// node evicted — the first live successor in ring order. When the
 // home node rejoins, management reverts to it (the rejoin surgery
-// repairs its queue-tail bookkeeping first).
+// repairs its queue-tail bookkeeping first). Resolutions are cached
+// per membership view: the ring walk is O(distinct owners) and sits
+// on the acquire hot path, so repeat calls hit the cache until
+// InvalidateRoutes drops it on a view change.
 func (m *Manager) ManagerOf(lockID uint32) netproto.NodeID {
-	home := int(lockID) % len(m.nodes)
-	for k := 0; k < len(m.nodes); k++ {
-		id := m.nodes[(home+k)%len(m.nodes)]
-		if m.peerLive(id) {
-			return id
-		}
+	m.routeMu.RLock()
+	id, ok := m.homeCache[lockID]
+	m.routeMu.RUnlock()
+	if ok {
+		return id
 	}
-	return m.nodes[home]
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	if id, ok := m.homeCache[lockID]; ok {
+		return id
+	}
+	id = m.resolveHomeLocked(lockID)
+	m.homeCache[lockID] = id
+	return id
+}
+
+// resolveHomeLocked computes the current manager without the cache.
+// Callers hold routeMu (write).
+func (m *Manager) resolveHomeLocked(lockID uint32) netproto.NodeID {
+	if ov, ok := m.overrides[lockID]; ok {
+		if m.peerLive(ov) {
+			return ov
+		}
+		// A migrated home that died loses the role: fall back to ring
+		// placement (the reclaim protocol re-mints at the survivor).
+		delete(m.overrides, lockID)
+	}
+	res := m.nodes[m.ring.ownerOf(lockID)]
+	m.ring.walk(lockID, len(m.nodes), func(idx int) bool {
+		if m.peerLive(m.nodes[idx]) {
+			res = m.nodes[idx]
+			return false
+		}
+		return true
+	})
+	return res
+}
+
+// BirthHome returns the lock's ring birth home on this manager's
+// roster — where its token is minted, regardless of live view or
+// migration overrides.
+func (m *Manager) BirthHome(lockID uint32) netproto.NodeID {
+	return m.nodes[m.ring.ownerOf(lockID)]
 }
 
 // state returns (creating if needed) the local state for a lock. The
-// token is born at the lock's static home slot — never at a stand-in
-// manager, which routes requests for an evicted home but must not mint
+// token is born at the lock's ring birth home — never at a stand-in
+// manager or a migrated home, which route requests but must not mint
 // a second token when the real one survives on some other node (the
 // reclaim protocol adopts a token at the stand-in only after
 // confirming no survivor holds one). Callers hold m.mu.
 func (m *Manager) state(lockID uint32) *lockState {
 	st, ok := m.locks[lockID]
 	if !ok {
-		st = &lockState{haveToken: m.nodes[int(lockID)%len(m.nodes)] == m.tr.Self()}
+		st = &lockState{haveToken: m.nodes[m.ring.ownerOf(lockID)] == m.tr.Self()}
 		m.locks[lockID] = st
 	}
 	return st
@@ -380,6 +452,7 @@ func (m *Manager) acquire(lockID uint32, interlock bool, deadline time.Time) (Gr
 			m.stats.Add(metrics.CtrLockAcquires, 1)
 			m.stats.Add(metrics.CtrLockWaitNS, wait)
 			m.stats.Observe(metrics.HistLockWaitNS, wait)
+			m.mig.noteLocalGrantLocked(lockID)
 			return Grant{LockID: lockID, Seq: st.seq, PrevWriteSeq: st.lastWrite}, nil
 		}
 		if !st.haveToken && !st.requested {
@@ -551,6 +624,25 @@ func (m *Manager) onLockReq(from netproto.NodeID, payload []byte) {
 }
 
 func (m *Manager) handleLockReqLocked(lockID uint32, requester netproto.NodeID) {
+	// A request that raced a home migration lands at the old home:
+	// bounce it to the migrated manager. One hop terminates — the new
+	// home's own override names itself.
+	if to, fwd := m.forwardTarget(lockID); fwd {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], lockID)
+		binary.LittleEndian.PutUint32(b[4:], uint32(requester))
+		m.stats.Add(metrics.CtrLockRemote, 1)
+		m.mu.Unlock()
+		_ = m.tr.Send(to, MsgLockReq, b[:])
+		m.mu.Lock()
+		return
+	}
+	// While this lock's manager role is mid-handoff, requests park
+	// until the target acks (then they forward) or the handoff aborts
+	// (then they run here).
+	if m.mig.bufferLocked(lockID, requester) {
+		return
+	}
 	prevTail, ok := m.tails[lockID]
 	if !ok {
 		prevTail = m.tr.Self() // token born at the manager
@@ -558,17 +650,24 @@ func (m *Manager) handleLockReqLocked(lockID uint32, requester netproto.NodeID) 
 	m.tails[lockID] = requester
 	if prevTail == m.tr.Self() {
 		m.handleLockPassLocked(lockID, requester)
-		return
+	} else {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], lockID)
+		binary.LittleEndian.PutUint32(b[4:], uint32(requester))
+		m.stats.Add(metrics.CtrLockRemote, 1)
+		prev := prevTail
+		m.mu.Unlock()
+		err := m.tr.Send(prev, MsgLockPass, b[:])
+		m.mu.Lock()
+		_ = err
 	}
-	var b [8]byte
-	binary.LittleEndian.PutUint32(b[0:], lockID)
-	binary.LittleEndian.PutUint32(b[4:], uint32(requester))
-	m.stats.Add(metrics.CtrLockRemote, 1)
-	prev := prevTail
-	m.mu.Unlock()
-	err := m.tr.Send(prev, MsgLockPass, b[:])
-	m.mu.Lock()
-	_ = err
+	// Count the demand last: an evaluation that freezes the role must
+	// not strand the request that triggered it. The home's own recalls
+	// are counted at grant time instead (noteLocalGrantLocked) so they
+	// don't tally twice.
+	if requester != m.tr.Self() {
+		m.mig.noteWriteLocked(lockID, requester)
+	}
 }
 
 // onLockPass runs at the previous queue tail: hand the token to `to`
@@ -810,8 +909,20 @@ func (m *Manager) EvictPeer(peer netproto.NodeID) {
 			delete(m.tails, lockID)
 		}
 	}
+	m.mig.abortTargetLocked(peer)
 	m.cond.Broadcast()
 	m.mu.Unlock()
+
+	// Migrated homes pointing at the corpse lose the role; resolved
+	// routes through it are stale either way.
+	m.routeMu.Lock()
+	for lockID, ov := range m.overrides {
+		if ov == peer {
+			delete(m.overrides, lockID)
+		}
+	}
+	clear(m.homeCache)
+	m.routeMu.Unlock()
 }
 
 // SetQueueTail repairs this node's manager-side waiter queue: the next

@@ -47,6 +47,23 @@ func awaitLockState(t *testing.T, m *Manager, lockID uint32, pred func(st *lockS
 	}
 }
 
+// lockHomedAt returns a small lock id whose ring birth home is home
+// on the roster {1..n} (the cluster helper's ids).
+func lockHomedAt(t *testing.T, n int, home netproto.NodeID) uint32 {
+	t.Helper()
+	ids := make([]netproto.NodeID, n)
+	for i := range ids {
+		ids[i] = netproto.NodeID(i + 1)
+	}
+	for l := uint32(1); l < 4096; l++ {
+		if HomeOf(ids, l) == home {
+			return l
+		}
+	}
+	t.Fatalf("no lock homed at node %d among 4096 ids", home)
+	return 0
+}
+
 // acquire with a test timeout so protocol bugs fail fast.
 func mustAcquire(t *testing.T, m *Manager, lockID uint32) Grant {
 	t.Helper()
@@ -73,24 +90,24 @@ func mustAcquire(t *testing.T, m *Manager, lockID uint32) Grant {
 
 func TestLocalAcquireNoMessages(t *testing.T) {
 	ms := cluster(t, 2)
-	// Lock 2 is managed by node 1 (2 % 2 == 0 -> nodes[0]).
+	lock := lockHomedAt(t, 2, 1) // ring birth home = node 1
 	mgr := ms[0]
-	if mgr.ManagerOf(2) != 1 {
-		t.Fatalf("manager of lock 2 = %d", mgr.ManagerOf(2))
+	if mgr.ManagerOf(lock) != 1 {
+		t.Fatalf("manager of lock %d = %d", lock, mgr.ManagerOf(lock))
 	}
-	g := mustAcquire(t, mgr, 2)
+	g := mustAcquire(t, mgr, lock)
 	if g.Seq != 1 || g.PrevWriteSeq != 0 {
 		t.Fatalf("grant = %+v", g)
 	}
-	if !mgr.Holding(2) {
+	if !mgr.Holding(lock) {
 		t.Fatal("not holding after acquire")
 	}
-	mgr.Release(2, true)
-	if mgr.Holding(2) {
+	mgr.Release(lock, true)
+	if mgr.Holding(lock) {
 		t.Fatal("still holding after release")
 	}
 	// Sequence numbers increment per acquire; lastWrite followed.
-	g2 := mustAcquire(t, mgr, 2)
+	g2 := mustAcquire(t, mgr, lock)
 	if g2.Seq != 2 || g2.PrevWriteSeq != 1 {
 		t.Fatalf("second grant = %+v", g2)
 	}
@@ -98,17 +115,17 @@ func TestLocalAcquireNoMessages(t *testing.T) {
 
 func TestRemoteAcquire(t *testing.T) {
 	ms := cluster(t, 2)
-	// Lock 2 managed by node 1; node 2 acquires remotely.
-	g := mustAcquire(t, ms[1], 2)
+	lock := lockHomedAt(t, 2, 1) // homed at node 1; node 2 acquires remotely
+	g := mustAcquire(t, ms[1], lock)
 	if g.Seq != 1 {
 		t.Fatalf("grant = %+v", g)
 	}
-	if !ms[1].HasToken(2) || ms[0].HasToken(2) {
+	if !ms[1].HasToken(lock) || ms[0].HasToken(lock) {
 		t.Fatal("token did not move to node 2")
 	}
-	ms[1].Release(2, false)
+	ms[1].Release(lock, false)
 	// Node 2 now owns the token: local re-acquire.
-	g2 := mustAcquire(t, ms[1], 2)
+	g2 := mustAcquire(t, ms[1], lock)
 	if g2.Seq != 2 {
 		t.Fatalf("re-grant = %+v", g2)
 	}
@@ -348,13 +365,13 @@ func TestReleaseWithoutHoldIsNoop(t *testing.T) {
 func TestManyLocksSpreadAcrossManagers(t *testing.T) {
 	ms := cluster(t, 3)
 	seen := map[netproto.NodeID]bool{}
-	for l := uint32(0); l < 9; l++ {
+	for l := uint32(0); l < 32; l++ {
 		seen[ms[0].ManagerOf(l)] = true
 	}
 	if len(seen) != 3 {
 		t.Fatalf("managers used: %v", seen)
 	}
-	// Acquire all 9 locks from every node, sequentially.
+	// Acquire a batch of locks from every node, sequentially.
 	for _, m := range ms {
 		for l := uint32(0); l < 9; l++ {
 			mustAcquire(t, m, l)
@@ -445,7 +462,7 @@ func TestManagerReacquiresAfterPassing(t *testing.T) {
 
 func TestHolderReacquiresOwnToken(t *testing.T) {
 	ms := cluster(t, 2)
-	const lock = 3 // managed by node 2 (3 % 2 = 1 -> nodes[1])
+	lock := lockHomedAt(t, 2, 2) // ring birth home = node 2
 	if ms[0].ManagerOf(lock) != 2 {
 		t.Fatalf("manager = %d", ms[0].ManagerOf(lock))
 	}

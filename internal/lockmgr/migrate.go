@@ -1,0 +1,370 @@
+package lockmgr
+
+import (
+	"encoding/binary"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// Lock-home migration: a manager hands a lock's distributed queue and
+// token-mint authority to the lock's dominant writer, so the request/
+// pass round trip for a hot lock collapses to local bookkeeping at
+// the node doing most of the writing. The handoff is a fenced frame
+// pair — the old home stops managing (buffering raced requests)
+// before offering, the target adopts the queue tail and announces the
+// new home, and every frame carries the membership epoch so a handoff
+// that straddles a view change is refused rather than split between
+// two views. The per-lock request chain (§3.4) survives the move
+// because the queue-tail pointer travels with the role: the new
+// home's first forwarded pass still targets the old chain's tail, so
+// no sequence number is skipped or duplicated.
+const (
+	MsgMigrate    uint8 = 0x13 // old home -> target: {lock u32, epoch u32, hasTail u8, tail u32}
+	MsgMigrateAck uint8 = 0x14 // target -> old home: {lock u32, epoch u32, accept u8}
+	MsgHomeUpdate uint8 = 0x15 // target -> all: {lock u32, epoch u32, home u32}
+)
+
+// Migration tuning. statsWindow observations of a lock's write demand
+// trigger one placement evaluation (followed by a halving decay, so
+// old traffic ages out); a remote writer must have at least minMigObs
+// recent observations and twice the home's own to win the role.
+// Demand is counted per request arriving at the home — a holder that
+// keeps the token generates none — so windows are sized for the
+// bounce rate of a contended lock, not its raw write rate.
+var (
+	statsWindow    = 16
+	minMigObs      = uint32(4)
+	migrateTimeout = 2 * time.Second
+)
+
+// migInflight tracks one outbound handoff at the old home.
+type migInflight struct {
+	target netproto.NodeID
+	epoch  uint32
+	buf    []netproto.NodeID // requesters parked while the role is in flight
+	timer  *time.Timer
+}
+
+// migrator holds the per-lock write-demand stats and in-flight
+// handoffs. All fields are guarded by the owning Manager's m.mu.
+type migrator struct {
+	m        *Manager
+	enabled  bool
+	epoch    func() uint32 // membership epoch source; nil = unfenced (epoch 0)
+	stats    map[uint32]map[netproto.NodeID]uint32
+	obs      map[uint32]int
+	inflight map[uint32]*migInflight
+}
+
+func (g *migrator) init(m *Manager) {
+	g.m = m
+	g.stats = map[uint32]map[netproto.NodeID]uint32{}
+	g.obs = map[uint32]int{}
+	g.inflight = map[uint32]*migInflight{}
+}
+
+// EnableMigration turns on dominant-writer lock-home migration.
+// epoch supplies the membership epoch stamped into (and checked
+// against) handoff frames; nil runs unfenced, for static clusters.
+// Enable before lock traffic flows.
+func (m *Manager) EnableMigration(epoch func() uint32) {
+	m.mu.Lock()
+	m.mig.enabled = true
+	m.mig.epoch = epoch
+	m.mu.Unlock()
+}
+
+func (g *migrator) epochNow() uint32 {
+	if g.epoch == nil {
+		return 0
+	}
+	return g.epoch()
+}
+
+// noteWriteLocked records one unit of token demand for lockID from
+// `who`, observed at the current home. Every statsWindow observations
+// it evaluates placement and decays the counts. Callers hold m.mu.
+func (g *migrator) noteWriteLocked(lockID uint32, who netproto.NodeID) {
+	if !g.enabled {
+		return
+	}
+	s := g.stats[lockID]
+	if s == nil {
+		s = map[netproto.NodeID]uint32{}
+		g.stats[lockID] = s
+	}
+	s[who]++
+	g.obs[lockID]++
+	if g.obs[lockID] < statsWindow {
+		return
+	}
+	g.obs[lockID] = 0
+	g.evaluateLocked(lockID, s)
+	for id, c := range s {
+		if c >>= 1; c == 0 {
+			delete(s, id)
+		} else {
+			s[id] = c
+		}
+	}
+}
+
+// noteLocalGrantLocked counts an exclusive acquire granted on this
+// node while it is the lock's manager: without it a home that writes
+// its own hot locks would look idle next to any remote writer.
+// Callers hold m.mu.
+func (g *migrator) noteLocalGrantLocked(lockID uint32) {
+	if !g.enabled {
+		return
+	}
+	if g.m.ManagerOf(lockID) != g.m.tr.Self() {
+		return
+	}
+	g.noteWriteLocked(lockID, g.m.tr.Self())
+}
+
+// evaluateLocked starts a handoff when a remote writer dominates:
+// most counted demand, at least minMigObs of it, and at least twice
+// the home's own. Callers hold m.mu.
+func (g *migrator) evaluateLocked(lockID uint32, s map[netproto.NodeID]uint32) {
+	if g.inflight[lockID] != nil {
+		return
+	}
+	m := g.m
+	self := m.tr.Self()
+	var cand netproto.NodeID
+	var best uint32
+	for id, c := range s {
+		if c > best || (c == best && id < cand) {
+			cand, best = id, c
+		}
+	}
+	if cand == self || best < minMigObs || best < 2*s[self] {
+		return
+	}
+	if !m.peerLive(cand) || m.ManagerOf(lockID) != self {
+		return
+	}
+
+	// Freeze the manager role: requests arriving from here on are
+	// parked until the target acks or the handoff aborts.
+	tail, hasTail := m.tails[lockID]
+	inf := &migInflight{target: cand, epoch: g.epochNow()}
+	g.inflight[lockID] = inf
+	inf.timer = time.AfterFunc(migrateTimeout, func() { m.abortMigration(lockID, inf) })
+
+	var b [13]byte
+	binary.LittleEndian.PutUint32(b[0:], lockID)
+	binary.LittleEndian.PutUint32(b[4:], inf.epoch)
+	if hasTail {
+		b[8] = 1
+		binary.LittleEndian.PutUint32(b[9:], uint32(tail))
+	} else {
+		// No tail entry means the chain ends here (token born at the
+		// manager and never forwarded): the target's first pass must
+		// come back to us.
+		b[8] = 1
+		binary.LittleEndian.PutUint32(b[9:], uint32(self))
+	}
+	m.mu.Unlock()
+	err := m.tr.Send(cand, MsgMigrate, b[:])
+	m.mu.Lock()
+	if err != nil {
+		g.dropInflightLocked(lockID, inf, true)
+	}
+}
+
+// bufferLocked parks a request that arrived while lockID's role is in
+// flight. Reports whether the request was consumed. Callers hold m.mu.
+func (g *migrator) bufferLocked(lockID uint32, requester netproto.NodeID) bool {
+	inf := g.inflight[lockID]
+	if inf == nil {
+		return false
+	}
+	inf.buf = append(inf.buf, requester)
+	return true
+}
+
+// dropInflightLocked removes an in-flight handoff and requeues its
+// parked requests locally. Callers hold m.mu.
+func (g *migrator) dropInflightLocked(lockID uint32, inf *migInflight, abort bool) {
+	if g.inflight[lockID] != inf {
+		return
+	}
+	delete(g.inflight, lockID)
+	inf.timer.Stop()
+	if abort {
+		g.m.stats.Add(metrics.CtrLockMigrationsAborted, 1)
+	}
+	buf := inf.buf
+	inf.buf = nil
+	for _, r := range buf {
+		g.m.handleLockReqLocked(lockID, r)
+	}
+}
+
+// abortTargetLocked aborts every in-flight handoff aimed at a peer
+// the failure detector evicted. Callers hold m.mu.
+func (g *migrator) abortTargetLocked(peer netproto.NodeID) {
+	type drain struct {
+		lockID uint32
+		inf    *migInflight
+	}
+	var ds []drain
+	for lockID, inf := range g.inflight {
+		if inf.target == peer {
+			ds = append(ds, drain{lockID, inf})
+		}
+	}
+	for _, d := range ds {
+		g.dropInflightLocked(d.lockID, d.inf, true)
+	}
+}
+
+// abortMigration is the handoff timeout: if the ack never arrived,
+// revert to managing locally.
+func (m *Manager) abortMigration(lockID uint32, inf *migInflight) {
+	m.mu.Lock()
+	m.mig.dropInflightLocked(lockID, inf, true)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// setOverride records a migrated home and drops the lock's cached
+// route.
+func (m *Manager) setOverride(lockID uint32, home netproto.NodeID) {
+	m.routeMu.Lock()
+	if home == m.nodes[m.ring.ownerOf(lockID)] {
+		delete(m.overrides, lockID) // back at the birth home: ring placement suffices
+	} else {
+		m.overrides[lockID] = home
+	}
+	delete(m.homeCache, lockID)
+	m.routeMu.Unlock()
+}
+
+// forwardTarget reports where a MsgLockReq that landed here should be
+// bounced: the migrated home, when one is installed and live and is
+// not this node. One hop suffices — the migrated home's own override
+// names itself, so forwarded requests terminate there.
+func (m *Manager) forwardTarget(lockID uint32) (netproto.NodeID, bool) {
+	m.routeMu.RLock()
+	ov, ok := m.overrides[lockID]
+	m.routeMu.RUnlock()
+	if !ok || ov == m.tr.Self() || !m.peerLive(ov) {
+		return 0, false
+	}
+	return ov, true
+}
+
+// onMigrate runs at the handoff target: adopt the queue tail and the
+// manager role, announce the new home, and ack. The offer is refused
+// when the sender is no longer live or the frame's epoch predates the
+// local view — a handoff must not straddle a membership change.
+func (m *Manager) onMigrate(from netproto.NodeID, payload []byte) {
+	if len(payload) != 13 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	epoch := binary.LittleEndian.Uint32(payload[4:])
+	hasTail := payload[8] == 1
+	tail := netproto.NodeID(binary.LittleEndian.Uint32(payload[9:]))
+
+	accept := m.peerLive(from) && epoch >= m.mig.epochNow()
+	if accept {
+		m.mu.Lock()
+		if hasTail && tail != m.tr.Self() {
+			m.tails[lockID] = tail
+		} else {
+			delete(m.tails, lockID)
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		m.setOverride(lockID, m.tr.Self())
+
+		var hu [12]byte
+		binary.LittleEndian.PutUint32(hu[0:], lockID)
+		binary.LittleEndian.PutUint32(hu[4:], epoch)
+		binary.LittleEndian.PutUint32(hu[8:], uint32(m.tr.Self()))
+		for _, p := range m.tr.Peers() {
+			if p == from || !m.peerLive(p) {
+				continue // the old home learns from the ack
+			}
+			_ = m.tr.Send(p, MsgHomeUpdate, hu[:])
+		}
+	}
+
+	var ack [9]byte
+	binary.LittleEndian.PutUint32(ack[0:], lockID)
+	binary.LittleEndian.PutUint32(ack[4:], epoch)
+	if accept {
+		ack[8] = 1
+	}
+	_ = m.tr.Send(from, MsgMigrateAck, ack[:])
+}
+
+// onMigrateAck runs at the old home: commit (install the override,
+// flush parked requests to the new home) or revert.
+func (m *Manager) onMigrateAck(from netproto.NodeID, payload []byte) {
+	if len(payload) != 9 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	epoch := binary.LittleEndian.Uint32(payload[4:])
+	accept := payload[8] == 1
+
+	m.mu.Lock()
+	inf := m.mig.inflight[lockID]
+	if inf == nil || inf.target != from || inf.epoch != epoch {
+		m.mu.Unlock()
+		return // stale ack: the handoff already aborted or re-ran
+	}
+	if !accept {
+		m.mig.dropInflightLocked(lockID, inf, true)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	delete(m.mig.inflight, lockID)
+	inf.timer.Stop()
+	delete(m.tails, lockID)
+	buf := inf.buf
+	inf.buf = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	m.setOverride(lockID, from)
+	m.stats.Add(metrics.CtrLockMigrations, 1)
+	for _, r := range buf {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], lockID)
+		binary.LittleEndian.PutUint32(b[4:], uint32(r))
+		_ = m.tr.Send(from, MsgLockReq, b[:])
+	}
+}
+
+// onHomeUpdate installs a migrated home announced by the handoff
+// target. Frames from dead announcers or older epochs are ignored.
+func (m *Manager) onHomeUpdate(from netproto.NodeID, payload []byte) {
+	if len(payload) != 12 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	epoch := binary.LittleEndian.Uint32(payload[4:])
+	home := netproto.NodeID(binary.LittleEndian.Uint32(payload[8:]))
+	if epoch < m.mig.epochNow() || !m.peerLive(home) {
+		return
+	}
+	m.setOverride(lockID, home)
+}
+
+// MigratedHome reports the installed migration override for a lock,
+// if any (diagnostics and tests).
+func (m *Manager) MigratedHome(lockID uint32) (netproto.NodeID, bool) {
+	m.routeMu.RLock()
+	defer m.routeMu.RUnlock()
+	ov, ok := m.overrides[lockID]
+	return ov, ok
+}

@@ -1,0 +1,242 @@
+package lockmgr
+
+import (
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+)
+
+// shrinkMigrationWindow makes the decay-counted stats trip after a
+// handful of observations so tests drive a handoff quickly.
+func shrinkMigrationWindow(t *testing.T) {
+	t.Helper()
+	w, mo := statsWindow, minMigObs
+	statsWindow, minMigObs = 8, 2
+	t.Cleanup(func() { statsWindow, minMigObs = w, mo })
+}
+
+// awaitMigratedHome polls until every manager resolves the lock's
+// manager to want.
+func awaitMigratedHome(t *testing.T, ms []*Manager, lock uint32, want netproto.NodeID) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, m := range ms {
+			if m.ManagerOf(lock) != want {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, m := range ms {
+				t.Logf("node %d: ManagerOf = %d", i+1, m.ManagerOf(lock))
+			}
+			t.Fatalf("lock %d never migrated to node %d", lock, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMigrationMovesHomeToDominantWriter(t *testing.T) {
+	shrinkMigrationWindow(t)
+	ms := cluster(t, 3)
+	for _, m := range ms {
+		m.EnableMigration(nil)
+	}
+	lock := lockHomedAt(t, 3, 1) // birth home = node 1
+
+	// Node 3 dominates the lock, with nodes 1 and 2 pulling the token
+	// away between its acquires so it keeps re-requesting through the
+	// home — that request stream is the decay counter's demand signal.
+	// (A writer that keeps the token never re-requests: pure
+	// single-writer locks generate no signal, and need no migration
+	// either.) Per 4 acquires the home counts node 3 twice and the
+	// others once each, so node 3 dominates every window.
+	total := 0
+	for i := 0; i < 48; i++ {
+		w := ms[2]
+		switch i % 4 {
+		case 1:
+			w = ms[0]
+		case 3:
+			w = ms[1]
+		}
+		mustAcquire(t, w, lock)
+		w.Release(lock, false)
+		total++
+	}
+	awaitMigratedHome(t, ms, lock, 3)
+	if ms[0].Stats().Counter(metrics.CtrLockMigrations) != 1 {
+		t.Fatalf("lock_home_migrations = %d at the old home, want 1",
+			ms[0].Stats().Counter(metrics.CtrLockMigrations))
+	}
+
+	// The chain survives the move gap-free: acquires from every node
+	// keep incrementing the same sequence, one per grant.
+	for i := 0; i < 9; i++ {
+		g := mustAcquire(t, ms[i%3], lock)
+		total++
+		if g.Seq != uint64(total) {
+			t.Fatalf("grant %d: seq = %d, want %d (chain gap across migration)", i, g.Seq, total)
+		}
+		ms[i%3].Release(lock, false)
+	}
+}
+
+func TestMigrationRevertsWhenTargetEvicted(t *testing.T) {
+	ms := cluster(t, 3)
+	for _, m := range ms {
+		m.EnableMigration(nil)
+	}
+	lock := lockHomedAt(t, 3, 1)
+
+	// Install a migrated home at node 3 everywhere (as a completed
+	// handoff would), then evict node 3: the override must drop and
+	// mint/management authority revert to the ring birth home.
+	for _, m := range ms {
+		m.setOverride(lock, 3)
+	}
+	if ms[1].ManagerOf(lock) != 3 {
+		t.Fatalf("override not honored: ManagerOf = %d", ms[1].ManagerOf(lock))
+	}
+	dead := map[netproto.NodeID]bool{3: true}
+	for _, m := range ms[:2] {
+		m.SetLiveView(liveView(dead))
+		m.EvictPeer(3)
+	}
+	for _, m := range ms[:2] {
+		if got := m.ManagerOf(lock); got != 1 {
+			t.Fatalf("post-eviction manager = %d, want birth home 1", got)
+		}
+		if _, ok := m.MigratedHome(lock); ok {
+			t.Fatal("override to the evicted target survived EvictPeer")
+		}
+	}
+}
+
+func TestInflightMigrationAbortsOnTargetEviction(t *testing.T) {
+	ms := cluster(t, 3)
+	for _, m := range ms {
+		m.EnableMigration(nil)
+	}
+	lock := lockHomedAt(t, 3, 1)
+
+	// Freeze the manager role at node 1 with a hand-built in-flight
+	// handoff to node 3 (as if the offer frame were lost), and park a
+	// request from node 2 behind it.
+	m := ms[0]
+	m.mu.Lock()
+	inf := &migInflight{target: 3, epoch: 0}
+	inf.timer = time.AfterFunc(time.Hour, func() {})
+	m.mig.inflight[lock] = inf
+	m.mu.Unlock()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := ms[1].Acquire(lock)
+		errs <- err
+	}()
+	m.mu.Lock()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(inf.buf) == 0 && time.Now().Before(deadline) {
+		m.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		m.mu.Lock()
+	}
+	buffered := len(inf.buf)
+	m.mu.Unlock()
+	if buffered == 0 {
+		t.Fatal("request was not parked behind the in-flight handoff")
+	}
+
+	// The target dies before acking: EvictPeer must abort the handoff
+	// and drain the parked request locally, unblocking the waiter.
+	dead := map[netproto.NodeID]bool{3: true}
+	for _, mm := range ms[:2] {
+		mm.SetLiveView(liveView(dead))
+		mm.EvictPeer(3)
+	}
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("parked waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted handoff stranded the parked request")
+	}
+	if ms[0].Stats().Counter(metrics.CtrLockMigrationsAborted) == 0 {
+		t.Fatal("abort not counted")
+	}
+	ms[1].Release(lock, false)
+}
+
+func TestHomeUpdateIgnoresStaleEpochAndDeadHome(t *testing.T) {
+	ms := cluster(t, 3)
+	epoch := uint32(5)
+	ms[0].EnableMigration(func() uint32 { return epoch })
+	lock := lockHomedAt(t, 3, 1)
+
+	// A HomeUpdate fenced at an older epoch must be ignored.
+	var hu [12]byte
+	putU32 := func(b []byte, v uint32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(hu[0:], lock)
+	putU32(hu[4:], 4) // epoch 4 < 5
+	putU32(hu[8:], 3)
+	ms[0].onHomeUpdate(3, hu[:])
+	if _, ok := ms[0].MigratedHome(lock); ok {
+		t.Fatal("stale-epoch HomeUpdate installed an override")
+	}
+
+	// Same frame at the current epoch but naming a dead home: ignored.
+	dead := map[netproto.NodeID]bool{3: true}
+	ms[0].SetLiveView(liveView(dead))
+	putU32(hu[4:], 5)
+	ms[0].onHomeUpdate(3, hu[:])
+	if _, ok := ms[0].MigratedHome(lock); ok {
+		t.Fatal("HomeUpdate naming an evicted home installed an override")
+	}
+
+	// Live home at the current epoch: installed.
+	delete(dead, 3)
+	ms[0].InvalidateRoutes()
+	ms[0].onHomeUpdate(3, hu[:])
+	if ov, ok := ms[0].MigratedHome(lock); !ok || ov != 3 {
+		t.Fatalf("override = (%d, %v), want (3, true)", ov, ok)
+	}
+	if ms[0].ManagerOf(lock) != 3 {
+		t.Fatalf("ManagerOf = %d, want 3", ms[0].ManagerOf(lock))
+	}
+}
+
+func TestMigrateOfferRefusedAtStaleEpoch(t *testing.T) {
+	ms := cluster(t, 2)
+	epoch := uint32(7)
+	ms[1].EnableMigration(func() uint32 { return epoch })
+	lock := lockHomedAt(t, 2, 1)
+
+	// Offer fenced at epoch 6 < 7: the target must refuse (no tail
+	// install, no override, nack on the wire).
+	var b [13]byte
+	b[0], b[1], b[2], b[3] = byte(lock), byte(lock>>8), byte(lock>>16), byte(lock>>24)
+	b[4] = 6
+	b[8] = 1
+	b[9] = 1 // tail = node 1
+	ms[1].onMigrate(1, b[:])
+	if _, ok := ms[1].MigratedHome(lock); ok {
+		t.Fatal("stale-epoch offer adopted the manager role")
+	}
+	ms[1].mu.Lock()
+	_, hasTail := ms[1].tails[lock]
+	ms[1].mu.Unlock()
+	if hasTail {
+		t.Fatal("stale-epoch offer installed a queue tail")
+	}
+}

@@ -1,0 +1,114 @@
+package lockmgr
+
+import (
+	"sort"
+
+	"lbc/internal/netproto"
+)
+
+// Consistent-hash placement of lock homes (the sharded coherency
+// plane). Each roster node projects ringVnodes virtual points onto a
+// 64-bit ring; a lock's birth home is the owner of the first point at
+// or after the lock's own hash. Placement is a pure function of the
+// ordered roster — every node computes the identical ring, so token
+// birth (exactly-one-mint) needs no coordination. Liveness is layered
+// on top: routing walks the ring's distinct owners in point order and
+// picks the first live one, replacing the old static `id % n` slot
+// and its linear roster scan.
+const ringVnodes = 16
+
+// splitmix64 is the finalizer of the splitmix64 PRNG — a cheap,
+// well-distributed 64-bit mixer (public domain, Vigna).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// lockPoint is the ring position of a lock id.
+func lockPoint(lockID uint32) uint64 {
+	return splitmix64(uint64(lockID))
+}
+
+// ring is an immutable consistent-hash ring over a fixed roster.
+type ring struct {
+	hashes []uint64 // sorted virtual-point positions
+	owners []int    // roster index owning hashes[i]
+}
+
+// buildRing places ringVnodes points per roster node. Point positions
+// hash the node id with the virtual-point index so rosters with the
+// same ids always produce the same ring, regardless of roster order.
+func buildRing(nodes []netproto.NodeID) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, len(nodes)*ringVnodes),
+		owners: make([]int, 0, len(nodes)*ringVnodes),
+	}
+	type pt struct {
+		h   uint64
+		idx int
+	}
+	pts := make([]pt, 0, len(nodes)*ringVnodes)
+	for i, id := range nodes {
+		for v := 0; v < ringVnodes; v++ {
+			h := splitmix64(uint64(id)<<20 | uint64(v)<<1 | 1)
+			pts = append(pts, pt{h, i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		// Tie-break on node id so equal hashes (vanishingly rare but
+		// possible) still order identically on every node.
+		return nodes[pts[a].idx] < nodes[pts[b].idx]
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.idx)
+	}
+	return r
+}
+
+// ownerOf returns the roster index of the lock's birth home: the
+// owner of the first virtual point at or after the lock's position
+// (wrapping past the top of the ring).
+func (r *ring) ownerOf(lockID uint32) int {
+	h := lockPoint(lockID)
+	i := sort.Search(len(r.hashes), func(k int) bool { return r.hashes[k] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// walk visits the ring's distinct owners in point order starting at
+// the lock's position, calling visit for each until it returns false
+// or every roster node has been seen. This is the route-around order:
+// the first live owner visited is the lock's current manager.
+func (r *ring) walk(lockID uint32, n int, visit func(idx int) bool) {
+	h := lockPoint(lockID)
+	start := sort.Search(len(r.hashes), func(k int) bool { return r.hashes[k] >= h })
+	seen := make([]bool, n)
+	found := 0
+	for k := 0; k < len(r.hashes) && found < n; k++ {
+		idx := r.owners[(start+k)%len(r.hashes)]
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		found++
+		if !visit(idx) {
+			return
+		}
+	}
+}
+
+// HomeOf returns lock id's birth home under consistent-hash placement
+// over the given roster — the node that mints the lock's token. All
+// callers that once assumed the static `id % n` slot (cluster crash
+// surgery, the chaos harness) must use this instead.
+func HomeOf(nodes []netproto.NodeID, lockID uint32) netproto.NodeID {
+	return nodes[buildRing(nodes).ownerOf(lockID)]
+}

@@ -1,0 +1,111 @@
+package lockmgr
+
+import (
+	"testing"
+
+	"lbc/internal/netproto"
+)
+
+func TestRingPlacementDeterministicAcrossRosterOrder(t *testing.T) {
+	a := []netproto.NodeID{1, 2, 3, 4}
+	b := []netproto.NodeID{4, 2, 1, 3} // same membership, different order
+	for l := uint32(0); l < 512; l++ {
+		if ha, hb := HomeOf(a, l), HomeOf(b, l); ha != hb {
+			t.Fatalf("lock %d: home %d under order a, %d under order b", l, ha, hb)
+		}
+	}
+}
+
+func TestRingPlacementBalance(t *testing.T) {
+	ids := []netproto.NodeID{1, 2, 3, 4}
+	r := buildRing(ids)
+	counts := map[int]int{}
+	const locks = 4096
+	for l := uint32(0); l < locks; l++ {
+		counts[r.ownerOf(l)]++
+	}
+	// Virtual nodes keep the split rough but bounded: no node owns
+	// less than a twentieth or more than half of the key space.
+	for i := range ids {
+		if counts[i] < locks/20 || counts[i] > locks/2 {
+			t.Fatalf("unbalanced ring: node %d owns %d of %d locks (%v)", ids[i], counts[i], locks, counts)
+		}
+	}
+}
+
+func TestRingWalkVisitsAllNodesOnce(t *testing.T) {
+	ids := []netproto.NodeID{1, 2, 3, 4, 5}
+	r := buildRing(ids)
+	for l := uint32(0); l < 64; l++ {
+		var order []int
+		r.walk(l, len(ids), func(idx int) bool {
+			order = append(order, idx)
+			return true
+		})
+		if len(order) != len(ids) {
+			t.Fatalf("lock %d: walk visited %d nodes, want %d", l, len(order), len(ids))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("lock %d: walk visited node index %d twice", l, idx)
+			}
+			seen[idx] = true
+		}
+		if order[0] != r.ownerOf(l) {
+			t.Fatalf("lock %d: walk starts at %d, owner is %d", l, order[0], r.ownerOf(l))
+		}
+	}
+}
+
+func TestRingStabilityUnderMembershipLoss(t *testing.T) {
+	// Consistent hashing's point: removing one node relocates only the
+	// locks it owned. Compare homes across a 4-node ring and the same
+	// ring minus node 3: every lock not homed at 3 must keep its home.
+	full := []netproto.NodeID{1, 2, 3, 4}
+	reduced := []netproto.NodeID{1, 2, 4}
+	moved, owned := 0, 0
+	for l := uint32(0); l < 2048; l++ {
+		hf := HomeOf(full, l)
+		hr := HomeOf(reduced, l)
+		if hf == 3 {
+			owned++
+			continue
+		}
+		if hf != hr {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d locks not owned by the removed node changed home", moved)
+	}
+	if owned == 0 {
+		t.Fatal("test premise broken: removed node owned no locks")
+	}
+}
+
+func TestManagerOfCachesUntilInvalidated(t *testing.T) {
+	ms := cluster(t, 3)
+	lock := lockHomedAt(t, 3, 2)
+	if ms[0].ManagerOf(lock) != 2 {
+		t.Fatalf("home = %d, want 2", ms[0].ManagerOf(lock))
+	}
+	// The resolution must now be served from the cache.
+	ms[0].routeMu.RLock()
+	cached, ok := ms[0].homeCache[lock]
+	ms[0].routeMu.RUnlock()
+	if !ok || cached != 2 {
+		t.Fatalf("cache entry = (%d, %v), want (2, true)", cached, ok)
+	}
+	// Invalidation drops it; the next call re-resolves.
+	ms[0].InvalidateRoutes()
+	ms[0].routeMu.RLock()
+	_, ok = ms[0].homeCache[lock]
+	ms[0].routeMu.RUnlock()
+	if ok {
+		t.Fatal("InvalidateRoutes left a cached resolution")
+	}
+	if ms[0].ManagerOf(lock) != 2 {
+		t.Fatalf("re-resolved home = %d, want 2", ms[0].ManagerOf(lock))
+	}
+}

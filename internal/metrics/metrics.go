@@ -404,6 +404,12 @@ const (
 	CtrStoreViewRefreshes = "store_view_refreshes"      // view re-reads from the replica set
 	CtrStoreCatchupBytes  = "store_catchup_bytes"       // snapshot + log-tail bytes shipped to joiners
 	CtrStoreReplicaBehind = "store_replica_behind_acks" // append acks reporting a behind replica
+
+	// Sharded coherency plane: lock-home migration and interest routing.
+	CtrLockMigrations        = "lock_home_migrations"         // fenced home handoffs completed (old-home side)
+	CtrLockMigrationsAborted = "lock_home_migrations_aborted" // handoffs abandoned (refused, timed out, target died)
+	CtrInterestRegs          = "interest_registrations"       // peer interest (un)registrations received
+	CtrUpdateFramesRecv      = "update_frames_recv"           // update/update-batch frames received
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -460,6 +466,8 @@ var fixedIdx = buildIndex([]string{
 	CtrStoreReadRepairs, CtrStoreLogRepairs, CtrStoreQuorumRetries,
 	CtrStoreViewChanges, CtrStoreViewRefreshes, CtrStoreCatchupBytes,
 	CtrStoreReplicaBehind,
+	CtrLockMigrations, CtrLockMigrationsAborted, CtrInterestRegs,
+	CtrUpdateFramesRecv,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{

@@ -7,6 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"lbc/internal/chaos"
+	"lbc/internal/membership"
+	"lbc/internal/metrics"
 	"lbc/internal/wal"
 )
 
@@ -133,6 +136,190 @@ func TestSoakMixedWorkload(t *testing.T) {
 	}
 	if !bytes.Equal(img, base) {
 		t.Fatal("checkpoint + merged-log recovery diverged from caches")
+	}
+}
+
+// TestSoakScaleChurn is the 16-node soak of the sharded coherency
+// plane: consistent-hash homes, dominant-writer migration, and
+// interest-routed updates all running under the chaos injector while a
+// node that just won several lock homes is killed, evicted by the
+// survivors' detectors, and rejoined. Every cache must converge at the
+// end — across the home moves, the override rollback at eviction, and
+// the interest re-registration at rejoin.
+func TestSoakScaleChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale churn soak in -short mode")
+	}
+	const (
+		kNodes = 16
+		kLocks = 32 // 2 per node, ownership lock%kNodes
+		seed   = int64(9242)
+		victim = 5 // index; dominates contended locks, then dies
+	)
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		DropProb:    0.03,
+		DupProb:     0.03,
+		ReorderProb: 0.03,
+	})
+	clk := membership.NewManualClock()
+	c, err := NewLocalCluster(kNodes,
+		WithStore(), WithChaos(inj), WithGroupCommit(),
+		WithAcquireTimeout(30*time.Second),
+		WithLockMigration(), WithInterestRouting(),
+		WithMembership(MembershipOptions{
+			SuspectAfter: 500 * time.Millisecond,
+			EvictAfter:   3,
+			Clock:        clk,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.MapAll(chaosRegion, kLocks*chaosSegLen); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < kLocks; l++ {
+		c.AddSegmentAll(Segment{LockID: uint32(l), Region: chaosRegion,
+			Off: uint64(l) * chaosSegLen, Len: chaosSegLen})
+	}
+	if err := c.Barrier(chaosRegion); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase A: every node writes its own locks — seeds interest and
+	// spreads the tokens to their owners.
+	round := 0
+	for ; round < 2; round++ {
+		for l := 0; l < kLocks; l++ {
+			if err := chaosWrite(c.Node(l%kNodes), seed, round, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase B: the victim generates a 2x majority of the demand on the
+	// first few locks (the interleaved owners keep the tokens bouncing,
+	// which is what makes the demand visible to the homes).
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < 4; l++ {
+			for slot := 0; slot < 4; slot++ {
+				w := victim
+				switch slot {
+				case 1:
+					w = l % kNodes
+				case 3:
+					w = (l + 1) % kNodes
+				}
+				if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	migs := func() int64 {
+		var n int64
+		for i := 0; i < c.Size(); i++ {
+			if !c.Down(i) {
+				n += c.Node(i).Stats().Counter(metrics.CtrLockMigrations)
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for migs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no lock home migrated to the dominant writer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Take the contended tokens to the victim and kill it: the
+	// survivors must recover the tokens and the migrated home authority.
+	for l := 0; l < 4; l++ {
+		if err := chaosWrite(c.Node(victim), seed, round, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round++
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	evictedEverywhere := func() bool {
+		for i := 0; i < c.Size(); i++ {
+			if c.Down(i) || i == victim {
+				continue
+			}
+			if !c.Membership(i).Evicted(c.ids[victim]) {
+				return false
+			}
+		}
+		return true
+	}
+	for tick := 0; tick < 12 && !evictedEverywhere(); tick++ {
+		clk.Advance(600 * time.Millisecond)
+		c.TickMembership()
+		if err := chaosAwaitAcks(c, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitEvicted(victim, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitLiveTokens(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase C: survivors keep writing every lock, including the ones
+	// whose migrated home just died and reverted to its birth home.
+	for end := round + 2; round < end; round++ {
+		for l := 0; l < kLocks; l++ {
+			w := (round + l) % kNodes
+			if w == victim {
+				w = (w + 1) % kNodes
+			}
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if err := c.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase D: full rotation, rejoined node included.
+	for end := round + 2; round < end; round++ {
+		for l := 0; l < kLocks; l++ {
+			if err := chaosWrite(c.Node((round+l)%kNodes), seed, round, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Converge and compare every cache.
+	if err := c.FlushChaos(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < kNodes; i++ {
+		for l := 0; l < kLocks; l++ {
+			tx := c.Node(i).Begin(NoRestore)
+			if err := tx.Acquire(uint32(l)); err != nil {
+				t.Fatalf("converge: lock %d on node %d: %v", l, i+1, err)
+			}
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := c.Node(0).RVM().Region(chaosRegion).Bytes()
+	for i := 1; i < kNodes; i++ {
+		if !bytes.Equal(base, c.Node(i).RVM().Region(chaosRegion).Bytes()) {
+			t.Fatalf("node %d diverged after scale churn", i+1)
+		}
+	}
+	if migs() == 0 {
+		t.Fatal("migration counters vanished") // paranoia: counter survived churn
 	}
 }
 
