@@ -261,6 +261,8 @@ type Cluster struct {
 
 	regions map[RegionID]int // mapped via MapAll, for Restart re-mapping
 	segs    []Segment        // registered via AddSegmentAll
+
+	homeRing *lockmgr.Ring // prebuilt placement ring over ids (surgery loops)
 }
 
 // NewLocalCluster builds k nodes (ids 1..k) connected per the options.
@@ -294,6 +296,7 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 	for i := range cl.ids {
 		cl.ids[i] = NodeID(i + 1)
 	}
+	cl.homeRing = lockmgr.NewRing(cl.ids)
 
 	// Optional storage server.
 	if cfg.useStore {
@@ -715,9 +718,11 @@ func (c *Cluster) lockIDs() []uint32 {
 }
 
 // homeIndex returns the slice index of a lock's ring birth home (ids
-// are 1..k in slice order).
+// are 1..k in slice order). The placement ring is prebuilt once for
+// the roster — the surgery paths resolve every registered lock in a
+// loop.
 func (c *Cluster) homeIndex(lockID uint32) int {
-	home := lockmgr.HomeOf(c.ids, lockID)
+	home := c.homeRing.HomeOf(lockID)
 	for i, id := range c.ids {
 		if id == home {
 			return i
@@ -726,10 +731,33 @@ func (c *Cluster) homeIndex(lockID uint32) int {
 	return 0
 }
 
+// actingHomeIndex resolves the node currently managing lockID for the
+// crash-surgery paths: a live node's installed migration override
+// when it names a live node other than `dying`, else the ring birth
+// home. Queue-tail repair must land at the acting manager — with
+// WithLockMigration a lock's role may have moved off its birth home,
+// and repairing the birth home while an override routes requests
+// elsewhere leaves the acting home pointing at the corpse.
+func (c *Cluster) actingHomeIndex(lockID uint32, dying int) int {
+	for j := range c.nodes {
+		if c.down[j] || j == dying || c.nodes[j] == nil {
+			continue
+		}
+		if h, ok := c.nodes[j].Locks().MigratedHome(lockID); ok {
+			for i, id := range c.ids {
+				if id == h && i != dying && !c.down[i] {
+					return i
+				}
+			}
+		}
+	}
+	return c.homeIndex(lockID)
+}
+
 // adopterFor picks the node that inherits a dying node's lock token:
-// the lock's birth home when alive, else the lowest-id live node.
+// the lock's acting manager when alive, else the lowest-id live node.
 func (c *Cluster) adopterFor(lockID uint32, dying int) int {
-	mgr := c.homeIndex(lockID)
+	mgr := c.actingHomeIndex(lockID, dying)
 	if mgr != dying && !c.down[mgr] {
 		return mgr
 	}
@@ -764,6 +792,10 @@ func (c *Cluster) Crash(i int) error {
 		}
 	}
 	// Token surgery, while the dying node's state is still readable.
+	// The queue tail is repaired at the acting manager — the migrated
+	// home when one is installed, else the ring birth home — so a lock
+	// whose role moved off its birth home does not keep forwarding
+	// passes to the corpse.
 	if live > 0 {
 		for _, lockID := range c.lockIDs() {
 			seq, lastWrite, have := c.nodes[i].Locks().TokenState(lockID)
@@ -775,10 +807,20 @@ func (c *Cluster) Crash(i int) error {
 				continue
 			}
 			c.nodes[ad].Locks().AdoptToken(lockID, seq, lastWrite)
-			mgr := c.homeIndex(lockID)
+			mgr := c.actingHomeIndex(lockID, i)
 			if mgr != i && !c.down[mgr] {
 				c.nodes[mgr].Locks().SetQueueTail(lockID, c.ids[ad])
 			}
+		}
+		// Migration state aimed at the corpse is the supervisor's to
+		// clean up here (no failure detector runs EvictPeer on this
+		// path): overrides routing to it fall back to ring placement,
+		// offers in flight to it abort.
+		for j := range c.nodes {
+			if j == i || c.down[j] {
+				continue
+			}
+			c.nodes[j].Locks().DropMigratedHomesTo(c.ids[i])
 		}
 	}
 	c.stopNode(i)
@@ -891,10 +933,20 @@ func (c *Cluster) Restart(i int) error {
 		}
 	}
 
+	// Migration overrides are volatile routing state the fresh manager
+	// lost: reseed them from a survivor so the restarted node routes
+	// to acting homes instead of reclaiming migrated roles by ring
+	// position. (Survivors agree on the override set — the handoff
+	// broadcast is epoch-fenced — so any live view suffices.)
+	c.reseedOverrides(i)
+
 	// Lock surgery: a fresh manager believes it owns the token for
 	// every lock it manages, but tokens relocated at crash time live
 	// elsewhere — forfeit those and point the waiter queue at the
-	// current holder.
+	// current holder. The tail repair matters only when this node is
+	// the acting manager; for a lock whose role migrated to a live
+	// survivor, that survivor's queue state is intact and requests
+	// from here forward to it through the reseeded override.
 	for _, lockID := range c.lockIDs() {
 		holder := -1
 		for j := range c.ids {
@@ -911,7 +963,9 @@ func (c *Cluster) Restart(i int) error {
 		}
 		if c.homeIndex(lockID) == i {
 			c.nodes[i].Locks().ForfeitToken(lockID)
-			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+			if c.actingHomeIndex(lockID, -1) == i {
+				c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+			}
 		}
 	}
 
@@ -919,6 +973,26 @@ func (c *Cluster) Restart(i int) error {
 	// interlock seeding) — the restarted cache converges with the
 	// cluster before running new transactions.
 	return c.nodes[i].CatchUp()
+}
+
+// reseedOverrides copies the migration overrides a live survivor
+// holds onto freshly restarted node i (its own override table died
+// with it). Overrides naming node i itself are skipped: the roles it
+// held were dropped or reclaimed while it was down, and a home
+// update or fresh handoff must re-establish them.
+func (c *Cluster) reseedOverrides(i int) {
+	for j := range c.nodes {
+		if j == i || c.down[j] || c.nodes[j] == nil {
+			continue
+		}
+		for lockID, home := range c.nodes[j].Locks().MigratedHomes() {
+			if home == c.ids[i] {
+				continue
+			}
+			c.nodes[i].Locks().InstallMigratedHome(lockID, home)
+		}
+		return
+	}
 }
 
 // Rejoin brings a Killed (evicted) node back through the membership
@@ -999,9 +1073,16 @@ func (c *Cluster) Rejoin(i int) error {
 		}
 	}
 
+	// Survivors may still route some locks to migrated homes (their
+	// overrides outlive an unrelated node's eviction); the rejoiner's
+	// fresh manager must learn them or it reclaims those roles by ring
+	// position.
+	c.reseedOverrides(i)
+
 	// Tokens this node once held were reclaimed by the survivors while
 	// it was dead: forfeit the fresh state's claim on home-managed locks
-	// and point their queues at the current holders.
+	// and point their queues at the current holders. As in Restart, the
+	// tail repair lands here only when this node is the acting manager.
 	for _, lockID := range c.lockIDs() {
 		holder := -1
 		for j := range c.ids {
@@ -1018,7 +1099,9 @@ func (c *Cluster) Rejoin(i int) error {
 		}
 		if c.homeIndex(lockID) == i {
 			c.nodes[i].Locks().ForfeitToken(lockID)
-			c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+			if c.actingHomeIndex(lockID, -1) == i {
+				c.nodes[i].Locks().SetQueueTail(lockID, c.ids[holder])
+			}
 		}
 	}
 

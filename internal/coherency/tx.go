@@ -354,6 +354,7 @@ func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
 	const pullWindow = 2 * time.Millisecond
 	deadline := time.Now().Add(10 * time.Second)
 	rescanned := false
+	firstRound := true
 	for n.locks.Applied(lockID) < targetSeq {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("coherency: pull for lock %d stalled at %d < %d",
@@ -361,9 +362,14 @@ func (n *Node) pullUpdates(lockID uint32, targetSeq uint64) error {
 		}
 		// Eager modes pull only as a backstop: the broadcast usually
 		// trails the token pass by microseconds, so give it one window
-		// before paying a full round of server-log reads.
-		if n.prop == Eager && n.locks.AwaitApplied(lockID, targetSeq, pullWindow) {
-			return nil
+		// before the first round of server-log reads. Later rounds skip
+		// the grace — the frames are evidently not coming, and paying
+		// the window per retry would compound the stall.
+		if firstRound {
+			firstRound = false
+			if n.prop == Eager && n.locks.AwaitApplied(lockID, targetSeq, pullWindow) {
+				return nil
+			}
 		}
 		// Pull from every cluster member's server-side log, not just
 		// the transport's live peers: a crashed node's committed

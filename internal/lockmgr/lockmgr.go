@@ -909,7 +909,7 @@ func (m *Manager) EvictPeer(peer netproto.NodeID) {
 			delete(m.tails, lockID)
 		}
 	}
-	m.mig.abortTargetLocked(peer)
+	m.mig.forgetPeerLocked(peer)
 	m.cond.Broadcast()
 	m.mu.Unlock()
 

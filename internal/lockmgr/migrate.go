@@ -20,10 +20,23 @@ import (
 // because the queue-tail pointer travels with the role: the new
 // home's first forwarded pass still targets the old chain's tail, so
 // no sequence number is skipped or duplicated.
+//
+// The handoff commits at the TARGET first (when the offer is adopted);
+// the old home learns of the commit from the accept-ack or from the
+// target's home-update broadcast, whichever lands first. Because the
+// target may already have committed whenever the old home is in doubt,
+// a silent timeout never reverts to local management — the offer is
+// re-sent (it is idempotent: each handoff carries an id, and a target
+// that already adopted that id re-acks without touching its queue)
+// until an ack arrives or the failure detector evicts the target.
+// Reverting is allowed only on a refuse-ack (the target vouches it did
+// not commit) or on eviction (the target can no longer act as
+// manager). Anything weaker can leave two nodes extending the same
+// queue chain — split-brain over the lock.
 const (
-	MsgMigrate    uint8 = 0x13 // old home -> target: {lock u32, epoch u32, hasTail u8, tail u32}
-	MsgMigrateAck uint8 = 0x14 // target -> old home: {lock u32, epoch u32, accept u8}
-	MsgHomeUpdate uint8 = 0x15 // target -> all: {lock u32, epoch u32, home u32}
+	MsgMigrate    uint8 = 0x13 // old home -> target: {lock u32, epoch u32, id u32, hasTail u8, tail u32}
+	MsgMigrateAck uint8 = 0x14 // target -> old home: {lock u32, epoch u32, id u32, accept u8}
+	MsgHomeUpdate uint8 = 0x15 // target -> all (old home included): {lock u32, epoch u32, home u32}
 )
 
 // Migration tuning. statsWindow observations of a lock's write demand
@@ -33,6 +46,7 @@ const (
 // Demand is counted per request arriving at the home — a holder that
 // keeps the token generates none — so windows are sized for the
 // bounce rate of a contended lock, not its raw write rate.
+// migrateTimeout paces offer re-sends, not an abort: see retryMigration.
 var (
 	statsWindow    = 16
 	minMigObs      = uint32(4)
@@ -43,8 +57,19 @@ var (
 type migInflight struct {
 	target netproto.NodeID
 	epoch  uint32
+	id     uint32            // handoff id; acks must echo it, dup offers re-ack by it
+	offer  []byte            // encoded MsgMigrate frame, re-sent verbatim by the retry timer
 	buf    []netproto.NodeID // requesters parked while the role is in flight
 	timer  *time.Timer
+}
+
+// migAdopted records a handoff this node committed as target, so a
+// re-sent offer for it is re-acked instead of re-adopted (the queue
+// has moved on since; re-installing the offer's tail snapshot would
+// fork the chain).
+type migAdopted struct {
+	from netproto.NodeID
+	id   uint32
 }
 
 // migrator holds the per-lock write-demand stats and in-flight
@@ -53,9 +78,11 @@ type migrator struct {
 	m        *Manager
 	enabled  bool
 	epoch    func() uint32 // membership epoch source; nil = unfenced (epoch 0)
+	nextID   uint32
 	stats    map[uint32]map[netproto.NodeID]uint32
 	obs      map[uint32]int
 	inflight map[uint32]*migInflight
+	adopted  map[uint32]migAdopted
 }
 
 func (g *migrator) init(m *Manager) {
@@ -63,6 +90,7 @@ func (g *migrator) init(m *Manager) {
 	g.stats = map[uint32]map[netproto.NodeID]uint32{}
 	g.obs = map[uint32]int{}
 	g.inflight = map[uint32]*migInflight{}
+	g.adopted = map[uint32]migAdopted{}
 }
 
 // EnableMigration turns on dominant-writer lock-home migration.
@@ -151,29 +179,30 @@ func (g *migrator) evaluateLocked(lockID uint32, s map[netproto.NodeID]uint32) {
 	// Freeze the manager role: requests arriving from here on are
 	// parked until the target acks or the handoff aborts.
 	tail, hasTail := m.tails[lockID]
-	inf := &migInflight{target: cand, epoch: g.epochNow()}
-	g.inflight[lockID] = inf
-	inf.timer = time.AfterFunc(migrateTimeout, func() { m.abortMigration(lockID, inf) })
-
-	var b [13]byte
+	g.nextID++
+	inf := &migInflight{target: cand, epoch: g.epochNow(), id: g.nextID}
+	b := make([]byte, 17)
 	binary.LittleEndian.PutUint32(b[0:], lockID)
 	binary.LittleEndian.PutUint32(b[4:], inf.epoch)
+	binary.LittleEndian.PutUint32(b[8:], inf.id)
+	b[12] = 1
 	if hasTail {
-		b[8] = 1
-		binary.LittleEndian.PutUint32(b[9:], uint32(tail))
+		binary.LittleEndian.PutUint32(b[13:], uint32(tail))
 	} else {
 		// No tail entry means the chain ends here (token born at the
 		// manager and never forwarded): the target's first pass must
 		// come back to us.
-		b[8] = 1
-		binary.LittleEndian.PutUint32(b[9:], uint32(self))
+		binary.LittleEndian.PutUint32(b[13:], uint32(self))
 	}
+	inf.offer = b
+	g.inflight[lockID] = inf
+	inf.timer = time.AfterFunc(migrateTimeout, func() { m.retryMigration(lockID, inf) })
 	m.mu.Unlock()
-	err := m.tr.Send(cand, MsgMigrate, b[:])
+	// A failed send is not an abort: the frame's fate is ambiguous on
+	// some transports, so the retry timer re-offers until the target
+	// answers or is evicted.
+	_ = m.tr.Send(cand, MsgMigrate, inf.offer)
 	m.mu.Lock()
-	if err != nil {
-		g.dropInflightLocked(lockID, inf, true)
-	}
 }
 
 // bufferLocked parks a request that arrived while lockID's role is in
@@ -188,7 +217,9 @@ func (g *migrator) bufferLocked(lockID uint32, requester netproto.NodeID) bool {
 }
 
 // dropInflightLocked removes an in-flight handoff and requeues its
-// parked requests locally. Callers hold m.mu.
+// parked requests locally. Safe only when the target provably did not
+// commit (it refused, or it was evicted and can no longer act as
+// manager) — see retryMigration. Callers hold m.mu.
 func (g *migrator) dropInflightLocked(lockID uint32, inf *migInflight, abort bool) {
 	if g.inflight[lockID] != inf {
 		return
@@ -205,9 +236,26 @@ func (g *migrator) dropInflightLocked(lockID uint32, inf *migInflight, abort boo
 	}
 }
 
-// abortTargetLocked aborts every in-flight handoff aimed at a peer
-// the failure detector evicted. Callers hold m.mu.
-func (g *migrator) abortTargetLocked(peer netproto.NodeID) {
+// commitLocked retires a handoff the target has committed: the role
+// (and its queue-tail bookkeeping) is gone, and the parked requests
+// are returned for the caller to forward to the new home. Callers
+// hold m.mu.
+func (g *migrator) commitLocked(lockID uint32, inf *migInflight) []netproto.NodeID {
+	delete(g.inflight, lockID)
+	inf.timer.Stop()
+	delete(g.m.tails, lockID)
+	buf := inf.buf
+	inf.buf = nil
+	g.m.cond.Broadcast()
+	return buf
+}
+
+// forgetPeerLocked purges handoff state involving a dead peer: offers
+// aimed at it abort (it cannot adopt the role any more), and adopted
+// records from it are dropped — if it returns with a fresh manager its
+// handoff ids restart, and a stale record could alias a genuinely new
+// offer onto the duplicate-re-ack path. Callers hold m.mu.
+func (g *migrator) forgetPeerLocked(peer netproto.NodeID) {
 	type drain struct {
 		lockID uint32
 		inf    *migInflight
@@ -221,15 +269,38 @@ func (g *migrator) abortTargetLocked(peer netproto.NodeID) {
 	for _, d := range ds {
 		g.dropInflightLocked(d.lockID, d.inf, true)
 	}
+	for lockID, rec := range g.adopted {
+		if rec.from == peer {
+			delete(g.adopted, lockID)
+		}
+	}
 }
 
-// abortMigration is the handoff timeout: if the ack never arrived,
-// revert to managing locally.
-func (m *Manager) abortMigration(lockID uint32, inf *migInflight) {
+// retryMigration is the handoff resolution timer: an offer whose ack
+// has not arrived is re-sent — not aborted — while the target stays
+// live. A silent timeout is ambiguous: the target may have adopted
+// the role already (its accept-ack merely delayed past the timer),
+// and resuming local management in that state would leave two nodes
+// extending the same queue chain from the same tail. The role stays
+// frozen until the ack lands (offers are idempotent at the target) or
+// the failure detector evicts the target, which makes reverting safe.
+func (m *Manager) retryMigration(lockID uint32, inf *migInflight) {
 	m.mu.Lock()
-	m.mig.dropInflightLocked(lockID, inf, true)
-	m.cond.Broadcast()
+	if m.closed || m.mig.inflight[lockID] != inf {
+		m.mu.Unlock()
+		return
+	}
+	if !m.peerLive(inf.target) {
+		m.mig.dropInflightLocked(lockID, inf, true)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	m.stats.Add(metrics.CtrLockMigrationRetries, 1)
+	inf.timer = time.AfterFunc(migrateTimeout, func() { m.retryMigration(lockID, inf) })
+	target, offer := inf.target, inf.offer
 	m.mu.Unlock()
+	_ = m.tr.Send(target, MsgMigrate, offer)
 }
 
 // setOverride records a migrated home and drops the lock's cached
@@ -261,92 +332,136 @@ func (m *Manager) forwardTarget(lockID uint32) (netproto.NodeID, bool) {
 
 // onMigrate runs at the handoff target: adopt the queue tail and the
 // manager role, announce the new home, and ack. The offer is refused
-// when the sender is no longer live or the frame's epoch predates the
-// local view — a handoff must not straddle a membership change.
+// when the sender is no longer live or the frame's epoch differs from
+// the local view — a handoff must not straddle a membership change in
+// either direction. A re-sent offer for a handoff already committed
+// here is re-acked without touching the queue.
 func (m *Manager) onMigrate(from netproto.NodeID, payload []byte) {
+	if len(payload) != 17 {
+		return
+	}
+	lockID := binary.LittleEndian.Uint32(payload[0:])
+	epoch := binary.LittleEndian.Uint32(payload[4:])
+	id := binary.LittleEndian.Uint32(payload[8:])
+	hasTail := payload[12] == 1
+	tail := netproto.NodeID(binary.LittleEndian.Uint32(payload[13:]))
+
+	ack := func(accept bool) {
+		var b [13]byte
+		binary.LittleEndian.PutUint32(b[0:], lockID)
+		binary.LittleEndian.PutUint32(b[4:], epoch)
+		binary.LittleEndian.PutUint32(b[8:], id)
+		if accept {
+			b[12] = 1
+		}
+		_ = m.tr.Send(from, MsgMigrateAck, b[:])
+	}
+
+	m.mu.Lock()
+	if rec, ok := m.mig.adopted[lockID]; ok && rec.from == from && rec.id == id {
+		// Duplicate of a committed handoff: the first accept-ack was
+		// lost or delayed past the old home's retry timer. Re-ack only;
+		// the adopted queue has moved on with post-commit traffic, and
+		// re-installing the offer's tail snapshot would fork the chain.
+		m.mu.Unlock()
+		ack(true)
+		return
+	}
+	m.mu.Unlock()
+
+	// The epoch fence demands exact equality: an older frame straddles
+	// a view change behind us, a newer one means we lag the membership
+	// round — either way the two ends cannot prove they share a roster.
+	// Refusing is authoritative (nothing was committed), so the old
+	// home may safely revert or re-offer under the new epoch.
+	if !m.peerLive(from) || epoch != m.mig.epochNow() {
+		ack(false)
+		return
+	}
+
+	m.mu.Lock()
+	if hasTail && tail != m.tr.Self() {
+		m.tails[lockID] = tail
+	} else {
+		delete(m.tails, lockID)
+	}
+	m.mig.adopted[lockID] = migAdopted{from: from, id: id}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.setOverride(lockID, m.tr.Self())
+
+	var hu [12]byte
+	binary.LittleEndian.PutUint32(hu[0:], lockID)
+	binary.LittleEndian.PutUint32(hu[4:], epoch)
+	binary.LittleEndian.PutUint32(hu[8:], uint32(m.tr.Self()))
+	// Announce to every live peer, the old home included: its commit
+	// signal normally arrives on the accept-ack, but if that frame is
+	// lost the broadcast is the backstop that unfreezes its parked
+	// requests (onHomeUpdate resolves a matching in-flight handoff).
+	for _, p := range m.tr.Peers() {
+		if !m.peerLive(p) {
+			continue
+		}
+		_ = m.tr.Send(p, MsgHomeUpdate, hu[:])
+	}
+	ack(true)
+}
+
+// onMigrateAck runs at the old home: commit (install the override,
+// flush parked requests to the new home) or revert. Only an ack that
+// echoes the in-flight handoff's target, epoch, and id resolves it;
+// anything else is a duplicate of an already-resolved exchange.
+func (m *Manager) onMigrateAck(from netproto.NodeID, payload []byte) {
 	if len(payload) != 13 {
 		return
 	}
 	lockID := binary.LittleEndian.Uint32(payload[0:])
 	epoch := binary.LittleEndian.Uint32(payload[4:])
-	hasTail := payload[8] == 1
-	tail := netproto.NodeID(binary.LittleEndian.Uint32(payload[9:]))
-
-	accept := m.peerLive(from) && epoch >= m.mig.epochNow()
-	if accept {
-		m.mu.Lock()
-		if hasTail && tail != m.tr.Self() {
-			m.tails[lockID] = tail
-		} else {
-			delete(m.tails, lockID)
-		}
-		m.cond.Broadcast()
-		m.mu.Unlock()
-		m.setOverride(lockID, m.tr.Self())
-
-		var hu [12]byte
-		binary.LittleEndian.PutUint32(hu[0:], lockID)
-		binary.LittleEndian.PutUint32(hu[4:], epoch)
-		binary.LittleEndian.PutUint32(hu[8:], uint32(m.tr.Self()))
-		for _, p := range m.tr.Peers() {
-			if p == from || !m.peerLive(p) {
-				continue // the old home learns from the ack
-			}
-			_ = m.tr.Send(p, MsgHomeUpdate, hu[:])
-		}
-	}
-
-	var ack [9]byte
-	binary.LittleEndian.PutUint32(ack[0:], lockID)
-	binary.LittleEndian.PutUint32(ack[4:], epoch)
-	if accept {
-		ack[8] = 1
-	}
-	_ = m.tr.Send(from, MsgMigrateAck, ack[:])
-}
-
-// onMigrateAck runs at the old home: commit (install the override,
-// flush parked requests to the new home) or revert.
-func (m *Manager) onMigrateAck(from netproto.NodeID, payload []byte) {
-	if len(payload) != 9 {
-		return
-	}
-	lockID := binary.LittleEndian.Uint32(payload[0:])
-	epoch := binary.LittleEndian.Uint32(payload[4:])
-	accept := payload[8] == 1
+	id := binary.LittleEndian.Uint32(payload[8:])
+	accept := payload[12] == 1
 
 	m.mu.Lock()
 	inf := m.mig.inflight[lockID]
-	if inf == nil || inf.target != from || inf.epoch != epoch {
+	if inf == nil || inf.target != from || inf.epoch != epoch || inf.id != id {
 		m.mu.Unlock()
-		return // stale ack: the handoff already aborted or re-ran
+		return // stale: the handoff already resolved (dup ack) or was superseded
 	}
 	if !accept {
+		// A refusal is authoritative: the target nacks only handoffs it
+		// did not commit, so resuming local management cannot split the
+		// role.
 		m.mig.dropInflightLocked(lockID, inf, true)
 		m.cond.Broadcast()
 		m.mu.Unlock()
 		return
 	}
-	delete(m.mig.inflight, lockID)
-	inf.timer.Stop()
-	delete(m.tails, lockID)
-	buf := inf.buf
-	inf.buf = nil
-	m.cond.Broadcast()
+	buf := m.mig.commitLocked(lockID, inf)
 	m.mu.Unlock()
+	m.finishMigration(lockID, from, buf)
+}
 
-	m.setOverride(lockID, from)
+// finishMigration installs the committed handoff's override and
+// forwards the parked requests to the new home. Callers must not hold
+// m.mu.
+func (m *Manager) finishMigration(lockID uint32, home netproto.NodeID, buf []netproto.NodeID) {
+	m.setOverride(lockID, home)
 	m.stats.Add(metrics.CtrLockMigrations, 1)
 	for _, r := range buf {
 		var b [8]byte
 		binary.LittleEndian.PutUint32(b[0:], lockID)
 		binary.LittleEndian.PutUint32(b[4:], uint32(r))
-		_ = m.tr.Send(from, MsgLockReq, b[:])
+		_ = m.tr.Send(home, MsgLockReq, b[:])
 	}
 }
 
 // onHomeUpdate installs a migrated home announced by the handoff
-// target. Frames from dead announcers or older epochs are ignored.
+// target. The epoch fence is strict: announcements from any other
+// view are dropped — a peer that keeps its old route still reaches
+// the right manager through the old home's one-hop forward, which is
+// safer than mixing placement across views. At the old home the
+// announcement doubles as the commit signal when the accept-ack is
+// delayed: a matching in-flight handoff resolves here instead of
+// waiting on the retry timer.
 func (m *Manager) onHomeUpdate(from netproto.NodeID, payload []byte) {
 	if len(payload) != 12 {
 		return
@@ -354,9 +469,17 @@ func (m *Manager) onHomeUpdate(from netproto.NodeID, payload []byte) {
 	lockID := binary.LittleEndian.Uint32(payload[0:])
 	epoch := binary.LittleEndian.Uint32(payload[4:])
 	home := netproto.NodeID(binary.LittleEndian.Uint32(payload[8:]))
-	if epoch < m.mig.epochNow() || !m.peerLive(home) {
+	if epoch != m.mig.epochNow() || !m.peerLive(home) {
 		return
 	}
+	m.mu.Lock()
+	if inf := m.mig.inflight[lockID]; inf != nil && from == home && inf.target == home {
+		buf := m.mig.commitLocked(lockID, inf)
+		m.mu.Unlock()
+		m.finishMigration(lockID, home, buf)
+		return
+	}
+	m.mu.Unlock()
 	m.setOverride(lockID, home)
 }
 
@@ -367,4 +490,47 @@ func (m *Manager) MigratedHome(lockID uint32) (netproto.NodeID, bool) {
 	defer m.routeMu.RUnlock()
 	ov, ok := m.overrides[lockID]
 	return ov, ok
+}
+
+// MigratedHomes returns a copy of every installed migration override
+// (crash-surgery supervisors reseed a restarted node's routing from a
+// survivor's view).
+func (m *Manager) MigratedHomes() map[uint32]netproto.NodeID {
+	m.routeMu.RLock()
+	defer m.routeMu.RUnlock()
+	out := make(map[uint32]netproto.NodeID, len(m.overrides))
+	for l, h := range m.overrides {
+		out[l] = h
+	}
+	return out
+}
+
+// InstallMigratedHome force-installs a migration override, bypassing
+// the handoff protocol — crash-surgery only: a restarted node's fresh
+// manager would otherwise reclaim by ring position a role that
+// migrated away before the crash.
+func (m *Manager) InstallMigratedHome(lockID uint32, home netproto.NodeID) {
+	m.setOverride(lockID, home)
+}
+
+// DropMigratedHomesTo purges migration state aimed at a crashed peer
+// on behalf of a supervisor (the non-membership Crash path, which has
+// no failure detector to do it): overrides routing to the peer fall
+// back to ring placement, in-flight handoffs offered to it abort, and
+// its adopted-handoff records are forgotten. The membership path gets
+// the same cleanup from EvictPeer.
+func (m *Manager) DropMigratedHomesTo(peer netproto.NodeID) {
+	m.mu.Lock()
+	m.mig.forgetPeerLocked(peer)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	m.routeMu.Lock()
+	for lockID, ov := range m.overrides {
+		if ov == peer {
+			delete(m.overrides, lockID)
+		}
+	}
+	clear(m.homeCache)
+	m.routeMu.Unlock()
 }

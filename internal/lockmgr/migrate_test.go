@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -58,19 +59,7 @@ func TestMigrationMovesHomeToDominantWriter(t *testing.T) {
 	// single-writer locks generate no signal, and need no migration
 	// either.) Per 4 acquires the home counts node 3 twice and the
 	// others once each, so node 3 dominates every window.
-	total := 0
-	for i := 0; i < 48; i++ {
-		w := ms[2]
-		switch i % 4 {
-		case 1:
-			w = ms[0]
-		case 3:
-			w = ms[1]
-		}
-		mustAcquire(t, w, lock)
-		w.Release(lock, false)
-		total++
-	}
+	total := driveMigration(t, ms, lock)
 	awaitMigratedHome(t, ms, lock, 3)
 	if ms[0].Stats().Counter(metrics.CtrLockMigrations) != 1 {
 		t.Fatalf("lock_home_migrations = %d at the old home, want 1",
@@ -79,14 +68,7 @@ func TestMigrationMovesHomeToDominantWriter(t *testing.T) {
 
 	// The chain survives the move gap-free: acquires from every node
 	// keep incrementing the same sequence, one per grant.
-	for i := 0; i < 9; i++ {
-		g := mustAcquire(t, ms[i%3], lock)
-		total++
-		if g.Seq != uint64(total) {
-			t.Fatalf("grant %d: seq = %d, want %d (chain gap across migration)", i, g.Seq, total)
-		}
-		ms[i%3].Release(lock, false)
-	}
+	mustChainGapFree(t, ms, lock, total)
 }
 
 func TestMigrationRevertsWhenTargetEvicted(t *testing.T) {
@@ -176,7 +158,7 @@ func TestInflightMigrationAbortsOnTargetEviction(t *testing.T) {
 	ms[1].Release(lock, false)
 }
 
-func TestHomeUpdateIgnoresStaleEpochAndDeadHome(t *testing.T) {
+func TestHomeUpdateIgnoresOtherEpochsAndDeadHome(t *testing.T) {
 	ms := cluster(t, 3)
 	epoch := uint32(5)
 	ms[0].EnableMigration(func() uint32 { return epoch })
@@ -193,6 +175,14 @@ func TestHomeUpdateIgnoresStaleEpochAndDeadHome(t *testing.T) {
 	ms[0].onHomeUpdate(3, hu[:])
 	if _, ok := ms[0].MigratedHome(lock); ok {
 		t.Fatal("stale-epoch HomeUpdate installed an override")
+	}
+
+	// A newer epoch means this node lags the membership round: the
+	// fence is strict equality, so that frame is dropped too.
+	putU32(hu[4:], 6) // epoch 6 > 5
+	ms[0].onHomeUpdate(3, hu[:])
+	if _, ok := ms[0].MigratedHome(lock); ok {
+		t.Fatal("newer-epoch HomeUpdate installed an override")
 	}
 
 	// Same frame at the current epoch but naming a dead home: ignored.
@@ -216,27 +206,180 @@ func TestHomeUpdateIgnoresStaleEpochAndDeadHome(t *testing.T) {
 	}
 }
 
-func TestMigrateOfferRefusedAtStaleEpoch(t *testing.T) {
+func TestMigrateOfferRefusedOffEpoch(t *testing.T) {
 	ms := cluster(t, 2)
 	epoch := uint32(7)
 	ms[1].EnableMigration(func() uint32 { return epoch })
 	lock := lockHomedAt(t, 2, 1)
 
-	// Offer fenced at epoch 6 < 7: the target must refuse (no tail
-	// install, no override, nack on the wire).
-	var b [13]byte
-	b[0], b[1], b[2], b[3] = byte(lock), byte(lock>>8), byte(lock>>16), byte(lock>>24)
-	b[4] = 6
-	b[8] = 1
-	b[9] = 1 // tail = node 1
-	ms[1].onMigrate(1, b[:])
-	if _, ok := ms[1].MigratedHome(lock); ok {
-		t.Fatal("stale-epoch offer adopted the manager role")
+	// Offers fenced at any epoch other than the receiver's — older
+	// (the frame straddles a view change behind us) or newer (we lag
+	// the membership round) — must be refused: no tail install, no
+	// override, nack on the wire.
+	for _, frameEpoch := range []uint32{6, 8} {
+		var b [17]byte
+		b[0], b[1], b[2], b[3] = byte(lock), byte(lock>>8), byte(lock>>16), byte(lock>>24)
+		b[4] = byte(frameEpoch)
+		b[8] = 1  // handoff id
+		b[12] = 1 // hasTail
+		b[13] = 1 // tail = node 1
+		ms[1].onMigrate(1, b[:])
+		if _, ok := ms[1].MigratedHome(lock); ok {
+			t.Fatalf("epoch-%d offer adopted the manager role (local epoch 7)", frameEpoch)
+		}
+		ms[1].mu.Lock()
+		_, hasTail := ms[1].tails[lock]
+		ms[1].mu.Unlock()
+		if hasTail {
+			t.Fatalf("epoch-%d offer installed a queue tail", frameEpoch)
+		}
 	}
-	ms[1].mu.Lock()
-	_, hasTail := ms[1].tails[lock]
-	ms[1].mu.Unlock()
-	if hasTail {
-		t.Fatal("stale-epoch offer installed a queue tail")
+}
+
+// dropTransport wraps an endpoint and swallows frames the drop
+// predicate selects — simulated loss on an otherwise reliable link.
+type dropTransport struct {
+	netproto.Transport
+	mu   sync.Mutex
+	drop func(to netproto.NodeID, typ uint8) bool
+}
+
+func (d *dropTransport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	d.mu.Lock()
+	dropped := d.drop != nil && d.drop(to, typ)
+	d.mu.Unlock()
+	if dropped {
+		return nil
 	}
+	return d.Transport.Send(to, typ, payload)
+}
+
+// clusterDropping is cluster() with node i's endpoint wrapped in a
+// dropTransport; setDrop installs the loss predicates after build.
+func clusterDropping(t *testing.T, n int) ([]*Manager, []*dropTransport) {
+	t.Helper()
+	hub := netproto.NewHub()
+	ids := make([]netproto.NodeID, n)
+	for i := range ids {
+		ids[i] = netproto.NodeID(i + 1)
+	}
+	ms := make([]*Manager, n)
+	dts := make([]*dropTransport, n)
+	for i := range ids {
+		dt := &dropTransport{Transport: hub.Endpoint(ids[i])}
+		dts[i] = dt
+		ms[i] = New(dt, ids, nil)
+		m := ms[i]
+		t.Cleanup(func() { m.Close() })
+	}
+	return ms, dts
+}
+
+// driveMigration generates the dominant-writer traffic pattern of
+// TestMigrationMovesHomeToDominantWriter (node 3 dominating a lock
+// homed at node 1) and returns the acquire count.
+func driveMigration(t *testing.T, ms []*Manager, lock uint32) int {
+	t.Helper()
+	total := 0
+	for i := 0; i < 48; i++ {
+		w := ms[2]
+		switch i % 4 {
+		case 1:
+			w = ms[0]
+		case 3:
+			w = ms[1]
+		}
+		mustAcquire(t, w, lock)
+		w.Release(lock, false)
+		total++
+	}
+	return total
+}
+
+// mustChainGapFree asserts acquires from every node keep extending
+// the same per-lock sequence, one per grant, starting after `total`.
+func mustChainGapFree(t *testing.T, ms []*Manager, lock uint32, total int) {
+	t.Helper()
+	for i := 0; i < 9; i++ {
+		g := mustAcquire(t, ms[i%3], lock)
+		total++
+		if g.Seq != uint64(total) {
+			t.Fatalf("grant %d: seq = %d, want %d (chain gap across migration)", i, g.Seq, total)
+		}
+		ms[i%3].Release(lock, false)
+	}
+}
+
+// A lost accept-ack must not abort the handoff into split-brain: the
+// target has already committed, and the old home learns of the commit
+// from the target's home-update broadcast (which includes the old
+// home) even though the ack never arrives.
+func TestMigrationCommitsDespiteLostAck(t *testing.T) {
+	shrinkMigrationWindow(t)
+	ms, dts := clusterDropping(t, 3)
+	for _, m := range ms {
+		m.EnableMigration(nil)
+	}
+	lock := lockHomedAt(t, 3, 1)
+
+	// Node 3 (the migration target) loses every accept-ack it sends.
+	dts[2].mu.Lock()
+	dts[2].drop = func(to netproto.NodeID, typ uint8) bool { return typ == MsgMigrateAck }
+	dts[2].mu.Unlock()
+
+	total := driveMigration(t, ms, lock)
+	awaitMigratedHome(t, ms, lock, 3)
+	if got := ms[0].Stats().Counter(metrics.CtrLockMigrations); got != 1 {
+		t.Fatalf("lock_home_migrations = %d at the old home, want 1", got)
+	}
+	if got := ms[0].Stats().Counter(metrics.CtrLockMigrationsAborted); got != 0 {
+		t.Fatalf("lock_home_migrations_aborted = %d, want 0 (timeout abort would split the role)", got)
+	}
+	mustChainGapFree(t, ms, lock, total)
+}
+
+// When both the accept-ack and the old home's copy of the home-update
+// broadcast are lost, the old home must keep the role frozen and
+// re-send the offer — never revert to local management — until the
+// target's re-ack (idempotent duplicate offer) resolves the handoff.
+func TestMigrationRetriesOfferUntilAckArrives(t *testing.T) {
+	shrinkMigrationWindow(t)
+	oldTimeout := migrateTimeout
+	migrateTimeout = 50 * time.Millisecond
+	t.Cleanup(func() { migrateTimeout = oldTimeout })
+
+	ms, dts := clusterDropping(t, 3)
+	for _, m := range ms {
+		m.EnableMigration(nil)
+	}
+	lock := lockHomedAt(t, 3, 1)
+
+	// Node 3 loses its first accept-ack and every home update aimed at
+	// the old home, so only a re-sent offer can resolve the handoff.
+	var ackDrops int
+	dts[2].mu.Lock()
+	dts[2].drop = func(to netproto.NodeID, typ uint8) bool {
+		switch typ {
+		case MsgMigrateAck:
+			ackDrops++
+			return ackDrops == 1
+		case MsgHomeUpdate:
+			return to == 1
+		}
+		return false
+	}
+	dts[2].mu.Unlock()
+
+	total := driveMigration(t, ms, lock)
+	awaitMigratedHome(t, ms, lock, 3)
+	if got := ms[0].Stats().Counter(metrics.CtrLockMigrations); got != 1 {
+		t.Fatalf("lock_home_migrations = %d at the old home, want 1", got)
+	}
+	if got := ms[0].Stats().Counter(metrics.CtrLockMigrationsAborted); got != 0 {
+		t.Fatalf("lock_home_migrations_aborted = %d, want 0", got)
+	}
+	if got := ms[0].Stats().Counter(metrics.CtrLockMigrationRetries); got == 0 {
+		t.Fatal("no offer retries counted; the handoff resolved some other way")
+	}
+	mustChainGapFree(t, ms, lock, total)
 }

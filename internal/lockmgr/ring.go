@@ -108,7 +108,29 @@ func (r *ring) walk(lockID uint32, n int, visit func(idx int) bool) {
 // HomeOf returns lock id's birth home under consistent-hash placement
 // over the given roster — the node that mints the lock's token. All
 // callers that once assumed the static `id % n` slot (cluster crash
-// surgery, the chaos harness) must use this instead.
+// surgery, the chaos harness) must use this instead. It rebuilds the
+// ring per call; callers resolving many locks against one roster
+// should build a Ring once instead.
 func HomeOf(nodes []netproto.NodeID, lockID uint32) netproto.NodeID {
 	return nodes[buildRing(nodes).ownerOf(lockID)]
+}
+
+// Ring is a prebuilt consistent-hash placement over a fixed roster,
+// amortizing the O(nodes·vnodes·log) ring construction across many
+// HomeOf resolutions (cluster crash-surgery loops, the chaos
+// harness).
+type Ring struct {
+	nodes []netproto.NodeID
+	r     *ring
+}
+
+// NewRing builds the placement ring for the roster once.
+func NewRing(nodes []netproto.NodeID) *Ring {
+	ns := append([]netproto.NodeID(nil), nodes...)
+	return &Ring{nodes: ns, r: buildRing(ns)}
+}
+
+// HomeOf returns lock id's birth home on the prebuilt ring.
+func (pr *Ring) HomeOf(lockID uint32) netproto.NodeID {
+	return pr.nodes[pr.r.ownerOf(lockID)]
 }

@@ -407,7 +407,8 @@ const (
 
 	// Sharded coherency plane: lock-home migration and interest routing.
 	CtrLockMigrations        = "lock_home_migrations"         // fenced home handoffs completed (old-home side)
-	CtrLockMigrationsAborted = "lock_home_migrations_aborted" // handoffs abandoned (refused, timed out, target died)
+	CtrLockMigrationsAborted = "lock_home_migrations_aborted" // handoffs abandoned (refused, or target evicted)
+	CtrLockMigrationRetries  = "lock_home_migration_retries"  // handoff offers re-sent awaiting a delayed ack
 	CtrInterestRegs          = "interest_registrations"       // peer interest (un)registrations received
 	CtrUpdateFramesRecv      = "update_frames_recv"           // update/update-batch frames received
 )
@@ -466,8 +467,8 @@ var fixedIdx = buildIndex([]string{
 	CtrStoreReadRepairs, CtrStoreLogRepairs, CtrStoreQuorumRetries,
 	CtrStoreViewChanges, CtrStoreViewRefreshes, CtrStoreCatchupBytes,
 	CtrStoreReplicaBehind,
-	CtrLockMigrations, CtrLockMigrationsAborted, CtrInterestRegs,
-	CtrUpdateFramesRecv,
+	CtrLockMigrations, CtrLockMigrationsAborted, CtrLockMigrationRetries,
+	CtrInterestRegs, CtrUpdateFramesRecv,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{

@@ -1,0 +1,121 @@
+package lbc
+
+import (
+	"testing"
+	"time"
+
+	"lbc/internal/lockmgr"
+)
+
+// TestCrashRepairsMigratedHomeQueueTail exercises the crash-surgery /
+// migration interplay: a lock whose home has migrated off its ring
+// birth node loses its token holder to a crash, and the supervisor
+// must repair the queue tail at the ACTING manager (the migrated
+// home), not the birth home — otherwise the migrated home keeps
+// forwarding token passes at the corpse and the lock wedges. The
+// restarted node must also relearn the override, or it reclaims the
+// migrated role by ring position.
+func TestCrashRepairsMigratedHomeQueueTail(t *testing.T) {
+	const segLen = 64
+	c, err := NewLocalCluster(3, WithStore(), WithLockMigration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A lock homed (by ring placement) at node 1.
+	var lock uint32
+	for l := uint32(1); ; l++ {
+		if lockmgr.HomeOf([]NodeID{1, 2, 3}, l) == 1 {
+			lock = l
+			break
+		}
+	}
+	if err := c.MapAll(1, segLen); err != nil {
+		t.Fatal(err)
+	}
+	c.AddSegmentAll(Segment{LockID: lock, Region: 1, Off: 0, Len: segLen})
+	if err := c.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the dominant-writer pattern until the home migrates to
+	// node 3: per 4 acquires the home counts node 3 twice and nodes
+	// 1 and 2 once each, so node 3 wins every demand window.
+	total := 0
+	for i := 0; i < 96; i++ {
+		w := c.Node(2).Locks()
+		switch i % 4 {
+		case 1:
+			w = c.Node(0).Locks()
+		case 3:
+			w = c.Node(1).Locks()
+		}
+		if _, err := w.AcquireTimeout(lock, 5*time.Second); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		w.Release(lock, false)
+		total++
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		converged := true
+		for i := 0; i < 3; i++ {
+			if c.Node(i).Locks().ManagerOf(lock) != 3 {
+				converged = false
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock %d never migrated to node 3 (managers: %d %d %d)", lock,
+				c.Node(0).Locks().ManagerOf(lock), c.Node(1).Locks().ManagerOf(lock),
+				c.Node(2).Locks().ManagerOf(lock))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Park the token at node 2 (neither the birth home nor the acting
+	// home), quiesce, and crash it.
+	if _, err := c.Node(1).Locks().AcquireTimeout(lock, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Node(1).Locks().Release(lock, false)
+	total++
+	if err := c.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acting home (node 3) must have had its queue tail repaired:
+	// an acquire from node 1 routes to node 3 and must get the token
+	// instead of waiting on a pass forwarded to the corpse.
+	g, err := c.Node(0).Locks().AcquireTimeout(lock, 3*time.Second)
+	if err != nil {
+		t.Fatalf("acquire after crashing the token holder: %v (queue tail repaired at the wrong node?)", err)
+	}
+	total++
+	if g.Seq != uint64(total) {
+		t.Fatalf("post-crash grant seq = %d, want %d (chain gap)", g.Seq, total)
+	}
+	c.Node(0).Locks().Release(lock, false)
+
+	// A restarted node relearns the migrated home from the survivors
+	// and routes to it rather than reclaiming the role by ring
+	// position.
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := c.Node(1).Locks().MigratedHome(lock); !ok || h != 3 {
+		t.Fatalf("restarted node's override = (%d, %v), want (3, true)", h, ok)
+	}
+	g, err = c.Node(1).Locks().AcquireTimeout(lock, 3*time.Second)
+	if err != nil {
+		t.Fatalf("acquire from the restarted node: %v", err)
+	}
+	total++
+	if g.Seq != uint64(total) {
+		t.Fatalf("post-restart grant seq = %d, want %d (chain gap)", g.Seq, total)
+	}
+	c.Node(1).Locks().Release(lock, false)
+}
