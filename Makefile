@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store bench-scale bench-scale-check table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store bench-scale bench-scale-check bench-wire bench-wire-check table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
 COVER_MIN ?= 70
@@ -91,6 +91,17 @@ bench-scale:
 # and interest routing must still cut the per-node frame load.
 bench-scale-check:
 	$(GO) run ./cmd/scalebench -check -baseline BENCH_scale.json
+
+# Wire-efficiency sweep: OO7 T2 update broadcasts at 2/8/16 nodes,
+# compressed batch frames vs the NoCompress baseline — bytes/frames
+# per transaction, compression ratio, send-stall quantiles.
+bench-wire:
+	$(GO) run ./cmd/wirebench -o BENCH_wire.json
+
+# Regression gate: compression must cut wire bytes at least 3x at
+# every size and hold 80% of the committed baseline's ratio.
+bench-wire-check:
+	$(GO) run ./cmd/wirebench -check -baseline BENCH_wire.json
 
 # Individual experiments.
 table2:

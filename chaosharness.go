@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lbc/internal/chaos"
+	"lbc/internal/coherency"
 	"lbc/internal/membership"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
@@ -91,7 +92,7 @@ func (rep *ChaosReport) String() string {
 
 // ChaosScenarios lists the named scenarios RunChaosScenario accepts.
 func ChaosScenarios() []string {
-	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover", "migrate-evict"}
+	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover", "migrate-evict", "drop-compressed"}
 }
 
 // RunChaosScenario executes one named scenario under the given seed
@@ -113,6 +114,8 @@ func RunChaosScenario(name string, seed int64) (*ChaosReport, error) {
 		rep, err = chaosStoreQuorumFailover(seed)
 	case "migrate-evict":
 		rep, err = chaosMigrateEvict(seed)
+	case "drop-compressed":
+		rep, err = chaosDropCompressed(seed)
 	default:
 		return nil, fmt.Errorf("lbc: unknown chaos scenario %q (have %v)", name, ChaosScenarios())
 	}
@@ -132,11 +135,20 @@ const (
 )
 
 // chaosData regenerates the payload for (round, lock) from the seed —
-// retriable and identical across runs.
+// retriable and identical across runs. The payload is a seed-unique
+// 12-byte pattern repeated across the buffer: unique enough that a
+// misapplied record diverges the images, compressible enough that the
+// batcher's DEFLATE frame (MsgUpdateBatchC) actually ships — fully
+// random payloads would make every scenario silently fall back to
+// plain frames and never exercise the compressed wire path.
 func chaosData(seed int64, round, lock int) []byte {
 	rng := rand.New(rand.NewSource(seed*1000003 + int64(round)*8191 + int64(lock)*131 + 7))
+	pat := make([]byte, 12)
+	rng.Read(pat)
 	b := make([]byte, chaosPayload)
-	rng.Read(b)
+	for i := range b {
+		b[i] = pat[i%len(pat)]
+	}
 	return b
 }
 
@@ -1004,6 +1016,56 @@ func chaosStoreQuorumFailover(seed int64) (*ChaosReport, error) {
 		"view_changes":     st.Counter(metrics.CtrStoreViewChanges),
 		"catchup_bytes":    st.Counter(metrics.CtrStoreCatchupBytes),
 		"replica_replaced": 1,
+	}
+	return rep, nil
+}
+
+// --- Scenario 7: drop compressed frames ----------------------------------
+
+// chaosDropCompressed aims the fault injector exclusively at the
+// compressed batch frame (MsgUpdateBatchC): a quarter of them vanish
+// on the wire while rotating writers hammer every lock. Receivers must
+// recover the lost spans through the pull backstop exactly as they do
+// for plain frames, and the run fails loudly if the cluster never
+// actually shipped a compressed frame — guarding against a regression
+// where the size heuristic silently disables compression and the
+// scenario degenerates into a no-fault run.
+func chaosDropCompressed(seed int64) (*ChaosReport, error) {
+	inj := chaos.New(chaos.Config{
+		Seed:      seed,
+		DropProb:  0.25,
+		DropTypes: []uint8{coherency.MsgUpdateBatchC},
+	})
+	c, err := chaosCluster(inj)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rep := &ChaosReport{Scenario: "drop-compressed", Seed: seed}
+
+	for round := 0; round < 10; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := chaosCheck(c, rep); err != nil {
+		return nil, err
+	}
+	var compressed int64
+	for i := 0; i < c.Size(); i++ {
+		compressed += c.Node(i).Stats().Counter(metrics.CtrCompressedFrames)
+	}
+	if compressed == 0 {
+		return nil, fmt.Errorf("no compressed frames sent — scenario exercised nothing")
+	}
+	rep.Faults = inj.Stats()
+	if rep.Faults["drops"] == 0 {
+		return nil, fmt.Errorf("injector dropped no compressed frames")
 	}
 	return rep, nil
 }

@@ -38,6 +38,9 @@ type clusterConfig struct {
 	inj          *chaos.Injector
 	acqTimeout   time.Duration
 	groupCommit  bool
+	noCompress   bool
+	sendWindow   int
+	sendStall    time.Duration
 	traceCap     int
 	applyWorkers int
 	serialApply  bool
@@ -173,6 +176,31 @@ func WithAcquireTimeout(d time.Duration) Option {
 // multi-record frame per peer per batch.
 func WithGroupCommit() Option {
 	return func(c *clusterConfig) { c.groupCommit = true }
+}
+
+// WithUncompressedUpdates disables DEFLATE payload compression of
+// batched update frames: every batch ships as a plain MsgUpdateBatch.
+// The ablation baseline for the wire bench; compression is otherwise on
+// by default under WithGroupCommit (with a size heuristic that skips
+// small or incompressible batches).
+func WithUncompressedUpdates() Option {
+	return func(c *clusterConfig) { c.noCompress = true }
+}
+
+// WithSendWindow bounds, per peer on every node, the bytes queued plus
+// in flight in the batch sender (default 1 MiB). A full window blocks
+// the committing transaction — backpressure toward the slow peer —
+// instead of buffering without bound.
+func WithSendWindow(bytes int) Option {
+	return func(c *clusterConfig) { c.sendWindow = bytes }
+}
+
+// WithSendStallTimeout sets how long a commit blocks on one peer's full
+// send window before the slow-peer policy drops that peer's backlog in
+// favor of the server-log pull backstop (default 500ms; only effective
+// when the pull path is configured).
+func WithSendStallTimeout(d time.Duration) Option {
+	return func(c *clusterConfig) { c.sendStall = d }
 }
 
 // WithTracing gives every node a trace ring of the given span capacity,
@@ -490,26 +518,30 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		})
 		c.mons[i] = mon
 		tr = membership.NewFence(c.trs[i], mon, r.Stats(), []uint8{
-			coherency.MsgUpdate, coherency.MsgUpdateStd, coherency.MsgUpdateBatch,
+			coherency.MsgUpdate, coherency.MsgUpdateStd,
+			coherency.MsgUpdateBatch, coherency.MsgUpdateBatchC,
 		})
 	}
 	n, err := coherency.New(coherency.Options{
-		RVM:             r,
-		Transport:       tr,
-		Nodes:           c.ids,
-		Propagation:     cfg.propagation,
-		Wire:            cfg.wire,
-		PageSize:        cfg.pageSize,
-		PeerLogs:        peerLogs,
-		Versioned:       cfg.versioned[i],
-		CheckLocks:      cfg.checkLocks,
-		PullOnStall:     cfg.inj != nil && cfg.useStore,
-		InterestRouting: cfg.interest,
-		AcquireTimeout:  cfg.acqTimeout,
-		BatchUpdates:    cfg.groupCommit,
-		ApplyWorkers:    cfg.applyWorkers,
-		SerialApply:     cfg.serialApply,
-		Membership:      mon,
+		RVM:              r,
+		Transport:        tr,
+		Nodes:            c.ids,
+		Propagation:      cfg.propagation,
+		Wire:             cfg.wire,
+		PageSize:         cfg.pageSize,
+		PeerLogs:         peerLogs,
+		Versioned:        cfg.versioned[i],
+		CheckLocks:       cfg.checkLocks,
+		PullOnStall:      cfg.inj != nil && cfg.useStore,
+		InterestRouting:  cfg.interest,
+		AcquireTimeout:   cfg.acqTimeout,
+		BatchUpdates:     cfg.groupCommit,
+		NoCompress:       cfg.noCompress,
+		SendWindow:       cfg.sendWindow,
+		SendStallTimeout: cfg.sendStall,
+		ApplyWorkers:     cfg.applyWorkers,
+		SerialApply:      cfg.serialApply,
+		Membership:       mon,
 	})
 	if err != nil {
 		return err

@@ -172,7 +172,8 @@ func main() {
 		})
 		defer mon.Close()
 		tr = membership.NewFence(mesh, mon, mstats, []uint8{
-			coherency.MsgUpdate, coherency.MsgUpdateStd, coherency.MsgUpdateBatch,
+			coherency.MsgUpdate, coherency.MsgUpdateStd,
+			coherency.MsgUpdateBatch, coherency.MsgUpdateBatchC,
 		})
 	}
 
@@ -217,6 +218,15 @@ func main() {
 		mreg.Register("store", storeStats)
 		mreg.RegisterGauge("applier_parked", func() int64 { return int64(n.Parked()) })
 		mreg.RegisterGauge("apply_queue_depth", func() int64 { return n.ApplyQueueDepth() })
+		// Live wire compression ratio, scaled x1000 (gauges are integers):
+		// raw update bytes over actual post-compression wire bytes.
+		mreg.RegisterGauge("wire_compression_ratio_x1000", func() int64 {
+			wire := r.Stats().Counter(metrics.CtrBytesSent)
+			if wire == 0 {
+				return 0
+			}
+			return r.Stats().Counter(metrics.CtrBytesSentRaw) * 1000 / wire
+		})
 		if lagMax != nil {
 			mreg.RegisterGauge("store_replica_lag_max", lagMax)
 		}

@@ -1,0 +1,96 @@
+// Command wirebench sweeps cluster sizes with an OO7 T2 update writer,
+// measuring the batched update path's wire efficiency: bytes and
+// frames per transaction with the default compressed frames against a
+// compression-disabled baseline, plus the send-stall distribution from
+// the per-peer flow-control windows. Results go to BENCH_wire.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbc/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_wire.json", "output JSON path")
+	sizesFlag := flag.String("sizes", "2,8,16", "comma-separated cluster sizes")
+	tx := flag.Int("tx", 30, "update transactions per size")
+	traversal := flag.String("traversal", "T2-B", "OO7 update traversal to commit")
+	check := flag.Bool("check", false, "regression gate: compare against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_wire.json", "baseline JSON for -check")
+	frac := flag.Float64("frac", 0.8, "minimum fresh/baseline ratio fraction for -check")
+	minRatio := flag.Float64("min-ratio", 3.0, "structural floor: wire-byte compression ratio at every size")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "wirebench: bad cluster size %q\n", s)
+			os.Exit(1)
+		}
+		sizes = append(sizes, n)
+	}
+
+	run := func() *bench.WireBench {
+		res, err := bench.RunWireBench(sizes, *tx, *traversal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wirebench:", err)
+			os.Exit(1)
+		}
+		printPoints(res)
+		return res
+	}
+	res := run()
+
+	if *check {
+		base, err := bench.ReadWireBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wirebench:", err)
+			os.Exit(1)
+		}
+		if cerr := bench.CheckWireBench(res, base, *frac, *minRatio); cerr != nil {
+			// Shared CI machines are noisy; one bad sweep is not a
+			// regression. Re-run once before failing the gate.
+			fmt.Fprintln(os.Stderr, "wirebench:", cerr, "(retrying once)")
+			res = run()
+			if cerr := bench.CheckWireBench(res, base, *frac, *minRatio); cerr != nil {
+				fmt.Fprintln(os.Stderr, "wirebench:", cerr)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check OK: compression ratio %.2fx (floor %.2fx, baseline %.2fx)\n",
+			res.MinRatio(), *minRatio, base.MinRatio())
+	}
+
+	// In check mode the default output path is the baseline itself;
+	// only write when the user explicitly chose a destination.
+	oSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			oSet = true
+		}
+	})
+	if !*check || oSet {
+		if err := bench.WriteWireBench(res, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "wirebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func printPoints(res *bench.WireBench) {
+	fmt.Printf("%6s %12s %12s %12s %10s %9s %8s %12s\n",
+		"nodes", "bytes/tx", "raw/tx", "flat/tx", "frames/tx", "ratio", "stalls", "stall p99")
+	for _, pt := range res.Points {
+		fmt.Printf("%6d %12.0f %12.0f %12.0f %10.2f %8.2fx %8d %10dus\n",
+			pt.Nodes, pt.BytesPerTx, pt.RawBytesPerTx, pt.FlatBytesPerTx,
+			pt.FramesPerTx, pt.Ratio, pt.StallCount, pt.StallP99NS/1000)
+	}
+	fmt.Printf("worst-case compression ratio %.2fx (%s)\n", res.MinRatio(), res.Traversal)
+}

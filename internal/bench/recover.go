@@ -30,10 +30,10 @@ type RecoverBench struct {
 	Chains  int    `json:"chains"`
 	Workers int    `json:"workers"`
 
-	LogBytes    int64 `json:"log_bytes"`     // cold log size
-	TailRecords int   `json:"tail_records"`  // records above the marker
-	SkippedRecs int   `json:"skipped_recs"`  // records below the marker
-	ReplayFrom  int64 `json:"replay_from"`   // marker cut in the ckpt log
+	LogBytes    int64 `json:"log_bytes"`    // cold log size
+	TailRecords int   `json:"tail_records"` // records above the marker
+	SkippedRecs int   `json:"skipped_recs"` // records below the marker
+	ReplayFrom  int64 `json:"replay_from"`  // marker cut in the ckpt log
 
 	ColdSerialMS   float64 `json:"cold_serial_ms"`
 	ColdParallelMS float64 `json:"cold_parallel_ms"`

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/oo7"
+	"lbc/internal/rvm"
+
+	lbc "lbc"
+)
+
+// Wire-efficiency sweep for the batched update path: an OO7 T2 writer
+// broadcasts to clusters of 2..16 nodes twice per size — once with the
+// default compressed batch frames (MsgUpdateBatchC) and once with
+// compression disabled — and reports wire bytes per transaction,
+// frames per transaction, the compression ratio, and the send-stall
+// distribution from the per-peer flow-control windows. The headline
+// number is the worst-case (smallest) ratio across the sweep: how much
+// cheaper a transaction is on the wire with compression on.
+
+// WirePoint is one cluster size's measurement.
+type WirePoint struct {
+	Nodes int `json:"nodes"`
+	Tx    int `json:"transactions"`
+
+	// Compressed (default) run.
+	BytesPerTx    float64 `json:"bytes_per_tx"`      // post-compression wire bytes
+	RawBytesPerTx float64 `json:"raw_bytes_per_tx"`  // pre-compression payload bytes
+	FramesPerTx   float64 `json:"frames_per_tx"`     // batch frames sent
+	CompFrames    int64   `json:"compressed_frames"` // frames that shipped compressed
+
+	// Uncompressed baseline run (same workload, NoCompress).
+	FlatBytesPerTx float64 `json:"flat_bytes_per_tx"`
+
+	// Ratio = FlatBytesPerTx / BytesPerTx: the wire-byte reduction
+	// compression buys at this size.
+	Ratio float64 `json:"compression_ratio"`
+
+	// Send-stall distribution (flow-control backpressure on the
+	// commit path), from the compressed run. Zero counts mean the
+	// window never filled at this size.
+	StallCount int64 `json:"send_stalls"`
+	StallP50NS int64 `json:"send_stall_p50_ns"`
+	StallP90NS int64 `json:"send_stall_p90_ns"`
+	StallP99NS int64 `json:"send_stall_p99_ns"`
+}
+
+// WireBench is the BENCH_wire.json document.
+type WireBench struct {
+	Bench     string      `json:"bench"`
+	Traversal string      `json:"traversal"`
+	Points    []WirePoint `json:"points"`
+}
+
+// RunWireBench sweeps the cluster sizes, committing tx OO7 update
+// traversals per size under group commit, once compressed and once
+// not.
+func RunWireBench(sizes []int, tx int, traversal string) (*WireBench, error) {
+	out := &WireBench{Bench: "wire", Traversal: traversal}
+	for _, k := range sizes {
+		var pt WirePoint
+		pt.Nodes = k
+		pt.Tx = tx
+		for _, compress := range []bool{false, true} {
+			m, err := runWireLevel(k, tx, traversal, compress)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire %d nodes (compress=%v): %w", k, compress, err)
+			}
+			if compress {
+				pt.BytesPerTx = float64(m.wire) / float64(tx)
+				pt.RawBytesPerTx = float64(m.raw) / float64(tx)
+				pt.FramesPerTx = float64(m.frames) / float64(tx)
+				pt.CompFrames = m.compFrames
+				pt.StallCount = m.stalls.Count
+				pt.StallP50NS = m.stalls.Quantile(0.50)
+				pt.StallP90NS = m.stalls.Quantile(0.90)
+				pt.StallP99NS = m.stalls.Quantile(0.99)
+			} else {
+				pt.FlatBytesPerTx = float64(m.wire) / float64(tx)
+			}
+		}
+		if pt.BytesPerTx > 0 {
+			pt.Ratio = pt.FlatBytesPerTx / pt.BytesPerTx
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// wireMeasure is one (size, mode) cell's writer-side counters.
+type wireMeasure struct {
+	wire, raw, frames, compFrames int64
+	stalls                        metrics.HistSnapshot
+}
+
+// runWireLevel commits tx traversals on node 0 of a k-node cluster and
+// waits for every receiver to apply them all before reading counters.
+func runWireLevel(k, tx int, traversal string, compress bool) (*wireMeasure, error) {
+	img, err := BuildImage(oo7.Tiny())
+	if err != nil {
+		return nil, err
+	}
+	opts := []lbc.Option{
+		lbc.WithSeedImage(1, img),
+		lbc.WithGroupCommit(),
+	}
+	if !compress {
+		opts = append(opts, lbc.WithUncompressedUpdates())
+	}
+	cluster, err := lbc.NewLocalCluster(k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	if err := cluster.MapAll(1, len(img)); err != nil {
+		return nil, err
+	}
+	if err := cluster.Barrier(1); err != nil {
+		return nil, err
+	}
+
+	writer := cluster.Node(0)
+	db, err := oo7.Open(writer.RVM().Region(1))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < tx; i++ {
+		t := writer.Begin(rvm.NoRestore)
+		if err := t.Acquire(0); err != nil {
+			return nil, err
+		}
+		if _, err := RunTraversal(db, t, traversal); err != nil {
+			return nil, err
+		}
+		if _, err := t.Commit(rvm.NoFlush); err != nil {
+			return nil, err
+		}
+	}
+
+	// Quiesce: every receiver has applied every committed record, so
+	// the byte counters cover complete deliveries.
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 1; i < k; i++ {
+		for cluster.Node(i).Stats().Counter(metrics.CtrRecordsApplied) < int64(tx) {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("node %d applied %d/%d records", i+1,
+					cluster.Node(i).Stats().Counter(metrics.CtrRecordsApplied), tx)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	st := writer.Stats()
+	m := &wireMeasure{
+		wire:       st.Counter(metrics.CtrBytesSent),
+		raw:        st.Counter(metrics.CtrBytesSentRaw),
+		frames:     st.Counter(metrics.CtrBatchFrames),
+		compFrames: st.Counter(metrics.CtrCompressedFrames),
+	}
+	if h, ok := st.Hists()[metrics.HistSendStallNS]; ok {
+		m.stalls = h
+	}
+	return m, nil
+}
+
+// MinRatio returns the smallest compression ratio across the sweep —
+// the conservative headline (every cluster size gets at least this
+// reduction).
+func (b *WireBench) MinRatio() float64 {
+	var min float64
+	for i, pt := range b.Points {
+		if i == 0 || pt.Ratio < min {
+			min = pt.Ratio
+		}
+	}
+	return min
+}
+
+// WriteWireBench writes the document to path as indented JSON.
+func WriteWireBench(b *WireBench, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadWireBench loads a BENCH_wire.json document.
+func ReadWireBench(path string) (*WireBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b WireBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// CheckWireBench is the wire-efficiency regression gate. Structural
+// floors first: compression must cut wire bytes at least minRatio-fold
+// at every cluster size, and compressed frames must actually have
+// flowed. Then the baseline comparison: the fresh worst-case ratio
+// must hold frac of the committed baseline's (byte counts are nearly
+// deterministic, so frac guards format drift, not scheduler noise).
+func CheckWireBench(fresh, baseline *WireBench, frac, minRatio float64) error {
+	if len(fresh.Points) == 0 {
+		return fmt.Errorf("bench: wire sweep is empty")
+	}
+	fr := fresh.MinRatio()
+	if fr < minRatio {
+		return fmt.Errorf("bench: wire floor: compression ratio %.2fx < required %.2fx", fr, minRatio)
+	}
+	for _, pt := range fresh.Points {
+		if pt.CompFrames == 0 {
+			return fmt.Errorf("bench: %d-node run sent no compressed frames", pt.Nodes)
+		}
+	}
+	br := baseline.MinRatio()
+	if br <= 0 {
+		return fmt.Errorf("bench: baseline has no ratio data")
+	}
+	if fr < br*frac {
+		return fmt.Errorf("bench: wire regression: fresh ratio %.2fx < %.0f%% of baseline %.2fx",
+			fr, frac*100, br)
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package chaos
 
-import "lbc/internal/netproto"
+import (
+	"lbc/internal/bufpool"
+	"lbc/internal/netproto"
+)
 
 // Transport wraps a netproto.Transport, running every outgoing send
 // through the injector's fault schedule. Receives are untouched: all
@@ -11,7 +14,10 @@ type Transport struct {
 	in    *Injector
 }
 
-var _ netproto.Transport = (*Transport)(nil)
+var (
+	_ netproto.Transport    = (*Transport)(nil)
+	_ netproto.VectorSender = (*Transport)(nil)
+)
 
 // WrapTransport attaches the injector to a transport.
 func WrapTransport(inner netproto.Transport, in *Injector) *Transport {
@@ -28,6 +34,25 @@ func (t *Transport) Self() netproto.NodeID { return t.inner.Self() }
 // Send implements netproto.Transport, subject to the fault schedule.
 func (t *Transport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
 	return t.in.deliver(t.inner.Send, t.inner.Self(), to, typ, payload)
+}
+
+// SendV implements netproto.VectorSender. The injector judges whole
+// frames, so the parts are gathered into one pooled buffer first —
+// fault decisions then consume exactly one draw per frame regardless
+// of how the sender vectorized it. The injector copies anything it
+// holds back, so the flattened buffer recycles on return.
+func (t *Transport) SendV(to netproto.NodeID, typ uint8, parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	buf := bufpool.Get(total)
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	err := t.in.deliver(t.inner.Send, t.inner.Self(), to, typ, buf)
+	bufpool.Put(buf)
+	return err
 }
 
 // Handle implements netproto.Transport.

@@ -1,6 +1,10 @@
 package coherency
 
 import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lbc/internal/bufpool"
@@ -11,19 +15,43 @@ import (
 )
 
 // Network half of the group-commit pipeline: with Options.BatchUpdates
-// set, eager broadcasts are queued and a sender goroutine ships one
-// MsgUpdateBatch frame per peer per drain instead of one transport
-// message per transaction. Batch frames carry format-tagged records
-// (compressed or standard), so the per-record fallback for
-// wal.ErrTooLarge composes with batching.
+// set, eager broadcasts are queued into bounded per-peer send windows
+// and a dedicated sender goroutine per peer ships one batch frame per
+// drain instead of one transport message per transaction. Batch frames
+// carry format-tagged records (compressed or standard headers), so the
+// per-record fallback for wal.ErrTooLarge composes with batching, and
+// whole frames additionally ship DEFLATE-compressed (MsgUpdateBatchC)
+// when that saves wire bytes.
 //
-// Ordering: records enter the queue in commit order, before their locks
-// are released (Tx.Commit calls broadcast before Release), and flushSends
-// preserves queue order within each peer's frame. The receiver decodes a
-// frame's records in order and hands them to the applier, whose per-lock
-// sequence interlock is the actual ordering authority — cross-frame or
-// cross-peer reordering parks records exactly as it does for unbatched
-// delivery.
+// Ordering: records enter each peer's queue in commit order, before
+// their locks are released (Tx.Commit calls broadcast before Release),
+// and a drain preserves queue order within the frame. The receiver
+// decodes a frame's records in order and hands them to the applier,
+// whose per-lock sequence interlock is the actual ordering authority —
+// cross-frame or cross-peer reordering parks records exactly as it does
+// for unbatched delivery.
+//
+// Flow control: the per-peer window (Options.SendWindow) caps bytes
+// queued plus in flight. A full window blocks the committing
+// transaction inside enqueueBroadcast — the same backpressure shape as
+// wal.GroupWriter's bounded queue — but only against the slow peer;
+// frames to every other peer keep flowing on their own senders. When
+// the pull backstop is configured, a peer that stays stalled past
+// Options.SendStallTimeout is downgraded: its queued backlog is
+// dropped (counted slow_peer_drops) and the records reach it through
+// the server-log pull at its next acquire, exactly as after a chaos
+// drop.
+//
+// Buffer ownership (the zero-copy chain): encodeTaggedRecord writes the
+// format tag and the record into one pooled buffer; that buffer is
+// shared by every targeted peer's queue behind a refcount and recycles
+// when the last peer's frame has been sent. A drain builds the standard
+// batch-frame layout as a vector — one pooled skeleton holding the
+// count and length words, aliased by the parts list — and hands the
+// same vector either to wal.CompressChunks (compressed path, one pooled
+// output frame) or to netproto.SendVec (plain path, scatter-gather all
+// the way to the socket on TCPMesh). No intermediate flatten happens on
+// the plain TCP path.
 
 // Per-record format tags inside a batch frame.
 const (
@@ -31,11 +59,40 @@ const (
 	batchFmtStandard   byte = 1
 )
 
-// outMsg is one queued broadcast: an encoded, format-tagged record and
-// the peers it targets.
-type outMsg struct {
-	payload []byte
-	peers   []netproto.NodeID
+const (
+	// compressMinBytes is the size heuristic's floor: frames smaller
+	// than this ship plain (DEFLATE overhead dominates tiny frames).
+	compressMinBytes = 64
+	// compressMinSaving is the fraction of the raw size a compressed
+	// frame must save to be worth shipping (1/8): deflate slightly
+	// expands incompressible payloads, and a marginal win is not worth
+	// the receiver's inflate.
+	compressMinSavingDiv = 8
+	// maxCompressedBatchRaw bounds the declared inflated size of a
+	// received compressed frame. Far above any real batch (windows are
+	// ~1 MiB), and it caps the amplification a hostile declared length
+	// could ask for; the inflater additionally grows its buffer only as
+	// decompressed bytes actually materialize.
+	maxCompressedBatchRaw = 1 << 28
+)
+
+// errBadBatchC reports a structurally invalid compressed batch frame
+// (short header, absurd declared size, or a stream that does not
+// inflate to exactly the declared bytes).
+var errBadBatchC = errors.New("coherency: malformed compressed batch frame")
+
+// sharedPayload is one encoded, format-tagged record shared by every
+// targeted peer's send queue; the pooled buffer recycles when the last
+// holder releases it.
+type sharedPayload struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+func (sp *sharedPayload) release() {
+	if sp.refs.Add(-1) == 0 {
+		bufpool.Put(sp.buf)
+	}
 }
 
 // encodeRecord encodes rec in the node's wire format, returning the
@@ -55,123 +112,357 @@ func (n *Node) encodeRecord(rec *wal.TxRecord) ([]byte, uint8) {
 	return wal.AppendStandard(bufpool.Get(wal.StandardSize(rec)), rec), MsgUpdateStd
 }
 
-// enqueueBroadcast queues rec for the sender goroutine.
+// encodeTaggedRecord encodes rec directly behind its one-byte batch
+// format tag: tag and record share a single pooled buffer, so nothing
+// is re-copied between encode and the per-peer send queues.
+func (n *Node) encodeTaggedRecord(rec *wal.TxRecord) []byte {
+	if n.wire != Standard {
+		b := append(bufpool.Get(1+wal.CompressedSize(rec)), batchFmtCompressed)
+		msg, err := wal.AppendCompressed(b, rec)
+		if err == nil {
+			return msg
+		}
+		bufpool.Put(b)
+		n.stats.Add(metrics.CtrCompressFallbacks, 1)
+	}
+	b := append(bufpool.Get(1+wal.StandardSize(rec)), batchFmtStandard)
+	return wal.AppendStandard(b, rec)
+}
+
+// peerSender owns one peer's bounded send window: a queue of shared
+// record payloads plus the bytes of any frame currently being written,
+// together capped at Node.sendWindow. One goroutine drains the queue,
+// so a peer whose transport writes stall delays only its own frames.
+type peerSender struct {
+	n    *Node
+	peer netproto.NodeID
+
+	mu       sync.Mutex
+	wake     chan struct{} // closed+replaced on every state change
+	q        []*sharedPayload
+	inFlight int // bytes queued or being written, charged against the window
+	closed   bool
+}
+
+// notifyLocked wakes everyone waiting on this sender's state (the run
+// loop and blocked enqueuers). The close+replace idiom instead of a
+// sync.Cond because the slow-peer downgrade needs a timed wait.
+func (ps *peerSender) notifyLocked() {
+	close(ps.wake)
+	ps.wake = make(chan struct{})
+}
+
+// senderFor returns the sender for p, starting it on first use, or nil
+// when the node is shutting down.
+func (n *Node) senderFor(p netproto.NodeID) *peerSender {
+	n.psMu.Lock()
+	defer n.psMu.Unlock()
+	if n.psClosed {
+		return nil
+	}
+	ps, ok := n.peerSenders[p]
+	if !ok {
+		ps = &peerSender{n: n, peer: p, wake: make(chan struct{})}
+		n.peerSenders[p] = ps
+		n.wg.Add(1)
+		go ps.run()
+	}
+	return ps
+}
+
+// closeSenders marks every sender closed (they drain their queues and
+// exit; Node.Close's wg.Wait observes that) and stops new ones from
+// starting. Called once from Close, inside closeOne.
+func (n *Node) closeSenders() {
+	n.psMu.Lock()
+	n.psClosed = true
+	senders := make([]*peerSender, 0, len(n.peerSenders))
+	for _, ps := range n.peerSenders {
+		senders = append(senders, ps)
+	}
+	n.psMu.Unlock()
+	for _, ps := range senders {
+		ps.mu.Lock()
+		ps.closed = true
+		ps.notifyLocked()
+		ps.mu.Unlock()
+	}
+}
+
+// enqueueBroadcast encodes rec once and admits it to every targeted
+// peer's send window, blocking (backpressure into the committing
+// transaction) while a window is full.
 func (n *Node) enqueueBroadcast(rec *wal.TxRecord) {
 	peers := n.peersForRecord(rec)
 	if len(peers) == 0 {
 		return
 	}
-	msg, typ := n.encodeRecord(rec)
-	tag := batchFmtCompressed
-	if typ == MsgUpdateStd {
-		tag = batchFmtStandard
-	}
-	payload := append(bufpool.Get(1+len(msg)), tag)
-	payload = append(payload, msg...)
-	bufpool.Put(msg)
-
-	n.sendMu.Lock()
-	n.sendQ = append(n.sendQ, outMsg{payload: payload, peers: peers})
-	n.sendMu.Unlock()
-	select {
-	case n.sendWake <- struct{}{}:
-	default:
-	}
+	sp := &sharedPayload{buf: n.encodeTaggedRecord(rec)}
+	sp.refs.Store(int32(len(peers)))
 	if n.trace.Enabled() {
 		// The record's network phase starts here; the per-peer frame
-		// cost shows up as net.batch_frame spans from the sender.
+		// cost shows up as net.batch_frame spans from the senders.
 		n.trace.Emit(obs.Span{
 			Name: obs.SpanBroadcast, Node: rec.Node, Tx: rec.TxSeq,
 			Start: time.Now().UnixNano(),
-			N:     int64(len(msg)) * int64(len(peers)),
+			N:     int64(len(sp.buf)) * int64(len(peers)),
+		})
+	}
+	for _, p := range peers {
+		ps := n.senderFor(p)
+		if ps == nil {
+			sp.release() // shutting down
+			continue
+		}
+		ps.enqueue(sp)
+	}
+}
+
+// enqueue admits sp to the peer's queue, blocking while the send window
+// is full. A payload always enters an empty window even if it alone
+// exceeds it — an oversized record must not deadlock. When the wait
+// outlives the node's stall timeout and the pull backstop is
+// configured, the peer is downgraded: its queued backlog is dropped and
+// it re-fetches those records from the server logs at its next acquire
+// (the exact recovery path chaos drops exercise), so one wedged peer
+// costs a bounded stall instead of stopping every commit. Without the
+// backstop a drop would lose the records forever, so the enqueue keeps
+// blocking — memory stays bounded by the window either way.
+func (ps *peerSender) enqueue(sp *sharedPayload) {
+	n := ps.n
+	size := len(sp.buf)
+	canDrop := n.pullStall && n.peerLogs != nil
+	var stallStart time.Time
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	ps.mu.Lock()
+	for ps.inFlight > 0 && ps.inFlight+size > n.sendWindow && !ps.closed {
+		if stallStart.IsZero() {
+			stallStart = time.Now()
+			n.stats.Add(metrics.CtrSendStalls, 1)
+			if canDrop {
+				timer = time.NewTimer(n.stallTmo)
+				timeout = timer.C
+			}
+		}
+		w := ps.wake
+		ps.mu.Unlock()
+		select {
+		case <-w:
+			ps.mu.Lock()
+		case <-timeout:
+			ps.mu.Lock()
+			dropped := ps.q
+			ps.q = nil
+			for _, d := range dropped {
+				ps.inFlight -= len(d.buf)
+				d.release()
+			}
+			if len(dropped) > 0 {
+				n.stats.Add(metrics.CtrSlowPeerDrops, int64(len(dropped)))
+				ps.notifyLocked()
+			}
+			// Only the in-flight frame still occupies the window now;
+			// the transport's write timeout bounds how long that lasts,
+			// so keep waiting on wake without re-arming.
+			timeout = nil
+		}
+	}
+	if ps.closed {
+		ps.mu.Unlock()
+		sp.release()
+		return
+	}
+	ps.q = append(ps.q, sp)
+	ps.inFlight += size
+	ps.notifyLocked()
+	ps.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	if !stallStart.IsZero() {
+		n.stats.Observe(metrics.HistSendStallNS, time.Since(stallStart).Nanoseconds())
+	}
+}
+
+// run drains the queue: each iteration takes everything queued (natural
+// coalescing — commits that land while a frame is being written join
+// the next one) and ships it as a single frame. The window bytes are
+// released only after the send completes, so inFlight really is queued
+// plus in-flight. Exits once closed with an empty queue.
+func (ps *peerSender) run() {
+	n := ps.n
+	defer n.wg.Done()
+	for {
+		ps.mu.Lock()
+		for len(ps.q) == 0 && !ps.closed {
+			w := ps.wake
+			ps.mu.Unlock()
+			<-w
+			ps.mu.Lock()
+		}
+		if len(ps.q) == 0 {
+			ps.mu.Unlock()
+			return // closed and drained
+		}
+		batch := ps.q
+		ps.q = nil
+		ps.mu.Unlock()
+
+		ps.ship(batch)
+
+		freed := 0
+		for _, sp := range batch {
+			freed += len(sp.buf)
+		}
+		ps.mu.Lock()
+		ps.inFlight -= freed
+		ps.notifyLocked()
+		ps.mu.Unlock()
+		for _, sp := range batch {
+			sp.release()
+		}
+	}
+}
+
+// ship sends one batch frame carrying the drained records, choosing
+// between the compressed (MsgUpdateBatchC) and plain (MsgUpdateBatch)
+// encodings by the size heuristic. The standard batch-frame byte stream
+// is built as a vector — count and length words in one pooled skeleton,
+// record payloads aliased in place — so the compressed path deflates it
+// without materializing the concatenation and the plain path hands it
+// to the transport as a scatter-gather write.
+func (ps *peerSender) ship(batch []*sharedPayload) {
+	n := ps.n
+	traced := n.trace.Enabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
+	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
+	defer tm.Stop()
+
+	skel := bufpool.Get(4 + 4*len(batch))
+	skel = skel[:4+4*len(batch)]
+	putU32(skel[0:4], uint32(len(batch)))
+	parts := make([][]byte, 0, 1+2*len(batch))
+	parts = append(parts, skel[0:4])
+	rawSize := 4
+	off := 4
+	for _, sp := range batch {
+		putU32(skel[off:off+4], uint32(len(sp.buf)))
+		parts = append(parts, skel[off:off+4], sp.buf)
+		off += 4
+		rawSize += 4 + len(sp.buf)
+	}
+
+	var err error
+	wire := rawSize
+	compressed := false
+	sent := false
+	if !n.noCompress {
+		if rawSize >= compressMinBytes {
+			frame := bufpool.Get(4 + rawSize)
+			var hdr [4]byte
+			putU32(hdr[:], uint32(rawSize))
+			frame = append(frame, hdr[:]...)
+			frame = wal.CompressChunks(frame, parts...)
+			if len(frame) <= rawSize-rawSize/compressMinSavingDiv {
+				compressed = true
+				wire = len(frame)
+				err = n.tr.Send(ps.peer, MsgUpdateBatchC, frame)
+				sent = true
+			} else {
+				n.stats.Add(metrics.CtrCompressSkips, 1)
+			}
+			bufpool.Put(frame)
+		} else {
+			n.stats.Add(metrics.CtrCompressSkips, 1)
+		}
+	}
+	if !sent {
+		err = netproto.SendVec(n.tr, ps.peer, MsgUpdateBatch, parts)
+	}
+	bufpool.Put(skel)
+	if err != nil {
+		n.stats.Add(metrics.CtrSendErrors, 1)
+		return
+	}
+	n.stats.Add(metrics.CtrMsgsSent, 1)
+	n.stats.Add(metrics.CtrBytesSent, int64(wire))
+	n.stats.Add(metrics.CtrBytesSentRaw, int64(rawSize))
+	n.stats.Add(metrics.BytesSentTo(uint32(ps.peer)), int64(wire))
+	n.stats.Add(metrics.CtrBatchFrames, 1)
+	n.stats.Add(metrics.CtrBatchRecords, int64(len(batch)))
+	if compressed {
+		n.stats.Add(metrics.CtrCompressedFrames, 1)
+	}
+	if traced {
+		n.trace.Emit(obs.Span{
+			Name: obs.SpanFrame, Peer: uint32(ps.peer),
+			Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
+			N: int64(len(batch)),
 		})
 	}
 }
 
-// sender drains the broadcast queue, one batch frame per peer per drain.
-// Batch boundaries form naturally: every commit that lands while the
-// previous drain's sends are in flight joins the next frame.
-func (n *Node) sender() {
-	defer n.wg.Done()
-	for {
-		select {
-		case <-n.sendWake:
-			n.flushSends()
-		case <-n.done:
-			n.flushSends()
-			return
-		}
-	}
-}
-
-// flushSends takes the current queue and ships it: records are grouped
-// per peer in queue order and each peer receives a single batch frame.
-func (n *Node) flushSends() {
-	n.sendMu.Lock()
-	q := n.sendQ
-	n.sendQ = nil
-	n.sendMu.Unlock()
-	if len(q) == 0 {
-		return
-	}
-
-	perPeer := map[netproto.NodeID][][]byte{}
-	var order []netproto.NodeID
-	for _, m := range q {
-		for _, p := range m.peers {
-			if perPeer[p] == nil {
-				order = append(order, p)
-			}
-			perPeer[p] = append(perPeer[p], m.payload)
-		}
-	}
-
-	traced := n.trace.Enabled()
-	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
-	defer tm.Stop()
-	for _, p := range order {
-		var t0 time.Time
-		if traced {
-			t0 = time.Now()
-		}
-		parts := perPeer[p]
-		size := 4
-		for _, part := range parts {
-			size += 4 + len(part)
-		}
-		frame := netproto.AppendBatch(bufpool.Get(size), parts)
-		err := n.tr.Send(p, MsgUpdateBatch, frame)
-		// Send does not retain the frame (ChanEndpoint copies, TCP
-		// writes synchronously), so it can be recycled either way.
-		bufpool.Put(frame)
-		if err != nil {
-			n.stats.Add(metrics.CtrSendErrors, 1)
-			continue
-		}
-		n.stats.Add(metrics.CtrMsgsSent, 1)
-		n.stats.Add(metrics.CtrBytesSent, int64(size))
-		n.stats.Add(metrics.CtrBatchFrames, 1)
-		n.stats.Add(metrics.CtrBatchRecords, int64(len(parts)))
-		if traced {
-			n.trace.Emit(obs.Span{
-				Name: obs.SpanFrame, Peer: uint32(p),
-				Start: t0.UnixNano(), Dur: time.Since(t0).Nanoseconds(),
-				N: int64(len(parts)),
-			})
-		}
-	}
-	// Record payloads are shared across the per-peer frames; all frames
-	// have been built and sent, so release them once here.
-	for _, m := range q {
-		bufpool.Put(m.payload)
-	}
-}
-
-// onUpdateBatch decodes a batch frame and feeds its records to the
-// apply pipeline in frame order.
+// onUpdateBatch decodes a plain batch frame and feeds its records to
+// the apply pipeline in frame order.
 func (n *Node) onUpdateBatch(from netproto.NodeID, payload []byte) {
 	n.stats.Add(metrics.CtrUpdateFramesRecv, 1)
-	parts, err := netproto.SplitBatch(payload)
+	n.dispatchBatch(from, payload)
+}
+
+// onUpdateBatchC handles the compressed batch frame: a u32 declared raw
+// size followed by the DEFLATE stream of the standard frame bytes.
+// Decoding dispatches by frame type, so plain and compressed frames
+// interoperate on one link. Corrupt tags, truncated streams, and
+// bomb-sized declared lengths all land in decodeError — never a panic
+// or an unbounded allocation.
+func (n *Node) onUpdateBatchC(from netproto.NodeID, payload []byte) {
+	n.stats.Add(metrics.CtrUpdateFramesRecv, 1)
+	raw, err := inflateBatch(payload)
+	if err != nil {
+		n.decodeError(from)
+		return
+	}
+	n.dispatchBatch(from, raw)
+	bufpool.Put(raw)
+}
+
+// inflateBatch recovers the standard batch-frame bytes from a
+// MsgUpdateBatchC payload into a pooled buffer the caller must Put.
+func inflateBatch(payload []byte) ([]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte frame", errBadBatchC, len(payload))
+	}
+	rawLen := int(getU32(payload))
+	if rawLen < 4 || rawLen > maxCompressedBatchRaw {
+		return nil, fmt.Errorf("%w: declared size %d", errBadBatchC, rawLen)
+	}
+	// The declared size caps the inflater; the initial allocation is
+	// additionally clamped so the declared length alone cannot force a
+	// large buffer — growth beyond it happens only as real data arrives.
+	prealloc := rawLen
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	out, err := wal.Decompress(bufpool.Get(prealloc), payload[4:], rawLen)
+	if err != nil {
+		bufpool.Put(out)
+		return nil, err
+	}
+	if len(out) != rawLen {
+		bufpool.Put(out)
+		return nil, fmt.Errorf("%w: inflated %d bytes, declared %d", errBadBatchC, len(out), rawLen)
+	}
+	return out, nil
+}
+
+// dispatchBatch decodes the standard batch-frame bytes (however they
+// arrived) and feeds the records to the apply pipeline in frame order.
+func (n *Node) dispatchBatch(from netproto.NodeID, frame []byte) {
+	parts, err := netproto.SplitBatch(frame)
 	if err != nil {
 		n.decodeError(from)
 		return

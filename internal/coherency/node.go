@@ -42,10 +42,11 @@ import (
 
 // Message type codes on the transport (0x20-0x2F reserved here).
 const (
-	MsgUpdate      uint8 = 0x20 // compressed coherency record
-	MsgUpdateStd   uint8 = 0x21 // standard-encoded record (header ablation)
-	MsgMapRegion   uint8 = 0x22 // {region u32}: sender has region mapped
-	MsgUpdateBatch uint8 = 0x25 // batch frame of format-tagged records (0x23/0x24 are checkpoint)
+	MsgUpdate       uint8 = 0x20 // compressed coherency record
+	MsgUpdateStd    uint8 = 0x21 // standard-encoded record (header ablation)
+	MsgMapRegion    uint8 = 0x22 // {region u32}: sender has region mapped
+	MsgUpdateBatch  uint8 = 0x25 // batch frame of format-tagged records (0x23/0x24 are checkpoint)
+	MsgUpdateBatchC uint8 = 0x2D // DEFLATE-compressed batch frame (0x26-0x2C are token/checkpoint/interest)
 )
 
 // Propagation selects when committed log tails travel to peers (§2.2).
@@ -153,12 +154,33 @@ type Options struct {
 	// pulls the records it was never sent from the server logs, so
 	// routing is purely a delivery optimization (see interest.go).
 	InterestRouting bool
-	// BatchUpdates routes eager broadcasts through a sender goroutine
-	// that ships one MsgUpdateBatch frame per peer per batch instead of
+	// BatchUpdates routes eager broadcasts through per-peer sender
+	// goroutines that ship one batch frame per peer per drain instead of
 	// one message per transaction — the network half of the group-commit
 	// pipeline. Receiver-side ordering is unchanged: batched records go
 	// through the same per-lock sequence interlock.
 	BatchUpdates bool
+	// NoCompress disables DEFLATE payload compression of batch frames
+	// (MsgUpdateBatchC). With it set every batch ships as a plain
+	// MsgUpdateBatch, as before PR 9 — the ablation baseline for the
+	// wire bench. Compression is on by default under BatchUpdates;
+	// small or incompressible batches fall back to the plain frame
+	// automatically.
+	NoCompress bool
+	// SendWindow bounds, per peer, the bytes queued plus in flight in
+	// the batch sender (default 1 MiB). A full window blocks the
+	// committing transaction's enqueue — backpressure mirroring
+	// wal.GroupWriter's bounded queue — instead of buffering without
+	// bound toward a slow peer.
+	SendWindow int
+	// SendStallTimeout is how long an enqueue blocks on one peer's full
+	// window before the slow-peer policy downgrades that peer: its
+	// queued backlog is dropped and it recovers the records through the
+	// pull backstop (default 500ms). Only effective when the pull path
+	// is configured (PullOnStall/InterestRouting with PeerLogs);
+	// without it the enqueue keeps blocking, since a drop would lose
+	// the records for good.
+	SendStallTimeout time.Duration
 	// ApplyWorkers sets the size of the parallel apply worker pool
 	// (default min(GOMAXPROCS, 8)). Records on disjoint per-lock chains
 	// install concurrently; each chain keeps its §3.4 order. 1 still
@@ -196,6 +218,9 @@ type Node struct {
 	pullStall  bool
 	acqTimeout time.Duration
 	batch      bool
+	noCompress bool
+	sendWindow int
+	stallTmo   time.Duration
 	serial     bool
 	interestOn bool
 
@@ -215,11 +240,12 @@ type Node struct {
 	// Quiesce read it.
 	outstanding atomic.Int64
 
-	// Outgoing batch queue (BatchUpdates). sendMu is leaf-level: never
-	// taken while holding n.mu.
-	sendMu   sync.Mutex
-	sendQ    []outMsg
-	sendWake chan struct{}
+	// Per-peer bounded send windows (BatchUpdates). psMu guards the map
+	// and the closed flag only; each peerSender has its own lock. Both
+	// are leaf-level: never taken while holding n.mu.
+	psMu        sync.Mutex
+	psClosed    bool
+	peerSenders map[netproto.NodeID]*peerSender
 
 	parked atomic.Int64 // applier gauge: records held by the interlock
 
@@ -235,8 +261,8 @@ type Node struct {
 	regionPeers  map[rvm.RegionID]map[netproto.NodeID]bool
 	interest     map[uint32]map[netproto.NodeID]bool // lock -> interested peers
 	myInterest   map[uint32]bool                     // locks this node registered
-	peersChanged chan struct{}    // closed+replaced when regionPeers grows
-	readPos      map[uint32]int64 // lazy: per-peer log read offset
+	peersChanged chan struct{}                       // closed+replaced when regionPeers grows
+	readPos      map[uint32]int64                    // lazy: per-peer log read offset
 	versioned    bool
 	retention    map[uint32]*lockHistory // piggyback: per-lock record history
 	clusterNodes []netproto.NodeID
@@ -284,6 +310,12 @@ func New(opts Options) (*Node, error) {
 	if opts.PageSize == 0 {
 		opts.PageSize = 8192
 	}
+	if opts.SendWindow <= 0 {
+		opts.SendWindow = 1 << 20
+	}
+	if opts.SendStallTimeout <= 0 {
+		opts.SendStallTimeout = 500 * time.Millisecond
+	}
 	n := &Node{
 		rvm:          opts.RVM,
 		tr:           opts.Transport,
@@ -298,13 +330,16 @@ func New(opts Options) (*Node, error) {
 		pullStall:    opts.PullOnStall,
 		acqTimeout:   opts.AcquireTimeout,
 		batch:        opts.BatchUpdates,
+		noCompress:   opts.NoCompress,
+		sendWindow:   opts.SendWindow,
+		stallTmo:     opts.SendStallTimeout,
 		serial:       opts.SerialApply,
 		interestOn:   opts.InterestRouting,
 		member:       opts.Membership,
 		tokInfo:      map[uint32]map[netproto.NodeID]tokenInfo{},
 		tokWake:      make(chan struct{}),
 		arenas:       map[*wal.TxRecord][]byte{},
-		sendWake:     make(chan struct{}, 1),
+		peerSenders:  map[netproto.NodeID]*peerSender{},
 		segments:     map[uint32]Segment{},
 		regionPeers:  map[rvm.RegionID]map[netproto.NodeID]bool{},
 		interest:     map[uint32]map[netproto.NodeID]bool{},
@@ -324,6 +359,7 @@ func New(opts Options) (*Node, error) {
 	n.tr.Handle(MsgUpdateStd, n.onUpdateStd)
 	n.tr.Handle(MsgMapRegion, n.onMapRegion)
 	n.tr.Handle(MsgUpdateBatch, n.onUpdateBatch)
+	n.tr.Handle(MsgUpdateBatchC, n.onUpdateBatchC)
 	n.tr.Handle(MsgInterest, n.onInterest)
 	if opts.Propagation == Piggyback {
 		n.locks.SetTokenData(n)
@@ -348,10 +384,8 @@ func New(opts Options) (*Node, error) {
 		})
 		go n.scheduler()
 	}
-	if n.batch {
-		n.wg.Add(1)
-		go n.sender()
-	}
+	// With BatchUpdates the per-peer senders start lazily on first
+	// enqueue toward each peer (see senderFor in batcher.go).
 	return n, nil
 }
 
@@ -514,6 +548,7 @@ func (n *Node) peersForRecord(rec *wal.TxRecord) []netproto.NodeID {
 func (n *Node) Close() error {
 	n.closeOne.Do(func() {
 		close(n.done)
+		n.closeSenders()
 		n.locks.Close()
 	})
 	n.wg.Wait()

@@ -326,6 +326,11 @@ func (n *Node) broadcast(rec *wal.TxRecord) {
 		}
 		n.stats.Add(metrics.CtrMsgsSent, 1)
 		n.stats.Add(metrics.CtrBytesSent, int64(len(msg)))
+		// Unbatched sends are never payload-compressed, so raw == wire;
+		// keeping both counters moving makes the compression-ratio gauge
+		// read 1.0 here instead of reporting a gap.
+		n.stats.Add(metrics.CtrBytesSentRaw, int64(len(msg)))
+		n.stats.Add(metrics.BytesSentTo(uint32(p)), int64(len(msg)))
 	}
 	tm.Stop()
 	msgLen := len(msg)

@@ -1,0 +1,399 @@
+package coherency
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+	"lbc/internal/netproto"
+	"lbc/internal/rvm"
+	"lbc/internal/store"
+	"lbc/internal/wal"
+)
+
+// compressible returns n bytes of repeating pattern — enough structure
+// that a batch carrying it clears the compression size heuristic.
+func compressible(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i % 7)
+	}
+	return b
+}
+
+// TestCompressedBatchDelivers drives writes big enough to trip the
+// compression heuristic and checks (a) the reader converges through
+// MsgUpdateBatchC frames, (b) the wire-byte counter runs below the raw
+// counter, and (c) the per-peer byte counter tracks the wire total.
+func TestCompressedBatchDelivers(t *testing.T) {
+	nodes := batchedCluster(t, 2, 4096)
+	for i := 0; i < 10; i++ {
+		commitWrite(t, nodes[0], 1, 0, compressible(512))
+		got := readUnder(t, nodes[1], 1, 0, 512)
+		if !bytes.Equal(got, compressible(512)) {
+			t.Fatalf("round %d: reader diverged", i)
+		}
+	}
+	st := nodes[0].Stats()
+	if st.Counter(metrics.CtrCompressedFrames) == 0 {
+		t.Fatal("no compressed frames were sent")
+	}
+	wire, raw := st.Counter(metrics.CtrBytesSent), st.Counter(metrics.CtrBytesSentRaw)
+	if wire >= raw {
+		t.Fatalf("wire bytes %d not below raw bytes %d", wire, raw)
+	}
+	if per := st.Counter(metrics.BytesSentTo(2)); per != wire {
+		t.Fatalf("per-peer bytes %d != total wire bytes %d (single-peer cluster)", per, wire)
+	}
+}
+
+// TestNoCompressOption pins the opt-out: with NoCompress set every
+// frame ships plain even when the payload would compress well.
+func TestNoCompressOption(t *testing.T) {
+	nodes := testCluster(t, 2, 4096, func(i int, o *Options) {
+		o.BatchUpdates = true
+		o.NoCompress = true
+	})
+	for i := 0; i < 5; i++ {
+		commitWrite(t, nodes[0], 1, 0, compressible(512))
+		readUnder(t, nodes[1], 1, 0, 512)
+	}
+	st := nodes[0].Stats()
+	if st.Counter(metrics.CtrCompressedFrames) != 0 {
+		t.Fatal("NoCompress node sent compressed frames")
+	}
+	if st.Counter(metrics.CtrBytesSent) != st.Counter(metrics.CtrBytesSentRaw) {
+		t.Fatal("NoCompress wire bytes diverge from raw bytes")
+	}
+}
+
+// TestSmallBatchSkipsCompression checks the other side of the
+// heuristic: tiny batches ship plain and count a skip... of the
+// frames below compressMinBytes none may arrive compressed.
+func TestSmallBatchSkipsCompression(t *testing.T) {
+	nodes := batchedCluster(t, 2, 1024)
+	for i := 0; i < 5; i++ {
+		commitWrite(t, nodes[0], 1, 0, []byte{byte(i)})
+		readUnder(t, nodes[1], 1, 0, 1)
+	}
+	if nodes[0].Stats().Counter(metrics.CtrCompressedFrames) != 0 {
+		t.Fatal("sub-threshold batches were compressed")
+	}
+	if nodes[0].Stats().Counter(metrics.CtrBatchFrames) == 0 {
+		t.Fatal("no batch frames at all — heuristic test exercised nothing")
+	}
+}
+
+// mustFrameC builds a well-formed MsgUpdateBatchC payload carrying the
+// given records, bypassing the sender (tests corrupt it afterwards).
+func mustFrameC(t *testing.T, recs ...*wal.TxRecord) []byte {
+	t.Helper()
+	var inner []byte
+	inner = append(inner, 0, 0, 0, 0)
+	putU32(inner[0:4], uint32(len(recs)))
+	var parts [][]byte
+	for _, r := range recs {
+		enc, err := wal.AppendCompressed([]byte{batchFmtCompressed}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, enc)
+		var l [4]byte
+		putU32(l[:], uint32(len(enc)))
+		inner = append(inner, l[:]...)
+	}
+	for _, p := range parts {
+		inner = append(inner, p...)
+	}
+	frame := make([]byte, 4)
+	putU32(frame, uint32(len(inner)))
+	return wal.CompressChunks(frame, inner)
+}
+
+// TestUpdateBatchCDecodeErrors feeds the compressed-frame handler the
+// malformed inputs the fuzzers hunt for — short payloads, bomb-sized
+// declared lengths, corrupt streams, length mismatches, bad inner tags
+// — and requires a decode-error count instead of a panic or a poisoned
+// apply pipeline.
+func TestUpdateBatchCDecodeErrors(t *testing.T) {
+	nodes := testCluster(t, 1, 1024, func(i int, o *Options) { o.BatchUpdates = true })
+	n := nodes[0]
+	rec := &wal.TxRecord{
+		Node: 9, TxSeq: 1,
+		Locks:  []wal.LockRec{{LockID: 5, Seq: 1, Wrote: true}},
+		Ranges: []wal.RangeRec{{Region: 1, Off: 0, Data: []byte("ok")}},
+	}
+	good := mustFrameC(t, rec)
+
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short header": {0x01, 0x02},
+		"zero length":  {0, 0, 0, 0},
+		"bomb length":  append([]byte{0xFF, 0xFF, 0xFF, 0xFF}, good[4:]...),
+		"corrupt body": append(append([]byte(nil), good[:6]...), 0xEE, 0xEE, 0xEE),
+		"length lies": func() []byte {
+			f := append([]byte(nil), good...)
+			putU32(f[0:4], getU32(f[0:4])+3)
+			return f
+		}(),
+		"bad inner tag": func() []byte {
+			enc, err := wal.AppendCompressed([]byte{0x7F}, rec) // unknown tag
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner := make([]byte, 8)
+			putU32(inner[0:4], 1)
+			putU32(inner[4:8], uint32(len(enc)))
+			inner = append(inner, enc...)
+			frame := make([]byte, 4)
+			putU32(frame, uint32(len(inner)))
+			return wal.CompressChunks(frame, inner)
+		}(),
+	}
+	before := n.Stats().Counter(metrics.CtrDecodeErrors)
+	want := before
+	for name, payload := range cases {
+		n.onUpdateBatchC(7, payload)
+		want++
+		if got := n.Stats().Counter(metrics.CtrDecodeErrors); got != want {
+			t.Fatalf("%s: decode_errors = %d, want %d", name, got, want)
+		}
+	}
+	// The well-formed frame still decodes after all that abuse.
+	n.onUpdateBatchC(7, good)
+	if got := n.Stats().Counter(metrics.CtrDecodeErrors); got != want {
+		t.Fatalf("good frame after errors: decode_errors rose to %d", got)
+	}
+	waitFor(t, func() bool { return n.Locks().Applied(5) == 1 })
+}
+
+// FuzzBatchFrameC mirrors the receive path for MsgUpdateBatchC as a
+// pure pipeline — inflate with the declared-length check, split, decode
+// every part by tag — and requires it to survive arbitrary input
+// without panicking. Seeds cover a valid frame plus each corruption
+// class the deterministic test pins.
+func FuzzBatchFrameC(f *testing.F) {
+	rec := &wal.TxRecord{
+		Node: 3, TxSeq: 9,
+		Locks:  []wal.LockRec{{LockID: 2, Seq: 4, PrevWriteSeq: 3, Wrote: true}},
+		Ranges: []wal.RangeRec{{Region: 1, Off: 64, Data: compressible(100)}},
+	}
+	var inner []byte
+	enc, err := wal.AppendCompressed([]byte{batchFmtCompressed}, rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	inner = append(inner, 0, 0, 0, 0, 0, 0, 0, 0)
+	putU32(inner[0:4], 1)
+	putU32(inner[4:8], uint32(len(enc)))
+	inner = append(inner, enc...)
+	frame := make([]byte, 4)
+	putU32(frame, uint32(len(inner)))
+	frame = wal.CompressChunks(frame, inner)
+
+	f.Add(frame)
+	f.Add(frame[:len(frame)/2])                             // truncated stream
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02, 0x03}) // bomb declared length
+	f.Add([]byte{0x00, 0x00})                               // short header
+	f.Fuzz(func(t *testing.T, b []byte) {
+		raw, err := inflateBatch(b)
+		if err != nil {
+			return
+		}
+		parts, err := netproto.SplitBatch(raw)
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if len(p) < 1 {
+				continue
+			}
+			switch p[0] {
+			case batchFmtCompressed:
+				wal.DecodeCompressed(p[1:])
+			case batchFmtStandard:
+				wal.DecodeStandard(p[1:])
+			}
+		}
+	})
+}
+
+// stallTransport wraps a Transport and blocks update-frame sends to
+// one peer until released. It deliberately embeds the interface (so
+// its method set lacks SendV): the batcher's SendVec falls back to the
+// flatten+Send path and every frame funnels through the gate.
+type stallTransport struct {
+	netproto.Transport
+	victim  netproto.NodeID
+	mu      sync.Mutex
+	release chan struct{}
+}
+
+func newStallTransport(inner netproto.Transport, victim netproto.NodeID) *stallTransport {
+	return &stallTransport{Transport: inner, victim: victim, release: make(chan struct{})}
+}
+
+func (s *stallTransport) Send(to netproto.NodeID, typ uint8, payload []byte) error {
+	if to == s.victim && (typ == MsgUpdateBatch || typ == MsgUpdateBatchC) {
+		s.mu.Lock()
+		ch := s.release
+		s.mu.Unlock()
+		<-ch
+	}
+	return s.Transport.Send(to, typ, payload)
+}
+
+func (s *stallTransport) unstall() {
+	s.mu.Lock()
+	select {
+	case <-s.release:
+	default:
+		close(s.release)
+	}
+	s.mu.Unlock()
+}
+
+// TestBackpressureBoundsWindow wedges one peer's transport and commits
+// until the writer's send window to that peer fills: commits must stop
+// at the bound (bounded memory — no unbounded queue behind a slow
+// peer), frames already admitted for the healthy peer must still
+// arrive, and releasing the stall must drain everything with no
+// deadlock. No pull backstop is configured, so dropping is not an
+// option and blocking is the only correct behavior.
+func TestBackpressureBoundsWindow(t *testing.T) {
+	const window = 400
+	var st *stallTransport
+	nodes := testCluster(t, 3, 4096, func(i int, o *Options) {
+		o.BatchUpdates = true
+		o.SendWindow = window
+		if i == 0 {
+			st = newStallTransport(o.Transport, 3)
+			o.Transport = st
+		}
+	})
+	// Unstall before the cluster's Close cleanups run, or the wedged
+	// sender goroutine would hang Node.Close's wg.Wait.
+	t.Cleanup(func() { st.unstall() })
+
+	const total = 30
+	var committed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			commitWrite(t, nodes[0], 1, 0, compressible(100))
+			committed.Add(1)
+		}
+	}()
+
+	// The committer must wedge: window 400 holds only a few ~100-byte
+	// records, so the enqueue for peer 3 blocks and the commit loop
+	// stops well short of total.
+	waitFor(t, func() bool { return nodes[0].Stats().Counter(metrics.CtrSendStalls) > 0 })
+	stalledAt := committed.Load()
+	if stalledAt >= total {
+		t.Fatalf("all %d commits ran through a %d-byte window behind a dead peer", total, window)
+	}
+	// Commits admitted before the wedge still reach the healthy peer.
+	waitFor(t, func() bool { return nodes[1].Locks().Applied(1) >= uint64(stalledAt) })
+	// And the committer stays wedged: no drops without a pull backstop.
+	time.Sleep(50 * time.Millisecond)
+	if nodes[0].Stats().Counter(metrics.CtrSlowPeerDrops) != 0 {
+		t.Fatal("sender dropped frames with no pull backstop configured")
+	}
+
+	st.unstall()
+	<-done
+	waitFor(t, func() bool { return nodes[2].Locks().Applied(1) == total })
+	got := readUnder(t, nodes[2], 1, 0, 100)
+	if !bytes.Equal(got, compressible(100)) {
+		t.Fatal("stalled peer diverged after release")
+	}
+}
+
+// TestSlowPeerDowngradeDrops runs the same wedge with the pull
+// backstop configured and a short stall timeout: instead of blocking
+// forever, the sender drops the wedged peer's backlog (slow_peer_drops
+// counts it), commits keep flowing, and the victim recovers the lost
+// records from the server logs on its next acquire — the same path
+// chaos-injected drops take.
+func TestSlowPeerDowngradeDrops(t *testing.T) {
+	srv, err := store.NewServer("127.0.0.1:0", store.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	hub := netproto.NewHub()
+	ids := []netproto.NodeID{1, 2, 3}
+	var st *stallTransport
+	nodes := make([]*Node, len(ids))
+	for i, id := range ids {
+		cli, err := store.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		r, err := rvm.Open(rvm.Options{
+			Node: uint32(id),
+			Log:  cli.LogDevice(uint32(id)),
+			Data: cli,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{
+			RVM: r, Transport: hub.Endpoint(id), Nodes: ids,
+			BatchUpdates:     true,
+			PullOnStall:      true,
+			PeerLogs:         func(node uint32) wal.Device { return cli.LogDevice(node) },
+			SendWindow:       600,
+			SendStallTimeout: 30 * time.Millisecond,
+		}
+		if i == 0 {
+			st = newStallTransport(o.Transport, 3)
+			o.Transport = st
+		}
+		n, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { n.Close() })
+	}
+	t.Cleanup(func() { st.unstall() })
+	for _, n := range nodes {
+		if _, err := n.MapRegion(1, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.WaitPeers(1, len(ids)-1, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every commit must complete despite the wedged peer: each stall
+	// resolves within the timeout by dropping the backlog.
+	const total = 20
+	for i := 0; i < total; i++ {
+		commitWrite(t, nodes[0], 1, 0, compressible(150))
+	}
+	if nodes[0].Stats().Counter(metrics.CtrSlowPeerDrops) == 0 {
+		t.Fatal("no slow-peer drops despite wedged transport and pull backstop")
+	}
+	// The healthy peer converged the eager way.
+	waitFor(t, func() bool { return nodes[1].Locks().Applied(1) == total })
+
+	// The victim recovers through the pull backstop once its transport
+	// heals: acquiring the lock detects the sequence gap and refetches
+	// the dropped records from the server logs.
+	st.unstall()
+	got := readUnder(t, nodes[2], 1, 0, 150)
+	if !bytes.Equal(got, compressible(150)) {
+		t.Fatal("victim did not recover dropped records via pull backstop")
+	}
+}

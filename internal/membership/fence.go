@@ -43,7 +43,10 @@ type Fence struct {
 	fenced [256]bool
 }
 
-var _ netproto.Transport = (*Fence)(nil)
+var (
+	_ netproto.Transport    = (*Fence)(nil)
+	_ netproto.VectorSender = (*Fence)(nil)
+)
 
 // NewFence wraps inner. fencedTypes lists the message type codes that
 // carry the epoch tag (the coherency update frames); the caller passes
@@ -83,6 +86,25 @@ func (f *Fence) Send(to netproto.NodeID, typ uint8, payload []byte) error {
 	// synchronously), so the tag buffer recycles immediately.
 	bufpool.Put(buf)
 	return err
+}
+
+// SendV implements netproto.VectorSender: the epoch tag rides as an
+// extra head part, so the fence adds four bytes to the vector instead
+// of copying the frame — the zero-copy batch path stays zero-copy
+// through the membership layer.
+func (f *Fence) SendV(to netproto.NodeID, typ uint8, parts [][]byte) error {
+	if f.mon.Evicted(to) {
+		return netproto.ErrPeerEvicted
+	}
+	if !f.fenced[typ] {
+		return netproto.SendVec(f.inner, to, typ, parts)
+	}
+	var epoch [4]byte
+	binary.LittleEndian.PutUint32(epoch[:], f.mon.Epoch())
+	all := make([][]byte, 0, 1+len(parts))
+	all = append(all, epoch[:])
+	all = append(all, parts...)
+	return netproto.SendVec(f.inner, to, typ, all)
 }
 
 // Handle implements netproto.Transport, wrapping the handler with the

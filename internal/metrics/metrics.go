@@ -411,6 +411,16 @@ const (
 	CtrLockMigrationRetries  = "lock_home_migration_retries"  // handoff offers re-sent awaiting a delayed ack
 	CtrInterestRegs          = "interest_registrations"       // peer interest (un)registrations received
 	CtrUpdateFramesRecv      = "update_frames_recv"           // update/update-batch frames received
+
+	// Wire efficiency: payload compression and per-peer flow control.
+	// CtrBytesSent counts actual post-compression wire bytes; the raw
+	// counter is what the same traffic would have cost uncompressed, so
+	// bytes_sent_raw / bytes_sent is the live compression ratio.
+	CtrBytesSentRaw     = "bytes_sent_raw"     // pre-compression update payload bytes
+	CtrCompressedFrames = "compressed_frames"  // MsgUpdateBatchC frames shipped
+	CtrCompressSkips    = "compress_skips"     // batches sent plain (small or incompressible)
+	CtrSendStalls       = "send_window_stalls" // enqueues that blocked on a full send window
+	CtrSlowPeerDrops    = "slow_peer_drops"    // queued records dropped to unwedge a stalled peer
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -431,6 +441,9 @@ const (
 	HistQuorumWriteNS     = "store_quorum_write_ns"   // full quorum write round trip
 	HistQuorumReadNS      = "store_quorum_read_ns"    // full quorum read round trip
 	HistReplicaLagBytes   = "store_replica_lag_bytes" // per-sample log-size gap behind the freshest replica
+
+	// Per-peer flow control (coherency batcher).
+	HistSendStallNS = "send_stall_ns" // time an enqueue spent blocked on a peer's window
 )
 
 // DecodeErrorsFrom names the per-sender decode-error counter for node.
@@ -440,10 +453,17 @@ func DecodeErrorsFrom(node uint32) string {
 	return fmt.Sprintf("decode_errors_from_%d", node)
 }
 
+// BytesSentTo names the per-peer wire-byte counter for node. Dynamic
+// (one per peer actually sent to), so it lives in the sync.Map
+// fallback; the batcher pays the sprintf once per frame, not per record.
+func BytesSentTo(node uint32) string {
+	return fmt.Sprintf("bytes_sent_to_%d", node)
+}
+
 // Fixed-table sizing. The lookup maps are built once at init; Add and
 // Observe consult them with a read-only map access (no allocation).
 const (
-	maxFixedCounters = 64
+	maxFixedCounters = 80
 	maxFixedHists    = 16
 )
 
@@ -469,6 +489,8 @@ var fixedIdx = buildIndex([]string{
 	CtrStoreReplicaBehind,
 	CtrLockMigrations, CtrLockMigrationsAborted, CtrLockMigrationRetries,
 	CtrInterestRegs, CtrUpdateFramesRecv,
+	CtrBytesSentRaw, CtrCompressedFrames, CtrCompressSkips,
+	CtrSendStalls, CtrSlowPeerDrops,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{
@@ -476,6 +498,7 @@ var fixedHistIdx = buildIndex([]string{
 	HistStoreReadNS, HistStoreWriteNS, HistStoreDialNS,
 	HistStoreServeReadNS, HistStoreServeWriteNS,
 	HistQuorumWriteNS, HistQuorumReadNS, HistReplicaLagBytes,
+	HistSendStallNS,
 }, maxFixedHists)
 
 func buildIndex(names []string, max int) map[string]int {

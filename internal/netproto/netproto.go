@@ -46,6 +46,37 @@ type Transport interface {
 	Close() error
 }
 
+// VectorSender is the optional scatter-gather extension of Transport:
+// SendV transmits the logical concatenation of parts as one frame
+// without requiring the caller to flatten them first. TCPMesh turns the
+// parts into a single writev; in-process transports copy once into
+// their delivery buffer. Use the SendVec helper rather than asserting
+// the interface directly, so plain Transports (test fakes, wrappers)
+// keep working via a flatten fallback.
+type VectorSender interface {
+	SendV(to NodeID, typ uint8, parts [][]byte) error
+}
+
+// SendVec sends the concatenation of parts as one frame, using the
+// transport's scatter-gather path when it has one and a single pooled
+// flatten otherwise. The parts are not retained after the call.
+func SendVec(tr Transport, to NodeID, typ uint8, parts [][]byte) error {
+	if vs, ok := tr.(VectorSender); ok {
+		return vs.SendV(to, typ, parts)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	buf := bufpool.Get(total)
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	err := tr.Send(to, typ, buf)
+	bufpool.Put(buf)
+	return err
+}
+
 // ErrUnknownPeer is returned by Send for an unconfigured destination.
 var ErrUnknownPeer = errors.New("netproto: unknown peer")
 
@@ -140,6 +171,11 @@ type inMsg struct {
 	payload []byte
 }
 
+var (
+	_ VectorSender = (*ChanEndpoint)(nil)
+	_ VectorSender = (*TCPMesh)(nil)
+)
+
 // ChanEndpoint is an in-process Transport attached to a Hub.
 type ChanEndpoint struct {
 	hub      *Hub
@@ -167,13 +203,34 @@ func (e *ChanEndpoint) Handle(typ uint8, h Handler) {
 // semantics of a TCP write). The pooled copy is owned by the receiving
 // endpoint, which returns it after handler dispatch.
 func (e *ChanEndpoint) Send(to NodeID, typ uint8, payload []byte) error {
+	cp := append(bufpool.Get(len(payload)), payload...)
+	return e.deliver(to, typ, cp)
+}
+
+// SendV implements VectorSender: the parts are gathered once into the
+// pooled delivery buffer (the copy Send would have made anyway).
+func (e *ChanEndpoint) SendV(to NodeID, typ uint8, parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	cp := bufpool.Get(total)
+	for _, p := range parts {
+		cp = append(cp, p...)
+	}
+	return e.deliver(to, typ, cp)
+}
+
+// deliver enqueues the pooled payload copy at the destination, which
+// owns it from here (returned to the pool after handler dispatch).
+func (e *ChanEndpoint) deliver(to NodeID, typ uint8, cp []byte) error {
 	dst := e.hub.lookup(to)
 	if dst == nil {
+		bufpool.Put(cp)
 		// Unregistered or dropped (crashed) endpoint: unknown and, for
 		// callers probing liveness, unreachable.
 		return fmt.Errorf("%w (%w): %d", ErrUnknownPeer, ErrPeerUnreachable, to)
 	}
-	cp := append(bufpool.Get(len(payload)), payload...)
 	select {
 	case dst.ch <- inMsg{from: e.id, typ: typ, payload: cp}:
 		return nil
@@ -360,6 +417,16 @@ func (m *TCPMesh) SetPeer(id NodeID, addr string) {
 // retried with exponential backoff, so a dead peer costs a bounded
 // error instead of wedging the sender forever.
 func (m *TCPMesh) Send(to NodeID, typ uint8, payload []byte) error {
+	if len(payload) == 0 {
+		return m.SendV(to, typ, nil)
+	}
+	return m.SendV(to, typ, [][]byte{payload})
+}
+
+// SendV implements VectorSender: the parts go to the socket as one
+// writev alongside the frame header, with the same timeout/retry
+// discipline as Send. The parts are not retained after the call.
+func (m *TCPMesh) SendV(to NodeID, typ uint8, parts [][]byte) error {
 	var lastErr error
 	backoff := m.tmo.Backoff
 	for attempt := 0; attempt <= m.tmo.Retries; attempt++ {
@@ -376,7 +443,7 @@ func (m *TCPMesh) Send(to NodeID, typ uint8, payload []byte) error {
 			}
 			backoff *= 2
 		}
-		lastErr = m.trySend(to, typ, payload)
+		lastErr = m.trySendV(to, typ, parts)
 		if lastErr == nil {
 			return nil
 		}
@@ -404,7 +471,7 @@ func (m *TCPMesh) link(to NodeID) (*peerLink, string, error) {
 	return pl, addr, nil
 }
 
-func (m *TCPMesh) trySend(to NodeID, typ uint8, payload []byte) error {
+func (m *TCPMesh) trySendV(to NodeID, typ uint8, parts [][]byte) error {
 	pl, addr, err := m.link(to)
 	if err != nil {
 		return err
@@ -429,12 +496,21 @@ func (m *TCPMesh) trySend(to NodeID, typ uint8, payload []byte) error {
 		c.SetWriteDeadline(time.Time{})
 		pl.c = c
 	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	// net.Buffers.WriteTo consumes the slice it is handed, so the vector
+	// is rebuilt per attempt; the parts themselves are only read.
 	hdr := make([]byte, frameHeaderLen)
-	binary.LittleEndian.PutUint32(hdr, uint32(1+len(payload)))
+	binary.LittleEndian.PutUint32(hdr, uint32(1+total))
 	hdr[4] = typ
-	bufs := net.Buffers{hdr}
-	if len(payload) > 0 {
-		bufs = append(bufs, payload)
+	bufs := make(net.Buffers, 0, 1+len(parts))
+	bufs = append(bufs, hdr)
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
 	}
 	pl.c.SetWriteDeadline(time.Now().Add(m.tmo.Write))
 	if _, err := bufs.WriteTo(pl.c); err != nil {

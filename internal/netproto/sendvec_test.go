@@ -1,0 +1,106 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The scatter-gather sends behind the batcher's zero-copy path: a
+// vector of parts must arrive as one frame whose payload is their
+// concatenation, on both transports and through the SendVec fallback
+// for transports that never learned SendV.
+
+func TestChanMeshSendV(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Endpoint(1), hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	rc := newCollect()
+	b.Handle(9, rc.handler)
+	parts := [][]byte{[]byte("head|"), {}, []byte("mid|"), []byte("tail")}
+	if err := a.SendV(2, 9, parts); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.waitFor(t, 1); got[0] != "1:head|mid|tail" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChanMeshSendVPartsNotRetained(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Endpoint(1), hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	var got []byte
+	done := make(chan struct{})
+	b.Handle(9, func(from NodeID, p []byte) {
+		got = append([]byte(nil), p...)
+		close(done)
+	})
+	part := []byte("reuse-me")
+	if err := a.SendV(2, 9, [][]byte{part}); err != nil {
+		t.Fatal(err)
+	}
+	// The sender may recycle its buffers the moment SendV returns; the
+	// delivered payload must not alias them.
+	for i := range part {
+		part[i] = 'X'
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	if string(got) != "reuse-me" {
+		t.Fatalf("delivered payload aliases the caller's part: %q", got)
+	}
+}
+
+func TestTCPMeshSendV(t *testing.T) {
+	a, b := newTCPPair(t)
+	var got []byte
+	done := make(chan struct{})
+	b.Handle(4, func(from NodeID, p []byte) {
+		got = append([]byte(nil), p...)
+		close(done)
+	})
+	big := bytes.Repeat([]byte{0x5A}, 1<<16)
+	parts := [][]byte{[]byte("hdr:"), big, []byte(":tlr")}
+	if err := a.SendV(2, 4, parts); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	want := append(append([]byte("hdr:"), big...), []byte(":tlr")...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload mismatch: %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// plainTransport hides the SendV method so SendVec must take the
+// flatten-and-Send fallback — the shape of any wrapper or test fake
+// that predates the vector interface.
+type plainTransport struct{ Transport }
+
+func TestSendVecFallbackFlattens(t *testing.T) {
+	hub := NewHub()
+	a, b := hub.Endpoint(1), hub.Endpoint(2)
+	defer a.Close()
+	defer b.Close()
+	rc := newCollect()
+	b.Handle(9, rc.handler)
+	var tr Transport = plainTransport{a}
+	if _, ok := tr.(VectorSender); ok {
+		t.Fatal("wrapper unexpectedly satisfies VectorSender; fallback untested")
+	}
+	if err := SendVec(tr, 2, 9, [][]byte{[]byte("a|"), []byte("b|"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.waitFor(t, 1); got[0] != "1:a|b|c" {
+		t.Fatalf("got %v", got)
+	}
+}

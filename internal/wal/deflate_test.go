@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// deflateSample builds a compressible multi-chunk input: repeated
+// structure the way a batch frame repeats headers and page images.
+func deflateSample() [][]byte {
+	var chunks [][]byte
+	for i := 0; i < 8; i++ {
+		c := make([]byte, 200)
+		for j := range c {
+			c[j] = byte(i + j%16)
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+func TestDeflateRoundTripChunks(t *testing.T) {
+	chunks := deflateSample()
+	want := bytes.Join(chunks, nil)
+
+	// The chunked compressor must produce the same logical stream as
+	// compressing the concatenation would: inflate and compare.
+	comp := CompressChunks(nil, chunks...)
+	if len(comp) >= len(want) {
+		t.Fatalf("patterned input did not compress: %d -> %d bytes", len(want), len(comp))
+	}
+	got, err := Decompress(nil, comp, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mismatch: %d bytes back, want %d", len(got), len(want))
+	}
+}
+
+func TestDeflateAppendsPreservePrefix(t *testing.T) {
+	chunks := deflateSample()
+	want := bytes.Join(chunks, nil)
+	prefix := []byte("hdr:")
+
+	comp := CompressChunks(append([]byte(nil), prefix...), chunks...)
+	if !bytes.HasPrefix(comp, prefix) {
+		t.Fatal("CompressChunks clobbered the destination prefix")
+	}
+	out, err := Decompress(append([]byte(nil), prefix...), comp[len(prefix):], len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Decompress clobbered the destination prefix")
+	}
+	if !bytes.Equal(out[len(prefix):], want) {
+		t.Fatal("round trip with prefixes mismatched")
+	}
+}
+
+func TestDecompressLimitRejectsBomb(t *testing.T) {
+	// 1 MiB of zeros deflates to a few hundred bytes; a 4 KiB limit
+	// must reject it without allocating anywhere near the real size.
+	comp := CompressChunks(nil, make([]byte, 1<<20))
+	out, err := Decompress([]byte("keep"), comp, 4096)
+	if !errors.Is(err, ErrDeflateOverflow) {
+		t.Fatalf("err = %v, want ErrDeflateOverflow", err)
+	}
+	if string(out) != "keep" {
+		t.Fatalf("error path returned %q, want original dst", out)
+	}
+}
+
+func TestDecompressExactLimitAccepted(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	comp := CompressChunks(nil, data)
+	out, err := Decompress(nil, comp, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("exact-limit round trip mismatch")
+	}
+}
+
+func TestDecompressCorruptStream(t *testing.T) {
+	comp := CompressChunks(nil, deflateSample()...)
+	// Flip bits in the middle of the stream: either a decode error or
+	// (if the damage lands in literal bytes) wrong output — but never
+	// a panic. The typed-error contract is what this pins.
+	corrupt := append([]byte(nil), comp...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	corrupt[len(corrupt)/2+1] ^= 0xFF
+	if out, err := Decompress([]byte("x"), corrupt, 1<<20); err != nil {
+		if !errors.Is(err, ErrBadDeflate) && !errors.Is(err, ErrDeflateOverflow) {
+			t.Fatalf("corrupt stream returned untyped error %v", err)
+		}
+		if string(out) != "x" {
+			t.Fatal("error path did not return the original dst")
+		}
+	}
+
+	// Garbage that is not a deflate stream at all.
+	if _, err := Decompress(nil, []byte{0xFE, 0xED, 0xFA, 0xCE, 0x00}, 1024); !errors.Is(err, ErrBadDeflate) {
+		t.Fatalf("garbage stream: err = %v, want ErrBadDeflate", err)
+	}
+}
+
+// FuzzDecompress throws arbitrary bytes at the inflater under a fixed
+// limit: every outcome must be a typed error or an in-budget output,
+// never a panic or an allocation beyond the limit. A truncated valid
+// stream may return short output successfully (flate cannot tell a
+// block-boundary cut from a clean end) — the batch decoder's declared
+// length check covers that, not this layer.
+func FuzzDecompress(f *testing.F) {
+	const limit = 1 << 16
+	f.Add(CompressChunks(nil, deflateSample()...))
+	f.Add(CompressChunks(nil, make([]byte, limit+1))) // just over the limit
+	trunc := CompressChunks(nil, bytes.Repeat([]byte("abcdef"), 100))
+	f.Add(trunc[:len(trunc)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out, err := Decompress([]byte("pfx"), b, limit)
+		if err != nil {
+			if !errors.Is(err, ErrBadDeflate) && !errors.Is(err, ErrDeflateOverflow) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if string(out) != "pfx" {
+				t.Fatalf("error path returned partial output (%d bytes)", len(out))
+			}
+			return
+		}
+		if len(out) < 3 || string(out[:3]) != "pfx" {
+			t.Fatal("success path lost the dst prefix")
+		}
+		if len(out)-3 > limit {
+			t.Fatalf("output %d bytes exceeds limit %d", len(out)-3, limit)
+		}
+	})
+}

@@ -321,6 +321,15 @@ func TestSoakScaleChurn(t *testing.T) {
 	if migs() == 0 {
 		t.Fatal("migration counters vanished") // paranoia: counter survived churn
 	}
+	var compressed int64
+	for i := 0; i < c.Size(); i++ {
+		if !c.Down(i) {
+			compressed += c.Node(i).Stats().Counter(metrics.CtrCompressedFrames)
+		}
+	}
+	if compressed == 0 {
+		t.Fatal("soak never shipped a compressed update frame")
+	}
 }
 
 // TestSoakChaosSchedule runs the full chaos scenario suite back to
