@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint cover test race chaos bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store bench-scale bench-scale-check bench-wire bench-wire-check table2 table3 figures examples clean
+.PHONY: all build vet lint cover test race chaos crashpoints bench bench-commit bench-check bench-apply bench-apply-check bench-recover bench-recover-check bench-store bench-scale bench-scale-check bench-wire bench-wire-check table2 table3 figures examples clean
 
 # Total coverage floor enforced by `make cover` (CI's coverage job).
 COVER_MIN ?= 70
@@ -43,6 +43,14 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/
 	$(GO) run ./cmd/chaosrun -runs 10
+
+# Disk crash-point sweep: a simulated power cut at every write/sync
+# boundary of the scripted workload, recovery + invariants checked at
+# each point. A failing line is a (seed, crashpoint) replay recipe.
+CRASHPOINT_SEED  ?= 42
+CRASHPOINT_RUNS  ?= 3
+crashpoints:
+	$(GO) run ./cmd/chaosrun -crashpoints -seed $(CRASHPOINT_SEED) -runs $(CRASHPOINT_RUNS)
 
 # Full benchmark sweep (every table and figure + ablations).
 bench:

@@ -8,6 +8,7 @@ import (
 
 	"lbc/internal/chaos"
 	"lbc/internal/coherency"
+	"lbc/internal/fault"
 	"lbc/internal/membership"
 	"lbc/internal/metrics"
 	"lbc/internal/netproto"
@@ -92,7 +93,7 @@ func (rep *ChaosReport) String() string {
 
 // ChaosScenarios lists the named scenarios RunChaosScenario accepts.
 func ChaosScenarios() []string {
-	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover", "migrate-evict", "drop-compressed"}
+	return []string{"partition-heal", "crash-restart", "store-failover", "evict-rejoin", "store-quorum-failover", "migrate-evict", "drop-compressed", "corrupt-log-repair"}
 }
 
 // RunChaosScenario executes one named scenario under the given seed
@@ -116,6 +117,8 @@ func RunChaosScenario(name string, seed int64) (*ChaosReport, error) {
 		rep, err = chaosMigrateEvict(seed)
 	case "drop-compressed":
 		rep, err = chaosDropCompressed(seed)
+	case "corrupt-log-repair":
+		rep, err = chaosCorruptLogRepair(seed)
 	default:
 		return nil, fmt.Errorf("lbc: unknown chaos scenario %q (have %v)", name, ChaosScenarios())
 	}
@@ -1067,5 +1070,138 @@ func chaosDropCompressed(seed int64) (*ChaosReport, error) {
 	if rep.Faults["drops"] == 0 {
 		return nil, fmt.Errorf("injector dropped no compressed frames")
 	}
+	return rep, nil
+}
+
+// --- Scenario 8: corrupt log repair --------------------------------------
+
+// corruptLogRun drives one crash-restart workload; with corrupt set,
+// the restarting node comes back on damaged media — a read-back bit
+// flip planted mid-log in its view of a peer's server log, exactly
+// where the catch-up scan must cross it. The write schedule is
+// identical either way, so the two runs must land on the same digest.
+// Returns the report plus the restarted node's corruption/repair
+// counters.
+func corruptLogRun(seed int64, corrupt bool) (rep *ChaosReport, detected, repaired int64, err error) {
+	inj := chaos.New(chaos.Config{Seed: seed}) // no network faults: disk is the story
+	c, err := chaosCluster(inj)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer c.Close()
+	rep = &ChaosReport{Scenario: "corrupt-log-repair", Seed: seed}
+
+	round := 0
+	for ; round < 4; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, 0, 0, err
+			}
+			rep.Commits++
+		}
+	}
+	// Position tokens at the crash target so relocation is exercised.
+	for l := 0; l < chaosLocks; l += 2 {
+		if err := chaosWrite(c.Node(2), seed, round, l); err != nil {
+			return nil, 0, 0, err
+		}
+		rep.Commits++
+	}
+	round++
+
+	if err := c.Crash(2); err != nil {
+		return nil, 0, 0, err
+	}
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			if c.homeIndex(uint32(l)) == 2 {
+				continue // manager is down
+			}
+			w := (round + l) % 2 // survivors only
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, 0, 0, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if corrupt {
+		self := uint32(c.ids[2])
+		victim := uint32(c.ids[0])
+		c.SetDiskFaultWrap(2, func(node uint32, dev wal.Device) wal.Device {
+			if node == self {
+				// The node's own redo log keeps its real write path:
+				// post-restart appends must still reach the server.
+				return dev
+			}
+			fd := fault.NewDevice(dev, seed)
+			if node == victim {
+				// One-shot flip in the middle of the peer log the
+				// catch-up scan reads: the first pass sees interior
+				// corruption, the retry reads sound bytes and pulls
+				// every record past the damage.
+				if sz, serr := fd.Size(); serr == nil && sz > 0 {
+					fd.FlipAt(sz/2, 0xff, false)
+				}
+			}
+			return fd
+		})
+	}
+	if err := c.Restart(2); err != nil {
+		return nil, 0, 0, err
+	}
+	detected = c.Node(2).Stats().Counter(metrics.CtrLogCorruption)
+	repaired = c.Node(2).Stats().Counter(metrics.CtrRepairRecords)
+
+	for end := round + 4; round < end; round++ {
+		for l := 0; l < chaosLocks; l++ {
+			w := (round + l) % c.Size()
+			if err := chaosWrite(c.Node(w), seed, round, l); err != nil {
+				return nil, 0, 0, err
+			}
+			rep.Commits++
+		}
+	}
+
+	if err := chaosCheck(c, rep); err != nil {
+		return nil, 0, 0, err
+	}
+	rep.Faults = inj.Stats()
+	return rep, detected, repaired, nil
+}
+
+// chaosCorruptLogRepair is the disk-corruption recovery scenario: the
+// same crash-restart workload runs twice, once clean and once with the
+// restarted node reading a corrupted peer log, and the two runs must
+// converge to bit-identical digests — corruption-aware repair recovers
+// exactly the committed state, not approximately. The faulted run must
+// also actually detect the corruption and pull records past it, so a
+// regression that silently stops scanning at the damage fails loudly
+// rather than passing on an accidentally-equal prefix.
+func chaosCorruptLogRepair(seed int64) (*ChaosReport, error) {
+	base, _, _, err := corruptLogRun(seed, false)
+	if err != nil {
+		return nil, fmt.Errorf("fault-free run: %w", err)
+	}
+	rep, detected, repaired, err := corruptLogRun(seed, true)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt run: %w", err)
+	}
+	if rep.Digest != base.Digest {
+		return nil, fmt.Errorf("corrupt run digest %016x != fault-free digest %016x — repair did not reconverge exactly",
+			rep.Digest, base.Digest)
+	}
+	if detected == 0 {
+		return nil, fmt.Errorf("no log corruption detected — the planted flip exercised nothing")
+	}
+	if repaired == 0 {
+		return nil, fmt.Errorf("corruption detected but no records pulled past the damage")
+	}
+	if rep.Faults == nil {
+		rep.Faults = map[string]int64{}
+	}
+	rep.Faults[metrics.CtrLogCorruption] = detected
+	rep.Faults[metrics.CtrRepairRecords] = repaired
 	return rep, nil
 }

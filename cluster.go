@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"lbc/internal/chaos"
@@ -286,6 +287,11 @@ type Cluster struct {
 	tracers []*obs.Tracer         // nil without WithTracing; survive Restart
 	mons    []*membership.Monitor // nil without WithMembership
 	down    []bool
+	// diskFault[i], when set, wraps every wal device node i attaches —
+	// its own redo log and each peer log it reads during catch-up —
+	// letting tests inject read-back corruption, fsync lies, or full
+	// disks on one node's storage path (SetDiskFaultWrap).
+	diskFault []func(node uint32, dev wal.Device) wal.Device
 
 	regions map[RegionID]int // mapped via MapAll, for Restart re-mapping
 	segs    []Segment        // registered via AddSegmentAll
@@ -307,18 +313,19 @@ func NewLocalCluster(k int, opts ...Option) (*Cluster, error) {
 	}
 
 	cl := &Cluster{
-		cfg:     cfg,
-		nodes:   make([]*Node, k),
-		rvms:    make([]*rvm.RVM, k),
-		meshes:  make([]*netproto.TCPMesh, k),
-		trs:     make([]netproto.Transport, k),
-		clis:    make([]storeClient, k),
-		logs:    make([]wal.Device, k),
-		datas:   make([]rvm.DataStore, k),
-		tracers: make([]*obs.Tracer, k),
-		mons:    make([]*membership.Monitor, k),
-		down:    make([]bool, k),
-		regions: map[RegionID]int{},
+		cfg:       cfg,
+		nodes:     make([]*Node, k),
+		rvms:      make([]*rvm.RVM, k),
+		meshes:    make([]*netproto.TCPMesh, k),
+		trs:       make([]netproto.Transport, k),
+		clis:      make([]storeClient, k),
+		logs:      make([]wal.Device, k),
+		datas:     make([]rvm.DataStore, k),
+		tracers:   make([]*obs.Tracer, k),
+		mons:      make([]*membership.Monitor, k),
+		down:      make([]bool, k),
+		diskFault: make([]func(node uint32, dev wal.Device) wal.Device, k),
+		regions:   map[RegionID]int{},
 	}
 	cl.ids = make([]NodeID, k)
 	for i := range cl.ids {
@@ -488,6 +495,27 @@ func (c *Cluster) startNode(i int, restart bool) error {
 	if cfg.inj != nil && cfg.useStore {
 		log = chaos.WrapDevice(log, cfg.inj, fmt.Sprintf("node-%d", id))
 	}
+	if wrap := c.diskFault[i]; wrap != nil {
+		log = wrap(uint32(id), log)
+		if peerLogs != nil {
+			// Wrap each peer device exactly once and cache it: the
+			// closure is called on every catch-up pass, and re-wrapping
+			// would re-arm one-shot faults meant to fire a single time.
+			base := peerLogs
+			var mu sync.Mutex
+			cache := map[uint32]wal.Device{}
+			peerLogs = func(node uint32) wal.Device {
+				mu.Lock()
+				defer mu.Unlock()
+				if d, ok := cache[node]; ok {
+					return d
+				}
+				d := wrap(node, base(node))
+				cache[node] = d
+				return d
+			}
+		}
+	}
 
 	r, err := rvm.Open(rvm.Options{
 		Node: uint32(id), Log: log, Data: data,
@@ -499,6 +527,10 @@ func (c *Cluster) startNode(i int, restart bool) error {
 		return err
 	}
 	c.rvms[i] = r
+	if cfg.tcp && c.meshes[i] != nil {
+		// Send-retry exhaustion lands in the node's own accumulator.
+		c.meshes[i].SetStats(r.Stats())
+	}
 
 	// Live membership: the monitor rides the (possibly chaos-wrapped)
 	// transport directly — its control frames must reach evicted nodes
@@ -576,6 +608,17 @@ func (c *Cluster) Down(i int) bool { return c.down[i] }
 
 // Log returns node i's redo-log device (for merging and recovery).
 func (c *Cluster) Log(i int) wal.Device { return c.logs[i] }
+
+// SetDiskFaultWrap installs a per-device fault wrapper on node i,
+// applied the next time the node (re)attaches its storage: the node's
+// own redo log and every peer log it opens during catch-up pass
+// through wrap(owner, dev). Install it between Crash and Restart to
+// model a node coming back on damaged media (see
+// internal/fault.Device). A nil wrap clears the hook. Running nodes
+// are unaffected until they restart.
+func (c *Cluster) SetDiskFaultWrap(i int, wrap func(node uint32, dev wal.Device) wal.Device) {
+	c.diskFault[i] = wrap
+}
 
 // Store returns the embedded storage server, if WithStore was used.
 func (c *Cluster) Store() *store.Server { return c.srv }

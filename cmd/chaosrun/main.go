@@ -4,11 +4,20 @@
 // its seed first; re-running with -seed N replays the exact fault
 // schedule, so a failure line is a complete reproduction recipe.
 //
+// With -crashpoints it instead runs the disk-accurate crash-point
+// sweep (internal/chaos): the scripted workload is enumerated once to
+// count its write/sync boundaries, then replayed with a simulated
+// power cut at each one, recovery run, and the invariants checked.
+// A failing point prints its (seed, crashpoint) tuple; replay exactly
+// that crash with -crashpoints -seed N -crashpoint P.
+//
 // Usage:
 //
 //	chaosrun                         # all scenarios, time-derived seed
 //	chaosrun -scenario partition-heal -seed 42
 //	chaosrun -runs 20                # 20 seeds per scenario
+//	chaosrun -crashpoints -runs 5    # crash-point sweep over 5 seeds
+//	chaosrun -crashpoints -seed 42 -crashpoint 17 -victim 1
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"time"
 
 	"lbc"
+	"lbc/internal/chaos"
 )
 
 func main() {
@@ -26,17 +36,27 @@ func main() {
 		fmt.Sprintf("scenario to run: one of %v, or \"all\"", lbc.ChaosScenarios()))
 	seed := flag.Int64("seed", 0,
 		"fault-schedule seed; 0 derives one from the clock (printed for replay)")
-	runs := flag.Int("runs", 1, "number of consecutive seeds to run per scenario")
+	runs := flag.Int("runs", 1, "number of consecutive seeds to run per scenario or sweep")
 	verbose := flag.Bool("v", false, "print injector fault counters per run")
+	crashpoints := flag.Bool("crashpoints", false,
+		"run the crash-point sweep instead of the network scenarios")
+	crashpoint := flag.Int64("crashpoint", -1,
+		"with -crashpoints: crash only at this op index (replay one failing tuple)")
+	victim := flag.Int("victim", 0, "with -crashpoints: node index whose device faults")
 	flag.Parse()
+
+	base := *seed
+	if base == 0 {
+		base = time.Now().UnixNano()
+	}
+
+	if *crashpoints {
+		os.Exit(runCrashPoints(base, *runs, *crashpoint, *victim))
+	}
 
 	scenarios := lbc.ChaosScenarios()
 	if *scenario != "all" {
 		scenarios = []string{*scenario}
-	}
-	base := *seed
-	if base == 0 {
-		base = time.Now().UnixNano()
 	}
 	fmt.Printf("chaosrun: base seed %d (replay any run with -seed <seed>)\n", base)
 
@@ -68,4 +88,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaosrun: %d scenario run(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runCrashPoints sweeps (or, with point >= 0, replays a single crash
+// point of) the crash-point harness and returns the process exit code.
+func runCrashPoints(base int64, runs int, point int64, victim int) int {
+	failed := 0
+	for r := 0; r < runs; r++ {
+		cfg := chaos.CrashPointConfig{Seed: base + int64(r), Victim: victim}
+		if point >= 0 {
+			if err := chaos.RunCrashPoint(cfg, point); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL seed=%d crashpoint=%d: %v\n", cfg.Seed, point, err)
+				failed++
+			} else {
+				fmt.Printf("crashpoint: seed=%d point=%d victim=%d ok\n", cfg.Seed, point, victim)
+			}
+			continue
+		}
+		points, failures, err := chaos.SweepCrashPoints(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: sweep aborted: %v\n", cfg.Seed, err)
+			failed++
+			continue
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL %v\n", f)
+			fmt.Fprintf(os.Stderr, "  reproduce: chaosrun -crashpoints -seed %d -crashpoint %d -victim %d\n",
+				f.Seed, f.Point, victim)
+			failed += 1
+		}
+		fmt.Printf("crashpoints: seed=%d victim=%d points=%d failures=%d\n",
+			cfg.Seed, victim, points, len(failures))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "chaosrun: %d crash point(s) failed\n", failed)
+		return 1
+	}
+	return 0
 }

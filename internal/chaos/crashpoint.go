@@ -1,0 +1,374 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"lbc/internal/fault"
+	"lbc/internal/rvm"
+	"lbc/internal/wal"
+)
+
+// Crash-point sweep: enumerate every write/sync boundary of a scripted
+// multi-writer workload, simulate a disk-accurate crash at each one,
+// run full recovery, and check the harness invariants. The workload is
+// an RVM-level model of the coherency plane — the harness itself plays
+// the deterministic lock manager (rotating writers, per-lock sequence
+// chains) and the eager broadcast (each acked commit is applied to
+// every other node), while the victim node's log device is a
+// fault.Device whose Append/Sync boundaries are the crash points.
+//
+// Commit semantics mirror coherency.Tx.Commit exactly: a commit whose
+// log write fails is never broadcast and never advances the lock
+// chain, so the consumed sequence number simply never appears in any
+// log — which CheckLockChains tolerates by construction. All commits
+// are Flush mode (acked ⟺ durable); NoFlush commits are legitimately
+// lossy on local logs and have no place in a durability sweep.
+
+// CrashPointConfig parameterizes the scripted workload.
+type CrashPointConfig struct {
+	Seed   int64 // torn-write prefix seed (also varies payload bytes)
+	Nodes  int   // logical nodes, default 3
+	Locks  int   // independent lock chains, default 4
+	Rounds int   // write rounds per phase (two phases), default 4
+	Victim int   // node whose device faults, default 0
+}
+
+func (c CrashPointConfig) norm() CrashPointConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Locks <= 0 {
+		c.Locks = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Victim < 0 || c.Victim >= c.Nodes {
+		c.Victim = 0
+	}
+	return c
+}
+
+const (
+	cpRegion  = 1
+	cpSegLen  = 256
+	cpPayload = 32
+)
+
+// CrashPointFailure identifies one failed crash point: together with
+// the scenario config it is a complete reproduction recipe.
+type CrashPointFailure struct {
+	Seed  int64
+	Point int64
+	Err   error
+}
+
+func (f CrashPointFailure) String() string {
+	return fmt.Sprintf("seed=%d crashpoint=%d: %v", f.Seed, f.Point, f.Err)
+}
+
+// cpHarness is one workload instance: n RVMs over fault devices, the
+// harness-owned lock chains, and the record of what was acked.
+type cpHarness struct {
+	cfg    CrashPointConfig
+	rvms   []*rvm.RVM
+	regs   []*rvm.Region
+	devs   []*fault.Device
+	stores []rvm.DataStore
+
+	nextSeq   []uint64
+	lastWrite []uint64
+	acked     map[uint64]bool // victim TxSeqs acknowledged to the "client"
+	dead      bool            // victim crashed
+}
+
+func newCPHarness(cfg CrashPointConfig) (*cpHarness, error) {
+	h := &cpHarness{
+		cfg:       cfg,
+		nextSeq:   make([]uint64, cfg.Locks),
+		lastWrite: make([]uint64, cfg.Locks),
+		acked:     map[uint64]bool{},
+	}
+	for i := range h.nextSeq {
+		h.nextSeq[i] = 1
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		dev := fault.NewDevice(wal.NewMemDevice(), cfg.Seed+int64(i))
+		store := rvm.NewMemStore()
+		r, err := rvm.Open(rvm.Options{Node: uint32(i + 1), Log: dev, Data: store})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: crashpoint open node %d: %w", i, err)
+		}
+		reg, err := r.Map(cpRegion, cfg.Locks*cpSegLen)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: crashpoint map node %d: %w", i, err)
+		}
+		h.devs = append(h.devs, dev)
+		h.stores = append(h.stores, store)
+		h.rvms = append(h.rvms, r)
+		h.regs = append(h.regs, reg)
+	}
+	return h, nil
+}
+
+// payload fills b with bytes derived from (seed, round, lock): the
+// write schedule is a pure function of the config.
+func (h *cpHarness) payload(b []byte, round, lock int) {
+	base := byte(h.cfg.Seed>>8) ^ byte(h.cfg.Seed)
+	for i := range b {
+		b[i] = base ^ byte(round*31+lock*7+i)
+	}
+}
+
+// write performs one scripted commit on node w under lock l. A crash
+// of the victim's device marks it dead; an injected ENOSPC fails the
+// commit cleanly (no broadcast, chain not advanced) and the node
+// lives on.
+func (h *cpHarness) write(w, round, l int) error {
+	if h.dead && w == h.cfg.Victim {
+		return nil
+	}
+	seq := h.nextSeq[l]
+	h.nextSeq[l]++
+	prev := h.lastWrite[l]
+
+	r := h.rvms[w]
+	reg := h.regs[w]
+	tx := r.Begin(rvm.NoRestore)
+	if err := tx.SetLock(uint32(l+1), seq, prev); err != nil {
+		return err
+	}
+	off := uint64(l*cpSegLen + (round%(cpSegLen/cpPayload))*cpPayload)
+	if err := tx.SetRange(reg, off, cpPayload); err != nil {
+		return err
+	}
+	// Snapshot the slot so a cleanly failed commit can be rolled back
+	// (Commit marks the tx done even on failure, so Abort is not an
+	// option — the harness plays the application's undo).
+	old := make([]byte, cpPayload)
+	copy(old, reg.Bytes()[off:off+cpPayload])
+	h.payload(reg.Bytes()[off:off+cpPayload], round, l)
+
+	rec, err := tx.Commit(rvm.Flush)
+	switch {
+	case err == nil:
+	case errors.Is(err, fault.ErrCrashed):
+		// The failing record is at most torn on disk (strict-prefix
+		// crash model), never complete-but-unacked, so dropping the
+		// consumed seq keeps every chain consistent.
+		h.dead = true
+		return nil
+	case errors.Is(err, fault.ErrNoSpace):
+		copy(reg.Bytes()[off:off+cpPayload], old)
+		return nil
+	default:
+		return fmt.Errorf("chaos: crashpoint commit node %d: %w", w, err)
+	}
+
+	h.lastWrite[l] = seq
+	if w == h.cfg.Victim {
+		h.acked[rec.TxSeq] = true
+	}
+	for p := 0; p < h.cfg.Nodes; p++ {
+		if p == w || (h.dead && p == h.cfg.Victim) {
+			continue
+		}
+		if _, err := h.rvms[p].ApplyRecord(rec); err != nil {
+			return fmt.Errorf("chaos: crashpoint apply on node %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// checkpointVictim models the real checkpoint discipline on the
+// victim: sweep the images to the permanent store, sync, then append
+// the durable marker (two more enumerable crash points). A crash
+// anywhere in the sequence leaves either no marker (replay starts
+// lower — redundant but harmless) or a torn one (never decodes).
+func (h *cpHarness) checkpointVictim() error {
+	if h.dead {
+		return nil
+	}
+	v := h.cfg.Victim
+	img := h.regs[v].Bytes()
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	if err := h.stores[v].StoreRegion(cpRegion, cp); err != nil {
+		return err
+	}
+	if err := h.stores[v].Sync(); err != nil {
+		return err
+	}
+	if _, _, err := h.rvms[v].AppendCheckpointMarker(); err != nil {
+		if errors.Is(err, fault.ErrCrashed) {
+			h.dead = true
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// run executes the scripted workload: Rounds rounds of rotating
+// writers over every lock, a victim checkpoint, then Rounds more.
+func (h *cpHarness) run() error {
+	total := 2 * h.cfg.Rounds
+	for round := 0; round < total; round++ {
+		if round == h.cfg.Rounds {
+			if err := h.checkpointVictim(); err != nil {
+				return err
+			}
+		}
+		for l := 0; l < h.cfg.Locks; l++ {
+			w := (round + l) % h.cfg.Nodes
+			if err := h.write(w, round, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *cpHarness) close() {
+	for _, r := range h.rvms {
+		r.Close() //nolint:errcheck // harness teardown
+	}
+}
+
+// check recovers the victim's durable log and verifies the sweep
+// invariants: survivor convergence, gap-free lock chains across every
+// log including the recovered one, merge+recovery equivalence against
+// the survivor image, and durability of every acked victim commit.
+func (h *cpHarness) check() error {
+	v := h.cfg.Victim
+	dev := h.devs[v]
+	if h.dead {
+		dev.Reopen()
+	}
+	if _, err := rvm.Recover(dev, h.stores[v], rvm.RecoverOptions{TruncateTorn: true}); err != nil {
+		return fmt.Errorf("chaos: crashpoint victim recovery: %w", err)
+	}
+
+	// 1. Survivors converge.
+	images := map[uint32]map[uint32][]byte{}
+	var want []byte
+	for i := 0; i < h.cfg.Nodes; i++ {
+		if h.dead && i == v {
+			continue
+		}
+		img := h.regs[i].Bytes()
+		cp := make([]byte, len(img))
+		copy(cp, img)
+		images[uint32(i+1)] = map[uint32][]byte{cpRegion: cp}
+		want = cp
+	}
+	if err := CheckConverged(images); err != nil {
+		return err
+	}
+	if want == nil {
+		return errors.New("chaos: crashpoint run left no survivors")
+	}
+
+	// 2. Gap-free lock chains over every record that exists anywhere,
+	// including the victim's recovered log.
+	logs := make([]wal.Device, 0, h.cfg.Nodes)
+	for i := 0; i < h.cfg.Nodes; i++ {
+		logs = append(logs, h.devs[i])
+	}
+	recs, err := ReadLogRecords(logs...)
+	if err != nil {
+		return err
+	}
+	if err := CheckLockChains(recs); err != nil {
+		return err
+	}
+
+	// 3. Merging every log and recovering from scratch reproduces the
+	// survivor image — the catch-up a rejoining victim would run.
+	if err := CheckMergeRecovery(logs, map[uint32][]byte{cpRegion: want}); err != nil {
+		return err
+	}
+
+	// 4. Durability: every victim commit acknowledged under Flush mode
+	// survived in its recovered log.
+	vrecs, err := wal.ReadDevice(dev)
+	if err != nil {
+		return err
+	}
+	present := map[uint64]bool{}
+	for _, rec := range vrecs {
+		if !rec.Checkpoint && rec.Node == uint32(v+1) {
+			present[rec.TxSeq] = true
+		}
+	}
+	for seq := range h.acked {
+		if !present[seq] {
+			return fmt.Errorf("chaos: acked victim tx %d lost by crash+recovery", seq)
+		}
+	}
+	return nil
+}
+
+// runWorkload builds a harness, lets arm schedule faults on the
+// victim's device, runs the script, and returns the harness for
+// inspection. The caller must close it.
+func runWorkload(cfg CrashPointConfig, arm func(d *fault.Device)) (*cpHarness, error) {
+	h, err := newCPHarness(cfg.norm())
+	if err != nil {
+		return nil, err
+	}
+	if arm != nil {
+		arm(h.devs[h.cfg.Victim])
+	}
+	if err := h.run(); err != nil {
+		h.close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// CountCrashPoints runs the scripted workload fault-free and returns
+// the number of Append/Sync boundaries on the victim's device — the
+// size of the crash-point space — plus the converged image checksum
+// (a determinism fingerprint: same config, same digest).
+func CountCrashPoints(cfg CrashPointConfig) (points int64, digest uint64, err error) {
+	h, err := runWorkload(cfg, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer h.close()
+	if err := h.check(); err != nil {
+		return 0, 0, fmt.Errorf("chaos: fault-free crashpoint run: %w", err)
+	}
+	return h.devs[h.cfg.Victim].Ops(), ImageChecksum(h.regs[0].Bytes()), nil
+}
+
+// RunCrashPoint runs the workload with a simulated crash at the given
+// boundary on the victim's device, recovers, and checks every
+// invariant. A nil return means the crash point is safe.
+func RunCrashPoint(cfg CrashPointConfig, point int64) error {
+	h, err := runWorkload(cfg, func(d *fault.Device) { d.CrashAt(point) })
+	if err != nil {
+		return err
+	}
+	defer h.close()
+	return h.check()
+}
+
+// SweepCrashPoints enumerates every crash point of the workload and
+// runs each one, returning the boundary count and any failures, each
+// a (seed, crashpoint) reproduction tuple.
+func SweepCrashPoints(cfg CrashPointConfig) (points int64, failures []CrashPointFailure, err error) {
+	cfg = cfg.norm()
+	points, _, err = CountCrashPoints(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	for p := int64(0); p < points; p++ {
+		if rerr := RunCrashPoint(cfg, p); rerr != nil {
+			failures = append(failures, CrashPointFailure{Seed: cfg.Seed, Point: p, Err: rerr})
+		}
+	}
+	return points, failures, nil
+}

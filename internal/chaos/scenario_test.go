@@ -106,6 +106,20 @@ func TestMigrateEvictScenario(t *testing.T) {
 	}
 }
 
+func TestCorruptLogRepairScenario(t *testing.T) {
+	rep := runTwice(t, "corrupt-log-repair", 42)
+	if rep.Records != rep.Commits {
+		t.Errorf("records %d != commits %d: repair duplicated or lost records",
+			rep.Records, rep.Commits)
+	}
+	if rep.Faults["log_corruption_detected"] == 0 {
+		t.Error("no corruption detected; scenario is not exercising the repair path")
+	}
+	if rep.Faults["repair_records_pulled"] == 0 {
+		t.Error("no records pulled past the damage")
+	}
+}
+
 // TestScenarioSeedSweep runs every scenario across a few seeds —
 // different schedules, same invariants.
 func TestScenarioSeedSweep(t *testing.T) {

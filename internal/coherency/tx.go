@@ -3,6 +3,7 @@ package coherency
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"lbc/internal/bufpool"
@@ -419,13 +420,30 @@ func (n *Node) pullPeerLog(peer uint32) error {
 	n.mu.Unlock()
 
 	dev := n.peerLogs(peer)
-	pos, suspectTrim, err := n.scanPeerLog(dev, from)
+	pos, _, suspectTrim, corrupt, err := n.scanPeerLog(dev, from)
 	if err != nil {
 		return fmt.Errorf("coherency: read peer %d log: %w", peer, err)
 	}
+	// Interior corruption on a pull read is overwhelmingly a transient
+	// bad read: re-scan from the sound prefix a bounded number of
+	// times — each retry re-reads the damaged range afresh, and the
+	// records recovered past it are counted as repaired.
+	for attempt := 0; corrupt && attempt < 2; attempt++ {
+		pos2, scanned, _, corrupt2, rerr := n.scanPeerLog(dev, pos)
+		if rerr != nil {
+			break
+		}
+		if scanned > 0 {
+			n.stats.Add(metrics.CtrRepairRecords, int64(scanned))
+		}
+		if pos2 > pos {
+			pos = pos2
+		}
+		corrupt = corrupt2
+	}
 	if suspectTrim {
 		n.stats.Add(metrics.CtrPullRescans, 1)
-		pos, _, err = n.scanPeerLog(dev, 0)
+		pos, _, _, _, err = n.scanPeerLog(dev, 0)
 		if err != nil {
 			return fmt.Errorf("coherency: rescan peer %d log: %w", peer, err)
 		}
@@ -450,11 +468,14 @@ func (n *Node) pullPeerLog(peer uint32) error {
 // head was trimmed under the caller's saved position — the log is now
 // shorter than the offset, the device refuses the offset outright, or
 // the very first decode at a nonzero offset hits garbage (a mid-record
-// landing) — rather than a clean tail.
-func (n *Node) scanPeerLog(dev wal.Device, from int64) (pos int64, suspectTrim bool, err error) {
+// landing) — rather than a clean tail. corrupt reports interior
+// corruption just past the returned position: sound records exist
+// beyond damage the scan could not cross, so the caller should retry
+// from pos (a transient bad read clears on the re-read).
+func (n *Node) scanPeerLog(dev wal.Device, from int64) (pos int64, scanned int, suspectTrim, corrupt bool, err error) {
 	if from > 0 {
 		if sz, serr := dev.Size(); serr == nil && sz < from {
-			return from, true, nil
+			return from, 0, true, false, nil
 		}
 	}
 	tm := metrics.StartTimer(n.stats, metrics.PhaseNetIO)
@@ -462,17 +483,20 @@ func (n *Node) scanPeerLog(dev wal.Device, from int64) (pos int64, suspectTrim b
 	tm.Stop()
 	if err != nil {
 		if from > 0 {
-			return from, true, nil // offset beyond a shrunken log
+			return from, 0, true, false, nil // offset beyond a shrunken log
 		}
-		return 0, false, err
+		return 0, 0, false, false, err
 	}
 	defer rc.Close()
 	sc := wal.NewScanner(rc, from)
 	pos = from
-	var scanned int
 	for {
 		rec, rerr := sc.Next()
 		if rerr != nil {
+			if errors.Is(rerr, wal.ErrInteriorCorruption) {
+				n.stats.Add(metrics.CtrLogCorruption, 1)
+				corrupt = true
+			}
 			break // io.EOF (possibly torn): stop at the valid prefix
 		}
 		scanned++
@@ -486,9 +510,9 @@ func (n *Node) scanPeerLog(dev wal.Device, from int64) (pos int64, suspectTrim b
 		// Garbage right at the resume offset: almost certainly a trim
 		// landed us mid-record (a genuine torn tail still decodes
 		// cleanly up to the tear). A spurious rescan is safe either way.
-		return from, true, nil
+		return from, scanned, true, false, nil
 	}
-	return pos, false, nil
+	return pos, scanned, false, corrupt, nil
 }
 
 // rescanPeerLogs re-reads every cluster member's log from its head and
@@ -501,7 +525,7 @@ func (n *Node) rescanPeerLogs() {
 			continue
 		}
 		n.stats.Add(metrics.CtrPullRescans, 1)
-		pos, _, err := n.scanPeerLog(n.peerLogs(uint32(p)), 0)
+		pos, _, _, _, err := n.scanPeerLog(n.peerLogs(uint32(p)), 0)
 		if err != nil {
 			continue
 		}
@@ -532,12 +556,82 @@ func (n *Node) drainPeerLogs() error {
 	return nil
 }
 
+// catchUpScanRetries bounds the fresh re-reads a catch-up scan makes
+// when a log shows interior corruption before falling back to salvage.
+const catchUpScanRetries = 3
+
+// readLogRepair reads every record currently on dev, tolerating
+// interior corruption. Each detection is counted
+// (log_corruption_detected) and the read retried against a fresh
+// stream — a transient read-back flip clears on re-read. Damage that
+// survives every retry is salvaged: the corrupt range is quarantined
+// and every sound record on both sides kept. Records recovered from at
+// or past the first damage offset are counted as repaired
+// (repair_records_pulled) — the old treat-corruption-as-end-of-log
+// policy would have silently dropped all of them.
+func (n *Node) readLogRepair(dev wal.Device) ([]*wal.TxRecord, error) {
+	damagedAt := int64(-1)
+	for attempt := 0; ; attempt++ {
+		rc, err := dev.Open(0)
+		if err != nil {
+			return nil, err
+		}
+		sc := wal.NewScanner(rc, 0)
+		if attempt >= catchUpScanRetries {
+			sc.Salvage()
+		}
+		var (
+			txs     []*wal.TxRecord
+			starts  []int64
+			scanErr error
+		)
+		for {
+			start := sc.Pos()
+			tx, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				scanErr = err
+				break
+			}
+			starts = append(starts, start)
+			txs = append(txs, tx)
+		}
+		rc.Close()
+		if scanErr == nil {
+			if damagedAt >= 0 {
+				var repaired int64
+				for _, s := range starts {
+					if s >= damagedAt {
+						repaired++
+					}
+				}
+				n.stats.Add(metrics.CtrRepairRecords, repaired)
+			}
+			return txs, nil
+		}
+		var ice *wal.InteriorCorruptionError
+		if !errors.As(scanErr, &ice) {
+			return nil, scanErr
+		}
+		n.stats.Add(metrics.CtrLogCorruption, 1)
+		if damagedAt < 0 {
+			damagedAt = ice.Offset
+		}
+	}
+}
+
 // CatchUp brings a (re)starting node current: the permanent image it
 // mapped generally lags the per-node logs on the storage server, so
 // every committed record is read back, merged into lock-sequence
 // order, and applied, and the per-lock interlock state is seeded to
-// match. Requires PeerLogs (any store-backed configuration). Call it
-// after MapRegion and before running transactions.
+// match. A log found interior-corrupt is re-read and, if the damage
+// persists, quarantined — the sound records around the hole still
+// apply, and records this node itself lost are re-fetched here from
+// the copies in every peer log. Requires PeerLogs (any store-backed
+// configuration). Call it after MapRegion and before running
+// transactions.
 func (n *Node) CatchUp() error {
 	if n.peerLogs == nil {
 		return errors.New("coherency: CatchUp requires PeerLogs (store-backed configuration)")
@@ -545,12 +639,7 @@ func (n *Node) CatchUp() error {
 	var all []*wal.TxRecord
 	for _, id := range n.clusterNodes {
 		dev := n.peerLogs(uint32(id))
-		rc, err := dev.Open(0)
-		if err != nil {
-			return fmt.Errorf("coherency: catch-up read log %d: %w", id, err)
-		}
-		txs, _, _, err := wal.ReadAll(rc, 0)
-		rc.Close()
+		txs, err := n.readLogRepair(dev)
 		if err != nil {
 			return fmt.Errorf("coherency: catch-up scan log %d: %w", id, err)
 		}

@@ -1,0 +1,388 @@
+// Disk-fault injection for wal devices. A Device wraps any wal.Device
+// with a page-cache model: Append buffers bytes in a volatile pending
+// region and only an honest Sync pushes them to the inner (durable)
+// device. Scheduled faults — torn writes, fsync lies, ENOSPC, read-back
+// bit-flips — fire at deterministic operation indices, so a failure is
+// reproducible from (seed, schedule) alone. The crash-point sweep in
+// internal/chaos drives one Device per node and crashes it at every
+// Append/Sync boundary of a scripted workload.
+
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"lbc/internal/wal"
+)
+
+// Sentinel errors surfaced by injected faults.
+var (
+	// ErrCrashed is returned by every operation after a simulated
+	// crash: the process must reopen the device (Reopen) to continue,
+	// exactly as a real node restarts against its disk.
+	ErrCrashed = errors.New("fault: device crashed")
+	// ErrNoSpace is the injected ENOSPC: the append fails cleanly,
+	// persisting nothing.
+	ErrNoSpace = errors.New("fault: no space left on device")
+)
+
+// flip is one scheduled read-back bit corruption at an absolute log
+// offset. One-shot flips model a transient bad read (the retry
+// returns sound bytes); persistent flips model real media damage.
+type flip struct {
+	off        int64
+	mask       byte
+	persistent bool
+	spent      bool
+}
+
+// Device wraps an inner wal.Device with deterministic disk faults.
+//
+// Crash model: bytes appended since the last honest Sync live in a
+// volatile pending buffer. A crash persists a strict prefix of the
+// in-flight bytes (ordered writeback: the record whose write was cut
+// short is at most torn, never complete-but-unacknowledged), then
+// fails every subsequent operation with ErrCrashed until Reopen.
+//
+// Every Append and Sync consumes one operation index; CrashAt, LieAt
+// and FailAt schedule faults against those indices. Ops() after a
+// fault-free scripted run enumerates the crash-point space.
+type Device struct {
+	mu      sync.Mutex
+	inner   wal.Device
+	rng     *rand.Rand
+	op      int64 // next operation index
+	pending []byte
+	crashed bool
+
+	crashAt map[int64]bool
+	lieAt   map[int64]bool
+	failAt  map[int64]bool
+	flips   []*flip
+
+	// Counters for reports and negative tests.
+	lies  int64
+	flipN int64
+}
+
+// NewDevice wraps inner with a fault injector seeded for deterministic
+// torn-write prefixes.
+func NewDevice(inner wal.Device, seed int64) *Device {
+	return &Device{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		crashAt: map[int64]bool{},
+		lieAt:   map[int64]bool{},
+		failAt:  map[int64]bool{},
+	}
+}
+
+// Ops returns the number of Append/Sync operations performed so far —
+// after a fault-free run, the size of the crash-point space.
+func (d *Device) Ops() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.op
+}
+
+// CrashAt schedules a simulated crash when operation index op executes.
+func (d *Device) CrashAt(op int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt[op] = true
+}
+
+// LieAt schedules an fsync lie at operation index op: the Sync
+// acknowledges success without persisting. A later honest Sync still
+// flushes everything, so the lie only loses data if a crash intervenes.
+func (d *Device) LieAt(op int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lieAt[op] = true
+}
+
+// FailAt schedules an ENOSPC failure for the Append at operation
+// index op; the append persists nothing and later operations proceed.
+func (d *Device) FailAt(op int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAt[op] = true
+}
+
+// FlipAt schedules a read-back corruption: reads covering absolute
+// offset off see the byte XORed with mask. One-shot flips (persistent
+// false) corrupt only the first covering read.
+func (d *Device) FlipAt(off int64, mask byte, persistent bool) {
+	if mask == 0 {
+		mask = 0xff
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flips = append(d.flips, &flip{off: off, mask: mask, persistent: persistent})
+}
+
+// Crash simulates an immediate power cut, independent of the op
+// schedule.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crash(nil)
+}
+
+// Crashed reports whether the device is in the post-crash state.
+func (d *Device) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Lies returns how many scheduled fsync lies have fired.
+func (d *Device) Lies() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lies
+}
+
+// Flips returns how many read-back corruptions have been served.
+func (d *Device) Flips() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flipN
+}
+
+// Reopen clears the crashed state, modeling the restart that reopens
+// the on-disk file: unsynced pending bytes are gone, the durable
+// prefix chosen at crash time remains.
+func (d *Device) Reopen() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+	d.pending = nil
+}
+
+// crash persists a strict prefix of pending+inflight to the inner
+// device and marks the device dead. The prefix length is drawn from
+// the seeded rng, so a (seed, crash-op) pair reproduces the exact torn
+// image.
+func (d *Device) crash(inflight []byte) {
+	total := make([]byte, 0, len(d.pending)+len(inflight))
+	total = append(total, d.pending...)
+	total = append(total, inflight...)
+	keep := 0
+	if len(total) > 0 {
+		keep = d.rng.Intn(len(total)) // strictly less than len(total)
+	}
+	if keep > 0 {
+		if _, err := d.inner.Append(total[:keep]); err == nil {
+			d.inner.Sync() //nolint:errcheck // best effort at crash time
+		}
+	}
+	d.pending = nil
+	d.crashed = true
+}
+
+// Append implements wal.Device: bytes land in the volatile pending
+// buffer (page cache) and are only durable after an honest Sync.
+func (d *Device) Append(p []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	op := d.op
+	d.op++
+	if d.failAt[op] {
+		return 0, fmt.Errorf("fault: append op %d: %w", op, ErrNoSpace)
+	}
+	if d.crashAt[op] {
+		d.crash(p)
+		return 0, ErrCrashed
+	}
+	sz, err := d.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	off := sz + int64(len(d.pending))
+	d.pending = append(d.pending, p...)
+	return off, nil
+}
+
+// Sync implements wal.Device. A scheduled lie acknowledges without
+// flushing; a scheduled crash cuts the pending bytes to a torn prefix.
+func (d *Device) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	op := d.op
+	d.op++
+	if d.crashAt[op] {
+		d.crash(nil)
+		return ErrCrashed
+	}
+	if d.lieAt[op] {
+		d.lies++
+		return nil // ack and drop: the bytes stay volatile
+	}
+	return d.flush()
+}
+
+// flush pushes the pending bytes to the durable inner device.
+func (d *Device) flush() error {
+	if len(d.pending) == 0 {
+		return d.inner.Sync()
+	}
+	if _, err := d.inner.Append(d.pending); err != nil {
+		return err
+	}
+	if err := d.inner.Sync(); err != nil {
+		return err
+	}
+	d.pending = nil
+	return nil
+}
+
+// Size implements wal.Device: the logical size includes unsynced
+// pending bytes, as a real file's does.
+func (d *Device) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	sz, err := d.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	return sz + int64(len(d.pending)), nil
+}
+
+// Open implements wal.Device, serving durable bytes, then pending
+// bytes, with scheduled read-back flips applied at absolute offsets.
+func (d *Device) Open(from int64) (io.ReadCloser, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	sz, err := d.inner.Size()
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if from < sz {
+		rc, err := d.inner.Open(from)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	start := from
+	if from > sz {
+		skip := from - sz
+		if skip > int64(len(d.pending)) {
+			skip = int64(len(d.pending))
+		}
+		buf = append(buf, d.pending[skip:]...)
+	} else {
+		buf = append(buf, d.pending...)
+	}
+	for _, f := range d.flips {
+		if f.spent && !f.persistent {
+			continue
+		}
+		i := f.off - start
+		if i >= 0 && i < int64(len(buf)) {
+			buf[i] ^= f.mask
+			f.spent = true
+			d.flipN++
+		}
+	}
+	return io.NopCloser(newByteReader(buf)), nil
+}
+
+// byteReader is a minimal io.Reader over an owned buffer.
+type byteReader struct {
+	b []byte
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// Truncate implements wal.Device.
+func (d *Device) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	sz, err := d.inner.Size()
+	if err != nil {
+		return err
+	}
+	if size >= sz {
+		keep := size - sz
+		if keep > int64(len(d.pending)) {
+			keep = int64(len(d.pending))
+		}
+		d.pending = d.pending[:keep]
+		return nil
+	}
+	d.pending = nil
+	return d.inner.Truncate(size)
+}
+
+// Reset implements wal.Device.
+func (d *Device) Reset() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.pending = nil
+	return d.inner.Reset()
+}
+
+// TrimHead implements wal.HeadTrimmer when the inner device does;
+// pending bytes sit past the durable size, so only the inner trim
+// moves.
+func (d *Device) TrimHead(upTo int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	ht, ok := d.inner.(wal.HeadTrimmer)
+	if !ok {
+		return errors.New("fault: inner device does not support TrimHead")
+	}
+	return ht.TrimHead(upTo)
+}
+
+// Close implements wal.Device.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Close()
+}
+
+// Inner exposes the wrapped durable device (the "disk platter") so a
+// harness can inspect what actually survived a crash.
+func (d *Device) Inner() wal.Device { return d.inner }

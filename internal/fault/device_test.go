@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"lbc/internal/wal"
+)
+
+func readBack(t *testing.T, d *Device, from int64) []byte {
+	t.Helper()
+	rc, err := d.Open(from)
+	if err != nil {
+		t.Fatalf("Open(%d): %v", from, err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return b
+}
+
+func TestDeviceHonestPath(t *testing.T) {
+	d := NewDevice(wal.NewMemDevice(), 1)
+	if _, err := d.Append([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 11 {
+		t.Fatalf("size = %d, want 11 (pending counts)", sz)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readBack(t, d, 0)); got != "hello world" {
+		t.Fatalf("read back %q", got)
+	}
+	if d.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3 (2 appends + 1 sync)", d.Ops())
+	}
+}
+
+func TestDeviceCrashPersistsStrictPrefix(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		inner := wal.NewMemDevice()
+		d := NewDevice(inner, seed)
+		if _, err := d.Append([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		d.CrashAt(1) // the sync
+		if err := d.Sync(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("seed %d: sync err = %v, want ErrCrashed", seed, err)
+		}
+		sz, _ := inner.Size()
+		if sz >= 10 {
+			t.Fatalf("seed %d: crash persisted %d bytes, want a strict prefix of 10", seed, sz)
+		}
+		if _, err := d.Append([]byte("x")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("seed %d: post-crash append err = %v", seed, err)
+		}
+		d.Reopen()
+		got := readBack(t, d, 0)
+		if string(got) != "0123456789"[:sz] {
+			t.Fatalf("seed %d: after reopen read %q, want prefix of len %d", seed, got, sz)
+		}
+	}
+}
+
+func TestDeviceCrashDeterministic(t *testing.T) {
+	run := func() int64 {
+		inner := wal.NewMemDevice()
+		d := NewDevice(inner, 42)
+		d.CrashAt(2)
+		d.Append([]byte("abcdefgh")) //nolint:errcheck
+		d.Sync()                     //nolint:errcheck
+		d.Append([]byte("ijklmnop")) //nolint:errcheck
+		sz, _ := inner.Size()
+		return sz
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same (seed, crash-op) persisted %d then %d bytes", a, b)
+	}
+}
+
+func TestDeviceFsyncLie(t *testing.T) {
+	inner := wal.NewMemDevice()
+	d := NewDevice(inner, 7)
+	d.LieAt(1)
+	d.Append([]byte("lost?")) //nolint:errcheck
+	if err := d.Sync(); err != nil {
+		t.Fatalf("lied sync must ack: %v", err)
+	}
+	if sz, _ := inner.Size(); sz != 0 {
+		t.Fatalf("lied sync persisted %d bytes", sz)
+	}
+	if d.Lies() != 1 {
+		t.Fatalf("lies = %d", d.Lies())
+	}
+	// An honest sync later still flushes everything.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := inner.Size(); sz != 5 {
+		t.Fatalf("honest sync persisted %d bytes, want 5", sz)
+	}
+	// A crash between lie and honest sync loses at least the tail:
+	// the acked bytes were never guaranteed, only a strict prefix of
+	// the page cache may survive.
+	d2 := NewDevice(wal.NewMemDevice(), 7)
+	d2.LieAt(1)
+	d2.Append([]byte("lost!")) //nolint:errcheck
+	d2.Sync()                  //nolint:errcheck
+	d2.Crash()
+	d2.Reopen()
+	if got := readBack(t, d2, 0); string(got) == "lost!" {
+		t.Fatalf("all acked bytes survived a crash after a lied fsync")
+	}
+}
+
+func TestDeviceENOSPC(t *testing.T) {
+	d := NewDevice(wal.NewMemDevice(), 3)
+	d.FailAt(0)
+	if _, err := d.Append([]byte("nope")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// The device stays usable and the failed bytes never appear.
+	if _, err := d.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readBack(t, d, 0)); got != "ok" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestDeviceReadBackFlip(t *testing.T) {
+	d := NewDevice(wal.NewMemDevice(), 9)
+	d.Append([]byte("abcdef")) //nolint:errcheck
+	d.Sync()                   //nolint:errcheck
+
+	d.FlipAt(2, 0x01, false)
+	if got := string(readBack(t, d, 0)); got != "abbdef" {
+		t.Fatalf("flipped read = %q, want abbdef", got)
+	}
+	// One-shot: the re-read is sound.
+	if got := string(readBack(t, d, 0)); got != "abcdef" {
+		t.Fatalf("re-read = %q, want sound bytes", got)
+	}
+
+	d.FlipAt(4, 0x80, true)
+	want := string([]byte{'a', 'b', 'c', 'd', 'e' ^ 0x80, 'f'})
+	for i := 0; i < 3; i++ {
+		if got := string(readBack(t, d, 0)); got != want {
+			t.Fatalf("persistent flip read %d = %q, want %q", i, got, want)
+		}
+	}
+	if d.Flips() < 2 {
+		t.Fatalf("flips counter = %d", d.Flips())
+	}
+}
+
+func TestDeviceOpenFromOffsetAppliesAbsoluteFlips(t *testing.T) {
+	d := NewDevice(wal.NewMemDevice(), 11)
+	d.Append([]byte("0123456789")) //nolint:errcheck
+	d.Sync()                       //nolint:errcheck
+	d.FlipAt(7, 0xff, true)
+	got := readBack(t, d, 5)
+	if got[2] != '7'^0xff || got[0] != '5' {
+		t.Fatalf("offset read = %q, flip must land at absolute offset 7", got)
+	}
+}
+
+func TestDeviceTruncateAndTrim(t *testing.T) {
+	inner := wal.NewMemDevice()
+	d := NewDevice(inner, 5)
+	d.Append([]byte("durable")) //nolint:errcheck
+	d.Sync()                    //nolint:errcheck
+	d.Append([]byte("pending")) //nolint:errcheck
+	// Truncate into the pending region.
+	if err := d.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 10 {
+		t.Fatalf("size after pending truncate = %d", sz)
+	}
+	// Truncate into the durable region.
+	if err := d.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readBack(t, d, 0)); got != "dura" {
+		t.Fatalf("read back %q", got)
+	}
+}

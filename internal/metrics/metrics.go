@@ -421,6 +421,11 @@ const (
 	CtrCompressSkips    = "compress_skips"     // batches sent plain (small or incompressible)
 	CtrSendStalls       = "send_window_stalls" // enqueues that blocked on a full send window
 	CtrSlowPeerDrops    = "slow_peer_drops"    // queued records dropped to unwedge a stalled peer
+
+	// Disk-fault tolerance and transport retry exhaustion.
+	CtrLogCorruption    = "log_corruption_detected" // interior log corruption found by a scan
+	CtrRepairRecords    = "repair_records_pulled"   // committed records re-fetched past damage
+	CtrRetriesExhausted = "retries_exhausted"       // send/call attempts that ran out of retries
 )
 
 // Histogram names pre-registered into the fixed table. Values are
@@ -491,6 +496,7 @@ var fixedIdx = buildIndex([]string{
 	CtrInterestRegs, CtrUpdateFramesRecv,
 	CtrBytesSentRaw, CtrCompressedFrames, CtrCompressSkips,
 	CtrSendStalls, CtrSlowPeerDrops,
+	CtrLogCorruption, CtrRepairRecords, CtrRetriesExhausted,
 }, maxFixedCounters)
 
 var fixedHistIdx = buildIndex([]string{

@@ -1,0 +1,76 @@
+package netproto
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lbc/internal/metrics"
+)
+
+// TestJitterBackoffBounds pins the retry-delay policy: every draw
+// lands in [d/2, d] after capping at MaxBackoff, and draws actually
+// vary (jitter exists).
+func TestJitterBackoffBounds(t *testing.T) {
+	m, err := NewTCPMeshTimeouts(1, "127.0.0.1:0", map[NodeID]string{},
+		MeshTimeouts{Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := m.jitterBackoff(40 * time.Millisecond)
+		if d < 20*time.Millisecond || d > 40*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [20ms, 40ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Error("200 draws produced one delay; jitter is not jittering")
+	}
+	// The cap applies before the jitter draw.
+	for i := 0; i < 50; i++ {
+		if d := m.jitterBackoff(10 * time.Second); d > 80*time.Millisecond {
+			t.Fatalf("capped delay %v exceeds MaxBackoff", d)
+		}
+	}
+}
+
+// TestSendRetriesExhaustedCounts drives Send at a peer that refuses
+// every connection: the mesh must retry, give up with the dial error,
+// and count the exhaustion.
+func TestSendRetriesExhaustedCounts(t *testing.T) {
+	// Reserve an address, then close the listener so dials fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	m, err := NewTCPMeshTimeouts(1, "127.0.0.1:0",
+		map[NodeID]string{2: dead},
+		MeshTimeouts{Dial: 200 * time.Millisecond, Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := metrics.NewStats()
+	m.SetStats(st)
+
+	if err := m.Send(2, 1, []byte("x")); err == nil {
+		t.Fatal("send to a dead peer succeeded")
+	}
+	if got := st.Counter(metrics.CtrRetriesExhausted); got != 1 {
+		t.Errorf("retries_exhausted = %d, want 1", got)
+	}
+	// A terminal error (unknown peer) is not an exhaustion.
+	if err := m.Send(9, 1, []byte("x")); err == nil {
+		t.Fatal("send to an unknown peer succeeded")
+	}
+	if got := st.Counter(metrics.CtrRetriesExhausted); got != 1 {
+		t.Errorf("retries_exhausted after unknown peer = %d, want 1", got)
+	}
+}

@@ -13,11 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lbc/internal/bufpool"
+	"lbc/internal/metrics"
 )
 
 // NodeID identifies a node in the cluster.
@@ -292,8 +295,12 @@ type MeshTimeouts struct {
 	// failure before giving up (default 2).
 	Retries int
 	// Backoff is the initial delay between attempts, doubling each
-	// retry (default 10ms).
+	// retry (default 10ms). Each delay is jittered — a uniform draw
+	// from [d/2, d] — so a burst of senders that failed together does
+	// not re-dial in lockstep.
 	Backoff time.Duration
+	// MaxBackoff caps the doubled delay (default 500ms).
+	MaxBackoff time.Duration
 }
 
 func (t *MeshTimeouts) fill() {
@@ -311,6 +318,12 @@ func (t *MeshTimeouts) fill() {
 	if t.Backoff <= 0 {
 		t.Backoff = 10 * time.Millisecond
 	}
+	if t.MaxBackoff <= 0 {
+		t.MaxBackoff = 500 * time.Millisecond
+	}
+	if t.MaxBackoff < t.Backoff {
+		t.MaxBackoff = t.Backoff
+	}
 }
 
 // peerLink is one outgoing connection with its own lock, so a stalled
@@ -325,6 +338,11 @@ type TCPMesh struct {
 	self NodeID
 	ln   net.Listener
 	tmo  MeshTimeouts
+
+	rmu sync.Mutex
+	rng *rand.Rand // backoff jitter; timing only, never protocol state
+
+	stats atomic.Pointer[metrics.Stats] // optional (SetStats)
 
 	hmu      sync.RWMutex
 	handlers [maxHandlers]Handler
@@ -357,6 +375,7 @@ func NewTCPMeshTimeouts(self NodeID, listenAddr string, peers map[NodeID]string,
 		self:     self,
 		ln:       ln,
 		tmo:      tmo,
+		rng:      rand.New(rand.NewSource(int64(self)*0x9E3779B9 + 1)),
 		peers:    peers,
 		links:    map[NodeID]*peerLink{},
 		accepted: map[net.Conn]struct{}{},
@@ -423,9 +442,32 @@ func (m *TCPMesh) Send(to NodeID, typ uint8, payload []byte) error {
 	return m.SendV(to, typ, [][]byte{payload})
 }
 
+// SetStats attaches a metrics accumulator: sends that exhaust every
+// retry count retries_exhausted. Safe to call concurrently with
+// traffic; nil detaches.
+func (m *TCPMesh) SetStats(st *metrics.Stats) { m.stats.Store(st) }
+
+// jitterBackoff caps d at MaxBackoff and draws the actual delay
+// uniformly from [d/2, d], so senders that failed together spread
+// their re-dials instead of hammering the peer in lockstep.
+func (m *TCPMesh) jitterBackoff(d time.Duration) time.Duration {
+	if d > m.tmo.MaxBackoff {
+		d = m.tmo.MaxBackoff
+	}
+	if half := d / 2; half > 0 {
+		m.rmu.Lock()
+		d = half + time.Duration(m.rng.Int63n(int64(half)+1))
+		m.rmu.Unlock()
+	}
+	return d
+}
+
 // SendV implements VectorSender: the parts go to the socket as one
 // writev alongside the frame header, with the same timeout/retry
 // discipline as Send. The parts are not retained after the call.
+// Transient failures retry on a jittered, capped exponential backoff;
+// exhausting the retries counts retries_exhausted (SetStats) and
+// returns the last error.
 func (m *TCPMesh) SendV(to NodeID, typ uint8, parts [][]byte) error {
 	var lastErr error
 	backoff := m.tmo.Backoff
@@ -439,9 +481,11 @@ func (m *TCPMesh) SendV(to NodeID, typ uint8, parts [][]byte) error {
 			select {
 			case <-m.closed:
 				return ErrClosed
-			case <-time.After(backoff):
+			case <-time.After(m.jitterBackoff(backoff)):
 			}
-			backoff *= 2
+			if backoff < m.tmo.MaxBackoff {
+				backoff *= 2
+			}
 		}
 		lastErr = m.trySendV(to, typ, parts)
 		if lastErr == nil {
@@ -450,6 +494,9 @@ func (m *TCPMesh) SendV(to NodeID, typ uint8, parts [][]byte) error {
 		if errors.Is(lastErr, ErrUnknownPeer) || errors.Is(lastErr, ErrClosed) {
 			return lastErr
 		}
+	}
+	if st := m.stats.Load(); st != nil {
+		st.Add(metrics.CtrRetriesExhausted, 1)
 	}
 	return lastErr
 }

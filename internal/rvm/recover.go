@@ -23,6 +23,14 @@ type RecoverOptions struct {
 	// (internal/parapply). 0 picks a default; 1 degenerates to the
 	// serial log-order replay.
 	Workers int
+	// Quarantine salvages a log with *interior* corruption: damaged
+	// ranges are skipped (reported in RecoverResult.Quarantined) and
+	// every sound record on either side is replayed. The records lost
+	// in the holes must then be re-fetched from peers (coherency
+	// CatchUp) before the node rejoins. Without Quarantine interior
+	// corruption fails recovery loudly — it is real data loss, not a
+	// torn tail.
+	Quarantine bool
 }
 
 // RecoverResult summarizes what recovery did.
@@ -44,6 +52,10 @@ type RecoverResult struct {
 	// longer equals the marker's physical offset; recovery positions by
 	// the physical offset and reports the LSN for observability.
 	CheckpointLSN uint64
+	// Quarantined lists the interior-corrupt byte ranges skipped when
+	// RecoverOptions.Quarantine was set. Non-empty means committed
+	// records may be missing locally and must be re-fetched from peers.
+	Quarantined []wal.CorruptRange
 }
 
 // Recover replays committed records in the log into the permanent
@@ -77,6 +89,9 @@ func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResul
 		return nil, fmt.Errorf("rvm: open log for recovery: %w", err)
 	}
 	sc := wal.NewScanner(rc, 0)
+	if opts.Quarantine {
+		sc.Salvage()
+	}
 	res := &RecoverResult{}
 	need := map[uint32]uint64{} // region -> required image size
 	var tailRecords, skipped int
@@ -109,6 +124,7 @@ func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResul
 	}
 	res.Torn, res.TornAt = sc.Torn()
 	res.SkippedRecords = skipped
+	res.Quarantined = sc.Corrupt()
 	rc.Close()
 
 	images := map[uint32][]byte{}
@@ -137,6 +153,9 @@ func Recover(log wal.Device, data DataStore, opts RecoverOptions) (*RecoverResul
 			return nil, fmt.Errorf("rvm: open log tail at %d: %w", res.ReplayFrom, err)
 		}
 		sc = wal.NewScanner(rc, res.ReplayFrom)
+		if opts.Quarantine {
+			sc.Salvage()
+		}
 		live = make([]*wal.TxRecord, 0, tailRecords)
 		for {
 			tx, err := sc.Next()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -34,15 +35,23 @@ type Client struct {
 
 	mu    sync.Mutex
 	conn  net.Conn
-	addrs []string // failover list; empty for a plain Dial client
-	cur   int      // index into addrs currently connected
+	addrs []string   // failover list; empty for a plain Dial client
+	cur   int        // index into addrs currently connected
+	rng   *rand.Rand // failover backoff jitter; guarded by mu
 }
 
-const dialTimeout = 2 * time.Second
+const (
+	dialTimeout = 2 * time.Second
+	// Failover ring walks pause between attempts on a jittered, capped
+	// exponential backoff, so a herd of clients that lost the same
+	// primary does not re-dial the backup in lockstep.
+	failoverBackoff    = 5 * time.Millisecond
+	failoverBackoffMax = 250 * time.Millisecond
+)
 
 // Dial connects to a storage server.
 func Dial(addr string) (*Client, error) {
-	c := &Client{stats: metrics.NewStats()}
+	c := &Client{stats: metrics.NewStats(), rng: rand.New(rand.NewSource(1))}
 	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
@@ -60,7 +69,8 @@ func DialFailover(addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("store: DialFailover needs at least one address")
 	}
-	c := &Client{stats: metrics.NewStats(), addrs: addrs}
+	c := &Client{stats: metrics.NewStats(), addrs: addrs,
+		rng: rand.New(rand.NewSource(int64(len(addrs))*0x9E3779B9 + 1))}
 	agg := &DialError{Op: "dial"}
 	for i, addr := range addrs {
 		conn, err := c.dial(addr)
@@ -139,7 +149,9 @@ func (c *Client) call(op uint8, body []byte) ([]byte, error) {
 		agg := &DialError{Op: opCounter(op)}
 		agg.Attempts = append(agg.Attempts, DialAttempt{Addr: c.addrs[c.cur], Err: err})
 		// Attempt 0 re-dials the current address; each further attempt
-		// advances to the next one in the ring.
+		// advances to the next one in the ring, pausing on a jittered,
+		// capped exponential backoff first.
+		backoff := failoverBackoff
 		for attempt := 0; attempt <= len(c.addrs) && err != nil; attempt++ {
 			if c.conn != nil {
 				c.conn.Close()
@@ -147,6 +159,14 @@ func (c *Client) call(op uint8, body []byte) ([]byte, error) {
 			}
 			if attempt > 0 {
 				c.cur = (c.cur + 1) % len(c.addrs)
+				d := backoff
+				if half := d / 2; half > 0 {
+					d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+				}
+				time.Sleep(d)
+				if backoff < failoverBackoffMax {
+					backoff *= 2
+				}
 			}
 			conn, derr := c.dial(c.addrs[c.cur])
 			if derr != nil {
@@ -161,6 +181,7 @@ func (c *Client) call(op uint8, body []byte) ([]byte, error) {
 			}
 		}
 		if err != nil {
+			c.stats.Add(metrics.CtrRetriesExhausted, 1)
 			return nil, agg
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lbc/internal/chaos"
+	"lbc/internal/metrics"
 	"lbc/internal/wal"
 )
 
@@ -163,6 +164,16 @@ func TestCallRingExhaustedAggregateError(t *testing.T) {
 	}
 	if len(agg.Attempts) == 0 {
 		t.Fatal("no attempts recorded")
+	}
+	if got := cli.Stats().Counter(metrics.CtrRetriesExhausted); got != 1 {
+		t.Fatalf("retries_exhausted = %d, want 1", got)
+	}
+	// A second exhausted walk counts again.
+	if err := cli.Sync(); err == nil {
+		t.Fatal("sync succeeded against a closed server")
+	}
+	if got := cli.Stats().Counter(metrics.CtrRetriesExhausted); got != 2 {
+		t.Fatalf("retries_exhausted = %d, want 2", got)
 	}
 }
 

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"os"
@@ -300,18 +301,20 @@ func TestScannerCorruptMiddleStops(t *testing.T) {
 	log = AppendStandard(log, &TxRecord{Node: 1, TxSeq: 1})
 	first := int64(len(log))
 	log = AppendStandard(log, &TxRecord{Node: 1, TxSeq: 2})
+	third := int64(len(log))
 	log = AppendStandard(log, &TxRecord{Node: 1, TxSeq: 3})
 	log[first+10] ^= 0xFF // corrupt second record
 
-	got, torn, tornAt, err := ReadAll(bytes.NewReader(log), 0)
-	if err != nil {
-		t.Fatal(err)
+	// A sound record exists past the damage, so this is interior
+	// corruption, not a clean torn tail.
+	_, _, _, err := ReadAll(bytes.NewReader(log), 0)
+	var ice *InteriorCorruptionError
+	if !errors.As(err, &ice) {
+		t.Fatalf("err = %v, want *InteriorCorruptionError", err)
 	}
-	if len(got) != 1 {
-		t.Fatalf("read %d records past corruption", len(got))
-	}
-	if !torn || tornAt != first {
-		t.Fatalf("torn=%v at %d, want true at %d", torn, tornAt, first)
+	if ice.Offset != first || ice.Resume != third {
+		t.Fatalf("corruption at %d resume %d, want %d/%d",
+			ice.Offset, ice.Resume, first, third)
 	}
 }
 
